@@ -1,0 +1,380 @@
+package microp4_test
+
+// Benchmark harness: one benchmark per evaluation artifact of the paper.
+//
+//	BenchmarkTable1Compose    — compile+link+compose each of P1..P7
+//	BenchmarkTable2PHV        — PHV allocation, composed vs monolithic
+//	BenchmarkTable3Stages     — MAU stage scheduling, both paths
+//	BenchmarkFigure9Analysis  — the §5.2 static analysis
+//	BenchmarkFigure10ParserMAT— the §5.3 parser→MAT transformation
+//	BenchmarkFigure13Slicing  — the §5.4/§C PDG slicing and PPS
+//	BenchmarkSwitch           — packet throughput of the behavioral
+//	                            target, compiled vs reference engine
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem ./...
+
+import (
+	"testing"
+
+	"microp4"
+	"microp4/internal/analysis"
+	"microp4/internal/backend/tna"
+	"microp4/internal/eval"
+	"microp4/internal/frontend"
+	"microp4/internal/lib"
+	"microp4/internal/linker"
+	"microp4/internal/mat"
+	"microp4/internal/midend"
+	"microp4/internal/pdg"
+	"microp4/internal/pkt"
+	"microp4/internal/sim"
+)
+
+var programNames = []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7"}
+
+// BenchmarkTable1Compose measures the full µP4C pipeline — frontend,
+// linking, §C transformations, static analysis, homogenization — for
+// every composed program of Table 1.
+func BenchmarkTable1Compose(b *testing.B) {
+	for _, name := range programNames {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				main, mods, err := lib.CompileProgram(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := midend.Build(main, mods...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2PHV measures the Tofino PHV allocation of both paths
+// and reports the Table 2 metrics as benchmark outputs.
+func BenchmarkTable2PHV(b *testing.B) {
+	opts := tna.DefaultOptions()
+	for _, name := range programNames {
+		main, mods, err := lib.CompileProgram(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := midend.Build(main, mods...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mono, err := lib.CompileMonolithic(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tmono, err := midend.Transform(mono)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/composed", func(b *testing.B) {
+			var rep *tna.Report
+			for i := 0; i < b.N; i++ {
+				rep, err = tna.CompileComposed(res.Pipeline, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.Used8), "phv8")
+			b.ReportMetric(float64(rep.Used16), "phv16")
+			b.ReportMetric(float64(rep.Used32), "phv32")
+			b.ReportMetric(float64(rep.Bits), "phvbits")
+		})
+		b.Run(name+"/monolithic", func(b *testing.B) {
+			var rep *tna.Report
+			for i := 0; i < b.N; i++ {
+				rep, err = tna.CompileMonolithic(tmono, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if rep.Feasible {
+				b.ReportMetric(float64(rep.Used8), "phv8")
+				b.ReportMetric(float64(rep.Used16), "phv16")
+				b.ReportMetric(float64(rep.Used32), "phv32")
+				b.ReportMetric(float64(rep.Bits), "phvbits")
+			} else {
+				b.ReportMetric(1, "compile_failed")
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Stages reports the MAU stage counts of both paths as
+// benchmark metrics (the Table 3 rows).
+func BenchmarkTable3Stages(b *testing.B) {
+	var pairs []eval.ResourcePair
+	var err error
+	for i := 0; i < b.N; i++ {
+		pairs, err = eval.CompileAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pairs {
+		if p.Composed.Feasible {
+			b.ReportMetric(float64(p.Composed.Stages), p.Program+"_up4_stages")
+		}
+		if p.Mono.Feasible {
+			b.ReportMetric(float64(p.Mono.Stages), p.Program+"_mono_stages")
+		}
+	}
+}
+
+// BenchmarkFigure9Analysis measures the §5.2 static analysis on the
+// paper's worked example and asserts its numbers.
+func BenchmarkFigure9Analysis(b *testing.B) {
+	c1, err := frontend.CompileModule("c1.up4", eval.Fig9Callee1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c2, err := frontend.CompileModule("c2.up4", eval.Fig9Callee2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	caller, err := frontend.CompileModule("caller.up4", eval.Fig9Caller)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := linker.Link(caller, c1, c2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *analysis.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = analysis.Analyze(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res.Main().El != 78 || res.Main().Bs != 98 {
+		b.Fatalf("figure 9: El=%d Bs=%d, want 78/98", res.Main().El, res.Main().Bs)
+	}
+	b.ReportMetric(float64(res.Main().El), "El_bytes")
+	b.ReportMetric(float64(res.Main().Bs), "Bs_bytes")
+}
+
+// BenchmarkFigure10ParserMAT measures the parser→MAT homogenization of
+// the Fig. 10 parser.
+func BenchmarkFigure10ParserMAT(b *testing.B) {
+	main, err := frontend.CompileModule("fig10.up4", eval.Fig10Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *midend.Result
+	for i := 0; i < b.N; i++ {
+		res, err = midend.Build(main)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	tbl := res.Pipeline.Tables["$parser_tbl"]
+	b.ReportMetric(float64(len(tbl.Entries)), "entries")
+	b.ReportMetric(float64(len(tbl.Keys)), "keys")
+}
+
+// BenchmarkFigure13Slicing measures PDG construction, packet slicing,
+// and PPS assembly on the §C example.
+func BenchmarkFigure13Slicing(b *testing.B) {
+	p, err := frontend.CompileModule("fig13.up4", eval.Fig13Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pps *pdg.PPS
+	for i := 0; i < b.N; i++ {
+		g := pdg.Build(p)
+		pps, err = g.BuildPPS()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(pps.Threads)), "threads")
+}
+
+// buildBenchEngines prepares both engines with installed rules.
+func buildBenchEngines(b *testing.B, prog string) (*sim.Exec, *sim.Interp, [][]byte) {
+	main, mods, err := lib.CompileProgram(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := midend.Build(main, mods...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tables := sim.NewTables()
+	lib.InstallDefaultRules(tables, prog, false)
+	traffic := [][]byte{
+		pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6, Src: 0xC0A80002, Dst: 0x0A000001}).
+			TCP(1, 80).Payload(make([]byte, 64)).Bytes(),
+		pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv6).
+			IPv6(pkt.IPv6Opts{NextHdr: 59, HopLimit: 9, DstHi: lib.NetV6Hi, DstLo: 1}).
+			Payload(make([]byte, 64)).Bytes(),
+	}
+	return sim.NewExec(res.Pipeline, tables), sim.NewInterp(res.Linked, tables), traffic
+}
+
+// BenchmarkSwitch measures per-packet processing cost of the behavioral
+// target: the compiled MAT pipeline vs the reference interpreter.
+func BenchmarkSwitch(b *testing.B) {
+	for _, prog := range []string{"P1", "P4", "P7"} {
+		exec, interp, traffic := buildBenchEngines(b, prog)
+		meta := sim.Metadata{InPort: 1}
+		b.Run(prog+"/compiled", func(b *testing.B) {
+			b.SetBytes(int64(len(traffic[0])))
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Process(traffic[i%len(traffic)], meta); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(prog+"/reference", func(b *testing.B) {
+			b.SetBytes(int64(len(traffic[0])))
+			for i := 0; i < b.N; i++ {
+				if _, err := interp.Process(traffic[i%len(traffic)], meta); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileModule measures frontend throughput per library module.
+func BenchmarkCompileModule(b *testing.B) {
+	for _, name := range lib.ModuleNames() {
+		src, err := lib.ModuleSource(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				if _, err := microp4.CompileModule(name, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEnd measures the whole user journey: compile, compose,
+// program, process one packet.
+func BenchmarkEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exec, _, traffic := buildBenchEngines(b, "P4")
+		out, err := exec.Process(traffic[0], sim.Metadata{InPort: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Dropped {
+			b.Fatal("unexpected drop")
+		}
+	}
+}
+
+// sanity anchor: composition must stay deterministic so benchmarks are
+// comparable run to run.
+func BenchmarkComposeDeterminism(b *testing.B) {
+	main, mods, err := lib.CompileProgram("P4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var first *mat.Pipeline
+	for i := 0; i < b.N; i++ {
+		res, err := midend.Build(main, mods...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if first == nil {
+			first = res.Pipeline
+			continue
+		}
+		if len(res.Pipeline.Tables) != len(first.Tables) || res.Pipeline.BsBytes != first.BsBytes {
+			b.Fatal("composition is not deterministic")
+		}
+	}
+}
+
+// BenchmarkAblationCleanCopies measures the §8.1 clean-copy elimination:
+// MAU stages and synthesized logical tables with the optimization off vs
+// on, for every program (the DESIGN.md ablation).
+func BenchmarkAblationCleanCopies(b *testing.B) {
+	opts := tna.DefaultOptions()
+	for _, name := range programNames {
+		main, mods, err := lib.CompileProgram(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			label string
+			opt   bool
+		}{{"baseline", false}, {"optimized", true}} {
+			b.Run(name+"/"+mode.label, func(b *testing.B) {
+				var rep *tna.Report
+				for i := 0; i < b.N; i++ {
+					res, err := midend.BuildWith(midend.Options{
+						Compose: mat.Options{EliminateCleanCopies: mode.opt},
+					}, main, mods...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rep, err = tna.CompileComposed(res.Pipeline, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if rep.Feasible {
+					b.ReportMetric(float64(rep.Stages), "stages")
+					b.ReportMetric(float64(rep.Tables), "tables")
+					b.ReportMetric(float64(rep.Bits), "phvbits")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSplitParser compares the two §8.1 parser encodings:
+// one path-product MAT per parser vs one MAT per parse depth.
+func BenchmarkAblationSplitParser(b *testing.B) {
+	opts := tna.DefaultOptions()
+	for _, name := range programNames {
+		main, mods, err := lib.CompileProgram(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			label string
+			split bool
+		}{{"single-mat", false}, {"split-mats", true}} {
+			b.Run(name+"/"+mode.label, func(b *testing.B) {
+				var rep *tna.Report
+				for i := 0; i < b.N; i++ {
+					res, err := midend.BuildWith(midend.Options{
+						Compose: mat.Options{SplitParserMATs: mode.split},
+					}, main, mods...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rep, err = tna.CompileComposed(res.Pipeline, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if rep.Feasible {
+					b.ReportMetric(float64(rep.Stages), "stages")
+					b.ReportMetric(float64(rep.Tables), "tables")
+				} else {
+					b.ReportMetric(1, "infeasible")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command up4c is the µP4 compiler CLI, mirroring the paper's Fig. 4:
+//
+// Compile a single module to µP4-IR (JSON):
+//
+//	up4c -arch upa -o l2.json l2.up4
+//
+// Compose a main program with library modules and generate code for a
+// target architecture:
+//
+//	up4c -arch v1model -o main_v1.p4 main.up4 l3.up4 ipv4.up4 ipv6.up4
+//	up4c -arch tna main.up4 l3.up4 ipv4.up4 ipv6.up4
+//
+// The first source file must contain the main program (the one with an
+// instantiation or the file's single program declaration); the rest are
+// library modules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"microp4"
+)
+
+func main() {
+	var (
+		arch    = flag.String("arch", "upa", "target architecture: upa (emit µP4-IR), v1model, or tna")
+		out     = flag.String("o", "", "output file (default: stdout)")
+		stats   = flag.Bool("stats", false, "print the operational-region analysis (§5.2)")
+		api     = flag.Bool("api", false, "emit the control-plane API schema (Fig. 4) instead of target code")
+		opt     = flag.Bool("O", false, "enable the §8.1 clean-copy elimination")
+		splitP  = flag.Bool("split-parser", false, "use the §8.1 per-depth parser MAT encoding")
+		verbose = flag.Bool("v", false, "print per-module details")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: up4c [-arch upa|v1model|tna] [-o out] main.up4 [module.up4 ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*arch, *out, *stats, *verbose, *api, microp4.BuildOptions{EliminateCleanCopies: *opt, SplitParserMATs: *splitP}, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "up4c: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(arch, out string, stats, verbose, api bool, bopts microp4.BuildOptions, files []string) error {
+	mods := make([]*microp4.Module, 0, len(files))
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		m, err := microp4.CompileModule(f, string(src))
+		if err != nil {
+			return err
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "compiled %s: program %s implements %s\n", f, m.Name(), m.Interface())
+		}
+		mods = append(mods, m)
+	}
+
+	emit := func(data []byte) error {
+		if out == "" {
+			_, err := os.Stdout.Write(data)
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	}
+
+	switch strings.ToLower(arch) {
+	case "upa", "µpa", "ir":
+		// Frontend only: serialize each module's µP4-IR.
+		var b strings.Builder
+		for _, m := range mods {
+			data, err := m.ToJSON()
+			if err != nil {
+				return err
+			}
+			b.Write(data)
+			b.WriteString("\n")
+		}
+		return emit([]byte(b.String()))
+	case "v1model", "tna":
+		dp, err := microp4.BuildWithOptions(bopts, mods[0], mods[1:]...)
+		if err != nil {
+			return err
+		}
+		if api {
+			schema, err := dp.ControlAPI().ToJSON()
+			if err != nil {
+				return err
+			}
+			return emit(append(schema, '\n'))
+		}
+		if stats {
+			st := dp.Stats()
+			fmt.Fprintf(os.Stderr, "operational region: extract-length %dB, Δ +%dB, δ -%dB, byte-stack %dB, min packet %dB\n",
+				st.ExtractLength, st.MaxIncrease, st.MaxDecrease, st.ByteStack, st.MinPacket)
+		}
+		var src string
+		if arch == "v1model" {
+			src, err = dp.EmitV1Model()
+		} else {
+			src, err = dp.EmitTNA()
+			if rep, rerr := dp.Tofino(); rerr == nil {
+				fmt.Fprintf(os.Stderr, "tofino: feasible=%v 8b=%d 16b=%d 32b=%d bits=%d stages=%d\n",
+					rep.Feasible, rep.Containers8, rep.Containers16, rep.Containers32,
+					rep.BitsAllocated, rep.Stages)
+				if !rep.Feasible {
+					fmt.Fprintf(os.Stderr, "tofino: %s\n", rep.Reason)
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+		return emit([]byte(src))
+	}
+	return fmt.Errorf("unknown architecture %q (have upa, v1model, tna)", arch)
+}

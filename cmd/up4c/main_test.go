@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microp4"
+	"microp4/internal/lib"
+)
+
+// stage writes the P4 router suite into a temp dir and returns the
+// file paths (main first).
+func stage(t *testing.T) []string {
+	t.Helper()
+	dir := t.TempDir()
+	var paths []string
+	for i, f := range []string{"up4/p4_router.up4", "up4/l3.up4", "up4/ipv4.up4", "up4/ipv6.up4"} {
+		src, err := lib.Source(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, filepath.Base(f))
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+		_ = i
+	}
+	return paths
+}
+
+func TestRunEmitIR(t *testing.T) {
+	files := stage(t)
+	out := filepath.Join(t.TempDir(), "ir.json")
+	if err := run("upa", out, false, false, false, microp4.BuildOptions{}, files[:1]); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"name": "P4Router"`) {
+		t.Errorf("IR output missing program name:\n%.200s", data)
+	}
+}
+
+func TestRunV1ModelAndTNA(t *testing.T) {
+	files := stage(t)
+	for _, arch := range []string{"v1model", "tna"} {
+		out := filepath.Join(t.TempDir(), arch+".p4")
+		if err := run(arch, out, true, true, false, microp4.BuildOptions{EliminateCleanCopies: true}, files); err != nil {
+			t.Fatalf("run %s: %v", arch, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 500 {
+			t.Errorf("%s output suspiciously small (%d bytes)", arch, len(data))
+		}
+	}
+}
+
+func TestRunControlAPI(t *testing.T) {
+	files := stage(t)
+	out := filepath.Join(t.TempDir(), "api.json")
+	if err := run("v1model", out, false, false, true, microp4.BuildOptions{SplitParserMATs: true}, files); err != nil {
+		t.Fatalf("run -api: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "ipv4_lpm_tbl") {
+		t.Errorf("control API schema incomplete:\n%.300s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	files := stage(t)
+	if err := run("bogus-arch", "", false, false, false, microp4.BuildOptions{}, files); err == nil {
+		t.Error("unknown arch accepted")
+	}
+	if err := run("v1model", "", false, false, false, microp4.BuildOptions{}, []string{"/nonexistent/x.up4"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Missing modules fail at link time.
+	if err := run("v1model", os.DevNull, false, false, false, microp4.BuildOptions{}, files[:1]); err == nil {
+		t.Error("unlinked composition accepted")
+	}
+}

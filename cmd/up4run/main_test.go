@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+// Smoke-run every library program on both engines through the CLI's
+// driver (stdout goes to the test log).
+func TestRunAllPrograms(t *testing.T) {
+	for _, prog := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7"} {
+		for _, engine := range []string{"compiled", "reference"} {
+			if err := run(prog, engine, 6, false); err != nil {
+				t.Errorf("%s/%s: %v", prog, engine, err)
+			}
+		}
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	if err := run("P4", "compiled", 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownProgram(t *testing.T) {
+	if err := run("P99", "compiled", 1, false); err == nil {
+		t.Error("unknown program accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package microp4
+
+import (
+	"encoding/json"
+	"sort"
+
+	"microp4/internal/ir"
+)
+
+// ControlKey describes one match key of a control-plane-visible table.
+type ControlKey struct {
+	Field     string `json:"field"`
+	Width     int    `json:"width"`
+	MatchKind string `json:"match"`
+}
+
+// ControlActionParam is one runtime parameter of an action.
+type ControlActionParam struct {
+	Name  string `json:"name"`
+	Width int    `json:"width"`
+}
+
+// ControlAction describes an installable action.
+type ControlAction struct {
+	Name   string               `json:"name"`
+	Params []ControlActionParam `json:"params,omitempty"`
+}
+
+// ControlTable is the control-plane schema of one table: what Fig. 4
+// calls the module's "control API", fully qualified by instance path so
+// multiple controllers can each own their module's tables (§8.2).
+type ControlTable struct {
+	Name         string          `json:"name"`
+	Module       string          `json:"module"` // owning module instance path ("" = main)
+	Keys         []ControlKey    `json:"keys"`
+	Actions      []ControlAction `json:"actions"`
+	DefaultName  string          `json:"default,omitempty"`
+	ConstEntries int             `json:"const_entries,omitempty"`
+}
+
+// ControlRegister is the control-plane schema of a register array.
+type ControlRegister struct {
+	Name  string `json:"name"`
+	Size  int    `json:"size"`
+	Width int    `json:"width"`
+}
+
+// ControlAPI is the composed dataplane's full control-plane surface.
+type ControlAPI struct {
+	Program   string            `json:"program"`
+	Tables    []ControlTable    `json:"tables"`
+	Registers []ControlRegister `json:"registers,omitempty"`
+}
+
+// ControlAPI returns the control-plane schema of the composed dataplane.
+func (d *Dataplane) ControlAPI() *ControlAPI {
+	pl := d.res.Pipeline
+	if pl == nil {
+		return &ControlAPI{Program: d.res.Linked.Main.Name}
+	}
+	api := &ControlAPI{Program: pl.Name}
+	for _, name := range pl.UserTables {
+		t := pl.Tables[name]
+		if t == nil {
+			continue
+		}
+		ct := ControlTable{Name: name, Module: moduleOfTable(name), ConstEntries: len(t.Entries)}
+		for _, k := range t.Keys {
+			ck := ControlKey{Width: k.Expr.Width, MatchKind: k.MatchKind}
+			if k.Expr.Kind == ir.ERef {
+				ck.Field = k.Expr.Ref
+			} else {
+				ck.Field = k.Expr.String()
+			}
+			ct.Keys = append(ct.Keys, ck)
+		}
+		for _, an := range t.Actions {
+			act := pl.Actions[an]
+			ca := ControlAction{Name: an}
+			if act != nil {
+				for _, p := range act.Params {
+					ca.Params = append(ca.Params, ControlActionParam{Name: p.Name, Width: p.Width})
+				}
+			}
+			ct.Actions = append(ct.Actions, ca)
+		}
+		if t.Default != nil {
+			ct.DefaultName = t.Default.Name
+		}
+		api.Tables = append(api.Tables, ct)
+	}
+	sort.Slice(api.Tables, func(i, j int) bool { return api.Tables[i].Name < api.Tables[j].Name })
+	for _, r := range pl.Registers {
+		api.Registers = append(api.Registers, ControlRegister{Name: r.Name, Size: r.Size, Width: r.Width})
+	}
+	sort.Slice(api.Registers, func(i, j int) bool { return api.Registers[i].Name < api.Registers[j].Name })
+	return api
+}
+
+// ToJSON serializes the control API schema.
+func (a *ControlAPI) ToJSON() ([]byte, error) {
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// moduleOfTable derives the owning instance path from a fully qualified
+// table name ("l3_i.ipv4_i.ipv4_lpm_tbl" → "l3_i.ipv4_i").
+func moduleOfTable(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[:i]
+		}
+	}
+	return ""
+}

@@ -1,0 +1,184 @@
+// NF chaining (§7.2): realizes CoVisor's sequential and override
+// composition operators with plain µP4 — a firewall module runs first;
+// if it permits the packet, the router picks a next hop, and an MPLS
+// label-edge module may *override* the routing decision by encapsulating
+// the packet (growing it on the wire) based on its traffic class.
+//
+//	go run ./examples/nfchain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"microp4"
+	"microp4/internal/lib"
+	"microp4/internal/pkt"
+)
+
+// mplsEncap pushes an MPLS label in front of the packet view it
+// receives (which starts right after Ethernet): its parser consumes
+// nothing, and its deparser emits a header that was not parsed — the
+// packet grows by 4 bytes (Δ=4 in the §5.2 analysis).
+const mplsEncap = `
+struct empty_t { }
+header mpls_h { bit<20> label; bit<3> tc; bit<1> bos; bit<8> ttl; }
+struct encaphdr_t { mpls_h lbl; }
+program MplsEncap : implements Unicast {
+  parser P(extractor ex, pkt p, out encaphdr_t h, inout empty_t m, im_t im) {
+    state start { transition accept; }
+  }
+  control C(pkt p, inout encaphdr_t h, inout empty_t m, im_t im, in bit<16> tc, inout bit<16> nh, inout bit<16> etype) {
+    action encap(bit<20> new_label, bit<16> next_hop) {
+      h.lbl.setValid();
+      h.lbl.label = new_label;
+      h.lbl.tc = 0;
+      h.lbl.bos = 1;
+      h.lbl.ttl = 64;
+      etype = 0x8847;
+      nh = next_hop;
+    }
+    action skip_encap() { }
+    table lbl_tbl {
+      key = { tc : exact; }
+      actions = { encap; skip_encap; }
+      default_action = skip_encap;
+    }
+    apply { lbl_tbl.apply(); }
+  }
+  control D(emitter em, pkt p, in encaphdr_t h) {
+    apply { em.emit(p, h.lbl); }
+  }
+}
+`
+
+// chainMain composes firewall → router → (override) MPLS encap.
+const chainMain = `
+struct empty_t { }
+header ethernet_h { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+struct ethhdr_t { ethernet_h eth; }
+
+ACL(pkt p, im_t im, out bit<1> permit);
+L3(pkt p, im_t im, out bit<16> nh, inout bit<16> etype);
+MplsEncap(pkt p, im_t im, in bit<16> tc, inout bit<16> nh, inout bit<16> etype);
+
+program NfChain : implements Unicast {
+  parser P(extractor ex, pkt p, out ethhdr_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.eth); transition accept; }
+  }
+  control C(pkt p, inout ethhdr_t h, inout empty_t m, im_t im) {
+    bit<1> permit;
+    bit<16> nh;
+    bit<16> tc;
+    ACL() fw_i;
+    L3() l3_i;
+    MplsEncap() ler_i;
+    action drop_pkt() { im.drop(); }
+    action forward(bit<48> dmac, bit<48> smac, bit<9> port) {
+      h.eth.dstMac = dmac;
+      h.eth.srcMac = smac;
+      im.set_out_port(port);
+    }
+    table forward_tbl {
+      key = { nh : exact; }
+      actions = { forward; drop_pkt; }
+      default_action = drop_pkt;
+    }
+    apply {
+      permit = 1;
+      nh = 0;
+      if (h.eth.etherType == 0x0800) {
+        // Sequential: Firewall -> Routing (§7.2).
+        fw_i.apply(p, im, permit);
+      }
+      if (permit == 1) {
+        l3_i.apply(p, im, nh, h.eth.etherType);
+        // Override: the LER may replace the routing decision based on
+        // the packet's traffic class.
+        tc = nh;
+        ler_i.apply(p, im, tc, nh, h.eth.etherType);
+        forward_tbl.apply();
+      }
+    }
+  }
+  control D(emitter em, pkt p, in ethhdr_t h) {
+    apply { em.emit(p, h.eth); }
+  }
+}
+
+NfChain(P, C, D) main;
+`
+
+func compile(name, src string) *microp4.Module {
+	m, err := microp4.CompileModule(name, src)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	return m
+}
+
+func libModule(name string) *microp4.Module {
+	src, err := lib.ModuleSource(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return compile(name+".up4", src)
+}
+
+func main() {
+	dp, err := microp4.Build(
+		compile("nfchain.up4", chainMain),
+		libModule("ACL"), libModule("L3"), libModule("IPv4"), libModule("IPv6"),
+		compile("mpls_encap.up4", mplsEncap),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := dp.Stats()
+	fmt.Printf("NF chain composed: byte-stack %dB (may grow %dB for the MPLS label)\n\n",
+		st.ByteStack, st.MaxIncrease)
+
+	sw := dp.NewSwitch()
+	// Firewall policy: block TCP port 23 (telnet).
+	sw.AddEntry("fw_i.acl_tbl",
+		[]microp4.Key{microp4.Any(), microp4.Any(), microp4.Ternary(6, 0xFF), microp4.Ternary(23, 0xFFFF)},
+		"fw_i.deny")
+	// Routes.
+	sw.AddEntry("l3_i.ipv4_i.ipv4_lpm_tbl",
+		[]microp4.Key{microp4.LPM(0x0A000000, 8)}, "l3_i.ipv4_i.process", 100)
+	sw.AddEntry("l3_i.ipv4_i.ipv4_lpm_tbl",
+		[]microp4.Key{microp4.LPM(0x14000000, 8)}, "l3_i.ipv4_i.process", 200)
+	// Override: traffic class 200 (the premium path) rides an MPLS LSP.
+	sw.AddEntry("ler_i.lbl_tbl",
+		[]microp4.Key{microp4.Exact(200)}, "ler_i.encap", 7777, 900)
+	// Forwarding for plain and overridden next hops.
+	sw.AddEntry("forward_tbl", []microp4.Key{microp4.Exact(100)}, "forward", 0xA1, 0xB1, 1)
+	sw.AddEntry("forward_tbl", []microp4.Key{microp4.Exact(900)}, "forward", 0xA9, 0xB9, 9)
+
+	mk := func(dst uint32, dport uint16) []byte {
+		return pkt.NewBuilder().
+			Ethernet(0x1, 0x2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 33, Protocol: pkt.ProtoTCP, Src: 0x0B000001, Dst: dst}).
+			TCP(5000, dport).Payload([]byte("chain")).Bytes()
+	}
+	show(sw, "web to 10.0.0.1 (routed)", mk(0x0A000001, 80))
+	show(sw, "web to 20.0.0.9 (MPLS override)", mk(0x14000009, 443))
+	show(sw, "telnet (firewalled)", mk(0x0A000001, 23))
+}
+
+func show(sw *microp4.Switch, what string, in []byte) {
+	out, err := sw.Process(in, 3)
+	if err != nil {
+		log.Fatalf("%s: %v", what, err)
+	}
+	if len(out) == 0 {
+		fmt.Printf("%-32s -> dropped (%dB in)\n", what, len(in))
+		return
+	}
+	o := out[0]
+	extra := ""
+	if pkt.EthType(o.Data) == pkt.EtherTypeMPLS {
+		extra = fmt.Sprintf(", MPLS label %d pushed (+%dB)", pkt.MPLSLabel(o.Data, 14), len(o.Data)-len(in))
+	}
+	fmt.Printf("%-32s -> port %d (%dB)%s\n", what, o.Port, len(o.Data), extra)
+}

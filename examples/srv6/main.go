@@ -1,0 +1,100 @@
+// SRv6 segment routing end-to-end (§7.1): the P7 composition steers a
+// packet through its segment list hop by hop. Each "hop" is the same
+// switch processing its own output again — watch the IPv6 destination
+// walk the segment list while segments-left counts down.
+//
+//	go run ./examples/srv6
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"microp4"
+	"microp4/internal/lib"
+	"microp4/internal/pkt"
+)
+
+func main() {
+	m, err := lib.Program("P7")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mainSrc, err := lib.Source(m.MainFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mainMod, err := microp4.CompileModule(m.MainFile, mainSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var mods []*microp4.Module
+	for _, name := range m.Modules {
+		src, err := lib.ModuleSource(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mod, err := microp4.CompileModule(name+".up4", src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mods = append(mods, mod)
+	}
+	dp, err := microp4.Build(mainMod, mods...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P7 (SRv6 router) composed: byte-stack %dB\n", dp.Stats().ByteStack)
+
+	sw := dp.NewSwitch()
+	// Each segment lives in 2001:db8:s::/48 — route them all via the
+	// same /32 with per-hop next-hops resolved by the full dstHi.
+	for seg, nh := range map[uint64]uint64{
+		0x20010DB8_00010000: 301,
+		0x20010DB8_00020000: 302,
+		0x20010DB8_00030000: 303,
+	} {
+		sw.AddEntry("l3_i.ipv6_i.ipv6_lpm_tbl",
+			[]microp4.Key{microp4.LPM(seg, 48)}, "l3_i.ipv6_i.process", nh)
+	}
+	sw.AddEntry("forward_tbl", []microp4.Key{microp4.Exact(301)}, "forward", 0xA1, 0xB1, 1)
+	sw.AddEntry("forward_tbl", []microp4.Key{microp4.Exact(302)}, "forward", 0xA2, 0xB2, 2)
+	sw.AddEntry("forward_tbl", []microp4.Key{microp4.Exact(303)}, "forward", 0xA3, 0xB3, 3)
+
+	// Segment list (traversed last-to-first): seg3 ← seg2 ← seg1.
+	segs := [][2]uint64{
+		{0x20010DB8_00030000, 0xC}, // final destination
+		{0x20010DB8_00020000, 0xB},
+		{0x20010DB8_00010000, 0xA}, // first hop
+	}
+	data := pkt.NewBuilder().
+		Ethernet(1, 2, pkt.EtherTypeIPv6).
+		IPv6(pkt.IPv6Opts{NextHdr: pkt.ProtoSRv6, HopLimit: 64,
+			SrcHi: 0xFD00000000000001, SrcLo: 1,
+			DstHi: 0x20010DB8_00010000, DstLo: 0xA}).
+		SRv6(pkt.ProtoNoNext, 3, segs).
+		Payload([]byte("segment-routed payload")).Bytes()
+
+	for hop := 1; ; hop++ {
+		out, err := sw.Process(data, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(out) == 0 {
+			fmt.Printf("hop %d: dropped (segment list exhausted, no route)\n", hop)
+			return
+		}
+		o := out[0]
+		segsLeft := o.Data[14+40+3]
+		fmt.Printf("hop %d: -> port %d  dst=2001:db8:%x::%x  segments-left=%d  hop-limit=%d\n",
+			hop, o.Port,
+			binary.BigEndian.Uint16(o.Data[14+28:14+30]),
+			pkt.IPv6DstLo(o.Data, 14), segsLeft, pkt.IPv6HopLimit(o.Data, 14))
+		if segsLeft == 0 {
+			fmt.Println("segment list consumed; packet delivered toward its final destination")
+			return
+		}
+		data = o.Data
+	}
+}

@@ -1,0 +1,108 @@
+// Stateful processing (§8.2 extension): a modular router composed with
+// a FlowCount module whose register array persists per-source packet
+// counts across packets; crossing a threshold sends a digest to the
+// control plane (§6.4's CPU–dataplane interface).
+//
+//	go run ./examples/stateful
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"microp4"
+	"microp4/internal/lib"
+	"microp4/internal/pkt"
+)
+
+const statefulMain = `
+struct empty_t { }
+header ethernet_h { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+struct ethhdr_t { ethernet_h eth; }
+
+FlowCount(pkt p, im_t im, in bit<32> threshold, out bit<32> count);
+L3(pkt p, im_t im, out bit<16> nh, inout bit<16> etype);
+
+program StatefulRouter : implements Unicast {
+  parser P(extractor ex, pkt p, out ethhdr_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.eth); transition accept; }
+  }
+  control C(pkt p, inout ethhdr_t h, inout empty_t m, im_t im) {
+    bit<16> nh;
+    bit<32> count;
+    FlowCount() fc_i;
+    L3() l3_i;
+    action drop_pkt() { im.drop(); }
+    action forward(bit<9> port) { im.set_out_port(port); }
+    table forward_tbl {
+      key = { nh : exact; }
+      actions = { forward; drop_pkt; }
+      default_action = drop_pkt;
+    }
+    apply {
+      nh = 0;
+      count = 0;
+      if (h.eth.etherType == 0x0800) {
+        fc_i.apply(p, im, 3, count);
+      }
+      l3_i.apply(p, im, nh, h.eth.etherType);
+      forward_tbl.apply();
+    }
+  }
+  control D(emitter em, pkt p, in ethhdr_t h) { apply { em.emit(p, h.eth); } }
+}
+StatefulRouter(P, C, D) main;
+`
+
+func libModule(name string) *microp4.Module {
+	src, err := lib.ModuleSource(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := microp4.CompileModule(name+".up4", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func main() {
+	main, err := microp4.CompileModule("stateful.up4", statefulMain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dp, err := microp4.Build(main,
+		libModule("FlowCount"), libModule("L3"), libModule("IPv4"), libModule("IPv6"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw := dp.NewSwitch()
+	sw.AddEntry("l3_i.ipv4_i.ipv4_lpm_tbl",
+		[]microp4.Key{microp4.LPM(0x0A000000, 8)}, "l3_i.ipv4_i.process", 100)
+	sw.AddEntry("forward_tbl", []microp4.Key{microp4.Exact(100)}, "forward", 2)
+
+	mk := func(src uint32) []byte {
+		return pkt.NewBuilder().
+			Ethernet(1, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 30, Protocol: 6, Src: src, Dst: 0x0A000001}).
+			TCP(999, 80).Bytes()
+	}
+	// Source .5 sends five packets; source .9 sends one.
+	flows := []uint32{0xC0A80005, 0xC0A80005, 0xC0A80009, 0xC0A80005, 0xC0A80005, 0xC0A80005}
+	for i, src := range flows {
+		if _, err := sw.Process(mk(src), 1); err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range sw.Digests() {
+			fmt.Printf("packet %d: control plane digest — heavy hitter %d.%d.%d.%d crossed the threshold\n",
+				i+1, byte(d>>24), byte(d>>16), byte(d>>8), byte(d))
+		}
+	}
+	for _, idx := range []int{5, 9} {
+		v, err := sw.ReadRegister("fc_i.counters", idx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("register fc_i.counters[%d] = %d packets\n", idx, v)
+	}
+}

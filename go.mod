@@ -1,0 +1,3 @@
+module microp4
+
+go 1.22

@@ -1,0 +1,328 @@
+// Package analysis implements µP4C's static analysis (paper §5.2): it
+// computes each program's operational region — extract-length, maximum
+// packet-size increase Δ and decrease δ, byte-stack size (Eqs. 1–4), and
+// min-packet-size — recursively over the linked module graph.
+package analysis
+
+import (
+	"fmt"
+
+	"microp4/internal/ir"
+	"microp4/internal/linker"
+)
+
+// ProgStats is the operational region of one program (all byte units).
+type ProgStats struct {
+	Name        string
+	Elp         int // parser extract-length (max bytes to reach accept)
+	Elc         int // control extract-length (Eq. 3, maxed over paths)
+	El          int // Elp + Elc
+	Inc         int // Δ: max packet-size increase (Eq. 1, maxed over paths)
+	Dec         int // δ: max packet-size decrease (Eq. 2, maxed over paths)
+	Bs          int // byte-stack size: El + Δ (Eq. 4)
+	MinPkt      int // min-packet-size to be accepted
+	ParserPaths int // number of parser paths enumerated
+	CtrlPaths   int // number of control paths enumerated (capped)
+	Merged      bool
+}
+
+// Result maps program name to its stats.
+type Result struct {
+	Stats map[string]*ProgStats
+	Order []string // bottom-up topological order, main last
+}
+
+// Main returns the stats of the main (last) program.
+func (r *Result) Main() *ProgStats { return r.Stats[r.Order[len(r.Order)-1]] }
+
+// maxCtrlPaths bounds control-path enumeration. Beyond the cap, paths are
+// merged by componentwise max — a sound upper bound for sizing (§5.2
+// discusses why µP4C's analysis need not enumerate table entries; we
+// additionally bound structural blowup).
+const maxCtrlPaths = 65536
+
+// Analyze computes the operational region of every linked program.
+func Analyze(l *linker.Linked) (*Result, error) {
+	res := &Result{Stats: make(map[string]*ProgStats)}
+	for _, p := range l.TopoOrder() {
+		st, err := analyzeProgram(p, res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats[p.Name] = st
+		res.Order = append(res.Order, p.Name)
+	}
+	return res, nil
+}
+
+func analyzeProgram(p *ir.Program, done map[string]*ProgStats) (*ProgStats, error) {
+	st := &ProgStats{Name: p.Name}
+	// Parser analysis.
+	if p.Parser != nil {
+		paths, err := EnumerateParserPaths(p)
+		if err != nil {
+			return nil, err
+		}
+		st.ParserPaths = len(Accepted(paths))
+		minPkt := -1
+		for _, pp := range paths {
+			if pp.Rejected {
+				// Rejected paths drop the packet; they still bound the
+				// byte-stack (their select keys read extracted bytes).
+				if pp.Bytes > st.Elp {
+					st.Elp = pp.Bytes
+				}
+				continue
+			}
+			if pp.Bytes > st.Elp {
+				st.Elp = pp.Bytes
+			}
+			if minPkt < 0 || pp.MinBytes < minPkt {
+				minPkt = pp.MinBytes
+			}
+		}
+		if minPkt > 0 {
+			st.MinPkt = minPkt
+		}
+	}
+	// Headers extracted by the parser but never emitted by the deparser
+	// shrink the packet on every path (§5.2).
+	unEmitted := unEmittedExtractBytes(p)
+
+	// Control-path enumeration.
+	accs, merged, err := enumerateControlPaths(p, done)
+	if err != nil {
+		return nil, err
+	}
+	st.Merged = merged
+	st.CtrlPaths = len(accs)
+	minCallee := -1
+	for _, a := range accs {
+		if a.inc > st.Inc {
+			st.Inc = a.inc
+		}
+		if a.dec+unEmitted > st.Dec {
+			st.Dec = a.dec + unEmitted
+		}
+		if a.elc > st.Elc {
+			st.Elc = a.elc
+		}
+		if minCallee < 0 || a.minPkt < minCallee {
+			minCallee = a.minPkt
+		}
+	}
+	if minCallee > 0 {
+		st.MinPkt += minCallee
+	}
+	st.El = st.Elp + st.Elc
+	st.Bs = st.El + st.Inc
+	return st, nil
+}
+
+// unEmittedExtractBytes sums the sizes of headers that the parser
+// extracts but the deparser never emits.
+func unEmittedExtractBytes(p *ir.Program) int {
+	if p.Parser == nil {
+		return 0
+	}
+	emitted := make(map[string]bool)
+	ir.WalkStmts(p.Deparser, func(s *ir.Stmt) {
+		if s.Kind == ir.SEmit {
+			emitted[s.Hdr] = true
+		}
+	})
+	seen := make(map[string]bool)
+	total := 0
+	for _, state := range p.Parser.States {
+		ir.WalkStmts(state.Stmts, func(s *ir.Stmt) {
+			if s.Kind != ir.SExtract || emitted[s.Hdr] || seen[s.Hdr] {
+				return
+			}
+			seen[s.Hdr] = true
+			if ht := p.HeaderOf(s.Hdr); ht != nil {
+				total += ht.ByteSize()
+			}
+		})
+	}
+	return total
+}
+
+// ----------------------------------------------------------------------------
+// Control paths
+
+// ctrlAcc accumulates Eq. 1–3 quantities along one control path.
+type ctrlAcc struct {
+	inc    int // iψ(x): Σ setValid sizes + Σ Δ(callee)
+	dec    int // dψ(x): Σ setInvalid sizes + Σ δ(callee)
+	decSum int // Σ δ over *callees only*, for the Eq. 3 prefix
+	elc    int // max over callees of (prefix δ sum + El(callee))
+	minPkt int // Σ MinPkt(callee)
+}
+
+func mergeMax(a, b ctrlAcc) ctrlAcc {
+	if b.inc > a.inc {
+		a.inc = b.inc
+	}
+	if b.dec > a.dec {
+		a.dec = b.dec
+	}
+	if b.decSum > a.decSum {
+		a.decSum = b.decSum
+	}
+	if b.elc > a.elc {
+		a.elc = b.elc
+	}
+	if b.minPkt < a.minPkt { // min-packet wants the minimum
+		a.minPkt = b.minPkt
+	}
+	return a
+}
+
+// enumerateControlPaths walks the structural CFG of p's apply block,
+// branching at if/switch statements and at tables (one branch per
+// action). It returns one accumulator per path, or merged upper bounds
+// once the cap is exceeded.
+func enumerateControlPaths(p *ir.Program, done map[string]*ProgStats) ([]ctrlAcc, bool, error) {
+	walker := &ctrlWalker{p: p, done: done}
+	final, err := walker.walkStmts(p.Apply, []ctrlAcc{{}})
+	if err != nil {
+		return nil, false, err
+	}
+	return final, walker.merged, nil
+}
+
+type ctrlWalker struct {
+	p      *ir.Program
+	done   map[string]*ProgStats
+	merged bool
+}
+
+func (w *ctrlWalker) cap(accs []ctrlAcc) []ctrlAcc {
+	if len(accs) <= maxCtrlPaths {
+		return accs
+	}
+	w.merged = true
+	m := accs[0]
+	for _, a := range accs[1:] {
+		m = mergeMax(m, a)
+	}
+	return []ctrlAcc{m}
+}
+
+func (w *ctrlWalker) walkStmts(ss []*ir.Stmt, accs []ctrlAcc) ([]ctrlAcc, error) {
+	var err error
+	for _, s := range ss {
+		accs, err = w.walkStmt(s, accs)
+		if err != nil {
+			return nil, err
+		}
+		accs = w.cap(accs)
+	}
+	return accs, nil
+}
+
+func (w *ctrlWalker) walkStmt(s *ir.Stmt, accs []ctrlAcc) ([]ctrlAcc, error) {
+	switch s.Kind {
+	case ir.SSetValid, ir.SSetInvalid:
+		ht := w.p.HeaderOf(s.Hdr)
+		if ht == nil {
+			return nil, fmt.Errorf("%s: %s of unknown header %s", w.p.Name, s.Kind, s.Hdr)
+		}
+		sz := ht.ByteSize()
+		for i := range accs {
+			if s.Kind == ir.SSetValid {
+				accs[i].inc += sz
+			} else {
+				accs[i].dec += sz
+			}
+		}
+		return accs, nil
+	case ir.SCallModule:
+		st, ok := w.done[s.Module]
+		if !ok {
+			return nil, fmt.Errorf("%s calls %s, which has not been analyzed (link order bug)", w.p.Name, s.Module)
+		}
+		for i := range accs {
+			// Eq. 3: this callee's parser needs its El bytes beyond the
+			// maximum shrink already caused by predecessor callees.
+			if v := accs[i].decSum + st.El; v > accs[i].elc {
+				accs[i].elc = v
+			}
+			accs[i].inc += st.Inc
+			accs[i].dec += st.Dec
+			accs[i].decSum += st.Dec
+			accs[i].minPkt += st.MinPkt
+		}
+		return accs, nil
+	case ir.SIf:
+		thenAccs, err := w.walkStmts(s.Then, cloneAccs(accs))
+		if err != nil {
+			return nil, err
+		}
+		elseAccs, err := w.walkStmts(s.Else, accs)
+		if err != nil {
+			return nil, err
+		}
+		return append(thenAccs, elseAccs...), nil
+	case ir.SSwitch:
+		var out []ctrlAcc
+		hasDefault := false
+		for _, c := range s.Cases {
+			if c.Default {
+				hasDefault = true
+			}
+			ca, err := w.walkStmts(c.Body, cloneAccs(accs))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ca...)
+		}
+		if !hasDefault {
+			out = append(out, accs...)
+		}
+		return out, nil
+	case ir.SApplyTable:
+		tbl := w.p.Tables[s.Table]
+		if tbl == nil {
+			return nil, fmt.Errorf("%s applies unknown table %s", w.p.Name, s.Table)
+		}
+		actions := append([]string(nil), tbl.Actions...)
+		if tbl.Default != nil && !contains(actions, tbl.Default.Name) {
+			actions = append(actions, tbl.Default.Name)
+		}
+		if len(actions) == 0 {
+			return accs, nil
+		}
+		var out []ctrlAcc
+		for _, an := range actions {
+			act := w.p.Actions[an]
+			if act == nil {
+				return nil, fmt.Errorf("%s: table %s references unknown action %s", w.p.Name, tbl.Name, an)
+			}
+			ca, err := w.walkStmts(act.Body, cloneAccs(accs))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ca...)
+		}
+		return out, nil
+	case ir.SExit:
+		// Path terminates; keep its accumulators as-is (they are final).
+		return accs, nil
+	default:
+		return accs, nil
+	}
+}
+
+func cloneAccs(accs []ctrlAcc) []ctrlAcc {
+	return append([]ctrlAcc(nil), accs...)
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

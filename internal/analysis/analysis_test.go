@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"microp4/internal/frontend"
+	"microp4/internal/ir"
+	"microp4/internal/linker"
+)
+
+// Shared header declarations used by the Fig. 9 programs: eth 14B,
+// mpls 4B, ipv6 40B, ipv4 20B — the exact sizes in the figure.
+const fig9Headers = `
+struct empty_t { }
+header eth_h  { bit<48> dst; bit<48> src; bit<16> etherType; }
+header mpls_h { bit<20> label; bit<3> tc; bit<1> s; bit<8> ttl; }
+header ipv6_h { bit<4> version; bit<8> tclass; bit<20> flowlabel; bit<16> plen;
+                bit<8> nexthdr; bit<8> hoplimit; bit<64> srcHi; bit<64> srcLo;
+                bit<64> dstHi; bit<64> dstLo; }
+header ipv4_h { bit<4> version; bit<4> ihl; bit<8> tos; bit<16> totalLen;
+                bit<16> id; bit<3> flags; bit<13> frag; bit<8> ttl;
+                bit<8> protocol; bit<16> csum; bit<32> src; bit<32> dst; }
+`
+
+const callee1Src = fig9Headers + `
+struct c1hdr_t { eth_h eth; mpls_h mpls; ipv6_h ipv6; ipv4_h ipv4; }
+program Callee1 : implements Unicast {
+  parser P(extractor ex, pkt p, out c1hdr_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.eth); transition parse_mpls; }
+    state parse_mpls { ex.extract(p, h.mpls); transition parse_ipv6; }
+    state parse_ipv6 { ex.extract(p, h.ipv6); transition accept; }
+  }
+  control C(pkt p, inout c1hdr_t h, inout empty_t m, im_t im) {
+    apply {
+      h.mpls.setInvalid();
+      h.ipv4.setValid();
+    }
+  }
+  control D(emitter em, pkt p, in c1hdr_t h) {
+    apply { em.emit(p, h.eth); em.emit(p, h.mpls); em.emit(p, h.ipv4); em.emit(p, h.ipv6); }
+  }
+}
+`
+
+const callee2Src = fig9Headers + `
+struct c2hdr_t { eth_h eth; ipv6_h ipv6; ipv4_h ipv4; }
+program Callee2 : implements Unicast {
+  parser P(extractor ex, pkt p, out c2hdr_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) { 0x86DD: parse_ipv6; default: accept; };
+    }
+    state parse_ipv6 {
+      ex.extract(p, h.ipv6);
+      transition select(h.ipv6.nexthdr) { 4: parse_ipv4; default: accept; };
+    }
+    state parse_ipv4 { ex.extract(p, h.ipv4); transition accept; }
+  }
+  control C(pkt p, inout c2hdr_t h, inout empty_t m, im_t im) { apply { } }
+  control D(emitter em, pkt p, in c2hdr_t h) {
+    apply { em.emit(p, h.eth); em.emit(p, h.ipv6); em.emit(p, h.ipv4); }
+  }
+}
+`
+
+const fig9CallerSrc = fig9Headers + `
+struct nohdr_t { }
+Callee1(pkt p, im_t im);
+Callee2(pkt p, im_t im);
+program Caller : implements Unicast {
+  parser P(extractor ex, pkt p, out nohdr_t h, inout empty_t m, im_t im) {
+    state start { transition accept; }
+  }
+  control C(pkt p, inout nohdr_t h, inout empty_t m, im_t im) {
+    Callee1() c1;
+    Callee2() c2;
+    apply {
+      c1.apply(p, im);
+      c2.apply(p, im);
+    }
+  }
+  control D(emitter em, pkt p, in nohdr_t h) { apply { } }
+}
+`
+
+func compileAll(t *testing.T, srcs map[string]string) map[string]*ir.Program {
+	t.Helper()
+	out := make(map[string]*ir.Program)
+	for name, src := range srcs {
+		p, err := frontend.CompileModule(name+".up4", src)
+		if err != nil {
+			t.Fatalf("compile %s: %v", name, err)
+		}
+		out[p.Name] = p
+	}
+	return out
+}
+
+func linkFig9(t *testing.T) *linker.Linked {
+	t.Helper()
+	progs := compileAll(t, map[string]string{
+		"callee1": callee1Src, "callee2": callee2Src, "caller": fig9CallerSrc,
+	})
+	l, err := linker.Link(progs["Caller"], progs["Callee1"], progs["Callee2"])
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return l
+}
+
+// TestFigure9Example reproduces the worked example of §5.2 (Fig. 9):
+// El(caller) = 78 and Bs(caller) = 98.
+func TestFigure9Example(t *testing.T) {
+	l := linkFig9(t)
+	res, err := Analyze(l)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	c1 := res.Stats["Callee1"]
+	if c1.El != 58 || c1.Inc != 20 || c1.Dec != 4 {
+		t.Errorf("Callee1 = El %d Δ %d δ %d, want 58/20/4", c1.El, c1.Inc, c1.Dec)
+	}
+	c2 := res.Stats["Callee2"]
+	if c2.El != 74 || c2.Inc != 0 || c2.Dec != 0 {
+		t.Errorf("Callee2 = El %d Δ %d δ %d, want 74/0/0", c2.El, c2.Inc, c2.Dec)
+	}
+	if c2.ParserPaths != 3 {
+		t.Errorf("Callee2 parser paths = %d, want 3", c2.ParserPaths)
+	}
+	caller := res.Main()
+	if caller.Name != "Caller" {
+		t.Fatalf("main = %s", caller.Name)
+	}
+	// The paper's numbers: 4 (δ of callee1) + 74 (El of callee2) = 78;
+	// byte-stack 78 + 20 (Δ from callee1's ipv4.setValid) = 98.
+	if caller.El != 78 {
+		t.Errorf("El(caller) = %d, want 78", caller.El)
+	}
+	if caller.Bs != 98 {
+		t.Errorf("Bs(caller) = %d, want 98", caller.Bs)
+	}
+	if caller.MinPkt != 58+14 {
+		t.Errorf("MinPkt(caller) = %d, want 72", caller.MinPkt)
+	}
+}
+
+func TestLinkerRejectsRecursion(t *testing.T) {
+	a, err := frontend.CompileModule("a.up4", `
+struct empty_t { }
+struct h_t { }
+B(pkt p, im_t im);
+program A : implements Unicast {
+  parser P(extractor ex, pkt p, out h_t h, inout empty_t m, im_t im) { state start { transition accept; } }
+  control C(pkt p, inout h_t h, inout empty_t m, im_t im) { B() b; apply { b.apply(p, im); } }
+  control D(emitter em, pkt p, in h_t h) { apply { } }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := frontend.CompileModule("b.up4", `
+struct empty_t { }
+struct h_t { }
+A(pkt p, im_t im);
+program B : implements Unicast {
+  parser P(extractor ex, pkt p, out h_t h, inout empty_t m, im_t im) { state start { transition accept; } }
+  control C(pkt p, inout h_t h, inout empty_t m, im_t im) { A() a; apply { a.apply(p, im); } }
+  control D(emitter em, pkt p, in h_t h) { apply { } }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := linker.Link(a, b); err == nil {
+		t.Error("Link accepted a recursive module graph")
+	}
+}
+
+func TestLinkerSignatureMismatch(t *testing.T) {
+	progs := compileAll(t, map[string]string{"callee2": callee2Src})
+	mainP, err := frontend.CompileModule("m.up4", fig9Headers+`
+struct nohdr_t { }
+Callee2(pkt p, im_t im, out bit<16> nh);
+program M : implements Unicast {
+  parser P(extractor ex, pkt p, out nohdr_t h, inout empty_t m, im_t im) { state start { transition accept; } }
+  control C(pkt p, inout nohdr_t h, inout empty_t m, im_t im) {
+    bit<16> nh;
+    Callee2() c2;
+    apply { c2.apply(p, im, nh); }
+  }
+  control D(emitter em, pkt p, in nohdr_t h) { apply { } }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := linker.Link(mainP, progs["Callee2"]); err == nil {
+		t.Error("Link accepted a prototype/signature mismatch")
+	}
+}
+
+func TestLinkerMissingModule(t *testing.T) {
+	progs := compileAll(t, map[string]string{"caller": fig9CallerSrc, "callee1": callee1Src})
+	if _, err := linker.Link(progs["Caller"], progs["Callee1"]); err == nil {
+		t.Error("Link accepted a missing module")
+	}
+}
+
+// Property: the byte-stack is always at least the extract-length, and
+// extract-length is at least the longest single parser path of main when
+// there are no callees.
+func TestQuickChainParserBounds(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		// Build a linear parser extracting n headers of the given byte sizes.
+		n := len(sizes)
+		if n == 0 || n > 12 {
+			return true
+		}
+		p := &ir.Program{
+			Name: "Q", Interface: "Unicast",
+			Headers: map[string]*ir.HeaderType{},
+			Parser:  &ir.Parser{},
+		}
+		total := 0
+		for i, s := range sizes {
+			bytes := int(s)%64 + 1
+			total += bytes
+			tn := hname(i)
+			p.Headers[tn] = &ir.HeaderType{Name: tn, BitWidth: bytes * 8,
+				Fields: []ir.HeaderField{{Name: "f", Width: bytes * 8}}}
+			p.Decls = append(p.Decls, ir.Decl{Path: "$hdr." + tn, Kind: ir.DeclHeader, TypeName: tn})
+			st := &ir.State{Name: sname(i),
+				Stmts: []*ir.Stmt{{Kind: ir.SExtract, Hdr: "$hdr." + tn}},
+				Trans: &ir.Trans{Kind: "direct", Target: sname(i + 1)}}
+			if i == n-1 {
+				st.Trans.Target = "accept"
+			}
+			p.Parser.States = append(p.Parser.States, st)
+			// Every header is emitted, so nothing shrinks the packet.
+			p.Deparser = append(p.Deparser, &ir.Stmt{Kind: ir.SEmit, Hdr: "$hdr." + tn})
+		}
+		l := &linker.Linked{Main: p, Modules: map[string]*ir.Program{}}
+		res, err := Analyze(l)
+		if err != nil {
+			return false
+		}
+		st := res.Main()
+		return st.Elp == total && st.El == total && st.Bs == total && st.MinPkt == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func hname(i int) string { return string(rune('a'+i)) + "_h" }
+func sname(i int) string {
+	if i == 0 {
+		return "start"
+	}
+	return "s" + string(rune('a'+i))
+}
+
+func TestCycleDetection(t *testing.T) {
+	p := &ir.Program{
+		Name: "Cyc", Interface: "Unicast",
+		Headers: map[string]*ir.HeaderType{},
+		Parser: &ir.Parser{States: []*ir.State{
+			{Name: "start", Trans: &ir.Trans{Kind: "direct", Target: "loop"}},
+			{Name: "loop", Trans: &ir.Trans{Kind: "direct", Target: "start"}},
+		}},
+	}
+	l := &linker.Linked{Main: p, Modules: map[string]*ir.Program{}}
+	if _, err := Analyze(l); err == nil {
+		t.Error("Analyze accepted a cyclic parse graph")
+	}
+}

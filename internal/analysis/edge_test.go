@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+
+	"microp4/internal/frontend"
+	"microp4/internal/ir"
+	"microp4/internal/linker"
+)
+
+func analyzeSrc(t *testing.T, src string) *Result {
+	t.Helper()
+	p, err := frontend.CompileModule("t.up4", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	l, err := linker.Link(p)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	res, err := Analyze(l)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return res
+}
+
+// Headers extracted but never emitted shrink the packet on every path
+// (§5.2).
+func TestUnEmittedHeaderShrinks(t *testing.T) {
+	res := analyzeSrc(t, `
+struct empty_t { }
+header a_h { bit<32> x; }
+header b_h { bit<64> y; }
+struct h_t { a_h a; b_h b; }
+program Strip : implements Unicast {
+  parser P(extractor ex, pkt p, out h_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.a); ex.extract(p, h.b); transition accept; }
+  }
+  control C(pkt p, inout h_t h, inout empty_t m, im_t im) { apply { } }
+  control D(emitter em, pkt p, in h_t h) { apply { em.emit(p, h.a); } }
+}
+`)
+	st := res.Main()
+	if st.Dec != 8 {
+		t.Errorf("δ = %d, want 8 (b_h parsed, never emitted)", st.Dec)
+	}
+	if st.El != 12 || st.Bs != 12 {
+		t.Errorf("El/Bs = %d/%d, want 12/12", st.El, st.Bs)
+	}
+}
+
+// Table actions branch the control paths: Δ and δ take the maxima over
+// per-action outcomes.
+func TestTableActionBranching(t *testing.T) {
+	res := analyzeSrc(t, `
+struct empty_t { }
+header a_h { bit<32> x; }
+header big_h { bit<64> y1; bit<64> y2; }
+struct h_t { a_h a; big_h big; }
+program Branchy : implements Unicast {
+  parser P(extractor ex, pkt p, out h_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.a); transition accept; }
+  }
+  control C(pkt p, inout h_t h, inout empty_t m, im_t im) {
+    action grow() { h.big.setValid(); }
+    action shrink() { h.a.setInvalid(); }
+    action keep() { }
+    table t {
+      key = { h.a.x : exact; }
+      actions = { grow; shrink; keep; }
+      default_action = keep;
+    }
+    apply { t.apply(); }
+  }
+  control D(emitter em, pkt p, in h_t h) { apply { em.emit(p, h.a); em.emit(p, h.big); } }
+}
+`)
+	st := res.Main()
+	if st.Inc != 16 {
+		t.Errorf("Δ = %d, want 16 (grow adds big_h)", st.Inc)
+	}
+	if st.Dec != 4 {
+		t.Errorf("δ = %d, want 4 (shrink removes a_h)", st.Dec)
+	}
+	if st.Bs != 4+16 {
+		t.Errorf("Bs = %d, want 20", st.Bs)
+	}
+	if st.CtrlPaths != 3 {
+		t.Errorf("control paths = %d, want 3 (one per action)", st.CtrlPaths)
+	}
+}
+
+// Beyond the path cap, accumulators merge into a sound upper bound.
+func TestControlPathMergeCap(t *testing.T) {
+	p := &ir.Program{
+		Name: "Huge", Interface: "Unicast",
+		Headers: map[string]*ir.HeaderType{
+			"h_h": {Name: "h_h", BitWidth: 8, Fields: []ir.HeaderField{{Name: "f", Width: 8}}},
+		},
+		Decls:   []ir.Decl{{Path: "x", Kind: ir.DeclBits, Width: 8}, {Path: "$hdr.h", Kind: ir.DeclHeader, TypeName: "h_h"}},
+		Actions: map[string]*ir.Action{},
+		Tables:  map[string]*ir.Table{},
+	}
+	// 20 sequential two-way branches = 2^20 paths, beyond the cap.
+	for i := 0; i < 20; i++ {
+		p.Apply = append(p.Apply, &ir.Stmt{
+			Kind: ir.SIf,
+			Cond: &ir.Expr{Kind: ir.EBin, Op: "==", Bool: true, Width: 1,
+				X: ir.Ref("x", 8), Y: ir.Const(uint64(i), 8)},
+			Then: []*ir.Stmt{{Kind: ir.SSetValid, Hdr: "$hdr.h"}},
+			Else: []*ir.Stmt{{Kind: ir.SSetInvalid, Hdr: "$hdr.h"}},
+		})
+	}
+	l := &linker.Linked{Main: p, Modules: map[string]*ir.Program{}}
+	res, err := Analyze(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Main()
+	if !st.Merged {
+		t.Error("path cap not triggered")
+	}
+	// Upper bound: at most 20 setValids on a (merged) path.
+	if st.Inc < 1 || st.Inc > 20 {
+		t.Errorf("merged Δ = %d, out of the sound range", st.Inc)
+	}
+}
+
+// Varbit headers contribute their max to El and their fixed part to
+// MinBytes.
+func TestVarbitBounds(t *testing.T) {
+	res := analyzeSrc(t, `
+struct empty_t { }
+header opt_h { bit<16> kind; varbit<64> data; }
+struct h_t { opt_h opt; }
+program V : implements Unicast {
+  parser P(extractor ex, pkt p, out h_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.opt, (bit<32>)h.opt.kind); transition accept; }
+  }
+  control C(pkt p, inout h_t h, inout empty_t m, im_t im) { apply { } }
+  control D(emitter em, pkt p, in h_t h) { apply { em.emit(p, h.opt); } }
+}
+`)
+	st := res.Main()
+	if st.El != 10 {
+		t.Errorf("El = %d, want 10 (2 fixed + 8 varbit max)", st.El)
+	}
+	if st.MinPkt != 2 {
+		t.Errorf("MinPkt = %d, want 2 (fixed part only)", st.MinPkt)
+	}
+}
+
+// Exit statements end control paths early but never under-count.
+func TestExitPath(t *testing.T) {
+	res := analyzeSrc(t, `
+struct empty_t { }
+header a_h { bit<32> x; }
+struct h_t { a_h a; }
+program E : implements Unicast {
+  parser P(extractor ex, pkt p, out h_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.a); transition accept; }
+  }
+  control C(pkt p, inout h_t h, inout empty_t m, im_t im) {
+    apply {
+      if (h.a.x == 0) { exit; }
+      h.a.setInvalid();
+    }
+  }
+  control D(emitter em, pkt p, in h_t h) { apply { em.emit(p, h.a); } }
+}
+`)
+	if res.Main().Dec != 4 {
+		t.Errorf("δ = %d, want 4", res.Main().Dec)
+	}
+}
+
+func TestParserPathsExported(t *testing.T) {
+	p, err := frontend.CompileModule("pp.up4", fmt.Sprintf(`
+struct empty_t { }
+header a_h { bit<16> t; }
+header b_h { bit<32> v; }
+struct h_t { a_h a; b_h b; }
+program PP : implements Unicast {
+  parser P(extractor ex, pkt p, out h_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.a);
+      transition select(h.a.t) { %d: more; default: accept; };
+    }
+    state more { ex.extract(p, h.b); transition accept; }
+  }
+  control C(pkt p, inout h_t h, inout empty_t m, im_t im) { apply { } }
+  control D(emitter em, pkt p, in h_t h) { apply { em.emit(p, h.a); em.emit(p, h.b); } }
+}`, 0x42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := EnumerateParserPaths(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accepted(paths)
+	if len(acc) != 2 {
+		t.Fatalf("accepted paths = %d, want 2", len(acc))
+	}
+	// The deep path carries the constraint and both extracts with offsets.
+	var deep *ParserPath
+	for _, pp := range acc {
+		if pp.Bytes == 6 {
+			deep = pp
+		}
+	}
+	if deep == nil {
+		t.Fatal("6-byte path missing")
+	}
+	if len(deep.Extracts) != 2 || deep.Extracts[1].ByteOff != 2 {
+		t.Errorf("extracts = %+v", deep.Extracts)
+	}
+	if len(deep.Constraints) != 1 || deep.Constraints[0].Case.Values[0] != 0x42 {
+		t.Errorf("constraints = %+v", deep.Constraints)
+	}
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"fmt"
+
+	"microp4/internal/ir"
+)
+
+// Extract records one header extraction along a parser path.
+type Extract struct {
+	Hdr     string // header instance path
+	ByteOff int    // byte offset of the header within the program's packet view
+	Bytes   int    // size extracted (max size for varbit headers)
+	Varbit  bool
+}
+
+// Constraint records the select decision taken at the end of a state.
+type Constraint struct {
+	Exprs     []*ir.Expr    // the select expressions (unsubstituted)
+	Case      *ir.TransCase // the case taken (nil when Default)
+	CaseIndex int
+	Default   bool
+}
+
+// PathStep is one state visited along a parser path: its statements and
+// the select decision (if any) that led out of it. The interleaving
+// matters for forward substitution (§5.3): a select must be evaluated in
+// the variable environment as of that state.
+type PathStep struct {
+	State      string
+	Stmts      []*ir.Stmt
+	Constraint *Constraint // nil for direct transitions
+}
+
+// ParserPath is one start→accept (or start→reject) path through a
+// parser FSM. Rejected paths matter for MAT synthesis: they become
+// explicit parse-error entries so a rejecting select decision cannot
+// fall through to a shorter path's entry.
+type ParserPath struct {
+	States      []string
+	Steps       []PathStep
+	Stmts       []*ir.Stmt // every statement along the path, in order
+	Extracts    []Extract
+	Constraints []Constraint
+	Bytes       int  // total bytes extracted (varbit at max)
+	MinBytes    int  // total bytes with varbit at min
+	Rejected    bool // path ends in reject instead of accept
+}
+
+// Accepted filters a path list down to accepting paths.
+func Accepted(paths []*ParserPath) []*ParserPath {
+	out := make([]*ParserPath, 0, len(paths))
+	for _, p := range paths {
+		if !p.Rejected {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// maxParserPaths bounds parser path enumeration (the transformed MAT gets
+// one entry per path; beyond this the program is rejected).
+const maxParserPaths = 8192
+
+// EnumerateParserPaths returns every start→accept path of p's parser.
+// The parse graph must be acyclic (header-stack loops are unrolled by the
+// midend before analysis).
+func EnumerateParserPaths(p *ir.Program) ([]*ParserPath, error) {
+	if p.Parser == nil {
+		return nil, nil
+	}
+	start := p.Parser.State("start")
+	if start == nil {
+		return nil, fmt.Errorf("%s: parser has no start state", p.Name)
+	}
+	var paths []*ParserPath
+	onStack := make(map[string]bool)
+	var dfs func(st *ir.State, cur *ParserPath) error
+	dfs = func(st *ir.State, cur *ParserPath) error {
+		if onStack[st.Name] {
+			return fmt.Errorf("%s: parse graph has a cycle through state %s (header-stack loops must be unrolled first)", p.Name, st.Name)
+		}
+		onStack[st.Name] = true
+		defer func() { onStack[st.Name] = false }()
+
+		next := &ParserPath{
+			States:      append(append([]string(nil), cur.States...), st.Name),
+			Steps:       append(append([]PathStep(nil), cur.Steps...), PathStep{State: st.Name, Stmts: st.Stmts}),
+			Stmts:       append(append([]*ir.Stmt(nil), cur.Stmts...), st.Stmts...),
+			Extracts:    append([]Extract(nil), cur.Extracts...),
+			Constraints: append([]Constraint(nil), cur.Constraints...),
+			Bytes:       cur.Bytes,
+			MinBytes:    cur.MinBytes,
+		}
+		for _, s := range st.Stmts {
+			if s.Kind != ir.SExtract {
+				continue
+			}
+			ht := p.HeaderOf(s.Hdr)
+			if ht == nil {
+				return fmt.Errorf("%s: extract of unknown header %s", p.Name, s.Hdr)
+			}
+			ex := Extract{Hdr: s.Hdr, ByteOff: next.Bytes, Bytes: ht.ByteSize(), Varbit: ht.HasVarbit}
+			next.Extracts = append(next.Extracts, ex)
+			next.Bytes += ex.Bytes
+			min := ex.Bytes
+			if ht.HasVarbit {
+				fixed := 0
+				for _, f := range ht.Fields {
+					if !f.Varbit {
+						fixed += f.Width
+					}
+				}
+				min = (fixed + 7) / 8
+			}
+			next.MinBytes += min
+		}
+
+		goTo := func(target string, c *Constraint) error {
+			if c != nil {
+				next2 := *next
+				next2.Constraints = append(append([]Constraint(nil), next.Constraints...), *c)
+				// Attach the taken constraint to this path's last step.
+				next2.Steps = append([]PathStep(nil), next.Steps...)
+				last := next2.Steps[len(next2.Steps)-1]
+				last.Constraint = c
+				next2.Steps[len(next2.Steps)-1] = last
+				return followTarget(p, target, &next2, dfs, &paths)
+			}
+			return followTarget(p, target, next, dfs, &paths)
+		}
+
+		tr := st.Trans
+		if tr == nil {
+			return nil // implicit reject: path dropped
+		}
+		switch tr.Kind {
+		case "direct":
+			return goTo(tr.Target, nil)
+		case "select":
+			for i, c := range tr.Cases {
+				cst := Constraint{Exprs: tr.Exprs, CaseIndex: i, Default: c.Default}
+				if !c.Default {
+					cst.Case = c
+				}
+				if err := goTo(c.Target, &cst); err != nil {
+					return err
+				}
+				if len(paths) > maxParserPaths {
+					return fmt.Errorf("%s: more than %d parser paths", p.Name, maxParserPaths)
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("%s: unknown transition kind %q", p.Name, tr.Kind)
+	}
+	if err := dfs(start, &ParserPath{}); err != nil {
+		return nil, err
+	}
+	return paths, nil
+}
+
+func followTarget(p *ir.Program, target string, path *ParserPath, dfs func(*ir.State, *ParserPath) error, paths *[]*ParserPath) error {
+	switch target {
+	case "accept":
+		done := *path
+		*paths = append(*paths, &done)
+		return nil
+	case "reject":
+		done := *path
+		done.Rejected = true
+		*paths = append(*paths, &done)
+		return nil
+	}
+	st := p.Parser.State(target)
+	if st == nil {
+		return fmt.Errorf("%s: transition to unknown state %s", p.Name, target)
+	}
+	return dfs(st, path)
+}

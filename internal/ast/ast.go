@@ -1,0 +1,560 @@
+// Package ast defines the abstract syntax tree for the µP4 dialect of P4.
+//
+// The dialect follows the surface syntax used throughout the µP4 paper
+// (SIGCOMM 2020, Figs. 1, 8, 10, 12, 13): header and struct declarations,
+// parsers written as finite state machines with select transitions,
+// controls with actions and match-action tables, and µP4's additions —
+// program packages implementing the Unicast/Multicast/Orchestration
+// interfaces, module prototypes, and logical externs (pkt, im_t,
+// extractor, emitter, in_buf, out_buf, mc_buf, mc_engine).
+package ast
+
+import "fmt"
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() Pos
+}
+
+// ----------------------------------------------------------------------------
+// Types
+
+// Type is the interface implemented by all type expressions.
+type Type interface {
+	Node
+	typeNode()
+	String() string
+}
+
+// BitType is bit<N>.
+type BitType struct {
+	P     Pos
+	Width int
+}
+
+// BoolType is bool.
+type BoolType struct {
+	P Pos
+}
+
+// VarbitType is varbit<N> — a variable-length field with a maximum width.
+type VarbitType struct {
+	P        Pos
+	MaxWidth int
+}
+
+// NamedType refers to a header, struct, typedef, extern, or module name.
+type NamedType struct {
+	P    Pos
+	Name string
+}
+
+// StackType is a header stack such as label_h[4].
+type StackType struct {
+	P    Pos
+	Elem Type
+	Size int
+}
+
+func (t *BitType) Pos() Pos    { return t.P }
+func (t *BoolType) Pos() Pos   { return t.P }
+func (t *VarbitType) Pos() Pos { return t.P }
+func (t *NamedType) Pos() Pos  { return t.P }
+func (t *StackType) Pos() Pos  { return t.P }
+
+func (*BitType) typeNode()    {}
+func (*BoolType) typeNode()   {}
+func (*VarbitType) typeNode() {}
+func (*NamedType) typeNode()  {}
+func (*StackType) typeNode()  {}
+
+func (t *BitType) String() string    { return fmt.Sprintf("bit<%d>", t.Width) }
+func (t *BoolType) String() string   { return "bool" }
+func (t *VarbitType) String() string { return fmt.Sprintf("varbit<%d>", t.MaxWidth) }
+func (t *NamedType) String() string  { return t.Name }
+func (t *StackType) String() string  { return fmt.Sprintf("%s[%d]", t.Elem, t.Size) }
+
+// ----------------------------------------------------------------------------
+// Top-level declarations
+
+// SourceFile is a parsed µP4 source file.
+type SourceFile struct {
+	Name  string // file name, for diagnostics
+	Decls []Decl
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// Field is a header or struct field.
+type Field struct {
+	P    Pos
+	Name string
+	T    Type
+}
+
+// HeaderDecl declares a header type.
+type HeaderDecl struct {
+	P      Pos
+	Name   string
+	Fields []Field
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	P      Pos
+	Name   string
+	Fields []Field
+}
+
+// TypedefDecl declares a type alias.
+type TypedefDecl struct {
+	P    Pos
+	Name string
+	Base Type
+}
+
+// ConstDecl declares a compile-time constant.
+type ConstDecl struct {
+	P     Pos
+	Name  string
+	T     Type
+	Value Expr
+}
+
+// Direction is a parameter direction.
+type Direction int
+
+// Parameter directions. DirNone is used for extern-typed parameters such
+// as pkt and im_t, which are passed by reference.
+const (
+	DirNone Direction = iota
+	DirIn
+	DirOut
+	DirInOut
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	case DirInOut:
+		return "inout"
+	}
+	return ""
+}
+
+// Param is a parser, control, action, or module parameter.
+type Param struct {
+	P    Pos
+	Dir  Direction
+	T    Type
+	Name string
+}
+
+// ModuleProtoDecl is a module prototype such as
+//
+//	L3(pkt p, im_t im, out bit<16> nh, inout bit<16> type);
+//
+// It declares the callable signature of another µP4 program (paper §4,
+// Fig. 8 circled 1 and 3).
+type ModuleProtoDecl struct {
+	P      Pos
+	Name   string
+	Params []Param
+}
+
+// ProgramDecl is a µP4 program package:
+//
+//	program ModularRouter : implements Unicast { parser P ... control C ... control D ... }
+type ProgramDecl struct {
+	P         Pos
+	Name      string
+	Interface string // Unicast, Multicast, or Orchestration
+	Parser    *ParserDecl
+	Controls  []*ControlDecl // control blocks; last emit-only one is the deparser
+}
+
+// InstantiationDecl is the main package instantiation:
+//
+//	ModularRouter(P, C, D) main;
+type InstantiationDecl struct {
+	P        Pos
+	TypeName string
+	Args     []string
+	Name     string
+}
+
+func (d *HeaderDecl) Pos() Pos        { return d.P }
+func (d *StructDecl) Pos() Pos        { return d.P }
+func (d *TypedefDecl) Pos() Pos       { return d.P }
+func (d *ConstDecl) Pos() Pos         { return d.P }
+func (d *ModuleProtoDecl) Pos() Pos   { return d.P }
+func (d *ProgramDecl) Pos() Pos       { return d.P }
+func (d *InstantiationDecl) Pos() Pos { return d.P }
+
+func (*HeaderDecl) declNode()        {}
+func (*StructDecl) declNode()        {}
+func (*TypedefDecl) declNode()       {}
+func (*ConstDecl) declNode()         {}
+func (*ModuleProtoDecl) declNode()   {}
+func (*ProgramDecl) declNode()       {}
+func (*InstantiationDecl) declNode() {}
+
+// ----------------------------------------------------------------------------
+// Parser blocks
+
+// ParserDecl is a parser block: an FSM of states.
+type ParserDecl struct {
+	P      Pos
+	Name   string
+	Params []Param
+	Locals []*VarDecl
+	States []*State
+}
+
+func (d *ParserDecl) Pos() Pos { return d.P }
+
+// State is a single parser state.
+type State struct {
+	P     Pos
+	Name  string
+	Stmts []Stmt
+	Trans Transition // nil means implicit reject
+}
+
+func (s *State) Pos() Pos { return s.P }
+
+// Transition is a parser state transition.
+type Transition interface {
+	Node
+	transNode()
+}
+
+// DirectTransition is "transition next_state;".
+type DirectTransition struct {
+	P      Pos
+	Target string
+}
+
+// SelectTransition is "transition select(e1, e2) { ... }".
+type SelectTransition struct {
+	P     Pos
+	Exprs []Expr
+	Cases []SelectCase
+}
+
+// SelectCase is one arm of a select transition. A nil Values slice with
+// IsDefault set is the default arm. Each value may carry a mask (v &&& m).
+type SelectCase struct {
+	P         Pos
+	Values    []Expr
+	Masks     []Expr // nil entries mean exact match
+	IsDefault bool
+	Target    string
+}
+
+func (t *DirectTransition) Pos() Pos { return t.P }
+func (t *SelectTransition) Pos() Pos { return t.P }
+
+func (*DirectTransition) transNode() {}
+func (*SelectTransition) transNode() {}
+
+// Builtin parser state names.
+const (
+	StateStart  = "start"
+	StateAccept = "accept"
+	StateReject = "reject"
+)
+
+// ----------------------------------------------------------------------------
+// Control blocks
+
+// ControlDecl is a control block: local declarations and an apply block.
+type ControlDecl struct {
+	P       Pos
+	Name    string
+	Params  []Param
+	Locals  []ControlLocal
+	Apply   *BlockStmt
+	IsDecap bool // internal marker: emit-only deparser
+}
+
+func (d *ControlDecl) Pos() Pos { return d.P }
+
+// ControlLocal is a declaration local to a control block.
+type ControlLocal interface {
+	Node
+	controlLocalNode()
+}
+
+// VarDecl declares a local variable (also used in parsers).
+type VarDecl struct {
+	P    Pos
+	T    Type
+	Name string
+	Init Expr // may be nil
+}
+
+// InstDecl instantiates a module or extern: "L3() l3_i;" or "mc_engine() mce;".
+type InstDecl struct {
+	P        Pos
+	TypeName string
+	Args     []Expr
+	Name     string
+}
+
+// ActionDecl declares an action.
+type ActionDecl struct {
+	P      Pos
+	Name   string
+	Params []Param
+	Body   *BlockStmt
+}
+
+// TableKey is one key element of a table.
+type TableKey struct {
+	P         Pos
+	Expr      Expr
+	MatchKind string // exact, lpm, ternary, range
+}
+
+// ActionRef names an action with optional bound arguments (default_action).
+type ActionRef struct {
+	P    Pos
+	Name string
+	Args []Expr
+}
+
+// TableEntry is a const entry.
+type TableEntry struct {
+	P      Pos
+	Keys   []KeySet
+	Action ActionRef
+}
+
+// KeySet is one key expression in a const entry: a value, value&&&mask, or "_".
+type KeySet struct {
+	P        Pos
+	DontCare bool
+	Value    Expr
+	Mask     Expr // nil for exact
+}
+
+// TableDecl declares a match-action table.
+type TableDecl struct {
+	P             Pos
+	Name          string
+	Keys          []TableKey
+	Actions       []ActionRef
+	DefaultAction *ActionRef
+	Entries       []TableEntry
+	Size          int
+}
+
+func (d *VarDecl) Pos() Pos    { return d.P }
+func (d *InstDecl) Pos() Pos   { return d.P }
+func (d *ActionDecl) Pos() Pos { return d.P }
+func (d *TableDecl) Pos() Pos  { return d.P }
+
+func (*VarDecl) controlLocalNode()    {}
+func (*InstDecl) controlLocalNode()   {}
+func (*ActionDecl) controlLocalNode() {}
+func (*TableDecl) controlLocalNode()  {}
+
+// ----------------------------------------------------------------------------
+// Statements
+
+// Stmt is a statement.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is { stmts }.
+type BlockStmt struct {
+	P     Pos
+	Stmts []Stmt
+}
+
+// AssignStmt is lhs = rhs;.
+type AssignStmt struct {
+	P   Pos
+	LHS Expr
+	RHS Expr
+}
+
+// CallStmt is a method call used as a statement, e.g. tbl.apply();.
+type CallStmt struct {
+	P    Pos
+	Call *CallExpr
+}
+
+// IfStmt is if (cond) { } else { }.
+type IfStmt struct {
+	P    Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// SwitchCase is one arm of a switch statement.
+type SwitchCase struct {
+	P         Pos
+	Values    []Expr
+	IsDefault bool
+	Body      *BlockStmt
+}
+
+// SwitchStmt is switch (expr) { v: {...} ... }.
+type SwitchStmt struct {
+	P     Pos
+	Expr  Expr
+	Cases []SwitchCase
+}
+
+// VarDeclStmt wraps a variable declaration appearing inside a block.
+type VarDeclStmt struct {
+	Decl *VarDecl
+}
+
+// ExitStmt terminates pipeline processing for this packet.
+type ExitStmt struct {
+	P Pos
+}
+
+// EmptyStmt is a bare semicolon.
+type EmptyStmt struct {
+	P Pos
+}
+
+func (s *BlockStmt) Pos() Pos   { return s.P }
+func (s *AssignStmt) Pos() Pos  { return s.P }
+func (s *CallStmt) Pos() Pos    { return s.P }
+func (s *IfStmt) Pos() Pos      { return s.P }
+func (s *SwitchStmt) Pos() Pos  { return s.P }
+func (s *VarDeclStmt) Pos() Pos { return s.Decl.P }
+func (s *ExitStmt) Pos() Pos    { return s.P }
+func (s *EmptyStmt) Pos() Pos   { return s.P }
+
+func (*BlockStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode()  {}
+func (*CallStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()  {}
+func (*VarDeclStmt) stmtNode() {}
+func (*ExitStmt) stmtNode()    {}
+func (*EmptyStmt) stmtNode()   {}
+
+// ----------------------------------------------------------------------------
+// Expressions
+
+// Expr is an expression.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a bare identifier.
+type Ident struct {
+	P    Pos
+	Name string
+}
+
+// IntLit is an integer literal, optionally width-annotated (8w255).
+type IntLit struct {
+	P     Pos
+	Width int // 0 means unsized
+	Value uint64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	P     Pos
+	Value bool
+}
+
+// FieldExpr is x.name.
+type FieldExpr struct {
+	P    Pos
+	X    Expr
+	Name string
+}
+
+// IndexExpr is stack[i] with a constant index, or the pseudo-indices
+// next/last handled as FieldExpr.
+type IndexExpr struct {
+	P     Pos
+	X     Expr
+	Index Expr
+}
+
+// SliceExpr is x[hi:lo] bit slicing.
+type SliceExpr struct {
+	P      Pos
+	X      Expr
+	Hi, Lo int
+}
+
+// CallExpr is a function or method call; Fun is an Ident or FieldExpr.
+type CallExpr struct {
+	P    Pos
+	Fun  Expr
+	Args []Expr
+}
+
+// BinaryExpr is x op y.
+type BinaryExpr struct {
+	P    Pos
+	Op   string
+	X, Y Expr
+}
+
+// UnaryExpr is op x.
+type UnaryExpr struct {
+	P  Pos
+	Op string
+	X  Expr
+}
+
+// CastExpr is (bit<16>) x.
+type CastExpr struct {
+	P Pos
+	T Type
+	X Expr
+}
+
+func (e *Ident) Pos() Pos      { return e.P }
+func (e *IntLit) Pos() Pos     { return e.P }
+func (e *BoolLit) Pos() Pos    { return e.P }
+func (e *FieldExpr) Pos() Pos  { return e.P }
+func (e *IndexExpr) Pos() Pos  { return e.P }
+func (e *SliceExpr) Pos() Pos  { return e.P }
+func (e *CallExpr) Pos() Pos   { return e.P }
+func (e *BinaryExpr) Pos() Pos { return e.P }
+func (e *UnaryExpr) Pos() Pos  { return e.P }
+func (e *CastExpr) Pos() Pos   { return e.P }
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*BoolLit) exprNode()    {}
+func (*FieldExpr) exprNode()  {}
+func (*IndexExpr) exprNode()  {}
+func (*SliceExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CastExpr) exprNode()   {}

@@ -1,0 +1,163 @@
+// Package emitutil renders µP4-IR fragments as P4-like source text,
+// shared by the V1Model and TNA backends' code generators.
+package emitutil
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"microp4/internal/ir"
+)
+
+// Mangle turns a composed storage path into a P4-safe identifier.
+func Mangle(path string) string {
+	r := strings.NewReplacer(".", "_", "$", "u_", "#", "__", "[", "_", "]", "_")
+	return r.Replace(path)
+}
+
+// Expr renders an IR expression.
+func Expr(e *ir.Expr) string {
+	if e == nil {
+		return "/*nil*/"
+	}
+	switch e.Kind {
+	case ir.EConst:
+		if e.Bool {
+			if e.Value != 0 {
+				return "true"
+			}
+			return "false"
+		}
+		if e.Width > 0 {
+			return fmt.Sprintf("%dw0x%X", e.Width, e.Value)
+		}
+		return fmt.Sprintf("%d", e.Value)
+	case ir.ERef:
+		return "meta." + Mangle(e.Ref)
+	case ir.EIsValid:
+		return "hdr_valid." + Mangle(e.Ref)
+	case ir.EBSlice:
+		return fmt.Sprintf("bs_read(%d, %d)", e.Off, e.Width)
+	case ir.EBValid:
+		return fmt.Sprintf("bs_valid(%d)", e.Off)
+	case ir.EBin:
+		return fmt.Sprintf("(%s %s %s)", Expr(e.X), e.Op, Expr(e.Y))
+	case ir.EUn:
+		if e.Op == "cast" {
+			return fmt.Sprintf("(bit<%d>)%s", e.Width, Expr(e.X))
+		}
+		return e.Op + Expr(e.X)
+	case ir.ESlice:
+		return fmt.Sprintf("%s[%d:%d]", Expr(e.X), e.Hi, e.Lo)
+	}
+	return "/*?*/"
+}
+
+// Stmts renders a statement list with indentation.
+func Stmts(ss []*ir.Stmt, indent int) string {
+	var b strings.Builder
+	for _, s := range ss {
+		writeStmt(&b, s, indent)
+	}
+	return b.String()
+}
+
+func writeStmt(b *strings.Builder, s *ir.Stmt, indent int) {
+	in := strings.Repeat("    ", indent)
+	switch s.Kind {
+	case ir.SAssign:
+		fmt.Fprintf(b, "%s%s = %s;\n", in, Expr(s.LHS), Expr(s.RHS))
+	case ir.SIf:
+		fmt.Fprintf(b, "%sif (%s) {\n", in, Expr(s.Cond))
+		b.WriteString(Stmts(s.Then, indent+1))
+		if len(s.Else) > 0 {
+			fmt.Fprintf(b, "%s} else {\n", in)
+			b.WriteString(Stmts(s.Else, indent+1))
+		}
+		fmt.Fprintf(b, "%s}\n", in)
+	case ir.SSwitch:
+		fmt.Fprintf(b, "%sswitch (%s) {\n", in, Expr(s.Cond))
+		for _, c := range s.Cases {
+			if c.Default {
+				fmt.Fprintf(b, "%s  default: {\n", in)
+			} else {
+				fmt.Fprintf(b, "%s  case %v: {\n", in, c.Values)
+			}
+			b.WriteString(Stmts(c.Body, indent+1))
+			fmt.Fprintf(b, "%s  }\n", in)
+		}
+		fmt.Fprintf(b, "%s}\n", in)
+	case ir.SApplyTable:
+		fmt.Fprintf(b, "%s%s.apply();\n", in, Mangle(s.Table))
+	case ir.SSetValid:
+		fmt.Fprintf(b, "%shdr_valid.%s = true;\n", in, Mangle(s.Hdr))
+	case ir.SSetInvalid:
+		fmt.Fprintf(b, "%shdr_valid.%s = false;\n", in, Mangle(s.Hdr))
+	case ir.SShift:
+		fmt.Fprintf(b, "%sbs_shift(%d, %d);\n", in, s.Off, s.Amt)
+	case ir.SExit:
+		fmt.Fprintf(b, "%sexit;\n", in)
+	default:
+		fmt.Fprintf(b, "%s/* %s */\n", in, s.Kind)
+	}
+}
+
+// Table renders a table declaration.
+func Table(t *ir.Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "    table %s {\n", Mangle(t.Name))
+	if len(t.Keys) > 0 {
+		b.WriteString("        key = {\n")
+		for _, k := range t.Keys {
+			fmt.Fprintf(&b, "            %s : %s;\n", Expr(k.Expr), k.MatchKind)
+		}
+		b.WriteString("        }\n")
+	}
+	b.WriteString("        actions = {\n")
+	for _, a := range t.Actions {
+		fmt.Fprintf(&b, "            %s;\n", Mangle(a))
+	}
+	b.WriteString("        }\n")
+	if t.Default != nil {
+		fmt.Fprintf(&b, "        default_action = %s;\n", Mangle(t.Default.Name))
+	}
+	if len(t.Entries) > 0 {
+		fmt.Fprintf(&b, "        // %d const entries synthesized by µP4C\n", len(t.Entries))
+	}
+	b.WriteString("    }\n")
+	return b.String()
+}
+
+// Action renders an action declaration.
+func Action(a *ir.Action) string {
+	var b strings.Builder
+	var params []string
+	for _, p := range a.Params {
+		params = append(params, fmt.Sprintf("bit<%d> %s", p.Width, Mangle(a.Name+"#"+p.Name)))
+	}
+	fmt.Fprintf(&b, "    action %s(%s) {\n", Mangle(a.Name), strings.Join(params, ", "))
+	b.WriteString(Stmts(a.Body, 2))
+	b.WriteString("    }\n")
+	return b.String()
+}
+
+// SortedTableNames returns table names sorted for stable output.
+func SortedTableNames(tables map[string]*ir.Table) []string {
+	out := make([]string, 0, len(tables))
+	for n := range tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SortedActionNames returns action names sorted for stable output.
+func SortedActionNames(actions map[string]*ir.Action) []string {
+	out := make([]string, 0, len(actions))
+	for n := range actions {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

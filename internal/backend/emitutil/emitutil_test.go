@@ -1,0 +1,93 @@
+package emitutil
+
+import (
+	"strings"
+	"testing"
+
+	"microp4/internal/ir"
+)
+
+func TestMangle(t *testing.T) {
+	cases := map[string]string{
+		"l3_i.ipv4_i.ipv4_lpm_tbl": "l3_i_ipv4_i_ipv4_lpm_tbl",
+		"$pp":                      "u_pp",
+		"a#x":                      "a__x",
+		"$hdr.ls.0.label":          "u_hdr_ls_0_label",
+	}
+	for in, want := range cases {
+		if got := Mangle(in); got != want {
+			t.Errorf("Mangle(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestExprRendering(t *testing.T) {
+	cases := []struct {
+		e    *ir.Expr
+		want string
+	}{
+		{ir.Const(0x800, 16), "16w0x800"},
+		{ir.Ref("nh", 16), "meta.nh"},
+		{&ir.Expr{Kind: ir.EBSlice, Off: 96, Width: 16}, "bs_read(96, 16)"},
+		{&ir.Expr{Kind: ir.EBValid, Off: 53}, "bs_valid(53)"},
+		{&ir.Expr{Kind: ir.EIsValid, Ref: "$hdr.eth"}, "hdr_valid.u_hdr_eth"},
+		{&ir.Expr{Kind: ir.EBin, Op: "+", X: ir.Ref("a", 8), Y: ir.Const(1, 8)}, "(meta.a + 8w0x1)"},
+		{&ir.Expr{Kind: ir.EUn, Op: "cast", Width: 32, X: ir.Ref("a", 8)}, "(bit<32>)meta.a"},
+		{&ir.Expr{Kind: ir.ESlice, X: ir.Ref("a", 32), Hi: 7, Lo: 0}, "meta.a[7:0]"},
+		{ir.BoolConst(true), "true"},
+	}
+	for _, c := range cases {
+		if got := Expr(c.e); got != c.want {
+			t.Errorf("Expr(%s) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestStmtsRendering(t *testing.T) {
+	out := Stmts([]*ir.Stmt{
+		{Kind: ir.SAssign, LHS: ir.Ref("a", 8), RHS: ir.Const(1, 8)},
+		{Kind: ir.SIf, Cond: ir.BoolConst(true),
+			Then: []*ir.Stmt{{Kind: ir.SExit}},
+			Else: []*ir.Stmt{{Kind: ir.SShift, Off: 10, Amt: -2}}},
+		{Kind: ir.SApplyTable, Table: "x.t"},
+	}, 0)
+	for _, want := range []string{"meta.a = 8w0x1;", "if (true) {", "exit;", "bs_shift(10, -2);", "x_t.apply();"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered statements missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAndAction(t *testing.T) {
+	tbl := &ir.Table{
+		Name:    "m.t",
+		Keys:    []ir.Key{{Expr: ir.Ref("m.k", 16), MatchKind: "lpm"}},
+		Actions: []string{"m.a"},
+		Default: &ir.ActionCall{Name: "m.a"},
+		Entries: []ir.Entry{{}},
+	}
+	out := Table(tbl)
+	for _, want := range []string{"table m_t", "meta.m_k : lpm;", "m_a;", "default_action = m_a;", "1 const entries"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table rendering missing %q:\n%s", want, out)
+		}
+	}
+	act := &ir.Action{Name: "m.a", Params: []ir.Param{{Name: "p", Width: 9}},
+		Body: []*ir.Stmt{{Kind: ir.SAssign, LHS: ir.Ref("$im.out_port", 9), RHS: ir.Ref("m.a#p", 9)}}}
+	aout := Action(act)
+	if !strings.Contains(aout, "action m_a(bit<9> m_a__p)") {
+		t.Errorf("action rendering:\n%s", aout)
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	tables := map[string]*ir.Table{"b": {}, "a": {}, "c": {}}
+	got := SortedTableNames(tables)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedTableNames = %v", got)
+	}
+	actions := map[string]*ir.Action{"z": {}, "y": {}}
+	if names := SortedActionNames(actions); names[0] != "y" {
+		t.Errorf("SortedActionNames = %v", names)
+	}
+}

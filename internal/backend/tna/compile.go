@@ -1,0 +1,412 @@
+package tna
+
+import (
+	"fmt"
+
+	"microp4/internal/ir"
+	"microp4/internal/mat"
+	"microp4/internal/target/mau"
+	"microp4/internal/target/phv"
+)
+
+// resolver answers width/group queries over a storage namespace.
+type resolver struct {
+	decls   []ir.Decl
+	headers map[string]*ir.HeaderType
+	byPath  map[string]*ir.Decl
+}
+
+func newResolver(decls []ir.Decl, headers map[string]*ir.HeaderType) *resolver {
+	r := &resolver{decls: decls, headers: headers, byPath: make(map[string]*ir.Decl, len(decls))}
+	for i := range decls {
+		r.byPath[decls[i].Path] = &decls[i]
+	}
+	return r
+}
+
+// field resolves a scalar reference to a PHV field request, or false for
+// non-storage symbols ($bs, POVs, intrinsic metadata, action params).
+func (r *resolver) field(ref string) (phv.Field, bool) {
+	if d, ok := r.byPath[ref]; ok && (d.Kind == ir.DeclBits || d.Kind == ir.DeclBool) {
+		w := d.Width
+		if w == 0 {
+			w = 1
+		}
+		return phv.Field{Name: ref, Bits: w, Group: "var:" + ref}, true
+	}
+	// Header field: longest declared header prefix.
+	for i := len(ref) - 1; i > 0; i-- {
+		if ref[i] != '.' {
+			continue
+		}
+		inst, fname := ref[:i], ref[i+1:]
+		d, ok := r.byPath[inst]
+		if !ok || d.Kind != ir.DeclHeader {
+			continue
+		}
+		ht := r.headers[d.TypeName]
+		if ht == nil {
+			continue
+		}
+		if f := ht.Field(fname); f != nil {
+			return phv.Field{Name: ref, Bits: f.Width, Group: inst}, true
+		}
+	}
+	return phv.Field{}, false
+}
+
+// ----------------------------------------------------------------------------
+// Per-assignment ALU operand accounting
+
+// operandsOfAssign counts the PHV containers a single ALU operation of
+// this assignment must access. Wide assignments decompose into one move
+// per destination container (VLIW: each container has its own ALU), so
+// the metric is per destination container: 1 (the destination) plus the
+// source containers feeding it. A container-aligned source contributes
+// one container per destination chunk; a misaligned or sliced source
+// straddles two; every additional operand of a compound right-hand side
+// adds its own sources (the §6.3 "complex assignment" case).
+func operandsOfAssign(s *ir.Stmt, alloc *phv.Alloc) int {
+	if s.Kind != ir.SAssign {
+		return 0
+	}
+	var leafCost func(e *ir.Expr) int
+	leafCost = func(e *ir.Expr) int {
+		if e == nil {
+			return 0
+		}
+		switch e.Kind {
+		case ir.EConst:
+			return 0
+		case ir.ERef:
+			n := len(alloc.ByField[e.Ref])
+			if n > 2 {
+				n = 2 // one destination chunk reads at most two of them
+			}
+			if n == 0 {
+				n = 1 // action data / unallocated scalar
+			}
+			return n
+		case ir.EBSlice:
+			if e.Off%16 == 0 && e.Width <= 16 {
+				return 1
+			}
+			return 2
+		case ir.EIsValid:
+			return 1
+		case ir.ESlice, ir.EUn:
+			return leafCost(e.X)
+		case ir.EBin:
+			return leafCost(e.X) + leafCost(e.Y)
+		}
+		return 1
+	}
+	return 1 + leafCost(s.RHS)
+}
+
+// worstAssign scans a statement tree for the assignment with the most
+// operands.
+func worstAssign(ss []*ir.Stmt, alloc *phv.Alloc) int {
+	worst := 0
+	ir.WalkStmts(ss, func(s *ir.Stmt) {
+		if n := operandsOfAssign(s, alloc); n > worst {
+			worst = n
+		}
+	})
+	return worst
+}
+
+// splitCount totals the extra operations needed to fit every assignment
+// within the operand budget.
+func splitCount(ss []*ir.Stmt, alloc *phv.Alloc, budget int) int {
+	extra := 0
+	ir.WalkStmts(ss, func(s *ir.Stmt) {
+		if n := operandsOfAssign(s, alloc); n > budget {
+			extra += (n + budget - 1) / budget
+			extra--
+		}
+	})
+	return extra
+}
+
+// ----------------------------------------------------------------------------
+// Composed compilation (the µP4 path)
+
+// CompileComposed maps a composed MAT pipeline onto the modeled Tofino.
+// Infeasibility is reported in Report.Feasible/Reason rather than as an
+// error (errors are reserved for malformed input).
+func CompileComposed(pl *mat.Pipeline, opts Options) (*Report, error) {
+	rep := &Report{Program: pl.Name, Composed: true, Feasible: true}
+	res := newResolver(pl.Decls, pl.Headers)
+
+	// --- Fields.
+	fs := newFieldSet()
+	fs.addIntrinsic()
+	// Byte-stack: 16-bit-aligned elements (the §6.3 alignment pass).
+	for i := 0; i < (pl.BsBytes+1)/2; i++ {
+		fs.add(phv.Field{Name: fmt.Sprintf("$bs.e%d", i), Bits: 16, Group: "$bs"})
+	}
+	// Path-id metadata.
+	for _, pv := range pl.PathVars {
+		fs.add(phv.Field{Name: pv, Bits: mat.PathVarWidth, Group: "var:" + pv})
+	}
+	// POV bits for every header instance.
+	for _, d := range pl.Decls {
+		if d.Kind == ir.DeclHeader {
+			fs.add(phv.Field{Name: povSym(d.Path), Bits: 1, POV: true})
+		}
+	}
+	// Scalars referenced by user (non-synthetic) tables and control flow.
+	// Fields only touched by synthetic copy actions are byte-stack
+	// sourced directly (the §8.1 dead-copy optimization).
+	userRW := newRW()
+	collectUserSymbols(pl, userRW)
+	for _, ref := range keys(userRW.reads) {
+		if f, ok := res.field(ref); ok {
+			fs.add(f)
+		}
+	}
+	for _, ref := range keys(userRW.writes) {
+		if f, ok := res.field(ref); ok {
+			fs.add(f)
+		}
+	}
+
+	alloc, err := (&phv.Allocator{Inv: opts.Inventory, Mode: phv.ModeAligned16}).Allocate(fs.fields)
+	if err != nil {
+		rep.Feasible = false
+		rep.Reason = fmt.Sprintf("PHV allocation: %v", err)
+		return rep, nil
+	}
+	rep.Used8, rep.Used16, rep.Used32 = alloc.Used8, alloc.Used16, alloc.Used32
+	rep.Bits = alloc.BitsAllocated
+
+	// --- ALU accounting with the splitting pass (§6.3): assignments
+	// exceeding the operand budget are broken into a series of MATs.
+	splitsByTable := make(map[string]int)
+	for name, tbl := range pl.Tables {
+		extra := 0
+		for _, an := range tbl.Actions {
+			act := pl.Actions[an]
+			if act == nil {
+				continue
+			}
+			if n := worstAssign(act.Body, alloc); n > rep.WorstALU {
+				rep.WorstALU, rep.WorstName = n, an
+			}
+			if e := splitCount(act.Body, alloc, opts.ALUBudget); e > extra {
+				extra = e
+			}
+		}
+		if extra > 0 {
+			splitsByTable[name] = extra
+			rep.SplitOps += extra
+		}
+	}
+
+	// --- Stage scheduling.
+	tables := collectTables(pl.Stmts, pl.Tables, pl.Actions, splitsByTable)
+	rep.Tables = len(tables)
+	sched, err := mau.Plan(tables, opts.MAU)
+	if err != nil {
+		rep.Feasible = false
+		rep.Reason = fmt.Sprintf("MAU scheduling: %v", err)
+		return rep, nil
+	}
+	rep.Stages = sched.NumStages
+	return rep, nil
+}
+
+// collectUserSymbols gathers reads/writes of non-synthetic tables,
+// control-flow conditions, and standalone assignments.
+func collectUserSymbols(pl *mat.Pipeline, out *rw) {
+	var walk func(ss []*ir.Stmt)
+	walk = func(ss []*ir.Stmt) {
+		for _, s := range ss {
+			switch s.Kind {
+			case ir.SApplyTable:
+				tbl := pl.Tables[s.Table]
+				if tbl == nil || tbl.Synthetic {
+					continue
+				}
+				for _, k := range tbl.Keys {
+					symsOfExpr(k.Expr, out.reads)
+				}
+				for _, an := range tbl.Actions {
+					if act := pl.Actions[an]; act != nil {
+						out.stmts(act.Body)
+					}
+				}
+			case ir.SIf:
+				symsOfExpr(s.Cond, out.reads)
+				walk(s.Then)
+				walk(s.Else)
+			case ir.SSwitch:
+				symsOfExpr(s.Cond, out.reads)
+				for _, c := range s.Cases {
+					walk(c.Body)
+				}
+			default:
+				out.stmt(s)
+			}
+		}
+	}
+	walk(pl.Stmts)
+	delete(out.reads, "$bs")
+	delete(out.writes, "$bs")
+}
+
+// ----------------------------------------------------------------------------
+// Logical-table linearization (shared by both paths)
+
+// collectTables linearizes a statement tree into logical tables with
+// dependency symbols and exclusivity tags, folding standalone
+// assignments into the next table and appending split move-tables.
+func collectTables(stmts []*ir.Stmt, tbls map[string]*ir.Table, acts map[string]*ir.Action, splits map[string]int) []mau.Table {
+	var out []mau.Table
+	pending := newRW()
+	conds := 0
+	flushInto := func(t *mau.Table) {
+		t.Reads = append(t.Reads, keys(pending.reads)...)
+		t.Writes = append(t.Writes, keys(pending.writes)...)
+		pending = newRW()
+	}
+	var walk func(ss []*ir.Stmt, tag []mau.Branch)
+	walk = func(ss []*ir.Stmt, tag []mau.Branch) {
+		for _, s := range ss {
+			switch s.Kind {
+			case ir.SApplyTable:
+				tbl := tbls[s.Table]
+				t := mau.Table{Name: s.Table, Tag: tag}
+				r := newRW()
+				if tbl != nil {
+					for _, k := range tbl.Keys {
+						symsOfExpr(k.Expr, r.reads)
+					}
+					for _, an := range tbl.Actions {
+						if act := acts[an]; act != nil {
+							r.stmts(act.Body)
+						}
+					}
+				}
+				t.Reads = keys(r.reads)
+				t.Writes = keys(r.writes)
+				flushInto(&t)
+				out = append(out, t)
+				for i := 0; i < splits[s.Table]; i++ {
+					out = append(out, mau.Table{
+						Name:   fmt.Sprintf("%s$split%d", s.Table, i),
+						Reads:  []string{"$bs"},
+						Writes: []string{"$bs"},
+						Tag:    tag,
+					})
+				}
+			case ir.SIf:
+				conds++
+				cid := conds
+				g := mau.Table{Name: fmt.Sprintf("$gw%d", cid), Gateway: true, Tag: tag}
+				r := newRW()
+				symsOfExpr(s.Cond, r.reads)
+				g.Reads = keys(r.reads)
+				flushInto(&g)
+				out = append(out, g)
+				walk(s.Then, append(append([]mau.Branch(nil), tag...), mau.Branch{Cond: cid, Arm: 0}))
+				walk(s.Else, append(append([]mau.Branch(nil), tag...), mau.Branch{Cond: cid, Arm: 1}))
+			case ir.SSwitch:
+				conds++
+				cid := conds
+				g := mau.Table{Name: fmt.Sprintf("$gw%d", cid), Gateway: true, Tag: tag}
+				r := newRW()
+				symsOfExpr(s.Cond, r.reads)
+				g.Reads = keys(r.reads)
+				flushInto(&g)
+				out = append(out, g)
+				for i, c := range s.Cases {
+					walk(c.Body, append(append([]mau.Branch(nil), tag...), mau.Branch{Cond: cid, Arm: i}))
+				}
+			default:
+				pending.stmt(s)
+			}
+		}
+	}
+	walk(stmts, nil)
+	if len(pending.reads)+len(pending.writes) > 0 {
+		t := mau.Table{Name: "$tail_moves"}
+		flushInto(&t)
+		out = append(out, t)
+	}
+	return out
+}
+
+// ----------------------------------------------------------------------------
+// Monolithic compilation (the flat baseline path)
+
+// CompileMonolithic maps a flat program (already midend.Transform-ed so
+// header stacks are unrolled) onto the modeled Tofino. The parser and
+// deparser run in dedicated hardware and cost no MAU stages; all parsed
+// header fields live in the PHV, packed in natural size classes without
+// cross-class spill.
+func CompileMonolithic(p *ir.Program, opts Options) (*Report, error) {
+	rep := &Report{Program: p.Name, Feasible: true}
+
+	fs := newFieldSet()
+	fs.addIntrinsic()
+	for _, d := range p.Decls {
+		switch d.Kind {
+		case ir.DeclHeader:
+			ht := p.Headers[d.TypeName]
+			if ht == nil {
+				return nil, fmt.Errorf("%s: unknown header type %s", p.Name, d.TypeName)
+			}
+			fs.add(phv.Field{Name: povSym(d.Path), Bits: 1, POV: true})
+			for _, f := range ht.Fields {
+				fs.add(phv.Field{Name: d.Path + "." + f.Name, Bits: f.Width, Group: d.Path})
+			}
+		case ir.DeclBits, ir.DeclBool:
+			w := d.Width
+			if w == 0 {
+				w = 1
+			}
+			fs.add(phv.Field{Name: d.Path, Bits: w, Group: "var:" + d.Path})
+		case ir.DeclStack:
+			return nil, fmt.Errorf("%s: header stack %s not unrolled (run midend.Transform first)", p.Name, d.Path)
+		}
+	}
+	alloc, err := (&phv.Allocator{Inv: opts.Inventory, Mode: phv.ModeNatural}).Allocate(fs.fields)
+	if err != nil {
+		rep.Feasible = false
+		rep.Reason = fmt.Sprintf("PHV allocation: %v", err)
+		return rep, nil
+	}
+	rep.Used8, rep.Used16, rep.Used32 = alloc.Used8, alloc.Used16, alloc.Used32
+	rep.Bits = alloc.BitsAllocated
+
+	// ALU operand budget: the flat path cannot split wide operations —
+	// exceeding the budget is a compile failure (§7.3).
+	check := func(name string, body []*ir.Stmt) {
+		if n := worstAssign(body, alloc); n > rep.WorstALU {
+			rep.WorstALU, rep.WorstName = n, name
+		}
+	}
+	for name, act := range p.Actions {
+		check(name, act.Body)
+	}
+	check("apply", p.Apply)
+	if rep.WorstALU > opts.ALUBudget {
+		rep.Feasible = false
+		rep.Reason = fmt.Sprintf("action %s: an assignment accesses %d PHV containers; at most %d are accessible per action ALU (the flat path has no restructuring pass)",
+			rep.WorstName, rep.WorstALU, opts.ALUBudget)
+		return rep, nil
+	}
+
+	tables := collectTables(p.Apply, p.Tables, p.Actions, nil)
+	rep.Tables = len(tables)
+	sched, err := mau.Plan(tables, opts.MAU)
+	if err != nil {
+		rep.Feasible = false
+		rep.Reason = fmt.Sprintf("MAU scheduling: %v", err)
+		return rep, nil
+	}
+	rep.Stages = sched.NumStages
+	return rep, nil
+}

@@ -1,0 +1,160 @@
+// Package tna is µP4C's backend for the Tofino Native Architecture
+// (§6.3). It maps a composed MAT pipeline — or, for baselines, a
+// monolithic program — onto the modeled Tofino resources: PHV container
+// allocation (internal/target/phv) and MAU stage scheduling
+// (internal/target/mau).
+//
+// Two behaviours distinguish the µP4 path from the flat path, mirroring
+// the paper:
+//   - the alignment pass: byte-stack elements and µP4 header fields are
+//     packed into 16-bit containers ("this pass adjusts the size of
+//     elements in byte-stack", §6.3);
+//   - the splitting pass: assignments whose operands exceed the
+//     per-action-ALU container budget are broken into a series of MATs.
+//     The flat path has no such pass — which is how the monolithic P7
+//     fails to compile (§7.3).
+package tna
+
+import (
+	"sort"
+
+	"microp4/internal/ir"
+	"microp4/internal/target/mau"
+	"microp4/internal/target/phv"
+)
+
+// Report is the hardware-mapping outcome for one program.
+type Report struct {
+	Program   string
+	Composed  bool
+	Feasible  bool
+	Reason    string // why mapping failed, when infeasible
+	Used8     int
+	Used16    int
+	Used32    int
+	Bits      int
+	Stages    int
+	Tables    int // logical tables scheduled
+	SplitOps  int // assignments split by the µP4 backend pass
+	WorstALU  int
+	WorstName string
+}
+
+// Options tune the modeled target.
+type Options struct {
+	Inventory phv.Inventory
+	MAU       mau.Config
+	ALUBudget int
+}
+
+// DefaultOptions models the Tofino profile used throughout the
+// evaluation.
+func DefaultOptions() Options {
+	return Options{
+		Inventory: phv.TofinoInventory,
+		MAU:       mau.TofinoConfig,
+		ALUBudget: phv.MaxALUOperands,
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Symbol extraction
+
+// symsOfExpr collects the storage symbols an expression touches.
+// Byte-stack accesses map to the "$bs" symbol; validity tests map to the
+// header's POV symbol.
+func symsOfExpr(e *ir.Expr, out map[string]bool) {
+	if e == nil {
+		return
+	}
+	e.Walk(func(x *ir.Expr) {
+		switch x.Kind {
+		case ir.ERef:
+			out[x.Ref] = true
+		case ir.EBSlice, ir.EBValid:
+			out["$bs"] = true
+		case ir.EIsValid:
+			out[povSym(x.Ref)] = true
+		}
+	})
+}
+
+func povSym(hdr string) string { return hdr + ".$valid" }
+
+// rw accumulates reads and writes of statements.
+type rw struct {
+	reads, writes map[string]bool
+}
+
+func newRW() *rw { return &rw{reads: map[string]bool{}, writes: map[string]bool{}} }
+
+func (r *rw) stmt(s *ir.Stmt) {
+	switch s.Kind {
+	case ir.SAssign:
+		symsOfExpr(s.RHS, r.reads)
+		switch s.LHS.Kind {
+		case ir.ERef:
+			r.writes[s.LHS.Ref] = true
+		case ir.ESlice:
+			if s.LHS.X != nil && s.LHS.X.Kind == ir.ERef {
+				r.writes[s.LHS.X.Ref] = true
+				r.reads[s.LHS.X.Ref] = true
+			}
+		case ir.EBSlice:
+			r.writes["$bs"] = true
+		}
+	case ir.SSetValid, ir.SSetInvalid:
+		r.writes[povSym(s.Hdr)] = true
+	case ir.SShift:
+		r.reads["$bs"] = true
+		r.writes["$bs"] = true
+	case ir.SIf:
+		symsOfExpr(s.Cond, r.reads)
+	case ir.SSwitch:
+		symsOfExpr(s.Cond, r.reads)
+	case ir.SMethod:
+		for _, a := range s.Args {
+			symsOfExpr(a.Expr, r.reads)
+		}
+	}
+}
+
+func (r *rw) stmts(ss []*ir.Stmt) {
+	ir.WalkStmts(ss, r.stmt)
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ----------------------------------------------------------------------------
+// Field collection
+
+type fieldSet struct {
+	fields []phv.Field
+	seen   map[string]bool
+}
+
+func newFieldSet() *fieldSet { return &fieldSet{seen: map[string]bool{}} }
+
+func (fs *fieldSet) add(f phv.Field) {
+	if fs.seen[f.Name] {
+		return
+	}
+	fs.seen[f.Name] = true
+	fs.fields = append(fs.fields, f)
+}
+
+// addIntrinsic adds the fixed intrinsic-metadata footprint every program
+// carries (out port + timestamps etc.).
+func (fs *fieldSet) addIntrinsic() {
+	fs.add(phv.Field{Name: "$im.out_port", Bits: 9, Group: "$im", Fixed: true})
+	for _, m := range []string{"IN_PORT", "IN_TIMESTAMP", "PKT_LEN", "INSTANCE_ID"} {
+		fs.add(phv.Field{Name: "$im.meta." + m, Bits: 32, Group: "$im32." + m, Fixed: true})
+	}
+}

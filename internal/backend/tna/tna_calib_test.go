@@ -1,0 +1,47 @@
+package tna_test
+
+import (
+	"testing"
+
+	"microp4/internal/backend/tna"
+	"microp4/internal/lib"
+	"microp4/internal/midend"
+)
+
+// TestPrintCalibration dumps the modeled Tofino resource usage for every
+// program, composed and monolithic — run with -v to inspect. The
+// assertions encode the paper's Table 2/3 shape; exact values are pinned
+// by the golden tests in table_test.go.
+func TestPrintCalibration(t *testing.T) {
+	opts := tna.DefaultOptions()
+	for _, m := range lib.Programs {
+		main, mods, err := lib.CompileProgram(m.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		res, err := midend.Build(main, mods...)
+		if err != nil {
+			t.Fatalf("%s: midend: %v", m.Name, err)
+		}
+		comp, err := tna.CompileComposed(res.Pipeline, opts)
+		if err != nil {
+			t.Fatalf("%s: composed: %v", m.Name, err)
+		}
+		mono, err := lib.CompileMonolithic(m.Name)
+		if err != nil {
+			t.Fatalf("%s: mono compile: %v", m.Name, err)
+		}
+		tmono, err := midend.Transform(mono)
+		if err != nil {
+			t.Fatalf("%s: mono transform: %v", m.Name, err)
+		}
+		mrep, err := tna.CompileMonolithic(tmono, opts)
+		if err != nil {
+			t.Fatalf("%s: mono backend: %v", m.Name, err)
+		}
+		t.Logf("%s composed: feas=%v 8b=%d 16b=%d 32b=%d bits=%d stages=%d tables=%d splits=%d worstALU=%d(%s) reason=%s",
+			m.Name, comp.Feasible, comp.Used8, comp.Used16, comp.Used32, comp.Bits, comp.Stages, comp.Tables, comp.SplitOps, comp.WorstALU, comp.WorstName, comp.Reason)
+		t.Logf("%s mono:     feas=%v 8b=%d 16b=%d 32b=%d bits=%d stages=%d tables=%d worstALU=%d(%s) reason=%s",
+			m.Name, mrep.Feasible, mrep.Used8, mrep.Used16, mrep.Used32, mrep.Bits, mrep.Stages, mrep.Tables, mrep.WorstALU, mrep.WorstName, mrep.Reason)
+	}
+}

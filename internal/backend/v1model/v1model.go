@@ -1,0 +1,280 @@
+// Package v1model is µP4C's backend for the V1Model architecture
+// (§5.5). Its core job is the partitioning transformation: allocating
+// the composed program's packet-processing onto V1Model's ingress and
+// egress control blocks while respecting the architecture's metadata
+// constraints — egress_spec may only be written in ingress; queueing
+// metadata (deq_timestamp etc.) may only be read in egress. Live values
+// crossing the boundary get synthesized partition-metadata.
+package v1model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"microp4/internal/ir"
+	"microp4/internal/mat"
+)
+
+// Egress-only intrinsic metadata reads (queueing metadata, §5.5: "to
+// prevent accessing dequeue timestamp of a packet in ingress").
+var egressOnlyReads = map[string]bool{
+	"$im.meta.DEQ_TIMESTAMP": true,
+	"$im.meta.ENQ_TIMESTAMP": true,
+	"$im.meta.QUEUE_DEPTH":   true,
+	"$im.meta.OUT_TIMESTAMP": true,
+}
+
+// Ingress-only writes (V1Model's egress_spec).
+var ingressOnlyWrites = map[string]bool{
+	"$im.out_port": true,
+}
+
+// Partition is the ingress/egress split of a composed pipeline.
+type Partition struct {
+	Ingress []*ir.Stmt
+	Egress  []*ir.Stmt
+	// BridgeMeta lists the scalar paths written in ingress and read in
+	// egress; the backend synthesizes partition-metadata for them
+	// (§5.5: "µP4C synthesizes partition-metadata that can be passed as
+	// user-metadata between ingress and egress control blocks").
+	BridgeMeta []string
+}
+
+// stmtIO summarizes one top-level statement's reads and writes,
+// including the tables it applies.
+type stmtIO struct {
+	reads  map[string]bool
+	writes map[string]bool
+}
+
+func ioOfStmt(s *ir.Stmt, tables map[string]*ir.Table, actions map[string]*ir.Action) *stmtIO {
+	io := &stmtIO{reads: map[string]bool{}, writes: map[string]bool{}}
+	var visitExpr func(e *ir.Expr)
+	visitExpr = func(e *ir.Expr) {
+		if e == nil {
+			return
+		}
+		e.Walk(func(x *ir.Expr) {
+			switch x.Kind {
+			case ir.ERef:
+				io.reads[x.Ref] = true
+			case ir.EIsValid:
+				io.reads[x.Ref+".$valid"] = true
+			}
+		})
+	}
+	var visit func(s *ir.Stmt)
+	visit = func(s *ir.Stmt) {
+		switch s.Kind {
+		case ir.SAssign:
+			visitExpr(s.RHS)
+			switch s.LHS.Kind {
+			case ir.ERef:
+				io.writes[s.LHS.Ref] = true
+			case ir.ESlice:
+				if s.LHS.X != nil && s.LHS.X.Kind == ir.ERef {
+					io.writes[s.LHS.X.Ref] = true
+					io.reads[s.LHS.X.Ref] = true
+				}
+			case ir.EBSlice:
+				io.writes["$bs"] = true
+			}
+		case ir.SSetValid, ir.SSetInvalid:
+			io.writes[s.Hdr+".$valid"] = true
+		case ir.SShift:
+			io.reads["$bs"] = true
+			io.writes["$bs"] = true
+		case ir.SApplyTable:
+			if tbl := tables[s.Table]; tbl != nil {
+				for _, k := range tbl.Keys {
+					visitExpr(k.Expr)
+					if k.Expr.Kind == ir.EBSlice || k.Expr.Kind == ir.EBValid {
+						io.reads["$bs"] = true
+					}
+				}
+				for _, an := range tbl.Actions {
+					if act := actions[an]; act != nil {
+						for _, as := range act.Body {
+							visit(as)
+						}
+					}
+				}
+			}
+		}
+		visitExpr(s.Cond)
+		for _, t := range s.Then {
+			visit(t)
+		}
+		for _, t := range s.Else {
+			visit(t)
+		}
+		for _, c := range s.Cases {
+			for _, t := range c.Body {
+				visit(t)
+			}
+		}
+	}
+	visit(s)
+	return io
+}
+
+func (io *stmtIO) readsEgressOnly() bool {
+	for r := range io.reads {
+		if egressOnlyReads[r] {
+			return true
+		}
+	}
+	return false
+}
+
+func (io *stmtIO) writesIngressOnly() bool {
+	for w := range io.writes {
+		if ingressOnlyWrites[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// splitter carries the partitioning state across the recursive CFG walk
+// — the paper's two-state FSM generalized to nested control flow: a
+// conditional whose branches split across the boundary is duplicated on
+// both sides (µP4C "converts control dependencies into data dependencies
+// by synthesizing appropriate metadata": the condition's operands become
+// bridged metadata).
+type splitter struct {
+	pl             *mat.Pipeline
+	egressWritten  map[string]bool
+	egressRead     map[string]bool
+	ingressWritten map[string]bool
+	err            error
+}
+
+// Split partitions a composed pipeline into ingress and egress: every
+// statement that reads egress-only metadata — and everything data-
+// dependent on it — moves to egress. A statement needing both an
+// egress-only read and an ingress-only write is a constraint violation.
+func Split(pl *mat.Pipeline) (*Partition, error) {
+	sp := &splitter{
+		pl:             pl,
+		egressWritten:  make(map[string]bool),
+		egressRead:     make(map[string]bool),
+		ingressWritten: make(map[string]bool),
+	}
+	ing, egr := sp.split(pl.Stmts, false)
+	if sp.err != nil {
+		return nil, sp.err
+	}
+	p := &Partition{Ingress: ing, Egress: egr}
+	for r := range sp.egressRead {
+		if !sp.ingressWritten[r] {
+			continue
+		}
+		if r == "$bs" || strings.HasSuffix(r, ".$valid") || strings.HasPrefix(r, "$im.") {
+			continue
+		}
+		if d := pl.DeclByPath(r); d != nil && (d.Kind == ir.DeclBits || d.Kind == ir.DeclBool) {
+			p.BridgeMeta = append(p.BridgeMeta, r)
+		}
+	}
+	sort.Strings(p.BridgeMeta)
+	return p, nil
+}
+
+func (sp *splitter) split(ss []*ir.Stmt, force bool) (ing, egr []*ir.Stmt) {
+	for _, s := range ss {
+		switch s.Kind {
+		case ir.SIf, ir.SSwitch:
+			condIO := &stmtIO{reads: map[string]bool{}, writes: map[string]bool{}}
+			tmp := &ir.Stmt{Kind: ir.SIf, Cond: s.Cond}
+			*condIO = *ioOfStmt(tmp, nil, nil)
+			forceInner := force || condIO.readsEgressOnly()
+			var ti, te, ei, ee []*ir.Stmt
+			var caseSplits [][2][]*ir.Stmt
+			if s.Kind == ir.SIf {
+				ti, te = sp.split(s.Then, forceInner)
+				ei, ee = sp.split(s.Else, forceInner)
+			} else {
+				for _, c := range s.Cases {
+					ci, ce := sp.split(c.Body, forceInner)
+					caseSplits = append(caseSplits, [2][]*ir.Stmt{ci, ce})
+				}
+			}
+			if sp.err != nil {
+				return ing, egr
+			}
+			mark := func(toEgress bool) {
+				for r := range condIO.reads {
+					if toEgress {
+						sp.egressRead[r] = true
+					}
+				}
+			}
+			if s.Kind == ir.SIf {
+				if len(ti)+len(ei) > 0 {
+					ing = append(ing, &ir.Stmt{Kind: ir.SIf, Cond: s.Cond.Clone(), Then: ti, Else: ei})
+				}
+				if len(te)+len(ee) > 0 {
+					egr = append(egr, &ir.Stmt{Kind: ir.SIf, Cond: s.Cond.Clone(), Then: te, Else: ee})
+					mark(true)
+				}
+			} else {
+				anyI, anyE := false, false
+				iCase := make([]*ir.Case, len(s.Cases))
+				eCase := make([]*ir.Case, len(s.Cases))
+				for i, c := range s.Cases {
+					iCase[i] = &ir.Case{Values: c.Values, Default: c.Default, Body: caseSplits[i][0]}
+					eCase[i] = &ir.Case{Values: c.Values, Default: c.Default, Body: caseSplits[i][1]}
+					anyI = anyI || len(caseSplits[i][0]) > 0
+					anyE = anyE || len(caseSplits[i][1]) > 0
+				}
+				if anyI {
+					ing = append(ing, &ir.Stmt{Kind: ir.SSwitch, Cond: s.Cond.Clone(), Cases: iCase})
+				}
+				if anyE {
+					egr = append(egr, &ir.Stmt{Kind: ir.SSwitch, Cond: s.Cond.Clone(), Cases: eCase})
+					mark(true)
+				}
+			}
+		default:
+			io := ioOfStmt(s, sp.pl.Tables, sp.pl.Actions)
+			toEgress := force || io.readsEgressOnly()
+			if !toEgress {
+				for r := range io.reads {
+					if sp.egressWritten[r] {
+						toEgress = true
+						break
+					}
+				}
+			}
+			if !toEgress {
+				for w := range io.writes {
+					if sp.egressWritten[w] || sp.egressRead[w] {
+						toEgress = true
+						break
+					}
+				}
+			}
+			if toEgress {
+				if io.writesIngressOnly() {
+					sp.err = fmt.Errorf("statement both depends on egress-only metadata and writes the output port; V1Model cannot place it (%s)", ir.StmtString(s))
+					return ing, egr
+				}
+				egr = append(egr, s)
+				for w := range io.writes {
+					sp.egressWritten[w] = true
+				}
+				for r := range io.reads {
+					sp.egressRead[r] = true
+				}
+			} else {
+				ing = append(ing, s)
+				for w := range io.writes {
+					sp.ingressWritten[w] = true
+				}
+			}
+		}
+	}
+	return ing, egr
+}

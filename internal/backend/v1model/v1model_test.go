@@ -1,0 +1,242 @@
+package v1model_test
+
+import (
+	"strings"
+	"testing"
+
+	"microp4/internal/backend/v1model"
+	"microp4/internal/frontend"
+	"microp4/internal/ir"
+	"microp4/internal/lib"
+	"microp4/internal/mat"
+	"microp4/internal/midend"
+	"microp4/internal/sim"
+)
+
+func buildP4(t *testing.T) *mat.Pipeline {
+	t.Helper()
+	main, mods, err := lib.CompileProgram("P4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := midend.Build(main, mods...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Pipeline
+}
+
+func TestSplitAllIngress(t *testing.T) {
+	pl := buildP4(t)
+	part, err := v1model.Split(pl)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	// The router touches no queueing metadata: everything lands in
+	// ingress (as on the paper's example programs).
+	if len(part.Egress) != 0 {
+		t.Errorf("egress has %d statements, want 0", len(part.Egress))
+	}
+	if len(part.Ingress) != len(pl.Stmts) {
+		t.Errorf("ingress has %d statements, want %d", len(part.Ingress), len(pl.Stmts))
+	}
+	if len(part.BridgeMeta) != 0 {
+		t.Errorf("bridge metadata = %v, want none", part.BridgeMeta)
+	}
+}
+
+// egressSrc uses deq_timestamp, forcing a split: the monitor write and
+// everything depending on it must move to egress, and the nh value it
+// consumes must be bridged.
+const egressSrc = `
+struct empty_t { }
+header ethernet_h { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+struct hdr_t { ethernet_h eth; }
+program EgressUser : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.eth); transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, inout empty_t m, im_t im) {
+    bit<16> nh;
+    bit<32> lat;
+    bit<32> lat2;
+    action fwd(bit<9> port) { im.set_out_port(port); nh = 1; }
+    table fwd_tbl {
+      key = { h.eth.dstMac : exact; }
+      actions = { fwd; }
+    }
+    apply {
+      nh = 0;
+      fwd_tbl.apply();
+      lat = im.get_value(DEQ_TIMESTAMP);
+      if (nh == 1) {
+        lat2 = lat + 1;
+      }
+    }
+  }
+  control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.eth); } }
+}
+EgressUser(P, C, D) main;
+`
+
+func TestSplitWithEgressMetadata(t *testing.T) {
+	main, err := frontend.CompileModule("egress.up4", egressSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := midend.Build(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := v1model.Split(res.Pipeline)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if len(part.Egress) == 0 {
+		t.Fatal("no statements moved to egress despite deq_timestamp read")
+	}
+	// The lat assignment and the dependent conditional must be egress.
+	found := 0
+	ir.WalkStmts(part.Egress, func(s *ir.Stmt) {
+		if s.Kind == ir.SAssign && s.LHS.Kind == ir.ERef &&
+			(s.LHS.Ref == "lat" || s.LHS.Ref == "lat2") {
+			found++
+		}
+	})
+	if found != 2 {
+		t.Errorf("found %d egress latency assignments, want 2", found)
+	}
+	// Ingress must keep the table apply (it writes the output port).
+	hasTable := false
+	ir.WalkStmts(part.Ingress, func(s *ir.Stmt) {
+		if s.Kind == ir.SApplyTable && s.Table == "fwd_tbl" {
+			hasTable = true
+		}
+	})
+	if !hasTable {
+		t.Error("fwd_tbl not placed in ingress")
+	}
+	// nh crosses the boundary (written in ingress, read in egress), and
+	// so does the path-id the duplicated guard re-evaluates.
+	if len(part.BridgeMeta) != 2 || part.BridgeMeta[0] != "$pp" || part.BridgeMeta[1] != "nh" {
+		t.Errorf("bridge metadata = %v, want [$pp nh]", part.BridgeMeta)
+	}
+}
+
+// conflictSrc reads queueing metadata and then sets the output port in
+// the same statement chain — V1Model cannot place that.
+const conflictSrc = `
+struct empty_t { }
+header ethernet_h { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+struct hdr_t { ethernet_h eth; }
+program Conflicted : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.eth); transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, inout empty_t m, im_t im) {
+    apply {
+      if (im.get_value(DEQ_TIMESTAMP) > 100) {
+        im.set_out_port(9);
+      }
+    }
+  }
+  control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.eth); } }
+}
+Conflicted(P, C, D) main;
+`
+
+func TestSplitConstraintViolation(t *testing.T) {
+	main, err := frontend.CompileModule("conflict.up4", conflictSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := midend.Build(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v1model.Split(res.Pipeline); err == nil {
+		t.Error("Split accepted a statement that reads deq_timestamp and writes the output port")
+	}
+}
+
+func TestEmitV1Model(t *testing.T) {
+	pl := buildP4(t)
+	part, err := v1model.Split(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := v1model.Emit(pl, part)
+	for _, want := range []string{
+		"#include <v1model.p4>",
+		"byte_h[54] bs",            // P4's byte-stack is 54 bytes
+		"control up4_ingress",      // partitioned controls
+		"control up4_egress",       // (empty but present)
+		"forward_tbl",              // the user table survives
+		"l3_i_ipv4_i_ipv4_lpm_tbl", // composed module table, mangled
+		"V1Switch(",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated V1Model source missing %q", want)
+		}
+	}
+	// Deterministic output.
+	if src != v1model.Emit(pl, part) {
+		t.Error("Emit is not deterministic")
+	}
+}
+
+// TestPartitionPreservesSemantics executes the partitioned pipeline
+// (ingress then egress) and the original pipeline on traffic and
+// requires identical outcomes — the paper's partitioning is a
+// program transformation, not just an annotation.
+func TestPartitionPreservesSemantics(t *testing.T) {
+	main, err := frontend.CompileModule("egress.up4", egressSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := midend.Build(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := v1model.Split(res.Pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := *res.Pipeline
+	split.Stmts = append(append([]*ir.Stmt(nil), part.Ingress...), part.Egress...)
+
+	tables := sim.NewTables()
+	tables.AddEntry("fwd_tbl", []sim.RuntimeKey{sim.Exact(0xAB)}, "fwd", 3)
+	orig := sim.NewExec(res.Pipeline, tables)
+	parted := sim.NewExec(&split, tables)
+
+	for i := 0; i < 50; i++ {
+		data := pktBytes(uint64(i%3) * 0x55) // vary the dmac
+		m := sim.Metadata{InPort: uint64(i)}
+		r1, err := orig.Process(data, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := parted.Process(data, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Dropped != r2.Dropped || len(r1.Out) != len(r2.Out) {
+			t.Fatalf("pkt %d: partitioned pipeline diverges", i)
+		}
+		for j := range r1.Out {
+			if r1.Out[j].Port != r2.Out[j].Port || string(r1.Out[j].Data) != string(r2.Out[j].Data) {
+				t.Fatalf("pkt %d out %d differs", i, j)
+			}
+		}
+	}
+}
+
+func pktBytes(dmac uint64) []byte {
+	b := make([]byte, 14)
+	for i := 0; i < 6; i++ {
+		b[i] = byte(dmac >> uint(40-8*i))
+	}
+	b[12] = 0x08
+	return append(b, []byte("payload")...)
+}

@@ -1,0 +1,187 @@
+// Package eval regenerates the paper's evaluation artifacts: Table 1
+// (the module×program composition matrix), Table 2 (PHV resource
+// overhead of µP4 vs monolithic on the modeled Tofino), Table 3 (MAU
+// stage counts), and the worked examples of Fig. 9 (static analysis),
+// Fig. 10 (parser→MAT), and Fig. 13 (packet slicing).
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"microp4/internal/backend/tna"
+	"microp4/internal/ir"
+	"microp4/internal/lib"
+	"microp4/internal/midend"
+)
+
+// Table1 renders the composition matrix (which library modules make up
+// each composed program).
+func Table1() string {
+	// Collect all module rows in the paper's order.
+	rows := []string{"ACL", "Eth", "IPv4", "IPv6", "MPLS", "NAT", "NPTv6", "SRv4", "SRv6"}
+	var b strings.Builder
+	b.WriteString("Table 1: Composing µP4 modules to build dataplane programs\n\n")
+	fmt.Fprintf(&b, "%-8s", "Module")
+	for _, p := range lib.Programs {
+		fmt.Fprintf(&b, " %-3s", p.Name)
+	}
+	b.WriteString("\n")
+	for _, mod := range rows {
+		fmt.Fprintf(&b, "%-8s", mod)
+		for _, p := range lib.Programs {
+			mark := " "
+			for _, m := range p.Table1Row {
+				if m == mod {
+					mark = "x"
+				}
+			}
+			fmt.Fprintf(&b, " %-3s", mark)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ResourcePair is one program's composed and monolithic Tofino reports.
+type ResourcePair struct {
+	Program  string
+	Composed *tna.Report
+	Mono     *tna.Report
+}
+
+// CompileAll maps every program of Table 1 onto the modeled Tofino via
+// both paths.
+func CompileAll() ([]ResourcePair, error) {
+	opts := tna.DefaultOptions()
+	var out []ResourcePair
+	for _, m := range lib.Programs {
+		main, mods, err := lib.CompileProgram(m.Name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.Name, err)
+		}
+		res, err := midend.Build(main, mods...)
+		if err != nil {
+			return nil, fmt.Errorf("%s: midend: %w", m.Name, err)
+		}
+		comp, err := tna.CompileComposed(res.Pipeline, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: composed: %w", m.Name, err)
+		}
+		mono, err := lib.CompileMonolithic(m.Name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: mono: %w", m.Name, err)
+		}
+		tmono, err := midend.Transform(mono)
+		if err != nil {
+			return nil, fmt.Errorf("%s: transform: %w", m.Name, err)
+		}
+		mrep, err := tna.CompileMonolithic(tmono, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: mono backend: %w", m.Name, err)
+		}
+		out = append(out, ResourcePair{Program: m.Name, Composed: comp, Mono: mrep})
+	}
+	return out, nil
+}
+
+func pct(c, m int) string {
+	if m == 0 {
+		return "   inf"
+	}
+	return fmt.Sprintf("%6.2f", float64(c-m)/float64(m)*100)
+}
+
+// Table2 renders the PHV resource overhead of µP4 programs relative to
+// their monolithic versions (usage(µP4)−usage(mono))/usage(mono)×100%.
+func Table2(pairs []ResourcePair) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Resource overhead of µP4 programs relative to monolithic\n")
+	b.WriteString("(modeled Tofino PHV; percentages)\n\n")
+	fmt.Fprintf(&b, "%-8s %22s %22s\n", "", "PHV Container Used", "")
+	fmt.Fprintf(&b, "%-8s %6s %6s %6s %8s\n", "Program", "8b", "16b", "32b", "Bits")
+	for _, p := range pairs {
+		if !p.Mono.Feasible {
+			fmt.Fprintf(&b, "%-8s NA: Monolithic failed to compile (%s)\n", p.Program, p.Mono.Reason)
+			continue
+		}
+		if !p.Composed.Feasible {
+			fmt.Fprintf(&b, "%-8s NA: µP4 program failed to compile (%s)\n", p.Program, p.Composed.Reason)
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %s %s %s %s\n", p.Program,
+			pct(p.Composed.Used8, p.Mono.Used8),
+			pct(p.Composed.Used16, p.Mono.Used16),
+			pct(p.Composed.Used32, p.Mono.Used32),
+			pct(p.Composed.Bits, p.Mono.Bits))
+	}
+	b.WriteString("\nAbsolute usage (containers; bits):\n")
+	fmt.Fprintf(&b, "%-8s %28s %28s\n", "Program", "µP4 composed", "monolithic")
+	for _, p := range pairs {
+		c, m := p.Composed, p.Mono
+		comp := fmt.Sprintf("%d/%d/%d; %d", c.Used8, c.Used16, c.Used32, c.Bits)
+		if !c.Feasible {
+			comp = "failed"
+		}
+		mono := fmt.Sprintf("%d/%d/%d; %d", m.Used8, m.Used16, m.Used32, m.Bits)
+		if !m.Feasible {
+			mono = "failed"
+		}
+		fmt.Fprintf(&b, "%-8s %28s %28s\n", p.Program, comp, mono)
+	}
+	return b.String()
+}
+
+// Table3 renders the MAU stage counts.
+func Table3(pairs []ResourcePair) string {
+	var b strings.Builder
+	b.WriteString("Table 3: Number of stages utilized on the modeled Tofino\n\n")
+	fmt.Fprintf(&b, "%-16s", "#stages")
+	for _, p := range pairs {
+		fmt.Fprintf(&b, " %4s", p.Program)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-16s", "P4 monolithic")
+	for _, p := range pairs {
+		if p.Mono.Feasible {
+			fmt.Fprintf(&b, " %4d", p.Mono.Stages)
+		} else {
+			fmt.Fprintf(&b, " %4s", "NA")
+		}
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-16s", "µP4 composed")
+	for _, p := range pairs {
+		if p.Composed.Feasible {
+			fmt.Fprintf(&b, " %4d", p.Composed.Stages)
+		} else {
+			fmt.Fprintf(&b, " %4s", "NA")
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// ModuleList renders the library inventory.
+func ModuleList() string {
+	names := lib.ModuleNames()
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("µP4 module library:\n")
+	for _, n := range names {
+		p, err := lib.CompileModuleIR(n)
+		if err != nil {
+			fmt.Fprintf(&b, "  %-8s (compile error: %v)\n", n, err)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-8s %-13s tables=%d actions=%d\n",
+			n, p.Interface, len(p.Tables), len(p.Actions))
+	}
+	return b.String()
+}
+
+// midendBuild is a thin seam for the figure renderers.
+func midendBuild(main *ir.Program, mods ...*ir.Program) (*midend.Result, error) {
+	return midend.Build(main, mods...)
+}

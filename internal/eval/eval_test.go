@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Rendering(t *testing.T) {
+	out := Table1()
+	if !strings.Contains(out, "Eth") || !strings.Contains(out, "P7") {
+		t.Errorf("table 1 incomplete:\n%s", out)
+	}
+	// Eth appears in all seven programs.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Eth") && strings.Count(line, "x") != 7 {
+			t.Errorf("Eth row should have 7 marks: %q", line)
+		}
+		if strings.HasPrefix(line, "IPv4") && strings.Count(line, "x") != 6 {
+			t.Errorf("IPv4 row should have 6 marks: %q", line)
+		}
+		if strings.HasPrefix(line, "SRv6") && strings.Count(line, "x") != 1 {
+			t.Errorf("SRv6 row should have 1 mark: %q", line)
+		}
+	}
+}
+
+func TestTables2And3(t *testing.T) {
+	pairs, err := CompileAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 7 {
+		t.Fatalf("got %d pairs, want 7", len(pairs))
+	}
+	t2 := Table2(pairs)
+	if !strings.Contains(t2, "NA: Monolithic failed to compile") {
+		t.Errorf("table 2 must report the P7 monolithic failure:\n%s", t2)
+	}
+	t3 := Table3(pairs)
+	if !strings.Contains(t3, "NA") {
+		t.Errorf("table 3 must show NA for monolithic P7:\n%s", t3)
+	}
+	t.Logf("\n%s\n%s\n%s", Table1(), t2, t3)
+}
+
+func TestFigures(t *testing.T) {
+	f9, res, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Main().El != 78 || res.Main().Bs != 98 {
+		t.Errorf("figure 9: El=%d Bs=%d, want 78/98", res.Main().El, res.Main().Bs)
+	}
+	f10, err := Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f10, "bs[") {
+		t.Errorf("figure 10 missing byte-stack keys:\n%s", f10)
+	}
+	f13, err := Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f13, "thread") || !strings.Contains(f13, "serialized order") {
+		t.Errorf("figure 13 incomplete:\n%s", f13)
+	}
+	t.Logf("\n%s\n%s\n%s", f9, f10, f13)
+}
+
+func TestModuleList(t *testing.T) {
+	out := ModuleList()
+	for _, m := range []string{"IPv4", "IPv6", "MPLS", "NAT", "NPTv6", "SRv4", "SRv6", "ACL", "L3"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("module list missing %s:\n%s", m, out)
+		}
+	}
+}

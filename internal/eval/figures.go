@@ -1,0 +1,295 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"microp4/internal/analysis"
+	"microp4/internal/frontend"
+	"microp4/internal/ir"
+	"microp4/internal/linker"
+	"microp4/internal/pdg"
+)
+
+// Figure-9 programs: the exact header sizes of the paper's worked
+// example (eth 14B, mpls 4B, ipv6 40B, ipv4 20B).
+const fig9Headers = `
+struct empty_t { }
+header eth_h  { bit<48> dst; bit<48> src; bit<16> etherType; }
+header mpls_h { bit<20> label; bit<3> tc; bit<1> s; bit<8> ttl; }
+header ipv6_h { bit<4> version; bit<8> tclass; bit<20> flowlabel; bit<16> plen;
+                bit<8> nexthdr; bit<8> hoplimit; bit<64> srcHi; bit<64> srcLo;
+                bit<64> dstHi; bit<64> dstLo; }
+header ipv4_h { bit<4> version; bit<4> ihl; bit<8> tos; bit<16> totalLen;
+                bit<16> id; bit<3> flags; bit<13> frag; bit<8> ttl;
+                bit<8> protocol; bit<16> csum; bit<32> src; bit<32> dst; }
+`
+
+// Fig9Callee1 parses eth+mpls+ipv6 (58B), removes mpls (δ=4) and adds
+// ipv4 (Δ=20).
+const Fig9Callee1 = fig9Headers + `
+struct c1hdr_t { eth_h eth; mpls_h mpls; ipv6_h ipv6; ipv4_h ipv4; }
+program Callee1 : implements Unicast {
+  parser P(extractor ex, pkt p, out c1hdr_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.eth); transition parse_mpls; }
+    state parse_mpls { ex.extract(p, h.mpls); transition parse_ipv6; }
+    state parse_ipv6 { ex.extract(p, h.ipv6); transition accept; }
+  }
+  control C(pkt p, inout c1hdr_t h, inout empty_t m, im_t im) {
+    apply {
+      h.mpls.setInvalid();
+      h.ipv4.setValid();
+    }
+  }
+  control D(emitter em, pkt p, in c1hdr_t h) {
+    apply { em.emit(p, h.eth); em.emit(p, h.mpls); em.emit(p, h.ipv4); em.emit(p, h.ipv6); }
+  }
+}
+`
+
+// Fig9Callee2 may extract eth, ipv6 and ipv4 (up to 74B).
+const Fig9Callee2 = fig9Headers + `
+struct c2hdr_t { eth_h eth; ipv6_h ipv6; ipv4_h ipv4; }
+program Callee2 : implements Unicast {
+  parser P(extractor ex, pkt p, out c2hdr_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) { 0x86DD: parse_ipv6; default: accept; };
+    }
+    state parse_ipv6 {
+      ex.extract(p, h.ipv6);
+      transition select(h.ipv6.nexthdr) { 4: parse_ipv4; default: accept; };
+    }
+    state parse_ipv4 { ex.extract(p, h.ipv4); transition accept; }
+  }
+  control C(pkt p, inout c2hdr_t h, inout empty_t m, im_t im) { apply { } }
+  control D(emitter em, pkt p, in c2hdr_t h) {
+    apply { em.emit(p, h.eth); em.emit(p, h.ipv6); em.emit(p, h.ipv4); }
+  }
+}
+`
+
+// Fig9Caller invokes both callees on one control path.
+const Fig9Caller = fig9Headers + `
+struct nohdr_t { }
+Callee1(pkt p, im_t im);
+Callee2(pkt p, im_t im);
+program Caller : implements Unicast {
+  parser P(extractor ex, pkt p, out nohdr_t h, inout empty_t m, im_t im) {
+    state start { transition accept; }
+  }
+  control C(pkt p, inout nohdr_t h, inout empty_t m, im_t im) {
+    Callee1() c1;
+    Callee2() c2;
+    apply {
+      c1.apply(p, im);
+      c2.apply(p, im);
+    }
+  }
+  control D(emitter em, pkt p, in nohdr_t h) { apply { } }
+}
+`
+
+// Figure9 runs the static analysis on the §5.2 worked example and
+// renders the computed operational regions (the paper's numbers:
+// El(caller)=78, Bs(caller)=98).
+func Figure9() (string, *analysis.Result, error) {
+	c1, err := frontend.CompileModule("callee1.up4", Fig9Callee1)
+	if err != nil {
+		return "", nil, err
+	}
+	c2, err := frontend.CompileModule("callee2.up4", Fig9Callee2)
+	if err != nil {
+		return "", nil, err
+	}
+	caller, err := frontend.CompileModule("caller.up4", Fig9Caller)
+	if err != nil {
+		return "", nil, err
+	}
+	l, err := linker.Link(caller, c1, c2)
+	if err != nil {
+		return "", nil, err
+	}
+	res, err := analysis.Analyze(l)
+	if err != nil {
+		return "", nil, err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 9: static analysis with multiple callees in a control path\n\n")
+	fmt.Fprintf(&b, "%-10s %4s %4s %4s %4s %4s %7s\n", "program", "Elp", "Elc", "El", "Δ", "δ", "Bs")
+	for _, name := range res.Order {
+		st := res.Stats[name]
+		fmt.Fprintf(&b, "%-10s %4d %4d %4d %4d %4d %7d\n",
+			name, st.Elp, st.Elc, st.El, st.Inc, st.Dec, st.Bs)
+	}
+	main := res.Main()
+	fmt.Fprintf(&b, "\npaper: El(caller) = 4 + 74 = 78 (got %d); Bs = 78 + 20 = 98 (got %d)\n",
+		main.El, main.Bs)
+	return b.String(), res, nil
+}
+
+// Fig10Src is the parser of Fig. 10a (eth → IPv6|IPv4 → TCP with the
+// var_y forward-substitution example).
+const Fig10Src = `
+struct meta_t { bit<8> data1; bit<8> data2; }
+header eth_h  { bit<48> dst; bit<48> src; bit<16> ethType; }
+header ipv6_h { bit<4> version; bit<8> tclass; bit<20> flowlabel; bit<16> plen;
+                bit<8> nexthdr; bit<8> hoplimit; bit<64> srcHi; bit<64> srcLo;
+                bit<64> dstHi; bit<64> dstLo; }
+header ipv4_h { bit<4> version; bit<4> ihl; bit<8> tos; bit<16> totalLen;
+                bit<16> id; bit<3> flags; bit<13> frag; bit<8> ttl;
+                bit<8> protocol; bit<16> csum; bit<32> src; bit<32> dst; }
+header tcp_h  { bit<16> sport; bit<16> dport; bit<32> seq; bit<32> ack;
+                bit<4> dataOff; bit<4> res; bit<8> flags; bit<16> window;
+                bit<16> csum; bit<16> urgent; }
+struct hdr_t { eth_h eth; ipv6_h ipv6; ipv4_h ipv4; tcp_h tcp; }
+
+program Fig10 : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h, inout meta_t m, im_t im) {
+    bit<8> var_y;
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.ethType) {
+        0x86DD: parse_ipv6;
+        0x0800: parse_ipv4;
+      };
+    }
+    state parse_ipv6 {
+      ex.extract(p, h.ipv6);
+      var_y = m.data1;
+      transition select(h.ipv6.nexthdr) { 0x6: parse_tcp; };
+    }
+    state parse_ipv4 {
+      ex.extract(p, h.ipv4);
+      var_y = m.data2;
+      transition select(h.ipv4.protocol) { 0x6: parse_tcp; };
+    }
+    state parse_tcp {
+      ex.extract(p, h.tcp);
+      transition select(var_y) { 0xFF: accept; };
+    }
+  }
+  control C(pkt p, inout hdr_t h, inout meta_t m, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) {
+    apply { em.emit(p, h.eth); em.emit(p, h.ipv6); em.emit(p, h.ipv4); em.emit(p, h.tcp); }
+  }
+}
+Fig10(P, C, D) main;
+`
+
+// Figure10 runs the parser→MAT transformation on the Fig. 10 parser and
+// renders the synthesized table.
+func Figure10() (string, error) {
+	main, err := frontend.CompileModule("fig10.up4", Fig10Src)
+	if err != nil {
+		return "", err
+	}
+	res, err := midendBuild(main)
+	if err != nil {
+		return "", err
+	}
+	tbl := res.Pipeline.Tables["$parser_tbl"]
+	if tbl == nil {
+		return "", fmt.Errorf("no parser MAT synthesized")
+	}
+	var b strings.Builder
+	b.WriteString("Figure 10: transformation of a parser to a MAT control block\n\n")
+	b.WriteString("key = {\n")
+	for _, k := range tbl.Keys {
+		fmt.Fprintf(&b, "  %s : %s;\n", k.Expr, k.MatchKind)
+	}
+	b.WriteString("}\nentries (priority order):\n")
+	for i, e := range tbl.Entries {
+		var cells []string
+		for _, ek := range e.Keys {
+			switch {
+			case ek.DontCare:
+				cells = append(cells, "_")
+			case ek.HasMask:
+				cells = append(cells, fmt.Sprintf("%#x&&&%#x", ek.Value, ek.Mask))
+			default:
+				cells = append(cells, fmt.Sprintf("%#x", ek.Value))
+			}
+		}
+		fmt.Fprintf(&b, "  %2d: (%s) : %s\n", i, strings.Join(cells, ", "), e.Action.Name)
+	}
+	fmt.Fprintf(&b, "default_action : %s\n", tbl.Default.Name)
+	fmt.Fprintf(&b, "\npaper: 2 accept paths (54B eth-ipv4-tcp, 74B eth-ipv6-tcp); ours adds a\ntruncation guard per path (entries %d total)\n", len(tbl.Entries))
+	return b.String(), nil
+}
+
+// Fig13Src is the §C packet-slicing example (A-B validation).
+const Fig13Src = `
+struct empty_t { }
+struct nohdr_t { }
+Prog(pkt p, im_t im, out bit<32> res);
+Test(pkt p, im_t im, out bit<32> res);
+Log(pkt p, im_t im, in bit<32> a, in bit<32> b);
+program Validate : implements Orchestration {
+  control C(pkt p, inout nohdr_t h, inout empty_t m, im_t im, out_buf ob) {
+    pkt pm;
+    pkt pt;
+    im_t imm;
+    im_t it;
+    bit<32> hp;
+    bit<32> ht;
+    Prog() prog_i;
+    Test() test_i;
+    Log() log_i;
+    apply {
+      pm.copy_from(p);
+      imm.copy_from(im);
+      pt.copy_from(p);
+      it.copy_from(im);
+      prog_i.apply(p, im, hp);
+      test_i.apply(pt, it, ht);
+      if (hp != ht) {
+        log_i.apply(pm, imm, hp, ht);
+        ob.enqueue(pm, imm);
+      }
+      it.set_out_port(DROP);
+      ob.enqueue(p, im);
+      ob.enqueue(pt, it);
+    }
+  }
+}
+Validate(C) main;
+`
+
+// Figure13 computes the packet slices and PPS of the §C example.
+func Figure13() (string, error) {
+	p, err := frontend.CompileModule("fig13.up4", Fig13Src)
+	if err != nil {
+		return "", err
+	}
+	g := pdg.Build(p)
+	slices := g.Slices()
+	pps, err := g.BuildPPS()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 13: slicing for multi-packet processing\n\n")
+	// Invert: node -> slice labels (1=pm, 2=p, 3=pt as in the figure).
+	labelOf := map[string]string{"pm": "1", "$pkt": "2", "pt": "3"}
+	nodeLabels := make(map[int][]string)
+	for pkt, ids := range slices {
+		for _, id := range ids {
+			nodeLabels[id] = append(nodeLabels[id], labelOf[pkt])
+		}
+	}
+	for _, n := range g.Nodes {
+		ls := nodeLabels[n.ID]
+		stmt := strings.TrimRight(ir.StmtString(n.Stmt), "\n")
+		if i := strings.IndexByte(stmt, '\n'); i > 0 {
+			stmt = stmt[:i] + " ..."
+		}
+		fmt.Fprintf(&b, "  /* %-5s */ %s\n", strings.Join(ls, ","), stmt)
+	}
+	b.WriteString("\nPacket-Processing Schedule:\n")
+	for _, th := range pps.Threads {
+		fmt.Fprintf(&b, "  thread %-5s nodes %v\n", th.Pkt, th.Nodes)
+	}
+	fmt.Fprintf(&b, "  edges %v\n  serialized order: %v\n", pps.Edges, pps.Order)
+	return b.String(), nil
+}

@@ -1,0 +1,241 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+)
+
+// wrap builds a minimal program around a control body.
+func wrap(body string) string {
+	return `
+struct empty_t { }
+header ethernet_h { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+struct hdr_t { ethernet_h eth; }
+program W : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.eth); transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, inout empty_t m, im_t im) { ` + body + ` }
+  control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.eth); } }
+}
+`
+}
+
+func TestLoweringErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no-program", "header h_t { bit<8> f; }", "no program"},
+		{"two-deparsers", `
+struct empty_t { }
+struct h_t { }
+program W : implements Unicast {
+  parser P(extractor ex, pkt p, out h_t h, inout empty_t m, im_t im) { state start { transition accept; } }
+  control C(pkt p, inout h_t h, inout empty_t m, im_t im) { apply { } }
+  control D1(emitter em, pkt p, in h_t h) { apply { } }
+  control D2(emitter em, pkt p, in h_t h) { apply { } }
+}`, "more than one deparser"},
+		{"two-controls", `
+struct empty_t { }
+struct h_t { }
+program W : implements Unicast {
+  parser P(extractor ex, pkt p, out h_t h, inout empty_t m, im_t im) { state start { transition accept; } }
+  control C1(pkt p, inout h_t h, inout empty_t m, im_t im) { apply { } }
+  control C2(pkt p, inout h_t h, inout empty_t m, im_t im) { apply { } }
+}`, "more than one non-deparser"},
+		{"bad-register-args", wrap(`register(0, 32) r; apply { }`), "register"},
+		{"register-width", wrap(`register(16, 128) r; apply { }`), "width"},
+		{"module-struct-param", `
+struct empty_t { }
+struct h_t { }
+struct odd_t { bit<8> x; }
+M(pkt p, im_t im, in odd_t o);
+program W : implements Unicast {
+  parser P(extractor ex, pkt p, out h_t h, inout empty_t m, im_t im) { state start { transition accept; } }
+  control C(pkt p, inout h_t h, inout empty_t m, im_t im) { M() m_i; apply { } }
+}`, "bit-typed data parameters"},
+	}
+	for _, c := range cases {
+		_, err := CompileModule(c.name+".up4", c.src)
+		if err == nil {
+			t.Errorf("%s: compiled, want error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestBoolAndCastLowering(t *testing.T) {
+	p, err := CompileModule("bc.up4", wrap(`
+    bool flag;
+    bit<8> small;
+    bit<32> wide;
+    apply {
+      flag = true;
+      small = 0xFF;
+      wide = (bit<32>) small;
+      small = (bit<8>) wide;
+      if (flag) {
+        wide = wide + 1;
+      }
+      flag = h.eth.etherType == 0x0800;
+    }`))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if d := p.DeclByPath("flag"); d == nil || d.Kind != "bool" {
+		t.Errorf("flag decl = %+v", d)
+	}
+}
+
+func TestSliceAssignLowering(t *testing.T) {
+	p, err := CompileModule("sl.up4", wrap(`
+    bit<32> acc;
+    apply {
+      acc[7:0] = (bit<8>) h.eth.etherType;
+      acc[31:16] = h.eth.etherType;
+    }`))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(p.Apply) != 2 {
+		t.Fatalf("apply = %d stmts", len(p.Apply))
+	}
+	lhs := p.Apply[0].LHS
+	if lhs.Kind != "slice" || lhs.Hi != 7 || lhs.Lo != 0 {
+		t.Errorf("slice lhs = %+v", lhs)
+	}
+}
+
+func TestMetaGetValueLowering(t *testing.T) {
+	p, err := CompileModule("gv.up4", wrap(`
+    bit<32> ts;
+    apply {
+      ts = im.get_value(IN_TIMESTAMP);
+      if (im.get_out_port() == 0) {
+        im.set_out_port(3);
+      }
+    }`))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if p.Apply[0].RHS.Ref != "$im.meta.IN_TIMESTAMP" {
+		t.Errorf("get_value ref = %s", p.Apply[0].RHS.Ref)
+	}
+}
+
+func TestConcatAndShift(t *testing.T) {
+	p, err := CompileModule("cc.up4", wrap(`
+    bit<32> combined;
+    apply {
+      combined = h.eth.etherType ++ h.eth.etherType;
+      combined = combined << 4;
+      combined = combined >> 2;
+      combined = ~combined;
+      combined = -combined;
+    }`))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if p.Apply[0].RHS.Op != "++" || p.Apply[0].RHS.Width != 32 {
+		t.Errorf("concat = %+v", p.Apply[0].RHS)
+	}
+}
+
+// TestTypedefAndConsts drives typedefs and named constants through the
+// whole frontend: header fields, table entries, select cases.
+func TestTypedefAndConsts(t *testing.T) {
+	src := `
+typedef bit<48> mac_t;
+typedef bit<16> etype_t;
+const etype_t TYPE_IPV4 = 0x0800;
+const bit<9> CPU_PORT = 64;
+struct empty_t { }
+header ethernet_h { mac_t dstMac; mac_t srcMac; etype_t etherType; }
+header ipv4_h { bit<8> ttl; bit<8> protocol; bit<16> csum; bit<32> src; bit<32> dst; }
+struct hdr_t { ethernet_h eth; ipv4_h ipv4; }
+program TD : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) {
+        TYPE_IPV4: parse_v4;
+        default: accept;
+      };
+    }
+    state parse_v4 { ex.extract(p, h.ipv4); transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, inout empty_t m, im_t im) {
+    action to_cpu() { im.set_out_port(CPU_PORT); }
+    action keep() { }
+    table punt {
+      key = { h.eth.etherType : exact; }
+      actions = { to_cpu; keep; }
+      const entries = {
+        TYPE_IPV4 : keep();
+      }
+      default_action = to_cpu;
+    }
+    apply { punt.apply(); }
+  }
+  control D(emitter em, pkt p, in hdr_t h) {
+    apply { em.emit(p, h.eth); em.emit(p, h.ipv4); }
+  }
+}
+TD(P, C, D) main;
+`
+	p, err := CompileModule("td.up4", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if p.Headers["ethernet_h"].Field("dstMac").Width != 48 {
+		t.Error("typedef width lost")
+	}
+	tr := p.Parser.State("start").Trans
+	if tr.Cases[0].Values[0] != 0x0800 {
+		t.Errorf("const select case = %#x", tr.Cases[0].Values[0])
+	}
+	tbl := p.Tables["punt"]
+	if tbl.Entries[0].Keys[0].Value != 0x0800 {
+		t.Errorf("const entry key = %#x", tbl.Entries[0].Keys[0].Value)
+	}
+	cpu := p.Actions["to_cpu"]
+	if cpu.Body[0].RHS.Value != 64 {
+		t.Errorf("const action arg = %+v", cpu.Body[0].RHS)
+	}
+}
+
+// TestMaskedSelectEndToEnd checks &&& select masks survive lowering.
+func TestMaskedSelectEndToEnd(t *testing.T) {
+	src := `
+struct empty_t { }
+header v_h { bit<16> tagged; }
+header w_h { bit<8> x; }
+struct hdr_t { v_h v; w_h w; }
+program MK : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.v);
+      transition select(h.v.tagged) {
+        0x8100 &&& 0xEFFF: parse_w;
+        default: accept;
+      };
+    }
+    state parse_w { ex.extract(p, h.w); transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, inout empty_t m, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.v); em.emit(p, h.w); } }
+}
+MK(P, C, D) main;
+`
+	p, err := CompileModule("mk.up4", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	c := p.Parser.State("start").Trans.Cases[0]
+	if !c.HasMask[0] || c.Masks[0] != 0xEFFF || c.Values[0] != 0x8100 {
+		t.Errorf("masked case = %+v", c)
+	}
+}

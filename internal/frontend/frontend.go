@@ -1,0 +1,400 @@
+// Package frontend lowers a checked µP4 AST into µP4-IR (paper Fig. 4a:
+// "µP4C --arch=µPA" compiles an individual module into IR).
+//
+// Lowering normalizes the storage namespace: the packet extern becomes
+// "$pkt", intrinsic metadata "$im", the parsed-headers struct "$hdr", and
+// user metadata "$meta". Module data parameters and local variables keep
+// their declared names. This normalization is what makes composition by
+// prefixing (ir.Program.Prefixed) well-defined.
+package frontend
+
+import (
+	"fmt"
+
+	"microp4/internal/ast"
+	"microp4/internal/ir"
+	"microp4/internal/parser"
+	"microp4/internal/types"
+)
+
+// Canonical storage roots.
+const (
+	PktPath  = "$pkt"
+	ImPath   = "$im"
+	HdrPath  = "$hdr"
+	MetaPath = "$meta"
+)
+
+// CompileModule parses, checks, and lowers one µP4 source file containing
+// exactly one program declaration, returning its IR.
+func CompileModule(name, src string) (*ir.Program, error) {
+	f, err := parser.ParseFile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	env, err := types.Check(f)
+	if err != nil {
+		return nil, err
+	}
+	progs := make([]*ast.ProgramDecl, 0, 1)
+	for _, d := range f.Decls {
+		if pd, ok := d.(*ast.ProgramDecl); ok {
+			progs = append(progs, pd)
+		}
+	}
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("%s: no program declaration", name)
+	}
+	target := progs[0]
+	if env.Main != nil {
+		target = env.Programs[env.Main.TypeName]
+	} else if len(progs) > 1 {
+		return nil, fmt.Errorf("%s: multiple programs and no main instantiation", name)
+	}
+	return Lower(env, target)
+}
+
+// binding maps a source name to its canonical IR path and type.
+type binding struct {
+	path string
+	t    *types.Type
+}
+
+type lowerer struct {
+	env   *types.Env
+	prog  *ir.Program
+	binds []map[string]*binding // scope stack
+	// action param namespace: set while lowering an action body.
+	actionName string
+	actionPrms map[string]int // param name -> width
+	inParser   bool
+}
+
+func (lw *lowerer) pushScope() { lw.binds = append(lw.binds, make(map[string]*binding)) }
+func (lw *lowerer) popScope()  { lw.binds = lw.binds[:len(lw.binds)-1] }
+
+func (lw *lowerer) bind(name, path string, t *types.Type) {
+	lw.binds[len(lw.binds)-1][name] = &binding{path: path, t: t}
+}
+
+func (lw *lowerer) lookup(name string) *binding {
+	for i := len(lw.binds) - 1; i >= 0; i-- {
+		if b, ok := lw.binds[i][name]; ok {
+			return b
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) errf(pos ast.Pos, format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%s: %s", lw.env.FileName, pos, fmt.Sprintf(format, args...))
+}
+
+// Lower converts one checked program declaration into IR.
+func Lower(env *types.Env, pd *ast.ProgramDecl) (*ir.Program, error) {
+	lw := &lowerer{
+		env: env,
+		prog: &ir.Program{
+			Name:       pd.Name,
+			Interface:  pd.Interface,
+			SourceFile: env.FileName,
+			Headers:    make(map[string]*ir.HeaderType),
+			Actions:    make(map[string]*ir.Action),
+			Tables:     make(map[string]*ir.Table),
+			Protos:     make(map[string]*ir.Proto),
+		},
+	}
+	for name, h := range env.Headers {
+		ht := &ir.HeaderType{Name: name, BitWidth: h.BitWidth, HasVarbit: h.HasVarbit}
+		for _, f := range h.Fields {
+			ht.Fields = append(ht.Fields, ir.HeaderField{
+				Name: f.Name, Width: f.Width, Offset: f.Offset, Varbit: f.Varbit, MaxWidth: f.MaxWidth,
+			})
+		}
+		lw.prog.Headers[name] = ht
+	}
+	for name, proto := range env.Protos {
+		p := &ir.Proto{Name: name}
+		for _, prm := range proto.Params {
+			t, err := env.Resolve(prm.T)
+			if err != nil {
+				return nil, err
+			}
+			if t.Kind == types.KindExtern {
+				continue // pkt/im_t are implicit in IR calls
+			}
+			if t.Kind != types.KindBit {
+				return nil, lw.errf(prm.P, "module prototype %s: only bit-typed data parameters are supported, got %s", name, t)
+			}
+			p.Params = append(p.Params, ir.ModParam{Name: prm.Name, Dir: prm.Dir.String(), Width: t.Width})
+		}
+		lw.prog.Protos[name] = p
+	}
+
+	// Identify the main control and deparser.
+	var mainCtrl, deparser *ast.ControlDecl
+	for _, c := range pd.Controls {
+		if types.IsDeparser(c) {
+			if deparser != nil {
+				return nil, lw.errf(c.P, "program %s has more than one deparser control", pd.Name)
+			}
+			deparser = c
+		} else {
+			if mainCtrl != nil {
+				return nil, lw.errf(c.P, "program %s has more than one non-deparser control; µPA pipelines are parser/control/deparser", pd.Name)
+			}
+			mainCtrl = c
+		}
+	}
+	if mainCtrl == nil {
+		return nil, fmt.Errorf("%s: program %s has no main control block", env.FileName, pd.Name)
+	}
+
+	lw.pushScope()
+	// Bind block parameters across parser/control/deparser into the
+	// canonical namespace, and record the module signature.
+	if err := lw.bindBlockParams(mainCtrl.Params, true); err != nil {
+		return nil, err
+	}
+	if pd.Parser != nil {
+		if err := lw.bindBlockParams(pd.Parser.Params, false); err != nil {
+			return nil, err
+		}
+	}
+	if deparser != nil {
+		if err := lw.bindBlockParams(deparser.Params, false); err != nil {
+			return nil, err
+		}
+	}
+
+	// Parser locals.
+	if pd.Parser != nil {
+		for _, v := range pd.Parser.Locals {
+			if err := lw.declareLocal(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Control locals: vars, instances, actions, tables.
+	for _, l := range mainCtrl.Locals {
+		switch l := l.(type) {
+		case *ast.VarDecl:
+			if err := lw.declareLocal(l); err != nil {
+				return nil, err
+			}
+		case *ast.InstDecl:
+			if types.IsExternName(l.TypeName) {
+				inst := ir.Instance{Name: l.Name, Extern: l.TypeName}
+				if l.TypeName == "register" {
+					// register(size, width) name; — the §8.2 extension.
+					if len(l.Args) != 2 {
+						return nil, lw.errf(l.P, "register takes (size, width) constructor arguments")
+					}
+					size, err := env.EvalConst(l.Args[0])
+					if err != nil {
+						return nil, err
+					}
+					width, err := env.EvalConst(l.Args[1])
+					if err != nil {
+						return nil, err
+					}
+					if size == 0 || size > 1<<20 || width == 0 || width > 64 {
+						return nil, lw.errf(l.P, "register(%d, %d): size must be 1..2^20, width 1..64", size, width)
+					}
+					inst.Size = int(size)
+					inst.Width = int(width)
+				}
+				lw.prog.Instances = append(lw.prog.Instances, inst)
+				lw.bind(l.Name, l.Name, &types.Type{Kind: types.KindExtern, Name: l.TypeName})
+			} else {
+				lw.prog.Instances = append(lw.prog.Instances, ir.Instance{Name: l.Name, Module: l.TypeName})
+				lw.bind(l.Name, l.Name, &types.Type{Kind: types.KindModule, Name: l.TypeName})
+			}
+		}
+	}
+	// Lower actions and tables after all bindings exist.
+	for _, l := range mainCtrl.Locals {
+		switch l := l.(type) {
+		case *ast.ActionDecl:
+			if err := lw.lowerAction(l); err != nil {
+				return nil, err
+			}
+		case *ast.TableDecl:
+			if err := lw.lowerTable(l); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Parser states.
+	if pd.Parser != nil {
+		lw.inParser = true
+		irp := &ir.Parser{}
+		for _, st := range pd.Parser.States {
+			ist, err := lw.lowerState(st)
+			if err != nil {
+				return nil, err
+			}
+			irp.States = append(irp.States, ist)
+		}
+		lw.prog.Parser = irp
+		lw.inParser = false
+	}
+	// Control apply.
+	body, err := lw.lowerStmts(mainCtrl.Apply.Stmts)
+	if err != nil {
+		return nil, err
+	}
+	lw.prog.Apply = body
+	// Deparser.
+	if deparser != nil {
+		dep, err := lw.lowerStmts(deparser.Apply.Stmts)
+		if err != nil {
+			return nil, err
+		}
+		lw.prog.Deparser = dep
+	}
+	return lw.prog, nil
+}
+
+// bindBlockParams maps a block's parameters into the canonical namespace.
+// When collectSig is true (main control), bit-typed parameters become the
+// module's callable signature.
+func (lw *lowerer) bindBlockParams(params []ast.Param, collectSig bool) error {
+	structSeen := 0
+	for _, p := range params {
+		t, err := lw.env.Resolve(p.T)
+		if err != nil {
+			return err
+		}
+		switch t.Kind {
+		case types.KindExtern:
+			switch t.Name {
+			case "pkt":
+				lw.bind(p.Name, PktPath, t)
+			case "im_t":
+				lw.bind(p.Name, ImPath, t)
+			case "extractor", "emitter":
+				lw.bind(p.Name, "$"+t.Name, t)
+			case "out_buf", "in_buf", "mc_buf":
+				lw.bind(p.Name, "$"+t.Name, t)
+			default:
+				return lw.errf(p.P, "unsupported extern parameter type %s", t.Name)
+			}
+		case types.KindStruct:
+			var root string
+			if structSeen == 0 {
+				root = HdrPath
+			} else if structSeen == 1 {
+				root = MetaPath
+			} else {
+				return lw.errf(p.P, "more than two struct parameters; expected headers and metadata")
+			}
+			// Another block may already have bound this role (e.g. the
+			// parser re-declares h). Verify types agree, reuse the root.
+			if prev := lw.lookup(p.Name); prev != nil && prev.path == root {
+				structSeen++
+				continue
+			}
+			if err := lw.flattenStruct(root, t.Name); err != nil {
+				return err
+			}
+			lw.bind(p.Name, root, t)
+			structSeen++
+		case types.KindHeader:
+			// A bare header parameter acts as a single-header $hdr.
+			root := HdrPath
+			if structSeen > 0 {
+				root = MetaPath
+			}
+			if prev := lw.lookup(p.Name); prev != nil && prev.path == root {
+				structSeen++
+				continue
+			}
+			sub := root + ".h"
+			lw.prog.Decls = append(lw.prog.Decls, ir.Decl{Path: sub, Kind: ir.DeclHeader, TypeName: t.Name})
+			lw.bind(p.Name, sub, t)
+			structSeen++
+		case types.KindBit:
+			if prev := lw.lookup(p.Name); prev != nil {
+				if prev.t.Kind != types.KindBit || prev.t.Width != t.Width {
+					return lw.errf(p.P, "parameter %s redeclared with different type", p.Name)
+				}
+				continue
+			}
+			lw.prog.Decls = append(lw.prog.Decls, ir.Decl{Path: p.Name, Kind: ir.DeclBits, Width: t.Width})
+			lw.bind(p.Name, p.Name, t)
+			if collectSig {
+				lw.prog.Params = append(lw.prog.Params, ir.ModParam{Name: p.Name, Dir: p.Dir.String(), Width: t.Width})
+			}
+		case types.KindBool:
+			if prev := lw.lookup(p.Name); prev != nil {
+				continue
+			}
+			lw.prog.Decls = append(lw.prog.Decls, ir.Decl{Path: p.Name, Kind: ir.DeclBool, Width: 1})
+			lw.bind(p.Name, p.Name, t)
+			if collectSig {
+				lw.prog.Params = append(lw.prog.Params, ir.ModParam{Name: p.Name, Dir: p.Dir.String(), Width: 1})
+			}
+		default:
+			return lw.errf(p.P, "unsupported parameter type %s", t)
+		}
+	}
+	return nil
+}
+
+// flattenStruct emits storage declarations for every field of struct
+// sname rooted at path root.
+func (lw *lowerer) flattenStruct(root, sname string) error {
+	si := lw.env.Structs[sname]
+	if si == nil {
+		return fmt.Errorf("unknown struct %s", sname)
+	}
+	for _, f := range si.Fields {
+		path := root + "." + f.Name
+		switch f.T.Kind {
+		case types.KindBit:
+			lw.prog.Decls = append(lw.prog.Decls, ir.Decl{Path: path, Kind: ir.DeclBits, Width: f.T.Width})
+		case types.KindBool:
+			lw.prog.Decls = append(lw.prog.Decls, ir.Decl{Path: path, Kind: ir.DeclBool, Width: 1})
+		case types.KindHeader:
+			lw.prog.Decls = append(lw.prog.Decls, ir.Decl{Path: path, Kind: ir.DeclHeader, TypeName: f.T.Name})
+		case types.KindStack:
+			lw.prog.Decls = append(lw.prog.Decls, ir.Decl{
+				Path: path, Kind: ir.DeclStack, TypeName: f.T.Elem.Name, StackSize: f.T.Size,
+			})
+		case types.KindStruct:
+			if err := lw.flattenStruct(path, f.T.Name); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("struct field %s.%s has unsupported type", sname, f.Name)
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) declareLocal(v *ast.VarDecl) error {
+	t, err := lw.env.Resolve(v.T)
+	if err != nil {
+		return err
+	}
+	switch t.Kind {
+	case types.KindBit:
+		lw.prog.Decls = append(lw.prog.Decls, ir.Decl{Path: v.Name, Kind: ir.DeclBits, Width: t.Width})
+	case types.KindBool:
+		lw.prog.Decls = append(lw.prog.Decls, ir.Decl{Path: v.Name, Kind: ir.DeclBool, Width: 1})
+	case types.KindHeader:
+		lw.prog.Decls = append(lw.prog.Decls, ir.Decl{Path: v.Name, Kind: ir.DeclHeader, TypeName: t.Name})
+	case types.KindStruct:
+		if err := lw.flattenStruct(v.Name, t.Name); err != nil {
+			return err
+		}
+	case types.KindExtern:
+		// pkt/im_t locals (multi-packet programs, Fig. 13).
+		lw.prog.Instances = append(lw.prog.Instances, ir.Instance{Name: v.Name, Extern: t.Name})
+	default:
+		return lw.errf(v.P, "unsupported local variable type %s", t)
+	}
+	lw.bind(v.Name, v.Name, t)
+	return nil
+}

@@ -1,0 +1,275 @@
+package frontend
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"microp4/internal/ir"
+)
+
+const l3Src = `
+struct empty_t { }
+header ipv4_h {
+  bit<4> version; bit<4> ihl; bit<8> diffserv; bit<16> totalLen;
+  bit<16> identification; bit<3> flags; bit<13> fragOffset;
+  bit<8> ttl; bit<8> protocol; bit<16> hdrChecksum;
+  bit<32> srcAddr; bit<32> dstAddr;
+}
+struct l3hdr_t { ipv4_h ipv4; }
+
+program IPv4 : implements Unicast {
+  parser P(extractor ex, pkt p, out l3hdr_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.ipv4); transition accept; }
+  }
+  control C(pkt p, inout l3hdr_t h, inout empty_t m, im_t im, out bit<16> nh) {
+    action process(bit<16> next_hop) {
+      h.ipv4.ttl = h.ipv4.ttl - 1;
+      nh = next_hop;
+    }
+    action no_route() { nh = 0; im.drop(); }
+    table ipv4_lpm_tbl {
+      key = { h.ipv4.dstAddr : lpm; }
+      actions = { process; no_route; }
+      default_action = no_route;
+      const entries = {
+        (0x0A000000 &&& 0xFF000000) : process(7);
+      }
+    }
+    apply { ipv4_lpm_tbl.apply(); }
+  }
+  control D(emitter em, pkt p, in l3hdr_t h) {
+    apply { em.emit(p, h.ipv4); }
+  }
+}
+`
+
+func TestCompileModuleIPv4(t *testing.T) {
+	p, err := CompileModule("ipv4.up4", l3Src)
+	if err != nil {
+		t.Fatalf("CompileModule: %v", err)
+	}
+	if p.Name != "IPv4" || p.Interface != "Unicast" {
+		t.Errorf("program = %s:%s, want IPv4:Unicast", p.Name, p.Interface)
+	}
+	// Module signature: one out bit<16> nh.
+	if len(p.Params) != 1 || p.Params[0].Name != "nh" || p.Params[0].Dir != "out" || p.Params[0].Width != 16 {
+		t.Errorf("params = %+v, want [out nh:16]", p.Params)
+	}
+	// Flattened decls include $hdr.ipv4 and nh.
+	if d := p.DeclByPath("$hdr.ipv4"); d == nil || d.Kind != ir.DeclHeader || d.TypeName != "ipv4_h" {
+		t.Errorf("$hdr.ipv4 decl = %+v", d)
+	}
+	if d := p.DeclByPath("nh"); d == nil || d.Width != 16 {
+		t.Errorf("nh decl = %+v", d)
+	}
+	// Parser state lowered.
+	st := p.Parser.State("start")
+	if st == nil || len(st.Stmts) != 1 || st.Stmts[0].Kind != ir.SExtract || st.Stmts[0].Hdr != "$hdr.ipv4" {
+		t.Fatalf("start state = %+v", st)
+	}
+	// Table lowered with lpm entry and prefix length 8.
+	tbl := p.Tables["ipv4_lpm_tbl"]
+	if tbl == nil {
+		t.Fatal("table missing")
+	}
+	if tbl.Keys[0].MatchKind != "lpm" || tbl.Keys[0].Expr.Ref != "$hdr.ipv4.dstAddr" {
+		t.Errorf("key = %+v", tbl.Keys[0])
+	}
+	if len(tbl.Entries) != 1 || tbl.Entries[0].Keys[0].PrefixLen != 8 {
+		t.Errorf("entries = %+v", tbl.Entries)
+	}
+	// Action body: ttl decrement and out-param write; drop lowered to
+	// an assignment to $im.out_port.
+	proc := p.Actions["process"]
+	if proc == nil || len(proc.Body) != 2 {
+		t.Fatalf("process action = %+v", proc)
+	}
+	if proc.Body[0].LHS.Ref != "$hdr.ipv4.ttl" {
+		t.Errorf("stmt 0 lhs = %s", proc.Body[0].LHS.Ref)
+	}
+	if proc.Body[1].RHS.Ref != "process#next_hop" {
+		t.Errorf("stmt 1 rhs = %s, want action param ref", proc.Body[1].RHS.Ref)
+	}
+	nr := p.Actions["no_route"]
+	drop := nr.Body[1]
+	if drop.Kind != ir.SAssign || drop.LHS.Ref != "$im.out_port" || drop.RHS.Value != 511 {
+		t.Errorf("drop lowered to %s", ir.StmtString(drop))
+	}
+	// Deparser.
+	if len(p.Deparser) != 1 || p.Deparser[0].Kind != ir.SEmit || p.Deparser[0].Hdr != "$hdr.ipv4" {
+		t.Errorf("deparser = %+v", p.Deparser)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p, err := CompileModule("ipv4.up4", l3Src)
+	if err != nil {
+		t.Fatalf("CompileModule: %v", err)
+	}
+	data, err := p.ToJSON()
+	if err != nil {
+		t.Fatalf("ToJSON: %v", err)
+	}
+	q, err := ir.FromJSON(data)
+	if err != nil {
+		t.Fatalf("FromJSON: %v", err)
+	}
+	data2, err := q.ToJSON()
+	if err != nil {
+		t.Fatalf("ToJSON 2: %v", err)
+	}
+	if string(data) != string(data2) {
+		t.Error("JSON round-trip is not stable")
+	}
+	var raw map[string]interface{}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if raw["name"] != "IPv4" {
+		t.Errorf("JSON name = %v", raw["name"])
+	}
+}
+
+const routerSrc = `
+struct empty_t { }
+header ethernet_h { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+struct hdr_t { ethernet_h eth; }
+
+L3(pkt p, im_t im, out bit<16> nh, inout bit<16> etype);
+
+program ModularRouter : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.eth); transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, inout empty_t m, im_t im) {
+    bit<16> nh;
+    L3() l3_i;
+    action drop_it() { im.drop(); }
+    action forward(bit<48> dmac, bit<48> smac, bit<9> port) {
+      h.eth.dstMac = dmac;
+      h.eth.srcMac = smac;
+      im.set_out_port(port);
+    }
+    table forward_tbl {
+      key = { nh : exact; }
+      actions = { forward; drop_it; }
+      default_action = drop_it;
+    }
+    apply {
+      l3_i.apply(p, im, nh, h.eth.etherType);
+      forward_tbl.apply();
+    }
+  }
+  control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.eth); } }
+}
+ModularRouter(P, C, D) main;
+`
+
+func TestCompileModularRouter(t *testing.T) {
+	p, err := CompileModule("router.up4", routerSrc)
+	if err != nil {
+		t.Fatalf("CompileModule: %v", err)
+	}
+	if len(p.Apply) != 2 {
+		t.Fatalf("apply = %+v, want 2 stmts", p.Apply)
+	}
+	call := p.Apply[0]
+	if call.Kind != ir.SCallModule || call.Instance != "l3_i" || call.Module != "L3" {
+		t.Fatalf("stmt 0 = %s", ir.StmtString(call))
+	}
+	// Data args: nh (out), h.eth.etherType (inout); pkt/im dropped.
+	if len(call.Args) != 2 {
+		t.Fatalf("call args = %+v, want 2", call.Args)
+	}
+	if call.Args[0].Dir != "out" || call.Args[0].Expr.Ref != "nh" {
+		t.Errorf("arg 0 = %+v", call.Args[0])
+	}
+	if call.Args[1].Dir != "inout" || call.Args[1].Expr.Ref != "$hdr.eth.etherType" {
+		t.Errorf("arg 1 = %+v", call.Args[1])
+	}
+	if len(p.Instances) != 1 || p.Instances[0].Module != "L3" {
+		t.Errorf("instances = %+v", p.Instances)
+	}
+	if p.Protos["L3"] == nil || len(p.Protos["L3"].Params) != 2 {
+		t.Errorf("proto L3 = %+v", p.Protos["L3"])
+	}
+}
+
+func TestPrefixedSharesIm(t *testing.T) {
+	p, err := CompileModule("ipv4.up4", l3Src)
+	if err != nil {
+		t.Fatalf("CompileModule: %v", err)
+	}
+	q := p.Prefixed("l3_i")
+	if q.DeclByPath("l3_i.$hdr.ipv4") == nil {
+		t.Error("prefixed decl l3_i.$hdr.ipv4 missing")
+	}
+	// The drop write must still target the shared $im.
+	nr := q.Actions["l3_i.no_route"]
+	if nr == nil {
+		t.Fatalf("prefixed action missing; actions = %v", actionNames(q))
+	}
+	if nr.Body[1].LHS.Ref != "$im.out_port" {
+		t.Errorf("prefixed drop lhs = %s, want $im.out_port", nr.Body[1].LHS.Ref)
+	}
+	if nr.Body[0].RHS.Ref != "l3_i.no_route" && !strings.HasPrefix(nr.Body[0].LHS.Ref, "l3_i.") {
+		t.Errorf("prefixed body refs = %s", ir.StmtString(nr.Body[0]))
+	}
+	// Original must be untouched.
+	if p.Actions["no_route"] == nil {
+		t.Error("original program mutated by Prefixed")
+	}
+}
+
+func actionNames(p *ir.Program) []string {
+	var out []string
+	for k := range p.Actions {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestSelectLowering(t *testing.T) {
+	src := `
+struct empty_t { }
+header ethernet_h { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+header ipv4_h { bit<8> ttl; bit<8> protocol; bit<16> csum; bit<32> src; bit<32> dst; }
+struct hdr_t { ethernet_h eth; ipv4_h ipv4; }
+program X : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) {
+        0x0800: parse_ipv4;
+        0x8100 &&& 0xEFFF: parse_ipv4;
+        default: accept;
+      };
+    }
+    state parse_ipv4 { ex.extract(p, h.ipv4); transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, inout empty_t m, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.eth); em.emit(p, h.ipv4); } }
+}
+`
+	p, err := CompileModule("sel.up4", src)
+	if err != nil {
+		t.Fatalf("CompileModule: %v", err)
+	}
+	tr := p.Parser.State("start").Trans
+	if tr.Kind != "select" || len(tr.Cases) != 3 {
+		t.Fatalf("trans = %+v", tr)
+	}
+	if tr.Exprs[0].Ref != "$hdr.eth.etherType" || tr.Exprs[0].Width != 16 {
+		t.Errorf("select expr = %+v", tr.Exprs[0])
+	}
+	if tr.Cases[0].Values[0] != 0x0800 || tr.Cases[0].HasMask[0] {
+		t.Errorf("case 0 = %+v", tr.Cases[0])
+	}
+	if !tr.Cases[1].HasMask[0] || tr.Cases[1].Masks[0] != 0xEFFF {
+		t.Errorf("case 1 = %+v", tr.Cases[1])
+	}
+	if !tr.Cases[2].Default {
+		t.Errorf("case 2 = %+v", tr.Cases[2])
+	}
+}

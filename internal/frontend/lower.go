@@ -1,0 +1,794 @@
+package frontend
+
+import (
+	"fmt"
+	"math/bits"
+
+	"microp4/internal/ast"
+	"microp4/internal/ir"
+	"microp4/internal/types"
+)
+
+// ----------------------------------------------------------------------------
+// Paths
+
+// pathOf resolves a chain of Ident/Field/Index expressions to a canonical
+// storage path and its type.
+func (lw *lowerer) pathOf(e ast.Expr) (string, *types.Type, error) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if b := lw.lookup(e.Name); b != nil {
+			return b.path, b.t, nil
+		}
+		return "", nil, lw.errf(e.P, "undefined: %s", e.Name)
+	case *ast.FieldExpr:
+		base, bt, err := lw.pathOf(e.X)
+		if err != nil {
+			return "", nil, err
+		}
+		switch bt.Kind {
+		case types.KindStruct:
+			si := lw.env.Structs[bt.Name]
+			ft := si.Field(e.Name)
+			if ft == nil {
+				return "", nil, lw.errf(e.P, "struct %s has no field %s", bt.Name, e.Name)
+			}
+			return base + "." + e.Name, ft, nil
+		case types.KindHeader:
+			hi := lw.env.Headers[bt.Name]
+			f := hi.Field(e.Name)
+			if f == nil {
+				return "", nil, lw.errf(e.P, "header %s has no field %s", bt.Name, e.Name)
+			}
+			if f.Varbit {
+				return base + "." + e.Name, &types.Type{Kind: types.KindVarbit, MaxWidth: f.MaxWidth}, nil
+			}
+			return base + "." + e.Name, types.Bit(f.Width), nil
+		case types.KindStack:
+			switch e.Name {
+			case "next", "last":
+				return base + "." + e.Name, bt.Elem, nil
+			case "lastIndex":
+				return base + ".lastIndex", types.Bit(32), nil
+			}
+			return "", nil, lw.errf(e.P, "header stack has no member %s", e.Name)
+		case types.KindExtern:
+			return "", nil, lw.errf(e.P, "extern %s has no data member %s", bt.Name, e.Name)
+		}
+		return "", nil, lw.errf(e.P, "%s has no member %s", bt, e.Name)
+	case *ast.IndexExpr:
+		base, bt, err := lw.pathOf(e.X)
+		if err != nil {
+			return "", nil, err
+		}
+		if bt.Kind != types.KindStack {
+			return "", nil, lw.errf(e.P, "indexing non-stack value")
+		}
+		idx, err := lw.env.EvalConst(e.Index)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("%s.%d", base, idx), bt.Elem, nil
+	}
+	return "", nil, lw.errf(e.Pos(), "expression is not a storage path")
+}
+
+// ----------------------------------------------------------------------------
+// Expressions
+
+// fit assigns width w to unsized constants in e.
+func fit(e *ir.Expr, w int) {
+	if e == nil {
+		return
+	}
+	switch e.Kind {
+	case ir.EConst:
+		if e.Width == 0 {
+			e.Width = w
+		}
+	case ir.EBin:
+		switch e.Op {
+		case "==", "!=", "<", ">", "<=", ">=", "&&", "||", "++":
+			return
+		}
+		if e.Width == 0 {
+			e.Width = w
+		}
+		fit(e.X, w)
+		fit(e.Y, w)
+	case ir.EUn:
+		if e.Op == "cast" || e.Op == "!" {
+			return
+		}
+		if e.Width == 0 {
+			e.Width = w
+		}
+		fit(e.X, w)
+	}
+}
+
+func (lw *lowerer) lowerExpr(e ast.Expr) (*ir.Expr, *types.Type, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return ir.Const(e.Value, e.Width), types.Bit(e.Width), nil
+	case *ast.BoolLit:
+		return ir.BoolConst(e.Value), types.BoolType, nil
+	case *ast.Ident:
+		// Action parameter?
+		if lw.actionPrms != nil {
+			if w, ok := lw.actionPrms[e.Name]; ok {
+				return ir.Ref(lw.actionName+"#"+e.Name, w), types.Bit(w), nil
+			}
+		}
+		if b := lw.lookup(e.Name); b != nil {
+			switch b.t.Kind {
+			case types.KindBit:
+				return ir.Ref(b.path, b.t.Width), b.t, nil
+			case types.KindBool:
+				r := ir.Ref(b.path, 1)
+				r.Bool = true
+				return r, b.t, nil
+			case types.KindExtern, types.KindHeader, types.KindStruct, types.KindStack:
+				// Usable as a call receiver or extern argument.
+				return ir.Ref(b.path, 0), b.t, nil
+			}
+			return nil, nil, lw.errf(e.P, "cannot use %s (%s) in an expression", e.Name, b.t)
+		}
+		if c, ok := lw.env.Consts[e.Name]; ok {
+			return ir.Const(c.Value, c.Width), types.Bit(c.Width), nil
+		}
+		return nil, nil, lw.errf(e.P, "undefined: %s", e.Name)
+	case *ast.FieldExpr, *ast.IndexExpr:
+		path, t, err := lw.pathOf(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch t.Kind {
+		case types.KindBit:
+			return ir.Ref(path, t.Width), t, nil
+		case types.KindBool:
+			r := ir.Ref(path, 1)
+			r.Bool = true
+			return r, t, nil
+		case types.KindHeader, types.KindStack, types.KindVarbit:
+			return ir.Ref(path, 0), t, nil
+		}
+		return nil, nil, lw.errf(e.Pos(), "cannot use %s in an expression", t)
+	case *ast.SliceExpr:
+		x, xt, err := lw.lowerExpr(e.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if xt.Kind != types.KindBit {
+			return nil, nil, lw.errf(e.P, "bit-slicing non-bit value")
+		}
+		return &ir.Expr{Kind: ir.ESlice, X: x, Hi: e.Hi, Lo: e.Lo, Width: e.Hi - e.Lo + 1}, types.Bit(e.Hi - e.Lo + 1), nil
+	case *ast.CastExpr:
+		t, err := lw.env.Resolve(e.T)
+		if err != nil {
+			return nil, nil, err
+		}
+		x, _, err := lw.lowerExpr(e.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if t.Kind != types.KindBit {
+			return nil, nil, lw.errf(e.P, "only bit casts are supported")
+		}
+		fit(x, t.Width)
+		return &ir.Expr{Kind: ir.EUn, Op: "cast", X: x, Width: t.Width}, t, nil
+	case *ast.UnaryExpr:
+		x, xt, err := lw.lowerExpr(e.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := &ir.Expr{Kind: ir.EUn, Op: e.Op, X: x, Width: x.Width}
+		if e.Op == "!" {
+			out.Bool = true
+			out.Width = 1
+			return out, types.BoolType, nil
+		}
+		return out, xt, nil
+	case *ast.BinaryExpr:
+		x, xt, err := lw.lowerExpr(e.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		y, yt, err := lw.lowerExpr(e.Y)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := &ir.Expr{Kind: ir.EBin, Op: e.Op, X: x, Y: y}
+		switch e.Op {
+		case "&&", "||", "==", "!=", "<", ">", "<=", ">=":
+			if x.Width > 0 {
+				fit(y, x.Width)
+			} else if y.Width > 0 {
+				fit(x, y.Width)
+			}
+			out.Bool = true
+			out.Width = 1
+			return out, types.BoolType, nil
+		case "++":
+			out.Width = x.Width + y.Width
+			return out, types.Bit(out.Width), nil
+		case "<<", ">>":
+			out.Width = x.Width
+			return out, xt, nil
+		default:
+			w := x.Width
+			if w == 0 {
+				w = y.Width
+			}
+			fit(x, w)
+			fit(y, w)
+			out.Width = w
+			if xt.Kind == types.KindBit && xt.Width > 0 {
+				return out, xt, nil
+			}
+			return out, yt, nil
+		}
+	case *ast.CallExpr:
+		return lw.lowerCallExpr(e)
+	}
+	return nil, nil, lw.errf(e.Pos(), "unsupported expression")
+}
+
+// lowerCallExpr lowers calls usable in expression position: isValid,
+// im.get_out_port, im.get_value.
+func (lw *lowerer) lowerCallExpr(e *ast.CallExpr) (*ir.Expr, *types.Type, error) {
+	fe, ok := e.Fun.(*ast.FieldExpr)
+	if !ok {
+		return nil, nil, lw.errf(e.P, "unsupported call in expression")
+	}
+	switch fe.Name {
+	case "isValid":
+		path, t, err := lw.pathOf(fe.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if t.Kind != types.KindHeader {
+			return nil, nil, lw.errf(e.P, "isValid on non-header value")
+		}
+		return &ir.Expr{Kind: ir.EIsValid, Ref: path, Width: 1, Bool: true}, types.BoolType, nil
+	case "get_out_port":
+		recv, t, err := lw.pathOf(fe.X)
+		if err != nil || t.Kind != types.KindExtern || t.Name != "im_t" {
+			return nil, nil, lw.errf(e.P, "get_out_port on non-im_t value")
+		}
+		return ir.Ref(recv+".out_port", 9), types.Bit(9), nil
+	case "get_value":
+		recv, t, err := lw.pathOf(fe.X)
+		if err != nil || t.Kind != types.KindExtern || t.Name != "im_t" {
+			return nil, nil, lw.errf(e.P, "get_value on non-im_t value")
+		}
+		if len(e.Args) != 1 {
+			return nil, nil, lw.errf(e.P, "get_value takes one meta_t argument")
+		}
+		id, ok := e.Args[0].(*ast.Ident)
+		if !ok {
+			return nil, nil, lw.errf(e.P, "get_value argument must be a meta_t field name")
+		}
+		if _, ok := types.MetaFields[id.Name]; !ok {
+			return nil, nil, lw.errf(e.P, "unknown meta_t field %s", id.Name)
+		}
+		return ir.Ref(recv+".meta."+id.Name, 32), types.Bit(32), nil
+	}
+	return nil, nil, lw.errf(e.P, "call of %s is not usable in an expression", fe.Name)
+}
+
+// ----------------------------------------------------------------------------
+// Statements
+
+func (lw *lowerer) lowerStmts(ss []ast.Stmt) ([]*ir.Stmt, error) {
+	var out []*ir.Stmt
+	for _, s := range ss {
+		ls, err := lw.lowerStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ls...)
+	}
+	return out, nil
+}
+
+func (lw *lowerer) lowerStmt(s ast.Stmt) ([]*ir.Stmt, error) {
+	switch s := s.(type) {
+	case *ast.EmptyStmt:
+		return nil, nil
+	case *ast.BlockStmt:
+		lw.pushScope()
+		defer lw.popScope()
+		return lw.lowerStmts(s.Stmts)
+	case *ast.ExitStmt:
+		return []*ir.Stmt{{Kind: ir.SExit}}, nil
+	case *ast.VarDeclStmt:
+		if err := lw.declareLocal(s.Decl); err != nil {
+			return nil, err
+		}
+		if s.Decl.Init == nil {
+			return nil, nil
+		}
+		b := lw.lookup(s.Decl.Name)
+		rhs, _, err := lw.lowerExpr(s.Decl.Init)
+		if err != nil {
+			return nil, err
+		}
+		fit(rhs, b.t.Width)
+		return []*ir.Stmt{{Kind: ir.SAssign, LHS: ir.Ref(b.path, b.t.Width), RHS: rhs}}, nil
+	case *ast.AssignStmt:
+		lhs, lt, err := lw.lowerLValue(s.LHS)
+		if err != nil {
+			return nil, err
+		}
+		rhs, _, err := lw.lowerExpr(s.RHS)
+		if err != nil {
+			return nil, err
+		}
+		fit(rhs, lt.Width)
+		return []*ir.Stmt{{Kind: ir.SAssign, LHS: lhs, RHS: rhs}}, nil
+	case *ast.CallStmt:
+		return lw.lowerCallStmt(s.Call)
+	case *ast.IfStmt:
+		cond, _, err := lw.lowerExpr(s.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := lw.lowerStmt(s.Then)
+		if err != nil {
+			return nil, err
+		}
+		st := &ir.Stmt{Kind: ir.SIf, Cond: cond, Then: then}
+		if s.Else != nil {
+			els, err := lw.lowerStmt(s.Else)
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return []*ir.Stmt{st}, nil
+	case *ast.SwitchStmt:
+		cond, ct, err := lw.lowerExpr(s.Expr)
+		if err != nil {
+			return nil, err
+		}
+		st := &ir.Stmt{Kind: ir.SSwitch, Cond: cond}
+		for _, c := range s.Cases {
+			ic := &ir.Case{Default: c.IsDefault}
+			for _, v := range c.Values {
+				cv, err := lw.env.EvalConst(v)
+				if err != nil {
+					return nil, err
+				}
+				ic.Values = append(ic.Values, maskTo(cv, ct.Width))
+			}
+			body, err := lw.lowerStmt(c.Body)
+			if err != nil {
+				return nil, err
+			}
+			ic.Body = body
+			st.Cases = append(st.Cases, ic)
+		}
+		return []*ir.Stmt{st}, nil
+	}
+	return nil, lw.errf(s.Pos(), "unsupported statement")
+}
+
+// lowerLValue lowers an assignable expression (path or slice of path).
+func (lw *lowerer) lowerLValue(e ast.Expr) (*ir.Expr, *types.Type, error) {
+	if se, ok := e.(*ast.SliceExpr); ok {
+		x, xt, err := lw.lowerLValue(se.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if xt.Kind != types.KindBit {
+			return nil, nil, lw.errf(se.P, "bit-slicing non-bit lvalue")
+		}
+		return &ir.Expr{Kind: ir.ESlice, X: x, Hi: se.Hi, Lo: se.Lo, Width: se.Hi - se.Lo + 1},
+			types.Bit(se.Hi - se.Lo + 1), nil
+	}
+	path, t, err := lw.pathOf(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch t.Kind {
+	case types.KindBit:
+		return ir.Ref(path, t.Width), t, nil
+	case types.KindBool:
+		r := ir.Ref(path, 1)
+		r.Bool = true
+		return r, t, nil
+	}
+	return nil, nil, lw.errf(e.Pos(), "cannot assign to %s", t)
+}
+
+func maskTo(v uint64, w int) uint64 {
+	if w <= 0 || w >= 64 {
+		return v
+	}
+	return v & (1<<uint(w) - 1)
+}
+
+func (lw *lowerer) lowerCallStmt(call *ast.CallExpr) ([]*ir.Stmt, error) {
+	fe, ok := call.Fun.(*ast.FieldExpr)
+	if !ok {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recirculate" {
+			args, err := lw.lowerArgs(call.Args)
+			if err != nil {
+				return nil, err
+			}
+			return []*ir.Stmt{{Kind: ir.SMethod, Method: "recirculate", Args: args}}, nil
+		}
+		return nil, lw.errf(call.P, "unsupported call statement")
+	}
+	method := fe.Name
+
+	// Table apply?
+	if id, ok := fe.X.(*ast.Ident); ok && method == "apply" {
+		if _, isTable := lw.prog.Tables[id.Name]; isTable {
+			return []*ir.Stmt{{Kind: ir.SApplyTable, Table: id.Name}}, nil
+		}
+	}
+
+	recvPath, recvT, err := lw.pathOf(fe.X)
+	if err != nil {
+		return nil, err
+	}
+	switch recvT.Kind {
+	case types.KindHeader:
+		switch method {
+		case "setValid":
+			return []*ir.Stmt{{Kind: ir.SSetValid, Hdr: recvPath}}, nil
+		case "setInvalid":
+			return []*ir.Stmt{{Kind: ir.SSetInvalid, Hdr: recvPath}}, nil
+		}
+		return nil, lw.errf(call.P, "header has no method %s", method)
+	case types.KindStack:
+		switch method {
+		case "push_front", "pop_front":
+			n, err := lw.env.EvalConst(call.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			return []*ir.Stmt{{
+				Kind: ir.SMethod, Target: recvPath, Method: method,
+				Args: []ir.Arg{{Expr: ir.Const(n, 32)}},
+			}}, nil
+		}
+		return nil, lw.errf(call.P, "header stack has no method %s", method)
+	case types.KindModule:
+		return lw.lowerModuleCall(call, fe, recvPath, recvT.Name)
+	case types.KindExtern:
+		return lw.lowerExternCall(call, recvPath, recvT.Name, method)
+	}
+	return nil, lw.errf(call.P, "%s has no method %s", recvT, method)
+}
+
+func (lw *lowerer) lowerModuleCall(call *ast.CallExpr, fe *ast.FieldExpr, inst, module string) ([]*ir.Stmt, error) {
+	if fe.Name != "apply" {
+		return nil, lw.errf(call.P, "module %s has no method %s", module, fe.Name)
+	}
+	proto := lw.env.Protos[module]
+	if proto == nil {
+		return nil, lw.errf(call.P, "unknown module %s", module)
+	}
+	st := &ir.Stmt{Kind: ir.SCallModule, Instance: inst, Module: module, PktArg: PktPath, ImArg: ImPath}
+	for i, a := range call.Args {
+		pt, err := lw.env.Resolve(proto.Params[i].T)
+		if err != nil {
+			return nil, err
+		}
+		if pt.Kind == types.KindExtern {
+			path, _, err := lw.pathOf(a)
+			if err != nil {
+				return nil, err
+			}
+			switch pt.Name {
+			case "pkt":
+				st.PktArg = path
+			case "im_t":
+				st.ImArg = path
+			}
+			continue
+		}
+		ea, _, err := lw.lowerExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		fit(ea, pt.Width)
+		st.Args = append(st.Args, ir.Arg{Expr: ea, Dir: proto.Params[i].Dir.String()})
+	}
+	return []*ir.Stmt{st}, nil
+}
+
+func (lw *lowerer) lowerArgs(args []ast.Expr) ([]ir.Arg, error) {
+	var out []ir.Arg
+	for _, a := range args {
+		e, _, err := lw.lowerExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ir.Arg{Expr: e})
+	}
+	return out, nil
+}
+
+func (lw *lowerer) lowerExternCall(call *ast.CallExpr, recvPath, extern, method string) ([]*ir.Stmt, error) {
+	switch extern {
+	case "extractor":
+		if method != "extract" {
+			return nil, lw.errf(call.P, "extractor has no statement method %s", method)
+		}
+		if !lw.inParser {
+			return nil, lw.errf(call.P, "extract outside parser")
+		}
+		hdrPath, ht, err := lw.pathOf(call.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		if ht.Kind != types.KindHeader {
+			return nil, lw.errf(call.P, "extract target must be a header instance")
+		}
+		st := &ir.Stmt{Kind: ir.SExtract, Hdr: hdrPath}
+		if len(call.Args) == 3 {
+			vs, _, err := lw.lowerExpr(call.Args[2])
+			if err != nil {
+				return nil, err
+			}
+			fit(vs, 32)
+			st.VarSize = vs
+		}
+		return []*ir.Stmt{st}, nil
+	case "emitter":
+		if method != "emit" {
+			return nil, lw.errf(call.P, "emitter has no method %s", method)
+		}
+		hdrPath, ht, err := lw.pathOf(call.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		if ht.Kind != types.KindHeader && ht.Kind != types.KindStack {
+			return nil, lw.errf(call.P, "emit target must be a header or header stack")
+		}
+		return []*ir.Stmt{{Kind: ir.SEmit, Hdr: hdrPath}}, nil
+	case "im_t":
+		switch method {
+		case "set_out_port":
+			arg, _, err := lw.lowerExpr(call.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			fit(arg, 9)
+			if arg.Width != 9 {
+				arg = &ir.Expr{Kind: ir.EUn, Op: "cast", X: arg, Width: 9}
+			}
+			return []*ir.Stmt{{Kind: ir.SAssign, LHS: ir.Ref(recvPath+".out_port", 9), RHS: arg}}, nil
+		case "drop":
+			return []*ir.Stmt{{
+				Kind: ir.SAssign,
+				LHS:  ir.Ref(recvPath+".out_port", 9),
+				RHS:  ir.Const(types.DropPort, 9),
+			}}, nil
+		case "copy_from":
+			args, err := lw.lowerArgs(call.Args)
+			if err != nil {
+				return nil, err
+			}
+			return []*ir.Stmt{{Kind: ir.SMethod, Target: recvPath, Method: "im_copy_from", Args: args}}, nil
+		case "digest":
+			// CPU–dataplane interface (§6.4/§8.2): send a value to the
+			// control plane.
+			args, err := lw.lowerArgs(call.Args)
+			if err != nil {
+				return nil, err
+			}
+			return []*ir.Stmt{{Kind: ir.SMethod, Target: recvPath, Method: "im_digest", Args: args}}, nil
+		}
+		return nil, lw.errf(call.P, "im_t has no statement method %s", method)
+	case "pkt":
+		if method == "copy_from" {
+			args, err := lw.lowerArgs(call.Args)
+			if err != nil {
+				return nil, err
+			}
+			return []*ir.Stmt{{Kind: ir.SMethod, Target: recvPath, Method: "pkt_copy_from", Args: args}}, nil
+		}
+		return nil, lw.errf(call.P, "pkt has no method %s", method)
+	case "register":
+		args, err := lw.lowerArgs(call.Args)
+		if err != nil {
+			return nil, err
+		}
+		if method == "read" && args[0].Expr.Kind != ir.ERef && args[0].Expr.Kind != ir.ESlice {
+			return nil, lw.errf(call.P, "register read destination must be assignable")
+		}
+		return []*ir.Stmt{{Kind: ir.SMethod, Target: recvPath, Method: "register_" + method, Args: args}}, nil
+	case "mc_engine", "out_buf", "in_buf", "mc_buf":
+		args, err := lw.lowerArgs(call.Args)
+		if err != nil {
+			return nil, err
+		}
+		return []*ir.Stmt{{Kind: ir.SMethod, Target: recvPath, Method: extern + "_" + method, Args: args}}, nil
+	}
+	return nil, lw.errf(call.P, "extern %s has no method %s", extern, method)
+}
+
+// ----------------------------------------------------------------------------
+// Actions and tables
+
+func (lw *lowerer) lowerAction(a *ast.ActionDecl) error {
+	act := &ir.Action{Name: a.Name}
+	lw.actionName = a.Name
+	lw.actionPrms = make(map[string]int)
+	defer func() {
+		lw.actionName = ""
+		lw.actionPrms = nil
+	}()
+	for _, p := range a.Params {
+		t, err := lw.env.Resolve(p.T)
+		if err != nil {
+			return err
+		}
+		if t.Kind != types.KindBit {
+			return lw.errf(p.P, "action parameters must have bit type")
+		}
+		act.Params = append(act.Params, ir.Param{Name: p.Name, Width: t.Width})
+		lw.actionPrms[p.Name] = t.Width
+	}
+	body, err := lw.lowerStmts(a.Body.Stmts)
+	if err != nil {
+		return err
+	}
+	act.Body = body
+	lw.prog.Actions[a.Name] = act
+	return nil
+}
+
+func (lw *lowerer) lowerTable(td *ast.TableDecl) error {
+	t := &ir.Table{Name: td.Name, Size: td.Size}
+	for _, k := range td.Keys {
+		e, _, err := lw.lowerExpr(k.Expr)
+		if err != nil {
+			return err
+		}
+		t.Keys = append(t.Keys, ir.Key{Expr: e, MatchKind: k.MatchKind})
+	}
+	for _, a := range td.Actions {
+		t.Actions = append(t.Actions, a.Name)
+	}
+	if td.DefaultAction != nil {
+		ac := ir.ActionCall{Name: td.DefaultAction.Name}
+		for _, arg := range td.DefaultAction.Args {
+			v, err := lw.env.EvalConst(arg)
+			if err != nil {
+				return err
+			}
+			ac.Args = append(ac.Args, v)
+		}
+		t.Default = &ac
+	}
+	for _, ent := range td.Entries {
+		ie := ir.Entry{Action: ir.ActionCall{Name: ent.Action.Name}}
+		for _, arg := range ent.Action.Args {
+			v, err := lw.env.EvalConst(arg)
+			if err != nil {
+				return err
+			}
+			ie.Action.Args = append(ie.Action.Args, v)
+		}
+		for i, ks := range ent.Keys {
+			w := t.Keys[i].Expr.Width
+			ek := ir.EntryKey{}
+			if ks.DontCare {
+				ek.DontCare = true
+			} else {
+				v, err := lw.env.EvalConst(ks.Value)
+				if err != nil {
+					return err
+				}
+				ek.Value = maskTo(v, w)
+				if ks.Mask != nil {
+					m, err := lw.env.EvalConst(ks.Mask)
+					if err != nil {
+						return err
+					}
+					ek.Mask = maskTo(m, w)
+					ek.HasMask = true
+					if t.Keys[i].MatchKind == "lpm" {
+						plen, ok := prefixLen(ek.Mask, w)
+						if !ok {
+							return lw.errf(ks.P, "lpm mask %#x is not a prefix mask", ek.Mask)
+						}
+						ek.PrefixLen = plen
+					}
+				} else if t.Keys[i].MatchKind == "lpm" {
+					ek.PrefixLen = w
+				}
+			}
+			ie.Keys = append(ie.Keys, ek)
+		}
+		t.Entries = append(t.Entries, ie)
+	}
+	lw.prog.Tables[td.Name] = t
+	return nil
+}
+
+// prefixLen returns the prefix length of a contiguous high mask.
+func prefixLen(mask uint64, w int) (int, bool) {
+	if mask == 0 {
+		return 0, true
+	}
+	ones := bits.OnesCount64(mask)
+	// A prefix mask of length n in width w is ones in [w-n, w).
+	want := (uint64(1)<<uint(ones) - 1) << uint(w-ones)
+	if w >= 64 {
+		want = ^uint64(0) << uint(64-ones)
+	}
+	if mask == want {
+		return ones, true
+	}
+	return 0, false
+}
+
+// ----------------------------------------------------------------------------
+// Parser states
+
+func (lw *lowerer) lowerState(st *ast.State) (*ir.State, error) {
+	out := &ir.State{Name: st.Name}
+	stmts, err := lw.lowerStmts(st.Stmts)
+	if err != nil {
+		return nil, err
+	}
+	out.Stmts = stmts
+	switch tr := st.Trans.(type) {
+	case nil:
+		out.Trans = &ir.Trans{Kind: "direct", Target: ast.StateReject}
+	case *ast.DirectTransition:
+		out.Trans = &ir.Trans{Kind: "direct", Target: tr.Target}
+	case *ast.SelectTransition:
+		it := &ir.Trans{Kind: "select"}
+		var widths []int
+		for _, e := range tr.Exprs {
+			le, lt, err := lw.lowerExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			it.Exprs = append(it.Exprs, le)
+			widths = append(widths, lt.Width)
+		}
+		for _, c := range tr.Cases {
+			ic := &ir.TransCase{Target: c.Target, Default: c.IsDefault}
+			if !c.IsDefault {
+				for i, v := range c.Values {
+					if v == nil {
+						ic.Values = append(ic.Values, 0)
+						ic.Masks = append(ic.Masks, 0)
+						ic.HasMask = append(ic.HasMask, false)
+						ic.DontCare = append(ic.DontCare, true)
+						continue
+					}
+					cv, err := lw.env.EvalConst(v)
+					if err != nil {
+						return nil, err
+					}
+					ic.Values = append(ic.Values, maskTo(cv, widths[i]))
+					if c.Masks[i] != nil {
+						m, err := lw.env.EvalConst(c.Masks[i])
+						if err != nil {
+							return nil, err
+						}
+						ic.Masks = append(ic.Masks, maskTo(m, widths[i]))
+						ic.HasMask = append(ic.HasMask, true)
+					} else {
+						ic.Masks = append(ic.Masks, 0)
+						ic.HasMask = append(ic.HasMask, false)
+					}
+					ic.DontCare = append(ic.DontCare, false)
+				}
+			}
+			it.Cases = append(it.Cases, ic)
+		}
+		out.Trans = it
+	}
+	return out, nil
+}

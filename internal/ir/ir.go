@@ -1,0 +1,720 @@
+// Package ir defines the µP4 intermediate representation (µP4-IR).
+//
+// The frontend lowers each µP4 module into one ir.Program (paper Fig. 4a);
+// the midend links, analyzes and transforms Programs; backends map them to
+// target pipelines. The IR is deliberately flat and JSON-serializable: all
+// storage is named by dotted path strings ("h.eth.dstMac", "nh",
+// "l3_i.h.ipv4.ttl" after inlining), and expressions and statements are
+// tagged unions.
+package ir
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ----------------------------------------------------------------------------
+// Expressions
+
+// Expression kinds.
+const (
+	EConst   = "const"   // Value, Width
+	ERef     = "ref"     // Ref (dotted path), Width
+	EBin     = "bin"     // Op, X, Y
+	EUn      = "un"      // Op, X
+	ESlice   = "slice"   // X, Hi, Lo (bit positions within X)
+	EIsValid = "isvalid" // Ref names a header instance path
+	EBSlice  = "bslice"  // byte-stack slice: Off (bit offset), Width
+	EBValid  = "bvalid"  // byte-stack validity: true iff packet length > Off (byte index)
+)
+
+// Expr is an IR expression. Width is the result width in bits; boolean
+// expressions use Width 1 with the Bool flag.
+type Expr struct {
+	Kind  string `json:"k"`
+	Width int    `json:"w,omitempty"`
+	Bool  bool   `json:"b,omitempty"`
+	Value uint64 `json:"v,omitempty"`
+	Ref   string `json:"ref,omitempty"`
+	Op    string `json:"op,omitempty"`
+	X     *Expr  `json:"x,omitempty"`
+	Y     *Expr  `json:"y,omitempty"`
+	Hi    int    `json:"hi,omitempty"`
+	Lo    int    `json:"lo,omitempty"`
+	Off   int    `json:"off,omitempty"`
+}
+
+// Const returns a constant expression.
+func Const(v uint64, w int) *Expr { return &Expr{Kind: EConst, Value: v, Width: w} }
+
+// Ref returns a reference expression.
+func Ref(path string, w int) *Expr { return &Expr{Kind: ERef, Ref: path, Width: w} }
+
+// BoolConst returns a boolean constant.
+func BoolConst(v bool) *Expr {
+	var n uint64
+	if v {
+		n = 1
+	}
+	return &Expr{Kind: EConst, Value: n, Width: 1, Bool: true}
+}
+
+func (e *Expr) String() string {
+	if e == nil {
+		return "<nil>"
+	}
+	switch e.Kind {
+	case EConst:
+		if e.Bool {
+			return fmt.Sprintf("%t", e.Value != 0)
+		}
+		return fmt.Sprintf("%dw%#x", e.Width, e.Value)
+	case ERef:
+		return e.Ref
+	case EBin:
+		return fmt.Sprintf("(%s %s %s)", e.X, e.Op, e.Y)
+	case EUn:
+		return fmt.Sprintf("%s%s", e.Op, e.X)
+	case ESlice:
+		return fmt.Sprintf("%s[%d:%d]", e.X, e.Hi, e.Lo)
+	case EIsValid:
+		return fmt.Sprintf("%s.isValid()", e.Ref)
+	case EBSlice:
+		return fmt.Sprintf("bs[%d+:%d]", e.Off, e.Width)
+	case EBValid:
+		return fmt.Sprintf("bs[%d].isValid()", e.Off)
+	}
+	return "<bad expr>"
+}
+
+// Clone deep-copies an expression.
+func (e *Expr) Clone() *Expr {
+	if e == nil {
+		return nil
+	}
+	c := *e
+	c.X = e.X.Clone()
+	c.Y = e.Y.Clone()
+	return &c
+}
+
+// Rename applies fn to every Ref path in the expression tree.
+func (e *Expr) Rename(fn func(string) string) {
+	if e == nil {
+		return
+	}
+	if e.Ref != "" {
+		e.Ref = fn(e.Ref)
+	}
+	e.X.Rename(fn)
+	e.Y.Rename(fn)
+}
+
+// Walk calls fn for e and every sub-expression.
+func (e *Expr) Walk(fn func(*Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	e.X.Walk(fn)
+	e.Y.Walk(fn)
+}
+
+// ----------------------------------------------------------------------------
+// Statements
+
+// Statement kinds.
+const (
+	SAssign     = "assign"      // LHS, RHS
+	SIf         = "if"          // Cond, Then, Else
+	SSwitch     = "switch"      // Cond, Cases
+	SApplyTable = "apply_table" // Table
+	SCallModule = "call_module" // Instance, Module, Args
+	SExtract    = "extract"     // Hdr (header instance path), VarSize (optional)
+	SEmit       = "emit"        // Hdr
+	SSetValid   = "set_valid"   // Hdr
+	SSetInvalid = "set_invalid" // Hdr
+	SMethod     = "method"      // Target (instance path), Method, Args
+	SExit       = "exit"
+	SShift      = "shift" // byte-stack shift: Off/Len/Amt in BYTES, synthesized by deparser MATs
+)
+
+// Arg is an argument to a module call: the expression plus the formal's
+// direction so the linker can wire out/inout copies.
+type Arg struct {
+	Expr *Expr  `json:"e"`
+	Dir  string `json:"dir,omitempty"` // "", "in", "out", "inout"
+}
+
+// Case is a switch case.
+type Case struct {
+	Values  []uint64 `json:"vals,omitempty"`
+	Default bool     `json:"def,omitempty"`
+	Body    []*Stmt  `json:"body"`
+}
+
+// Stmt is an IR statement.
+type Stmt struct {
+	Kind     string  `json:"k"`
+	LHS      *Expr   `json:"lhs,omitempty"`
+	RHS      *Expr   `json:"rhs,omitempty"`
+	Cond     *Expr   `json:"cond,omitempty"`
+	Then     []*Stmt `json:"then,omitempty"`
+	Else     []*Stmt `json:"else,omitempty"`
+	Cases    []*Case `json:"cases,omitempty"`
+	Table    string  `json:"table,omitempty"`
+	Instance string  `json:"inst,omitempty"`
+	Module   string  `json:"mod,omitempty"`
+	Args     []Arg   `json:"args,omitempty"`
+	Hdr      string  `json:"hdr,omitempty"`
+	VarSize  *Expr   `json:"varsize,omitempty"`
+	Target   string  `json:"target,omitempty"`
+	Method   string  `json:"method,omitempty"`
+	// SCallModule: which pkt/im_t instances are passed (usually the
+	// canonical "$pkt"/"$im"; multi-packet programs pass locals).
+	PktArg string `json:"pktarg,omitempty"`
+	ImArg  string `json:"imarg,omitempty"`
+	// SShift fields (byte units within the byte-stack).
+	Off int `json:"soff,omitempty"`
+	Len int `json:"slen,omitempty"`
+	Amt int `json:"samt,omitempty"`
+}
+
+// Clone deep-copies a statement.
+func (s *Stmt) Clone() *Stmt {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.LHS = s.LHS.Clone()
+	c.RHS = s.RHS.Clone()
+	c.Cond = s.Cond.Clone()
+	c.VarSize = s.VarSize.Clone()
+	c.Then = CloneStmts(s.Then)
+	c.Else = CloneStmts(s.Else)
+	c.Cases = nil
+	for _, cs := range s.Cases {
+		nc := &Case{Values: append([]uint64(nil), cs.Values...), Default: cs.Default, Body: CloneStmts(cs.Body)}
+		c.Cases = append(c.Cases, nc)
+	}
+	c.Args = nil
+	for _, a := range s.Args {
+		c.Args = append(c.Args, Arg{Expr: a.Expr.Clone(), Dir: a.Dir})
+	}
+	return &c
+}
+
+// CloneStmts deep-copies a statement list.
+func CloneStmts(ss []*Stmt) []*Stmt {
+	if ss == nil {
+		return nil
+	}
+	out := make([]*Stmt, len(ss))
+	for i, s := range ss {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// Rename applies fn to every storage path in the statement tree,
+// including header paths, table names, instance names, and refs.
+func (s *Stmt) Rename(fn func(string) string) {
+	if s == nil {
+		return
+	}
+	s.LHS.Rename(fn)
+	s.RHS.Rename(fn)
+	s.Cond.Rename(fn)
+	s.VarSize.Rename(fn)
+	if s.Hdr != "" {
+		s.Hdr = fn(s.Hdr)
+	}
+	if s.Table != "" {
+		s.Table = fn(s.Table)
+	}
+	if s.Instance != "" {
+		s.Instance = fn(s.Instance)
+	}
+	if s.Target != "" {
+		s.Target = fn(s.Target)
+	}
+	if s.PktArg != "" {
+		s.PktArg = fn(s.PktArg)
+	}
+	if s.ImArg != "" {
+		s.ImArg = fn(s.ImArg)
+	}
+	for i := range s.Args {
+		s.Args[i].Expr.Rename(fn)
+	}
+	RenameStmts(s.Then, fn)
+	RenameStmts(s.Else, fn)
+	for _, c := range s.Cases {
+		RenameStmts(c.Body, fn)
+	}
+}
+
+// RenameStmts applies fn to every storage path in a statement list.
+func RenameStmts(ss []*Stmt, fn func(string) string) {
+	for _, s := range ss {
+		s.Rename(fn)
+	}
+}
+
+// WalkStmts calls fn for every statement in the tree, pre-order.
+func WalkStmts(ss []*Stmt, fn func(*Stmt)) {
+	for _, s := range ss {
+		fn(s)
+		WalkStmts(s.Then, fn)
+		WalkStmts(s.Else, fn)
+		for _, c := range s.Cases {
+			WalkStmts(c.Body, fn)
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Parser
+
+// TransCase is one arm of a select transition. Values/Masks are parallel;
+// a nil mask entry means exact match; DontCare marks "_" keysets.
+type TransCase struct {
+	Values   []uint64 `json:"vals,omitempty"`
+	Masks    []uint64 `json:"masks,omitempty"`
+	HasMask  []bool   `json:"hasmask,omitempty"`
+	DontCare []bool   `json:"dontcare,omitempty"`
+	Default  bool     `json:"def,omitempty"`
+	Target   string   `json:"target"`
+}
+
+// Trans is a state transition.
+type Trans struct {
+	Kind   string       `json:"k"` // "direct" or "select"
+	Target string       `json:"target,omitempty"`
+	Exprs  []*Expr      `json:"exprs,omitempty"`
+	Cases  []*TransCase `json:"cases,omitempty"`
+}
+
+// State is a parser state.
+type State struct {
+	Name  string  `json:"name"`
+	Stmts []*Stmt `json:"stmts,omitempty"`
+	Trans *Trans  `json:"trans,omitempty"` // nil = implicit reject
+}
+
+// Parser is a parser block: an FSM.
+type Parser struct {
+	States []*State `json:"states"`
+}
+
+// State returns the named state, or nil.
+func (p *Parser) State(name string) *State {
+	for _, st := range p.States {
+		if st.Name == name {
+			return st
+		}
+	}
+	return nil
+}
+
+// ----------------------------------------------------------------------------
+// Tables and actions
+
+// Param is an action or module parameter.
+type Param struct {
+	Name  string `json:"name"`
+	Width int    `json:"w"`
+	Dir   string `json:"dir,omitempty"`
+}
+
+// Action is a table action.
+type Action struct {
+	Name   string  `json:"name"`
+	Params []Param `json:"params,omitempty"`
+	Body   []*Stmt `json:"body"`
+}
+
+// Key is one table key element.
+type Key struct {
+	Expr      *Expr  `json:"e"`
+	MatchKind string `json:"match"`
+}
+
+// ActionCall binds an action name to constant arguments.
+type ActionCall struct {
+	Name string   `json:"name"`
+	Args []uint64 `json:"args,omitempty"`
+}
+
+// EntryKey is one keyset in a const entry.
+type EntryKey struct {
+	DontCare bool   `json:"dc,omitempty"`
+	Value    uint64 `json:"v,omitempty"`
+	Mask     uint64 `json:"m,omitempty"`
+	HasMask  bool   `json:"hm,omitempty"`
+	// Priority-bearing prefix length for lpm keys in const entries.
+	PrefixLen int `json:"plen,omitempty"`
+}
+
+// Entry is a const table entry.
+type Entry struct {
+	Keys   []EntryKey `json:"keys"`
+	Action ActionCall `json:"action"`
+}
+
+// Table is a match-action table.
+type Table struct {
+	Name      string      `json:"name"`
+	Keys      []Key       `json:"keys,omitempty"`
+	Actions   []string    `json:"actions"`
+	Default   *ActionCall `json:"default,omitempty"`
+	Entries   []Entry     `json:"entries,omitempty"`
+	Size      int         `json:"size,omitempty"`
+	Synthetic bool        `json:"synthetic,omitempty"` // parser/deparser MAT
+}
+
+// ----------------------------------------------------------------------------
+// Program
+
+// Storage declaration kinds.
+const (
+	DeclBits   = "bits"
+	DeclBool   = "bool"
+	DeclHeader = "header"
+	DeclStack  = "stack"
+)
+
+// Decl is one flattened storage declaration.
+type Decl struct {
+	Path      string `json:"path"`
+	Kind      string `json:"k"`
+	Width     int    `json:"w,omitempty"`    // bits
+	TypeName  string `json:"type,omitempty"` // header type name
+	StackSize int    `json:"stack,omitempty"`
+}
+
+// HeaderField is one field of a header type.
+type HeaderField struct {
+	Name     string `json:"name"`
+	Width    int    `json:"w"`
+	Offset   int    `json:"off"`
+	Varbit   bool   `json:"varbit,omitempty"`
+	MaxWidth int    `json:"maxw,omitempty"`
+}
+
+// HeaderType is a header type layout.
+type HeaderType struct {
+	Name      string        `json:"name"`
+	Fields    []HeaderField `json:"fields"`
+	BitWidth  int           `json:"bits"`
+	HasVarbit bool          `json:"hasvarbit,omitempty"`
+}
+
+// ByteSize returns the (maximum) header size in bytes.
+func (h *HeaderType) ByteSize() int { return (h.BitWidth + 7) / 8 }
+
+// Field returns the named field, or nil.
+func (h *HeaderType) Field(name string) *HeaderField {
+	for i := range h.Fields {
+		if h.Fields[i].Name == name {
+			return &h.Fields[i]
+		}
+	}
+	return nil
+}
+
+// ModParam is one element of a module's callable signature (data
+// parameters only; the pkt and im_t externs are implicit).
+type ModParam struct {
+	Name  string `json:"name"`
+	Dir   string `json:"dir"`
+	Width int    `json:"w"`
+}
+
+// Proto is a callee module's signature.
+type Proto struct {
+	Name   string     `json:"name"`
+	Params []ModParam `json:"params"`
+}
+
+// Instance is a module or extern instantiation inside a control.
+type Instance struct {
+	Name   string `json:"name"`
+	Module string `json:"module,omitempty"` // module type name
+	Extern string `json:"extern,omitempty"` // extern type name (mc_engine, ...)
+	// Register instances (the §8.2 stateful extension).
+	Size  int `json:"size,omitempty"`  // number of cells
+	Width int `json:"width,omitempty"` // cell width in bits
+}
+
+// Program is the µP4-IR of one module.
+type Program struct {
+	Name       string                 `json:"name"`
+	Interface  string                 `json:"interface"`
+	SourceFile string                 `json:"source,omitempty"`
+	Headers    map[string]*HeaderType `json:"headers"`
+	Decls      []Decl                 `json:"decls"`
+	Params     []ModParam             `json:"params,omitempty"`
+	Parser     *Parser                `json:"parser,omitempty"`
+	Apply      []*Stmt                `json:"apply"`
+	Actions    map[string]*Action     `json:"actions,omitempty"`
+	Tables     map[string]*Table      `json:"tables,omitempty"`
+	Instances  []Instance             `json:"instances,omitempty"`
+	Deparser   []*Stmt                `json:"deparser,omitempty"`
+	Protos     map[string]*Proto      `json:"protos,omitempty"`
+}
+
+// DeclByPath returns the storage declaration for path, or nil.
+func (p *Program) DeclByPath(path string) *Decl {
+	for i := range p.Decls {
+		if p.Decls[i].Path == path {
+			return &p.Decls[i]
+		}
+	}
+	return nil
+}
+
+// HeaderOf returns the header type of the instance at path, or nil.
+func (p *Program) HeaderOf(path string) *HeaderType {
+	d := p.DeclByPath(path)
+	if d == nil || (d.Kind != DeclHeader && d.Kind != DeclStack) {
+		return nil
+	}
+	return p.Headers[d.TypeName]
+}
+
+// Callees returns the distinct module names instantiated by the program.
+func (p *Program) CalleeModules() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, inst := range p.Instances {
+		if inst.Module != "" && !seen[inst.Module] {
+			seen[inst.Module] = true
+			out = append(out, inst.Module)
+		}
+	}
+	return out
+}
+
+// InstanceByName returns the named instance, or nil.
+func (p *Program) InstanceByName(name string) *Instance {
+	for i := range p.Instances {
+		if p.Instances[i].Name == name {
+			return &p.Instances[i]
+		}
+	}
+	return nil
+}
+
+// MarshalJSON output is the serialized µP4-IR (paper Fig. 4a: the frontend
+// "serializes the µP4-IR to JSON").
+func (p *Program) ToJSON() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// FromJSON deserializes a Program.
+func FromJSON(data []byte) (*Program, error) {
+	var p Program
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("decoding µP4-IR: %w", err)
+	}
+	return &p, nil
+}
+
+// Clone deep-copies a program.
+func (p *Program) Clone() *Program {
+	c := *p
+	c.Headers = make(map[string]*HeaderType, len(p.Headers))
+	for k, v := range p.Headers {
+		hv := *v
+		hv.Fields = append([]HeaderField(nil), v.Fields...)
+		c.Headers[k] = &hv
+	}
+	c.Decls = append([]Decl(nil), p.Decls...)
+	c.Params = append([]ModParam(nil), p.Params...)
+	if p.Parser != nil {
+		np := &Parser{}
+		for _, st := range p.Parser.States {
+			ns := &State{Name: st.Name, Stmts: CloneStmts(st.Stmts)}
+			if st.Trans != nil {
+				nt := *st.Trans
+				nt.Exprs = nil
+				for _, e := range st.Trans.Exprs {
+					nt.Exprs = append(nt.Exprs, e.Clone())
+				}
+				nt.Cases = nil
+				for _, tc := range st.Trans.Cases {
+					ntc := *tc
+					ntc.Values = append([]uint64(nil), tc.Values...)
+					ntc.Masks = append([]uint64(nil), tc.Masks...)
+					ntc.HasMask = append([]bool(nil), tc.HasMask...)
+					ntc.DontCare = append([]bool(nil), tc.DontCare...)
+					nt.Cases = append(nt.Cases, &ntc)
+				}
+				ns.Trans = &nt
+			}
+			np.States = append(np.States, ns)
+		}
+		c.Parser = np
+	}
+	c.Apply = CloneStmts(p.Apply)
+	c.Deparser = CloneStmts(p.Deparser)
+	c.Actions = make(map[string]*Action, len(p.Actions))
+	for k, a := range p.Actions {
+		na := &Action{Name: a.Name, Params: append([]Param(nil), a.Params...), Body: CloneStmts(a.Body)}
+		c.Actions[k] = na
+	}
+	c.Tables = make(map[string]*Table, len(p.Tables))
+	for k, t := range p.Tables {
+		nt := *t
+		nt.Keys = nil
+		for _, key := range t.Keys {
+			nt.Keys = append(nt.Keys, Key{Expr: key.Expr.Clone(), MatchKind: key.MatchKind})
+		}
+		nt.Actions = append([]string(nil), t.Actions...)
+		if t.Default != nil {
+			d := *t.Default
+			d.Args = append([]uint64(nil), t.Default.Args...)
+			nt.Default = &d
+		}
+		nt.Entries = nil
+		for _, e := range t.Entries {
+			ne := Entry{Keys: append([]EntryKey(nil), e.Keys...), Action: e.Action}
+			ne.Action.Args = append([]uint64(nil), e.Action.Args...)
+			nt.Entries = append(nt.Entries, ne)
+		}
+		c.Tables[k] = &nt
+	}
+	c.Instances = append([]Instance(nil), p.Instances...)
+	c.Protos = make(map[string]*Proto, len(p.Protos))
+	for k, pr := range p.Protos {
+		npr := &Proto{Name: pr.Name, Params: append([]ModParam(nil), pr.Params...)}
+		c.Protos[k] = npr
+	}
+	return &c
+}
+
+// prefixPath prepends prefix+"." to a path.
+func prefixPath(prefix, path string) string { return prefix + "." + path }
+
+// Prefixed returns a deep copy of the program with every storage path,
+// table name, action name, and instance name prefixed by "prefix.". It is
+// the core of composition-by-inlining.
+func (p *Program) Prefixed(prefix string) *Program {
+	c := p.Clone()
+	fn := func(s string) string {
+		// Intrinsic metadata ($im.*) is shared across modules: the
+		// architecture passes the same im_t through every pipeline.
+		if s == "$im" || strings.HasPrefix(s, "$im.") {
+			return s
+		}
+		return prefixPath(prefix, s)
+	}
+	for i := range c.Decls {
+		c.Decls[i].Path = fn(c.Decls[i].Path)
+	}
+	if c.Parser != nil {
+		for _, st := range c.Parser.States {
+			RenameStmts(st.Stmts, fn)
+			if st.Trans != nil {
+				for _, e := range st.Trans.Exprs {
+					e.Rename(fn)
+				}
+			}
+		}
+	}
+	RenameStmts(c.Apply, fn)
+	RenameStmts(c.Deparser, fn)
+	actions := make(map[string]*Action, len(c.Actions))
+	for name, a := range c.Actions {
+		a.Name = fn(name)
+		// Action parameters live in the action's own namespace and are
+		// bound by table entries; rename refs in bodies only.
+		RenameStmts(a.Body, fn)
+		actions[a.Name] = a
+	}
+	c.Actions = actions
+	tables := make(map[string]*Table, len(c.Tables))
+	for name, t := range c.Tables {
+		t.Name = fn(name)
+		for i := range t.Keys {
+			t.Keys[i].Expr.Rename(fn)
+		}
+		for i := range t.Actions {
+			t.Actions[i] = fn(t.Actions[i])
+		}
+		if t.Default != nil {
+			t.Default.Name = fn(t.Default.Name)
+		}
+		for i := range t.Entries {
+			t.Entries[i].Action.Name = fn(t.Entries[i].Action.Name)
+		}
+		tables[t.Name] = t
+	}
+	c.Tables = tables
+	for i := range c.Instances {
+		c.Instances[i].Name = fn(c.Instances[i].Name)
+	}
+	return c
+}
+
+// StmtString renders a statement for debugging and golden tests.
+func StmtString(s *Stmt) string {
+	var b strings.Builder
+	writeStmt(&b, s, 0)
+	return b.String()
+}
+
+func writeStmt(b *strings.Builder, s *Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch s.Kind {
+	case SAssign:
+		fmt.Fprintf(b, "%s%s = %s\n", ind, s.LHS, s.RHS)
+	case SIf:
+		fmt.Fprintf(b, "%sif %s {\n", ind, s.Cond)
+		for _, t := range s.Then {
+			writeStmt(b, t, depth+1)
+		}
+		if len(s.Else) > 0 {
+			fmt.Fprintf(b, "%s} else {\n", ind)
+			for _, t := range s.Else {
+				writeStmt(b, t, depth+1)
+			}
+		}
+		fmt.Fprintf(b, "%s}\n", ind)
+	case SSwitch:
+		fmt.Fprintf(b, "%sswitch %s {\n", ind, s.Cond)
+		for _, c := range s.Cases {
+			if c.Default {
+				fmt.Fprintf(b, "%s  default:\n", ind)
+			} else {
+				fmt.Fprintf(b, "%s  case %v:\n", ind, c.Values)
+			}
+			for _, t := range c.Body {
+				writeStmt(b, t, depth+2)
+			}
+		}
+		fmt.Fprintf(b, "%s}\n", ind)
+	case SApplyTable:
+		fmt.Fprintf(b, "%sapply %s\n", ind, s.Table)
+	case SCallModule:
+		fmt.Fprintf(b, "%scall %s:%s(%d args)\n", ind, s.Instance, s.Module, len(s.Args))
+	case SExtract:
+		fmt.Fprintf(b, "%sextract %s\n", ind, s.Hdr)
+	case SEmit:
+		fmt.Fprintf(b, "%semit %s\n", ind, s.Hdr)
+	case SSetValid:
+		fmt.Fprintf(b, "%s%s.setValid()\n", ind, s.Hdr)
+	case SSetInvalid:
+		fmt.Fprintf(b, "%s%s.setInvalid()\n", ind, s.Hdr)
+	case SMethod:
+		fmt.Fprintf(b, "%s%s.%s(%d args)\n", ind, s.Target, s.Method, len(s.Args))
+	case SExit:
+		fmt.Fprintf(b, "%sexit\n", ind)
+	case SShift:
+		fmt.Fprintf(b, "%sshift bs[%d..%d) up %d\n", ind, s.Off, s.Off+s.Len, s.Amt)
+	default:
+		fmt.Fprintf(b, "%s<%s>\n", ind, s.Kind)
+	}
+}

@@ -1,0 +1,186 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleProgram() *Program {
+	return &Program{
+		Name:      "Sample",
+		Interface: "Unicast",
+		Headers: map[string]*HeaderType{
+			"eth_h": {Name: "eth_h", BitWidth: 112, Fields: []HeaderField{
+				{Name: "dst", Width: 48, Offset: 0},
+				{Name: "src", Width: 48, Offset: 48},
+				{Name: "etype", Width: 16, Offset: 96},
+			}},
+		},
+		Decls: []Decl{
+			{Path: "$hdr.eth", Kind: DeclHeader, TypeName: "eth_h"},
+			{Path: "nh", Kind: DeclBits, Width: 16},
+		},
+		Params: []ModParam{{Name: "nh", Dir: "out", Width: 16}},
+		Parser: &Parser{States: []*State{{
+			Name:  "start",
+			Stmts: []*Stmt{{Kind: SExtract, Hdr: "$hdr.eth"}},
+			Trans: &Trans{Kind: "direct", Target: "accept"},
+		}}},
+		Apply: []*Stmt{
+			{Kind: SAssign, LHS: Ref("nh", 16), RHS: Const(7, 16)},
+			{Kind: SIf, Cond: &Expr{Kind: EIsValid, Ref: "$hdr.eth", Bool: true, Width: 1},
+				Then: []*Stmt{{Kind: SApplyTable, Table: "t"}}},
+		},
+		Actions: map[string]*Action{
+			"a": {Name: "a", Params: []Param{{Name: "x", Width: 9}},
+				Body: []*Stmt{{Kind: SAssign, LHS: Ref("$im.out_port", 9), RHS: Ref("a#x", 9)}}},
+		},
+		Tables: map[string]*Table{
+			"t": {Name: "t",
+				Keys:    []Key{{Expr: Ref("$hdr.eth.etype", 16), MatchKind: "exact"}},
+				Actions: []string{"a"},
+				Default: &ActionCall{Name: "a", Args: []uint64{0}},
+				Entries: []Entry{{Keys: []EntryKey{{Value: 0x800}}, Action: ActionCall{Name: "a", Args: []uint64{1}}}},
+			},
+		},
+		Instances: []Instance{{Name: "r", Extern: "register", Size: 4, Width: 8}},
+		Deparser:  []*Stmt{{Kind: SEmit, Hdr: "$hdr.eth"}},
+	}
+}
+
+func TestJSONStability(t *testing.T) {
+	p := sampleProgram()
+	j1, err := p.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := FromJSON(j1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := q.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Error("JSON round-trip not stable")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := sampleProgram()
+	c := p.Clone()
+	// Mutate the clone everywhere; the original must not change.
+	c.Decls[0].Path = "changed"
+	c.Headers["eth_h"].Fields[0].Width = 1
+	c.Apply[0].RHS.Value = 99
+	c.Tables["t"].Entries[0].Keys[0].Value = 42
+	c.Actions["a"].Body[0].LHS.Ref = "zzz"
+	c.Parser.States[0].Stmts[0].Hdr = "nope"
+	c.Instances[0].Size = 123
+
+	if p.Decls[0].Path != "$hdr.eth" ||
+		p.Headers["eth_h"].Fields[0].Width != 48 ||
+		p.Apply[0].RHS.Value != 7 ||
+		p.Tables["t"].Entries[0].Keys[0].Value != 0x800 ||
+		p.Actions["a"].Body[0].LHS.Ref != "$im.out_port" ||
+		p.Parser.States[0].Stmts[0].Hdr != "$hdr.eth" ||
+		p.Instances[0].Size != 4 {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestPrefixed(t *testing.T) {
+	p := sampleProgram()
+	q := p.Prefixed("m1")
+	if q.DeclByPath("m1.$hdr.eth") == nil || q.DeclByPath("m1.nh") == nil {
+		t.Error("decls not prefixed")
+	}
+	if q.Tables["m1.t"] == nil || q.Actions["m1.a"] == nil {
+		t.Errorf("tables/actions not prefixed: %v", mapsKeys(q))
+	}
+	// $im stays shared.
+	body := q.Actions["m1.a"].Body[0]
+	if body.LHS.Ref != "$im.out_port" {
+		t.Errorf("$im ref prefixed: %s", body.LHS.Ref)
+	}
+	if body.RHS.Ref != "m1.a#x" {
+		t.Errorf("action param ref = %s, want m1.a#x", body.RHS.Ref)
+	}
+	// Table keys, defaults, entry actions all renamed.
+	tbl := q.Tables["m1.t"]
+	if tbl.Keys[0].Expr.Ref != "m1.$hdr.eth.etype" {
+		t.Errorf("key = %s", tbl.Keys[0].Expr.Ref)
+	}
+	if tbl.Default.Name != "m1.a" || tbl.Entries[0].Action.Name != "m1.a" {
+		t.Errorf("actions not renamed: %+v", tbl)
+	}
+	// Original untouched.
+	if p.Tables["t"] == nil {
+		t.Error("Prefixed mutated the original")
+	}
+}
+
+func mapsKeys(p *Program) []string {
+	var out []string
+	for k := range p.Tables {
+		out = append(out, "tbl:"+k)
+	}
+	for k := range p.Actions {
+		out = append(out, "act:"+k)
+	}
+	return out
+}
+
+func TestStmtStringForms(t *testing.T) {
+	stmts := []*Stmt{
+		{Kind: SAssign, LHS: Ref("a", 8), RHS: Const(1, 8)},
+		{Kind: SShift, Off: 14, Amt: -4},
+		{Kind: SExit},
+		{Kind: SSwitch, Cond: Ref("x", 8), Cases: []*Case{
+			{Values: []uint64{1}, Body: []*Stmt{{Kind: SExit}}},
+			{Default: true, Body: nil},
+		}},
+	}
+	for _, s := range stmts {
+		if out := StmtString(s); strings.TrimSpace(out) == "" || strings.Contains(out, "<bad") {
+			t.Errorf("StmtString(%v) = %q", s.Kind, out)
+		}
+	}
+}
+
+// Property: Prefixed twice composes (prefix paths nest), and never
+// touches $im refs.
+func TestQuickPrefixCompose(t *testing.T) {
+	f := func(a, b uint8) bool {
+		p1 := "m" + string(rune('a'+a%26))
+		p2 := "n" + string(rune('a'+b%26))
+		p := sampleProgram()
+		q := p.Prefixed(p1).Prefixed(p2)
+		if q.DeclByPath(p2+"."+p1+".nh") == nil {
+			return false
+		}
+		return q.Actions[p2+"."+p1+".a"].Body[0].LHS.Ref == "$im.out_port"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: expression Clone+Rename never aliases the original.
+func TestQuickExprRename(t *testing.T) {
+	f := func(v uint32, w uint8) bool {
+		e := &Expr{Kind: EBin, Op: "+",
+			X: Ref("x.y", int(w%64)+1),
+			Y: &Expr{Kind: ESlice, X: Ref("z", 32), Hi: 7, Lo: 0, Width: 8},
+		}
+		c := e.Clone()
+		c.Rename(func(s string) string { return "p." + s })
+		return e.X.Ref == "x.y" && c.X.Ref == "p.x.y" &&
+			e.Y.X.Ref == "z" && c.Y.X.Ref == "p.z"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

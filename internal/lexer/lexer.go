@@ -1,0 +1,339 @@
+// Package lexer tokenizes µP4 source text.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"microp4/internal/ast"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Number // integer literal, possibly width-annotated (8w0xFF)
+	Punct  // operator or punctuation, Text holds the exact spelling
+	Keyword
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case Ident:
+		return "identifier"
+	case Number:
+		return "number"
+	case Punct:
+		return "punctuation"
+	case Keyword:
+		return "keyword"
+	}
+	return "unknown"
+}
+
+// Token is a lexical token.
+type Token struct {
+	Kind  Kind
+	Text  string
+	Width int    // for Number: annotated width, 0 if none
+	Value uint64 // for Number: parsed value
+	Pos   ast.Pos
+}
+
+func (t Token) String() string {
+	if t.Kind == EOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Keywords of the µP4 dialect.
+var keywords = map[string]bool{
+	"header": true, "struct": true, "typedef": true, "const": true,
+	"parser": true, "control": true, "state": true, "transition": true,
+	"select": true, "action": true, "table": true, "key": true,
+	"actions": true, "entries": true, "default_action": true, "size": true,
+	"apply": true, "if": true, "else": true, "switch": true, "default": true,
+	"program": true, "implements": true, "in": true, "out": true,
+	"inout": true, "bit": true, "bool": true, "varbit": true,
+	"true": true, "false": true, "exit": true, "return": true,
+}
+
+// IsKeyword reports whether s is a reserved word.
+func IsKeyword(s string) bool { return keywords[s] }
+
+// Error is a lexical error with position information.
+type Error struct {
+	Pos ast.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans µP4 source text into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the entire input, returning all tokens excluding EOF.
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}
+
+func (l *Lexer) pos() ast.Pos { return ast.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekByteAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekByteAt(1) == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByteAt(1) == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peekByte() == '*' && l.peekByteAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &Error{Pos: start, Msg: "unterminated block comment"}
+			}
+		case c == '#':
+			// Preprocessor-style lines are not part of µP4 (§1 criticizes
+			// them); skip them permissively so pasted P4 headers still lex.
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// multi-byte punctuation, longest first.
+var puncts = []string{
+	"&&&", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++",
+	"(", ")", "{", "}", "[", "]", "<", ">", ";", ":", ",", ".", "=",
+	"!", "~", "&", "|", "^", "+", "-", "*", "/", "%", "_", "@",
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: p}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if text == "_" {
+			return Token{Kind: Punct, Text: "_", Pos: p}, nil
+		}
+		if IsKeyword(text) {
+			return Token{Kind: Keyword, Text: text, Pos: p}, nil
+		}
+		return Token{Kind: Ident, Text: text, Pos: p}, nil
+	case isDigit(c):
+		return l.scanNumber(p)
+	default:
+		for _, pc := range puncts {
+			if strings.HasPrefix(l.src[l.off:], pc) {
+				for range pc {
+					l.advance()
+				}
+				return Token{Kind: Punct, Text: pc, Pos: p}, nil
+			}
+		}
+		return Token{}, &Error{Pos: p, Msg: fmt.Sprintf("unexpected character %q", c)}
+	}
+}
+
+// scanNumber scans decimal, hex (0x...), binary (0b...), and
+// width-annotated (16w0x0800, 8s5) integer literals.
+func (l *Lexer) scanNumber(p ast.Pos) (Token, error) {
+	start := l.off
+	for l.off < len(l.src) && (isDigit(l.peekByte()) || l.peekByte() == '_') {
+		l.advance()
+	}
+	lead := l.src[start:l.off]
+	// Width annotation: 16w0x0800 or 8s5 (signed treated as unsigned).
+	if l.off < len(l.src) && (l.peekByte() == 'w' || l.peekByte() == 's') {
+		n, err := parseUint(strings.ReplaceAll(lead, "_", ""), 10, p)
+		if err != nil {
+			return Token{}, err
+		}
+		if n == 0 || n > 64 {
+			return Token{}, &Error{Pos: p, Msg: fmt.Sprintf("unsupported literal width %d", n)}
+		}
+		l.advance() // w or s
+		v, text, err := l.scanMagnitude(p)
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: Number, Text: text, Width: int(n), Value: v, Pos: p}, nil
+	}
+	// Unannotated: lead may be "0" of a 0x/0b prefix.
+	if lead == "0" && l.off < len(l.src) {
+		switch l.peekByte() {
+		case 'x', 'X', 'b', 'B':
+			l.off = start
+			l.col -= len(lead)
+			v, text, err := l.scanMagnitude(p)
+			if err != nil {
+				return Token{}, err
+			}
+			return Token{Kind: Number, Text: text, Value: v, Pos: p}, nil
+		}
+	}
+	text := strings.ReplaceAll(lead, "_", "")
+	v, err := parseUint(text, 10, p)
+	if err != nil {
+		return Token{}, err
+	}
+	return Token{Kind: Number, Text: text, Value: v, Pos: p}, nil
+}
+
+// scanMagnitude scans a number magnitude at the cursor: 0x..., 0b..., or
+// decimal digits, with optional underscore separators.
+func (l *Lexer) scanMagnitude(p ast.Pos) (uint64, string, error) {
+	base := uint64(10)
+	if l.peekByte() == '0' {
+		switch l.peekByteAt(1) {
+		case 'x', 'X':
+			l.advance()
+			l.advance()
+			base = 16
+		case 'b', 'B':
+			l.advance()
+			l.advance()
+			base = 2
+		}
+	}
+	start := l.off
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		if c == '_' || isDigit(c) || (base == 16 && isHexDigit(c)) {
+			l.advance()
+			continue
+		}
+		break
+	}
+	text := strings.ReplaceAll(l.src[start:l.off], "_", "")
+	if text == "" {
+		return 0, "", &Error{Pos: p, Msg: "malformed numeric literal"}
+	}
+	v, err := parseUint(text, base, p)
+	if err != nil {
+		return 0, "", err
+	}
+	return v, text, nil
+}
+
+func parseUint(s string, base uint64, p ast.Pos) (uint64, error) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		var d uint64
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, &Error{Pos: p, Msg: fmt.Sprintf("bad digit %q in literal", c)}
+		}
+		if d >= base {
+			return 0, &Error{Pos: p, Msg: fmt.Sprintf("digit %q out of range for base %d", c, base)}
+		}
+		nv := v*base + d
+		if nv < v {
+			return 0, &Error{Pos: p, Msg: "integer literal overflows 64 bits"}
+		}
+		v = nv
+	}
+	return v, nil
+}

@@ -1,0 +1,194 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	toks := kinds(t, "parser P(extractor ex, pkt p) { }")
+	want := []struct {
+		k Kind
+		s string
+	}{
+		{Keyword, "parser"}, {Ident, "P"}, {Punct, "("}, {Ident, "extractor"},
+		{Ident, "ex"}, {Punct, ","}, {Ident, "pkt"}, {Ident, "p"},
+		{Punct, ")"}, {Punct, "{"}, {Punct, "}"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.k || toks[i].Text != w.s {
+			t.Errorf("token %d = (%v,%q), want (%v,%q)", i, toks[i].Kind, toks[i].Text, w.k, w.s)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src   string
+		width int
+		value uint64
+	}{
+		{"0", 0, 0},
+		{"42", 0, 42},
+		{"0x0800", 0, 0x0800},
+		{"0X86DD", 0, 0x86DD},
+		{"0b1010", 0, 10},
+		{"16w0x0800", 16, 0x0800},
+		{"8w255", 8, 255},
+		{"48w0xFFFFFFFFFFFF", 48, 0xFFFFFFFFFFFF},
+		{"9s12", 9, 12},
+		{"1_000", 0, 1000},
+		{"16w0b1111_0000", 16, 0xF0},
+	}
+	for _, c := range cases {
+		toks := kinds(t, c.src)
+		if len(toks) != 1 {
+			t.Fatalf("%q: got %d tokens %v", c.src, len(toks), toks)
+		}
+		tok := toks[0]
+		if tok.Kind != Number || tok.Width != c.width || tok.Value != c.value {
+			t.Errorf("%q = (%v, w=%d, v=%d), want (Number, w=%d, v=%d)",
+				c.src, tok.Kind, tok.Width, tok.Value, c.width, c.value)
+		}
+	}
+}
+
+func TestPunctuationMaximalMunch(t *testing.T) {
+	toks := kinds(t, "a &&& b << c <= d ++ e == f != g && h")
+	var ops []string
+	for _, tok := range toks {
+		if tok.Kind == Punct {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"&&&", "<<", "<=", "++", "==", "!=", "&&"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := kinds(t, "a // line comment\n/* block\ncomment */ b # pragma\nc")
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens %v, want 3", len(toks), toks)
+	}
+	for i, name := range []string{"a", "b", "c"} {
+		if toks[i].Text != name {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, name)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := kinds(t, "a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{"/* unterminated", "$", "99w1", "0w1", "0x"}
+	for _, src := range bad {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestUnderscoreIsDontCare(t *testing.T) {
+	toks := kinds(t, "(_, 0x6)")
+	if toks[1].Kind != Punct || toks[1].Text != "_" {
+		t.Errorf("got %v %q, want punct _", toks[1].Kind, toks[1].Text)
+	}
+}
+
+// Property: any sequence of valid identifiers separated by spaces lexes to
+// exactly that many Ident/Keyword tokens with the same spellings.
+func TestQuickIdentRoundTrip(t *testing.T) {
+	letters := "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+	f := func(raw []uint16, sizes []uint8) bool {
+		var names []string
+		i := 0
+		for _, s := range sizes {
+			n := int(s)%8 + 1
+			var b strings.Builder
+			for j := 0; j < n; j++ {
+				if i >= len(raw) {
+					break
+				}
+				b.WriteByte(letters[int(raw[i])%len(letters)])
+				i++
+			}
+			if b.Len() > 0 {
+				names = append(names, b.String())
+			}
+		}
+		src := strings.Join(names, " ")
+		toks, err := Tokenize(src)
+		if err != nil {
+			return false
+		}
+		if len(toks) != len(names) {
+			return false
+		}
+		for k, tok := range toks {
+			if tok.Text != names[k] {
+				return false
+			}
+			if tok.Kind != Ident && tok.Kind != Keyword && tok.Text != "_" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decimal literals round-trip through the lexer.
+func TestQuickDecimalRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		src := strings.TrimLeft(strings.Repeat("0", 0), "") + itoa(uint64(v))
+		toks, err := Tokenize(src)
+		return err == nil && len(toks) == 1 && toks[0].Value == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,179 @@
+// Package lib is the µP4 module library and program suite from the
+// paper's evaluation (§7, Table 1): nine reusable packet-processing
+// modules and the seven composed programs P1–P7 built from them, plus
+// monolithic P4-style equivalents used as baselines in Tables 2 and 3.
+package lib
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+
+	"microp4/internal/frontend"
+	"microp4/internal/ir"
+)
+
+//go:embed up4/*.up4 mono/*.up4
+var sources embed.FS
+
+// moduleFiles maps module name to source file.
+var moduleFiles = map[string]string{
+	"ACL":       "up4/acl.up4",
+	"FlowCount": "up4/flowcount.up4",
+	"IPv4":      "up4/ipv4.up4",
+	"IPv4Opts":  "up4/ipv4opts.up4",
+	"IPv6":      "up4/ipv6.up4",
+	"L3":        "up4/l3.up4",
+	"L3SRv6":    "up4/l3srv6.up4",
+	"MPLS":      "up4/mpls.up4",
+	"NAT":       "up4/nat.up4",
+	"NPTv6":     "up4/nptv6.up4",
+	"SRv4":      "up4/srv4.up4",
+	"SRv6":      "up4/srv6.up4",
+}
+
+// Manifest describes one composed program of Table 1.
+type Manifest struct {
+	Name     string   // P1..P7
+	Main     string   // main program name
+	MainFile string   // source file of the main program
+	Modules  []string // transitively required library modules
+	MonoFile string   // monolithic equivalent source file
+	// Table1Row lists the module names as Table 1 reports them ("Eth"
+	// denotes the Ethernet processing embodied by the main program).
+	Table1Row []string
+}
+
+// Programs is the Table 1 suite in order.
+var Programs = []Manifest{
+	{
+		Name: "P1", Main: "P1EthAcl", MainFile: "up4/p1_ethacl.up4",
+		Modules:   []string{"ACL"},
+		MonoFile:  "mono/p1.up4",
+		Table1Row: []string{"Eth", "ACL"},
+	},
+	{
+		Name: "P2", Main: "P2Edge", MainFile: "up4/p2_edge.up4",
+		Modules:   []string{"MPLS", "L3", "IPv4", "IPv6"},
+		MonoFile:  "mono/p2.up4",
+		Table1Row: []string{"Eth", "IPv4", "IPv6", "MPLS"},
+	},
+	{
+		Name: "P3", Main: "P3Nat", MainFile: "up4/p3_nat.up4",
+		Modules:   []string{"NAT", "L3", "IPv4", "IPv6"},
+		MonoFile:  "mono/p3.up4",
+		Table1Row: []string{"Eth", "IPv4", "IPv6", "NAT"},
+	},
+	{
+		Name: "P4", Main: "P4Router", MainFile: "up4/p4_router.up4",
+		Modules:   []string{"L3", "IPv4", "IPv6"},
+		MonoFile:  "mono/p4.up4",
+		Table1Row: []string{"Eth", "IPv4", "IPv6"},
+	},
+	{
+		Name: "P5", Main: "P5Nptv6", MainFile: "up4/p5_nptv6.up4",
+		Modules:   []string{"NPTv6", "L3", "IPv4", "IPv6"},
+		MonoFile:  "mono/p5.up4",
+		Table1Row: []string{"Eth", "IPv4", "IPv6", "NPTv6"},
+	},
+	{
+		Name: "P6", Main: "P6Srv4", MainFile: "up4/p6_srv4.up4",
+		Modules:   []string{"SRv4", "L3", "IPv4", "IPv6"},
+		MonoFile:  "mono/p6.up4",
+		Table1Row: []string{"Eth", "IPv4", "IPv6", "SRv4"},
+	},
+	{
+		Name: "P7", Main: "P7Srv6", MainFile: "up4/p7_srv6.up4",
+		Modules:   []string{"L3SRv6", "SRv6", "IPv4", "IPv6"},
+		MonoFile:  "mono/p7.up4",
+		Table1Row: []string{"Eth", "IPv4", "IPv6", "SRv6"},
+	},
+}
+
+// Program returns the manifest for P1..P7.
+func Program(name string) (Manifest, error) {
+	for _, m := range Programs {
+		if m.Name == name || m.Main == name {
+			return m, nil
+		}
+	}
+	return Manifest{}, fmt.Errorf("unknown program %q (have P1..P7)", name)
+}
+
+// ModuleNames lists the library modules, sorted.
+func ModuleNames() []string {
+	out := make([]string, 0, len(moduleFiles))
+	for n := range moduleFiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ModuleSource returns a module's µP4 source text.
+func ModuleSource(name string) (string, error) {
+	f, ok := moduleFiles[name]
+	if !ok {
+		return "", fmt.Errorf("unknown module %q", name)
+	}
+	data, err := sources.ReadFile(f)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// Source returns the raw content of any embedded source file.
+func Source(path string) (string, error) {
+	data, err := sources.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// CompileModuleIR compiles one library module to µP4-IR.
+func CompileModuleIR(name string) (*ir.Program, error) {
+	src, err := ModuleSource(name)
+	if err != nil {
+		return nil, err
+	}
+	return frontend.CompileModule(moduleFiles[name], src)
+}
+
+// CompileProgram compiles a composed program's main and all its modules.
+func CompileProgram(name string) (main *ir.Program, mods []*ir.Program, err error) {
+	m, err := Program(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	src, err := Source(m.MainFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	main, err = frontend.CompileModule(m.MainFile, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, mod := range m.Modules {
+		p, err := CompileModuleIR(mod)
+		if err != nil {
+			return nil, nil, err
+		}
+		mods = append(mods, p)
+	}
+	return main, mods, nil
+}
+
+// CompileMonolithic compiles a program's monolithic baseline.
+func CompileMonolithic(name string) (*ir.Program, error) {
+	m, err := Program(name)
+	if err != nil {
+		return nil, err
+	}
+	src, err := Source(m.MonoFile)
+	if err != nil {
+		return nil, err
+	}
+	return frontend.CompileModule(m.MonoFile, src)
+}

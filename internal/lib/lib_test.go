@@ -1,0 +1,167 @@
+package lib
+
+import (
+	"strings"
+	"testing"
+
+	"microp4/internal/ir"
+	"microp4/internal/midend"
+)
+
+func TestAllModulesCompile(t *testing.T) {
+	for _, name := range ModuleNames() {
+		p, err := CompileModuleIR(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if p.Interface != "Unicast" {
+			t.Errorf("%s implements %s, expected Unicast", name, p.Interface)
+		}
+		// Every module's IR serializes.
+		if _, err := p.ToJSON(); err != nil {
+			t.Errorf("%s: ToJSON: %v", name, err)
+		}
+	}
+}
+
+func TestAllProgramsBuild(t *testing.T) {
+	for _, m := range Programs {
+		main, mods, err := CompileProgram(m.Name)
+		if err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+			continue
+		}
+		if main.Name != m.Main {
+			t.Errorf("%s: main program is %s, manifest says %s", m.Name, main.Name, m.Main)
+		}
+		res, err := midend.Build(main, mods...)
+		if err != nil {
+			t.Errorf("%s: midend: %v", m.Name, err)
+			continue
+		}
+		if res.Pipeline.BsBytes <= 0 {
+			t.Errorf("%s: byte-stack %d", m.Name, res.Pipeline.BsBytes)
+		}
+		// Every composed program exposes at least one user table.
+		if len(res.Pipeline.UserTables) == 0 {
+			t.Errorf("%s: no control-plane tables", m.Name)
+		}
+	}
+}
+
+func TestAllMonolithicsCompile(t *testing.T) {
+	for _, m := range Programs {
+		p, err := CompileMonolithic(m.Name)
+		if err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+			continue
+		}
+		if !strings.HasPrefix(p.Name, "Mono") {
+			t.Errorf("%s: monolithic program named %s", m.Name, p.Name)
+		}
+		if _, err := midend.Transform(p); err != nil {
+			t.Errorf("%s: transform: %v", m.Name, err)
+		}
+	}
+}
+
+func TestManifestConsistency(t *testing.T) {
+	if len(Programs) != 7 {
+		t.Fatalf("got %d programs, want 7", len(Programs))
+	}
+	ethCount, v4Count := 0, 0
+	nfCount := map[string]int{}
+	for _, m := range Programs {
+		for _, row := range m.Table1Row {
+			switch row {
+			case "Eth":
+				ethCount++
+			case "IPv4":
+				v4Count++
+			case "ACL", "MPLS", "NAT", "NPTv6", "SRv4", "SRv6":
+				nfCount[row]++
+			}
+		}
+		if _, err := Source(m.MainFile); err != nil {
+			t.Errorf("%s: main file: %v", m.Name, err)
+		}
+		if _, err := Source(m.MonoFile); err != nil {
+			t.Errorf("%s: mono file: %v", m.Name, err)
+		}
+	}
+	if ethCount != 7 {
+		t.Errorf("Eth in %d programs, want 7", ethCount)
+	}
+	if v4Count != 6 {
+		t.Errorf("IPv4 in %d programs, want 6", v4Count)
+	}
+	for nf, n := range nfCount {
+		if n != 1 {
+			t.Errorf("%s in %d programs, want 1", nf, n)
+		}
+	}
+}
+
+func TestProgramLookup(t *testing.T) {
+	if _, err := Program("P3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Program("P4Router"); err != nil {
+		t.Error("lookup by main program name failed")
+	}
+	if _, err := Program("P99"); err == nil {
+		t.Error("unknown program accepted")
+	}
+	if _, err := ModuleSource("Bogus"); err == nil {
+		t.Error("unknown module accepted")
+	}
+}
+
+// TestModuleIndependence pins µP4's central promise: each library module
+// compiles in isolation, with its own headers — no shared declarations.
+func TestModuleIndependence(t *testing.T) {
+	for _, name := range ModuleNames() {
+		p, err := CompileModuleIR(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// A module's storage namespace is self-contained: every table key
+		// and action body references only the module's own decls, action
+		// params, or the shared intrinsic metadata.
+		check := func(e *ir.Expr) {
+			e.Walk(func(x *ir.Expr) {
+				if x.Kind != ir.ERef {
+					return
+				}
+				ref := x.Ref
+				if strings.HasPrefix(ref, "$im") || strings.Contains(ref, "#") {
+					return
+				}
+				if p.DeclByPath(ref) != nil {
+					return
+				}
+				// Header-field and stack-element refs resolve via a
+				// prefix decl ("$hdr.ls.0.label" → stack "$hdr.ls").
+				for i := len(ref) - 1; i > 0; i-- {
+					if ref[i] == '.' && p.DeclByPath(ref[:i]) != nil {
+						return
+					}
+				}
+				t.Errorf("%s: reference %q escapes the module", name, ref)
+			})
+		}
+		for _, tbl := range p.Tables {
+			for _, k := range tbl.Keys {
+				check(k.Expr)
+			}
+		}
+		for _, a := range p.Actions {
+			ir.WalkStmts(a.Body, func(s *ir.Stmt) {
+				if s.RHS != nil {
+					check(s.RHS)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package lib
+
+import "microp4/internal/sim"
+
+// Canonical test routes shared by every program's rule set.
+const (
+	NetA    = 0x0A000000 // 10.0.0.0/8  -> next hop 100 -> port 1
+	NetB    = 0x14000000 // 20.0.0.0/8  -> next hop 200 -> port 2
+	NetV6Hi = 0x20010DB8_00000000
+	NhA     = 100
+	NhB     = 200
+	NhV6    = 300
+	PortA   = 1
+	PortB   = 2
+	PortV6  = 3
+	DmacA   = 0x00AA00000001
+	SmacA   = 0x00BB00000001
+)
+
+// InstallDefaultRules installs the standard evaluation rule set for one
+// of P1..P7 into tables. When mono is false, composed (instance-prefixed)
+// table and action names are used; when true, the monolithic program's
+// flat names. Both installs produce semantically identical dataplanes —
+// the property the differential tests check.
+func InstallDefaultRules(t *sim.Tables, prog string, mono bool) {
+	type namer func(table, action string) (string, string)
+	composedNames := func(prefix string) namer {
+		return func(table, action string) (string, string) {
+			return prefix + "." + table, prefix + "." + action
+		}
+	}
+	flat := func(table, action string) (string, string) { return table, action }
+
+	add := func(n namer, table string, keys []sim.RuntimeKey, action string, args ...uint64) {
+		tn, an := n(table, action)
+		t.AddEntry(tn, keys, an, args...)
+	}
+
+	// Ethernet forwarding by next hop (every program except P1).
+	installForward := func() {
+		t.AddEntry("forward_tbl", []sim.RuntimeKey{sim.Exact(NhA)}, "forward", DmacA, SmacA, PortA)
+		t.AddEntry("forward_tbl", []sim.RuntimeKey{sim.Exact(NhB)}, "forward", DmacA, SmacA, PortB)
+		t.AddEntry("forward_tbl", []sim.RuntimeKey{sim.Exact(NhV6)}, "forward", DmacA, SmacA, PortV6)
+	}
+	// IPv4 and IPv6 routing tables.
+	installV4 := func(n namer, processAction string) {
+		add(n, "ipv4_lpm_tbl", []sim.RuntimeKey{sim.LPM(NetA, 8)}, processAction, NhA)
+		add(n, "ipv4_lpm_tbl", []sim.RuntimeKey{sim.LPM(NetB, 8)}, processAction, NhB)
+	}
+	installV6 := func(n namer, processAction string) {
+		add(n, "ipv6_lpm_tbl", []sim.RuntimeKey{sim.LPM(NetV6Hi, 32)}, processAction, NhV6)
+	}
+
+	switch prog {
+	case "P1":
+		dmacT, aclT := flat, flat
+		setPort, deny := "set_port", "deny"
+		if !mono {
+			aclT = composedNames("acl_i")
+		}
+		// Deny TCP to port 22 from anywhere; allow the rest.
+		add(aclT, "acl_tbl", []sim.RuntimeKey{
+			sim.Any(), sim.Any(), sim.Ternary(6, 0xFF), sim.Ternary(22, 0xFFFF),
+		}, deny)
+		add(dmacT, "dmac_tbl", []sim.RuntimeKey{sim.Exact(DmacA)}, setPort, 5)
+	case "P2":
+		mplsT := flat
+		if !mono {
+			mplsT = composedNames("mpls_i")
+		}
+		add(mplsT, "mpls_tbl", []sim.RuntimeKey{sim.Exact(1000)}, "swap", 2000, NhA)
+		add(mplsT, "mpls_tbl", []sim.RuntimeKey{sim.Exact(999)}, "pop_to_ipv4", NhB)
+		if mono {
+			installV4(flat, "v4_process")
+			installV6(flat, "v6_process")
+		} else {
+			installV4(composedNames("l3_i.ipv4_i"), "process")
+			installV6(composedNames("l3_i.ipv6_i"), "process")
+		}
+		installForward()
+	case "P3":
+		natT := flat
+		if !mono {
+			natT = composedNames("nat_i")
+		}
+		add(natT, "nat_tbl", []sim.RuntimeKey{sim.Exact(0xC0A80002), sim.Exact(6)},
+			"snat_tcp", 0x08080808, 40000)
+		add(natT, "nat_tbl", []sim.RuntimeKey{sim.Exact(0xC0A80003), sim.Exact(17)},
+			"snat_udp", 0x08080809, 40001)
+		if mono {
+			installV4(flat, "v4_process")
+			installV6(flat, "v6_process")
+		} else {
+			installV4(composedNames("l3_i.ipv4_i"), "process")
+			installV6(composedNames("l3_i.ipv6_i"), "process")
+		}
+		installForward()
+	case "P4":
+		if mono {
+			installV4(flat, "v4_process")
+			installV6(flat, "v6_process")
+		} else {
+			installV4(composedNames("l3_i.ipv4_i"), "process")
+			installV6(composedNames("l3_i.ipv6_i"), "process")
+		}
+		installForward()
+	case "P5":
+		nptT := flat
+		if !mono {
+			nptT = composedNames("npt_i")
+		}
+		// Translate the internal prefix fd00::/16 to the external prefix.
+		add(nptT, "npt_tbl", []sim.RuntimeKey{sim.LPM(0xFD00000000000000, 16)},
+			"translate_out", NetV6Hi)
+		if mono {
+			installV4(flat, "v4_process")
+			installV6(flat, "v6_process")
+		} else {
+			installV4(composedNames("l3_i.ipv4_i"), "process")
+			installV6(composedNames("l3_i.ipv6_i"), "process")
+		}
+		installForward()
+	case "P6":
+		// sr4_tbl uses const entries; only routing tables needed.
+		if mono {
+			installV4(flat, "v4_process")
+			installV6(flat, "v6_process")
+		} else {
+			installV4(composedNames("l3_i.ipv4_i"), "process")
+			installV6(composedNames("l3_i.ipv6_i"), "process")
+		}
+		installForward()
+	case "P7":
+		if mono {
+			installV4(flat, "v4_process")
+			installV6(flat, "v6_process")
+		} else {
+			installV4(composedNames("l3_i.ipv4_i"), "process")
+			installV6(composedNames("l3_i.ipv6_i"), "process")
+		}
+		installForward()
+	}
+}

@@ -1,0 +1,128 @@
+// Package linker loads and links µP4-IR modules (the first midend step,
+// paper §5.1): it resolves each module instantiation in the main program
+// to a compiled module IR, verifies signatures against the caller's
+// prototypes, and rejects recursive module graphs (§6.4).
+package linker
+
+import (
+	"fmt"
+	"sort"
+
+	"microp4/internal/ir"
+)
+
+// Linked is a linked µP4 dataplane: a main program plus every module it
+// (transitively) instantiates.
+type Linked struct {
+	Main    *ir.Program
+	Modules map[string]*ir.Program // keyed by program name
+}
+
+// Link links main against the given library modules. Modules not
+// referenced are dropped; missing or mismatching modules are errors.
+func Link(main *ir.Program, mods ...*ir.Program) (*Linked, error) {
+	byName := make(map[string]*ir.Program, len(mods))
+	for _, m := range mods {
+		if m.Name == main.Name {
+			return nil, fmt.Errorf("module %s has the same name as the main program", m.Name)
+		}
+		if _, dup := byName[m.Name]; dup {
+			return nil, fmt.Errorf("duplicate module %s", m.Name)
+		}
+		byName[m.Name] = m
+	}
+	l := &Linked{Main: main, Modules: make(map[string]*ir.Program)}
+	// BFS over the call graph with cycle detection via DFS colors.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visit func(p *ir.Program, chain []string) error
+	visit = func(p *ir.Program, chain []string) error {
+		color[p.Name] = gray
+		chain = append(chain, p.Name)
+		for _, callee := range p.CalleeModules() {
+			m, ok := byName[callee]
+			if !ok {
+				return fmt.Errorf("%s instantiates module %s, which is not among the linked modules", p.Name, callee)
+			}
+			if err := checkSignature(p, m); err != nil {
+				return err
+			}
+			switch color[callee] {
+			case gray:
+				return fmt.Errorf("recursive module composition: %v -> %s (µP4 rejects cyclic dependencies)", chain, callee)
+			case white:
+				if err := visit(m, chain); err != nil {
+					return err
+				}
+			}
+			l.Modules[callee] = m
+		}
+		color[p.Name] = black
+		return nil
+	}
+	if err := visit(main, nil); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// checkSignature verifies the caller's prototype for callee matches the
+// callee module's actual signature.
+func checkSignature(caller, callee *ir.Program) error {
+	proto := caller.Protos[callee.Name]
+	if proto == nil {
+		return fmt.Errorf("%s instantiates %s without a module prototype", caller.Name, callee.Name)
+	}
+	if len(proto.Params) != len(callee.Params) {
+		return fmt.Errorf("%s: prototype for %s has %d data parameters, module has %d",
+			caller.Name, callee.Name, len(proto.Params), len(callee.Params))
+	}
+	for i, pp := range proto.Params {
+		mp := callee.Params[i]
+		if pp.Width != mp.Width {
+			return fmt.Errorf("%s: prototype for %s parameter %d is bit<%d>, module declares bit<%d>",
+				caller.Name, callee.Name, i+1, pp.Width, mp.Width)
+		}
+		if pp.Dir != mp.Dir {
+			return fmt.Errorf("%s: prototype for %s parameter %d is %q, module declares %q",
+				caller.Name, callee.Name, i+1, pp.Dir, mp.Dir)
+		}
+	}
+	return nil
+}
+
+// Program returns the named program (main or module), or nil.
+func (l *Linked) Program(name string) *ir.Program {
+	if l.Main.Name == name {
+		return l.Main
+	}
+	return l.Modules[name]
+}
+
+// TopoOrder returns all linked programs bottom-up: callees before callers,
+// ending with main. The order is deterministic.
+func (l *Linked) TopoOrder() []*ir.Program {
+	var order []*ir.Program
+	done := make(map[string]bool)
+	var visit func(p *ir.Program)
+	visit = func(p *ir.Program) {
+		if done[p.Name] {
+			return
+		}
+		done[p.Name] = true
+		callees := p.CalleeModules()
+		sort.Strings(callees)
+		for _, c := range callees {
+			if m := l.Modules[c]; m != nil {
+				visit(m)
+			}
+		}
+		order = append(order, p)
+	}
+	visit(l.Main)
+	return order
+}

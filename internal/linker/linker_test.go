@@ -1,0 +1,133 @@
+package linker
+
+import (
+	"testing"
+
+	"microp4/internal/ir"
+)
+
+func module(name string, callees ...string) *ir.Program {
+	p := &ir.Program{
+		Name:      name,
+		Interface: "Unicast",
+		Headers:   map[string]*ir.HeaderType{},
+		Actions:   map[string]*ir.Action{},
+		Tables:    map[string]*ir.Table{},
+		Protos:    map[string]*ir.Proto{},
+	}
+	for i, c := range callees {
+		instName := "i" + string(rune('a'+i))
+		p.Instances = append(p.Instances, ir.Instance{Name: instName, Module: c})
+		p.Protos[c] = &ir.Proto{Name: c}
+		p.Apply = append(p.Apply, &ir.Stmt{Kind: ir.SCallModule, Instance: instName, Module: c})
+	}
+	return p
+}
+
+func TestLinkDiamond(t *testing.T) {
+	// main -> {a, b}, a -> c, b -> c: a diamond is fine (c linked once).
+	c := module("C")
+	a := module("A", "C")
+	b := module("B", "C")
+	main := module("Main", "A", "B")
+	l, err := Link(main, a, b, c)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if len(l.Modules) != 3 {
+		t.Errorf("linked %d modules, want 3", len(l.Modules))
+	}
+	order := l.TopoOrder()
+	pos := map[string]int{}
+	for i, p := range order {
+		pos[p.Name] = i
+	}
+	if pos["C"] > pos["A"] || pos["C"] > pos["B"] || pos["Main"] != len(order)-1 {
+		t.Errorf("topo order wrong: %v", names(order))
+	}
+	// Deterministic.
+	again := l.TopoOrder()
+	for i := range order {
+		if order[i].Name != again[i].Name {
+			t.Errorf("TopoOrder not deterministic")
+		}
+	}
+}
+
+func TestLinkUnusedModulesDropped(t *testing.T) {
+	main := module("Main", "A")
+	a := module("A")
+	unused := module("Zed")
+	l, err := Link(main, a, unused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Program("Zed") != nil {
+		t.Error("unused module retained")
+	}
+	if l.Program("A") == nil || l.Program("Main") == nil {
+		t.Error("used modules missing")
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	// Missing module.
+	if _, err := Link(module("Main", "Ghost")); err == nil {
+		t.Error("missing module accepted")
+	}
+	// Duplicate module names.
+	if _, err := Link(module("Main", "A"), module("A"), module("A")); err == nil {
+		t.Error("duplicate module accepted")
+	}
+	// Module named like main.
+	if _, err := Link(module("Main"), module("Main")); err == nil {
+		t.Error("module shadowing main accepted")
+	}
+	// Self-recursion.
+	self := module("Self", "Self")
+	if _, err := Link(self, module("Self")); err == nil {
+		t.Error("self-recursive module accepted")
+	}
+}
+
+func TestSignatureChecks(t *testing.T) {
+	callee := module("A")
+	callee.Params = []ir.ModParam{{Name: "nh", Dir: "out", Width: 16}}
+	main := module("Main", "A")
+	main.Protos["A"] = &ir.Proto{Name: "A", Params: []ir.ModParam{{Name: "nh", Dir: "out", Width: 16}}}
+	if _, err := Link(main, callee); err != nil {
+		t.Errorf("matching signature rejected: %v", err)
+	}
+	// Width mismatch.
+	bad := module("Main", "A")
+	bad.Protos["A"] = &ir.Proto{Name: "A", Params: []ir.ModParam{{Name: "nh", Dir: "out", Width: 32}}}
+	if _, err := Link(bad, callee); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	// Direction mismatch.
+	bad2 := module("Main", "A")
+	bad2.Protos["A"] = &ir.Proto{Name: "A", Params: []ir.ModParam{{Name: "nh", Dir: "in", Width: 16}}}
+	if _, err := Link(bad2, callee); err == nil {
+		t.Error("direction mismatch accepted")
+	}
+	// Arity mismatch.
+	bad3 := module("Main", "A")
+	bad3.Protos["A"] = &ir.Proto{Name: "A"}
+	if _, err := Link(bad3, callee); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	// No prototype at all.
+	bad4 := module("Main", "A")
+	delete(bad4.Protos, "A")
+	if _, err := Link(bad4, callee); err == nil {
+		t.Error("missing prototype accepted")
+	}
+}
+
+func names(ps []*ir.Program) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"microp4/internal/ir"
+)
+
+func bslice(off, w int) *ir.Expr { return &ir.Expr{Kind: ir.EBSlice, Off: off, Width: w} }
+
+func TestAffineIdentity(t *testing.T) {
+	col, inv, id, err := affineKey(bslice(96, 16))
+	if err != nil || !id || col.Off != 96 {
+		t.Fatalf("identity: %v %v %v", col, id, err)
+	}
+	if v, ok := inv(0x800); !ok || v != 0x800 {
+		t.Errorf("identity invert = %d %v", v, ok)
+	}
+}
+
+func TestAffineVarbitDispatch(t *testing.T) {
+	// ((bit<32>)ihl - 5) * 32 where ihl is a 4-bit slice.
+	e := &ir.Expr{Kind: ir.EBin, Op: "*", Width: 32,
+		X: &ir.Expr{Kind: ir.EBin, Op: "-", Width: 32,
+			X: &ir.Expr{Kind: ir.EUn, Op: "cast", Width: 32, X: bslice(116, 4)},
+			Y: ir.Const(5, 32)},
+		Y: ir.Const(32, 32)}
+	col, inv, id, err := affineKey(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id || col.Off != 116 || col.Width != 4 {
+		t.Fatalf("col = %v id=%v", col, id)
+	}
+	cases := map[uint64]struct {
+		x  uint64
+		ok bool
+	}{
+		0:   {5, true},
+		32:  {6, true},
+		320: {15, true},
+		16:  {0, false}, // not divisible by 32
+		352: {0, false}, // ihl would be 16: out of range
+	}
+	for v, want := range cases {
+		x, ok := inv(v)
+		if ok != want.ok || (ok && x != want.x) {
+			t.Errorf("inv(%d) = (%d, %v), want (%d, %v)", v, x, ok, want.x, want.ok)
+		}
+	}
+}
+
+func TestAffineShiftAndAdd(t *testing.T) {
+	// (x << 3) + 7 over an 8-bit column in a 16-bit expression.
+	e := &ir.Expr{Kind: ir.EBin, Op: "+", Width: 16,
+		X: &ir.Expr{Kind: ir.EBin, Op: "<<", Width: 16,
+			X: &ir.Expr{Kind: ir.EUn, Op: "cast", Width: 16, X: bslice(0, 8)},
+			Y: ir.Const(3, 16)},
+		Y: ir.Const(7, 16)}
+	_, inv, _, err := affineKey(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := inv(8*200 + 7); !ok || v != 200 {
+		t.Errorf("inv = %d %v", v, ok)
+	}
+	if _, ok := inv(9); ok {
+		t.Error("non-representable value inverted")
+	}
+}
+
+func TestAffineRejections(t *testing.T) {
+	// Two variables.
+	two := &ir.Expr{Kind: ir.EBin, Op: "+", Width: 16, X: bslice(0, 8), Y: bslice(8, 8)}
+	if _, _, _, err := affineKey(two); err == nil {
+		t.Error("two-variable expression accepted")
+	}
+	// Wrapping risk: 8-bit expression of x*8 over an 8-bit column.
+	wrap := &ir.Expr{Kind: ir.EBin, Op: "*", Width: 8, X: bslice(0, 8), Y: ir.Const(8, 8)}
+	if _, _, _, err := affineKey(wrap); err == nil {
+		t.Error("wrapping affine accepted")
+	}
+	// Non-affine op.
+	xor := &ir.Expr{Kind: ir.EBin, Op: "^", Width: 8, X: bslice(0, 8), Y: ir.Const(1, 8)}
+	if _, _, _, err := affineKey(xor); err == nil {
+		t.Error("xor accepted as affine")
+	}
+	// Pure constant.
+	if _, _, _, err := affineKey(ir.Const(5, 8)); err == nil {
+		t.Error("constant accepted as key")
+	}
+}
+
+// Property: for random (c, b) with no wrap, inv(c*x+b) == x.
+func TestQuickAffineRoundTrip(t *testing.T) {
+	f := func(x uint8, cRaw, bRaw uint8) bool {
+		c := int64(cRaw%7) + 1
+		b := int64(bRaw % 100)
+		e := &ir.Expr{Kind: ir.EBin, Op: "+", Width: 32,
+			X: &ir.Expr{Kind: ir.EBin, Op: "*", Width: 32,
+				X: &ir.Expr{Kind: ir.EUn, Op: "cast", Width: 32, X: bslice(0, 8)},
+				Y: ir.Const(uint64(c), 32)},
+			Y: ir.Const(uint64(b), 32)}
+		_, inv, _, err := affineKey(e)
+		if err != nil {
+			return false
+		}
+		v := uint64(int64(x)*c + b)
+		got, ok := inv(v)
+		return ok && got == uint64(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

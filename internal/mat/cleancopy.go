@@ -1,0 +1,148 @@
+package mat
+
+import (
+	"microp4/internal/ir"
+)
+
+// elimInfo carries the clean-copy analysis of one module instance
+// (§8.1: "analyze the deparser and parser of consecutive programs for
+// partial equivalence ... compressing or even eliminating unnecessary
+// deparsing and parsing").
+type elimInfo struct {
+	enabled bool
+	// clean marks header instances whose wire bytes the module cannot
+	// change: no field writes, no setValid/setInvalid.
+	clean map[string]bool
+	// reads collects every scalar path the module's control, tables,
+	// conditions, and call arguments read; the deparser MAT's surviving
+	// write-backs are added by the caller.
+	reads map[string]bool
+}
+
+// analyzeCleanCopies inspects a (prefixed) module for modified headers
+// and read fields.
+func (c *composer) analyzeCleanCopies(pf *ir.Program) *elimInfo {
+	e := &elimInfo{
+		enabled: c.opts.EliminateCleanCopies,
+		clean:   make(map[string]bool),
+		reads:   make(map[string]bool),
+	}
+	written := make(map[string]bool) // header instances with any field write
+	touched := make(map[string]bool) // setValid/setInvalid targets
+
+	hdrOfRef := func(ref string) string {
+		for i := len(ref) - 1; i > 0; i-- {
+			if ref[i] != '.' {
+				continue
+			}
+			if d := pf.DeclByPath(ref[:i]); d != nil && d.Kind == ir.DeclHeader {
+				return ref[:i]
+			}
+		}
+		return ""
+	}
+	var visit func(s *ir.Stmt)
+	addReads := func(x *ir.Expr) {
+		if x == nil {
+			return
+		}
+		x.Walk(func(ex *ir.Expr) {
+			if ex.Kind == ir.ERef {
+				e.reads[ex.Ref] = true
+			}
+		})
+	}
+	visit = func(s *ir.Stmt) {
+		switch s.Kind {
+		case ir.SAssign:
+			addReads(s.RHS)
+			lhs := s.LHS
+			if lhs.Kind == ir.ESlice {
+				addReads(lhs.X) // read-modify-write
+				lhs = lhs.X
+			}
+			if lhs.Kind == ir.ERef {
+				if h := hdrOfRef(lhs.Ref); h != "" {
+					written[h] = true
+				}
+			}
+		case ir.SSetValid, ir.SSetInvalid:
+			touched[s.Hdr] = true
+		case ir.SCallModule:
+			for _, a := range s.Args {
+				if a.Dir != "out" {
+					addReads(a.Expr)
+				}
+				if a.Dir == "out" || a.Dir == "inout" {
+					lhs := a.Expr
+					if lhs.Kind == ir.ESlice {
+						lhs = lhs.X
+					}
+					if lhs != nil && lhs.Kind == ir.ERef {
+						if h := hdrOfRef(lhs.Ref); h != "" {
+							written[h] = true
+						}
+					}
+				}
+			}
+		case ir.SMethod:
+			for _, a := range s.Args {
+				addReads(a.Expr)
+			}
+			// Stack ops were unrolled; any other extern method with a
+			// header-ish target is treated as a write conservatively.
+			if h := hdrOfRef(s.Target + ".x"); h != "" {
+				written[h] = true
+			}
+		}
+		addReads(s.Cond)
+	}
+	ir.WalkStmts(pf.Apply, visit)
+	for _, a := range pf.Actions {
+		ir.WalkStmts(a.Body, visit)
+	}
+	for _, t := range pf.Tables {
+		for _, k := range t.Keys {
+			addReads(k.Expr)
+		}
+	}
+	// Parser statements execute inside the synthesized parse actions;
+	// anything they read must still be available, and select expressions
+	// may reference locals assigned from fields.
+	if pf.Parser != nil {
+		for _, st := range pf.Parser.States {
+			ir.WalkStmts(st.Stmts, visit)
+			if st.Trans != nil {
+				for _, ex := range st.Trans.Exprs {
+					addReads(ex)
+				}
+			}
+		}
+	}
+	for _, d := range pf.Decls {
+		if d.Kind != ir.DeclHeader {
+			continue
+		}
+		if !written[d.Path] && !touched[d.Path] {
+			e.clean[d.Path] = true
+		}
+	}
+	return e
+}
+
+// skipParseCopy reports whether the byte-stack→field copy of field f of
+// header h can be elided: nothing reads it and the header's write-back
+// (if any) will not need it.
+func (e *elimInfo) skipParseCopy(h, f string) bool {
+	if !e.enabled {
+		return false
+	}
+	return !e.reads[h+"."+f]
+}
+
+// skipWriteBack reports whether the field→byte-stack copies of header h
+// can be elided in a deparse action that would place h at the same byte
+// offset it was parsed from.
+func (e *elimInfo) skipWriteBack(h string) bool {
+	return e.enabled && e.clean[h]
+}

@@ -1,0 +1,260 @@
+package mat
+
+import (
+	"fmt"
+
+	"microp4/internal/analysis"
+	"microp4/internal/ir"
+)
+
+// buildDeparserMAT synthesizes the match-action table that replaces an
+// instance's deparser (paper §5.3): entries copy user-defined headers
+// back into the byte-stack at the appropriate offsets, shifting trailing
+// data when the packet grew or shrank. Returns "" when the instance needs
+// no deparser table (nothing parsed, nothing emitted).
+func (c *composer) buildDeparserMAT(inst string, pf *ir.Program, ctxs []ctx, paths []*analysis.ParserPath, ids [][]uint64, elim *elimInfo) (string, map[string]bool, error) {
+	depReads := make(map[string]bool)
+	emits, err := flattenEmits(pf.Deparser)
+	if err != nil {
+		return "", nil, fmt.Errorf("%s: %v", pf.Name, err)
+	}
+	anyParsed := false
+	for _, p := range paths {
+		if p.Bytes > 0 {
+			anyParsed = true
+		}
+	}
+	if len(emits) == 0 && !anyParsed {
+		return "", depReads, nil
+	}
+
+	// Headers whose validity can change at runtime: targets of
+	// setValid/setInvalid anywhere in the control (incl. actions).
+	touched := make(map[string]bool)
+	markTouched := func(s *ir.Stmt) {
+		if s.Kind == ir.SSetValid || s.Kind == ir.SSetInvalid {
+			touched[s.Hdr] = true
+		}
+	}
+	ir.WalkStmts(pf.Apply, markTouched)
+	for _, a := range pf.Actions {
+		ir.WalkStmts(a.Body, markTouched)
+	}
+
+	pp := ppVar(inst)
+	tblName := instPrefix(inst, "$deparser_tbl")
+	cols := newColSet()
+	var parentCol *keyCol
+	if ctxs[0].parentVar != "" {
+		k := keyCol{kind: "ref", ref: ctxs[0].parentVar, w: PathVarWidth}
+		cols.add(k)
+		parentCol = &k
+	}
+	ownCol := keyCol{kind: "ref", ref: pp, w: PathVarWidth}
+	cols.add(ownCol)
+
+	type pendingEntry struct {
+		kvs    []entryKV
+		action string
+	}
+	var pending []pendingEntry
+	allEmpty := true
+
+	for ci, cx := range ctxs {
+		for pi, path := range paths {
+			if path.Rejected {
+				continue
+			}
+			extracted := make(map[string]bool)
+			for _, ex := range path.Extracts {
+				extracted[ex.Hdr] = true
+			}
+			// Partition emitted headers into certain/uncertain validity.
+			var uncertain []string
+			certainValid := make(map[string]bool)
+			for _, h := range emits {
+				switch {
+				case touched[h]:
+					uncertain = append(uncertain, h)
+				case extracted[h]:
+					certainValid[h] = true
+				}
+			}
+			if len(uncertain) > 16 {
+				return "", nil, fmt.Errorf("%s: %d uncertain headers in deparser (cap 16)", tblName, len(uncertain))
+			}
+			combos := 1 << len(uncertain)
+			if len(pending)+combos > c.maxEntries {
+				return "", nil, fmt.Errorf("%s: deparser MAT exceeds %d entries", tblName, c.maxEntries)
+			}
+			for combo := 0; combo < combos; combo++ {
+				valid := make(map[string]bool, len(emits))
+				for h := range certainValid {
+					valid[h] = true
+				}
+				var kvs []entryKV
+				if parentCol != nil {
+					kvs = append(kvs, entryKV{col: *parentCol, value: cx.parentVal})
+				}
+				kvs = append(kvs, entryKV{col: ownCol, value: ids[ci][pi]})
+				for bi, h := range uncertain {
+					v := combo>>uint(bi)&1 == 1
+					valid[h] = v
+					col := keyCol{kind: "isvalid", ref: h, w: 1}
+					cols.add(col)
+					var val uint64
+					if v {
+						val = 1
+					}
+					kvs = append(kvs, entryKV{col: col, value: val})
+				}
+				act, empty, err := c.deparsePathAction(inst, cx, path, emits, valid, ci, pi, combo, elim, depReads)
+				if err != nil {
+					return "", nil, err
+				}
+				allEmpty = allEmpty && empty
+				pending = append(pending, pendingEntry{kvs: kvs, action: act})
+			}
+		}
+	}
+
+	ordered := cols.sorted()
+	tbl := &ir.Table{Name: tblName, Synthetic: true}
+	for _, col := range ordered {
+		mk := "ternary"
+		if col.kind == "ref" && col.w == PathVarWidth {
+			mk = "exact"
+		}
+		// isvalid columns stay ternary so absent combinations can
+		// don't-care them.
+		if col.kind == "isvalid" {
+			mk = "ternary"
+		}
+		tbl.Keys = append(tbl.Keys, ir.Key{Expr: col.expr(), MatchKind: mk})
+	}
+	for _, pe := range pending {
+		ent := ir.Entry{Action: ir.ActionCall{Name: pe.action}}
+		byCol := make(map[keyCol]entryKV, len(pe.kvs))
+		for _, kv := range pe.kvs {
+			byCol[kv.col] = kv
+		}
+		for _, col := range ordered {
+			kv, ok := byCol[col]
+			if !ok {
+				ent.Keys = append(ent.Keys, ir.EntryKey{DontCare: true})
+				continue
+			}
+			ent.Keys = append(ent.Keys, ir.EntryKey{Value: kv.value, Mask: kv.mask, HasMask: kv.hasMask})
+		}
+		tbl.Entries = append(tbl.Entries, ent)
+		if !contains(tbl.Actions, pe.action) {
+			tbl.Actions = append(tbl.Actions, pe.action)
+		}
+	}
+	// §8.1: when every write-back was eliminated (the module cannot have
+	// changed the wire bytes and sizes never change), the whole deparser
+	// MAT disappears.
+	if allEmpty {
+		for _, pe := range pending {
+			delete(c.out.Actions, pe.action)
+		}
+		return "", depReads, nil
+	}
+	noop := instPrefix(inst, "$deparse_noop")
+	c.out.Actions[noop] = &ir.Action{Name: noop}
+	tbl.Actions = append(tbl.Actions, noop)
+	tbl.Default = &ir.ActionCall{Name: noop}
+	c.out.Tables[tblName] = tbl
+	return tblName, depReads, nil
+}
+
+// deparsePathAction synthesizes the write-back action for one
+// (context, path, validity-combination): shift trailing bytes when the
+// emitted size differs from the parsed size, then copy each valid
+// header's fields into the byte-stack in emit order.
+func (c *composer) deparsePathAction(inst string, cx ctx, path *analysis.ParserPath, emits []string, valid map[string]bool, ci, pi, combo int, elim *elimInfo, depReads map[string]bool) (name string, empty bool, err error) {
+	parsed := path.Bytes
+	// Where each header was parsed from on this path (absolute bytes).
+	parseOff := make(map[string]int, len(path.Extracts))
+	for _, ex := range path.Extracts {
+		parseOff[ex.Hdr] = cx.base + ex.ByteOff
+	}
+	emitted := 0
+	for _, h := range emits {
+		if valid[h] {
+			ht := c.out.Headers[c.declType(h)]
+			if ht == nil {
+				return "", false, fmt.Errorf("emit of unknown header %s", h)
+			}
+			emitted += ht.ByteSize()
+		}
+	}
+	var body []*ir.Stmt
+	if emitted != parsed {
+		body = append(body, &ir.Stmt{Kind: ir.SShift, Off: cx.base + parsed, Amt: emitted - parsed})
+	}
+	off := cx.base
+	for _, h := range emits {
+		if !valid[h] {
+			continue
+		}
+		ht := c.out.Headers[c.declType(h)]
+		// §8.1: an unmodified header re-emitted at the offset it was
+		// parsed from is already on the byte-stack.
+		if po, wasParsed := parseOff[h]; wasParsed && po == off && elim.skipWriteBack(h) {
+			off += ht.ByteSize()
+			continue
+		}
+		for _, f := range ht.Fields {
+			depReads[h+"."+f.Name] = true
+			body = append(body, &ir.Stmt{
+				Kind: ir.SAssign,
+				LHS:  &ir.Expr{Kind: ir.EBSlice, Off: off*8 + f.Offset, Width: f.Width},
+				RHS:  ir.Ref(h+"."+f.Name, f.Width),
+			})
+		}
+		off += ht.ByteSize()
+	}
+	name = fmt.Sprintf("%s$deparse_c%d_p%d_v%d", sanitize(inst), ci, pi, combo)
+	c.out.Actions[name] = &ir.Action{Name: name, Body: body}
+	return name, len(body) == 0, nil
+}
+
+func (c *composer) declType(hdrPath string) string {
+	d := c.out.DeclByPath(hdrPath)
+	if d == nil {
+		return ""
+	}
+	return d.TypeName
+}
+
+// flattenEmits extracts the deparser's emit order. Emits guarded by an
+// isValid check on the emitted header itself are flattened (emit of an
+// invalid header is a no-op anyway); any other control flow in a
+// deparser is rejected.
+func flattenEmits(dep []*ir.Stmt) ([]string, error) {
+	var out []string
+	var walk func(ss []*ir.Stmt) error
+	walk = func(ss []*ir.Stmt) error {
+		for _, s := range ss {
+			switch s.Kind {
+			case ir.SEmit:
+				out = append(out, s.Hdr)
+			case ir.SIf:
+				if s.Cond.Kind != ir.EIsValid || len(s.Else) > 0 {
+					return fmt.Errorf("deparsers may only guard emits with isValid checks")
+				}
+				if err := walk(s.Then); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("unsupported statement %s in deparser", s.Kind)
+			}
+		}
+		return nil
+	}
+	if err := walk(dep); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

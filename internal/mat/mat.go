@@ -1,0 +1,482 @@
+// Package mat implements µP4C's midend homogenization (paper §5.3): it
+// transforms parsers and deparsers into match-action tables operating on
+// a synthesized byte-stack, and composes the linked module graph into a
+// single MAT-only pipeline by inlining callees at their apply() sites.
+//
+// Composition uses the path-product described in §5.2/§5.3: a callee's
+// byte offsets depend on how many bytes its caller's parser consumed,
+// which varies per caller parse path. Each synthesized parser MAT action
+// records its path in a per-instance path-id metadata field ("$pp.<inst>");
+// a callee's MAT entries match on the caller's path-id and carry absolute
+// byte-stack offsets for that (caller path × callee path) combination.
+package mat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"microp4/internal/analysis"
+	"microp4/internal/ir"
+	"microp4/internal/linker"
+)
+
+// errUnsatPath marks a parser path whose select constraints are
+// unsatisfiable after affine inversion; its entries are skipped.
+var errUnsatPath = fmt.Errorf("unsatisfiable parser path")
+
+// NoMatch is the path-id value meaning "parser rejected the packet".
+const NoMatch = 0xFFFF
+
+// PathVarWidth is the bit width of path-id metadata fields.
+const PathVarWidth = 16
+
+// Pipeline is the composed, MAT-only program: the output of the midend.
+type Pipeline struct {
+	Name    string
+	BsBytes int // byte-stack size (Eq. 4) of the composed program
+	MinPkt  int
+
+	Decls   []ir.Decl
+	Headers map[string]*ir.HeaderType
+	Tables  map[string]*ir.Table
+	Actions map[string]*ir.Action
+	Stmts   []*ir.Stmt // MAT-only control flow
+
+	PathVars []string // "$pp.<inst>" decl paths, one per inlined instance
+	// UserTables lists the non-synthetic tables (control-plane visible).
+	UserTables []string
+	// Registers lists the register instances (§8.2 stateful extension),
+	// fully qualified by module instance path.
+	Registers []ir.Instance
+	// Instances lists every inlined module instance path ("" = main).
+	Instances []string
+}
+
+// Table returns the named table, or nil.
+func (pl *Pipeline) Table(name string) *ir.Table { return pl.Tables[name] }
+
+// DeclByPath returns the storage declaration for path, or nil.
+func (pl *Pipeline) DeclByPath(path string) *ir.Decl {
+	for i := range pl.Decls {
+		if pl.Decls[i].Path == path {
+			return &pl.Decls[i]
+		}
+	}
+	return nil
+}
+
+// HeaderOf returns the header type of the instance at path, or nil.
+func (pl *Pipeline) HeaderOf(path string) *ir.HeaderType {
+	d := pl.DeclByPath(path)
+	if d == nil || (d.Kind != ir.DeclHeader && d.Kind != ir.DeclStack) {
+		return nil
+	}
+	return pl.Headers[d.TypeName]
+}
+
+// ctx is one caller context for an instance: the caller's path-id value
+// that selects this context, and the resulting base byte offset of the
+// instance's packet view.
+type ctx struct {
+	parentVar string // "$pp.<parent>" ref; "" for the main program
+	parentVal uint64
+	base      int
+}
+
+// Options tune composition.
+type Options struct {
+	// EliminateCleanCopies enables the §8.1 optimization: headers a
+	// module never modifies (no field writes, no setValid/setInvalid)
+	// skip their deparser write-back when re-emitted at the position
+	// they were parsed from — the bytes are already in the byte-stack —
+	// and fields nothing reads skip their parser copy-out. Sequentially
+	// composed modules that "deparse the inverse of the next parser"
+	// then stop paying for it (fewer dependencies, fewer MAU stages).
+	EliminateCleanCopies bool
+	// SplitParserMATs selects the other §8.1 encoding: one MAT per
+	// parse depth (a prefix-trie walk) instead of one path-product MAT
+	// per parser — fewer, narrower entries per table at the cost of a
+	// dependent table chain.
+	SplitParserMATs bool
+}
+
+type composer struct {
+	linked *linker.Linked
+	stats  *analysis.Result
+	opts   Options
+	out    *Pipeline
+	ppSeq  uint64 // global path-id sequence (0 is reserved)
+	// maxEntries caps synthesized table size.
+	maxEntries int
+}
+
+// Compose homogenizes and composes a linked program into a Pipeline.
+// The linked IR must already be free of header stacks and varbit fields
+// (the midend driver runs those transformations first).
+func Compose(l *linker.Linked, stats *analysis.Result) (*Pipeline, error) {
+	return ComposeWith(l, stats, Options{})
+}
+
+// ComposeWith is Compose with explicit options.
+func ComposeWith(l *linker.Linked, stats *analysis.Result, opts Options) (*Pipeline, error) {
+	c := &composer{
+		linked: l,
+		stats:  stats,
+		opts:   opts,
+		out: &Pipeline{
+			Name:    l.Main.Name,
+			Headers: make(map[string]*ir.HeaderType),
+			Tables:  make(map[string]*ir.Table),
+			Actions: make(map[string]*ir.Action),
+		},
+		maxEntries: 65536,
+	}
+	main := c.stats.Main()
+	c.out.BsBytes = main.Bs
+	c.out.MinPkt = main.MinPkt
+	stmts, err := c.inline("", l.Main, []ctx{{base: 0}})
+	if err != nil {
+		return nil, err
+	}
+	c.out.Stmts = stmts
+	return c.out, nil
+}
+
+// instPrefix returns path prefixed by the instance path ("" = main).
+func instPrefix(inst, path string) string {
+	if inst == "" {
+		return path
+	}
+	return inst + "." + path
+}
+
+func ppVar(inst string) string { return instPrefix(inst, "$pp") }
+
+// inline homogenizes one module instance under the given caller contexts
+// and returns the statement sequence implementing it.
+func (c *composer) inline(inst string, prog *ir.Program, ctxs []ctx) ([]*ir.Stmt, error) {
+	pf := prog
+	if inst != "" {
+		pf = prog.Prefixed(inst)
+	}
+	// Merge storage, headers, tables, actions.
+	c.out.Decls = append(c.out.Decls, pf.Decls...)
+	for name, h := range pf.Headers {
+		c.out.Headers[name] = h
+	}
+	for name, t := range pf.Tables {
+		if _, dup := c.out.Tables[name]; dup {
+			return nil, fmt.Errorf("table %s inlined twice (an instance may be applied only once)", name)
+		}
+		c.out.Tables[name] = t
+		c.out.UserTables = append(c.out.UserTables, name)
+	}
+	for name, a := range pf.Actions {
+		c.out.Actions[name] = a
+	}
+	c.out.Instances = append(c.out.Instances, inst)
+	for _, in := range pf.Instances {
+		if in.Extern == "register" {
+			c.out.Registers = append(c.out.Registers, in)
+		}
+	}
+
+	// Path-id variable for this instance.
+	pp := ppVar(inst)
+	c.out.Decls = append(c.out.Decls, ir.Decl{Path: pp, Kind: ir.DeclBits, Width: PathVarWidth})
+	c.out.PathVars = append(c.out.PathVars, pp)
+
+	// Enumerate this instance's parser paths (on the prefixed copy, so
+	// header paths are already in the composed namespace).
+	var paths []*analysis.ParserPath
+	if pf.Parser != nil {
+		var err error
+		paths, err = analysis.EnumerateParserPaths(pf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(paths) == 0 {
+		// A parserless program (or one whose parser extracts nothing on
+		// a single trivial path) still gets a path-id per context.
+		paths = []*analysis.ParserPath{{}}
+	}
+
+	// Assign globally-unique path ids per (ctx, path).
+	ids := make([][]uint64, len(ctxs))
+	for i := range ctxs {
+		ids[i] = make([]uint64, len(paths))
+		for j := range paths {
+			c.ppSeq++
+			if c.ppSeq >= NoMatch {
+				return nil, fmt.Errorf("path-id space exhausted (composition too large)")
+			}
+			ids[i][j] = c.ppSeq
+		}
+	}
+
+	// Clean-copy analysis (§8.1 optimization): headers this module never
+	// modifies and fields nothing reads.
+	elim := c.analyzeCleanCopies(pf)
+
+	var stmts []*ir.Stmt
+	// The deparser MAT is synthesized first so the parser MAT knows
+	// which fields its write-backs still need.
+	depTbl, depReads, err := c.buildDeparserMAT(inst, pf, ctxs, paths, ids, elim)
+	if err != nil {
+		return nil, err
+	}
+	for f := range depReads {
+		elim.reads[f] = true
+	}
+	split := false
+	if c.opts.SplitParserMATs {
+		names, err := c.buildParserMATSplit(inst, pf, ctxs, paths, ids, elim)
+		if err != nil {
+			return nil, err
+		}
+		if names != nil {
+			for _, n := range names {
+				stmts = append(stmts, &ir.Stmt{Kind: ir.SApplyTable, Table: n})
+			}
+			split = true
+		}
+	}
+	if !split {
+		parserTbl, err := c.buildParserMAT(inst, pf, ctxs, paths, ids, elim)
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, &ir.Stmt{Kind: ir.SApplyTable, Table: parserTbl})
+	}
+
+	// Control body with callee calls expanded.
+	body, err := c.expandStmts(inst, pf, pf.Apply, ctxs, paths, ids)
+	if err != nil {
+		return nil, err
+	}
+	if depTbl != "" {
+		body = append(body, &ir.Stmt{Kind: ir.SApplyTable, Table: depTbl})
+	}
+
+	// Only run the control/deparser when parsing succeeded.
+	guard := &ir.Stmt{
+		Kind: ir.SIf,
+		Cond: &ir.Expr{Kind: ir.EBin, Op: "!=", Bool: true, Width: 1,
+			X: ir.Ref(pp, PathVarWidth), Y: ir.Const(NoMatch, PathVarWidth)},
+		Then: body,
+	}
+	stmts = append(stmts, guard)
+	return stmts, nil
+}
+
+// expandStmts rewrites a statement list, replacing SCallModule with the
+// callee's inlined pipeline plus parameter copy-in/copy-out.
+func (c *composer) expandStmts(inst string, pf *ir.Program, ss []*ir.Stmt, ctxs []ctx, paths []*analysis.ParserPath, ids [][]uint64) ([]*ir.Stmt, error) {
+	var out []*ir.Stmt
+	for _, s := range ss {
+		switch s.Kind {
+		case ir.SCallModule:
+			expanded, err := c.expandCall(inst, pf, s, ctxs, paths, ids)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, expanded...)
+		case ir.SIf:
+			ns := s.Clone()
+			var err error
+			ns.Then, err = c.expandStmts(inst, pf, s.Then, ctxs, paths, ids)
+			if err != nil {
+				return nil, err
+			}
+			ns.Else, err = c.expandStmts(inst, pf, s.Else, ctxs, paths, ids)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ns)
+		case ir.SSwitch:
+			ns := s.Clone()
+			for i, cs := range s.Cases {
+				body, err := c.expandStmts(inst, pf, cs.Body, ctxs, paths, ids)
+				if err != nil {
+					return nil, err
+				}
+				ns.Cases[i].Body = body
+			}
+			out = append(out, ns)
+		case ir.SMethod:
+			switch s.Method {
+			case "pkt_copy_from", "out_buf_enqueue", "out_buf_merge", "out_buf_to_in_buf", "im_copy_from", "mc_buf_enqueue":
+				return nil, fmt.Errorf("%s uses %s; multi-packet programs need the §5.4 orchestration preprocessing (not supported by the linear composer)", pf.Name, s.Method)
+			}
+			out = append(out, s.Clone())
+		default:
+			out = append(out, s.Clone())
+		}
+	}
+	return out, nil
+}
+
+func (c *composer) expandCall(inst string, pf *ir.Program, call *ir.Stmt, ctxs []ctx, paths []*analysis.ParserPath, ids [][]uint64) ([]*ir.Stmt, error) {
+	callee := c.linked.Modules[call.Module]
+	if callee == nil {
+		return nil, fmt.Errorf("call of unlinked module %s", call.Module)
+	}
+	if call.PktArg != "" && !strings.HasSuffix(call.PktArg, "$pkt") {
+		return nil, fmt.Errorf("call of %s passes local packet %s; multi-packet programs need the §5.4 orchestration preprocessing (not supported by the linear composer)", call.Module, call.PktArg)
+	}
+	childInst := call.Instance // already prefixed by Prefixed()
+	// Child contexts: one per (ctx, parser path) of this instance.
+	var childCtxs []ctx
+	pp := ppVar(inst)
+	for i, cx := range ctxs {
+		for j, path := range paths {
+			if path.Rejected {
+				continue // rejected paths never reach the control
+			}
+			childCtxs = append(childCtxs, ctx{
+				parentVar: pp,
+				parentVal: ids[i][j],
+				base:      cx.base + path.Bytes,
+			})
+		}
+	}
+	if len(childCtxs) == 0 {
+		return nil, fmt.Errorf("module %s is applied by %s but unreachable (caller's parser never accepts)", call.Module, inst)
+	}
+	var out []*ir.Stmt
+	// Copy-in: bind in/inout arguments to the callee's parameter storage.
+	for k, arg := range call.Args {
+		if k >= len(callee.Params) {
+			return nil, fmt.Errorf("call of %s has too many arguments", call.Module)
+		}
+		mp := callee.Params[k]
+		dst := childInst + "." + mp.Name
+		if mp.Dir == "in" || mp.Dir == "inout" || mp.Dir == "" {
+			out = append(out, &ir.Stmt{Kind: ir.SAssign, LHS: ir.Ref(dst, mp.Width), RHS: arg.Expr.Clone()})
+		}
+	}
+	inlined, err := c.inline(childInst, callee, childCtxs)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, inlined...)
+	// Copy-out: write back out/inout arguments.
+	for k, arg := range call.Args {
+		mp := callee.Params[k]
+		src := childInst + "." + mp.Name
+		if mp.Dir == "out" || mp.Dir == "inout" {
+			if arg.Expr.Kind != ir.ERef && arg.Expr.Kind != ir.ESlice {
+				return nil, fmt.Errorf("%s argument to %s.%s is not assignable", mp.Dir, childInst, mp.Name)
+			}
+			out = append(out, &ir.Stmt{Kind: ir.SAssign, LHS: arg.Expr.Clone(), RHS: ir.Ref(src, mp.Width)})
+		}
+	}
+	return out, nil
+}
+
+// ----------------------------------------------------------------------------
+// Key canonicalization shared by parser and deparser MATs
+
+// keyCol is a canonical key column of a synthesized MAT.
+type keyCol struct {
+	kind string // "ref", "bslice", "bvalid", "isvalid"
+	ref  string
+	off  int // bslice bit offset / bvalid byte index
+	w    int
+}
+
+func (k keyCol) expr() *ir.Expr {
+	switch k.kind {
+	case "ref":
+		return ir.Ref(k.ref, k.w)
+	case "bslice":
+		return &ir.Expr{Kind: ir.EBSlice, Off: k.off, Width: k.w}
+	case "bvalid":
+		return &ir.Expr{Kind: ir.EBValid, Off: k.off, Width: 1, Bool: true}
+	case "isvalid":
+		return &ir.Expr{Kind: ir.EIsValid, Ref: k.ref, Width: 1, Bool: true}
+	}
+	return nil
+}
+
+func colOf(e *ir.Expr) (keyCol, error) {
+	switch e.Kind {
+	case ir.ERef:
+		return keyCol{kind: "ref", ref: e.Ref, w: e.Width}, nil
+	case ir.EBSlice:
+		return keyCol{kind: "bslice", off: e.Off, w: e.Width}, nil
+	case ir.EBValid:
+		return keyCol{kind: "bvalid", off: e.Off, w: 1}, nil
+	case ir.EIsValid:
+		return keyCol{kind: "isvalid", ref: e.Ref, w: 1}, nil
+	}
+	return keyCol{}, fmt.Errorf("select expression %s is not a matchable key (after substitution)", e)
+}
+
+// colSet accumulates the union of key columns across entries, keeping a
+// deterministic order: refs first (sorted), then byte-stack slices by
+// offset, then validity columns.
+type colSet struct {
+	cols  []keyCol
+	index map[keyCol]int
+}
+
+func newColSet() *colSet { return &colSet{index: make(map[keyCol]int)} }
+
+func (cs *colSet) add(k keyCol) int {
+	if i, ok := cs.index[k]; ok {
+		return i
+	}
+	cs.cols = append(cs.cols, k)
+	cs.index[k] = len(cs.cols) - 1
+	return len(cs.cols) - 1
+}
+
+func (cs *colSet) sorted() []keyCol {
+	out := append([]keyCol(nil), cs.cols...)
+	rank := func(k keyCol) int {
+		switch k.kind {
+		case "ref":
+			return 0
+		case "bslice":
+			return 1
+		case "isvalid":
+			return 2
+		default:
+			return 3
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if rank(a) != rank(b) {
+			return rank(a) < rank(b)
+		}
+		if a.ref != b.ref {
+			return a.ref < b.ref
+		}
+		if a.off != b.off {
+			return a.off < b.off
+		}
+		return a.w < b.w
+	})
+	return out
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// sanitize builds a table/action-safe name fragment from an instance path.
+func sanitize(inst string) string {
+	if inst == "" {
+		return "main"
+	}
+	return strings.ReplaceAll(strings.ReplaceAll(inst, ".", "_"), "$", "")
+}

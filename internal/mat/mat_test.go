@@ -1,0 +1,297 @@
+package mat_test
+
+import (
+	"fmt"
+	"testing"
+
+	"microp4/internal/frontend"
+	"microp4/internal/ir"
+	"microp4/internal/mat"
+	"microp4/internal/midend"
+)
+
+// fig10Src is the parser of Fig. 10a: eth(14) then IPv6(40) or IPv4(20),
+// then TCP(20), with the forward-substitution example (var_y is assigned
+// meta.data1 on one path and meta.data2 on the other).
+const fig10Src = `
+struct meta_t { bit<8> data1; bit<8> data2; }
+header eth_h  { bit<48> dst; bit<48> src; bit<16> ethType; }
+header ipv6_h { bit<4> version; bit<8> tclass; bit<20> flowlabel; bit<16> plen;
+                bit<8> nexthdr; bit<8> hoplimit; bit<64> srcHi; bit<64> srcLo;
+                bit<64> dstHi; bit<64> dstLo; }
+header ipv4_h { bit<4> version; bit<4> ihl; bit<8> tos; bit<16> totalLen;
+                bit<16> id; bit<3> flags; bit<13> frag; bit<8> ttl;
+                bit<8> protocol; bit<16> csum; bit<32> src; bit<32> dst; }
+header tcp_h  { bit<16> sport; bit<16> dport; bit<32> seq; bit<32> ack;
+                bit<4> dataOff; bit<4> res; bit<8> flags; bit<16> window;
+                bit<16> csum; bit<16> urgent; }
+struct hdr_t { eth_h eth; ipv6_h ipv6; ipv4_h ipv4; tcp_h tcp; }
+
+program Fig10 : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h, inout meta_t m, im_t im) {
+    bit<8> var_y;
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.ethType) {
+        0x86DD: parse_ipv6;
+        0x0800: parse_ipv4;
+      };
+    }
+    state parse_ipv6 {
+      ex.extract(p, h.ipv6);
+      var_y = m.data1;
+      transition select(h.ipv6.nexthdr) { 0x6: parse_tcp; };
+    }
+    state parse_ipv4 {
+      ex.extract(p, h.ipv4);
+      var_y = m.data2;
+      transition select(h.ipv4.protocol) { 0x6: parse_tcp; };
+    }
+    state parse_tcp {
+      ex.extract(p, h.tcp);
+      transition select(var_y) { 0xFF: accept; };
+    }
+  }
+  control C(pkt p, inout hdr_t h, inout meta_t m, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) {
+    apply { em.emit(p, h.eth); em.emit(p, h.ipv6); em.emit(p, h.ipv4); em.emit(p, h.tcp); }
+  }
+}
+`
+
+func buildPipeline(t *testing.T, mainSrc string, modSrcs ...string) *mat.Pipeline {
+	t.Helper()
+	mainP, err := frontend.CompileModule("main.up4", mainSrc)
+	if err != nil {
+		t.Fatalf("compile main: %v", err)
+	}
+	var mods []*ir.Program
+	for i, src := range modSrcs {
+		m, err := frontend.CompileModule(fmt.Sprintf("mod%d.up4", i), src)
+		if err != nil {
+			t.Fatalf("compile module %d: %v", i, err)
+		}
+		mods = append(mods, m)
+	}
+	res, err := midend.Build(mainP, mods...)
+	if err != nil {
+		t.Fatalf("midend build: %v", err)
+	}
+	return res.Pipeline
+}
+
+// TestFigure10Parser checks the parser→MAT transformation against the
+// worked example of Fig. 10: two paths (54- and 74-byte), a merged key of
+// byte-stack offsets plus metadata plus validity, one entry per path.
+func TestFigure10Parser(t *testing.T) {
+	pl := buildPipeline(t, fig10Src)
+	tbl := pl.Tables["$parser_tbl"]
+	if tbl == nil {
+		t.Fatalf("no parser MAT; tables = %v", tableNames(pl))
+	}
+	if !tbl.Synthetic {
+		t.Error("parser MAT not marked synthetic")
+	}
+	if len(tbl.Entries) != 4 {
+		t.Fatalf("parser MAT has %d entries, want 4 (one per path plus a truncation guard each)", len(tbl.Entries))
+	}
+	if tbl.Entries[1].Action.Name != "$parse_error" || tbl.Entries[3].Action.Name != "$parse_error" {
+		t.Errorf("entries 1/3 should be truncation guards: %s / %s",
+			tbl.Entries[1].Action.Name, tbl.Entries[3].Action.Name)
+	}
+	// Collect key columns.
+	type colsig struct {
+		kind string
+		ref  string
+		off  int
+	}
+	var sigs []colsig
+	for _, k := range tbl.Keys {
+		switch k.Expr.Kind {
+		case ir.ERef:
+			sigs = append(sigs, colsig{"ref", k.Expr.Ref, 0})
+		case ir.EBSlice:
+			sigs = append(sigs, colsig{"bslice", "", k.Expr.Off})
+		case ir.EBValid:
+			sigs = append(sigs, colsig{"bvalid", "", k.Expr.Off})
+		}
+	}
+	want := []colsig{
+		{"ref", "$meta.data1", 0}, // var_y on the IPv6 path
+		{"ref", "$meta.data2", 0}, // var_y on the IPv4 path
+		{"bslice", "", 96},        // eth.ethType: bytes 12-13
+		{"bslice", "", 160},       // ipv6.nexthdr: byte 20
+		{"bslice", "", 184},       // ipv4.protocol: byte 23
+		{"bvalid", "", 53},        // 54-byte path validity
+		{"bvalid", "", 73},        // 74-byte path validity
+	}
+	if len(sigs) != len(want) {
+		t.Fatalf("key columns = %+v, want %+v", sigs, want)
+	}
+	for i := range want {
+		if sigs[i] != want[i] {
+			t.Errorf("key %d = %+v, want %+v", i, sigs[i], want[i])
+		}
+	}
+	// Entry 0 is the IPv6 path (case order): ethType 0x86DD, nexthdr 6,
+	// data1 = 0xFF, validity at byte 73; data2 and byte-23 don't-care.
+	e0 := tbl.Entries[0]
+	if e0.Keys[0].DontCare || e0.Keys[0].Value != 0xFF {
+		t.Errorf("entry 0 data1 = %+v, want 0xFF", e0.Keys[0])
+	}
+	if !e0.Keys[1].DontCare {
+		t.Errorf("entry 0 data2 should be don't-care: %+v", e0.Keys[1])
+	}
+	if e0.Keys[2].Value != 0x86DD {
+		t.Errorf("entry 0 ethType = %#x, want 0x86DD", e0.Keys[2].Value)
+	}
+	if e0.Keys[3].Value != 6 || !e0.Keys[4].DontCare {
+		t.Errorf("entry 0 nexthdr/protocol = %+v %+v", e0.Keys[3], e0.Keys[4])
+	}
+	if !e0.Keys[5].DontCare || e0.Keys[6].Value != 1 {
+		t.Errorf("entry 0 validity = %+v %+v, want don't-care then 1", e0.Keys[5], e0.Keys[6])
+	}
+	// Entry 2 is the IPv4 path.
+	e1 := tbl.Entries[2]
+	if e1.Keys[2].Value != 0x0800 || !e1.Keys[3].DontCare || e1.Keys[4].Value != 6 {
+		t.Errorf("entry 1 = %+v", e1.Keys)
+	}
+	if e1.Keys[5].Value != 1 || !e1.Keys[6].DontCare {
+		t.Errorf("entry 1 validity = %+v %+v", e1.Keys[5], e1.Keys[6])
+	}
+	// Default action is the parse error.
+	if tbl.Default == nil || tbl.Default.Name != "$parse_error" {
+		t.Errorf("default = %+v, want $parse_error", tbl.Default)
+	}
+	// Byte-stack: 74 bytes (no growth).
+	if pl.BsBytes != 74 {
+		t.Errorf("BsBytes = %d, want 74", pl.BsBytes)
+	}
+	if pl.MinPkt != 54 {
+		t.Errorf("MinPkt = %d, want 54", pl.MinPkt)
+	}
+}
+
+func tableNames(pl *mat.Pipeline) []string {
+	var out []string
+	for n := range pl.Tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// guardedDeparserSrc emits a header under its own isValid guard — the
+// only conditional the homogenizer accepts in deparsers.
+const guardedDeparserSrc = `
+struct empty_t { }
+header a_h { bit<16> x; }
+header b_h { bit<32> y; }
+struct ghdr_t { a_h a; b_h b; }
+program Guarded : implements Unicast {
+  parser P(extractor ex, pkt p, out ghdr_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.a);
+      transition select(h.a.x) { 1: parse_b; default: accept; };
+    }
+    state parse_b { ex.extract(p, h.b); transition accept; }
+  }
+  control C(pkt p, inout ghdr_t h, inout empty_t m, im_t im) { apply { } }
+  control D(emitter em, pkt p, in ghdr_t h) {
+    apply {
+      em.emit(p, h.a);
+      if (h.b.isValid()) {
+        em.emit(p, h.b);
+      }
+    }
+  }
+}
+Guarded(P, C, D) main;
+`
+
+func TestGuardedDeparserEmits(t *testing.T) {
+	pl := buildPipeline(t, guardedDeparserSrc)
+	dep := pl.Tables["$deparser_tbl"]
+	if dep == nil {
+		t.Fatal("deparser MAT missing")
+	}
+	// Two parser paths, headers' validity is certain per path → one
+	// entry per path.
+	if len(dep.Entries) != 2 {
+		t.Errorf("deparser entries = %d, want 2", len(dep.Entries))
+	}
+}
+
+func TestDeparserRejectsComplexControl(t *testing.T) {
+	src := `
+struct empty_t { }
+header a_h { bit<16> x; }
+struct hdr_t { a_h a; }
+program Bad : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.a); transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, inout empty_t m, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) {
+    apply {
+      if (h.a.x == 0) {
+        em.emit(p, h.a);
+      }
+    }
+  }
+}
+Bad(P, C, D) main;
+`
+	mainP, err := frontend.CompileModule("bad.up4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := midend.Build(mainP); err == nil {
+		t.Error("deparser with a non-isValid conditional accepted")
+	}
+}
+
+// TestDuplicateInstanceApplyRejected pins the documented restriction:
+// one module instance may be applied only once.
+func TestDuplicateInstanceApplyRejected(t *testing.T) {
+	src := `
+struct empty_t { }
+struct hdr_t { }
+struct chdr_t { }
+Sub(pkt p, im_t im);
+program Twice : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h, inout empty_t m, im_t im) { state start { transition accept; } }
+  control C(pkt p, inout hdr_t h, inout empty_t m, im_t im) {
+    Sub() s_i;
+    apply {
+      s_i.apply(p, im);
+      s_i.apply(p, im);
+    }
+  }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}
+`
+	sub := `
+struct empty_t { }
+struct shdr_t { }
+program Sub : implements Unicast {
+  parser P(extractor ex, pkt p, out shdr_t h, inout empty_t m, im_t im) { state start { transition accept; } }
+  control C(pkt p, inout shdr_t h, inout empty_t m, im_t im) {
+    action a() { }
+    table t { key = { } actions = { a; } default_action = a; }
+    apply { t.apply(); }
+  }
+  control D(emitter em, pkt p, in shdr_t h) { apply { } }
+}
+`
+	mainP, err := frontend.CompileModule("twice.up4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subP, err := frontend.CompileModule("sub.up4", sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := midend.Build(mainP, subP); err == nil {
+		t.Error("double apply of one instance accepted")
+	}
+}

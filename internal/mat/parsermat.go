@@ -1,0 +1,250 @@
+package mat
+
+import (
+	"fmt"
+
+	"microp4/internal/analysis"
+	"microp4/internal/ir"
+	"microp4/internal/types"
+)
+
+// entryKV is one key column's match in one entry.
+type entryKV struct {
+	col     keyCol
+	value   uint64
+	mask    uint64
+	hasMask bool
+}
+
+// buildParserMAT synthesizes the match-action table that replaces an
+// instance's parser (paper §5.3, Fig. 10): one entry per (caller context
+// × parser path); the match key is the union of byte-stack offsets and
+// metadata used in select expressions plus a validity test for the last
+// byte extracted; each action copies the path's headers out of the
+// byte-stack and records the path id.
+func (c *composer) buildParserMAT(inst string, pf *ir.Program, ctxs []ctx, paths []*analysis.ParserPath, ids [][]uint64, elim *elimInfo) (string, error) {
+	pp := ppVar(inst)
+	tblName := instPrefix(inst, "$parser_tbl")
+	cols := newColSet()
+	var parentCol *keyCol
+	if ctxs[0].parentVar != "" {
+		k := keyCol{kind: "ref", ref: ctxs[0].parentVar, w: PathVarWidth}
+		cols.add(k)
+		parentCol = &k
+	}
+
+	type pendingEntry struct {
+		kvs    []entryKV
+		action string
+	}
+	var pending []pendingEntry
+
+	if len(ctxs)*len(paths) > c.maxEntries {
+		return "", fmt.Errorf("%s: parser MAT would need %d entries (cap %d)", tblName, len(ctxs)*len(paths), c.maxEntries)
+	}
+
+	errAct := instPrefix(inst, "$parse_error")
+	for ci, cx := range ctxs {
+		for pi, path := range paths {
+			if path.Rejected {
+				// Reject-terminated path: an explicit error entry in DFS
+				// position, so a rejecting select decision cannot fall
+				// through to a later (less constrained) path's entry.
+				kvs, err := c.rejectPathEntry(pf, cx, path)
+				if err == errUnsatPath {
+					continue
+				}
+				if err != nil {
+					return "", err
+				}
+				if parentCol != nil {
+					kvs = append([]entryKV{{col: *parentCol, value: cx.parentVal}}, kvs...)
+				}
+				for _, kv := range kvs {
+					cols.add(kv.col)
+				}
+				pending = append(pending, pendingEntry{kvs: kvs, action: errAct})
+				continue
+			}
+			kvs, act, err := c.parserPathEntry(inst, pf, cx, path, ids[ci][pi], ci, pi, elim)
+			if err == errUnsatPath {
+				continue
+			}
+			if err != nil {
+				return "", err
+			}
+			if parentCol != nil {
+				kvs = append([]entryKV{{col: *parentCol, value: cx.parentVal}}, kvs...)
+			}
+			for _, kv := range kvs {
+				cols.add(kv.col)
+			}
+			pending = append(pending, pendingEntry{kvs: kvs, action: act})
+			// Truncation entry: a packet that satisfies this path's
+			// select constraints but is too short must reject — it must
+			// not fall through to a shorter path's (less constrained)
+			// entry. Same keys with the validity bit inverted.
+			if path.Bytes > 0 {
+				tkvs := append([]entryKV(nil), kvs...)
+				last := &tkvs[len(tkvs)-1]
+				if last.col.kind != "bvalid" {
+					return "", fmt.Errorf("%s: internal: path entry does not end in a validity key", tblName)
+				}
+				last.value = 0
+				pending = append(pending, pendingEntry{kvs: tkvs, action: errAct})
+			}
+		}
+	}
+
+	// Assemble the table: canonical column order, entries in DFS priority
+	// order with don't-cares for absent columns.
+	ordered := cols.sorted()
+	tbl := &ir.Table{Name: tblName, Synthetic: true}
+	for _, col := range ordered {
+		mk := "ternary"
+		if parentCol != nil && col == *parentCol {
+			mk = "exact"
+		}
+		tbl.Keys = append(tbl.Keys, ir.Key{Expr: col.expr(), MatchKind: mk})
+	}
+	for _, pe := range pending {
+		ent := ir.Entry{Action: ir.ActionCall{Name: pe.action}}
+		byCol := make(map[keyCol]entryKV, len(pe.kvs))
+		for _, kv := range pe.kvs {
+			byCol[kv.col] = kv
+		}
+		for _, col := range ordered {
+			kv, ok := byCol[col]
+			if !ok {
+				ent.Keys = append(ent.Keys, ir.EntryKey{DontCare: true})
+				continue
+			}
+			ent.Keys = append(ent.Keys, ir.EntryKey{Value: kv.value, Mask: kv.mask, HasMask: kv.hasMask})
+		}
+		tbl.Entries = append(tbl.Entries, ent)
+		if !contains(tbl.Actions, pe.action) {
+			tbl.Actions = append(tbl.Actions, pe.action)
+		}
+	}
+	// Default: parse error — record NoMatch and set the sticky
+	// parser-error flag that drops the packet at end of pipeline (paper
+	// Fig. 10c: default_action set_parser_error).
+	c.out.Actions[errAct] = &ir.Action{
+		Name: errAct,
+		Body: []*ir.Stmt{
+			{Kind: ir.SAssign, LHS: ir.Ref(pp, PathVarWidth), RHS: ir.Const(NoMatch, PathVarWidth)},
+			{Kind: ir.SAssign, LHS: ir.Ref("$im.out_port", 9), RHS: ir.Const(types.DropPort, 9)},
+			{Kind: ir.SAssign, LHS: ir.Ref("$im.$perr", 1), RHS: ir.Const(1, 1)},
+		},
+	}
+	tbl.Actions = append(tbl.Actions, errAct)
+	tbl.Default = &ir.ActionCall{Name: errAct}
+	c.out.Tables[tblName] = tbl
+	return tblName, nil
+}
+
+// rejectPathEntry computes the key matches of a reject-terminated path
+// (constraints only, no action, no validity requirement).
+func (c *composer) rejectPathEntry(pf *ir.Program, cx ctx, path *analysis.ParserPath) ([]entryKV, error) {
+	pe := newPathEnv(pf)
+	off := cx.base
+	var kvs []entryKV
+	for _, step := range path.Steps {
+		for _, s := range step.Stmts {
+			switch s.Kind {
+			case ir.SExtract:
+				ht := c.out.Headers[mustDecl(pf, s.Hdr).TypeName]
+				pe.recordExtract(s.Hdr, off)
+				off += ht.ByteSize()
+			case ir.SAssign:
+				pe.recordAssign(s)
+			}
+		}
+		if cst := step.Constraint; cst != nil && !cst.Default {
+			ckvs, sat, err := constraintKVs(pe, cst.Exprs, cst.Case)
+			if err != nil {
+				return nil, fmt.Errorf("%s state %s: %v", pf.Name, step.State, err)
+			}
+			if !sat {
+				return nil, errUnsatPath
+			}
+			kvs = append(kvs, ckvs...)
+		}
+	}
+	return kvs, nil
+}
+
+// parserPathEntry computes one (context × path) entry's key matches and
+// synthesizes its action.
+func (c *composer) parserPathEntry(inst string, pf *ir.Program, cx ctx, path *analysis.ParserPath, id uint64, ci, pi int, elim *elimInfo) ([]entryKV, string, error) {
+	pe := newPathEnv(pf)
+	off := cx.base
+	var kvs []entryKV
+	var body []*ir.Stmt
+
+	// The action first records the path id.
+	body = append(body, &ir.Stmt{
+		Kind: ir.SAssign,
+		LHS:  ir.Ref(ppVar(inst), PathVarWidth),
+		RHS:  ir.Const(id, PathVarWidth),
+	})
+
+	for _, step := range path.Steps {
+		for _, s := range step.Stmts {
+			switch s.Kind {
+			case ir.SExtract:
+				if s.VarSize != nil {
+					return nil, "", fmt.Errorf("%s: varbit extract of %s survived the midend (run the varbit transformation first)", pf.Name, s.Hdr)
+				}
+				ht := c.out.Headers[mustDecl(pf, s.Hdr).TypeName]
+				pe.recordExtract(s.Hdr, off)
+				body = append(body, &ir.Stmt{Kind: ir.SSetValid, Hdr: s.Hdr})
+				for _, f := range ht.Fields {
+					if elim.skipParseCopy(s.Hdr, f.Name) {
+						continue // §8.1: nothing reads this copy
+					}
+					body = append(body, &ir.Stmt{
+						Kind: ir.SAssign,
+						LHS:  ir.Ref(s.Hdr+"."+f.Name, f.Width),
+						RHS:  &ir.Expr{Kind: ir.EBSlice, Off: off*8 + f.Offset, Width: f.Width},
+					})
+				}
+				off += ht.ByteSize()
+			case ir.SAssign:
+				pe.recordAssign(s)
+				body = append(body, s.Clone())
+			default:
+				body = append(body, s.Clone())
+			}
+		}
+		if cst := step.Constraint; cst != nil && !cst.Default {
+			ckvs, sat, err := constraintKVs(pe, cst.Exprs, cst.Case)
+			if err != nil {
+				return nil, "", fmt.Errorf("%s state %s: %v", pf.Name, step.State, err)
+			}
+			if !sat {
+				return nil, "", errUnsatPath
+			}
+			kvs = append(kvs, ckvs...)
+		}
+	}
+	// Validity of the last byte extracted on the path (paper §5.3: "the
+	// key also encodes a validity test for the last byte extracted").
+	if path.Bytes > 0 {
+		kvs = append(kvs, entryKV{
+			col:   keyCol{kind: "bvalid", off: cx.base + path.Bytes - 1, w: 1},
+			value: 1,
+		})
+	}
+	actName := fmt.Sprintf("%s$parse_c%d_p%d", sanitize(inst), ci, pi)
+	c.out.Actions[actName] = &ir.Action{Name: actName, Body: body}
+	return kvs, actName, nil
+}
+
+func mustDecl(pf *ir.Program, path string) *ir.Decl {
+	d := pf.DeclByPath(path)
+	if d == nil {
+		panic(fmt.Sprintf("no decl for %s in %s", path, pf.Name))
+	}
+	return d
+}

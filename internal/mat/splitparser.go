@@ -1,0 +1,307 @@
+package mat
+
+import (
+	"fmt"
+
+	"microp4/internal/analysis"
+	"microp4/internal/ir"
+	"microp4/internal/types"
+)
+
+// buildParserMATSplit synthesizes the §8.1 alternative parser encoding:
+// "instead of generating a single MAT for a (de)parser, µP4C can
+// generate multiple MATs to split (de)parsing". One MAT per parse depth
+// walks a prefix trie over (caller context × parser path): each table
+// matches the path-id-so-far plus that hop's select fields, extracts the
+// hop's headers at the statically known offset for that prefix, and
+// advances the path id. Leaves reuse the same path ids as the monolithic
+// encoding, so the guard, control, and deparser MAT are unchanged.
+//
+// Compared to the single-MAT encoding this trades fewer, narrower
+// entries per table for a chain of tables with strict dependencies —
+// exactly the tradeoff §8.1 describes ("enables the target compiler to
+// perform fine-grained optimization and placement").
+func (c *composer) buildParserMATSplit(inst string, pf *ir.Program, ctxs []ctx, paths []*analysis.ParserPath, ids [][]uint64, elim *elimInfo) ([]string, error) {
+	pp := ppVar(inst)
+	errAct := instPrefix(inst, "$parse_error")
+	c.out.Actions[errAct] = &ir.Action{
+		Name: errAct,
+		Body: []*ir.Stmt{
+			{Kind: ir.SAssign, LHS: ir.Ref(pp, PathVarWidth), RHS: ir.Const(NoMatch, PathVarWidth)},
+			{Kind: ir.SAssign, LHS: ir.Ref("$im.out_port", 9), RHS: ir.Const(types.DropPort, 9)},
+			{Kind: ir.SAssign, LHS: ir.Ref("$im.$perr", 1), RHS: ir.Const(1, 1)},
+		},
+	}
+
+	// trie node: one (context, step-prefix) with its environment.
+	type node struct {
+		id     uint64 // path id after reaching this node
+		off    int    // absolute byte offset after its extracts
+		env    *pathEnv
+		depth  int
+		parent *node
+	}
+	fresh := func() (uint64, error) {
+		c.ppSeq++
+		if c.ppSeq >= NoMatch {
+			return 0, fmt.Errorf("path-id space exhausted")
+		}
+		return c.ppSeq, nil
+	}
+
+	// Per-depth pending entries and actions.
+	type entry struct {
+		kvs    []entryKV
+		action string
+	}
+	var depths [][]entry
+	addEntry := func(d int, e entry) {
+		for len(depths) <= d {
+			depths = append(depths, nil)
+		}
+		depths[d] = append(depths[d], e)
+	}
+	actSeq := 0
+
+	// keepAlive records accepting leaves finished before the last depth;
+	// deeper tables need pass-through entries for them.
+	var keepAlive []struct {
+		depth int
+		id    uint64
+	}
+
+	// Walk each (ctx, path), sharing trie nodes per prefix.
+	type key struct {
+		ci     int
+		prefix string
+	}
+	nodes := make(map[key]*node)
+
+	maxDepth := 0
+	for ci, cx := range ctxs {
+		for pi, path := range paths {
+			prefix := ""
+			var parent *node
+			for d, step := range path.Steps {
+				prefix += "/" + step.State
+				k := key{ci, prefix}
+				n, seen := nodes[k]
+				if !seen {
+					// Create the node: its id, environment, offsets.
+					var env *pathEnv
+					off := cx.base
+					if parent != nil {
+						// Copy the parent env (cheap: maps shared via fresh copy).
+						env = newPathEnv(pf)
+						for kk, vv := range parent.env.defs {
+							env.defs[kk] = vv
+						}
+						for kk, vv := range parent.env.hdrOff {
+							env.hdrOff[kk] = vv
+						}
+						off = parent.off
+					} else {
+						env = newPathEnv(pf)
+					}
+					id, err := fresh()
+					if err != nil {
+						return nil, err
+					}
+					n = &node{id: id, env: env, off: off, depth: d, parent: parent}
+					nodes[k] = n
+
+					// Build this hop's action: record id, run the step's
+					// statements with extracts expanded.
+					body := []*ir.Stmt{{
+						Kind: ir.SAssign, LHS: ir.Ref(pp, PathVarWidth), RHS: ir.Const(id, PathVarWidth),
+					}}
+					startOff := n.off
+					for _, s := range step.Stmts {
+						switch s.Kind {
+						case ir.SExtract:
+							if s.VarSize != nil {
+								return nil, fmt.Errorf("%s: varbit extract survived the midend", pf.Name)
+							}
+							ht := c.out.Headers[mustDecl(pf, s.Hdr).TypeName]
+							n.env.recordExtract(s.Hdr, n.off)
+							body = append(body, &ir.Stmt{Kind: ir.SSetValid, Hdr: s.Hdr})
+							for _, f := range ht.Fields {
+								if elim.skipParseCopy(s.Hdr, f.Name) {
+									continue
+								}
+								body = append(body, &ir.Stmt{
+									Kind: ir.SAssign,
+									LHS:  ir.Ref(s.Hdr+"."+f.Name, f.Width),
+									RHS:  &ir.Expr{Kind: ir.EBSlice, Off: n.off*8 + f.Offset, Width: f.Width},
+								})
+							}
+							n.off += ht.ByteSize()
+						case ir.SAssign:
+							n.env.recordAssign(s)
+							body = append(body, s.Clone())
+						default:
+							body = append(body, s.Clone())
+						}
+					}
+					actSeq++
+					actName := fmt.Sprintf("%s$sparse_%d", sanitize(inst), actSeq)
+					c.out.Actions[actName] = &ir.Action{Name: actName, Body: body}
+
+					// Entry key: the predecessor id (parent node, or the
+					// caller context at depth 0), this hop's constraints
+					// (the select taken at the PARENT to reach this
+					// state — for depth 0 there is none), plus validity
+					// of this hop's bytes.
+					var kvs []entryKV
+					if parent != nil {
+						kvs = append(kvs, entryKV{col: keyCol{kind: "ref", ref: pp, w: PathVarWidth}, value: parent.id})
+					} else if cx.parentVar != "" {
+						kvs = append(kvs, entryKV{col: keyCol{kind: "ref", ref: cx.parentVar, w: PathVarWidth}, value: cx.parentVal})
+					}
+					if parent != nil {
+						// The constraint taken at the parent's select.
+						cst := path.Steps[d-1].Constraint
+						if cst != nil && !cst.Default {
+							ckvs, sat, err := constraintKVs(parent.env, cst.Exprs, cst.Case)
+							if err != nil {
+								return nil, fmt.Errorf("%s: %v", pf.Name, err)
+							}
+							if !sat {
+								// Unreachable hop: no entry; the node id
+								// is never assigned at runtime.
+								parent = n
+								continue
+							}
+							kvs = append(kvs, ckvs...)
+						}
+					}
+					if n.off > startOff {
+						kvs = append(kvs, entryKV{col: keyCol{kind: "bvalid", off: n.off - 1, w: 1}, value: 1})
+					}
+					addEntry(d, entry{kvs: kvs, action: actName})
+					if n.off > startOff {
+						// Truncation guard: matching this hop's selects
+						// with too few bytes must reject, not fall
+						// through to a shorter sibling's entry.
+						tkvs := append([]entryKV(nil), kvs...)
+						tkvs[len(tkvs)-1].value = 0
+						addEntry(d, entry{kvs: tkvs, action: errAct})
+					}
+				}
+				parent = n
+				if d > maxDepth {
+					maxDepth = d
+				}
+			}
+			// Finalize: one entry at depth len(Steps) keyed on the last
+			// node's id plus its exit constraint, assigning the path's
+			// final id (or the parse error for reject-terminated paths).
+			if parent == nil {
+				continue // pseudo path; handled by the caller's fallback
+			}
+			finDepth := len(path.Steps)
+			var kvs []entryKV
+			kvs = append(kvs, entryKV{col: keyCol{kind: "ref", ref: pp, w: PathVarWidth}, value: parent.id})
+			finSat := true
+			if cst := path.Steps[len(path.Steps)-1].Constraint; cst != nil && !cst.Default {
+				ckvs, sat, err := constraintKVs(parent.env, cst.Exprs, cst.Case)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", pf.Name, err)
+				}
+				finSat = sat
+				kvs = append(kvs, ckvs...)
+			}
+			if !finSat {
+				continue
+			}
+			if path.Rejected {
+				addEntry(finDepth, entry{kvs: kvs, action: errAct})
+			} else {
+				actSeq++
+				accName := fmt.Sprintf("%s$sparse_acc%d", sanitize(inst), actSeq)
+				c.out.Actions[accName] = &ir.Action{Name: accName, Body: []*ir.Stmt{{
+					Kind: ir.SAssign, LHS: ir.Ref(pp, PathVarWidth), RHS: ir.Const(ids[ci][pi], PathVarWidth),
+				}}}
+				addEntry(finDepth, entry{kvs: kvs, action: accName})
+				keepAlive = append(keepAlive, struct {
+					depth int
+					id    uint64
+				}{finDepth, ids[ci][pi]})
+			}
+			if finDepth > maxDepth {
+				maxDepth = finDepth
+			}
+		}
+	}
+
+	// Pass-through entries: a packet accepted at depth j must sail
+	// through tables j+1..maxDepth unchanged.
+	noop := instPrefix(inst, "$sparse_keep")
+	c.out.Actions[noop] = &ir.Action{Name: noop}
+	for _, ka := range keepAlive {
+		for d := ka.depth + 1; d <= maxDepth; d++ {
+			addEntry(d, entry{
+				kvs:    []entryKV{{col: keyCol{kind: "ref", ref: pp, w: PathVarWidth}, value: ka.id}},
+				action: noop,
+			})
+		}
+	}
+	// Errors propagate too.
+	for d := 1; d <= maxDepth; d++ {
+		addEntry(d, entry{
+			kvs:    []entryKV{{col: keyCol{kind: "ref", ref: pp, w: PathVarWidth}, value: NoMatch}},
+			action: noop,
+		})
+	}
+
+	// Materialize one table per depth.
+	var tblNames []string
+	for d, entries := range depths {
+		cols := newColSet()
+		for _, e := range entries {
+			for _, kv := range e.kvs {
+				cols.add(kv.col)
+			}
+		}
+		ordered := cols.sorted()
+		name := fmt.Sprintf("%s$%d", instPrefix(inst, "$parser_tbl"), d)
+		tbl := &ir.Table{Name: name, Synthetic: true}
+		for _, col := range ordered {
+			mk := "ternary"
+			if col.kind == "ref" && col.w == PathVarWidth {
+				mk = "exact"
+			}
+			tbl.Keys = append(tbl.Keys, ir.Key{Expr: col.expr(), MatchKind: mk})
+		}
+		for _, e := range entries {
+			ent := ir.Entry{Action: ir.ActionCall{Name: e.action}}
+			byCol := make(map[keyCol]entryKV, len(e.kvs))
+			for _, kv := range e.kvs {
+				byCol[kv.col] = kv
+			}
+			for _, col := range ordered {
+				kv, ok := byCol[col]
+				if !ok {
+					ent.Keys = append(ent.Keys, ir.EntryKey{DontCare: true})
+					continue
+				}
+				ent.Keys = append(ent.Keys, ir.EntryKey{Value: kv.value, Mask: kv.mask, HasMask: kv.hasMask})
+			}
+			tbl.Entries = append(tbl.Entries, ent)
+			if !contains(tbl.Actions, e.action) {
+				tbl.Actions = append(tbl.Actions, e.action)
+			}
+		}
+		if !contains(tbl.Actions, errAct) {
+			tbl.Actions = append(tbl.Actions, errAct)
+		}
+		tbl.Default = &ir.ActionCall{Name: errAct}
+		c.out.Tables[name] = tbl
+		tblNames = append(tblNames, name)
+	}
+	if len(tblNames) == 0 {
+		// Parserless module: a single trivial table records the path id.
+		return nil, nil
+	}
+	return tblNames, nil
+}

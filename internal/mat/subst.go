@@ -1,0 +1,290 @@
+package mat
+
+import (
+	"fmt"
+	"strings"
+
+	"microp4/internal/ir"
+)
+
+// pathEnv tracks, along one parser path, the forward-substitution
+// environment (paper §5.3: "Forward Substitution on every path to
+// eliminate any anti-dependency") and the absolute byte offset of every
+// header extracted so far.
+type pathEnv struct {
+	defs   map[string]*ir.Expr // local var -> substituted definition
+	hdrOff map[string]int      // header instance path -> absolute byte offset
+	pl     interface {
+		DeclByPath(string) *ir.Decl
+	}
+	headers map[string]*ir.HeaderType
+}
+
+func newPathEnv(pf *ir.Program) *pathEnv {
+	return &pathEnv{
+		defs:    make(map[string]*ir.Expr),
+		hdrOff:  make(map[string]int),
+		pl:      pf,
+		headers: pf.Headers,
+	}
+}
+
+// fieldSlice resolves a ref to a header field of an already-extracted
+// header into a byte-stack slice; returns nil if the ref is not such a
+// field.
+func (pe *pathEnv) fieldSlice(ref string, w int) *ir.Expr {
+	i := strings.LastIndexByte(ref, '.')
+	if i < 0 {
+		return nil
+	}
+	hdrPath, field := ref[:i], ref[i+1:]
+	off, extracted := pe.hdrOff[hdrPath]
+	if !extracted {
+		return nil
+	}
+	d := pe.pl.DeclByPath(hdrPath)
+	if d == nil || d.Kind != ir.DeclHeader {
+		return nil
+	}
+	ht := pe.headers[d.TypeName]
+	if ht == nil {
+		return nil
+	}
+	f := ht.Field(field)
+	if f == nil {
+		return nil
+	}
+	return &ir.Expr{Kind: ir.EBSlice, Off: off*8 + f.Offset, Width: w}
+}
+
+// subst rewrites e: refs with path-local definitions are replaced by
+// those definitions; refs to fields of extracted headers become
+// byte-stack slices; everything else is kept.
+func (pe *pathEnv) subst(e *ir.Expr) *ir.Expr {
+	if e == nil {
+		return nil
+	}
+	switch e.Kind {
+	case ir.ERef:
+		if d, ok := pe.defs[e.Ref]; ok {
+			return d.Clone()
+		}
+		if bs := pe.fieldSlice(e.Ref, e.Width); bs != nil {
+			return bs
+		}
+		return e.Clone()
+	case ir.ESlice:
+		x := pe.subst(e.X)
+		if x.Kind == ir.EBSlice {
+			// Fold a bit-slice of a byte-stack slice: [hi:lo] selects
+			// bits counted from the LSB of the W-bit value.
+			return &ir.Expr{
+				Kind:  ir.EBSlice,
+				Off:   x.Off + (x.Width - 1 - e.Hi),
+				Width: e.Hi - e.Lo + 1,
+			}
+		}
+		out := e.Clone()
+		out.X = x
+		return out
+	case ir.EBin, ir.EUn:
+		out := e.Clone()
+		out.X = pe.subst(e.X)
+		out.Y = pe.subst(e.Y)
+		return out
+	default:
+		return e.Clone()
+	}
+}
+
+// recordAssign updates the environment for an assignment executed along
+// the path. Non-trivial left sides conservatively invalidate nothing
+// (they are not plain locals).
+func (pe *pathEnv) recordAssign(s *ir.Stmt) {
+	if s.LHS == nil || s.LHS.Kind != ir.ERef {
+		return
+	}
+	pe.defs[s.LHS.Ref] = pe.subst(s.RHS)
+}
+
+// recordExtract updates header offsets for an extract at absolute byte
+// offset off.
+func (pe *pathEnv) recordExtract(hdr string, off int) {
+	pe.hdrOff[hdr] = off
+}
+
+// keyExpr validates that a substituted select expression can serve as a
+// MAT key column.
+func keyExpr(e *ir.Expr) (*ir.Expr, error) {
+	switch e.Kind {
+	case ir.EBSlice, ir.ERef, ir.EIsValid, ir.EBValid:
+		return e, nil
+	case ir.EUn:
+		if e.Op == "cast" {
+			inner, err := keyExpr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			// A widening/narrowing cast of a matchable key keeps the
+			// inner column; constants are fitted by the caller.
+			return inner, nil
+		}
+	}
+	return nil, fmt.Errorf("select expression %s cannot be converted to a match key", e)
+}
+
+// affineKey reduces a substituted select expression to a matchable
+// column plus an inverse: selecting on c*X + b with case value v becomes
+// matching X against (v-b)/c. This is what makes the §C varbit size
+// dispatch — select(((bit<32>)ihl - 5) * 32) — MAT-encodable. The
+// inversion is exact only when the affine image cannot wrap the
+// expression's width, which the builder verifies against the column
+// width; non-affine or wrapping expressions fall back to an error.
+// The returned invert maps a case value to the column value, reporting
+// ok=false for unsatisfiable cases (whose entries are simply skipped).
+func affineKey(e *ir.Expr) (col *ir.Expr, invert func(uint64) (uint64, bool), identity bool, err error) {
+	var c, b int64 = 1, 0
+	var base *ir.Expr
+	width := e.Width
+
+	var walk func(x *ir.Expr) error
+	walk = func(x *ir.Expr) error {
+		switch x.Kind {
+		case ir.EBSlice, ir.ERef, ir.EIsValid, ir.EBValid:
+			if base != nil {
+				return fmt.Errorf("more than one variable in select expression")
+			}
+			base = x
+			return nil
+		case ir.EUn:
+			if x.Op == "cast" {
+				return walk(x.X)
+			}
+		case ir.EBin:
+			constSide := func(y *ir.Expr) (int64, bool) {
+				if y.Kind == ir.EConst {
+					return int64(y.Value), true
+				}
+				return 0, false
+			}
+			switch x.Op {
+			case "+":
+				if k, ok := constSide(x.Y); ok {
+					if err := walk(x.X); err != nil {
+						return err
+					}
+					b += k
+					return nil
+				}
+				if k, ok := constSide(x.X); ok {
+					if err := walk(x.Y); err != nil {
+						return err
+					}
+					b += k
+					return nil
+				}
+			case "-":
+				if k, ok := constSide(x.Y); ok {
+					if err := walk(x.X); err != nil {
+						return err
+					}
+					b -= k
+					return nil
+				}
+			case "*":
+				if k, ok := constSide(x.Y); ok && k > 0 {
+					if err := walk(x.X); err != nil {
+						return err
+					}
+					c *= k
+					b *= k
+					return nil
+				}
+				if k, ok := constSide(x.X); ok && k > 0 {
+					if err := walk(x.Y); err != nil {
+						return err
+					}
+					c *= k
+					b *= k
+					return nil
+				}
+			case "<<":
+				if k, ok := constSide(x.Y); ok && k >= 0 && k < 32 {
+					if err := walk(x.X); err != nil {
+						return err
+					}
+					c <<= uint(k)
+					b <<= uint(k)
+					return nil
+				}
+			}
+		}
+		return fmt.Errorf("select expression %s is not affine in one key", e)
+	}
+	if err := walk(e); err != nil {
+		return nil, nil, false, err
+	}
+	if base == nil {
+		return nil, nil, false, fmt.Errorf("select expression %s has no variable", e)
+	}
+	// Wraparound check: the affine image of the column's whole range
+	// must fit the expression width.
+	cw := base.Width
+	if cw <= 0 || cw > 32 {
+		cw = 32
+	}
+	maxImage := c*((int64(1)<<uint(cw))-1) + b
+	if width > 0 && width < 63 && maxImage >= int64(1)<<uint(width) {
+		return nil, nil, false, fmt.Errorf("affine select %s may wrap; cannot invert", e)
+	}
+	inv := func(v uint64) (uint64, bool) {
+		t := int64(v) - b
+		if t < 0 || t%c != 0 {
+			return 0, false
+		}
+		x := t / c
+		if x >= int64(1)<<uint(cw) {
+			return 0, false
+		}
+		return uint64(x), true
+	}
+	if c == 1 && b == 0 {
+		inv = func(v uint64) (uint64, bool) { return v, true }
+		return base, inv, true, nil
+	}
+	return base, inv, false, nil
+}
+
+// constraintKVs converts one taken select constraint into entry key
+// matches under the path environment, inverting affine expressions.
+// sat=false marks an unsatisfiable case: the entry is unreachable and
+// the caller skips it.
+func constraintKVs(pe *pathEnv, exprs []*ir.Expr, tc *ir.TransCase) (kvs []entryKV, sat bool, err error) {
+	for i, e := range exprs {
+		if tc.DontCare[i] {
+			continue
+		}
+		se := pe.subst(e)
+		base, inv, identity, err := affineKey(se)
+		if err != nil {
+			return nil, false, err
+		}
+		col, err := colOf(base)
+		if err != nil {
+			return nil, false, err
+		}
+		if tc.HasMask[i] {
+			if !identity {
+				return nil, false, fmt.Errorf("masked select case on non-trivial expression %s", se)
+			}
+			kvs = append(kvs, entryKV{col: col, value: tc.Values[i], mask: tc.Masks[i], hasMask: true})
+			continue
+		}
+		v, ok := inv(tc.Values[i])
+		if !ok {
+			return nil, false, nil
+		}
+		kvs = append(kvs, entryKV{col: col, value: v})
+	}
+	return kvs, true, nil
+}

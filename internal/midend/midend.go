@@ -1,0 +1,113 @@
+// Package midend drives µP4C's target-agnostic middle end (paper §5.1):
+// it applies the §C source transformations (header-stack unrolling,
+// variable-length header splitting), links the module graph, runs the
+// static analysis of §5.2, and homogenizes + composes everything into a
+// single MAT-only pipeline (§5.3).
+package midend
+
+import (
+	"fmt"
+	"strings"
+
+	"microp4/internal/analysis"
+	"microp4/internal/ir"
+	"microp4/internal/linker"
+	"microp4/internal/mat"
+)
+
+// Result bundles the midend outputs.
+type Result struct {
+	Linked   *linker.Linked
+	Analysis *analysis.Result
+	// Pipeline is the composed MAT pipeline; nil when composition is not
+	// applicable (multi-packet orchestration programs, §5.4), in which
+	// case ComposeErr explains why and the reference interpreter remains
+	// available.
+	Pipeline   *mat.Pipeline
+	ComposeErr error
+}
+
+// Options tune the midend.
+type Options struct {
+	// Compose is forwarded to the homogenization/composition stage.
+	Compose mat.Options
+}
+
+// Build runs the full midend over a main program and its library modules.
+// The inputs are not mutated.
+func Build(main *ir.Program, mods ...*ir.Program) (*Result, error) {
+	return BuildWith(Options{}, main, mods...)
+}
+
+// BuildWith is Build with explicit options.
+func BuildWith(opts Options, main *ir.Program, mods ...*ir.Program) (*Result, error) {
+	tmain, err := Transform(main)
+	if err != nil {
+		return nil, err
+	}
+	tmods := make([]*ir.Program, 0, len(mods))
+	for _, m := range mods {
+		tm, err := Transform(m)
+		if err != nil {
+			return nil, err
+		}
+		tmods = append(tmods, tm)
+	}
+	linked, err := linker.Link(tmain, tmods...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := analysis.Analyze(linked)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := mat.ComposeWith(linked, res, opts.Compose)
+	if err != nil {
+		if strings.Contains(err.Error(), "orchestration") {
+			// Multi-packet programs run on the reference interpreter;
+			// the compiled path needs the §5.4 PPS realization.
+			return &Result{Linked: linked, Analysis: res, ComposeErr: err}, nil
+		}
+		return nil, err
+	}
+	return &Result{Linked: linked, Analysis: res, Pipeline: pl}, nil
+}
+
+// Transform applies the §C per-module transformations, returning a new
+// program: header stacks are replaced by indexed header instances with
+// unrolled parser loops, and variable-length headers are split into a
+// fixed part plus enumerated per-size tails.
+func Transform(p *ir.Program) (*ir.Program, error) {
+	q := p.Clone()
+	if err := unrollStacks(q); err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	if err := splitVarbit(q); err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	return q, nil
+}
+
+// stackElem returns the path of element i of a stack.
+func stackElem(stack string, i int) string { return fmt.Sprintf("%s.%d", stack, i) }
+
+// headerCopyStmts generates statements copying header src into dst,
+// transferring validity: if src is valid, dst takes its fields and
+// becomes valid; otherwise dst becomes invalid.
+func headerCopyStmts(ht *ir.HeaderType, dst, src string) []*ir.Stmt {
+	var then []*ir.Stmt
+	then = append(then, &ir.Stmt{Kind: ir.SSetValid, Hdr: dst})
+	for _, f := range ht.Fields {
+		then = append(then, &ir.Stmt{
+			Kind: ir.SAssign,
+			LHS:  ir.Ref(dst+"."+f.Name, f.Width),
+			RHS:  ir.Ref(src+"."+f.Name, f.Width),
+		})
+	}
+	return []*ir.Stmt{{
+		Kind: ir.SIf,
+		Cond: &ir.Expr{Kind: ir.EIsValid, Ref: src, Width: 1, Bool: true},
+		Then: then,
+		Else: []*ir.Stmt{{Kind: ir.SSetInvalid, Hdr: dst}},
+	}}
+}

@@ -1,0 +1,295 @@
+package midend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"microp4/internal/ir"
+)
+
+// stackInfo describes one header-stack declaration.
+type stackInfo struct {
+	path string
+	typ  *ir.HeaderType
+	size int
+}
+
+// unrollStacks applies the §C header-stack transformation: every stack
+// instance becomes size individual header instances; parser loops using
+// .next are unrolled by replicating states per next-index vector;
+// push_front/pop_front become series of header copies; stack emits become
+// per-element emits.
+func unrollStacks(p *ir.Program) error {
+	stacks := make(map[string]*stackInfo)
+	var newDecls []ir.Decl
+	for _, d := range p.Decls {
+		if d.Kind != ir.DeclStack {
+			newDecls = append(newDecls, d)
+			continue
+		}
+		ht := p.Headers[d.TypeName]
+		if ht == nil {
+			return fmt.Errorf("stack %s has unknown header type %s", d.Path, d.TypeName)
+		}
+		stacks[d.Path] = &stackInfo{path: d.Path, typ: ht, size: d.StackSize}
+		for i := 0; i < d.StackSize; i++ {
+			newDecls = append(newDecls, ir.Decl{Path: stackElem(d.Path, i), Kind: ir.DeclHeader, TypeName: d.TypeName})
+		}
+	}
+	if len(stacks) == 0 {
+		return nil
+	}
+	p.Decls = newDecls
+
+	if p.Parser != nil {
+		if err := unrollParser(p, stacks); err != nil {
+			return err
+		}
+	}
+	p.Apply = rewriteStackStmts(p.Apply, stacks)
+	for _, a := range p.Actions {
+		a.Body = rewriteStackStmts(a.Body, stacks)
+	}
+	p.Deparser = rewriteStackStmts(p.Deparser, stacks)
+	return nil
+}
+
+// findStack returns the stack a .next/.last path refers to, or nil.
+func findStack(stacks map[string]*stackInfo, path string) (*stackInfo, string) {
+	for sp, si := range stacks {
+		if path == sp {
+			return si, ""
+		}
+		if strings.HasPrefix(path, sp+".") {
+			return si, path[len(sp)+1:]
+		}
+	}
+	return nil, ""
+}
+
+// unrollParser replicates parser states so that every .next extract gets
+// a concrete index. State copies are keyed by the vector of per-stack
+// next-counters at entry.
+func unrollParser(p *ir.Program, stacks map[string]*stackInfo) error {
+	type counters map[string]int
+	keyOf := func(c counters) string {
+		names := make([]string, 0, len(c))
+		for n := range c {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		for _, n := range names {
+			fmt.Fprintf(&b, "%s=%d;", n, c[n])
+		}
+		return b.String()
+	}
+	cloneCounters := func(c counters) counters {
+		n := make(counters, len(c))
+		for k, v := range c {
+			n[k] = v
+		}
+		return n
+	}
+
+	var outStates []*ir.State
+	nameOf := make(map[string]string) // (origState|counterKey) -> new name
+	var build func(orig string, c counters) (string, error)
+	build = func(orig string, c counters) (string, error) {
+		switch orig {
+		case "accept", "reject":
+			return orig, nil
+		}
+		ck := orig + "|" + keyOf(c)
+		if n, ok := nameOf[ck]; ok {
+			return n, nil
+		}
+		src := p.Parser.State(orig)
+		if src == nil {
+			return "", fmt.Errorf("transition to unknown state %s", orig)
+		}
+		name := orig
+		if keyOf(c) != keyOf(counters{}) {
+			name = fmt.Sprintf("%s$%d", orig, len(outStates))
+		}
+		nameOf[ck] = name
+		st := &ir.State{Name: name}
+		outStates = append(outStates, st) // reserve position; fill below
+		cc := cloneCounters(c)
+		overflow := false
+		for _, s := range src.Stmts {
+			ns := s.Clone()
+			if ns.Kind == ir.SExtract {
+				if si, rest := findStack(stacks, ns.Hdr); si != nil {
+					if rest != "next" {
+						return "", fmt.Errorf("extract of stack member %s.%s (only .next is extractable)", si.path, rest)
+					}
+					idx := cc[si.path]
+					if idx >= si.size {
+						overflow = true
+						break
+					}
+					ns.Hdr = stackElem(si.path, idx)
+					cc[si.path] = idx + 1
+				}
+			}
+			rewriteStackExpr(ns, stacks, cc)
+			st.Stmts = append(st.Stmts, ns)
+		}
+		if overflow {
+			// Extracting past the end of a stack rejects the packet.
+			st.Stmts = nil
+			st.Trans = &ir.Trans{Kind: "direct", Target: "reject"}
+			return name, nil
+		}
+		// Transition: resolve .last/.next in select expressions against cc.
+		switch tr := src.Trans; {
+		case tr == nil:
+			st.Trans = &ir.Trans{Kind: "direct", Target: "reject"}
+		case tr.Kind == "direct":
+			tgt, err := build(tr.Target, cc)
+			if err != nil {
+				return "", err
+			}
+			st.Trans = &ir.Trans{Kind: "direct", Target: tgt}
+		default:
+			nt := &ir.Trans{Kind: "select"}
+			for _, e := range tr.Exprs {
+				ne := e.Clone()
+				if err := rewriteStackRef(ne, stacks, cc); err != nil {
+					return "", err
+				}
+				nt.Exprs = append(nt.Exprs, ne)
+			}
+			for _, cs := range tr.Cases {
+				tgt, err := build(cs.Target, cc)
+				if err != nil {
+					return "", err
+				}
+				ncs := *cs
+				ncs.Target = tgt
+				nt.Cases = append(nt.Cases, &ncs)
+			}
+			st.Trans = nt
+		}
+		return name, nil
+	}
+	if _, err := build("start", counters{}); err != nil {
+		return err
+	}
+	p.Parser.States = outStates
+	return nil
+}
+
+// rewriteStackRef resolves .last/.next member references in an expression
+// against the current counters.
+func rewriteStackRef(e *ir.Expr, stacks map[string]*stackInfo, cc map[string]int) error {
+	var werr error
+	e.Walk(func(x *ir.Expr) {
+		if x.Kind != ir.ERef && x.Kind != ir.EIsValid {
+			return
+		}
+		for sp, si := range stacks {
+			if !strings.HasPrefix(x.Ref, sp+".") {
+				continue
+			}
+			rest := x.Ref[len(sp)+1:]
+			var idx int
+			switch {
+			case strings.HasPrefix(rest, "last.") || rest == "last":
+				idx = cc[sp] - 1
+				if idx < 0 {
+					werr = fmt.Errorf("reference to %s.last before any extract", sp)
+					return
+				}
+				x.Ref = stackElem(sp, idx) + strings.TrimPrefix(rest, "last")
+			case strings.HasPrefix(rest, "next.") || rest == "next":
+				idx = cc[sp]
+				if idx >= si.size {
+					werr = fmt.Errorf("reference to %s.next past the end of the stack", sp)
+					return
+				}
+				x.Ref = stackElem(sp, idx) + strings.TrimPrefix(rest, "next")
+			case rest == "lastIndex":
+				x.Kind = ir.EConst
+				x.Ref = ""
+				x.Value = uint64(cc[sp] - 1)
+				x.Width = 32
+			}
+		}
+	})
+	return werr
+}
+
+// rewriteStackExpr rewrites stack member refs inside a statement's
+// expressions (parser statements during unrolling).
+func rewriteStackExpr(s *ir.Stmt, stacks map[string]*stackInfo, cc map[string]int) {
+	for _, e := range []*ir.Expr{s.LHS, s.RHS, s.Cond, s.VarSize} {
+		if e != nil {
+			rewriteStackRef(e, stacks, cc) //nolint:errcheck // parser stmts checked via transitions
+		}
+	}
+}
+
+// rewriteStackStmts rewrites control/deparser statements: push_front and
+// pop_front become header-copy chains (§C), emits of whole stacks become
+// per-element emits.
+func rewriteStackStmts(ss []*ir.Stmt, stacks map[string]*stackInfo) []*ir.Stmt {
+	var out []*ir.Stmt
+	for _, s := range ss {
+		switch s.Kind {
+		case ir.SMethod:
+			if si, _ := findStack(stacks, s.Target); si != nil {
+				n := 1
+				if len(s.Args) > 0 && s.Args[0].Expr.Kind == ir.EConst {
+					n = int(s.Args[0].Expr.Value)
+				}
+				switch s.Method {
+				case "pop_front":
+					// §C (inverse of the push example): elements move up.
+					for rep := 0; rep < n; rep++ {
+						for i := 0; i < si.size-1; i++ {
+							out = append(out, headerCopyStmts(si.typ, stackElem(si.path, i), stackElem(si.path, i+1))...)
+						}
+						out = append(out, &ir.Stmt{Kind: ir.SSetInvalid, Hdr: stackElem(si.path, si.size-1)})
+					}
+					continue
+				case "push_front":
+					// §C: hs2 = hs1, hs1 = hs0, hs0.setInvalid() — the
+					// new front slot becomes available (invalid until
+					// the program fills it and sets it valid).
+					for rep := 0; rep < n; rep++ {
+						for i := si.size - 1; i >= 1; i-- {
+							out = append(out, headerCopyStmts(si.typ, stackElem(si.path, i), stackElem(si.path, i-1))...)
+						}
+						out = append(out, &ir.Stmt{Kind: ir.SSetInvalid, Hdr: stackElem(si.path, 0)})
+					}
+					continue
+				}
+			}
+		case ir.SEmit:
+			if si, rest := findStack(stacks, s.Hdr); si != nil && rest == "" {
+				for i := 0; i < si.size; i++ {
+					out = append(out, &ir.Stmt{Kind: ir.SEmit, Hdr: stackElem(si.path, i)})
+				}
+				continue
+			}
+		case ir.SIf:
+			ns := s.Clone()
+			ns.Then = rewriteStackStmts(ns.Then, stacks)
+			ns.Else = rewriteStackStmts(ns.Else, stacks)
+			out = append(out, ns)
+			continue
+		case ir.SSwitch:
+			ns := s.Clone()
+			for _, c := range ns.Cases {
+				c.Body = rewriteStackStmts(c.Body, stacks)
+			}
+			out = append(out, ns)
+			continue
+		}
+		out = append(out, s.Clone())
+	}
+	return out
+}

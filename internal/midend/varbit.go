@@ -1,0 +1,202 @@
+package midend
+
+import (
+	"fmt"
+	"strings"
+
+	"microp4/internal/ir"
+)
+
+// splitVarbit applies the §C variable-length header transformation:
+// a header containing fixed fields and one varbit field is split into a
+// fixed-part header plus one header type per possible byte size of the
+// variable part; the two-argument extract becomes a sub-parser whose
+// select enumerates every possible size (the appendix's "40 states
+// extracting different numbers of bytes").
+func splitVarbit(p *ir.Program) error {
+	// Find varbit header types in use.
+	varHdrs := make(map[string]bool)
+	for name, ht := range p.Headers {
+		if ht.HasVarbit {
+			varHdrs[name] = true
+		}
+	}
+	if len(varHdrs) == 0 {
+		return nil
+	}
+	// Split each varbit header type into fixed + per-size tail types.
+	typeMax := make(map[string]int)
+	for name := range varHdrs {
+		ht := p.Headers[name]
+		fixed := &ir.HeaderType{Name: name}
+		var varField ir.HeaderField
+		for _, f := range ht.Fields {
+			if f.Varbit {
+				varField = f
+				continue
+			}
+			if varField.Varbit {
+				return fmt.Errorf("header %s has fixed fields after its varbit field (unsupported)", name)
+			}
+			nf := f
+			nf.Offset = fixed.BitWidth
+			fixed.Fields = append(fixed.Fields, nf)
+			fixed.BitWidth += f.Width
+		}
+		if fixed.BitWidth%8 != 0 {
+			return fmt.Errorf("header %s: fixed part is not a whole number of bytes", name)
+		}
+		p.Headers[name] = fixed
+		maxBytes := varField.MaxWidth / 8
+		typeMax[name] = maxBytes
+		for j := 1; j <= maxBytes; j++ {
+			tn := vbTypeName(name, j)
+			t := &ir.HeaderType{Name: tn, BitWidth: j * 8}
+			for b := 0; b < j; b++ {
+				t.Fields = append(t.Fields, ir.HeaderField{
+					Name: fmt.Sprintf("b%d", b), Width: 8, Offset: b * 8,
+				})
+			}
+			p.Headers[tn] = t
+		}
+	}
+	// Add per-size tail instances for every varbit header instance.
+	var tails []ir.Decl
+	instMax := make(map[string]int) // instance path -> max tail bytes
+	for _, d := range p.Decls {
+		if d.Kind != ir.DeclHeader || !varHdrs[d.TypeName] {
+			continue
+		}
+		orig := typeMax[d.TypeName]
+		instMax[d.Path] = orig
+		for j := 1; j <= orig; j++ {
+			tails = append(tails, ir.Decl{
+				Path: vbInstName(d.Path, j), Kind: ir.DeclHeader, TypeName: vbTypeName(d.TypeName, j),
+			})
+		}
+	}
+	p.Decls = append(p.Decls, tails...)
+
+	// Rewrite parser states: extract(h, size) becomes extract(h-fixed)
+	// followed by a select over size with one target state per byte size.
+	if p.Parser != nil {
+		var extra []*ir.State
+		for _, st := range p.Parser.States {
+			var newStmts []*ir.Stmt
+			for si, s := range st.Stmts {
+				if s.Kind != ir.SExtract || s.VarSize == nil {
+					newStmts = append(newStmts, s)
+					continue
+				}
+				max := instMax[s.Hdr]
+				if max == 0 {
+					return fmt.Errorf("varbit extract of %s, which has no varbit field", s.Hdr)
+				}
+				if si != len(st.Stmts)-1 {
+					return fmt.Errorf("varbit extract of %s must be the last statement of its state", s.Hdr)
+				}
+				// Fixed part extracts in this state.
+				newStmts = append(newStmts, &ir.Stmt{Kind: ir.SExtract, Hdr: s.Hdr})
+				// Continuation state holding the original transition.
+				cont := &ir.State{Name: st.Name + "$vbcont", Trans: st.Trans}
+				extra = append(extra, cont)
+				// Size dispatch: one case per byte size (value in bits).
+				sel := &ir.Trans{Kind: "select", Exprs: []*ir.Expr{s.VarSize.Clone()}}
+				sel.Cases = append(sel.Cases, &ir.TransCase{
+					Values: []uint64{0}, Masks: []uint64{0}, HasMask: []bool{false},
+					DontCare: []bool{false}, Target: cont.Name,
+				})
+				for j := 1; j <= max; j++ {
+					vs := &ir.State{
+						Name:  fmt.Sprintf("%s$vb%d", st.Name, j),
+						Stmts: []*ir.Stmt{{Kind: ir.SExtract, Hdr: vbInstName(s.Hdr, j)}},
+						Trans: &ir.Trans{Kind: "direct", Target: cont.Name},
+					}
+					extra = append(extra, vs)
+					sel.Cases = append(sel.Cases, &ir.TransCase{
+						Values: []uint64{uint64(j) * 8}, Masks: []uint64{0}, HasMask: []bool{false},
+						DontCare: []bool{false}, Target: vs.Name,
+					})
+				}
+				// Any other size rejects.
+				sel.Cases = append(sel.Cases, &ir.TransCase{Default: true, Target: "reject"})
+				st.Trans = sel
+			}
+			st.Stmts = newStmts
+		}
+		p.Parser.States = append(p.Parser.States, extra...)
+	}
+
+	// Rewrite deparser: emit(h) for a varbit header also emits its tails.
+	var rewriteEmits func(ss []*ir.Stmt) []*ir.Stmt
+	rewriteEmits = func(ss []*ir.Stmt) []*ir.Stmt {
+		var out []*ir.Stmt
+		for _, s := range ss {
+			switch s.Kind {
+			case ir.SEmit:
+				out = append(out, s)
+				if max := instMax[s.Hdr]; max > 0 {
+					for j := 1; j <= max; j++ {
+						out = append(out, &ir.Stmt{Kind: ir.SEmit, Hdr: vbInstName(s.Hdr, j)})
+					}
+				}
+				continue
+			case ir.SIf:
+				ns := s.Clone()
+				ns.Then = rewriteEmits(s.Then)
+				ns.Else = rewriteEmits(s.Else)
+				out = append(out, ns)
+				continue
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	p.Deparser = rewriteEmits(p.Deparser)
+
+	// Reject reads of the varbit field itself in controls.
+	var badRef string
+	check := func(s *ir.Stmt) {
+		for _, e := range []*ir.Expr{s.LHS, s.RHS, s.Cond} {
+			if e == nil {
+				continue
+			}
+			e.Walk(func(x *ir.Expr) {
+				if x.Kind == ir.ERef {
+					for path := range instMax {
+						if strings.HasPrefix(x.Ref, path+".") {
+							i := strings.LastIndexByte(x.Ref, '.')
+							field := x.Ref[i+1:]
+							if fixedField(p, path, field) == nil {
+								badRef = x.Ref
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+	ir.WalkStmts(p.Apply, check)
+	for _, a := range p.Actions {
+		ir.WalkStmts(a.Body, check)
+	}
+	if badRef != "" {
+		return fmt.Errorf("control reads variable-length data %s (unsupported after the §C split)", badRef)
+	}
+	return nil
+}
+
+func fixedField(p *ir.Program, instPath, field string) *ir.HeaderField {
+	d := p.DeclByPath(instPath)
+	if d == nil {
+		return nil
+	}
+	ht := p.Headers[d.TypeName]
+	if ht == nil {
+		return nil
+	}
+	return ht.Field(field)
+}
+
+func vbTypeName(hdrType string, j int) string { return fmt.Sprintf("%s$vb%d", hdrType, j) }
+func vbInstName(inst string, j int) string    { return fmt.Sprintf("%s$vb%d", inst, j) }

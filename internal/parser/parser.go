@@ -1,0 +1,1343 @@
+// Package parser implements a recursive-descent parser for the µP4
+// dialect. It produces the AST defined in internal/ast.
+package parser
+
+import (
+	"fmt"
+
+	"microp4/internal/ast"
+	"microp4/internal/lexer"
+)
+
+// Error is a syntax error with position information.
+type Error struct {
+	File string
+	Pos  ast.Pos
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.File == "" {
+		return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+}
+
+type parser struct {
+	file string
+	toks []lexer.Token
+	pos  int
+}
+
+// ParseFile parses a complete µP4 source file.
+func ParseFile(name, src string) (*ast.SourceFile, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		if le, ok := err.(*lexer.Error); ok {
+			return nil, &Error{File: name, Pos: le.Pos, Msg: le.Msg}
+		}
+		return nil, err
+	}
+	p := &parser{file: name, toks: toks}
+	f := &ast.SourceFile{Name: name}
+	for !p.atEOF() {
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Decls = append(f.Decls, d)
+	}
+	return f, nil
+}
+
+// ParseExpr parses a standalone expression (used in tests and tools).
+func ParseExpr(src string) (ast.Expr, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: "<expr>", toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected %s after expression", p.peek())
+	}
+	return e, nil
+}
+
+// ----------------------------------------------------------------------------
+// Token helpers
+
+func (p *parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() lexer.Token {
+	if p.atEOF() {
+		last := ast.Pos{Line: 1, Col: 1}
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].Pos
+		}
+		return lexer.Token{Kind: lexer.EOF, Pos: last}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) peekAt(n int) lexer.Token {
+	if p.pos+n >= len(p.toks) {
+		return lexer.Token{Kind: lexer.EOF}
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) next() lexer.Token {
+	t := p.peek()
+	if !p.atEOF() {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return &Error{File: p.file, Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.peek()
+	return t.Kind == lexer.Punct && t.Text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	t := p.peek()
+	return t.Kind == lexer.Keyword && t.Text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(s string) bool {
+	if p.isKeyword(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) (lexer.Token, error) {
+	if p.isPunct(s) {
+		return p.next(), nil
+	}
+	return lexer.Token{}, p.errorf("expected %q, found %s", s, p.peek())
+}
+
+func (p *parser) expectKeyword(s string) (lexer.Token, error) {
+	if p.isKeyword(s) {
+		return p.next(), nil
+	}
+	return lexer.Token{}, p.errorf("expected %q, found %s", s, p.peek())
+}
+
+func (p *parser) expectIdent() (lexer.Token, error) {
+	if p.peek().Kind == lexer.Ident {
+		return p.next(), nil
+	}
+	return lexer.Token{}, p.errorf("expected identifier, found %s", p.peek())
+}
+
+func (p *parser) expectNumber() (lexer.Token, error) {
+	if p.peek().Kind == lexer.Number {
+		return p.next(), nil
+	}
+	return lexer.Token{}, p.errorf("expected number, found %s", p.peek())
+}
+
+// ----------------------------------------------------------------------------
+// Declarations
+
+func (p *parser) parseDecl() (ast.Decl, error) {
+	t := p.peek()
+	switch {
+	case p.isKeyword("header"):
+		return p.parseHeaderDecl()
+	case p.isKeyword("struct"):
+		return p.parseStructDecl()
+	case p.isKeyword("typedef"):
+		return p.parseTypedefDecl()
+	case p.isKeyword("const"):
+		return p.parseConstDecl()
+	case p.isKeyword("program"):
+		return p.parseProgramDecl()
+	case t.Kind == lexer.Ident:
+		// Module prototype "L3(pkt p, ...);" or instantiation
+		// "ModularRouter(P, C, D) main;". Both start IDENT "(" — decided
+		// after the closing paren: ";" → prototype, IDENT → instantiation.
+		return p.parseProtoOrInstantiation()
+	default:
+		return nil, p.errorf("expected declaration, found %s", t)
+	}
+}
+
+func (p *parser) parseHeaderDecl() (ast.Decl, error) {
+	kw, _ := p.expectKeyword("header")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	fields, err := p.parseFieldList()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.HeaderDecl{P: kw.Pos, Name: name.Text, Fields: fields}, nil
+}
+
+func (p *parser) parseStructDecl() (ast.Decl, error) {
+	kw, _ := p.expectKeyword("struct")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	fields, err := p.parseFieldList()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.StructDecl{P: kw.Pos, Name: name.Text, Fields: fields}, nil
+}
+
+func (p *parser) parseFieldList() ([]ast.Field, error) {
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var fields []ast.Field
+	for !p.isPunct("}") {
+		ft, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		fields = append(fields, ast.Field{P: name.Pos, Name: name.Text, T: ft})
+	}
+	p.next() // }
+	return fields, nil
+}
+
+func (p *parser) parseTypedefDecl() (ast.Decl, error) {
+	kw, _ := p.expectKeyword("typedef")
+	base, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &ast.TypedefDecl{P: kw.Pos, Name: name.Text, Base: base}, nil
+}
+
+func (p *parser) parseConstDecl() (ast.Decl, error) {
+	kw, _ := p.expectKeyword("const")
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	v, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &ast.ConstDecl{P: kw.Pos, Name: name.Text, T: t, Value: v}, nil
+}
+
+func (p *parser) parseProtoOrInstantiation() (ast.Decl, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	// Try instantiation first: a list of bare identifiers, then ") IDENT ;".
+	if d, ok := p.tryInstantiation(name); ok {
+		return d, nil
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &ast.ModuleProtoDecl{P: name.Pos, Name: name.Text, Params: params}, nil
+}
+
+// tryInstantiation attempts "Name(A, B, C) inst;" from just after "(".
+// On failure, the token position is restored.
+func (p *parser) tryInstantiation(name lexer.Token) (ast.Decl, bool) {
+	save := p.pos
+	var args []string
+	for !p.isPunct(")") {
+		t := p.peek()
+		if t.Kind != lexer.Ident {
+			p.pos = save
+			return nil, false
+		}
+		args = append(args, t.Text)
+		p.next()
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if !p.acceptPunct(")") {
+		p.pos = save
+		return nil, false
+	}
+	inst := p.peek()
+	if inst.Kind != lexer.Ident {
+		p.pos = save
+		return nil, false
+	}
+	p.next()
+	if !p.acceptPunct(";") {
+		p.pos = save
+		return nil, false
+	}
+	return &ast.InstantiationDecl{P: name.Pos, TypeName: name.Text, Args: args, Name: inst.Text}, true
+}
+
+func (p *parser) parseProgramDecl() (ast.Decl, error) {
+	kw, _ := p.expectKeyword("program")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("implements"); err != nil {
+		return nil, err
+	}
+	iface, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	// Optional (and ignored) generic argument list: Unicast<>, Unicast<I,O>.
+	if p.acceptPunct("<") {
+		for !p.isPunct(">") {
+			if _, err := p.parseType(); err != nil {
+				return nil, err
+			}
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if _, err := p.expectPunct(">"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	prog := &ast.ProgramDecl{P: kw.Pos, Name: name.Text, Interface: iface.Text}
+	for !p.isPunct("}") {
+		switch {
+		case p.isKeyword("parser"):
+			pd, err := p.parseParserDecl()
+			if err != nil {
+				return nil, err
+			}
+			if prog.Parser != nil {
+				return nil, p.errorf("program %s has more than one parser block", prog.Name)
+			}
+			prog.Parser = pd
+		case p.isKeyword("control"):
+			cd, err := p.parseControlDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Controls = append(prog.Controls, cd)
+		default:
+			return nil, p.errorf("expected parser or control block in program, found %s", p.peek())
+		}
+	}
+	p.next() // }
+	return prog, nil
+}
+
+// ----------------------------------------------------------------------------
+// Parser blocks
+
+func (p *parser) parseParserDecl() (*ast.ParserDecl, error) {
+	kw, _ := p.expectKeyword("parser")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	pd := &ast.ParserDecl{P: kw.Pos, Name: name.Text, Params: params}
+	for !p.isPunct("}") {
+		if p.isKeyword("state") {
+			st, err := p.parseState()
+			if err != nil {
+				return nil, err
+			}
+			pd.States = append(pd.States, st)
+			continue
+		}
+		// Local variable declaration.
+		vd, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		pd.Locals = append(pd.Locals, vd)
+	}
+	p.next() // }
+	return pd, nil
+}
+
+func (p *parser) parseState() (*ast.State, error) {
+	kw, _ := p.expectKeyword("state")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	st := &ast.State{P: kw.Pos, Name: name.Text}
+	for !p.isPunct("}") {
+		if p.isKeyword("transition") {
+			tr, err := p.parseTransition()
+			if err != nil {
+				return nil, err
+			}
+			if st.Trans != nil {
+				return nil, p.errorf("state %s has more than one transition", st.Name)
+			}
+			st.Trans = tr
+			continue
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Stmts = append(st.Stmts, s)
+	}
+	p.next() // }
+	return st, nil
+}
+
+func (p *parser) parseTransition() (ast.Transition, error) {
+	kw, _ := p.expectKeyword("transition")
+	if p.isKeyword("select") {
+		p.next()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var exprs []ast.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct("{"); err != nil {
+			return nil, err
+		}
+		sel := &ast.SelectTransition{P: kw.Pos, Exprs: exprs}
+		for !p.isPunct("}") {
+			c, err := p.parseSelectCase(len(exprs))
+			if err != nil {
+				return nil, err
+			}
+			sel.Cases = append(sel.Cases, c)
+		}
+		p.next() // }
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return sel, nil
+	}
+	target, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &ast.DirectTransition{P: kw.Pos, Target: target.Text}, nil
+}
+
+func (p *parser) parseSelectCase(n int) (ast.SelectCase, error) {
+	pos := p.peek().Pos
+	c := ast.SelectCase{P: pos}
+	if p.acceptKeyword("default") {
+		c.IsDefault = true
+	} else {
+		parens := p.acceptPunct("(")
+		for {
+			if p.isPunct("_") {
+				p.next()
+				c.Values = append(c.Values, nil)
+				c.Masks = append(c.Masks, nil)
+			} else {
+				v, err := p.parseExpr()
+				if err != nil {
+					return c, err
+				}
+				var m ast.Expr
+				if p.acceptPunct("&&&") {
+					m, err = p.parseExpr()
+					if err != nil {
+						return c, err
+					}
+				}
+				c.Values = append(c.Values, v)
+				c.Masks = append(c.Masks, m)
+			}
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if parens {
+			if _, err := p.expectPunct(")"); err != nil {
+				return c, err
+			}
+		}
+		if len(c.Values) != n {
+			return c, &Error{File: p.file, Pos: pos,
+				Msg: fmt.Sprintf("select case has %d keysets, select has %d expressions", len(c.Values), n)}
+		}
+	}
+	if _, err := p.expectPunct(":"); err != nil {
+		return c, err
+	}
+	target, err := p.expectIdent()
+	if err != nil {
+		return c, err
+	}
+	c.Target = target.Text
+	if _, err := p.expectPunct(";"); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// ----------------------------------------------------------------------------
+// Control blocks
+
+func (p *parser) parseControlDecl() (*ast.ControlDecl, error) {
+	kw, _ := p.expectKeyword("control")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	cd := &ast.ControlDecl{P: kw.Pos, Name: name.Text, Params: params}
+	for !p.isPunct("}") {
+		switch {
+		case p.isKeyword("apply"):
+			p.next()
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			if cd.Apply != nil {
+				return nil, p.errorf("control %s has more than one apply block", cd.Name)
+			}
+			cd.Apply = body
+		case p.isKeyword("action"):
+			a, err := p.parseActionDecl()
+			if err != nil {
+				return nil, err
+			}
+			cd.Locals = append(cd.Locals, a)
+		case p.isKeyword("table"):
+			t, err := p.parseTableDecl()
+			if err != nil {
+				return nil, err
+			}
+			cd.Locals = append(cd.Locals, t)
+		case p.peek().Kind == lexer.Ident && p.peekAt(1).Kind == lexer.Punct && p.peekAt(1).Text == "(":
+			// Instantiation: "L3() l3_i;" or "mc_engine() mce;".
+			inst, err := p.parseInstDecl()
+			if err != nil {
+				return nil, err
+			}
+			cd.Locals = append(cd.Locals, inst)
+		default:
+			vd, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			cd.Locals = append(cd.Locals, vd)
+		}
+	}
+	p.next() // }
+	if cd.Apply == nil {
+		return nil, &Error{File: p.file, Pos: kw.Pos, Msg: fmt.Sprintf("control %s has no apply block", cd.Name)}
+	}
+	return cd, nil
+}
+
+func (p *parser) parseInstDecl() (*ast.InstDecl, error) {
+	tn, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []ast.Expr
+	for !p.isPunct(")") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &ast.InstDecl{P: tn.Pos, TypeName: tn.Text, Args: args, Name: name.Text}, nil
+}
+
+func (p *parser) parseVarDecl() (*ast.VarDecl, error) {
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	vd := &ast.VarDecl{P: name.Pos, T: t, Name: name.Text}
+	if p.acceptPunct("=") {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		vd.Init = init
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return vd, nil
+}
+
+func (p *parser) parseActionDecl() (*ast.ActionDecl, error) {
+	kw, _ := p.expectKeyword("action")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.ActionDecl{P: kw.Pos, Name: name.Text, Params: params, Body: body}, nil
+}
+
+func (p *parser) parseTableDecl() (*ast.TableDecl, error) {
+	kw, _ := p.expectKeyword("table")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	td := &ast.TableDecl{P: kw.Pos, Name: name.Text}
+	for !p.isPunct("}") {
+		switch {
+		case p.isKeyword("key"):
+			p.next()
+			if _, err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("{"); err != nil {
+				return nil, err
+			}
+			for !p.isPunct("}") {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expectPunct(":"); err != nil {
+					return nil, err
+				}
+				mk, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				switch mk.Text {
+				case "exact", "lpm", "ternary", "range":
+				default:
+					return nil, &Error{File: p.file, Pos: mk.Pos, Msg: fmt.Sprintf("unknown match kind %q", mk.Text)}
+				}
+				if _, err := p.expectPunct(";"); err != nil {
+					return nil, err
+				}
+				td.Keys = append(td.Keys, ast.TableKey{P: e.Pos(), Expr: e, MatchKind: mk.Text})
+			}
+			p.next() // }
+			p.acceptPunct(";")
+		case p.isKeyword("actions"):
+			p.next()
+			if _, err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("{"); err != nil {
+				return nil, err
+			}
+			for !p.isPunct("}") {
+				a, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				td.Actions = append(td.Actions, ast.ActionRef{P: a.Pos, Name: a.Text})
+				if !p.acceptPunct(";") {
+					p.acceptPunct(",")
+				}
+			}
+			p.next() // }
+			p.acceptPunct(";")
+		case p.isKeyword("default_action"):
+			p.next()
+			if !p.acceptPunct("=") && !p.acceptPunct(":") {
+				return nil, p.errorf("expected '=' or ':' after default_action")
+			}
+			ar, err := p.parseActionRef()
+			if err != nil {
+				return nil, err
+			}
+			td.DefaultAction = &ar
+			if _, err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("const"), p.isKeyword("entries"):
+			p.acceptKeyword("const")
+			if _, err := p.expectKeyword("entries"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("{"); err != nil {
+				return nil, err
+			}
+			for !p.isPunct("}") {
+				ent, err := p.parseTableEntry()
+				if err != nil {
+					return nil, err
+				}
+				td.Entries = append(td.Entries, ent)
+			}
+			p.next() // }
+			p.acceptPunct(";")
+		case p.isKeyword("size"):
+			p.next()
+			if _, err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			n, err := p.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			td.Size = int(n.Value)
+			if _, err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("unexpected %s in table declaration", p.peek())
+		}
+	}
+	p.next() // }
+	return td, nil
+}
+
+func (p *parser) parseActionRef() (ast.ActionRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return ast.ActionRef{}, err
+	}
+	ar := ast.ActionRef{P: name.Pos, Name: name.Text}
+	if p.acceptPunct("(") {
+		for !p.isPunct(")") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return ar, err
+			}
+			ar.Args = append(ar.Args, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return ar, err
+		}
+	}
+	return ar, nil
+}
+
+func (p *parser) parseTableEntry() (ast.TableEntry, error) {
+	pos := p.peek().Pos
+	ent := ast.TableEntry{P: pos}
+	parens := p.acceptPunct("(")
+	for {
+		ks := ast.KeySet{P: p.peek().Pos}
+		if p.isPunct("_") {
+			p.next()
+			ks.DontCare = true
+		} else {
+			v, err := p.parseExpr()
+			if err != nil {
+				return ent, err
+			}
+			ks.Value = v
+			if p.acceptPunct("&&&") {
+				m, err := p.parseExpr()
+				if err != nil {
+					return ent, err
+				}
+				ks.Mask = m
+			}
+		}
+		ent.Keys = append(ent.Keys, ks)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if parens {
+		if _, err := p.expectPunct(")"); err != nil {
+			return ent, err
+		}
+	}
+	if _, err := p.expectPunct(":"); err != nil {
+		return ent, err
+	}
+	ar, err := p.parseActionRef()
+	if err != nil {
+		return ent, err
+	}
+	ent.Action = ar
+	if _, err := p.expectPunct(";"); err != nil {
+		return ent, err
+	}
+	return ent, nil
+}
+
+// ----------------------------------------------------------------------------
+// Statements
+
+func (p *parser) parseBlock() (*ast.BlockStmt, error) {
+	lb, err := p.expectPunct("{")
+	if err != nil {
+		return nil, err
+	}
+	blk := &ast.BlockStmt{P: lb.Pos}
+	for !p.isPunct("}") {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // }
+	return blk, nil
+}
+
+func (p *parser) parseStmt() (ast.Stmt, error) {
+	t := p.peek()
+	switch {
+	case p.isPunct("{"):
+		return p.parseBlock()
+	case p.isPunct(";"):
+		p.next()
+		return &ast.EmptyStmt{P: t.Pos}, nil
+	case p.isKeyword("if"):
+		return p.parseIfStmt()
+	case p.isKeyword("switch"):
+		return p.parseSwitchStmt()
+	case p.isKeyword("exit"), p.isKeyword("return"):
+		p.next()
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ast.ExitStmt{P: t.Pos}, nil
+	case p.isKeyword("bit"), p.isKeyword("bool"), p.isKeyword("varbit"):
+		vd, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.VarDeclStmt{Decl: vd}, nil
+	case t.Kind == lexer.Ident && p.peekAt(1).Kind == lexer.Ident:
+		// "hdr_t h;" — variable declaration with a named type.
+		vd, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.VarDeclStmt{Decl: vd}, nil
+	default:
+		return p.parseAssignOrCall()
+	}
+}
+
+func (p *parser) parseAssignOrCall() (ast.Stmt, error) {
+	pos := p.peek().Pos
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptPunct("=") {
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ast.AssignStmt{P: pos, LHS: lhs, RHS: rhs}, nil
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	call, ok := lhs.(*ast.CallExpr)
+	if !ok {
+		return nil, &Error{File: p.file, Pos: pos, Msg: "expression statement must be a call"}
+	}
+	return &ast.CallStmt{P: pos, Call: call}, nil
+}
+
+func (p *parser) parseIfStmt() (ast.Stmt, error) {
+	kw, _ := p.expectKeyword("if")
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &ast.IfStmt{P: kw.Pos, Cond: cond, Then: then}
+	if p.acceptKeyword("else") {
+		if p.isKeyword("if") {
+			els, err := p.parseIfStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		} else {
+			els, err := p.parseStmtAsBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+// parseStmtAsBlock parses either a block or a single statement wrapped
+// into a block.
+func (p *parser) parseStmtAsBlock() (*ast.BlockStmt, error) {
+	if p.isPunct("{") {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.BlockStmt{P: s.Pos(), Stmts: []ast.Stmt{s}}, nil
+}
+
+func (p *parser) parseSwitchStmt() (ast.Stmt, error) {
+	kw, _ := p.expectKeyword("switch")
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	st := &ast.SwitchStmt{P: kw.Pos, Expr: e}
+	for !p.isPunct("}") {
+		c := ast.SwitchCase{P: p.peek().Pos}
+		if p.acceptKeyword("default") {
+			c.IsDefault = true
+		} else {
+			for {
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.Values = append(c.Values, v)
+				// "case a, b:" style lists.
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+		}
+		if _, err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		c.Body = body
+		st.Cases = append(st.Cases, c)
+	}
+	p.next() // }
+	return st, nil
+}
+
+// ----------------------------------------------------------------------------
+// Types and parameters
+
+func (p *parser) parseType() (ast.Type, error) {
+	t := p.peek()
+	var base ast.Type
+	switch {
+	case p.isKeyword("bit"):
+		p.next()
+		if _, err := p.expectPunct("<"); err != nil {
+			return nil, err
+		}
+		n, err := p.expectNumber()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(">"); err != nil {
+			return nil, err
+		}
+		if n.Value == 0 || n.Value > 2048 {
+			return nil, &Error{File: p.file, Pos: n.Pos, Msg: fmt.Sprintf("unsupported bit width %d", n.Value)}
+		}
+		base = &ast.BitType{P: t.Pos, Width: int(n.Value)}
+	case p.isKeyword("varbit"):
+		p.next()
+		if _, err := p.expectPunct("<"); err != nil {
+			return nil, err
+		}
+		n, err := p.expectNumber()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(">"); err != nil {
+			return nil, err
+		}
+		base = &ast.VarbitType{P: t.Pos, MaxWidth: int(n.Value)}
+	case p.isKeyword("bool"):
+		p.next()
+		base = &ast.BoolType{P: t.Pos}
+	case t.Kind == lexer.Ident:
+		p.next()
+		base = &ast.NamedType{P: t.Pos, Name: t.Text}
+	default:
+		return nil, p.errorf("expected type, found %s", t)
+	}
+	// Header stack suffix: T[4].
+	if p.isPunct("[") && p.peekAt(1).Kind == lexer.Number {
+		p.next()
+		n, err := p.expectNumber()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		if n.Value == 0 || n.Value > 64 {
+			return nil, &Error{File: p.file, Pos: n.Pos, Msg: fmt.Sprintf("unsupported stack size %d", n.Value)}
+		}
+		base = &ast.StackType{P: t.Pos, Elem: base, Size: int(n.Value)}
+	}
+	return base, nil
+}
+
+func (p *parser) parseParams() ([]ast.Param, error) {
+	var params []ast.Param
+	for !p.isPunct(")") {
+		dir := ast.DirNone
+		switch {
+		case p.acceptKeyword("in"):
+			dir = ast.DirIn
+		case p.acceptKeyword("out"):
+			dir = ast.DirOut
+		case p.acceptKeyword("inout"):
+			dir = ast.DirInOut
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, ast.Param{P: name.Pos, Dir: dir, T: t, Name: name.Text})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return params, nil
+}
+
+// ----------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+// binaryPrec follows C/P4-16 operator precedence (loosest first).
+var binaryPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"++": 9, "+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr() (ast.Expr, error) {
+	return p.parseBinary(1)
+}
+
+func (p *parser) parseBinary(minPrec int) (ast.Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != lexer.Punct {
+			return lhs, nil
+		}
+		prec, ok := binaryPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		// "<" and ">" are also generic brackets; inside expressions they
+		// are always comparisons in this dialect.
+		p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &ast.BinaryExpr{P: t.Pos, Op: t.Text, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	t := p.peek()
+	if t.Kind == lexer.Punct {
+		switch t.Text {
+		case "!", "~", "-":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.UnaryExpr{P: t.Pos, Op: t.Text, X: x}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (ast.Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch {
+		case p.isPunct("."):
+			p.next()
+			// Member may be an identifier or the keyword-like names
+			// apply/next/last used as members.
+			m := p.peek()
+			if m.Kind != lexer.Ident && m.Kind != lexer.Keyword {
+				return nil, p.errorf("expected member name after '.', found %s", m)
+			}
+			p.next()
+			e = &ast.FieldExpr{P: t.Pos, X: e, Name: m.Text}
+		case p.isPunct("["):
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.acceptPunct(":") {
+				lo, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expectPunct("]"); err != nil {
+					return nil, err
+				}
+				hiLit, ok1 := idx.(*ast.IntLit)
+				loLit, ok2 := lo.(*ast.IntLit)
+				if !ok1 || !ok2 {
+					return nil, &Error{File: p.file, Pos: t.Pos, Msg: "bit-slice bounds must be integer literals"}
+				}
+				if hiLit.Value < loLit.Value {
+					return nil, &Error{File: p.file, Pos: t.Pos, Msg: "bit-slice high bound below low bound"}
+				}
+				e = &ast.SliceExpr{P: t.Pos, X: e, Hi: int(hiLit.Value), Lo: int(loLit.Value)}
+			} else {
+				if _, err := p.expectPunct("]"); err != nil {
+					return nil, err
+				}
+				e = &ast.IndexExpr{P: t.Pos, X: e, Index: idx}
+			}
+		case p.isPunct("("):
+			p.next()
+			call := &ast.CallExpr{P: t.Pos, Fun: e}
+			for !p.isPunct(")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if _, err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			e = call
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == lexer.Number:
+		p.next()
+		return &ast.IntLit{P: t.Pos, Width: t.Width, Value: t.Value}, nil
+	case p.isKeyword("true"):
+		p.next()
+		return &ast.BoolLit{P: t.Pos, Value: true}, nil
+	case p.isKeyword("false"):
+		p.next()
+		return &ast.BoolLit{P: t.Pos, Value: false}, nil
+	case t.Kind == lexer.Ident:
+		p.next()
+		return &ast.Ident{P: t.Pos, Name: t.Text}, nil
+	case p.isPunct("("):
+		// Cast "(bit<16>) x" or parenthesized expression.
+		if p.peekAt(1).Kind == lexer.Keyword {
+			switch p.peekAt(1).Text {
+			case "bit", "bool", "varbit":
+				p.next()
+				ct, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				x, err := p.parseUnary()
+				if err != nil {
+					return nil, err
+				}
+				return &ast.CastExpr{P: t.Pos, T: ct, X: x}, nil
+			}
+		}
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errorf("expected expression, found %s", t)
+	}
+}

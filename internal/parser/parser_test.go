@@ -1,0 +1,341 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"microp4/internal/ast"
+)
+
+// fig8Main is the ModularRouter program from Fig. 8b of the paper,
+// lightly adapted to the dialect's concrete syntax.
+const fig8Main = `
+header ethernet_h {
+  bit<48> dstMac;
+  bit<48> srcMac;
+  bit<16> etherType;
+}
+
+struct hdr_t {
+  ethernet_h eth;
+}
+
+L3(pkt p, im_t im, out bit<16> nh, inout bit<16> etype);
+
+program ModularRouter : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.eth);
+      transition accept;
+    }
+  }
+  control C(pkt p, inout hdr_t h, inout empty_t m, im_t im) {
+    bit<16> nh;
+    L3() l3_i;
+    action drop_action() { im.drop(); }
+    action forward(bit<48> dmac, bit<48> smac, bit<8> port) {
+      h.eth.dstMac = dmac;
+      h.eth.srcMac = smac;
+      im.set_out_port(port);
+    }
+    table forward_tbl {
+      key = { nh : exact; }
+      actions = { forward; drop_action; }
+      default_action = drop_action;
+    }
+    apply {
+      l3_i.apply(p, im, nh, h.eth.etherType);
+      forward_tbl.apply();
+    }
+  }
+  control D(emitter em, pkt p, in hdr_t h) {
+    apply { em.emit(p, h.eth); }
+  }
+}
+
+ModularRouter(P, C, D) main;
+`
+
+func TestParseFig8(t *testing.T) {
+	f, err := ParseFile("fig8.up4", fig8Main)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	if len(f.Decls) != 5 {
+		t.Fatalf("got %d decls, want 5", len(f.Decls))
+	}
+	hdr, ok := f.Decls[0].(*ast.HeaderDecl)
+	if !ok || hdr.Name != "ethernet_h" || len(hdr.Fields) != 3 {
+		t.Errorf("decl 0 = %#v, want header ethernet_h with 3 fields", f.Decls[0])
+	}
+	if bt, ok := hdr.Fields[0].T.(*ast.BitType); !ok || bt.Width != 48 {
+		t.Errorf("eth field 0 type = %v, want bit<48>", hdr.Fields[0].T)
+	}
+	proto, ok := f.Decls[2].(*ast.ModuleProtoDecl)
+	if !ok || proto.Name != "L3" || len(proto.Params) != 4 {
+		t.Fatalf("decl 2 = %#v, want module prototype L3/4", f.Decls[2])
+	}
+	if proto.Params[2].Dir != ast.DirOut || proto.Params[2].Name != "nh" {
+		t.Errorf("L3 param 2 = %+v, want out nh", proto.Params[2])
+	}
+	prog, ok := f.Decls[3].(*ast.ProgramDecl)
+	if !ok || prog.Name != "ModularRouter" || prog.Interface != "Unicast" {
+		t.Fatalf("decl 3 = %#v, want program ModularRouter: Unicast", f.Decls[3])
+	}
+	if prog.Parser == nil || len(prog.Parser.States) != 1 {
+		t.Fatalf("program parser missing or wrong states: %#v", prog.Parser)
+	}
+	if len(prog.Controls) != 2 {
+		t.Fatalf("got %d controls, want 2", len(prog.Controls))
+	}
+	ctrl := prog.Controls[0]
+	if len(ctrl.Locals) != 5 {
+		t.Errorf("control C has %d locals, want 5 (var, inst, 2 actions, table)", len(ctrl.Locals))
+	}
+	var tbl *ast.TableDecl
+	for _, l := range ctrl.Locals {
+		if td, ok := l.(*ast.TableDecl); ok {
+			tbl = td
+		}
+	}
+	if tbl == nil || tbl.Name != "forward_tbl" {
+		t.Fatalf("forward_tbl not found")
+	}
+	if len(tbl.Keys) != 1 || tbl.Keys[0].MatchKind != "exact" {
+		t.Errorf("forward_tbl keys = %+v", tbl.Keys)
+	}
+	if len(tbl.Actions) != 2 || tbl.DefaultAction == nil || tbl.DefaultAction.Name != "drop_action" {
+		t.Errorf("forward_tbl actions = %+v default = %+v", tbl.Actions, tbl.DefaultAction)
+	}
+	inst, ok := f.Decls[4].(*ast.InstantiationDecl)
+	if !ok || inst.TypeName != "ModularRouter" || inst.Name != "main" || len(inst.Args) != 3 {
+		t.Errorf("decl 4 = %#v, want ModularRouter(P,C,D) main", f.Decls[4])
+	}
+}
+
+func TestParseSelectTransition(t *testing.T) {
+	src := `
+program X : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) {
+        0x0800: parse_ipv4;
+        0x86DD &&& 0xFFFF: parse_ipv6;
+        default: accept;
+      };
+    }
+    state parse_ipv4 { ex.extract(p, h.ipv4); transition accept; }
+    state parse_ipv6 { ex.extract(p, h.ipv6); transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.eth); } }
+}
+`
+	f, err := ParseFile("sel.up4", src)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	prog := f.Decls[0].(*ast.ProgramDecl)
+	sel, ok := prog.Parser.States[0].Trans.(*ast.SelectTransition)
+	if !ok {
+		t.Fatalf("start transition is %#v, want select", prog.Parser.States[0].Trans)
+	}
+	if len(sel.Cases) != 3 {
+		t.Fatalf("got %d cases, want 3", len(sel.Cases))
+	}
+	if sel.Cases[1].Masks[0] == nil {
+		t.Errorf("case 1 should have a mask")
+	}
+	if !sel.Cases[2].IsDefault || sel.Cases[2].Target != "accept" {
+		t.Errorf("case 2 = %+v, want default: accept", sel.Cases[2])
+	}
+}
+
+func TestParseSwitchAndIf(t *testing.T) {
+	src := `
+program X : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start { transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, im_t im, out bit<16> nh, inout bit<16> etype) {
+    ipv4() ipv4_i;
+    ipv6() ipv6_i;
+    apply {
+      switch (etype) {
+        0x0800: ipv4_i.apply(p, im, nh);
+        0x86DD: { ipv6_i.apply(p, im, nh); }
+        default: { nh = 0; }
+      }
+      if (nh == 0 && etype != 0x86DD) {
+        nh = 1;
+      } else if (nh > 5) {
+        nh = 2;
+      } else {
+        nh = 3;
+      }
+    }
+  }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}
+`
+	f, err := ParseFile("sw.up4", src)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	ctrl := f.Decls[0].(*ast.ProgramDecl).Controls[0]
+	sw, ok := ctrl.Apply.Stmts[0].(*ast.SwitchStmt)
+	if !ok || len(sw.Cases) != 3 {
+		t.Fatalf("stmt 0 = %#v, want switch with 3 cases", ctrl.Apply.Stmts[0])
+	}
+	ifs, ok := ctrl.Apply.Stmts[1].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("stmt 1 = %#v, want if", ctrl.Apply.Stmts[1])
+	}
+	elif, ok := ifs.Else.(*ast.IfStmt)
+	if !ok || elif.Else == nil {
+		t.Fatalf("else-if chain not parsed: %#v", ifs.Else)
+	}
+}
+
+func TestParseTableEntries(t *testing.T) {
+	src := `
+program X : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h) { state start { transition accept; } }
+  control C(pkt p, inout hdr_t h, im_t im) {
+    action a1(bit<8> x) { h.f = x; }
+    action a2() { }
+    table t {
+      key = { h.a : exact; h.b : ternary; h.c : lpm; }
+      actions = { a1; a2; }
+      const entries = {
+        (0x0800, _, 0x6) : a1(1);
+        (0x86DD, 0xFF &&& 0x0F, _) : a2();
+      }
+      size = 128;
+      default_action = a2();
+    }
+    apply { t.apply(); }
+  }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}
+`
+	f, err := ParseFile("entries.up4", src)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	ctrl := f.Decls[0].(*ast.ProgramDecl).Controls[0]
+	var tbl *ast.TableDecl
+	for _, l := range ctrl.Locals {
+		if td, ok := l.(*ast.TableDecl); ok {
+			tbl = td
+		}
+	}
+	if tbl == nil {
+		t.Fatal("table t not found")
+	}
+	if len(tbl.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(tbl.Entries))
+	}
+	e0 := tbl.Entries[0]
+	if len(e0.Keys) != 3 || !e0.Keys[1].DontCare || e0.Keys[2].DontCare {
+		t.Errorf("entry 0 keys = %+v", e0.Keys)
+	}
+	if e0.Action.Name != "a1" || len(e0.Action.Args) != 1 {
+		t.Errorf("entry 0 action = %+v", e0.Action)
+	}
+	if tbl.Entries[1].Keys[1].Mask == nil {
+		t.Errorf("entry 1 key 1 should have mask")
+	}
+	if tbl.Size != 128 {
+		t.Errorf("size = %d, want 128", tbl.Size)
+	}
+}
+
+func TestParseHeaderStackAndSlice(t *testing.T) {
+	src := `
+header label_h { bit<20> label; bit<3> tc; bit<1> s; bit<8> ttl; }
+struct hdr_t { label_h[4] labels; }
+program X : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start { ex.extract(p, h.labels.next); transition select(h.labels.last.s) { 1 : accept; default : start; }; }
+  }
+  control C(pkt p, inout hdr_t h, im_t im) {
+    apply {
+      h.labels[0].ttl = h.labels[0].ttl - 1;
+      h.labels[1].label = (bit<20>) h.labels[0].label[19:4] ++ 4w0;
+    }
+  }
+  control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.labels); } }
+}
+`
+	f, err := ParseFile("stack.up4", src)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	st := f.Decls[1].(*ast.StructDecl)
+	stk, ok := st.Fields[0].T.(*ast.StackType)
+	if !ok || stk.Size != 4 {
+		t.Fatalf("labels type = %v, want label_h[4]", st.Fields[0].T)
+	}
+	ctrl := f.Decls[2].(*ast.ProgramDecl).Controls[0]
+	asg := ctrl.Apply.Stmts[1].(*ast.AssignStmt)
+	bin, ok := asg.RHS.(*ast.BinaryExpr)
+	if !ok || bin.Op != "++" {
+		t.Fatalf("rhs = %#v, want concat", asg.RHS)
+	}
+	cast, ok := bin.X.(*ast.CastExpr)
+	if !ok {
+		t.Fatalf("concat lhs = %#v, want cast", bin.X)
+	}
+	if _, ok := cast.X.(*ast.SliceExpr); !ok {
+		t.Errorf("cast operand = %#v, want slice", cast.X)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"header H {",
+		"program X { }",
+		"program X : implements Unicast { parser P() { state start { transition accept; } } parser Q() { state start { transition accept; } } control C(pkt p) { apply {} } }",
+		"program X : implements Unicast { control C(pkt p) { } }",
+		"header H { bit<0> f; }",
+		"program X : implements Unicast { control C(pkt p) { apply { 1 + 2; } } }",
+		"program X : implements Unicast { control C(pkt p) { table t { key = { x : bogus; } } apply { } } }",
+	}
+	for _, src := range cases {
+		if _, err := ParseFile("bad.up4", src); err == nil {
+			t.Errorf("ParseFile(%q...) succeeded, want error", firstLine(src))
+		}
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	e, err := ParseExpr("a + b * c == d << 2 | e")
+	if err != nil {
+		t.Fatalf("ParseExpr: %v", err)
+	}
+	// Expect: ((a + (b*c)) == (d<<2)) | e
+	or, ok := e.(*ast.BinaryExpr)
+	if !ok || or.Op != "|" {
+		t.Fatalf("top = %#v, want |", e)
+	}
+	eq, ok := or.X.(*ast.BinaryExpr)
+	if !ok || eq.Op != "==" {
+		t.Fatalf("or.X = %#v, want ==", or.X)
+	}
+	add, ok := eq.X.(*ast.BinaryExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("eq.X = %#v, want +", eq.X)
+	}
+	if mul, ok := add.Y.(*ast.BinaryExpr); !ok || mul.Op != "*" {
+		t.Errorf("add.Y = %#v, want *", add.Y)
+	}
+}

@@ -1,0 +1,66 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestNoPanicOnGarbage feeds the parser mutated and truncated variants
+// of valid source plus raw noise: it must return errors, never panic.
+func TestNoPanicOnGarbage(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	corpus := []string{fig8Main, `
+program X : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start { transition select(h.a) { 1: accept; }; }
+  }
+  control C(pkt p) { apply { if (a == 1) { b = 2; } } }
+}`,
+	}
+	tokens := []string{"{", "}", "(", ")", ";", "bit<8>", "state", "transition",
+		"select", "table", "key", "actions", "apply", "0x", "&&&", "++", "program"}
+	for trial := 0; trial < 3000; trial++ {
+		src := corpus[r.Intn(len(corpus))]
+		switch r.Intn(4) {
+		case 0: // truncate
+			if len(src) > 0 {
+				src = src[:r.Intn(len(src))]
+			}
+		case 1: // splice a random token somewhere
+			pos := r.Intn(len(src) + 1)
+			src = src[:pos] + tokens[r.Intn(len(tokens))] + src[pos:]
+		case 2: // delete a random chunk
+			if len(src) > 10 {
+				a := r.Intn(len(src) - 10)
+				b := a + r.Intn(10)
+				src = src[:a] + src[b:]
+			}
+		case 3: // random bytes
+			n := r.Intn(200)
+			var b strings.Builder
+			for i := 0; i < n; i++ {
+				b.WriteByte(byte(r.Intn(128)))
+			}
+			src = b.String()
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on input %q: %v", src, p)
+				}
+			}()
+			_, _ = ParseFile("fuzz.up4", src)
+		}()
+	}
+}
+
+// TestDeepNestingBounded ensures pathological nesting errors out (or
+// parses) without exhausting the stack.
+func TestDeepNestingBounded(t *testing.T) {
+	depth := 500
+	src := "program X : implements Unicast { control C(pkt p) { apply { " +
+		strings.Repeat("if (true) { ", depth) +
+		"a = 1;" + strings.Repeat(" }", depth) + " } } }"
+	_, _ = ParseFile("deep.up4", src) // must terminate
+}

@@ -1,0 +1,388 @@
+// Package pdg implements µP4C's preprocessing for multi-packet programs
+// (§5.4, §C): it builds a Program Dependence Graph over a control block,
+// computes packet slices per pkt instance (Fig. 13), extracts per-packet
+// threads, and assembles the Packet-Processing Schedule (PPS) that the
+// backend realizes with target replication primitives (e.g. V1Model
+// clone).
+package pdg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"microp4/internal/ir"
+)
+
+// Node is one statement of the control block.
+type Node struct {
+	ID     int
+	Stmt   *ir.Stmt
+	Reads  []string
+	Writes []string
+	// PktUse names the pkt instance this node processes ("" if none):
+	// the packet argument of a module call, the source/target of a
+	// copy_from, or the enqueued packet.
+	PktUse string
+	// PktInit is set on copy_from nodes: the node initializes PktUse.
+	PktInit bool
+	CtrlDep int // enclosing conditional node id, -1 at top level
+}
+
+// Graph is the PDG of one control block.
+type Graph struct {
+	Nodes []*Node
+	// PktInstances lists the pkt instances in play: "$pkt" plus locals.
+	PktInstances []string
+	externs      map[string]bool // pkt and im_t instances (dependence units)
+}
+
+// Build constructs the PDG of prog's apply block.
+func Build(prog *ir.Program) *Graph {
+	g := &Graph{}
+	pkts := map[string]bool{"$pkt": true}
+	externs := map[string]bool{"$im": true}
+	for _, inst := range prog.Instances {
+		if inst.Extern == "pkt" {
+			pkts[inst.Name] = true
+		}
+		if inst.Extern == "pkt" || inst.Extern == "im_t" {
+			externs[inst.Name] = true
+		}
+	}
+	for p := range pkts {
+		g.PktInstances = append(g.PktInstances, p)
+	}
+	sort.Strings(g.PktInstances)
+	g.externs = externs
+
+	var walk func(ss []*ir.Stmt, ctrl int)
+	walk = func(ss []*ir.Stmt, ctrl int) {
+		for _, s := range ss {
+			n := &Node{ID: len(g.Nodes), Stmt: s, CtrlDep: ctrl}
+			g.Nodes = append(g.Nodes, n)
+			reads := map[string]bool{}
+			writes := map[string]bool{}
+			collectExpr := func(e *ir.Expr) {
+				if e == nil {
+					return
+				}
+				e.Walk(func(x *ir.Expr) {
+					if x.Kind == ir.ERef {
+						reads[x.Ref] = true
+					}
+					if x.Kind == ir.EIsValid {
+						reads[x.Ref+".$valid"] = true
+					}
+				})
+			}
+			switch s.Kind {
+			case ir.SAssign:
+				collectExpr(s.RHS)
+				if s.LHS.Kind == ir.ERef {
+					writes[s.LHS.Ref] = true
+					delete(reads, s.LHS.Ref)
+				} else {
+					collectExpr(s.LHS)
+				}
+			case ir.SCallModule:
+				// A module call reads and mutates its packet and im, and
+				// touches its data arguments per direction.
+				n.PktUse = s.PktArg
+				reads[s.PktArg] = true
+				writes[s.PktArg] = true
+				reads[s.ImArg] = true
+				writes[s.ImArg] = true
+				for _, a := range s.Args {
+					if a.Dir == "in" || a.Dir == "inout" || a.Dir == "" {
+						collectExpr(a.Expr)
+					}
+					if (a.Dir == "out" || a.Dir == "inout") && a.Expr.Kind == ir.ERef {
+						writes[a.Expr.Ref] = true
+					}
+				}
+			case ir.SMethod:
+				switch s.Method {
+				case "pkt_copy_from":
+					n.PktUse = s.Target
+					n.PktInit = true
+					writes[s.Target] = true
+					if len(s.Args) > 0 && s.Args[0].Expr.Kind == ir.ERef {
+						reads[s.Args[0].Expr.Ref] = true
+					}
+				case "im_copy_from":
+					writes[s.Target] = true
+					if len(s.Args) > 0 && s.Args[0].Expr.Kind == ir.ERef {
+						reads[s.Args[0].Expr.Ref] = true
+					}
+				case "out_buf_enqueue":
+					if len(s.Args) > 0 && s.Args[0].Expr.Kind == ir.ERef {
+						n.PktUse = s.Args[0].Expr.Ref
+						reads[n.PktUse] = true
+					}
+					if len(s.Args) > 1 && s.Args[1].Expr.Kind == ir.ERef {
+						reads[s.Args[1].Expr.Ref] = true
+					}
+				default:
+					for _, a := range s.Args {
+						collectExpr(a.Expr)
+					}
+					if s.Target != "" {
+						writes[s.Target] = true
+					}
+				}
+			case ir.SApplyTable:
+				if tbl := prog.Tables[s.Table]; tbl != nil {
+					for _, k := range tbl.Keys {
+						collectExpr(k.Expr)
+					}
+					for _, an := range tbl.Actions {
+						if act := prog.Actions[an]; act != nil {
+							ir.WalkStmts(act.Body, func(as *ir.Stmt) {
+								collectExpr(as.RHS)
+								collectExpr(as.Cond)
+								if as.Kind == ir.SAssign && as.LHS.Kind == ir.ERef {
+									writes[as.LHS.Ref] = true
+								}
+							})
+						}
+					}
+				}
+			case ir.SIf, ir.SSwitch:
+				collectExpr(s.Cond)
+				walk(s.Then, n.ID)
+				walk(s.Else, n.ID)
+				for _, c := range s.Cases {
+					walk(c.Body, n.ID)
+				}
+			case ir.SSetValid, ir.SSetInvalid:
+				writes[s.Hdr+".$valid"] = true
+			}
+			// Extern-instance fields (it.out_port, $im.meta.*) fold onto
+			// their instance for dependence purposes.
+			n.Reads = normalize(reads, externs)
+			n.Writes = normalize(writes, externs)
+		}
+	}
+	walk(prog.Apply, -1)
+	return g
+}
+
+// normalize folds extern-instance field paths onto their instance.
+func normalize(m map[string]bool, externs map[string]bool) []string {
+	set := map[string]bool{}
+	for k := range m {
+		folded := k
+		if i := strings.IndexByte(k, '.'); i > 0 && externs[k[:i]] {
+			folded = k[:i]
+		}
+		set[folded] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Slices computes the packet slice of every pkt instance (§C): the
+// executable subset of the PDG affecting the instance's value — a
+// backward closure over data and control dependences from every
+// statement using the instance.
+func (g *Graph) Slices() map[string][]int {
+	// defs[i][sym] — whether node i writes sym.
+	writes := make([]map[string]bool, len(g.Nodes))
+	for i, n := range g.Nodes {
+		writes[i] = map[string]bool{}
+		for _, w := range n.Writes {
+			writes[i][w] = true
+		}
+	}
+	out := make(map[string][]int)
+	for _, pktName := range g.PktInstances {
+		inSlice := make(map[int]bool)
+		var work []int
+		for _, n := range g.Nodes {
+			if n.PktUse == pktName {
+				work = append(work, n.ID)
+			}
+		}
+		isPkt := make(map[string]bool, len(g.PktInstances))
+		for _, p := range g.PktInstances {
+			isPkt[p] = true
+		}
+		for len(work) > 0 {
+			id := work[len(work)-1]
+			work = work[:len(work)-1]
+			if inSlice[id] {
+				continue
+			}
+			inSlice[id] = true
+			n := g.Nodes[id]
+			// Nodes processing a different pkt instance are slice
+			// frontier: included (they define values this slice uses)
+			// but not traversed through — their own dependencies belong
+			// to that instance's thread (§C, Fig. 13: prog.apply carries
+			// labels "2,1" while pt's copy stays in slice 3 only).
+			if n.PktUse != "" && n.PktUse != pktName {
+				continue
+			}
+			// Control dependence.
+			if n.CtrlDep >= 0 && !inSlice[n.CtrlDep] {
+				work = append(work, n.CtrlDep)
+			}
+			// Data dependence: every earlier definition of a read symbol.
+			for _, r := range n.Reads {
+				if isPkt[r] && r != pktName {
+					continue
+				}
+				for j := id - 1; j >= 0; j-- {
+					if writes[j][r] && !inSlice[j] {
+						work = append(work, j)
+					}
+				}
+			}
+		}
+		ids := make([]int, 0, len(inSlice))
+		for id := range inSlice {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		out[pktName] = ids
+	}
+	return out
+}
+
+// Thread is the per-packet-instance sub-program of the PPS.
+type Thread struct {
+	Pkt   string
+	Nodes []int
+}
+
+// PPS is the Packet-Processing Schedule: threads plus common (CPS)
+// nodes, with inter-thread dependence edges, topologically ordered.
+type PPS struct {
+	Threads []Thread
+	CPS     []int       // nodes shared by multiple slices with no pkt use
+	Edges   [][2]string // thread dependence edges (from, to)
+	Order   []string    // serialized thread order
+}
+
+// BuildPPS extracts threads from the slices and checks serializability
+// (§C): read-after-write dependences between threads must form a DAG.
+// Anti-dependences through a thread's initializing copy_from are
+// resolved by the copy itself — the realization's clone primitive
+// snapshots the packet — and do not create edges.
+func (g *Graph) BuildPPS() (*PPS, error) {
+	slices := g.Slices()
+	pps := &PPS{}
+	owner := make(map[int]string) // node -> owning thread
+	for _, n := range g.Nodes {
+		if n.PktUse != "" {
+			owner[n.ID] = n.PktUse
+		}
+	}
+	// Shared, pkt-free nodes are CPS; exclusive pkt-free nodes join
+	// their only slice's thread.
+	sliceCount := make(map[int]int)
+	sliceOf := make(map[int]string)
+	for pkt, ids := range slices {
+		for _, id := range ids {
+			sliceCount[id]++
+			sliceOf[id] = pkt
+		}
+	}
+	for _, n := range g.Nodes {
+		if owner[n.ID] != "" {
+			continue
+		}
+		switch {
+		case sliceCount[n.ID] == 1:
+			owner[n.ID] = sliceOf[n.ID]
+		case sliceCount[n.ID] > 1:
+			pps.CPS = append(pps.CPS, n.ID)
+		}
+	}
+	byThread := make(map[string][]int)
+	for id, th := range owner {
+		byThread[th] = append(byThread[th], id)
+	}
+	for _, pkt := range g.PktInstances {
+		ids := byThread[pkt]
+		sort.Ints(ids)
+		pps.Threads = append(pps.Threads, Thread{Pkt: pkt, Nodes: ids})
+	}
+	sort.Ints(pps.CPS)
+
+	// Inter-thread read-after-write edges.
+	lastWriter := make(map[string]int)
+	edgeSet := make(map[[2]string]bool)
+	for _, n := range g.Nodes {
+		for _, r := range n.Reads {
+			if w, ok := lastWriter[r]; ok {
+				from, to := owner[w], owner[n.ID]
+				if from != "" && to != "" && from != to && !g.Nodes[n.ID].PktInit {
+					edgeSet[[2]string{from, to}] = true
+				}
+			}
+		}
+		for _, w := range n.Writes {
+			lastWriter[w] = n.ID
+		}
+	}
+	for e := range edgeSet {
+		pps.Edges = append(pps.Edges, e)
+	}
+	sort.Slice(pps.Edges, func(i, j int) bool {
+		if pps.Edges[i][0] != pps.Edges[j][0] {
+			return pps.Edges[i][0] < pps.Edges[j][0]
+		}
+		return pps.Edges[i][1] < pps.Edges[j][1]
+	})
+
+	// Topological order over threads; a cycle means the PPS is not
+	// serializable on targets without concurrent multi-copy processing.
+	order, err := topo(g.PktInstances, pps.Edges)
+	if err != nil {
+		return nil, err
+	}
+	pps.Order = order
+	return pps, nil
+}
+
+func topo(nodes []string, edges [][2]string) ([]string, error) {
+	indeg := make(map[string]int)
+	adj := make(map[string][]string)
+	for _, n := range nodes {
+		indeg[n] = 0
+	}
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		indeg[e[1]]++
+	}
+	var ready []string
+	for _, n := range nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Strings(ready)
+	var order []string
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		for _, m := range adj[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+			}
+		}
+		sort.Strings(ready)
+	}
+	if len(order) != len(nodes) {
+		return nil, fmt.Errorf("packet-processing schedule has a dependence cycle among threads %v; it is not serializable (§C)", nodes)
+	}
+	return order, nil
+}

@@ -1,0 +1,179 @@
+package pdg
+
+import (
+	"reflect"
+	"testing"
+
+	"microp4/internal/frontend"
+	"microp4/internal/ir"
+)
+
+// fig13Src is the A-B validation program of Fig. 13 (§C): the packet is
+// copied for a mirror (pm) and a test run (pt); the production program
+// processes p, the test program processes pt, and mismatching results
+// are logged using the pristine copy pm. (The figure's
+// `im.set_out_port(DROP)` is written against the test copy's metadata
+// `it`, consistent with its slice-3 annotation.)
+const fig13Src = `
+struct empty_t { }
+struct nohdr_t { }
+Prog(pkt p, im_t im, out bit<32> res);
+Test(pkt p, im_t im, out bit<32> res);
+Log(pkt p, im_t im, in bit<32> a, in bit<32> b);
+program Validate : implements Orchestration {
+  control C(pkt p, inout nohdr_t h, inout empty_t m, im_t im, out_buf ob) {
+    pkt pm;
+    pkt pt;
+    im_t imm;
+    im_t it;
+    bit<32> hp;
+    bit<32> ht;
+    Prog() prog_i;
+    Test() test_i;
+    Log() log_i;
+    apply {
+      pm.copy_from(p);
+      imm.copy_from(im);
+      pt.copy_from(p);
+      it.copy_from(im);
+      prog_i.apply(p, im, hp);
+      test_i.apply(pt, it, ht);
+      if (hp != ht) {
+        log_i.apply(pm, imm, hp, ht);
+        ob.enqueue(pm, imm);
+      }
+      it.set_out_port(DROP);
+      ob.enqueue(p, im);
+      ob.enqueue(pt, it);
+    }
+  }
+}
+Validate(C) main;
+`
+
+func buildFig13(t *testing.T) (*ir.Program, *Graph) {
+	t.Helper()
+	p, err := frontend.CompileModule("fig13.up4", fig13Src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p, Build(p)
+}
+
+// node indices in the apply block (flattened pre-order):
+//
+//	0 pm.copy_from(p)      5 test_i.apply(pt,it,ht)   9  it.set_out_port(DROP)
+//	1 imm.copy_from(im)    6 if (hp != ht)            10 ob.enqueue(p,im)
+//	2 pt.copy_from(p)      7 log_i.apply(pm,imm,...)  11 ob.enqueue(pt,it)
+//	3 it.copy_from(im)     8 ob.enqueue(pm,imm)
+//	4 prog_i.apply(p,im,hp)
+func TestFigure13Slicing(t *testing.T) {
+	_, g := buildFig13(t)
+	if len(g.Nodes) != 12 {
+		for _, n := range g.Nodes {
+			t.Logf("node %d: %s", n.ID, ir.StmtString(n.Stmt))
+		}
+		t.Fatalf("got %d nodes, want 12", len(g.Nodes))
+	}
+	slices := g.Slices()
+	want := map[string][]int{
+		"pm":   {0, 1, 4, 5, 6, 7, 8}, // the figure's slice 1
+		"$pkt": {4, 10},               // slice 2
+		"pt":   {2, 3, 5, 9, 11},      // slice 3
+	}
+	for pkt, ids := range want {
+		if !reflect.DeepEqual(slices[pkt], ids) {
+			t.Errorf("slice(%s) = %v, want %v", pkt, slices[pkt], ids)
+		}
+	}
+	// Overlaps: prog.apply is in slices 2 and 1; test.apply in 3 and 1
+	// (the figure's "2,1" and "3,1" annotations).
+	if !containsInt(slices["pm"], 4) || !containsInt(slices["$pkt"], 4) {
+		t.Error("prog.apply should be in both pm's and p's slices")
+	}
+	if !containsInt(slices["pm"], 5) || !containsInt(slices["pt"], 5) {
+		t.Error("test.apply should be in both pm's and pt's slices")
+	}
+}
+
+func TestFigure13PPS(t *testing.T) {
+	_, g := buildFig13(t)
+	pps, err := g.BuildPPS()
+	if err != nil {
+		t.Fatalf("BuildPPS: %v", err)
+	}
+	if len(pps.Threads) != 3 {
+		t.Fatalf("got %d threads, want 3: %+v", len(pps.Threads), pps.Threads)
+	}
+	byPkt := map[string][]int{}
+	for _, th := range pps.Threads {
+		byPkt[th.Pkt] = th.Nodes
+	}
+	// Cross-instance calls belong to the thread of the packet they
+	// process (§C: such calls are excluded from other threads).
+	if !reflect.DeepEqual(byPkt["$pkt"], []int{4, 10}) {
+		t.Errorf("thread($pkt) = %v, want [4 10]", byPkt["$pkt"])
+	}
+	if !reflect.DeepEqual(byPkt["pt"], []int{2, 3, 5, 9, 11}) {
+		t.Errorf("thread(pt) = %v, want [2 3 5 9 11]", byPkt["pt"])
+	}
+	if !reflect.DeepEqual(byPkt["pm"], []int{0, 1, 6, 7, 8}) {
+		t.Errorf("thread(pm) = %v, want [0 1 6 7 8]", byPkt["pm"])
+	}
+	// The production and test threads feed the mirror thread (hp, ht).
+	wantEdges := [][2]string{{"$pkt", "pm"}, {"pt", "pm"}}
+	if !reflect.DeepEqual(pps.Edges, wantEdges) {
+		t.Errorf("edges = %v, want %v", pps.Edges, wantEdges)
+	}
+	// Serializable: production first, then test, then the mirror.
+	if !reflect.DeepEqual(pps.Order, []string{"$pkt", "pt", "pm"}) {
+		t.Errorf("order = %v, want [$pkt pt pm]", pps.Order)
+	}
+}
+
+// TestPPSCycleDetection builds a program whose threads mutually depend
+// on each other's results — not serializable.
+func TestPPSCycleDetection(t *testing.T) {
+	src := `
+struct empty_t { }
+struct nohdr_t { }
+F(pkt p, im_t im, in bit<32> x, out bit<32> y);
+program Cyclic : implements Orchestration {
+  control C(pkt p, inout nohdr_t h, inout empty_t m, im_t im, out_buf ob) {
+    pkt pa;
+    bit<32> a;
+    bit<32> b;
+    F() f1;
+    F() f2;
+    apply {
+      pa.copy_from(p);
+      a = 0;
+      b = 0;
+      f1.apply(p, im, b, a);   // thread $pkt reads b, writes a
+      f2.apply(pa, im, a, b);  // thread pa reads a, writes b
+      f1.apply(p, im, b, a);   // thread $pkt reads b again: pa -> $pkt
+      ob.enqueue(p, im);
+      ob.enqueue(pa, im);
+    }
+  }
+}
+Cyclic(C) main;
+`
+	p, err := frontend.CompileModule("cyc.up4", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	g := Build(p)
+	if _, err := g.BuildPPS(); err == nil {
+		t.Error("BuildPPS accepted a cyclic packet-processing schedule")
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,222 @@
+// Package pkt builds and inspects test packets for the protocols used by
+// the module library (Ethernet, IPv4, IPv6, MPLS, TCP, UDP, SRv6). It is
+// a deliberately small, allocation-friendly encoder in the spirit of
+// gopacket's SerializeLayers: layers are appended outermost-first.
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherTypes.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeIPv6 = 0x86DD
+	EtherTypeMPLS = 0x8847
+)
+
+// IP protocol numbers.
+const (
+	ProtoTCP     = 6
+	ProtoUDP     = 17
+	ProtoSRv6    = 43 // routing extension header
+	ProtoIPv4    = 4
+	ProtoICMPv6  = 58
+	ProtoNoNext  = 59
+	ProtoUnknown = 253
+)
+
+// Builder accumulates packet bytes.
+type Builder struct {
+	buf []byte
+}
+
+// NewBuilder returns an empty packet builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Bytes returns the built packet.
+func (b *Builder) Bytes() []byte { return b.buf }
+
+// Ethernet appends an Ethernet header.
+func (b *Builder) Ethernet(dst, src uint64, etherType uint16) *Builder {
+	var h [14]byte
+	putUint48(h[0:6], dst)
+	putUint48(h[6:12], src)
+	binary.BigEndian.PutUint16(h[12:14], etherType)
+	b.buf = append(b.buf, h[:]...)
+	return b
+}
+
+// IPv4Opts configures an IPv4 header.
+type IPv4Opts struct {
+	TTL      uint8
+	Protocol uint8
+	Src, Dst uint32
+	TotalLen uint16 // 0 = filled at Finish time by caller if needed
+	ID       uint16
+	DSCP     uint8
+}
+
+// IPv4 appends a 20-byte IPv4 header.
+func (b *Builder) IPv4(o IPv4Opts) *Builder {
+	var h [20]byte
+	h[0] = 0x45 // version 4, IHL 5
+	h[1] = o.DSCP << 2
+	binary.BigEndian.PutUint16(h[2:4], o.TotalLen)
+	binary.BigEndian.PutUint16(h[4:6], o.ID)
+	h[8] = o.TTL
+	h[9] = o.Protocol
+	binary.BigEndian.PutUint32(h[12:16], o.Src)
+	binary.BigEndian.PutUint32(h[16:20], o.Dst)
+	b.buf = append(b.buf, h[:]...)
+	return b
+}
+
+// IPv6Opts configures an IPv6 header. Addresses are (hi, lo) 64-bit
+// halves, matching the library's split address fields.
+type IPv6Opts struct {
+	NextHdr      uint8
+	HopLimit     uint8
+	SrcHi, SrcLo uint64
+	DstHi, DstLo uint64
+	PayloadLen   uint16
+	TrafficClass uint8
+	FlowLabel    uint32
+}
+
+// IPv6 appends a 40-byte IPv6 header.
+func (b *Builder) IPv6(o IPv6Opts) *Builder {
+	var h [40]byte
+	h[0] = 0x60 | o.TrafficClass>>4
+	h[1] = o.TrafficClass<<4 | uint8(o.FlowLabel>>16)
+	binary.BigEndian.PutUint16(h[2:4], uint16(o.FlowLabel))
+	binary.BigEndian.PutUint16(h[4:6], o.PayloadLen)
+	h[6] = o.NextHdr
+	h[7] = o.HopLimit
+	binary.BigEndian.PutUint64(h[8:16], o.SrcHi)
+	binary.BigEndian.PutUint64(h[16:24], o.SrcLo)
+	binary.BigEndian.PutUint64(h[24:32], o.DstHi)
+	binary.BigEndian.PutUint64(h[32:40], o.DstLo)
+	b.buf = append(b.buf, h[:]...)
+	return b
+}
+
+// MPLS appends one 4-byte MPLS label-stack entry.
+func (b *Builder) MPLS(label uint32, tc uint8, bottom bool, ttl uint8) *Builder {
+	var h [4]byte
+	v := label<<12 | uint32(tc&7)<<9 | uint32(ttl)
+	if bottom {
+		v |= 1 << 8
+	}
+	binary.BigEndian.PutUint32(h[:], v)
+	b.buf = append(b.buf, h[:]...)
+	return b
+}
+
+// SRv6 appends a segment-routing header with the given 128-bit segments
+// (each a (hi, lo) pair), segments-left, and next header.
+func (b *Builder) SRv6(nextHdr uint8, segmentsLeft uint8, segs [][2]uint64) *Builder {
+	n := len(segs)
+	h := make([]byte, 8+16*n)
+	h[0] = nextHdr
+	h[1] = uint8(2 * n) // Hdr Ext Len in 8-byte units
+	h[2] = 4            // routing type: SRH
+	h[3] = segmentsLeft
+	h[4] = uint8(n - 1) // last entry
+	for i, s := range segs {
+		binary.BigEndian.PutUint64(h[8+16*i:], s[0])
+		binary.BigEndian.PutUint64(h[16+16*i:], s[1])
+	}
+	b.buf = append(b.buf, h...)
+	return b
+}
+
+// TCP appends a 20-byte TCP header.
+func (b *Builder) TCP(sport, dport uint16) *Builder {
+	var h [20]byte
+	binary.BigEndian.PutUint16(h[0:2], sport)
+	binary.BigEndian.PutUint16(h[2:4], dport)
+	h[12] = 5 << 4 // data offset
+	b.buf = append(b.buf, h[:]...)
+	return b
+}
+
+// UDP appends an 8-byte UDP header.
+func (b *Builder) UDP(sport, dport, length uint16) *Builder {
+	var h [8]byte
+	binary.BigEndian.PutUint16(h[0:2], sport)
+	binary.BigEndian.PutUint16(h[2:4], dport)
+	binary.BigEndian.PutUint16(h[4:6], length)
+	b.buf = append(b.buf, h[:]...)
+	return b
+}
+
+// Payload appends raw bytes.
+func (b *Builder) Payload(p []byte) *Builder {
+	b.buf = append(b.buf, p...)
+	return b
+}
+
+func putUint48(dst []byte, v uint64) {
+	dst[0] = byte(v >> 40)
+	dst[1] = byte(v >> 32)
+	dst[2] = byte(v >> 24)
+	dst[3] = byte(v >> 16)
+	dst[4] = byte(v >> 8)
+	dst[5] = byte(v)
+}
+
+// ----------------------------------------------------------------------------
+// Decoding helpers for assertions
+
+// EthDst returns the destination MAC of an Ethernet frame.
+func EthDst(p []byte) uint64 { return uint48(p[0:6]) }
+
+// EthSrc returns the source MAC.
+func EthSrc(p []byte) uint64 { return uint48(p[6:12]) }
+
+// EthType returns the EtherType.
+func EthType(p []byte) uint16 { return binary.BigEndian.Uint16(p[12:14]) }
+
+// IPv4TTL returns the TTL of the IPv4 header at offset off.
+func IPv4TTL(p []byte, off int) uint8 { return p[off+8] }
+
+// IPv4Dst returns the destination address of the IPv4 header at off.
+func IPv4Dst(p []byte, off int) uint32 { return binary.BigEndian.Uint32(p[off+16 : off+20]) }
+
+// IPv4Src returns the source address of the IPv4 header at off.
+func IPv4Src(p []byte, off int) uint32 { return binary.BigEndian.Uint32(p[off+12 : off+16]) }
+
+// IPv6HopLimit returns the hop limit of the IPv6 header at off.
+func IPv6HopLimit(p []byte, off int) uint8 { return p[off+7] }
+
+// IPv6DstHi returns the high 64 bits of the IPv6 destination at off.
+func IPv6DstHi(p []byte, off int) uint64 { return binary.BigEndian.Uint64(p[off+24 : off+32]) }
+
+// IPv6DstLo returns the low 64 bits of the IPv6 destination at off.
+func IPv6DstLo(p []byte, off int) uint64 { return binary.BigEndian.Uint64(p[off+32 : off+40]) }
+
+// MPLSLabel returns the label of the MPLS entry at off.
+func MPLSLabel(p []byte, off int) uint32 {
+	return binary.BigEndian.Uint32(p[off:off+4]) >> 12
+}
+
+func uint48(p []byte) uint64 {
+	return uint64(p[0])<<40 | uint64(p[1])<<32 | uint64(p[2])<<24 |
+		uint64(p[3])<<16 | uint64(p[4])<<8 | uint64(p[5])
+}
+
+// Dump renders a packet as hex for debugging.
+func Dump(p []byte) string {
+	out := ""
+	for i, b := range p {
+		if i > 0 && i%16 == 0 {
+			out += "\n"
+		} else if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%02x", b)
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package pkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEthernetRoundTrip(t *testing.T) {
+	f := func(dst, src uint64, et uint16) bool {
+		dst &= 0xFFFFFFFFFFFF
+		src &= 0xFFFFFFFFFFFF
+		b := NewBuilder().Ethernet(dst, src, et).Bytes()
+		return len(b) == 14 && EthDst(b) == dst && EthSrc(b) == src && EthType(b) == et
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPv4Fields(t *testing.T) {
+	b := NewBuilder().
+		Ethernet(1, 2, EtherTypeIPv4).
+		IPv4(IPv4Opts{TTL: 63, Protocol: ProtoTCP, Src: 0x0A000001, Dst: 0x14000002}).
+		Bytes()
+	if len(b) != 34 {
+		t.Fatalf("len = %d, want 34", len(b))
+	}
+	if IPv4TTL(b, 14) != 63 || IPv4Src(b, 14) != 0x0A000001 || IPv4Dst(b, 14) != 0x14000002 {
+		t.Errorf("ipv4 fields wrong: %s", Dump(b))
+	}
+	if b[14]>>4 != 4 || b[14]&0xF != 5 {
+		t.Errorf("version/ihl = %#x", b[14])
+	}
+	if b[14+9] != ProtoTCP {
+		t.Errorf("protocol = %d", b[14+9])
+	}
+}
+
+func TestIPv6Fields(t *testing.T) {
+	b := NewBuilder().IPv6(IPv6Opts{
+		NextHdr: 43, HopLimit: 17,
+		SrcHi: 0x1111, SrcLo: 0x2222, DstHi: 0x20010DB8_00000000, DstLo: 0x42,
+	}).Bytes()
+	if len(b) != 40 {
+		t.Fatalf("len = %d, want 40", len(b))
+	}
+	if b[0]>>4 != 6 {
+		t.Errorf("version = %d", b[0]>>4)
+	}
+	if IPv6HopLimit(b, 0) != 17 || b[6] != 43 {
+		t.Errorf("hop/nexthdr wrong")
+	}
+	if IPv6DstHi(b, 0) != 0x20010DB8_00000000 || IPv6DstLo(b, 0) != 0x42 {
+		t.Errorf("dst wrong")
+	}
+}
+
+func TestMPLS(t *testing.T) {
+	f := func(label uint32, tc uint8, bottom bool, ttl uint8) bool {
+		label &= 0xFFFFF
+		b := NewBuilder().MPLS(label, tc, bottom, ttl).Bytes()
+		if len(b) != 4 || MPLSLabel(b, 0) != label {
+			return false
+		}
+		gotBottom := b[2]&1 == 1
+		return gotBottom == bottom && b[3] == ttl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSRv6Layout(t *testing.T) {
+	segs := [][2]uint64{{0xAAAA, 0xBBBB}, {0xCCCC, 0xDDDD}}
+	b := NewBuilder().SRv6(59, 1, segs).Bytes()
+	if len(b) != 8+32 {
+		t.Fatalf("len = %d, want 40", len(b))
+	}
+	if b[0] != 59 || b[1] != 4 || b[2] != 4 || b[3] != 1 || b[4] != 1 {
+		t.Errorf("SRH fixed fields wrong: %s", Dump(b[:8]))
+	}
+}
+
+func TestTCPUDP(t *testing.T) {
+	b := NewBuilder().TCP(443, 8080).Bytes()
+	if len(b) != 20 || b[0] != 1 || b[1] != 0xBB {
+		t.Errorf("tcp sport wrong: %s", Dump(b))
+	}
+	u := NewBuilder().UDP(53, 5353, 12).Bytes()
+	if len(u) != 8 || u[2] != 0x14 || u[3] != 0xE9 {
+		t.Errorf("udp dport wrong: %s", Dump(u))
+	}
+}
+
+func TestBuilderChaining(t *testing.T) {
+	b := NewBuilder().
+		Ethernet(1, 2, EtherTypeIPv4).
+		IPv4(IPv4Opts{TTL: 1}).
+		TCP(1, 2).
+		Payload([]byte{0xDE, 0xAD}).Bytes()
+	if len(b) != 14+20+20+2 {
+		t.Errorf("chained length = %d", len(b))
+	}
+	if b[len(b)-1] != 0xAD {
+		t.Errorf("payload misplaced")
+	}
+}
+
+func TestDump(t *testing.T) {
+	out := Dump([]byte{0x00, 0xFF, 0x10})
+	if out != "00 ff 10" {
+		t.Errorf("Dump = %q", out)
+	}
+	if Dump(nil) != "" {
+		t.Errorf("Dump(nil) = %q", Dump(nil))
+	}
+}

@@ -1,0 +1,117 @@
+// Package sim is the behavioral dataplane simulator: a reference
+// interpreter that executes µP4-IR modules with source-level semantics,
+// and an executor that runs the midend's composed MAT pipelines. Running
+// both on the same traffic differentially validates µP4C's
+// transformations (the substitute for the paper's BMv2/Tofino targets).
+package sim
+
+import "fmt"
+
+// readBits reads w bits (w ≤ 64) starting at absolute bit offset off in
+// buf, network bit order (MSB of buf[0] is bit 0). Bits beyond the buffer
+// read as zero.
+func readBits(buf []byte, off, w int) uint64 {
+	var v uint64
+	for i := 0; i < w; i++ {
+		bit := off + i
+		byteIdx := bit >> 3
+		v <<= 1
+		if byteIdx < len(buf) {
+			v |= uint64(buf[byteIdx]>>(7-uint(bit&7))) & 1
+		}
+	}
+	return v
+}
+
+// writeBits writes the low w bits of v (w ≤ 64) at absolute bit offset
+// off in buf. Writes beyond the buffer are dropped.
+func writeBits(buf []byte, off, w int, v uint64) {
+	for i := 0; i < w; i++ {
+		bit := off + i
+		byteIdx := bit >> 3
+		if byteIdx >= len(buf) {
+			continue
+		}
+		mask := byte(1) << (7 - uint(bit&7))
+		if v>>(uint(w-1-i))&1 == 1 {
+			buf[byteIdx] |= mask
+		} else {
+			buf[byteIdx] &^= mask
+		}
+	}
+}
+
+// maskW returns a mask of the low w bits.
+func maskW(w int) uint64 {
+	if w <= 0 {
+		return 0
+	}
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(w) - 1
+}
+
+// truncate keeps the low w bits of v.
+func truncate(v uint64, w int) uint64 { return v & maskW(w) }
+
+// evalBinary evaluates a binary operator on w-bit operands.
+func evalBinary(op string, x, y uint64, w int) (uint64, error) {
+	b := func(cond bool) uint64 {
+		if cond {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case "+":
+		return truncate(x+y, w), nil
+	case "-":
+		return truncate(x-y, w), nil
+	case "*":
+		return truncate(x*y, w), nil
+	case "/":
+		if y == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return x / y, nil
+	case "%":
+		if y == 0 {
+			return 0, fmt.Errorf("modulo by zero")
+		}
+		return x % y, nil
+	case "&":
+		return x & y, nil
+	case "|":
+		return x | y, nil
+	case "^":
+		return x ^ y, nil
+	case "<<":
+		if y >= 64 {
+			return 0, nil
+		}
+		return truncate(x<<y, w), nil
+	case ">>":
+		if y >= 64 {
+			return 0, nil
+		}
+		return x >> y, nil
+	case "==":
+		return b(x == y), nil
+	case "!=":
+		return b(x != y), nil
+	case "<":
+		return b(x < y), nil
+	case ">":
+		return b(x > y), nil
+	case "<=":
+		return b(x <= y), nil
+	case ">=":
+		return b(x >= y), nil
+	case "&&":
+		return b(x != 0 && y != 0), nil
+	case "||":
+		return b(x != 0 || y != 0), nil
+	}
+	return 0, fmt.Errorf("unknown binary operator %q", op)
+}

@@ -1,0 +1,425 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"microp4/internal/ir"
+	"microp4/internal/types"
+)
+
+// execStmts runs a control statement list in the frame.
+func (f *frame) execStmts(ss []*ir.Stmt) error {
+	for _, s := range ss {
+		if err := f.execStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *frame) execStmt(s *ir.Stmt) error {
+	switch s.Kind {
+	case ir.SAssign:
+		v, err := f.eval(s.RHS)
+		if err != nil {
+			return err
+		}
+		return f.assign(s.LHS, v)
+	case ir.SIf:
+		cond, err := f.eval(s.Cond)
+		if err != nil {
+			return err
+		}
+		if cond != 0 {
+			return f.execStmts(s.Then)
+		}
+		return f.execStmts(s.Else)
+	case ir.SSwitch:
+		v, err := f.eval(s.Cond)
+		if err != nil {
+			return err
+		}
+		v = truncate(v, s.Cond.Width)
+		var deflt *ir.Case
+		for _, c := range s.Cases {
+			if c.Default {
+				deflt = c
+				continue
+			}
+			for _, cv := range c.Values {
+				if cv == v {
+					return f.execStmts(c.Body)
+				}
+			}
+		}
+		if deflt != nil {
+			return f.execStmts(deflt.Body)
+		}
+		return nil
+	case ir.SSetValid:
+		f.valid[s.Hdr] = true
+		return nil
+	case ir.SSetInvalid:
+		f.valid[s.Hdr] = false
+		return nil
+	case ir.SExit:
+		return errExit
+	case ir.SApplyTable:
+		return f.applyTable(s.Table)
+	case ir.SCallModule:
+		return f.callModule(s)
+	case ir.SMethod:
+		return f.method(s)
+	case ir.SEmit, ir.SExtract:
+		return fmt.Errorf("%s: %s statement outside its block", f.prog.Name, s.Kind)
+	}
+	return fmt.Errorf("%s: unsupported statement %s", f.prog.Name, s.Kind)
+}
+
+// applyTable looks up and runs a table.
+func (f *frame) applyTable(name string) error {
+	def := f.prog.Tables[name]
+	if def == nil {
+		return fmt.Errorf("%s: unknown table %s", f.prog.Name, name)
+	}
+	keyVals := make([]uint64, len(def.Keys))
+	for i, k := range def.Keys {
+		v, err := f.eval(k.Expr)
+		if err != nil {
+			return err
+		}
+		keyVals[i] = truncate(v, k.Expr.Width)
+	}
+	fq := name
+	if f.inst != "" {
+		fq = f.inst + "." + name
+	}
+	call := f.r.ip.tables.Lookup(fq, def, keyVals)
+	if tr := f.r.ip.tracer; tr != nil {
+		detail := "miss (no default)"
+		if call != nil {
+			detail = "-> " + call.Name + " " + keyString(keyVals)
+		}
+		tr(TraceEvent{Kind: "table", Name: fq, Detail: detail})
+	}
+	if call == nil {
+		return nil // miss with no default: no-op
+	}
+	// Control-plane entries use fully-qualified action names; the
+	// module's own action map is unprefixed.
+	actName := call.Name
+	if f.inst != "" {
+		actName = strings.TrimPrefix(actName, f.inst+".")
+	}
+	return f.runAction(actName, call.Args)
+}
+
+func (f *frame) runAction(name string, args []uint64) error {
+	act := f.prog.Actions[name]
+	if act == nil {
+		return fmt.Errorf("%s: unknown action %s", f.prog.Name, name)
+	}
+	if len(args) != len(act.Params) {
+		return fmt.Errorf("%s: action %s takes %d args, got %d", f.prog.Name, name, len(act.Params), len(args))
+	}
+	for i, p := range act.Params {
+		f.store[name+"#"+p.Name] = truncate(args[i], p.Width)
+	}
+	return f.execStmts(act.Body)
+}
+
+// callModule invokes a callee module at its apply() site.
+func (f *frame) callModule(s *ir.Stmt) error {
+	callee := f.r.ip.linked.Modules[s.Module]
+	if callee == nil {
+		return fmt.Errorf("%s: call of unlinked module %s", f.prog.Name, s.Module)
+	}
+	// Resolve the packet view the callee receives.
+	pktName := s.PktArg
+	if pktName == "" {
+		pktName = "$pkt"
+	}
+	pv, ok := f.pkts[pktName]
+	if !ok {
+		return fmt.Errorf("%s: call passes unknown pkt %s", f.prog.Name, pktName)
+	}
+	base := pv.base
+	if pktName == "$pkt" {
+		base += f.parsed
+	}
+	childView := view{buf: pv.buf, base: base}
+	var bindings []argBinding
+	for i, a := range s.Args {
+		if i >= len(callee.Params) {
+			return fmt.Errorf("%s: too many args to %s", f.prog.Name, s.Module)
+		}
+		b := argBinding{param: callee.Params[i]}
+		if b.param.Dir != "out" {
+			v, err := f.eval(a.Expr)
+			if err != nil {
+				return err
+			}
+			b.value = truncate(v, b.param.Width)
+		}
+		bindings = append(bindings, b)
+	}
+	childInst := s.Instance
+	if f.inst != "" {
+		childInst = f.inst + "." + s.Instance
+	}
+	if tr := f.r.ip.tracer; tr != nil {
+		tr(TraceEvent{Kind: "module", Name: childInst, Detail: "apply " + s.Module})
+	}
+	// Bind the callee's $im: inherit ours for "$im", or route to a
+	// local im_t copy living in this frame's store.
+	imb := imBinding{get: f.imGet, set: f.imSet, isGlobal: f.imIsGlobal}
+	if s.ImArg != "" && s.ImArg != "$im" {
+		prefix := s.ImArg + "."
+		imb = imBinding{
+			get: func(field string) uint64 { return f.store[prefix+field] },
+			set: func(field string, v uint64) { f.store[prefix+field] = v },
+		}
+	}
+	// Run the callee; out/inout results are read back from its frame.
+	cf, err := f.r.runModuleFrame(callee, childInst, childView, bindings, imb)
+	if err != nil {
+		return err
+	}
+	for i, a := range s.Args {
+		mp := callee.Params[i]
+		if mp.Dir == "out" || mp.Dir == "inout" {
+			if err := f.assign(a.Expr, cf.store[mp.Name]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// method executes extern method statements.
+func (f *frame) method(s *ir.Stmt) error {
+	switch s.Method {
+	case "pkt_copy_from":
+		src, err := f.viewOfArg(s.Args[0].Expr)
+		if err != nil {
+			return err
+		}
+		f.pkts[s.Target] = view{buf: &pktBuf{data: append([]byte(nil), src.bytes()...)}}
+		return nil
+	case "im_copy_from":
+		srcPrefix, err := f.imPrefixOfArg(s.Args[0].Expr)
+		if err != nil {
+			return err
+		}
+		f.copyIm(s.Target, srcPrefix)
+		return nil
+	case "mc_engine_set_mc_group":
+		g, err := f.eval(s.Args[0].Expr)
+		if err != nil {
+			return err
+		}
+		f.mcGroup = g
+		return nil
+	case "mc_engine_apply":
+		// PRE-style replication: record the group; the architecture
+		// replicates at end of pipeline. A packet-instance id out-param
+		// (2-arg form) is set to zero here.
+		f.r.result.McastGroup = f.mcGroup
+		if len(s.Args) == 2 {
+			return f.assign(s.Args[1].Expr, 0)
+		}
+		return nil
+	case "mc_engine_set_buf", "mc_buf_enqueue", "out_buf_merge", "out_buf_to_in_buf":
+		return nil // joins/merges: outputs are already accumulated
+	case "out_buf_enqueue":
+		pv, err := f.viewOfArg(s.Args[0].Expr)
+		if err != nil {
+			return err
+		}
+		port := f.imGet("out_port")
+		if prefix, err := f.imPrefixOfArg(s.Args[1].Expr); err == nil && prefix != "$im" {
+			port = f.store[prefix+".out_port"]
+		}
+		f.r.result.Out = append(f.r.result.Out, OutPkt{
+			Data: append([]byte(nil), pv.bytes()...),
+			Port: port,
+		})
+		return nil
+	case "recirculate":
+		f.r.result.Recirculate = true
+		return nil
+	case "im_digest":
+		v, err := f.eval(s.Args[0].Expr)
+		if err != nil {
+			return err
+		}
+		f.r.result.Digests = append(f.r.result.Digests, v)
+		return nil
+	case "register_read", "register_write":
+		return f.registerOp(s)
+	case "push_front", "pop_front":
+		return fmt.Errorf("%s: header stack op %s reached the interpreter (run midend.Transform first)", f.prog.Name, s.Method)
+	}
+	return fmt.Errorf("%s: unsupported method %s", f.prog.Name, s.Method)
+}
+
+// registerOp executes a register read or write against the persistent
+// register state (the §8.2 stateful extension). Register instances are
+// keyed by fully qualified path so the interpreter and the compiled
+// executor agree on naming.
+func (f *frame) registerOp(s *ir.Stmt) error {
+	var inst *ir.Instance
+	for i := range f.prog.Instances {
+		if f.prog.Instances[i].Name == s.Target && f.prog.Instances[i].Extern == "register" {
+			inst = &f.prog.Instances[i]
+		}
+	}
+	if inst == nil {
+		return fmt.Errorf("%s: unknown register %s", f.prog.Name, s.Target)
+	}
+	fq := s.Target
+	if f.inst != "" {
+		fq = f.inst + "." + s.Target
+	}
+	cells := f.r.ip.Register(fq, inst.Size)
+	idxArg := 1
+	if s.Method == "register_write" {
+		idxArg = 0
+	}
+	idx, err := f.eval(s.Args[idxArg].Expr)
+	if err != nil {
+		return err
+	}
+	if idx >= uint64(inst.Size) {
+		idx %= uint64(inst.Size) // wrap, like hardware index truncation
+	}
+	if s.Method == "register_read" {
+		return f.assign(s.Args[0].Expr, truncate(cells[idx], inst.Width))
+	}
+	v, err := f.eval(s.Args[1].Expr)
+	if err != nil {
+		return err
+	}
+	cells[idx] = truncate(v, inst.Width)
+	return nil
+}
+
+// viewOfArg resolves a pkt-typed argument expression to its view.
+func (f *frame) viewOfArg(e *ir.Expr) (view, error) {
+	if e.Kind != ir.ERef {
+		return view{}, fmt.Errorf("pkt argument is not a reference")
+	}
+	v, ok := f.pkts[e.Ref]
+	if !ok {
+		return view{}, fmt.Errorf("unknown pkt instance %s", e.Ref)
+	}
+	return v, nil
+}
+
+// imPrefixOfArg resolves an im_t-typed argument to its storage prefix.
+func (f *frame) imPrefixOfArg(e *ir.Expr) (string, error) {
+	if e.Kind != ir.ERef {
+		return "", fmt.Errorf("im argument is not a reference")
+	}
+	if e.Ref == "$im" || strings.HasPrefix(e.Ref, "$im.") {
+		return "$im", nil
+	}
+	return e.Ref, nil
+}
+
+// copyIm copies the well-known im fields from one instance to another.
+func (f *frame) copyIm(dst, srcPrefix string) {
+	fields := []string{"out_port", "meta.IN_PORT", "meta.IN_TIMESTAMP", "meta.PKT_LEN",
+		"meta.OUT_TIMESTAMP", "meta.INSTANCE_ID", "meta.QUEUE_DEPTH",
+		"meta.DEQ_TIMESTAMP", "meta.ENQ_TIMESTAMP"}
+	for _, fl := range fields {
+		var v uint64
+		if srcPrefix == "$im" {
+			v = f.imGet(fl)
+		} else {
+			v = f.store[srcPrefix+"."+fl]
+		}
+		if dst == "$im" {
+			f.imSet(fl, v)
+		} else {
+			f.store[dst+"."+fl] = v
+		}
+	}
+}
+
+// imBinding carries a module invocation's intrinsic-metadata view.
+type imBinding struct {
+	get      func(field string) uint64
+	set      func(field string, v uint64)
+	isGlobal bool
+}
+
+// globalIM binds a frame to the run's shared intrinsic metadata.
+func (r *run) globalIM() imBinding {
+	return imBinding{
+		get:      func(field string) uint64 { return r.im[field] },
+		set:      func(field string, v uint64) { r.im[field] = v },
+		isGlobal: true,
+	}
+}
+
+// runModuleFrame is runModule but returns the callee frame so the caller
+// can read out-parameters.
+func (r *run) runModuleFrame(prog *ir.Program, inst string, v view, args []argBinding, im imBinding) (*frame, error) {
+	f := &frame{
+		r: r, prog: prog, inst: inst,
+		store:      make(map[string]uint64),
+		valid:      make(map[string]bool),
+		varbits:    make(map[string][]byte),
+		pkts:       map[string]view{"$pkt": v},
+		ims:        make(map[string]bool),
+		imGet:      im.get,
+		imSet:      im.set,
+		imIsGlobal: im.isGlobal,
+	}
+	for _, in := range prog.Instances {
+		switch in.Extern {
+		case "pkt":
+			f.pkts[in.Name] = view{buf: &pktBuf{}}
+		case "im_t":
+			f.ims[in.Name] = true
+		}
+	}
+	for _, a := range args {
+		if a.param.Dir != "out" {
+			f.store[a.param.Name] = a.value
+		}
+	}
+	if prog.Parser != nil {
+		ok, err := f.runParser()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// Parser reject: drop via this invocation's im; when that is
+			// the shared intrinsic metadata, the error is sticky so a
+			// later module in the composition cannot overwrite the drop
+			// decision — matching the monolithic program, whose single
+			// parser rejects outright. A reject inside a module running
+			// on a private copy (orchestration) drops only that copy.
+			f.imSet("out_port", types.DropPort)
+			if f.imIsGlobal {
+				r.im["$perr"] = 1
+				r.result.ParserReject = true
+			}
+			return f, nil
+		}
+	}
+	if err := f.execStmts(prog.Apply); err != nil && err != errExit {
+		return nil, err
+	}
+	if prog.Parser != nil || len(prog.Deparser) > 0 {
+		emitted, err := f.runDeparser()
+		if err != nil {
+			return nil, err
+		}
+		v.splice(0, f.parsed, emitted)
+	}
+	return f, nil
+}

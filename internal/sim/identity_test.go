@@ -1,0 +1,140 @@
+package sim_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"microp4/internal/frontend"
+	"microp4/internal/midend"
+	"microp4/internal/pkt"
+	"microp4/internal/sim"
+)
+
+// passThroughSrc parses eth(+ipv4(+tcp)) and re-emits everything
+// unchanged: deparse∘parse must be the identity on the wire.
+const passThroughSrc = `
+struct empty_t { }
+header ethernet_h { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+header ipv4_h {
+  bit<4> version; bit<4> ihl; bit<8> diffserv; bit<16> totalLen;
+  bit<16> identification; bit<3> flags; bit<13> fragOffset;
+  bit<8> ttl; bit<8> protocol; bit<16> hdrChecksum;
+  bit<32> srcAddr; bit<32> dstAddr;
+}
+header tcp_h {
+  bit<16> srcPort; bit<16> dstPort; bit<32> seqNo; bit<32> ackNo;
+  bit<4> dataOffset; bit<4> res; bit<8> tcpFlags; bit<16> window;
+  bit<16> checksum; bit<16> urgentPtr;
+}
+struct hdr_t { ethernet_h eth; ipv4_h ipv4; tcp_h tcp; }
+program Pass : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) { 0x0800: parse_ipv4; default: accept; };
+    }
+    state parse_ipv4 {
+      ex.extract(p, h.ipv4);
+      transition select(h.ipv4.protocol) { 6: parse_tcp; default: accept; };
+    }
+    state parse_tcp { ex.extract(p, h.tcp); transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, inout empty_t m, im_t im) {
+    apply { im.set_out_port(1); }
+  }
+  control D(emitter em, pkt p, in hdr_t h) {
+    apply { em.emit(p, h.eth); em.emit(p, h.ipv4); em.emit(p, h.tcp); }
+  }
+}
+Pass(P, C, D) main;
+`
+
+// TestQuickDeparseParseIdentity: for any packet long enough to parse,
+// both engines forward byte-identical data.
+func TestQuickDeparseParseIdentity(t *testing.T) {
+	main, err := frontend.CompileModule("pass.up4", passThroughSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := midend.Build(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := sim.NewTables()
+	exec := sim.NewExec(res.Pipeline, tables)
+	interp := sim.NewInterp(res.Linked, tables)
+
+	r := rand.New(rand.NewSource(7))
+	f := func(seed int64, v4 bool, tcp bool, extra uint8) bool {
+		r.Seed(seed)
+		b := pkt.NewBuilder()
+		et := uint16(r.Intn(1 << 16))
+		proto := uint8(r.Intn(256))
+		if v4 {
+			et = pkt.EtherTypeIPv4
+			if tcp {
+				proto = 6
+			}
+		}
+		b.Ethernet(r.Uint64()&0xFFFFFFFFFFFF, r.Uint64()&0xFFFFFFFFFFFF, et)
+		if v4 {
+			b.IPv4(pkt.IPv4Opts{TTL: uint8(r.Intn(256)), Protocol: proto, Src: r.Uint32(), Dst: r.Uint32()})
+			if tcp {
+				b.TCP(uint16(r.Intn(1<<16)), uint16(r.Intn(1<<16)))
+			}
+		}
+		payload := make([]byte, extra)
+		r.Read(payload)
+		in := b.Payload(payload).Bytes()
+
+		ri, err := interp.Process(in, sim.Metadata{})
+		if err != nil {
+			return false
+		}
+		rx, err := exec.Process(in, sim.Metadata{})
+		if err != nil {
+			return false
+		}
+		if ri.Dropped || rx.Dropped {
+			return false // all packets here are parseable
+		}
+		return bytes.Equal(ri.Out[0].Data, in) && bytes.Equal(rx.Out[0].Data, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPayloadBeyondByteStack: data past the operational region must pass
+// through untouched even when the program edits headers.
+func TestPayloadBeyondByteStack(t *testing.T) {
+	main, err := frontend.CompileModule("pass.up4", passThroughSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := midend.Build(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pipeline.BsBytes != 54 {
+		t.Fatalf("Bs = %d, want 54 (eth+ipv4+tcp)", res.Pipeline.BsBytes)
+	}
+	big := make([]byte, 1500)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	in := pkt.NewBuilder().
+		Ethernet(1, 2, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 10, Protocol: 6, Src: 3, Dst: 4}).
+		TCP(5, 6).Payload(big).Bytes()
+	exec := sim.NewExec(res.Pipeline, sim.NewTables())
+	out, err := exec.Process(in, sim.Metadata{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Out[0].Data, in) {
+		t.Error("large payload corrupted")
+	}
+}

@@ -1,0 +1,504 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"microp4/internal/ir"
+	"microp4/internal/linker"
+	"microp4/internal/types"
+)
+
+// Metadata carries a packet's intrinsic metadata into the dataplane
+// (im_t, paper Fig. 6). Field names follow the meta_t enum.
+type Metadata struct {
+	InPort      uint64
+	InTimestamp uint64
+	PktLen      uint64
+}
+
+// OutPkt is one output packet.
+type OutPkt struct {
+	Data []byte
+	Port uint64
+}
+
+// ProcResult is the outcome of processing one packet.
+type ProcResult struct {
+	Out          []OutPkt // enqueued packets first, the final packet last (absent if dropped)
+	Dropped      bool
+	Recirculate  bool
+	McastGroup   uint64   // nonzero when the program requested replication
+	Digests      []uint64 // values sent to the control plane (im.digest)
+	ParserReject bool
+}
+
+// maxParserSteps bounds parser FSM execution (defense against cyclic
+// parse graphs reaching the interpreter).
+const maxParserSteps = 4096
+
+// errExit unwinds an exit statement to the current control boundary.
+var errExit = errors.New("exit")
+
+// Interp executes linked µP4-IR modules with source-level semantics.
+type Interp struct {
+	linked *linker.Linked
+	tables *Tables
+	regs   map[string][]uint64 // register state, persistent across packets
+	tracer Tracer
+}
+
+// NewInterp returns an interpreter over a linked program sharing the
+// given control-plane state.
+func NewInterp(l *linker.Linked, t *Tables) *Interp {
+	return &Interp{linked: l, tables: t, regs: make(map[string][]uint64)}
+}
+
+// Register returns a register array's cells (allocated on first access),
+// keyed by fully qualified instance path.
+func (ip *Interp) Register(path string, size int) []uint64 {
+	r, ok := ip.regs[path]
+	if !ok || len(r) < size {
+		nr := make([]uint64, size)
+		copy(nr, r)
+		ip.regs[path] = nr
+		r = nr
+	}
+	return r
+}
+
+// pktBuf is a mutable packet buffer shared across module frames.
+type pktBuf struct {
+	data []byte
+}
+
+// view is one module's window into a packet buffer.
+type view struct {
+	buf  *pktBuf
+	base int
+}
+
+func (v view) bytes() []byte { return v.buf.data[min(v.base, len(v.buf.data)):] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// splice replaces the region [v.base+from, v.base+from+oldLen) with repl.
+func (v view) splice(from, oldLen int, repl []byte) {
+	start := v.base + from
+	end := start + oldLen
+	if start > len(v.buf.data) {
+		start = len(v.buf.data)
+	}
+	if end > len(v.buf.data) {
+		end = len(v.buf.data)
+	}
+	out := make([]byte, 0, len(v.buf.data)-(end-start)+len(repl))
+	out = append(out, v.buf.data[:start]...)
+	out = append(out, repl...)
+	out = append(out, v.buf.data[end:]...)
+	v.buf.data = out
+}
+
+// run is the shared mutable state of one Process call.
+type run struct {
+	ip     *Interp
+	im     map[string]uint64 // shared intrinsic metadata ("out_port", "meta.IN_PORT", ...)
+	result *ProcResult
+}
+
+// frame is one module invocation.
+type frame struct {
+	r       *run
+	prog    *ir.Program
+	inst    string // instance path for table naming ("" = main)
+	store   map[string]uint64
+	valid   map[string]bool
+	varbits map[string][]byte // varbit payloads by header instance path
+	pkts    map[string]view   // "$pkt" plus local pkt instances
+	ims     map[string]bool   // names of local im_t instances (stored in store)
+	parsed  int               // bytes consumed by this module's parser
+	mcGroup uint64
+	// im indirection: a module's "$im" may be bound to the shared
+	// intrinsic metadata or to a caller's local im_t copy (e.g. the
+	// test copy's metadata in Fig. 13).
+	imGet      func(field string) uint64
+	imSet      func(field string, v uint64)
+	imIsGlobal bool
+}
+
+// Process runs the linked program on one packet.
+func (ip *Interp) Process(pkt []byte, meta Metadata) (*ProcResult, error) {
+	r := &run{
+		ip: ip,
+		im: map[string]uint64{
+			"out_port":           0,
+			"meta.IN_PORT":       meta.InPort,
+			"meta.IN_TIMESTAMP":  meta.InTimestamp,
+			"meta.PKT_LEN":       uint64(len(pkt)),
+			"meta.OUT_TIMESTAMP": 0,
+			"meta.INSTANCE_ID":   0,
+			"meta.QUEUE_DEPTH":   0,
+			"meta.DEQ_TIMESTAMP": 0,
+			"meta.ENQ_TIMESTAMP": 0,
+		},
+		result: &ProcResult{},
+	}
+	buf := &pktBuf{data: append([]byte(nil), pkt...)}
+	if _, err := r.runModuleFrame(ip.linked.Main, "", view{buf: buf}, nil, r.globalIM()); err != nil {
+		return nil, err
+	}
+	res := r.result
+	switch {
+	case ip.linked.Main.Interface == "Orchestration":
+		// An orchestration pipeline's outputs come solely from its
+		// out_buf enqueues (§4.1); there is no implicit final packet.
+		// Enqueues addressed to the drop port are filtered here, in the
+		// architecture.
+		kept := res.Out[:0]
+		for _, o := range res.Out {
+			if o.Port != types.DropPort {
+				kept = append(kept, o)
+			}
+		}
+		res.Out = kept
+		if r.im["$perr"] != 0 {
+			res.Dropped = true
+			res.Out = nil
+		}
+	case r.im["out_port"] == types.DropPort || r.im["$perr"] != 0:
+		res.Dropped = true
+	default:
+		res.Out = append(res.Out, OutPkt{Data: append([]byte(nil), buf.data...), Port: r.im["out_port"]})
+	}
+	return res, nil
+}
+
+// argBinding passes a module call's data arguments.
+type argBinding struct {
+	param ir.ModParam
+	value uint64 // in/inout input value
+}
+
+// ----------------------------------------------------------------------------
+// Parser
+
+func (f *frame) runParser() (accepted bool, err error) {
+	state := f.prog.Parser.State("start")
+	if state == nil {
+		return false, fmt.Errorf("%s: no start state", f.prog.Name)
+	}
+	for steps := 0; ; steps++ {
+		if steps > maxParserSteps {
+			return false, fmt.Errorf("%s: parser did not terminate", f.prog.Name)
+		}
+		if tr := f.r.ip.tracer; tr != nil {
+			tr(TraceEvent{Kind: "parser-state", Name: f.prog.Name + "." + state.Name})
+		}
+		for _, s := range state.Stmts {
+			if s.Kind == ir.SExtract {
+				ok, err := f.extract(s)
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					return false, nil // truncated packet rejects
+				}
+				continue
+			}
+			if err := f.execStmt(s); err != nil {
+				return false, err
+			}
+		}
+		target, err := f.transition(state.Trans)
+		if err != nil {
+			return false, err
+		}
+		switch target {
+		case "accept":
+			return true, nil
+		case "reject":
+			return false, nil
+		}
+		state = f.prog.Parser.State(target)
+		if state == nil {
+			return false, fmt.Errorf("%s: transition to unknown state %s", f.prog.Name, target)
+		}
+	}
+}
+
+func (f *frame) transition(tr *ir.Trans) (string, error) {
+	if tr == nil {
+		return "reject", nil
+	}
+	if tr.Kind == "direct" {
+		return tr.Target, nil
+	}
+	vals := make([]uint64, len(tr.Exprs))
+	for i, e := range tr.Exprs {
+		v, err := f.eval(e)
+		if err != nil {
+			return "", err
+		}
+		vals[i] = v
+	}
+	for _, c := range tr.Cases {
+		if c.Default {
+			return c.Target, nil
+		}
+		match := true
+		for i := range c.Values {
+			if c.DontCare[i] {
+				continue
+			}
+			w := tr.Exprs[i].Width
+			v := truncate(vals[i], w)
+			if c.HasMask[i] {
+				if v&c.Masks[i] != c.Values[i]&c.Masks[i] {
+					match = false
+					break
+				}
+			} else if v != c.Values[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return c.Target, nil
+		}
+	}
+	return "reject", nil
+}
+
+// extract reads a header from the packet view at the current cursor.
+// Returns false if the packet is too short.
+func (f *frame) extract(s *ir.Stmt) (bool, error) {
+	ht := f.headerType(s.Hdr)
+	if ht == nil {
+		return false, fmt.Errorf("%s: extract of unknown header %s", f.prog.Name, s.Hdr)
+	}
+	v := f.pkts["$pkt"]
+	data := v.bytes()
+	fixedBits := 0
+	for _, fl := range ht.Fields {
+		if !fl.Varbit {
+			fixedBits += fl.Width
+		}
+	}
+	varBytes := 0
+	if ht.HasVarbit {
+		if s.VarSize == nil {
+			return false, fmt.Errorf("%s: extract of varbit header %s without a size", f.prog.Name, s.Hdr)
+		}
+		bits, err := f.eval(s.VarSize)
+		if err != nil {
+			return false, err
+		}
+		if bits%8 != 0 {
+			return false, fmt.Errorf("%s: varbit size %d is not a whole number of bytes", f.prog.Name, bits)
+		}
+		varBytes = int(bits / 8)
+		if varBytes*8 > ht.BitWidth-fixedBits {
+			return false, nil // oversized varbit rejects
+		}
+	}
+	size := fixedBits/8 + varBytes
+	if f.parsed+size > len(data) {
+		return false, nil
+	}
+	off := f.parsed * 8
+	varOff := -1
+	for _, fl := range ht.Fields {
+		if fl.Varbit {
+			varOff = off
+			off += varBytes * 8
+			continue
+		}
+		f.store[s.Hdr+"."+fl.Name] = readBits(data, off, fl.Width)
+		off += fl.Width
+	}
+	if varOff >= 0 {
+		f.varbits[s.Hdr] = append([]byte(nil), data[varOff/8:varOff/8+varBytes]...)
+	}
+	f.valid[s.Hdr] = true
+	f.parsed += size
+	return true, nil
+}
+
+// ----------------------------------------------------------------------------
+// Deparser
+
+func (f *frame) runDeparser() ([]byte, error) {
+	var out []byte
+	var walk func(ss []*ir.Stmt) error
+	walk = func(ss []*ir.Stmt) error {
+		for _, s := range ss {
+			switch s.Kind {
+			case ir.SEmit:
+				out = append(out, f.emitBytes(s.Hdr)...)
+			case ir.SIf:
+				cond, err := f.eval(s.Cond)
+				if err != nil {
+					return err
+				}
+				if cond != 0 {
+					if err := walk(s.Then); err != nil {
+						return err
+					}
+				} else if err := walk(s.Else); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("%s: unsupported deparser statement %s", f.prog.Name, s.Kind)
+			}
+		}
+		return nil
+	}
+	if err := walk(f.prog.Deparser); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (f *frame) emitBytes(hdr string) []byte {
+	if !f.valid[hdr] {
+		return nil
+	}
+	ht := f.headerType(hdr)
+	if ht == nil {
+		return nil
+	}
+	vb := f.varbits[hdr]
+	fixedBits := 0
+	for _, fl := range ht.Fields {
+		if !fl.Varbit {
+			fixedBits += fl.Width
+		}
+	}
+	out := make([]byte, fixedBits/8+len(vb))
+	off := 0
+	for _, fl := range ht.Fields {
+		if fl.Varbit {
+			copy(out[off/8:], vb)
+			off += len(vb) * 8
+			continue
+		}
+		writeBits(out, off, fl.Width, f.store[hdr+"."+fl.Name])
+		off += fl.Width
+	}
+	return out
+}
+
+func (f *frame) headerType(path string) *ir.HeaderType {
+	d := f.prog.DeclByPath(path)
+	if d == nil {
+		return nil
+	}
+	return f.prog.Headers[d.TypeName]
+}
+
+// ----------------------------------------------------------------------------
+// Expressions
+
+func (f *frame) eval(e *ir.Expr) (uint64, error) {
+	switch e.Kind {
+	case ir.EConst:
+		return e.Value, nil
+	case ir.ERef:
+		return f.load(e.Ref), nil
+	case ir.EIsValid:
+		if f.valid[e.Ref] {
+			return 1, nil
+		}
+		return 0, nil
+	case ir.EUn:
+		x, err := f.eval(e.X)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "!":
+			if x == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		case "~":
+			return truncate(^x, e.Width), nil
+		case "-":
+			return truncate(-x, e.Width), nil
+		case "cast":
+			return truncate(x, e.Width), nil
+		}
+		return 0, fmt.Errorf("unknown unary %q", e.Op)
+	case ir.EBin:
+		x, err := f.eval(e.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := f.eval(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == "++" {
+			return truncate(truncate(x, e.X.Width)<<uint(e.Y.Width)|truncate(y, e.Y.Width), e.Width), nil
+		}
+		w := e.Width
+		if e.Bool {
+			w = e.X.Width
+		}
+		return evalBinary(e.Op, truncate(x, orW(e.X.Width, w)), truncate(y, orW(e.Y.Width, w)), w)
+	case ir.ESlice:
+		x, err := f.eval(e.X)
+		if err != nil {
+			return 0, err
+		}
+		return x >> uint(e.Lo) & maskW(e.Hi-e.Lo+1), nil
+	}
+	return 0, fmt.Errorf("interpreter cannot evaluate %s expression", e.Kind)
+}
+
+func orW(a, b int) int {
+	if a > 0 {
+		return a
+	}
+	return b
+}
+
+// load reads a storage path; "$im.*" routes to the shared metadata.
+func (f *frame) load(ref string) uint64 {
+	if strings.HasPrefix(ref, "$im.") {
+		return f.imGet(ref[len("$im."):])
+	}
+	return f.store[ref]
+}
+
+func (f *frame) storeRef(ref string, v uint64) {
+	if strings.HasPrefix(ref, "$im.") {
+		f.imSet(ref[len("$im."):], v)
+		return
+	}
+	f.store[ref] = v
+}
+
+// assign writes v to an lvalue (plain ref or bit-slice of a ref).
+func (f *frame) assign(lhs *ir.Expr, v uint64) error {
+	switch lhs.Kind {
+	case ir.ERef:
+		f.storeRef(lhs.Ref, truncate(v, orW(lhs.Width, 64)))
+		return nil
+	case ir.ESlice:
+		if lhs.X.Kind != ir.ERef {
+			return fmt.Errorf("assignment to slice of non-reference")
+		}
+		cur := f.load(lhs.X.Ref)
+		m := maskW(lhs.Hi-lhs.Lo+1) << uint(lhs.Lo)
+		f.storeRef(lhs.X.Ref, cur&^m|(v<<uint(lhs.Lo))&m)
+		return nil
+	}
+	return fmt.Errorf("assignment to unsupported lvalue %s", lhs)
+}

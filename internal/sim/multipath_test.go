@@ -1,0 +1,364 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"microp4/internal/frontend"
+	"microp4/internal/ir"
+	"microp4/internal/midend"
+	"microp4/internal/pkt"
+	"microp4/internal/sim"
+)
+
+// A caller whose parser has TWO accepting paths of different lengths
+// (eth, or eth+vlan) invoking the same module: the callee's MAT entries
+// must be replicated per caller path with different byte-stack bases,
+// keyed on the caller's path-id (§5.3's path-product).
+
+const vlanCalleeSrc = `
+struct empty_t { }
+header ipv4_h {
+  bit<4> version; bit<4> ihl; bit<8> diffserv; bit<16> totalLen;
+  bit<16> identification; bit<3> flags; bit<13> fragOffset;
+  bit<8> ttl; bit<8> protocol; bit<16> hdrChecksum;
+  bit<32> srcAddr; bit<32> dstAddr;
+}
+struct chdr_t { ipv4_h ipv4; }
+program V4 : implements Unicast {
+  parser P(extractor ex, pkt p, out chdr_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.ipv4); transition accept; }
+  }
+  control C(pkt p, inout chdr_t h, inout empty_t m, im_t im, out bit<16> nh) {
+    action route(bit<16> next_hop) { h.ipv4.ttl = h.ipv4.ttl - 1; nh = next_hop; }
+    action none() { nh = 0; }
+    table rt {
+      key = { h.ipv4.dstAddr : lpm; }
+      actions = { route; none; }
+      default_action = none;
+    }
+    apply { nh = 0; rt.apply(); }
+  }
+  control D(emitter em, pkt p, in chdr_t h) { apply { em.emit(p, h.ipv4); } }
+}
+`
+
+const vlanMainSrc = `
+struct empty_t { }
+header ethernet_h { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+header vlan_h { bit<3> pcp; bit<1> dei; bit<12> vid; bit<16> innerType; }
+struct hdr_t { ethernet_h eth; vlan_h vlan; }
+V4(pkt p, im_t im, out bit<16> nh);
+program VlanRouter : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) {
+        0x8100: parse_vlan;
+        0x0800: accept;
+        default: accept;
+      };
+    }
+    state parse_vlan { ex.extract(p, h.vlan); transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, inout empty_t m, im_t im) {
+    bit<16> nh;
+    bit<16> effType;
+    V4() v4_i;
+    action fwd(bit<9> port) { im.set_out_port(port); }
+    action drop_pkt() { im.drop(); }
+    table forward_tbl {
+      key = { nh : exact; }
+      actions = { fwd; drop_pkt; }
+      default_action = drop_pkt;
+    }
+    apply {
+      nh = 0;
+      effType = h.eth.etherType;
+      if (h.vlan.isValid()) {
+        effType = h.vlan.innerType;
+      }
+      if (effType == 0x0800) {
+        // The callee's packet view starts after eth (14B) on one caller
+        // path and after eth+vlan (18B) on the other.
+        v4_i.apply(p, im, nh);
+      }
+      forward_tbl.apply();
+    }
+  }
+  control D(emitter em, pkt p, in hdr_t h) {
+    apply { em.emit(p, h.eth); em.emit(p, h.vlan); }
+  }
+}
+VlanRouter(P, C, D) main;
+`
+
+func buildVlan(t *testing.T) (*sim.Exec, *sim.Interp, *midend.Result) {
+	t.Helper()
+	main, err := frontend.CompileModule("vlanmain.up4", vlanMainSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	callee, err := frontend.CompileModule("v4.up4", vlanCalleeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := midend.Build(main, callee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := sim.NewTables()
+	tables.AddEntry("v4_i.rt", []sim.RuntimeKey{sim.LPM(0x0A000000, 8)}, "v4_i.route", 100)
+	tables.AddEntry("forward_tbl", []sim.RuntimeKey{sim.Exact(100)}, "fwd", 5)
+	return sim.NewExec(res.Pipeline, tables), sim.NewInterp(res.Linked, tables), res
+}
+
+// TestPathProductEntries pins the structure: the callee's parser MAT has
+// one (match + truncation) entry pair per caller context.
+func TestPathProductEntries(t *testing.T) {
+	_, _, res := buildVlan(t)
+	tbl := res.Pipeline.Tables["v4_i.$parser_tbl"]
+	if tbl == nil {
+		t.Fatal("callee parser MAT missing")
+	}
+	// Caller has 3 accepting paths (vlan, 0x0800, default) → 3 contexts;
+	// callee has 1 path each → 3 match + 3 truncation entries.
+	if len(tbl.Entries) != 6 {
+		t.Fatalf("callee parser MAT has %d entries, want 6", len(tbl.Entries))
+	}
+	// The key includes the caller's path-id, matched exactly.
+	hasParentKey := false
+	for _, k := range tbl.Keys {
+		if k.Expr.Kind == ir.ERef && k.Expr.Ref == "$pp" && k.MatchKind == "exact" {
+			hasParentKey = true
+		}
+	}
+	if !hasParentKey {
+		t.Errorf("callee parser MAT does not key on the caller's path-id: %+v", tbl.Keys)
+	}
+	// Entries carry different byte-stack validity offsets: base 14 (no
+	// vlan: byte 33) and base 18 (vlan: byte 37).
+	offs := map[int]bool{}
+	for _, k := range tbl.Keys {
+		if k.Expr.Kind == ir.EBValid {
+			offs[k.Expr.Off] = true
+		}
+	}
+	if !offs[33] || !offs[37] {
+		t.Errorf("validity offsets = %v, want 33 and 37 (per-caller-path bases)", offs)
+	}
+}
+
+// TestPathProductDifferential runs vlan and non-vlan traffic through
+// both engines.
+func TestPathProductDifferential(t *testing.T) {
+	exec, interp, _ := buildVlan(t)
+	mk := func(vlan bool, dst uint32, ttl uint8) []byte {
+		b := pkt.NewBuilder()
+		if vlan {
+			b.Ethernet(1, 2, 0x8100)
+			// vlan tag: pcp/dei/vid + inner type 0x0800
+			b.Payload([]byte{0x20, 0x05, 0x08, 0x00})
+		} else {
+			b.Ethernet(1, 2, pkt.EtherTypeIPv4)
+		}
+		return b.IPv4(pkt.IPv4Opts{TTL: ttl, Protocol: 6, Src: 9, Dst: dst}).
+			TCP(1, 2).Payload([]byte("pp")).Bytes()
+	}
+	r := rand.New(rand.NewSource(11))
+	cases := [][]byte{
+		mk(false, 0x0A000001, 64),
+		mk(true, 0x0A000001, 64),
+		mk(false, 0x20000001, 64), // no route -> drop
+		mk(true, 0x20000001, 64),
+		mk(true, 0x0A000001, 64)[:20], // truncated vlan+ipv4
+	}
+	for i := 0; i < 100; i++ {
+		cases = append(cases, mk(r.Intn(2) == 0, r.Uint32(), uint8(r.Intn(255)+1)))
+	}
+	for i, in := range cases {
+		ri, err := interp.Process(in, sim.Metadata{})
+		if err != nil {
+			t.Fatalf("case %d interp: %v", i, err)
+		}
+		rx, err := exec.Process(in, sim.Metadata{})
+		if err != nil {
+			t.Fatalf("case %d exec: %v", i, err)
+		}
+		if summarize(ri) != summarize(rx) {
+			t.Fatalf("case %d diverges:\n  interp: %s\n  exec:   %s\n  in: %s",
+				i, summarize(ri), summarize(rx), pkt.Dump(in))
+		}
+	}
+	// Sanity: the vlan and non-vlan routed packets both reach port 5
+	// with TTL decremented at their different offsets.
+	for _, vlan := range []bool{false, true} {
+		in := mk(vlan, 0x0A000001, 64)
+		rx, err := exec.Process(in, sim.Metadata{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rx.Dropped || rx.Out[0].Port != 5 {
+			t.Fatalf("vlan=%v: %+v", vlan, rx)
+		}
+		off := 14
+		if vlan {
+			off = 18
+		}
+		if pkt.IPv4TTL(rx.Out[0].Data, off) != 63 {
+			t.Errorf("vlan=%v: ttl = %d, want 63", vlan, pkt.IPv4TTL(rx.Out[0].Data, off))
+		}
+	}
+}
+
+// Three-level nesting where BOTH the main and the middle module have
+// multi-path parsers: the leaf's contexts are the full product.
+const midSrc = `
+struct empty_t { }
+header outer_h { bit<8> kind; bit<8> pad; }
+header ext_h { bit<16> extra; }
+struct mhdr_t { outer_h outer; ext_h ext; }
+Leaf(pkt p, im_t im, out bit<16> tag);
+program Mid : implements Unicast {
+  parser P(extractor ex, pkt p, out mhdr_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.outer);
+      transition select(h.outer.kind) { 1: parse_ext; default: accept; };
+    }
+    state parse_ext { ex.extract(p, h.ext); transition accept; }
+  }
+  control C(pkt p, inout mhdr_t h, inout empty_t m, im_t im, out bit<16> tag) {
+    Leaf() leaf_i;
+    apply {
+      tag = 0;
+      leaf_i.apply(p, im, tag);
+    }
+  }
+  control D(emitter em, pkt p, in mhdr_t h) {
+    apply { em.emit(p, h.outer); em.emit(p, h.ext); }
+  }
+}
+`
+
+const leafSrc = `
+struct empty_t { }
+header tag_h { bit<16> t; }
+struct lhdr_t { tag_h tag; }
+program Leaf : implements Unicast {
+  parser P(extractor ex, pkt p, out lhdr_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.tag); transition accept; }
+  }
+  control C(pkt p, inout lhdr_t h, inout empty_t m, im_t im, out bit<16> tag) {
+    apply {
+      tag = h.tag.t;
+      h.tag.t = h.tag.t + 1;
+    }
+  }
+  control D(emitter em, pkt p, in lhdr_t h) { apply { em.emit(p, h.tag); } }
+}
+`
+
+const nestedMainSrc = `
+struct empty_t { }
+header pre_h { bit<8> sel; }
+header opt_h { bit<24> opt; }
+struct nhdr_t { pre_h pre; opt_h opt; }
+Mid(pkt p, im_t im, out bit<16> tag);
+program Nested : implements Unicast {
+  parser P(extractor ex, pkt p, out nhdr_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.pre);
+      transition select(h.pre.sel) { 7: parse_opt; default: accept; };
+    }
+    state parse_opt { ex.extract(p, h.opt); transition accept; }
+  }
+  control C(pkt p, inout nhdr_t h, inout empty_t m, im_t im) {
+    bit<16> tag;
+    Mid() mid_i;
+    apply {
+      tag = 0;
+      mid_i.apply(p, im, tag);
+      im.set_out_port((bit<9>) tag);
+    }
+  }
+  control D(emitter em, pkt p, in nhdr_t h) { apply { em.emit(p, h.pre); em.emit(p, h.opt); } }
+}
+Nested(P, C, D) main;
+`
+
+func TestNestedPathProduct(t *testing.T) {
+	compile := func(name, src string) *ir.Program {
+		p, err := frontend.CompileModule(name, src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return p
+	}
+	res, err := midend.Build(compile("nested.up4", nestedMainSrc),
+		compile("mid.up4", midSrc), compile("leaf.up4", leafSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Main: 2 paths; Mid under each: 2 paths → Leaf sees 4 contexts,
+	// 1 path each → 4 match + 4 truncation entries.
+	leaf := res.Pipeline.Tables["mid_i.leaf_i.$parser_tbl"]
+	if leaf == nil {
+		t.Fatal("leaf parser MAT missing")
+	}
+	if len(leaf.Entries) != 8 {
+		t.Fatalf("leaf parser MAT has %d entries, want 8 (4 contexts × match+trunc)", len(leaf.Entries))
+	}
+	// All four distinct bases appear: 1+2, 1+4, 4+2, 4+4 → tag bytes at
+	// offsets 3, 5, 6, 8 → validity bytes 4, 6, 7, 9.
+	offs := map[int]bool{}
+	for _, k := range leaf.Keys {
+		if k.Expr.Kind == ir.EBValid {
+			offs[k.Expr.Off] = true
+		}
+	}
+	for _, want := range []int{4, 6, 7, 9} {
+		if !offs[want] {
+			t.Errorf("missing validity offset %d; have %v", want, offs)
+		}
+	}
+
+	// Differential across all four shapes.
+	tables := sim.NewTables()
+	exec := sim.NewExec(res.Pipeline, tables)
+	interp := sim.NewInterp(res.Linked, tables)
+	mk := func(sel, kind uint8, tag uint16) []byte {
+		b := []byte{sel}
+		if sel == 7 {
+			b = append(b, 0xAA, 0xBB, 0xCC) // opt_h
+		}
+		b = append(b, kind, 0x00) // outer_h
+		if kind == 1 {
+			b = append(b, 0x11, 0x22) // ext_h
+		}
+		return append(b, byte(tag>>8), byte(tag)) // tag_h
+	}
+	for _, sel := range []uint8{7, 3} {
+		for _, kind := range []uint8{1, 0} {
+			in := mk(sel, kind, 0x0042)
+			ri, err := interp.Process(in, sim.Metadata{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rx, err := exec.Process(in, sim.Metadata{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if summarize(ri) != summarize(rx) {
+				t.Fatalf("sel=%d kind=%d diverge:\n  %s\n  %s", sel, kind, summarize(ri), summarize(rx))
+			}
+			// The leaf read tag 0x42 (port) and incremented it in place.
+			if ri.Dropped || ri.Out[0].Port != 0x42 {
+				t.Fatalf("sel=%d kind=%d: %+v", sel, kind, ri)
+			}
+			data := ri.Out[0].Data
+			if data[len(data)-1] != 0x43 {
+				t.Errorf("sel=%d kind=%d: leaf did not increment the tag: % x", sel, kind, data)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"microp4/internal/lib"
+	"microp4/internal/mat"
+	"microp4/internal/midend"
+	"microp4/internal/pkt"
+	"microp4/internal/sim"
+)
+
+// TestSplitParserDifferential re-runs randomized traffic with the §8.1
+// split-parser encoding: per-depth MATs must agree byte-for-byte with
+// the reference interpreter.
+func TestSplitParserDifferential(t *testing.T) {
+	const perProgram = 300
+	for _, prog := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7"} {
+		prog := prog
+		t.Run(prog, func(t *testing.T) {
+			main, mods, err := lib.CompileProgram(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			split, err := midend.BuildWith(midend.Options{
+				Compose: mat.Options{SplitParserMATs: true},
+			}, main, mods...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := midend.Build(main, mods...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables := sim.NewTables()
+			lib.InstallDefaultRules(tables, prog, false)
+			splitExec := sim.NewExec(split.Pipeline, tables)
+			interp := sim.NewInterp(plain.Linked, tables)
+
+			r := rand.New(rand.NewSource(0x5EED + int64(len(prog)*7)))
+			for i := 0; i < perProgram; i++ {
+				data := randPacket(r)
+				m := sim.Metadata{InPort: uint64(r.Intn(16))}
+				rs, err := splitExec.Process(data, m)
+				if err != nil {
+					t.Fatalf("pkt %d: split exec: %v\n%s", i, err, pkt.Dump(data))
+				}
+				ri, err := interp.Process(data, m)
+				if err != nil {
+					t.Fatalf("pkt %d: interp: %v", i, err)
+				}
+				if ss, si := summarize(rs), summarize(ri); ss != si {
+					t.Fatalf("pkt %d: split-parser encoding changed semantics:\n  split:  %s\n  interp: %s\nin: %s",
+						i, ss, si, pkt.Dump(data))
+				}
+			}
+		})
+	}
+}
+
+// TestSplitParserStructure pins the encoding's shape on the Fig. 10
+// parser: depth tables replace the single path-product MAT.
+func TestSplitParserStructure(t *testing.T) {
+	main, mods, err := lib.CompileProgram("P7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := midend.BuildWith(midend.Options{
+		Compose: mat.Options{SplitParserMATs: true},
+	}, main, mods...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pipeline.Tables["l3_i.srv6_i.$parser_tbl"] != nil {
+		t.Error("split mode still produced the monolithic parser MAT")
+	}
+	// The SRv6 parser is 6 states deep (ipv6, srh, seg4..seg1) → tables
+	// $0..$6 (finalize included).
+	found := 0
+	for name := range res.Pipeline.Tables {
+		if len(name) > 0 && name[len(name)-2] == '$' || name == "" {
+			continue
+		}
+		_ = name
+	}
+	for d := 0; d <= 6; d++ {
+		if res.Pipeline.Tables[nameAt("l3_i.srv6_i.$parser_tbl", d)] != nil {
+			found++
+		}
+	}
+	if found < 3 {
+		t.Errorf("only %d depth tables found for the SRv6 parser", found)
+	}
+}
+
+func nameAt(base string, d int) string {
+	return base + "$" + string(rune('0'+d))
+}

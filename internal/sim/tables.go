@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+
+	"microp4/internal/ir"
+)
+
+// RuntimeKey is one key of a runtime table entry.
+type RuntimeKey struct {
+	DontCare  bool
+	Value     uint64
+	Mask      uint64 // for ternary keys; 0 means exact
+	HasMask   bool
+	PrefixLen int // for lpm keys
+}
+
+// Exact returns an exact-match key.
+func Exact(v uint64) RuntimeKey { return RuntimeKey{Value: v} }
+
+// Ternary returns a value/mask key.
+func Ternary(v, m uint64) RuntimeKey { return RuntimeKey{Value: v, Mask: m, HasMask: true} }
+
+// LPM returns a longest-prefix-match key.
+func LPM(v uint64, plen int) RuntimeKey { return RuntimeKey{Value: v, PrefixLen: plen} }
+
+// Any returns a don't-care key.
+func Any() RuntimeKey { return RuntimeKey{DontCare: true} }
+
+// RuntimeEntry is one control-plane-installed table entry.
+type RuntimeEntry struct {
+	Keys     []RuntimeKey
+	Action   string
+	Args     []uint64
+	Priority int // lower wins among ternary matches
+}
+
+// Tables is the control-plane state shared by the interpreter and the
+// compiled executor: runtime entries and default-action overrides, keyed
+// by fully-qualified table name (instance-path-prefixed, e.g.
+// "l3_i.ipv4_lpm_tbl"). It is safe for concurrent use.
+type Tables struct {
+	mu       sync.RWMutex
+	entries  map[string][]RuntimeEntry
+	defaults map[string]*ir.ActionCall
+	seq      int
+}
+
+// NewTables returns empty control-plane state.
+func NewTables() *Tables {
+	return &Tables{
+		entries:  make(map[string][]RuntimeEntry),
+		defaults: make(map[string]*ir.ActionCall),
+	}
+}
+
+// AddEntry installs an entry; entries installed earlier win ties.
+func (t *Tables) AddEntry(table string, keys []RuntimeKey, action string, args ...uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	t.entries[table] = append(t.entries[table], RuntimeEntry{
+		Keys: keys, Action: action, Args: args, Priority: t.seq,
+	})
+}
+
+// AddEntryWithPriority installs an entry with an explicit priority
+// (lower wins).
+func (t *Tables) AddEntryWithPriority(table string, prio int, keys []RuntimeKey, action string, args ...uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries[table] = append(t.entries[table], RuntimeEntry{
+		Keys: keys, Action: action, Args: args, Priority: prio,
+	})
+}
+
+// SetDefault overrides a table's default action.
+func (t *Tables) SetDefault(table, action string, args ...uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.defaults[table] = &ir.ActionCall{Name: action, Args: args}
+}
+
+// ClearTable removes all runtime entries of a table.
+func (t *Tables) ClearTable(table string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.entries, table)
+}
+
+// Entries returns a copy of a table's runtime entries, in installation
+// order.
+func (t *Tables) Entries(table string) []RuntimeEntry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]RuntimeEntry(nil), t.entries[table]...)
+}
+
+// EntryCount returns the number of runtime entries installed in a table.
+func (t *Tables) EntryCount(table string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries[table])
+}
+
+// Lookup matches key values against a table definition plus runtime
+// state. Const entries (from the program text, including synthesized
+// parser/deparser MAT entries) have priority over runtime entries, in
+// declaration order. Returns the action to run, or the default action,
+// or nil when the table has no default (a miss is then a no-op).
+func (t *Tables) Lookup(fqName string, def *ir.Table, keyVals []uint64) *ir.ActionCall {
+	t.mu.RLock()
+	runtime := t.entries[fqName]
+	defOverride := t.defaults[fqName]
+	t.mu.RUnlock()
+
+	type cand struct {
+		action   *ir.ActionCall
+		plen     int
+		priority int
+	}
+	var best *cand
+	consider := func(action ir.ActionCall, keys []RuntimeKey, priority int) {
+		plenSum := 0
+		for i, k := range keys {
+			if i >= len(def.Keys) {
+				return
+			}
+			kw := def.Keys[i].Expr.Width
+			if !matchKey(def.Keys[i].MatchKind, k, keyVals[i], kw) {
+				return
+			}
+			if def.Keys[i].MatchKind == "lpm" && !k.DontCare {
+				plenSum += k.PrefixLen
+			}
+		}
+		c := &cand{action: &action, plen: plenSum, priority: priority}
+		if best == nil ||
+			c.plen > best.plen ||
+			(c.plen == best.plen && c.priority < best.priority) {
+			best = c
+		}
+	}
+	for i, e := range def.Entries {
+		keys := make([]RuntimeKey, len(e.Keys))
+		for j, ek := range e.Keys {
+			keys[j] = RuntimeKey{DontCare: ek.DontCare, Value: ek.Value, Mask: ek.Mask, HasMask: ek.HasMask, PrefixLen: ek.PrefixLen}
+		}
+		consider(e.Action, keys, i)
+	}
+	for _, e := range runtime {
+		consider(ir.ActionCall{Name: e.Action, Args: e.Args}, e.Keys, len(def.Entries)+e.Priority)
+	}
+	if best != nil {
+		return best.action
+	}
+	if defOverride != nil {
+		return defOverride
+	}
+	return def.Default
+}
+
+// matchKey checks one key column.
+func matchKey(kind string, k RuntimeKey, v uint64, width int) bool {
+	if k.DontCare {
+		return true
+	}
+	switch kind {
+	case "exact":
+		return k.Value == v
+	case "ternary":
+		if !k.HasMask {
+			return k.Value == v
+		}
+		return k.Value&k.Mask == v&k.Mask
+	case "lpm":
+		if k.PrefixLen == 0 {
+			return true
+		}
+		shift := uint(width - k.PrefixLen)
+		if width >= 64 {
+			shift = uint(64 - k.PrefixLen)
+		}
+		return k.Value>>shift == v>>shift
+	case "range":
+		// Value..Mask treated as an inclusive range.
+		return v >= k.Value && v <= k.Mask
+	}
+	return false
+}
+
+// TableNames lists tables with runtime entries (sorted, for debugging).
+func (t *Tables) TableNames() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []string
+	for n := range t.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceEvent is one observable step of packet processing — the paper's
+// §8.2 debugging direction: "programs can be linked against µP4 debug
+// modules ... logging information in the dataplane". The simulator
+// exposes the equivalent hooks directly.
+type TraceEvent struct {
+	Kind   string // "table", "action", "parser-state", "module", "drop"
+	Name   string // table/action/state/module name
+	Detail string // matched action, key values, etc.
+}
+
+func (e TraceEvent) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%-12s %s", e.Kind, e.Name)
+	}
+	return fmt.Sprintf("%-12s %-40s %s", e.Kind, e.Name, e.Detail)
+}
+
+// Tracer receives trace events during processing. A nil tracer is off.
+type Tracer func(TraceEvent)
+
+// CollectTrace returns a tracer appending into a slice.
+func CollectTrace(out *[]TraceEvent) Tracer {
+	return func(e TraceEvent) { *out = append(*out, e) }
+}
+
+// SetTracer installs a tracer on the executor.
+func (e *Exec) SetTracer(t Tracer) { e.tracer = t }
+
+// SetTracer installs a tracer on the interpreter.
+func (ip *Interp) SetTracer(t Tracer) { ip.tracer = t }
+
+// FormatTrace renders events as an indented log.
+func FormatTrace(events []TraceEvent) string {
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString("  ")
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func keyString(vals []uint64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%#x", v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

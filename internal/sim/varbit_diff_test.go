@@ -1,0 +1,179 @@
+package sim_test
+
+import (
+	"testing"
+
+	"microp4/internal/frontend"
+	"microp4/internal/mat"
+	"microp4/internal/midend"
+	"microp4/internal/pkt"
+	"microp4/internal/sim"
+)
+
+// varbitSrc parses an IPv4 header whose options are a varbit field sized
+// by IHL — the classic variable-length case the §C transformation
+// enumerates into per-size states.
+const varbitSrc = `
+struct empty_t { }
+header ethernet_h { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+header ipv4opt_h {
+  bit<4> version; bit<4> ihl; bit<8> diffserv; bit<16> totalLen;
+  bit<16> identification; bit<3> flags; bit<13> fragOffset;
+  bit<8> ttl; bit<8> protocol; bit<16> hdrChecksum;
+  bit<32> srcAddr; bit<32> dstAddr;
+  varbit<320> options;
+}
+struct hdr_t { ethernet_h eth; ipv4opt_h ipv4; }
+program VarOpts : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) { 0x0800: parse_v4; default: accept; };
+    }
+    state parse_v4 {
+      ex.extract(p, h.ipv4, ((bit<32>)h.ipv4.ihl - 5) * 32);
+      transition accept;
+    }
+  }
+  control C(pkt p, inout hdr_t h, inout empty_t m, im_t im) {
+    apply {
+      if (h.ipv4.isValid()) {
+        h.ipv4.ttl = h.ipv4.ttl - 1;
+        im.set_out_port(2);
+      } else {
+        im.set_out_port(3);
+      }
+    }
+  }
+  control D(emitter em, pkt p, in hdr_t h) {
+    apply { em.emit(p, h.eth); em.emit(p, h.ipv4); }
+  }
+}
+VarOpts(P, C, D) main;
+`
+
+// TestVarbitDifferential runs IPv4 packets with 0..10 words of options
+// through both engines: the §C split must preserve byte-level semantics,
+// including the option bytes riding along unmodified.
+func TestVarbitDifferential(t *testing.T) {
+	main, err := frontend.CompileModule("varopts.up4", varbitSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := midend.Build(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte-stack: eth 14 + ipv4 20 + options max 40 = 74.
+	if res.Pipeline.BsBytes != 74 {
+		t.Fatalf("Bs = %d, want 74", res.Pipeline.BsBytes)
+	}
+	tables := sim.NewTables()
+	exec := sim.NewExec(res.Pipeline, tables)
+	interp := sim.NewInterp(res.Linked, tables)
+
+	mkv4 := func(optWords int, ttl uint8) []byte {
+		b := pkt.NewBuilder().Ethernet(1, 2, pkt.EtherTypeIPv4)
+		var h [20]byte
+		h[0] = byte(0x40 | (5 + optWords))
+		h[8] = ttl
+		h[9] = 6
+		raw := b.Payload(h[:]).Bytes()
+		for i := 0; i < optWords*4; i++ {
+			raw = append(raw, byte(0x80+i))
+		}
+		return append(raw, []byte("tail-payload")...)
+	}
+
+	for optWords := 0; optWords <= 10; optWords++ {
+		in := mkv4(optWords, 9)
+		ri, err := interp.Process(in, sim.Metadata{})
+		if err != nil {
+			t.Fatalf("opts=%d: interp: %v", optWords, err)
+		}
+		rx, err := exec.Process(in, sim.Metadata{})
+		if err != nil {
+			t.Fatalf("opts=%d: exec: %v", optWords, err)
+		}
+		if summarize(ri) != summarize(rx) {
+			t.Fatalf("opts=%d words: engines diverge:\n  %s\n  %s\n  in: %s",
+				optWords, summarize(ri), summarize(rx), pkt.Dump(in))
+		}
+		if ri.Dropped {
+			t.Fatalf("opts=%d: dropped", optWords)
+		}
+		out := ri.Out[0]
+		if out.Port != 2 || pkt.IPv4TTL(out.Data, 14) != 8 {
+			t.Fatalf("opts=%d: %+v", optWords, out)
+		}
+		// Option bytes and payload intact.
+		for i := 0; i < optWords*4; i++ {
+			if out.Data[34+i] != byte(0x80+i) {
+				t.Fatalf("opts=%d: option byte %d corrupted", optWords, i)
+			}
+		}
+		if string(out.Data[len(out.Data)-12:]) != "tail-payload" {
+			t.Fatalf("opts=%d: payload corrupted", optWords)
+		}
+	}
+
+	// An IHL larger than the varbit maximum (ihl=15 fits; a truncated
+	// packet shorter than ihl says) rejects identically.
+	short := mkv4(8, 9)[:40]
+	ri, _ := interp.Process(short, sim.Metadata{})
+	rx, _ := exec.Process(short, sim.Metadata{})
+	if summarize(ri) != summarize(rx) || !ri.Dropped {
+		t.Errorf("truncated options: interp=%s exec=%s", summarize(ri), summarize(rx))
+	}
+	// Non-IPv4 bypasses: port 3.
+	arp := pkt.NewBuilder().Ethernet(1, 2, 0x0806).Payload([]byte{1, 2}).Bytes()
+	ra, err := exec.Process(arp, sim.Metadata{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Dropped || ra.Out[0].Port != 3 {
+		t.Errorf("arp: %+v", ra)
+	}
+}
+
+// TestVarbitSplitEncoding re-runs the options sweep with the §8.1
+// split-parser encoding.
+func TestVarbitSplitEncoding(t *testing.T) {
+	main, err := frontend.CompileModule("varopts.up4", varbitSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := midend.BuildWith(midend.Options{
+		Compose: mat.Options{SplitParserMATs: true},
+	}, main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := midend.Build(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := sim.NewTables()
+	exec := sim.NewExec(res.Pipeline, tables)
+	interp := sim.NewInterp(plain.Linked, tables)
+	for optWords := 0; optWords <= 10; optWords++ {
+		var h [20]byte
+		h[0] = byte(0x40 | (5 + optWords))
+		h[8] = 7
+		in := pkt.NewBuilder().Ethernet(1, 2, pkt.EtherTypeIPv4).Payload(h[:]).Bytes()
+		for i := 0; i < optWords*4; i++ {
+			in = append(in, byte(i))
+		}
+		rx, err := exec.Process(in, sim.Metadata{})
+		if err != nil {
+			t.Fatalf("opts=%d: %v", optWords, err)
+		}
+		ri, err := interp.Process(in, sim.Metadata{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if summarize(rx) != summarize(ri) {
+			t.Fatalf("opts=%d: split diverges:\n  %s\n  %s", optWords, summarize(rx), summarize(ri))
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package types
+
+import (
+	"microp4/internal/ast"
+)
+
+// checkCall validates a call expression and returns its result type
+// (nil for void calls). cc may be nil when calls are checked in pure
+// expression position (no tables available there).
+func (env *Env) checkCall(sc *Scope, cc *ctrlCtx, call *ast.CallExpr, inParser bool) (*Type, error) {
+	fe, ok := call.Fun.(*ast.FieldExpr)
+	if !ok {
+		// Free function: only recirculate<D>(data) is defined by µPA.
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recirculate" {
+			if len(call.Args) != 1 {
+				return nil, env.errf(call.P, "recirculate takes 1 argument")
+			}
+			if _, err := env.TypeOf(sc, call.Args[0]); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		return nil, env.errf(call.P, "call of non-method expression")
+	}
+	method := fe.Name
+
+	// Header validity methods work on any header-typed receiver.
+	recvT, err := env.TypeOf(sc, fe.X)
+	if err == nil && (recvT.Kind == KindHeader || recvT.Kind == KindStack) {
+		return env.checkHeaderMethod(sc, call, recvT, method)
+	}
+	// Table apply: receiver is a bare identifier naming a table.
+	if id, ok := fe.X.(*ast.Ident); ok && cc != nil {
+		if _, isTable := cc.tables[id.Name]; isTable {
+			if method != "apply" {
+				return nil, env.errf(call.P, "table %s has no method %s", id.Name, method)
+			}
+			if len(call.Args) != 0 {
+				return nil, env.errf(call.P, "table apply takes no arguments")
+			}
+			return nil, nil
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	switch recvT.Kind {
+	case KindExtern:
+		return env.checkExternMethod(sc, call, recvT.Name, method, inParser)
+	case KindModule:
+		return env.checkModuleApply(sc, call, recvT.Name, method)
+	}
+	return nil, env.errf(call.P, "%s has no method %s", recvT, method)
+}
+
+func (env *Env) checkHeaderMethod(sc *Scope, call *ast.CallExpr, recvT *Type, method string) (*Type, error) {
+	switch method {
+	case "isValid":
+		if len(call.Args) != 0 {
+			return nil, env.errf(call.P, "isValid takes no arguments")
+		}
+		return BoolType, nil
+	case "setValid", "setInvalid":
+		if recvT.Kind != KindHeader {
+			return nil, env.errf(call.P, "%s requires a header instance", method)
+		}
+		if len(call.Args) != 0 {
+			return nil, env.errf(call.P, "%s takes no arguments", method)
+		}
+		return nil, nil
+	case "push_front", "pop_front":
+		if recvT.Kind != KindStack {
+			return nil, env.errf(call.P, "%s requires a header stack", method)
+		}
+		if len(call.Args) != 1 {
+			return nil, env.errf(call.P, "%s takes 1 argument", method)
+		}
+		if _, err := env.EvalConst(call.Args[0]); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	return nil, env.errf(call.P, "header has no method %s", method)
+}
+
+// externSig describes a fixed extern method signature: the kinds expected
+// for each argument. kindAny matches anything; kindBits matches any
+// bit-typed expression; kindHdr matches headers and stacks.
+type argKind int
+
+const (
+	kindAny argKind = iota
+	kindBits
+	kindHdr
+	kindPkt
+	kindIm
+	kindBuf
+)
+
+func (env *Env) matchArg(sc *Scope, e ast.Expr, k argKind) bool {
+	t, err := env.TypeOf(sc, e)
+	if err != nil {
+		return false
+	}
+	switch k {
+	case kindAny:
+		return true
+	case kindBits:
+		return t.Kind == KindBit || t.Kind == KindBool
+	case kindHdr:
+		return t.Kind == KindHeader || t.Kind == KindStack || t.Kind == KindStruct || t.Kind == KindVarbit
+	case kindPkt:
+		return t.Kind == KindExtern && t.Name == "pkt"
+	case kindIm:
+		return t.Kind == KindExtern && t.Name == "im_t"
+	case kindBuf:
+		return t.Kind == KindExtern && (t.Name == "in_buf" || t.Name == "out_buf" || t.Name == "mc_buf")
+	}
+	return false
+}
+
+func (env *Env) checkArgs(sc *Scope, call *ast.CallExpr, kinds ...argKind) error {
+	if len(call.Args) != len(kinds) {
+		return env.errf(call.P, "method takes %d arguments, got %d", len(kinds), len(call.Args))
+	}
+	for i, a := range call.Args {
+		if !env.matchArg(sc, a, kinds[i]) {
+			// Re-derive the underlying error for a better message.
+			if _, err := env.TypeOf(sc, a); err != nil {
+				return err
+			}
+			return env.errf(a.Pos(), "argument %d has wrong type", i+1)
+		}
+	}
+	return nil
+}
+
+func (env *Env) checkExternMethod(sc *Scope, call *ast.CallExpr, extern, method string, inParser bool) (*Type, error) {
+	switch extern {
+	case "extractor":
+		switch method {
+		case "extract":
+			if !inParser {
+				return nil, env.errf(call.P, "extract is only allowed in parsers")
+			}
+			switch len(call.Args) {
+			case 2:
+				return nil, env.checkArgs(sc, call, kindPkt, kindHdr)
+			case 3:
+				return nil, env.checkArgs(sc, call, kindPkt, kindHdr, kindBits)
+			default:
+				return nil, env.errf(call.P, "extract takes 2 or 3 arguments")
+			}
+		case "lookahead":
+			return nil, env.errf(call.P, "lookahead is not supported by this implementation")
+		}
+	case "emitter":
+		if method == "emit" {
+			return nil, env.checkArgs(sc, call, kindPkt, kindHdr)
+		}
+	case "pkt":
+		if method == "copy_from" {
+			return nil, env.checkArgs(sc, call, kindPkt)
+		}
+	case "im_t":
+		switch method {
+		case "set_out_port":
+			return nil, env.checkArgs(sc, call, kindBits)
+		case "get_out_port":
+			if err := env.checkArgs(sc, call); err != nil {
+				return nil, err
+			}
+			return Bit(9), nil
+		case "get_value":
+			if err := env.checkArgs(sc, call, kindBits); err != nil {
+				return nil, err
+			}
+			return Bit(32), nil
+		case "drop":
+			return nil, env.checkArgs(sc, call)
+		case "copy_from":
+			return nil, env.checkArgs(sc, call, kindIm)
+		case "digest":
+			return nil, env.checkArgs(sc, call, kindBits)
+		}
+	case "mc_engine":
+		switch method {
+		case "set_mc_group":
+			return nil, env.checkArgs(sc, call, kindBits)
+		case "apply":
+			switch len(call.Args) {
+			case 2:
+				return nil, env.checkArgs(sc, call, kindIm, kindBits)
+			case 3:
+				return nil, env.checkArgs(sc, call, kindPkt, kindIm, kindAny)
+			default:
+				return nil, env.errf(call.P, "mc_engine.apply takes 2 or 3 arguments")
+			}
+		case "set_buf":
+			return nil, env.checkArgs(sc, call, kindBuf)
+		}
+	case "out_buf":
+		switch method {
+		case "enqueue":
+			if len(call.Args) < 2 {
+				return nil, env.errf(call.P, "enqueue takes at least pkt and im arguments")
+			}
+			kinds := []argKind{kindPkt, kindIm}
+			for i := 2; i < len(call.Args); i++ {
+				kinds = append(kinds, kindAny)
+			}
+			return nil, env.checkArgs(sc, call, kinds...)
+		case "merge":
+			return nil, env.checkArgs(sc, call, kindBuf)
+		case "to_in_buf":
+			return nil, env.checkArgs(sc, call, kindBuf)
+		}
+	case "mc_buf":
+		if method == "enqueue" {
+			if len(call.Args) < 2 {
+				return nil, env.errf(call.P, "mc_buf.enqueue takes header, im, and out-args")
+			}
+			return nil, nil
+		}
+	case "register":
+		switch method {
+		case "read":
+			// read(out value, index)
+			if err := env.checkArgs(sc, call, kindBits, kindBits); err != nil {
+				return nil, err
+			}
+			if !isLValue(call.Args[0]) {
+				return nil, env.errf(call.P, "register read destination must be assignable")
+			}
+			return nil, nil
+		case "write":
+			return nil, env.checkArgs(sc, call, kindBits, kindBits)
+		}
+	case "in_buf":
+		return nil, env.errf(call.P, "in_buf.%s is not user-callable (used only by the architecture)", method)
+	}
+	return nil, env.errf(call.P, "extern %s has no method %s", extern, method)
+}
+
+func (env *Env) checkModuleApply(sc *Scope, call *ast.CallExpr, module, method string) (*Type, error) {
+	if method != "apply" {
+		return nil, env.errf(call.P, "module %s has no method %s", module, method)
+	}
+	proto := env.Protos[module]
+	if proto == nil {
+		return nil, env.errf(call.P, "unknown module %s", module)
+	}
+	if len(call.Args) != len(proto.Params) {
+		return nil, env.errf(call.P, "module %s takes %d arguments, got %d", module, len(proto.Params), len(call.Args))
+	}
+	for i, a := range call.Args {
+		pt, err := env.Resolve(proto.Params[i].T)
+		if err != nil {
+			return nil, err
+		}
+		at, err := env.TypeOf(sc, a)
+		if err != nil {
+			return nil, err
+		}
+		if pt.Kind == KindExtern {
+			if at.Kind != KindExtern || at.Name != pt.Name {
+				return nil, env.errf(a.Pos(), "argument %d must be %s", i+1, pt.Name)
+			}
+			continue
+		}
+		if !assignable(pt, at) && !assignable(at, pt) {
+			return nil, env.errf(a.Pos(), "argument %d: cannot pass %s as %s", i+1, at, pt)
+		}
+		if proto.Params[i].Dir == ast.DirOut || proto.Params[i].Dir == ast.DirInOut {
+			if !isLValue(a) {
+				return nil, env.errf(a.Pos(), "argument %d to %s parameter must be assignable", i+1, proto.Params[i].Dir)
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,570 @@
+package types
+
+import (
+	"fmt"
+
+	"microp4/internal/ast"
+)
+
+// Scope maps visible variable names to their types.
+type Scope struct {
+	parent *Scope
+	vars   map[string]*Type
+}
+
+// NewScope returns a scope nested in parent (which may be nil).
+func NewScope(parent *Scope) *Scope {
+	return &Scope{parent: parent, vars: make(map[string]*Type)}
+}
+
+// Declare binds name to t in this scope.
+func (s *Scope) Declare(name string, t *Type) { s.vars[name] = t }
+
+// Lookup resolves name, searching enclosing scopes.
+func (s *Scope) Lookup(name string) *Type {
+	for sc := s; sc != nil; sc = sc.parent {
+		if t, ok := sc.vars[name]; ok {
+			return t
+		}
+	}
+	return nil
+}
+
+// DeclaredHere reports whether name is declared in this exact scope.
+func (s *Scope) DeclaredHere(name string) bool {
+	_, ok := s.vars[name]
+	return ok
+}
+
+// ctrlCtx carries per-control declarations while checking a control body.
+type ctrlCtx struct {
+	actions map[string]*ast.ActionDecl
+	tables  map[string]*ast.TableDecl
+}
+
+// ProgramInterfaces supported by µPA (§4.1).
+var ProgramInterfaces = map[string]bool{
+	"Unicast": true, "Multicast": true, "Orchestration": true,
+}
+
+func (env *Env) checkProgram(d *ast.ProgramDecl) error {
+	if !ProgramInterfaces[d.Interface] {
+		return env.errf(d.P, "program %s implements unknown interface %s", d.Name, d.Interface)
+	}
+	if d.Parser == nil && d.Interface != "Orchestration" {
+		return env.errf(d.P, "program %s has no parser block", d.Name)
+	}
+	if len(d.Controls) == 0 {
+		return env.errf(d.P, "program %s has no control blocks", d.Name)
+	}
+	if d.Parser != nil {
+		if err := env.checkParser(d.Parser); err != nil {
+			return err
+		}
+	}
+	for _, c := range d.Controls {
+		if err := env.checkControl(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsDeparser reports whether a control block is a deparser: it takes an
+// emitter parameter.
+func IsDeparser(c *ast.ControlDecl) bool {
+	for _, p := range c.Params {
+		if nt, ok := p.T.(*ast.NamedType); ok && nt.Name == "emitter" {
+			return true
+		}
+	}
+	return false
+}
+
+func (env *Env) paramScope(params []ast.Param) (*Scope, error) {
+	ts, err := env.resolveParams(params)
+	if err != nil {
+		return nil, err
+	}
+	sc := NewScope(nil)
+	for i, p := range params {
+		sc.Declare(p.Name, ts[i])
+	}
+	return sc, nil
+}
+
+func (env *Env) checkParser(pd *ast.ParserDecl) error {
+	sc, err := env.paramScope(pd.Params)
+	if err != nil {
+		return err
+	}
+	for _, v := range pd.Locals {
+		t, err := env.Resolve(v.T)
+		if err != nil {
+			return err
+		}
+		sc.Declare(v.Name, t)
+	}
+	states := map[string]bool{ast.StateAccept: true, ast.StateReject: true}
+	for _, st := range pd.States {
+		if states[st.Name] {
+			return env.errf(st.P, "duplicate state %s", st.Name)
+		}
+		states[st.Name] = true
+	}
+	if !states[ast.StateStart] {
+		return env.errf(pd.P, "parser %s has no start state", pd.Name)
+	}
+	for _, st := range pd.States {
+		for _, s := range st.Stmts {
+			if err := env.checkStmt(sc, nil, s, true); err != nil {
+				return err
+			}
+		}
+		switch tr := st.Trans.(type) {
+		case nil:
+			// implicit reject
+		case *ast.DirectTransition:
+			if !states[tr.Target] {
+				return env.errf(tr.P, "transition to unknown state %s", tr.Target)
+			}
+		case *ast.SelectTransition:
+			for _, e := range tr.Exprs {
+				t, err := env.TypeOf(sc, e)
+				if err != nil {
+					return err
+				}
+				if t.Kind != KindBit && t.Kind != KindBool {
+					return env.errf(e.Pos(), "select expression must have bit type, got %s", t)
+				}
+			}
+			for _, c := range tr.Cases {
+				if !states[c.Target] {
+					return env.errf(c.P, "transition to unknown state %s", c.Target)
+				}
+				for i, v := range c.Values {
+					if v == nil {
+						continue // don't-care
+					}
+					if _, err := env.EvalConst(v); err != nil {
+						return err
+					}
+					if c.Masks[i] != nil {
+						if _, err := env.EvalConst(c.Masks[i]); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (env *Env) checkControl(cd *ast.ControlDecl) error {
+	sc, err := env.paramScope(cd.Params)
+	if err != nil {
+		return err
+	}
+	cc := &ctrlCtx{
+		actions: make(map[string]*ast.ActionDecl),
+		tables:  make(map[string]*ast.TableDecl),
+	}
+	for _, l := range cd.Locals {
+		switch l := l.(type) {
+		case *ast.VarDecl:
+			t, err := env.Resolve(l.T)
+			if err != nil {
+				return err
+			}
+			if l.Init != nil {
+				if _, err := env.TypeOf(sc, l.Init); err != nil {
+					return err
+				}
+			}
+			sc.Declare(l.Name, t)
+		case *ast.InstDecl:
+			if externNames[l.TypeName] {
+				sc.Declare(l.Name, &Type{Kind: KindExtern, Name: l.TypeName})
+				continue
+			}
+			if _, ok := env.Protos[l.TypeName]; !ok {
+				return env.errf(l.P, "instantiation of unknown module or extern %s", l.TypeName)
+			}
+			sc.Declare(l.Name, &Type{Kind: KindModule, Name: l.TypeName})
+		case *ast.ActionDecl:
+			if _, dup := cc.actions[l.Name]; dup {
+				return env.errf(l.P, "duplicate action %s", l.Name)
+			}
+			cc.actions[l.Name] = l
+			asc := NewScope(sc)
+			ts, err := env.resolveParams(l.Params)
+			if err != nil {
+				return err
+			}
+			for i, p := range l.Params {
+				asc.Declare(p.Name, ts[i])
+			}
+			for _, s := range l.Body.Stmts {
+				if err := env.checkStmt(asc, cc, s, false); err != nil {
+					return err
+				}
+			}
+		case *ast.TableDecl:
+			if _, dup := cc.tables[l.Name]; dup {
+				return env.errf(l.P, "duplicate table %s", l.Name)
+			}
+			cc.tables[l.Name] = l
+			if err := env.checkTable(sc, cc, l); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range cd.Apply.Stmts {
+		if err := env.checkStmt(sc, cc, s, false); err != nil {
+			return err
+		}
+	}
+	cd.IsDecap = IsDeparser(cd)
+	return nil
+}
+
+func (env *Env) checkTable(sc *Scope, cc *ctrlCtx, td *ast.TableDecl) error {
+	for _, k := range td.Keys {
+		t, err := env.TypeOf(sc, k.Expr)
+		if err != nil {
+			return err
+		}
+		if t.Kind != KindBit && t.Kind != KindBool {
+			return env.errf(k.P, "table key must have bit type, got %s", t)
+		}
+	}
+	checkRef := func(ar *ast.ActionRef) error {
+		a, ok := cc.actions[ar.Name]
+		if !ok {
+			return env.errf(ar.P, "table %s references unknown action %s", td.Name, ar.Name)
+		}
+		if len(ar.Args) > 0 && len(ar.Args) != len(a.Params) {
+			return env.errf(ar.P, "action %s takes %d arguments, got %d", ar.Name, len(a.Params), len(ar.Args))
+		}
+		for _, arg := range ar.Args {
+			if _, err := env.EvalConst(arg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range td.Actions {
+		if err := checkRef(&td.Actions[i]); err != nil {
+			return err
+		}
+	}
+	if td.DefaultAction != nil {
+		if err := checkRef(td.DefaultAction); err != nil {
+			return err
+		}
+		a := cc.actions[td.DefaultAction.Name]
+		if len(td.DefaultAction.Args) == 0 && len(a.Params) > 0 {
+			return env.errf(td.DefaultAction.P, "default_action %s needs %d bound arguments", a.Name, len(a.Params))
+		}
+	}
+	for _, ent := range td.Entries {
+		if len(ent.Keys) != len(td.Keys) {
+			return env.errf(ent.P, "entry has %d keys, table %s has %d", len(ent.Keys), td.Name, len(td.Keys))
+		}
+		for _, ks := range ent.Keys {
+			if ks.DontCare {
+				continue
+			}
+			if _, err := env.EvalConst(ks.Value); err != nil {
+				return err
+			}
+			if ks.Mask != nil {
+				if _, err := env.EvalConst(ks.Mask); err != nil {
+					return err
+				}
+			}
+		}
+		if err := checkRef(&ent.Action); err != nil {
+			return err
+		}
+		a := cc.actions[ent.Action.Name]
+		if len(ent.Action.Args) != len(a.Params) {
+			return env.errf(ent.P, "entry action %s needs %d arguments, got %d", a.Name, len(a.Params), len(ent.Action.Args))
+		}
+	}
+	return nil
+}
+
+func (env *Env) checkStmt(sc *Scope, cc *ctrlCtx, s ast.Stmt, inParser bool) error {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		inner := NewScope(sc)
+		for _, st := range s.Stmts {
+			if err := env.checkStmt(inner, cc, st, inParser); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ast.EmptyStmt, *ast.ExitStmt:
+		return nil
+	case *ast.VarDeclStmt:
+		t, err := env.Resolve(s.Decl.T)
+		if err != nil {
+			return err
+		}
+		if s.Decl.Init != nil {
+			if _, err := env.TypeOf(sc, s.Decl.Init); err != nil {
+				return err
+			}
+		}
+		if sc.DeclaredHere(s.Decl.Name) {
+			return env.errf(s.Decl.P, "duplicate variable %s", s.Decl.Name)
+		}
+		sc.Declare(s.Decl.Name, t)
+		return nil
+	case *ast.AssignStmt:
+		lt, err := env.TypeOf(sc, s.LHS)
+		if err != nil {
+			return err
+		}
+		if !isLValue(s.LHS) {
+			return env.errf(s.P, "left side of assignment is not assignable")
+		}
+		rt, err := env.TypeOf(sc, s.RHS)
+		if err != nil {
+			return err
+		}
+		if !assignable(lt, rt) {
+			return env.errf(s.P, "cannot assign %s to %s", rt, lt)
+		}
+		return nil
+	case *ast.CallStmt:
+		_, err := env.checkCall(sc, cc, s.Call, inParser)
+		return err
+	case *ast.IfStmt:
+		t, err := env.TypeOf(sc, s.Cond)
+		if err != nil {
+			return err
+		}
+		if t.Kind != KindBool {
+			return env.errf(s.P, "if condition must be boolean, got %s", t)
+		}
+		if err := env.checkStmt(sc, cc, s.Then, inParser); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return env.checkStmt(sc, cc, s.Else, inParser)
+		}
+		return nil
+	case *ast.SwitchStmt:
+		t, err := env.TypeOf(sc, s.Expr)
+		if err != nil {
+			return err
+		}
+		if t.Kind != KindBit {
+			return env.errf(s.P, "switch expression must have bit type, got %s", t)
+		}
+		for _, c := range s.Cases {
+			for _, v := range c.Values {
+				if _, err := env.EvalConst(v); err != nil {
+					return err
+				}
+			}
+			if err := env.checkStmt(sc, cc, c.Body, inParser); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unhandled statement %T", s)
+}
+
+func isLValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.FieldExpr:
+		return isLValue(e.X)
+	case *ast.IndexExpr:
+		return isLValue(e.X)
+	case *ast.SliceExpr:
+		return isLValue(e.X)
+	}
+	return false
+}
+
+// assignable reports whether a value of type rt can be assigned to lt.
+// Unsized literals (Bit(0)) adapt to any bit type.
+func assignable(lt, rt *Type) bool {
+	if lt.Kind == KindBit && rt.Kind == KindBit {
+		return lt.Width == rt.Width || rt.Width == 0 || lt.Width == 0
+	}
+	if lt.Kind != rt.Kind {
+		return false
+	}
+	switch lt.Kind {
+	case KindBool:
+		return true
+	case KindHeader, KindStruct:
+		return lt.Name == rt.Name
+	case KindStack:
+		return lt.Elem.Name == rt.Elem.Name && lt.Size == rt.Size
+	case KindVarbit:
+		return true
+	}
+	return false
+}
+
+// TypeOf computes the type of an expression in scope sc.
+func (env *Env) TypeOf(sc *Scope, e ast.Expr) (*Type, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return Bit(e.Width), nil // width 0 = unsized literal
+	case *ast.BoolLit:
+		return BoolType, nil
+	case *ast.Ident:
+		if t := sc.Lookup(e.Name); t != nil {
+			return t, nil
+		}
+		if c, ok := env.Consts[e.Name]; ok {
+			return Bit(c.Width), nil
+		}
+		return nil, env.errf(e.P, "undefined: %s", e.Name)
+	case *ast.FieldExpr:
+		return env.typeOfField(sc, e)
+	case *ast.IndexExpr:
+		xt, err := env.TypeOf(sc, e.X)
+		if err != nil {
+			return nil, err
+		}
+		if xt.Kind != KindStack {
+			return nil, env.errf(e.P, "indexing non-stack type %s", xt)
+		}
+		idx, err := env.EvalConst(e.Index)
+		if err != nil {
+			return nil, err
+		}
+		if int(idx) >= xt.Size {
+			return nil, env.errf(e.P, "stack index %d out of range [0,%d)", idx, xt.Size)
+		}
+		return xt.Elem, nil
+	case *ast.SliceExpr:
+		xt, err := env.TypeOf(sc, e.X)
+		if err != nil {
+			return nil, err
+		}
+		if xt.Kind != KindBit {
+			return nil, env.errf(e.P, "bit-slicing non-bit type %s", xt)
+		}
+		if xt.Width != 0 && e.Hi >= xt.Width {
+			return nil, env.errf(e.P, "slice [%d:%d] out of range for %s", e.Hi, e.Lo, xt)
+		}
+		return Bit(e.Hi - e.Lo + 1), nil
+	case *ast.CastExpr:
+		t, err := env.Resolve(e.T)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := env.TypeOf(sc, e.X); err != nil {
+			return nil, err
+		}
+		return t, nil
+	case *ast.UnaryExpr:
+		xt, err := env.TypeOf(sc, e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "!":
+			if xt.Kind != KindBool {
+				return nil, env.errf(e.P, "operator ! requires bool, got %s", xt)
+			}
+			return BoolType, nil
+		default:
+			if xt.Kind != KindBit {
+				return nil, env.errf(e.P, "operator %s requires bit type, got %s", e.Op, xt)
+			}
+			return xt, nil
+		}
+	case *ast.BinaryExpr:
+		xt, err := env.TypeOf(sc, e.X)
+		if err != nil {
+			return nil, err
+		}
+		yt, err := env.TypeOf(sc, e.Y)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "&&", "||":
+			if xt.Kind != KindBool || yt.Kind != KindBool {
+				return nil, env.errf(e.P, "operator %s requires bool operands", e.Op)
+			}
+			return BoolType, nil
+		case "==", "!=":
+			if !assignable(xt, yt) && !assignable(yt, xt) {
+				return nil, env.errf(e.P, "cannot compare %s and %s", xt, yt)
+			}
+			return BoolType, nil
+		case "<", ">", "<=", ">=":
+			if xt.Kind != KindBit || yt.Kind != KindBit {
+				return nil, env.errf(e.P, "operator %s requires bit operands", e.Op)
+			}
+			return BoolType, nil
+		case "++":
+			if xt.Kind != KindBit || yt.Kind != KindBit || xt.Width == 0 || yt.Width == 0 {
+				return nil, env.errf(e.P, "operator ++ requires sized bit operands")
+			}
+			return Bit(xt.Width + yt.Width), nil
+		default:
+			if xt.Kind != KindBit || yt.Kind != KindBit {
+				return nil, env.errf(e.P, "operator %s requires bit operands, got %s and %s", e.Op, xt, yt)
+			}
+			w := xt.Width
+			if w == 0 {
+				w = yt.Width
+			}
+			if yt.Width != 0 && xt.Width != 0 && xt.Width != yt.Width {
+				return nil, env.errf(e.P, "operator %s requires equal widths, got %s and %s", e.Op, xt, yt)
+			}
+			return Bit(w), nil
+		}
+	case *ast.CallExpr:
+		return env.checkCall(sc, nil, e, false)
+	}
+	return nil, fmt.Errorf("unhandled expression %T", e)
+}
+
+func (env *Env) typeOfField(sc *Scope, e *ast.FieldExpr) (*Type, error) {
+	xt, err := env.TypeOf(sc, e.X)
+	if err != nil {
+		return nil, err
+	}
+	switch xt.Kind {
+	case KindStruct:
+		si := env.Structs[xt.Name]
+		if t := si.Field(e.Name); t != nil {
+			return t, nil
+		}
+		return nil, env.errf(e.P, "struct %s has no field %s", xt.Name, e.Name)
+	case KindHeader:
+		hi := env.Headers[xt.Name]
+		if f := hi.Field(e.Name); f != nil {
+			if f.Varbit {
+				return &Type{Kind: KindVarbit, MaxWidth: f.MaxWidth}, nil
+			}
+			return Bit(f.Width), nil
+		}
+		return nil, env.errf(e.P, "header %s has no field %s", xt.Name, e.Name)
+	case KindStack:
+		switch e.Name {
+		case "next", "last":
+			return xt.Elem, nil
+		case "lastIndex":
+			return Bit(32), nil
+		}
+		return nil, env.errf(e.P, "header stack has no member %s", e.Name)
+	}
+	return nil, env.errf(e.P, "%s has no member %s", xt, e.Name)
+}

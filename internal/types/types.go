@@ -1,0 +1,473 @@
+// Package types resolves names and computes bit-level layout for µP4
+// programs: header field widths and offsets, struct shapes, constant
+// values, and expression types. Later compiler passes (frontend lowering,
+// static analysis, MAT synthesis) assume a program that passed Check.
+package types
+
+import (
+	"fmt"
+
+	"microp4/internal/ast"
+)
+
+// Kind classifies a resolved type.
+type Kind int
+
+// Resolved type kinds.
+const (
+	KindInvalid Kind = iota
+	KindBit
+	KindBool
+	KindVarbit
+	KindHeader
+	KindStruct
+	KindStack
+	KindExtern
+	KindModule
+)
+
+// Type is a resolved µP4 type.
+type Type struct {
+	Kind     Kind
+	Width    int    // KindBit
+	MaxWidth int    // KindVarbit
+	Name     string // KindHeader, KindStruct, KindExtern, KindModule
+	Size     int    // KindStack
+	Elem     *Type  // KindStack element
+}
+
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case KindBit:
+		return fmt.Sprintf("bit<%d>", t.Width)
+	case KindBool:
+		return "bool"
+	case KindVarbit:
+		return fmt.Sprintf("varbit<%d>", t.MaxWidth)
+	case KindHeader, KindStruct, KindExtern, KindModule:
+		return t.Name
+	case KindStack:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Size)
+	}
+	return "<invalid>"
+}
+
+// Bit returns a bit<w> type.
+func Bit(w int) *Type { return &Type{Kind: KindBit, Width: w} }
+
+// Bool is the boolean type.
+var BoolType = &Type{Kind: KindBool}
+
+// FieldInfo describes one header field.
+type FieldInfo struct {
+	Name     string
+	Width    int // bit width; for varbit this is MaxWidth
+	Offset   int // bit offset from header start (varbit max-width layout)
+	Varbit   bool
+	MaxWidth int
+}
+
+// HeaderInfo describes a header type.
+type HeaderInfo struct {
+	Name      string
+	Fields    []FieldInfo
+	BitWidth  int // total width with varbit at max
+	HasVarbit bool
+}
+
+// Field returns the named field, or nil.
+func (h *HeaderInfo) Field(name string) *FieldInfo {
+	for i := range h.Fields {
+		if h.Fields[i].Name == name {
+			return &h.Fields[i]
+		}
+	}
+	return nil
+}
+
+// ByteSize returns the header size in bytes (max size for varbit headers).
+func (h *HeaderInfo) ByteSize() int { return (h.BitWidth + 7) / 8 }
+
+// StructField is one field of a struct.
+type StructField struct {
+	Name string
+	T    *Type
+}
+
+// StructInfo describes a struct type.
+type StructInfo struct {
+	Name   string
+	Fields []StructField
+}
+
+// Field returns the named field's type, or nil.
+func (s *StructInfo) Field(name string) *Type {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f.T
+		}
+	}
+	return nil
+}
+
+// ConstInfo is a resolved compile-time constant.
+type ConstInfo struct {
+	Width int
+	Value uint64
+}
+
+// Builtin extern type names of the µP4 architecture (paper Fig. 6).
+var externNames = map[string]bool{
+	"pkt": true, "im_t": true, "extractor": true, "emitter": true,
+	"in_buf": true, "out_buf": true, "mc_buf": true, "mc_engine": true,
+	// The §8.2 stateful extension: register arrays persisting across
+	// packets, instantiated as `register(size, width) name;`.
+	"register": true,
+}
+
+// IsExternName reports whether name is a µPA extern type.
+func IsExternName(name string) bool { return externNames[name] }
+
+// Intrinsic metadata enum (meta_t, paper Fig. 6). Values are indices the
+// target backend maps to its own metadata.
+var MetaFields = map[string]uint64{
+	"IN_TIMESTAMP": 0, "OUT_TIMESTAMP": 1, "IN_PORT": 2, "PKT_LEN": 3,
+	"INSTANCE_ID": 4, "QUEUE_DEPTH": 5, "DEQ_TIMESTAMP": 6, "ENQ_TIMESTAMP": 7,
+}
+
+// DropPort is the reserved output port meaning "drop" (used by im.drop()
+// and the DROP constant, cf. Fig. 13).
+const DropPort = 511
+
+// Env is the resolved top-level environment of one compilation unit.
+type Env struct {
+	FileName string
+	Headers  map[string]*HeaderInfo
+	Structs  map[string]*StructInfo
+	Consts   map[string]ConstInfo
+	Protos   map[string]*ast.ModuleProtoDecl
+	Programs map[string]*ast.ProgramDecl
+	Main     *ast.InstantiationDecl // may be nil for library modules
+	typedefs map[string]*Type
+}
+
+// NewEnv returns an empty environment with builtin constants.
+func NewEnv(file string) *Env {
+	e := &Env{
+		FileName: file,
+		Headers:  make(map[string]*HeaderInfo),
+		Structs:  make(map[string]*StructInfo),
+		Consts:   make(map[string]ConstInfo),
+		Protos:   make(map[string]*ast.ModuleProtoDecl),
+		Programs: make(map[string]*ast.ProgramDecl),
+		typedefs: make(map[string]*Type),
+	}
+	for name, v := range MetaFields {
+		e.Consts[name] = ConstInfo{Width: 32, Value: v}
+	}
+	e.Consts["DROP"] = ConstInfo{Width: 9, Value: DropPort}
+	return e
+}
+
+type checkError struct {
+	file string
+	pos  ast.Pos
+	msg  string
+}
+
+func (e *checkError) Error() string {
+	return fmt.Sprintf("%s:%s: %s", e.file, e.pos, e.msg)
+}
+
+func (env *Env) errf(pos ast.Pos, format string, args ...interface{}) error {
+	return &checkError{file: env.FileName, pos: pos, msg: fmt.Sprintf(format, args...)}
+}
+
+// Check resolves and validates a source file, returning its environment.
+func Check(f *ast.SourceFile) (*Env, error) {
+	env := NewEnv(f.Name)
+	// Pass 1: collect type declarations.
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.HeaderDecl:
+			if err := env.addHeader(d); err != nil {
+				return nil, err
+			}
+		case *ast.StructDecl:
+			if err := env.addStruct(d); err != nil {
+				return nil, err
+			}
+		case *ast.TypedefDecl:
+			t, err := env.Resolve(d.Base)
+			if err != nil {
+				return nil, err
+			}
+			if env.defined(d.Name) {
+				return nil, env.errf(d.P, "duplicate declaration of %s", d.Name)
+			}
+			env.typedefs[d.Name] = t
+		case *ast.ConstDecl:
+			t, err := env.Resolve(d.T)
+			if err != nil {
+				return nil, err
+			}
+			if t.Kind != KindBit && t.Kind != KindBool {
+				return nil, env.errf(d.P, "const %s must have bit or bool type", d.Name)
+			}
+			v, err := env.EvalConst(d.Value)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := env.Consts[d.Name]; dup {
+				return nil, env.errf(d.P, "duplicate constant %s", d.Name)
+			}
+			env.Consts[d.Name] = ConstInfo{Width: t.Width, Value: v}
+		case *ast.ModuleProtoDecl:
+			if _, dup := env.Protos[d.Name]; dup {
+				return nil, env.errf(d.P, "duplicate module prototype %s", d.Name)
+			}
+			env.Protos[d.Name] = d
+		case *ast.ProgramDecl:
+			if _, dup := env.Programs[d.Name]; dup {
+				return nil, env.errf(d.P, "duplicate program %s", d.Name)
+			}
+			env.Programs[d.Name] = d
+		case *ast.InstantiationDecl:
+			if env.Main != nil {
+				return nil, env.errf(d.P, "duplicate main instantiation")
+			}
+			env.Main = d
+		}
+	}
+	// Pass 2: validate prototypes and program bodies.
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.ModuleProtoDecl:
+			if _, err := env.resolveParams(d.Params); err != nil {
+				return nil, err
+			}
+		case *ast.ProgramDecl:
+			if err := env.checkProgram(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if env.Main != nil {
+		if _, ok := env.Programs[env.Main.TypeName]; !ok {
+			return nil, env.errf(env.Main.P, "main instantiates unknown program %s", env.Main.TypeName)
+		}
+	}
+	return env, nil
+}
+
+func (env *Env) defined(name string) bool {
+	if _, ok := env.Headers[name]; ok {
+		return true
+	}
+	if _, ok := env.Structs[name]; ok {
+		return true
+	}
+	if _, ok := env.typedefs[name]; ok {
+		return true
+	}
+	return externNames[name]
+}
+
+func (env *Env) addHeader(d *ast.HeaderDecl) error {
+	if env.defined(d.Name) {
+		return env.errf(d.P, "duplicate declaration of %s", d.Name)
+	}
+	h := &HeaderInfo{Name: d.Name}
+	off := 0
+	for _, f := range d.Fields {
+		t, err := env.Resolve(f.T)
+		if err != nil {
+			return err
+		}
+		switch t.Kind {
+		case KindBit:
+			if t.Width > 64 {
+				return env.errf(f.P, "header field %s.%s is bit<%d>; fields wider than 64 bits must be split (e.g. IPv6 addresses into two bit<64> halves)", d.Name, f.Name, t.Width)
+			}
+			h.Fields = append(h.Fields, FieldInfo{Name: f.Name, Width: t.Width, Offset: off})
+			off += t.Width
+		case KindVarbit:
+			if h.HasVarbit {
+				return env.errf(f.P, "header %s has more than one varbit field", d.Name)
+			}
+			if t.MaxWidth%8 != 0 {
+				return env.errf(f.P, "varbit max width must be a whole number of bytes")
+			}
+			h.Fields = append(h.Fields, FieldInfo{
+				Name: f.Name, Width: t.MaxWidth, Offset: off, Varbit: true, MaxWidth: t.MaxWidth,
+			})
+			h.HasVarbit = true
+			off += t.MaxWidth
+		default:
+			return env.errf(f.P, "header field %s.%s must have bit or varbit type", d.Name, f.Name)
+		}
+	}
+	if off%8 != 0 && !h.HasVarbit {
+		return env.errf(d.P, "header %s is %d bits; headers must be a whole number of bytes", d.Name, off)
+	}
+	h.BitWidth = off
+	env.Headers[d.Name] = h
+	return nil
+}
+
+func (env *Env) addStruct(d *ast.StructDecl) error {
+	if env.defined(d.Name) {
+		return env.errf(d.P, "duplicate declaration of %s", d.Name)
+	}
+	s := &StructInfo{Name: d.Name}
+	for _, f := range d.Fields {
+		t, err := env.Resolve(f.T)
+		if err != nil {
+			return err
+		}
+		switch t.Kind {
+		case KindBit, KindBool, KindHeader, KindStack, KindStruct:
+			s.Fields = append(s.Fields, StructField{Name: f.Name, T: t})
+		default:
+			return env.errf(f.P, "struct field %s.%s has unsupported type %s", d.Name, f.Name, t)
+		}
+	}
+	env.Structs[d.Name] = s
+	return nil
+}
+
+// Resolve converts a syntactic type to a resolved type.
+func (env *Env) Resolve(t ast.Type) (*Type, error) {
+	switch t := t.(type) {
+	case *ast.BitType:
+		return Bit(t.Width), nil
+	case *ast.BoolType:
+		return BoolType, nil
+	case *ast.VarbitType:
+		return &Type{Kind: KindVarbit, MaxWidth: t.MaxWidth}, nil
+	case *ast.StackType:
+		elem, err := env.Resolve(t.Elem)
+		if err != nil {
+			return nil, err
+		}
+		if elem.Kind != KindHeader {
+			return nil, env.errf(t.P, "header stack element must be a header type, got %s", elem)
+		}
+		return &Type{Kind: KindStack, Elem: elem, Size: t.Size}, nil
+	case *ast.NamedType:
+		if td, ok := env.typedefs[t.Name]; ok {
+			return td, nil
+		}
+		if _, ok := env.Headers[t.Name]; ok {
+			return &Type{Kind: KindHeader, Name: t.Name}, nil
+		}
+		if _, ok := env.Structs[t.Name]; ok {
+			return &Type{Kind: KindStruct, Name: t.Name}, nil
+		}
+		if externNames[t.Name] {
+			return &Type{Kind: KindExtern, Name: t.Name}, nil
+		}
+		if _, ok := env.Protos[t.Name]; ok {
+			return &Type{Kind: KindModule, Name: t.Name}, nil
+		}
+		return nil, env.errf(t.P, "unknown type %s", t.Name)
+	}
+	return nil, fmt.Errorf("unhandled type node %T", t)
+}
+
+// EvalConst evaluates a compile-time constant expression.
+func (env *Env) EvalConst(e ast.Expr) (uint64, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, nil
+	case *ast.BoolLit:
+		if e.Value {
+			return 1, nil
+		}
+		return 0, nil
+	case *ast.Ident:
+		if c, ok := env.Consts[e.Name]; ok {
+			return c.Value, nil
+		}
+		return 0, env.errf(e.P, "%s is not a constant", e.Name)
+	case *ast.UnaryExpr:
+		v, err := env.EvalConst(e.X)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "-":
+			return -v, nil
+		case "~":
+			return ^v, nil
+		case "!":
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	case *ast.BinaryExpr:
+		x, err := env.EvalConst(e.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := env.EvalConst(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "+":
+			return x + y, nil
+		case "-":
+			return x - y, nil
+		case "*":
+			return x * y, nil
+		case "/":
+			if y == 0 {
+				return 0, env.errf(e.P, "division by zero in constant expression")
+			}
+			return x / y, nil
+		case "%":
+			if y == 0 {
+				return 0, env.errf(e.P, "modulo by zero in constant expression")
+			}
+			return x % y, nil
+		case "<<":
+			return x << (y & 63), nil
+		case ">>":
+			return x >> (y & 63), nil
+		case "&":
+			return x & y, nil
+		case "|":
+			return x | y, nil
+		case "^":
+			return x ^ y, nil
+		}
+	case *ast.CastExpr:
+		return env.EvalConst(e.X)
+	}
+	return 0, env.errf(e.Pos(), "expression is not a compile-time constant")
+}
+
+func (env *Env) resolveParams(params []ast.Param) ([]*Type, error) {
+	var out []*Type
+	seen := make(map[string]bool)
+	for _, p := range params {
+		if seen[p.Name] {
+			return nil, env.errf(p.P, "duplicate parameter %s", p.Name)
+		}
+		seen[p.Name] = true
+		t, err := env.Resolve(p.T)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == KindExtern && p.Dir != ast.DirNone {
+			return nil, env.errf(p.P, "extern parameter %s cannot have a direction", p.Name)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

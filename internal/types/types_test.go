@@ -1,0 +1,230 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"microp4/internal/parser"
+)
+
+func mustCheck(t *testing.T, src string) *Env {
+	t.Helper()
+	f, err := parser.ParseFile("test.up4", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	env, err := Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return env
+}
+
+func checkErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	f, err := parser.ParseFile("test.up4", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Check(f)
+	if err == nil {
+		t.Fatalf("Check succeeded, want error containing %q", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error = %q, want substring %q", err, wantSub)
+	}
+}
+
+const prelude = `
+struct empty_t { }
+header ethernet_h {
+  bit<48> dstMac;
+  bit<48> srcMac;
+  bit<16> etherType;
+}
+header ipv4_h {
+  bit<4> version; bit<4> ihl; bit<8> diffserv; bit<16> totalLen;
+  bit<16> identification; bit<3> flags; bit<13> fragOffset;
+  bit<8> ttl; bit<8> protocol; bit<16> hdrChecksum;
+  bit<32> srcAddr; bit<32> dstAddr;
+}
+struct hdr_t { ethernet_h eth; ipv4_h ipv4; }
+`
+
+func TestHeaderLayout(t *testing.T) {
+	env := mustCheck(t, prelude+`
+program X : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h) { state start { transition accept; } }
+  control C(pkt p, inout hdr_t h, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}`)
+	eth := env.Headers["ethernet_h"]
+	if eth == nil || eth.BitWidth != 112 || eth.ByteSize() != 14 {
+		t.Fatalf("ethernet_h = %+v, want 112 bits / 14 bytes", eth)
+	}
+	if f := eth.Field("etherType"); f == nil || f.Offset != 96 || f.Width != 16 {
+		t.Errorf("etherType = %+v, want offset 96 width 16", f)
+	}
+	ip := env.Headers["ipv4_h"]
+	if ip.BitWidth != 160 || ip.ByteSize() != 20 {
+		t.Errorf("ipv4_h = %d bits, want 160", ip.BitWidth)
+	}
+	if f := ip.Field("ttl"); f.Offset != 64 {
+		t.Errorf("ttl offset = %d, want 64", f.Offset)
+	}
+}
+
+func TestCheckGoodProgram(t *testing.T) {
+	mustCheck(t, prelude+`
+L3(pkt p, im_t im, out bit<16> nh, inout bit<16> etype);
+program ModularRouter : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) {
+        0x0800: parse_ipv4;
+        default: accept;
+      };
+    }
+    state parse_ipv4 { ex.extract(p, h.ipv4); transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, inout empty_t m, im_t im) {
+    bit<16> nh;
+    L3() l3_i;
+    action drop_it() { im.drop(); }
+    action forward(bit<48> dmac, bit<9> port) {
+      h.eth.dstMac = dmac;
+      im.set_out_port(port);
+    }
+    table forward_tbl {
+      key = { nh : exact; }
+      actions = { forward; drop_it; }
+      default_action = drop_it;
+    }
+    apply {
+      l3_i.apply(p, im, nh, h.eth.etherType);
+      if (h.ipv4.isValid()) {
+        h.ipv4.ttl = h.ipv4.ttl - 1;
+      }
+      forward_tbl.apply();
+    }
+  }
+  control D(emitter em, pkt p, in hdr_t h) {
+    apply { em.emit(p, h.eth); em.emit(p, h.ipv4); }
+  }
+}
+ModularRouter(P, C, D) main;
+`)
+}
+
+func TestCheckErrors(t *testing.T) {
+	progWrap := func(ctrl string) string {
+		return prelude + `
+program X : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h) { state start { transition accept; } }
+  control C(pkt p, inout hdr_t h, im_t im) { ` + ctrl + ` }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}`
+	}
+	cases := []struct{ src, want string }{
+		{prelude + `header dup_h { bit<8> f; } header dup_h { bit<8> g; }
+program X : implements Unicast { parser P(extractor ex, pkt p, out hdr_t h) { state start { transition accept; } } control C(pkt p) { apply {} } }`, "duplicate"},
+		{progWrap(`apply { h.eth.bogus = 1; }`), "no field bogus"},
+		{progWrap(`apply { h.eth.dstMac = h.eth.etherType; }`), "cannot assign"},
+		{progWrap(`apply { undefined_tbl.apply(); }`), "undefined"},
+		{progWrap(`apply { if (h.eth.etherType) { } }`), "boolean"},
+		{progWrap(`apply { im.set_out_port(); }`), "arguments"},
+		{progWrap(`table t { key = { h.eth : exact; } actions = { } } apply { t.apply(); }`), "bit type"},
+		{progWrap(`action a(bit<8> x) { } table t { key = { h.eth.etherType : exact; } actions = { a; } default_action = a; } apply { t.apply(); }`), "bound arguments"},
+		{prelude + `program X : implements Bogus { parser P(extractor ex, pkt p, out hdr_t h) { state start { transition accept; } } control C(pkt p) { apply {} } }`, "unknown interface"},
+		{prelude + `program X : implements Unicast { parser P(extractor ex, pkt p, out hdr_t h) { state start { transition weird; } } control C(pkt p) { apply {} } }`, "unknown state"},
+		{progWrap(`apply { ex.extract(p, h.eth); }`), "undefined: ex"},
+		{prelude + `header odd_h { bit<3> x; }
+program X : implements Unicast { parser P(extractor ex, pkt p, out hdr_t h) { state start { transition accept; } } control C(pkt p) { apply {} } }`, "whole number of bytes"},
+	}
+	for _, c := range cases {
+		checkErr(t, c.src, c.want)
+	}
+}
+
+func TestExtractOnlyInParser(t *testing.T) {
+	checkErr(t, prelude+`
+program X : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h) { state start { transition accept; } }
+  control C(extractor ex, pkt p, inout hdr_t h, im_t im) { apply { ex.extract(p, h.eth); } }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}`, "only allowed in parsers")
+}
+
+func TestConstEval(t *testing.T) {
+	env := mustCheck(t, `
+const bit<16> ETH_IPV4 = 0x0800;
+const bit<16> DOUBLED = ETH_IPV4 * 2;
+const bit<8> MASKED = 0xFF & 0x0F;
+program X : implements Unicast {
+  parser P(extractor ex, pkt p) { state start { transition accept; } }
+  control C(pkt p, im_t im) { apply { } }
+  control D(emitter em, pkt p) { apply { } }
+}`)
+	if c := env.Consts["DOUBLED"]; c.Value != 0x1000 {
+		t.Errorf("DOUBLED = %#x, want 0x1000", c.Value)
+	}
+	if c := env.Consts["MASKED"]; c.Value != 0x0F {
+		t.Errorf("MASKED = %#x, want 0x0F", c.Value)
+	}
+	if c := env.Consts["IN_PORT"]; c.Width != 32 {
+		t.Errorf("builtin IN_PORT missing: %+v", c)
+	}
+}
+
+func TestStackTyping(t *testing.T) {
+	env := mustCheck(t, `
+header label_h { bit<20> label; bit<3> tc; bit<1> s; bit<8> ttl; }
+struct hdr_t { label_h[4] labels; }
+program X : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start {
+      ex.extract(p, h.labels.next);
+      transition select(h.labels.last.s) { 1 : accept; default : start; };
+    }
+  }
+  control C(pkt p, inout hdr_t h, im_t im) {
+    apply {
+      h.labels[0].ttl = h.labels[0].ttl - 1;
+      h.labels.pop_front(1);
+      if (h.labels[1].isValid()) { h.labels[1].setInvalid(); }
+    }
+  }
+  control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.labels); } }
+}`)
+	if env.Headers["label_h"].ByteSize() != 4 {
+		t.Errorf("label_h size = %d, want 4", env.Headers["label_h"].ByteSize())
+	}
+	checkErr(t, `
+header label_h { bit<20> label; bit<3> tc; bit<1> s; bit<8> ttl; }
+struct hdr_t { label_h[2] labels; }
+program X : implements Unicast {
+  parser P(extractor ex, pkt p, out hdr_t h) { state start { transition accept; } }
+  control C(pkt p, inout hdr_t h, im_t im) { apply { h.labels[5].ttl = 0; } }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}`, "out of range")
+}
+
+func TestVarbitHeader(t *testing.T) {
+	env := mustCheck(t, `
+header opt_h { bit<8> kind; bit<8> len; varbit<320> data; }
+program X : implements Unicast {
+  parser P(extractor ex, pkt p, out opt_h o) {
+    state start { ex.extract(p, o, (bit<32>)o.len); transition accept; }
+  }
+  control C(pkt p, inout opt_h o, im_t im) { apply { } }
+  control D(emitter em, pkt p, in opt_h o) { apply { em.emit(p, o); } }
+}`)
+	h := env.Headers["opt_h"]
+	if !h.HasVarbit || h.BitWidth != 336 {
+		t.Errorf("opt_h = %+v, want varbit total 336", h)
+	}
+	checkErr(t, `header two_h { varbit<16> a; varbit<16> b; }
+program X : implements Unicast { parser P(extractor ex, pkt p) { state start { transition accept; } } control C(pkt p) { apply {} } }`,
+		"more than one varbit")
+}

@@ -1,0 +1,259 @@
+// Package microp4 is a Go implementation of µP4 ("Composing Dataplane
+// Programs with µP4", SIGCOMM 2020): a framework for writing modular,
+// composable, portable dataplane programs, with a compiler (µP4C) that
+// homogenizes parsers and deparsers into match-action tables over a
+// synthesized byte-stack and maps the composed program onto target
+// pipelines.
+//
+// The typical flow mirrors the paper's Fig. 4:
+//
+//	ipv4, _ := microp4.CompileModule("ipv4.up4", ipv4Src)   // module → µP4-IR
+//	l3, _ := microp4.CompileModule("l3.up4", l3Src)
+//	router, _ := microp4.CompileModule("router.up4", mainSrc)
+//	dp, _ := microp4.Build(router, l3, ipv4)                 // link + midend
+//	sw := dp.NewSwitch()                                     // behavioral target
+//	sw.AddEntry("l3_i.ipv4_i.ipv4_lpm_tbl",
+//	    []microp4.Key{microp4.LPM(0x0A000000, 8)}, "l3_i.ipv4_i.process", 100)
+//	out, _ := sw.Process(packet, 1)
+//
+// Hardware mapping reports (the paper's Tables 2 and 3) come from
+// dp.Tofino(); generated P4 sources from dp.EmitV1Model() and
+// dp.EmitTNA().
+package microp4
+
+import (
+	"fmt"
+
+	"microp4/internal/backend/tna"
+	"microp4/internal/backend/v1model"
+	"microp4/internal/frontend"
+	"microp4/internal/ir"
+	"microp4/internal/mat"
+	"microp4/internal/midend"
+	"microp4/internal/sim"
+)
+
+// Module is one compiled µP4 module (its µP4-IR).
+type Module struct {
+	prog *ir.Program
+}
+
+// Name returns the module's program name.
+func (m *Module) Name() string { return m.prog.Name }
+
+// Interface returns the µPA interface the module implements.
+func (m *Module) Interface() string { return m.prog.Interface }
+
+// ToJSON serializes the module's µP4-IR (the frontend's output format).
+func (m *Module) ToJSON() ([]byte, error) { return m.prog.ToJSON() }
+
+// CompileModule runs the µP4C frontend on one source file.
+func CompileModule(filename, source string) (*Module, error) {
+	p, err := frontend.CompileModule(filename, source)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{prog: p}, nil
+}
+
+// ModuleFromJSON loads a previously serialized µP4-IR module.
+func ModuleFromJSON(data []byte) (*Module, error) {
+	p, err := ir.FromJSON(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{prog: p}, nil
+}
+
+// Stats is a program's operational region (§5.2).
+type Stats struct {
+	ExtractLength int // El: bytes the composed program may need to parse
+	MaxIncrease   int // Δ: bytes the packet may grow
+	MaxDecrease   int // δ: bytes the packet may shrink
+	ByteStack     int // Bs = El + Δ (Eq. 4)
+	MinPacket     int // smallest packet the program accepts
+}
+
+// Dataplane is a linked, composed µP4 program ready to execute or to map
+// onto a target.
+type Dataplane struct {
+	res *midend.Result
+}
+
+// BuildOptions select optional compiler behaviour.
+type BuildOptions struct {
+	// EliminateCleanCopies enables the §8.1 optimization that drops
+	// redundant parser copies and deparser write-backs of headers a
+	// module never modifies.
+	EliminateCleanCopies bool
+	// SplitParserMATs selects the §8.1 per-depth parser encoding (one
+	// MAT per parse hop) instead of one path-product MAT per parser.
+	SplitParserMATs bool
+}
+
+// Build links a main program against its library modules and runs the
+// full µP4C midend: §C transformations, static analysis, and
+// homogenization/composition into a MAT-only pipeline.
+func Build(main *Module, modules ...*Module) (*Dataplane, error) {
+	return BuildWithOptions(BuildOptions{}, main, modules...)
+}
+
+// BuildWithOptions is Build with explicit compiler options.
+func BuildWithOptions(opts BuildOptions, main *Module, modules ...*Module) (*Dataplane, error) {
+	mods := make([]*ir.Program, len(modules))
+	for i, m := range modules {
+		mods[i] = m.prog
+	}
+	res, err := midend.BuildWith(midend.Options{Compose: mat.Options{
+		EliminateCleanCopies: opts.EliminateCleanCopies,
+		SplitParserMATs:      opts.SplitParserMATs,
+	}}, main.prog, mods...)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataplane{res: res}, nil
+}
+
+// Stats returns the main program's operational region.
+func (d *Dataplane) Stats() Stats {
+	st := d.res.Analysis.Main()
+	return Stats{
+		ExtractLength: st.El,
+		MaxIncrease:   st.Inc,
+		MaxDecrease:   st.Dec,
+		ByteStack:     st.Bs,
+		MinPacket:     st.MinPkt,
+	}
+}
+
+// ModuleStats returns the operational region of one linked module.
+func (d *Dataplane) ModuleStats(name string) (Stats, error) {
+	st, ok := d.res.Analysis.Stats[name]
+	if !ok {
+		return Stats{}, fmt.Errorf("no linked module named %q", name)
+	}
+	return Stats{
+		ExtractLength: st.El, MaxIncrease: st.Inc, MaxDecrease: st.Dec,
+		ByteStack: st.Bs, MinPacket: st.MinPkt,
+	}, nil
+}
+
+// Tables lists the control-plane-visible (user) tables of the composed
+// pipeline, fully qualified by module instance path.
+func (d *Dataplane) Tables() []string {
+	if d.res.Pipeline == nil {
+		return nil
+	}
+	return append([]string(nil), d.res.Pipeline.UserTables...)
+}
+
+// Composed reports whether the midend produced a compiled MAT pipeline.
+// Multi-packet orchestration programs (§5.4) run only on the reference
+// engine; Err explains why when false.
+func (d *Dataplane) Composed() (bool, error) {
+	if d.res.Pipeline == nil {
+		return false, d.res.ComposeErr
+	}
+	return true, nil
+}
+
+// TofinoReport summarizes mapping the program onto the modeled Tofino.
+type TofinoReport struct {
+	Feasible       bool
+	Reason         string
+	Containers8    int
+	Containers16   int
+	Containers32   int
+	BitsAllocated  int
+	Stages         int
+	LogicalTables  int
+	SplitOps       int
+	WorstALUAccess int
+}
+
+func toReport(r *tna.Report) *TofinoReport {
+	return &TofinoReport{
+		Feasible: r.Feasible, Reason: r.Reason,
+		Containers8: r.Used8, Containers16: r.Used16, Containers32: r.Used32,
+		BitsAllocated: r.Bits, Stages: r.Stages, LogicalTables: r.Tables,
+		SplitOps: r.SplitOps, WorstALUAccess: r.WorstALU,
+	}
+}
+
+// Tofino maps the composed pipeline onto the modeled Tofino target and
+// reports resource usage (Tables 2-3 of the paper).
+func (d *Dataplane) Tofino() (*TofinoReport, error) {
+	if d.res.Pipeline == nil {
+		return nil, d.res.ComposeErr
+	}
+	rep, err := tna.CompileComposed(d.res.Pipeline, tna.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return toReport(rep), nil
+}
+
+// TofinoMonolithic maps a flat (single-module) program onto the modeled
+// Tofino via the baseline path: hardware parser, natural PHV packing.
+func TofinoMonolithic(m *Module) (*TofinoReport, error) {
+	t, err := midend.Transform(m.prog)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := tna.CompileMonolithic(t, tna.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return toReport(rep), nil
+}
+
+// EmitTNA renders the composed pipeline as TNA-style P4 source.
+func (d *Dataplane) EmitTNA() (string, error) {
+	if d.res.Pipeline == nil {
+		return "", d.res.ComposeErr
+	}
+	rep, err := tna.CompileComposed(d.res.Pipeline, tna.DefaultOptions())
+	if err != nil {
+		return "", err
+	}
+	return tna.Emit(d.res.Pipeline, rep), nil
+}
+
+// EmitV1Model partitions the pipeline across V1Model's ingress/egress
+// (§5.5) and renders it as P4 source.
+func (d *Dataplane) EmitV1Model() (string, error) {
+	if d.res.Pipeline == nil {
+		return "", d.res.ComposeErr
+	}
+	part, err := v1model.Split(d.res.Pipeline)
+	if err != nil {
+		return "", err
+	}
+	return v1model.Emit(d.res.Pipeline, part), nil
+}
+
+// ----------------------------------------------------------------------------
+// Control plane keys
+
+// Key is one match key of a control-plane entry.
+type Key struct{ k sim.RuntimeKey }
+
+// Exact matches the value exactly.
+func Exact(v uint64) Key { return Key{sim.Exact(v)} }
+
+// LPM matches the top plen bits.
+func LPM(v uint64, plen int) Key { return Key{sim.LPM(v, plen)} }
+
+// Ternary matches value&mask.
+func Ternary(v, mask uint64) Key { return Key{sim.Ternary(v, mask)} }
+
+// Any matches everything.
+func Any() Key { return Key{sim.Any()} }
+
+func toRuntime(keys []Key) []sim.RuntimeKey {
+	out := make([]sim.RuntimeKey, len(keys))
+	for i, k := range keys {
+		out[i] = k.k
+	}
+	return out
+}

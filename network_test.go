@@ -1,0 +1,86 @@
+package microp4_test
+
+import (
+	"testing"
+
+	"microp4"
+	"microp4/internal/pkt"
+)
+
+// TestThreeHopTopology wires three P4 routers into a line topology and
+// forwards a packet end to end: each hop routes by LPM, rewrites MACs,
+// and decrements TTL; the last hop sees the TTL hit zero on a too-long
+// path.
+func TestThreeHopTopology(t *testing.T) {
+	dp := compileLib(t, "P4") // one compiled dataplane, three switch instances
+
+	newHop := func(hop int) *microp4.Switch {
+		sw := dp.NewSwitch()
+		// Every hop routes 10/8 onward through port 1 with its own MACs.
+		sw.AddEntry("l3_i.ipv4_i.ipv4_lpm_tbl",
+			[]microp4.Key{microp4.LPM(0x0A000000, 8)}, "l3_i.ipv4_i.process", 100)
+		sw.AddEntry("forward_tbl", []microp4.Key{microp4.Exact(100)},
+			"forward", uint64(0xAA0000000000+hop), uint64(0xBB0000000000+hop), 1)
+		return sw
+	}
+	hops := []*microp4.Switch{newHop(1), newHop(2), newHop(3)}
+
+	data := pkt.NewBuilder().
+		Ethernet(0xFF, 0xEE, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6, Src: 0x0B000001, Dst: 0x0A000042}).
+		TCP(1234, 80).Payload([]byte("end-to-end")).Bytes()
+
+	for i, sw := range hops {
+		out, err := sw.Process(data, 0)
+		if err != nil {
+			t.Fatalf("hop %d: %v", i+1, err)
+		}
+		if len(out) != 1 || out[0].Port != 1 {
+			t.Fatalf("hop %d: %+v", i+1, out)
+		}
+		data = out[0].Data
+		if ttl := pkt.IPv4TTL(data, 14); ttl != 64-uint8(i+1) {
+			t.Errorf("hop %d: ttl %d, want %d", i+1, ttl, 64-(i+1))
+		}
+		if dmac := pkt.EthDst(data); dmac != uint64(0xAA0000000000+i+1) {
+			t.Errorf("hop %d: dmac %#x", i+1, dmac)
+		}
+	}
+	if !equalBytes(data[len(data)-10:], []byte("end-to-end")) {
+		t.Error("payload corrupted across the path")
+	}
+
+	// A TTL=2 packet dies at the second hop's TTL check on the third.
+	low := pkt.NewBuilder().
+		Ethernet(0xFF, 0xEE, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 2, Protocol: 6, Src: 1, Dst: 0x0A000042}).
+		TCP(1, 2).Bytes()
+	for i, sw := range hops {
+		out, err := sw.Process(low, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 2 {
+			if len(out) != 1 {
+				t.Fatalf("hop %d dropped a live packet", i+1)
+			}
+			low = out[0].Data
+			continue
+		}
+		if len(out) != 0 {
+			t.Errorf("hop 3 forwarded a TTL-expired packet: %+v", out)
+		}
+	}
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,189 @@
+package microp4
+
+import (
+	"fmt"
+
+	"microp4/internal/sim"
+)
+
+// Output is one packet leaving the switch.
+type Output struct {
+	Port uint64
+	Data []byte
+}
+
+// Engine selects how the dataplane executes packets.
+type Engine int
+
+const (
+	// EngineCompiled executes the midend's composed MAT pipeline — the
+	// abstract machine a hardware target realizes.
+	EngineCompiled Engine = iota
+	// EngineReference interprets the linked modules with source-level
+	// semantics. The two engines are differentially tested to agree.
+	EngineReference
+)
+
+// Switch is a behavioral V1Model-style target: a single dataplane
+// program, control-plane table state, multicast groups, and a
+// recirculation path.
+type Switch struct {
+	dp       *Dataplane
+	engine   Engine
+	tables   *sim.Tables
+	exec     *sim.Exec
+	interp   *sim.Interp
+	mcGroups map[uint64][]uint64
+	digests  []uint64
+	// MaxRecirculations bounds the recirculation loop (default 4).
+	MaxRecirculations int
+	clock             uint64
+}
+
+// Digests drains and returns the values the dataplane sent to the
+// control plane via im.digest (§6.4's CPU–dataplane interface).
+func (s *Switch) Digests() []uint64 {
+	out := s.digests
+	s.digests = nil
+	return out
+}
+
+// ReadRegister returns cell idx of a register array (§8.2 stateful
+// extension), by fully qualified instance path.
+func (s *Switch) ReadRegister(path string, idx int) (uint64, error) {
+	var cells []uint64
+	if s.engine == EngineReference || s.exec == nil {
+		// Lazily sized on first dataplane access; ask for at least idx+1.
+		cells = s.interp.Register(path, idx+1)
+	} else {
+		cells = s.exec.Register(path)
+	}
+	if idx < 0 || idx >= len(cells) {
+		return 0, fmt.Errorf("register %s has no cell %d", path, idx)
+	}
+	return cells[idx], nil
+}
+
+// NewSwitch returns a switch running the compiled pipeline.
+func (d *Dataplane) NewSwitch() *Switch { return d.NewSwitchWith(EngineCompiled) }
+
+// NewSwitchWith returns a switch with an explicit execution engine.
+func (d *Dataplane) NewSwitchWith(engine Engine) *Switch {
+	t := sim.NewTables()
+	sw := &Switch{
+		dp:                d,
+		engine:            engine,
+		tables:            t,
+		interp:            sim.NewInterp(d.res.Linked, t),
+		mcGroups:          make(map[uint64][]uint64),
+		MaxRecirculations: 4,
+	}
+	if d.res.Pipeline != nil {
+		sw.exec = sim.NewExec(d.res.Pipeline, t)
+	}
+	return sw
+}
+
+// AddEntry installs a table entry. Table and action names are fully
+// qualified by module instance path (see Dataplane.Tables).
+func (s *Switch) AddEntry(table string, keys []Key, action string, args ...uint64) {
+	s.tables.AddEntry(table, toRuntime(keys), action, args...)
+}
+
+// SetDefault overrides a table's default action.
+func (s *Switch) SetDefault(table, action string, args ...uint64) {
+	s.tables.SetDefault(table, action, args...)
+}
+
+// ClearTable removes a table's runtime entries.
+func (s *Switch) ClearTable(table string) { s.tables.ClearTable(table) }
+
+// SetMulticastGroup programs the packet replication engine: packets
+// sent to group gid are replicated to the given ports.
+func (s *Switch) SetMulticastGroup(gid uint64, ports ...uint64) {
+	s.mcGroups[gid] = append([]uint64(nil), ports...)
+}
+
+// Process runs one packet received on inPort through the dataplane,
+// returning the packets transmitted (empty when dropped). Multicast
+// replication and recirculation are resolved here, in the architecture
+// — mirroring how µPA's logical externs map onto a target's PRE.
+func (s *Switch) Process(pkt []byte, inPort uint64) ([]Output, error) {
+	s.clock++
+	meta := sim.Metadata{InPort: inPort, InTimestamp: s.clock, PktLen: uint64(len(pkt))}
+	var outs []Output
+	data := pkt
+	for pass := 0; ; pass++ {
+		res, err := s.process(data, meta)
+		if err != nil {
+			return nil, err
+		}
+		s.digests = append(s.digests, res.Digests...)
+		for _, o := range res.Out[:max(0, len(res.Out)-1)] {
+			outs = append(outs, Output{Port: o.Port, Data: o.Data})
+		}
+		var final *sim.OutPkt
+		if !res.Dropped && len(res.Out) > 0 {
+			final = &res.Out[len(res.Out)-1]
+		}
+		if final != nil && res.McastGroup != 0 {
+			for _, port := range s.mcGroups[res.McastGroup] {
+				outs = append(outs, Output{Port: port, Data: append([]byte(nil), final.Data...)})
+			}
+			final = nil
+		}
+		if final != nil && res.Recirculate {
+			if pass >= s.MaxRecirculations {
+				return nil, fmt.Errorf("packet recirculated more than %d times", s.MaxRecirculations)
+			}
+			data = final.Data
+			continue
+		}
+		if final != nil {
+			outs = append(outs, Output{Port: final.Port, Data: final.Data})
+		}
+		return outs, nil
+	}
+}
+
+func (s *Switch) process(pkt []byte, meta sim.Metadata) (*sim.ProcResult, error) {
+	if s.engine == EngineReference {
+		return s.interp.Process(pkt, meta)
+	}
+	if s.exec == nil {
+		return nil, fmt.Errorf("compiled engine unavailable: %v (use EngineReference)", s.dp.res.ComposeErr)
+	}
+	return s.exec.Process(pkt, meta)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TraceEvent mirrors the simulator's trace event for the public API.
+type TraceEvent struct {
+	Kind   string
+	Name   string
+	Detail string
+}
+
+// SetTracer installs a debugging tracer (§8.2): fn receives one event
+// per parser state, module application, and table lookup. Pass nil to
+// disable.
+func (s *Switch) SetTracer(fn func(TraceEvent)) {
+	if fn == nil {
+		if s.exec != nil {
+			s.exec.SetTracer(nil)
+		}
+		s.interp.SetTracer(nil)
+		return
+	}
+	wrap := func(e sim.TraceEvent) { fn(TraceEvent{Kind: e.Kind, Name: e.Name, Detail: e.Detail}) }
+	if s.exec != nil {
+		s.exec.SetTracer(wrap)
+	}
+	s.interp.SetTracer(wrap)
+}
