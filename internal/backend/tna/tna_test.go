@@ -1,7 +1,6 @@
 package tna_test
 
 import (
-	"strings"
 	"testing"
 
 	"microp4/internal/backend/tna"
@@ -37,86 +36,6 @@ func reports(t testing.TB, prog string) (composed, mono *tna.Report) {
 		t.Fatalf("%s: mono backend: %v", prog, err)
 	}
 	return composed, mono
-}
-
-// TestTable2Shape verifies the paper's Table 2 findings on the modeled
-// Tofino: every µP4 program fits; 16-bit container usage is a multiple
-// of the monolithic baseline's (the byte-stack alignment pass); 32-bit
-// usage is a small fraction; total allocated PHV bits stay within 1.6×.
-func TestTable2Shape(t *testing.T) {
-	for _, prog := range []string{"P1", "P2", "P3", "P4", "P5", "P6"} {
-		c, m := reports(t, prog)
-		if !c.Feasible {
-			t.Errorf("%s composed infeasible: %s", prog, c.Reason)
-			continue
-		}
-		if !m.Feasible {
-			t.Errorf("%s monolithic infeasible: %s", prog, m.Reason)
-			continue
-		}
-		// Paper: "µP4 programs heavily utilize 16b containers — almost 3×
-		// of their monolithic counterparts" (P1's ratio is the smallest
-		// in our model at ~2×).
-		if float64(c.Used16) < 1.9*float64(m.Used16) {
-			t.Errorf("%s: composed 16b usage %d not ≈2× monolithic %d", prog, c.Used16, m.Used16)
-		}
-		if c.Used32 >= m.Used32 {
-			t.Errorf("%s: composed 32b usage %d not below monolithic %d", prog, c.Used32, m.Used32)
-		}
-		if float64(c.Bits) > 1.6*float64(m.Bits) {
-			t.Errorf("%s: composed bits %d exceed 1.6× monolithic %d", prog, c.Bits, m.Bits)
-		}
-		if c.Bits < m.Bits {
-			t.Errorf("%s: composed bits %d below monolithic %d (composition is not free)", prog, c.Bits, m.Bits)
-		}
-	}
-}
-
-// TestTable3Shape verifies the paper's Table 3 findings: composed
-// programs need more MAU stages than monolithic ones ((de)parsers became
-// MATs), monolithic programs stay within 3-5 stages, and everything that
-// compiles fits the 12-stage pipeline.
-func TestTable3Shape(t *testing.T) {
-	for _, prog := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7"} {
-		c, m := reports(t, prog)
-		if !c.Feasible {
-			t.Errorf("%s composed infeasible: %s", prog, c.Reason)
-			continue
-		}
-		if c.Stages > 12 {
-			t.Errorf("%s: composed needs %d stages (>12)", prog, c.Stages)
-		}
-		if prog == "P7" {
-			continue // monolithic P7 does not compile
-		}
-		if !m.Feasible {
-			t.Errorf("%s monolithic infeasible: %s", prog, m.Reason)
-			continue
-		}
-		if m.Stages < 2 || m.Stages > 5 {
-			t.Errorf("%s: monolithic stages = %d, want 2-5", prog, m.Stages)
-		}
-		if c.Stages <= m.Stages {
-			t.Errorf("%s: composed stages %d not above monolithic %d", prog, c.Stages, m.Stages)
-		}
-	}
-}
-
-// TestMonolithicP7Fails reproduces §7.3: "bf-p4c failed to allocate
-// resources for the monolithic version of P7" — on the modeled target,
-// the flat path runs out of 32-bit PHV containers for the SRv6 segment
-// list, while the µP4 path (whose backend realigns storage) fits.
-func TestMonolithicP7Fails(t *testing.T) {
-	c, m := reports(t, "P7")
-	if m.Feasible {
-		t.Fatalf("monolithic P7 compiled; the paper's P7 does not (reason empty)")
-	}
-	if !strings.Contains(m.Reason, "PHV") {
-		t.Errorf("monolithic P7 failed for the wrong reason: %s", m.Reason)
-	}
-	if !c.Feasible {
-		t.Errorf("composed P7 should fit on the target: %s", c.Reason)
-	}
 }
 
 // TestP2ResourceAnecdote pins the §7.3 P2 narrative: the composed P2

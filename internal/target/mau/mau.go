@@ -1,0 +1,152 @@
+// Package mau models Tofino's Match-Action Unit pipeline: a fixed
+// sequence of stages, each holding a bounded number of logical
+// tables, onto which a program's tables must be scheduled without
+// violating their data dependencies. It is the repo's substitute for
+// bf-p4c's table-placement phase and the source of the Table 3 stage
+// counts (see DESIGN.md, "Target-model calibration").
+//
+// The scheduler is a deterministic in-order greedy pass. A table is
+// placed at the earliest stage that
+//
+//   - is no earlier than any preceding table it is not mutually
+//     exclusive with (the pipeline executes program order; a later
+//     table cannot run in an earlier stage),
+//   - strictly follows every preceding table whose writes it reads
+//     (match dependency) or whose writes it also writes (output
+//     dependency) — anti dependencies (read→write) may share a
+//     stage, and
+//   - has a free logical-table slot (gateways run in per-stage
+//     condition hardware and do not consume slots).
+//
+// Mutually exclusive tables — those whose branch tags diverge at the
+// same gateway condition into different arms — may share a stage
+// regardless of apparent conflicts, since at most one of them
+// executes per packet: bf-p4c's mutual-exclusion analysis, which is
+// what lets an if/else or switch ladder cost one stage instead of
+// one per arm.
+package mau
+
+import "fmt"
+
+// Branch is one step of a table's control-flow tag: execution reached
+// the table through arm Arm of gateway condition Cond.
+type Branch struct {
+	Cond int // gateway condition id
+	Arm  int // which arm of that condition
+}
+
+// Table is one logical match-action table to schedule.
+type Table struct {
+	Name    string
+	Reads   []string // storage symbols matched on or read by actions
+	Writes  []string // storage symbols written by actions
+	Gateway bool     // condition gateway: occupies no table slot
+	Tag     []Branch // control path from the pipeline root to this table
+}
+
+// Config describes a target MAU pipeline.
+type Config struct {
+	Stages         int // pipeline depth; 0 means unbounded
+	TablesPerStage int // logical-table slots per stage; 0 means unbounded
+}
+
+// TofinoConfig is the modeled Tofino profile: 12 stages of 16 logical
+// tables each.
+var TofinoConfig = Config{Stages: 12, TablesPerStage: 16}
+
+// Placement records where one table landed.
+type Placement struct {
+	Table string
+	Stage int // 0-based
+}
+
+// Schedule is a successful placement of every table.
+type Schedule struct {
+	NumStages  int            // stages actually used (max stage + 1)
+	StageOf    map[string]int // table name → 0-based stage
+	Placements []Placement    // in input order
+}
+
+// Exclusive reports whether two control-flow tags are mutually
+// exclusive: they share a prefix and then diverge into different arms
+// of the same gateway condition, so at most one of the two tables
+// executes for any packet.
+func Exclusive(a, b []Branch) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			continue
+		}
+		return a[i].Cond == b[i].Cond && a[i].Arm != b[i].Arm
+	}
+	return false
+}
+
+func intersects(a, b []string) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	set := make(map[string]bool, len(a))
+	for _, s := range a {
+		set[s] = true
+	}
+	for _, s := range b {
+		if set[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan schedules the tables, given in program order, onto cfg's
+// pipeline. It returns a descriptive infeasibility error when a table
+// cannot be placed within cfg.Stages.
+func Plan(tables []Table, cfg Config) (*Schedule, error) {
+	sched := &Schedule{StageOf: make(map[string]int, len(tables))}
+	stageOf := make([]int, len(tables))
+	load := make(map[int]int)
+	for i := range tables {
+		t := &tables[i]
+		s := 0
+		for j := 0; j < i; j++ {
+			u := &tables[j]
+			if Exclusive(u.Tag, t.Tag) {
+				continue
+			}
+			// Program order: never earlier than a non-exclusive
+			// predecessor.
+			min := stageOf[j]
+			// Match (write→read) and output (write→write)
+			// dependencies force a stage advance; anti dependencies
+			// may share the stage.
+			if intersects(u.Writes, t.Reads) || intersects(u.Writes, t.Writes) {
+				min = stageOf[j] + 1
+			}
+			if min > s {
+				s = min
+			}
+		}
+		if !t.Gateway && cfg.TablesPerStage > 0 {
+			for load[s] >= cfg.TablesPerStage {
+				s++
+			}
+		}
+		if cfg.Stages > 0 && s >= cfg.Stages {
+			return nil, fmt.Errorf("table %s needs stage %d of a %d-stage pipeline (dependency chains and per-stage capacity %d exhausted the MAU)",
+				t.Name, s+1, cfg.Stages, cfg.TablesPerStage)
+		}
+		stageOf[i] = s
+		sched.StageOf[t.Name] = s
+		sched.Placements = append(sched.Placements, Placement{Table: t.Name, Stage: s})
+		if !t.Gateway {
+			load[s]++
+		}
+		if s+1 > sched.NumStages {
+			sched.NumStages = s + 1
+		}
+	}
+	return sched, nil
+}

@@ -1,0 +1,210 @@
+package phv
+
+import (
+	"strings"
+	"testing"
+)
+
+func alloc(t *testing.T, inv Inventory, mode Mode, fields ...Field) *Alloc {
+	t.Helper()
+	a, err := (&Allocator{Inv: inv, Mode: mode}).Allocate(fields)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	return a
+}
+
+func TestNaturalClasses(t *testing.T) {
+	a := alloc(t, TofinoInventory, ModeNatural,
+		Field{Name: "ttl", Bits: 8, Group: "ipv4"},
+		Field{Name: "totalLen", Bits: 16, Group: "ipv4"},
+		Field{Name: "src", Bits: 32, Group: "ipv4"},
+		Field{Name: "dstMac", Bits: 48, Group: "eth"},
+	)
+	// ttl→1×8b, totalLen→1×16b, src→1×32b, dstMac→ceil(48/32)=2×32b.
+	if a.Used8 != 1 || a.Used16 != 1 || a.Used32 != 3 {
+		t.Errorf("got %d/%d/%d containers, want 1/1/3", a.Used8, a.Used16, a.Used32)
+	}
+	if n := len(a.ByField["dstMac"]); n != 2 {
+		t.Errorf("dstMac spans %d containers, want 2", n)
+	}
+	if a.BitsAllocated != 8+16+3*32 {
+		t.Errorf("BitsAllocated = %d, want %d", a.BitsAllocated, 8+16+3*32)
+	}
+}
+
+func TestNaturalAdjacentSmallFieldsShare(t *testing.T) {
+	a := alloc(t, TofinoInventory, ModeNatural,
+		Field{Name: "version", Bits: 4, Group: "ipv4"},
+		Field{Name: "ihl", Bits: 4, Group: "ipv4"},
+		Field{Name: "flags", Bits: 3, Group: "ipv4"},
+		Field{Name: "other", Bits: 4, Group: "ipv6"},
+	)
+	// version+ihl share one 8b container; flags fits the remaining 0
+	// bits of nothing — it opens a second; "other" is another group and
+	// cannot co-reside.
+	if a.Used8 != 3 {
+		t.Errorf("Used8 = %d, want 3", a.Used8)
+	}
+	if a.ByField["version"][0] != a.ByField["ihl"][0] {
+		t.Errorf("version and ihl should share a container: %v vs %v",
+			a.ByField["version"], a.ByField["ihl"])
+	}
+	if a.ByField["other"][0] == a.ByField["flags"][0] {
+		t.Errorf("fields of different groups must not co-reside")
+	}
+}
+
+func TestAligned16UpsizesAndCoResides(t *testing.T) {
+	a := alloc(t, TofinoInventory, ModeAligned16,
+		Field{Name: "ttl", Bits: 8, Group: "ipv4"},
+		Field{Name: "protocol", Bits: 8, Group: "ipv4"},
+		Field{Name: "dstMac", Bits: 48, Group: "eth"},
+	)
+	// The alignment pass (§6.3) puts everything in 16b containers:
+	// ttl+protocol co-reside in one, dstMac takes ceil(48/16)=3.
+	if a.Used8 != 0 || a.Used16 != 4 || a.Used32 != 0 {
+		t.Errorf("got %d/%d/%d containers, want 0/4/0", a.Used8, a.Used16, a.Used32)
+	}
+	if a.ByField["ttl"][0] != a.ByField["protocol"][0] {
+		t.Errorf("same-group 8-bit fields should share a 16b container")
+	}
+	if n := len(a.ByField["dstMac"]); n != 3 {
+		t.Errorf("dstMac spans %d containers, want 3", n)
+	}
+}
+
+func TestAligned16VsNaturalWideField(t *testing.T) {
+	wide := Field{Name: "seg", Bits: 64, Group: "srh"}
+	nat := alloc(t, TofinoInventory, ModeNatural, wide)
+	ali := alloc(t, TofinoInventory, ModeAligned16, wide)
+	if nat.Used32 != 2 || nat.Used16 != 0 {
+		t.Errorf("natural: 64b field wants 2×32b, got %d/%d/%d", nat.Used8, nat.Used16, nat.Used32)
+	}
+	if ali.Used16 != 4 || ali.Used32 != 0 {
+		t.Errorf("aligned16: 64b field wants 4×16b, got %d/%d/%d", ali.Used8, ali.Used16, ali.Used32)
+	}
+}
+
+func TestPOVPacking(t *testing.T) {
+	var fields []Field
+	for i := 0; i < 9; i++ {
+		fields = append(fields, Field{Name: strings.Repeat("h", i+1) + ".$valid", Bits: 1, POV: true})
+	}
+	for _, mode := range []Mode{ModeNatural, ModeAligned16} {
+		a := alloc(t, TofinoInventory, mode, fields...)
+		// 9 POV bits pack 8-per-8b-container → 2 containers, both modes.
+		if a.Used8 != 2 || a.Used16 != 0 || a.Used32 != 0 {
+			t.Errorf("%v: 9 POV bits used %d/%d/%d containers, want 2/0/0",
+				mode, a.Used8, a.Used16, a.Used32)
+		}
+	}
+}
+
+func TestFixedPinsToNaturalClass(t *testing.T) {
+	a := alloc(t, TofinoInventory, ModeAligned16,
+		Field{Name: "$im.meta.TS", Bits: 32, Group: "$im32", Fixed: true},
+		Field{Name: "$im.out_port", Bits: 9, Group: "$im", Fixed: true},
+	)
+	// Fixed intrinsics ignore the alignment pass: 32b stays a 32b
+	// container, 9b takes a 16b container — identical on both paths.
+	if a.Used32 != 1 || a.Used16 != 1 || a.Used8 != 0 {
+		t.Errorf("got %d/%d/%d containers, want 0/1/1", a.Used8, a.Used16, a.Used32)
+	}
+}
+
+func TestNaturalExhaustionIsInfeasible(t *testing.T) {
+	inv := Inventory{N8: 64, N16: 96, N32: 2}
+	_, err := (&Allocator{Inv: inv, Mode: ModeNatural}).Allocate([]Field{
+		{Name: "segs.0.hi", Bits: 64, Group: "segs"},
+		{Name: "segs.0.lo", Bits: 64, Group: "segs"},
+	})
+	if err == nil {
+		t.Fatal("want 32-bit class exhaustion, got success")
+	}
+	// The flat path has no cross-class spill: this is the §7.3
+	// monolithic-P7 failure mode, and the message must say so.
+	if !strings.Contains(err.Error(), "out of 32-bit PHV containers") {
+		t.Errorf("error should name the exhausted class: %v", err)
+	}
+	if !strings.Contains(err.Error(), "segs.0.lo") {
+		t.Errorf("error should name the unplaceable field: %v", err)
+	}
+}
+
+func TestAligned16SpillsInto32b(t *testing.T) {
+	inv := Inventory{N8: 4, N16: 2, N32: 4}
+	a := alloc(t, inv, ModeAligned16,
+		Field{Name: "a", Bits: 16, Group: "g1"},
+		Field{Name: "b", Bits: 16, Group: "g2"},
+		Field{Name: "c", Bits: 64, Group: "g3"},
+	)
+	// a and b take both 16b containers; c's four 16-bit chunks spill
+	// into 32b containers, two chunks per container.
+	if a.Used16 != 2 || a.Used32 != 2 {
+		t.Errorf("got %d×16b %d×32b, want 2×16b 2×32b", a.Used16, a.Used32)
+	}
+	cs := a.ByField["c"]
+	if len(cs) != 4 {
+		t.Fatalf("c spans %d container slots, want 4", len(cs))
+	}
+	for _, c := range cs {
+		if c.Size != 32 {
+			t.Errorf("c's chunks should all have spilled to 32b containers: %v", cs)
+		}
+	}
+	if cs[0] != cs[1] || cs[2] != cs[3] {
+		t.Errorf("spilled chunks should pack two per 32b container: %v", cs)
+	}
+}
+
+func TestAligned16TotalExhaustion(t *testing.T) {
+	inv := Inventory{N8: 0, N16: 1, N32: 1}
+	_, err := (&Allocator{Inv: inv, Mode: ModeAligned16}).Allocate([]Field{
+		{Name: "big", Bits: 128, Group: "g"},
+	})
+	if err == nil {
+		t.Fatal("want exhaustion even with spill, got success")
+	}
+	if !strings.Contains(err.Error(), "no 32-bit containers left to spill into") {
+		t.Errorf("error should describe the failed spill: %v", err)
+	}
+}
+
+func TestZeroWidthTreatedAsOneBit(t *testing.T) {
+	a := alloc(t, TofinoInventory, ModeNatural, Field{Name: "flag", Bits: 0, Group: "m"})
+	if a.Used8 != 1 {
+		t.Errorf("zero-width field should take one 8b container, got %d", a.Used8)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	fields := []Field{
+		{Name: "a", Bits: 48, Group: "eth"},
+		{Name: "b", Bits: 9, Group: "im", Fixed: true},
+		{Name: "c", Bits: 1, POV: true},
+		{Name: "d", Bits: 3, Group: "ipv4"},
+		{Name: "e", Bits: 13, Group: "ipv4"},
+	}
+	for _, mode := range []Mode{ModeNatural, ModeAligned16} {
+		first := alloc(t, TofinoInventory, mode, fields...)
+		for i := 0; i < 10; i++ {
+			again := alloc(t, TofinoInventory, mode, fields...)
+			if first.Used8 != again.Used8 || first.Used16 != again.Used16 ||
+				first.Used32 != again.Used32 || first.BitsAllocated != again.BitsAllocated {
+				t.Fatalf("%v: allocation not deterministic", mode)
+			}
+			for name, cs := range first.ByField {
+				got := again.ByField[name]
+				if len(got) != len(cs) {
+					t.Fatalf("%v: ByField[%s] varies across runs", mode, name)
+				}
+				for j := range cs {
+					if got[j] != cs[j] {
+						t.Fatalf("%v: ByField[%s][%d] varies across runs", mode, name, j)
+					}
+				}
+			}
+		}
+	}
+}
