@@ -27,6 +27,7 @@ import (
 	"microp4/internal/linker"
 	"microp4/internal/mat"
 	"microp4/internal/midend"
+	"microp4/internal/obs"
 	"microp4/internal/pdg"
 	"microp4/internal/pkt"
 	"microp4/internal/sim"
@@ -245,6 +246,38 @@ func BenchmarkSwitch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPipeline compares the compiled engine's per-packet cost with
+// observability compiled in but disabled ("off", the default state: no
+// metrics, no trace sinks) against fully enabled ("on"). The "off"
+// variant is the DESIGN.md zero-overhead invariant: it must allocate
+// nothing on the hot path and stay within noise of the pre-obs seed.
+func BenchmarkPipeline(b *testing.B) {
+	meta := sim.Metadata{InPort: 1}
+	b.Run("obs-off", func(b *testing.B) {
+		exec, _, traffic := buildBenchEngines(b, "P4")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.Process(traffic[i%len(traffic)], meta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("obs-on", func(b *testing.B) {
+		exec, _, traffic := buildBenchEngines(b, "P4")
+		exec.SetMetrics(sim.NewMetrics(obs.NewRegistry()))
+		var events int
+		exec.Bus().Subscribe(func(sim.TraceEvent) { events++ })
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.Process(traffic[i%len(traffic)], meta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkCompileModule measures frontend throughput per library module.

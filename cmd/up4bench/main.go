@@ -20,18 +20,19 @@ import (
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "print only this table (1-3)")
-		figure = flag.Int("figure", 0, "print only this figure (9, 10, or 13)")
+		table   = flag.Int("table", 0, "print only this table (1-3)")
+		figure  = flag.Int("figure", 0, "print only this figure (9, 10, or 13)")
+		timings = flag.Bool("timings", false, "print only the aggregated compiler pass timings")
 	)
 	flag.Parse()
-	if err := run(*table, *figure); err != nil {
+	if err := run(*table, *figure, *timings); err != nil {
 		fmt.Fprintf(os.Stderr, "up4bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, figure int) error {
-	all := table == 0 && figure == 0
+func run(table, figure int, timings bool) error {
+	all := table == 0 && figure == 0 && !timings
 
 	if all || table == 1 {
 		fmt.Println(eval.Table1())
@@ -64,6 +65,13 @@ func run(table, figure int) error {
 	}
 	if all || figure == 13 {
 		out, err := eval.Figure13()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	if all || timings {
+		out, err := eval.TimingsTable()
 		if err != nil {
 			return err
 		}

@@ -5,20 +5,23 @@ import "testing"
 // The bench command is exercised end to end: every table and figure
 // renders without error in every selection mode.
 func TestRunAll(t *testing.T) {
-	if err := run(0, 0); err != nil {
+	if err := run(0, 0, false); err != nil {
 		t.Fatalf("run all: %v", err)
 	}
 }
 
 func TestRunSelections(t *testing.T) {
 	for table := 1; table <= 3; table++ {
-		if err := run(table, 0); err != nil {
+		if err := run(table, 0, false); err != nil {
 			t.Errorf("table %d: %v", table, err)
 		}
 	}
 	for _, fig := range []int{9, 10, 13} {
-		if err := run(0, fig); err != nil {
+		if err := run(0, fig, false); err != nil {
 			t.Errorf("figure %d: %v", fig, err)
 		}
+	}
+	if err := run(0, 0, true); err != nil {
+		t.Errorf("timings: %v", err)
 	}
 }

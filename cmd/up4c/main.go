@@ -33,6 +33,7 @@ func main() {
 		opt     = flag.Bool("O", false, "enable the §8.1 clean-copy elimination")
 		splitP  = flag.Bool("split-parser", false, "use the §8.1 per-depth parser MAT encoding")
 		verbose = flag.Bool("v", false, "print per-module details")
+		timings = flag.Bool("timings", false, "print per-pass wall time and IR sizes to stderr")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: up4c [-arch upa|v1model|tna] [-o out] main.up4 [module.up4 ...]\n")
@@ -43,7 +44,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*arch, *out, *stats, *verbose, *api, microp4.BuildOptions{EliminateCleanCopies: *opt, SplitParserMATs: *splitP}, flag.Args()); err != nil {
+	bopts := microp4.BuildOptions{EliminateCleanCopies: *opt, SplitParserMATs: *splitP}
+	var pt *microp4.PassTimer
+	if *timings {
+		pt = microp4.NewPassTimer()
+		bopts.Timer = pt
+	}
+	err := run(*arch, *out, *stats, *verbose, *api, bopts, flag.Args())
+	if pt != nil {
+		fmt.Fprint(os.Stderr, pt.String())
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "up4c: %v\n", err)
 		os.Exit(1)
 	}
@@ -56,7 +67,7 @@ func run(arch, out string, stats, verbose, api bool, bopts microp4.BuildOptions,
 		if err != nil {
 			return err
 		}
-		m, err := microp4.CompileModule(f, string(src))
+		m, err := microp4.CompileModuleTimed(f, string(src), bopts.Timer)
 		if err != nil {
 			return err
 		}
@@ -105,6 +116,7 @@ func run(arch, out string, stats, verbose, api bool, bopts microp4.BuildOptions,
 				st.ExtractLength, st.MaxIncrease, st.MaxDecrease, st.ByteStack, st.MinPacket)
 		}
 		var src string
+		stopBackend := bopts.Timer.Time("backend")
 		if arch == "v1model" {
 			src, err = dp.EmitV1Model()
 		} else {
@@ -121,6 +133,7 @@ func run(arch, out string, stats, verbose, api bool, bopts microp4.BuildOptions,
 		if err != nil {
 			return err
 		}
+		stopBackend(0, len(src))
 		return emit([]byte(src))
 	}
 	return fmt.Errorf("unknown architecture %q (have upa, v1model, tna)", arch)

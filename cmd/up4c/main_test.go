@@ -78,6 +78,35 @@ func TestRunControlAPI(t *testing.T) {
 	}
 }
 
+// TestRunTimings drives the -timings path: a timed compile must record
+// every stage from lexer through backend exactly once per invocation.
+func TestRunTimings(t *testing.T) {
+	files := stage(t)
+	pt := microp4.NewPassTimer()
+	out := filepath.Join(t.TempDir(), "tna.p4")
+	if err := run("tna", out, false, false, false, microp4.BuildOptions{Timer: pt}, files); err != nil {
+		t.Fatalf("run -timings: %v", err)
+	}
+	got := make(map[string]int)
+	for _, p := range pt.Passes() {
+		got[p.Name] = p.N
+		if p.Wall < 0 {
+			t.Errorf("stage %s has negative wall time", p.Name)
+		}
+	}
+	for _, stage := range []string{"lexer", "parser", "frontend", "transform", "linker", "midend", "compose", "backend"} {
+		if got[stage] == 0 {
+			t.Errorf("stage %q not recorded; have %v", stage, got)
+		}
+	}
+	if got["lexer"] != len(files) {
+		t.Errorf("lexer ran %d times, want once per file (%d)", got["lexer"], len(files))
+	}
+	if !strings.Contains(pt.String(), "total") {
+		t.Errorf("rendered table missing total row:\n%s", pt)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	files := stage(t)
 	if err := run("bogus-arch", "", false, false, false, microp4.BuildOptions{}, files); err == nil {

@@ -24,40 +24,51 @@ func main() {
 		engine  = flag.String("engine", "compiled", "execution engine: compiled or reference")
 		count   = flag.Int("n", 8, "number of packets to send")
 		trace   = flag.Bool("trace", false, "print per-packet execution traces (§8.2 debugging)")
+		maddr   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /trace on this address (e.g. :9090)")
 	)
 	flag.Parse()
-	if err := run(*program, *engine, *count, *trace); err != nil {
+	if err := run(*program, *engine, *count, *trace, *maddr); err != nil {
 		fmt.Fprintf(os.Stderr, "up4run: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(program, engine string, count int, trace bool) error {
+// buildDataplane compiles a library program and its modules through the
+// public API.
+func buildDataplane(program string) (*microp4.Dataplane, error) {
 	m, err := lib.Program(program)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	src, err := lib.Source(m.MainFile)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	main, err := microp4.CompileModule(m.MainFile, src)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var mods []*microp4.Module
 	for _, name := range m.Modules {
 		msrc, err := lib.ModuleSource(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		mod, err := microp4.CompileModule(name+".up4", msrc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		mods = append(mods, mod)
 	}
-	dp, err := microp4.Build(main, mods...)
+	return microp4.Build(main, mods...)
+}
+
+func run(program, engine string, count int, trace bool, metricsAddr string) error {
+	m, err := lib.Program(program)
+	if err != nil {
+		return err
+	}
+	dp, err := buildDataplane(program)
 	if err != nil {
 		return err
 	}
@@ -75,8 +86,21 @@ func run(program, engine string, count int, trace bool) error {
 	installRules(sw, program)
 	if trace {
 		sw.SetTracer(func(e microp4.TraceEvent) {
-			fmt.Printf("    trace: %-12s %-40s %s\n", e.Kind, e.Name, e.Detail)
+			mod := e.Module
+			if mod == "" {
+				mod = "main"
+			}
+			fmt.Printf("    trace: %5d %-12s %-16s %-40s %s\n", e.Seq, e.Kind, mod, e.Name, e.Detail)
 		})
+	}
+	var srv *obsServer
+	if metricsAddr != "" {
+		srv, err = startObs(sw, metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.close()
+		fmt.Printf("observability: http://%s/metrics /debug/vars /trace\n\n", srv.addr())
 	}
 
 	packets := trafficFor(program)
@@ -93,6 +117,12 @@ func run(program, engine string, count int, trace bool) error {
 		}
 		for _, o := range out {
 			fmt.Printf("        -> port %d (%3dB): %s\n", o.Port, len(o.Data), trunc(pkt.Dump(o.Data)))
+		}
+	}
+	if srv != nil {
+		fmt.Println("\nfinal metrics:")
+		if err := srv.reg.WritePrometheus(os.Stdout); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,13 +1,25 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"microp4"
+	"microp4/internal/lib"
+	"microp4/internal/pkt"
+)
 
 // Smoke-run every library program on both engines through the CLI's
 // driver (stdout goes to the test log).
 func TestRunAllPrograms(t *testing.T) {
 	for _, prog := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7"} {
 		for _, engine := range []string{"compiled", "reference"} {
-			if err := run(prog, engine, 6, false); err != nil {
+			if err := run(prog, engine, 6, false, ""); err != nil {
 				t.Errorf("%s/%s: %v", prog, engine, err)
 			}
 		}
@@ -15,13 +27,200 @@ func TestRunAllPrograms(t *testing.T) {
 }
 
 func TestRunWithTrace(t *testing.T) {
-	if err := run("P4", "compiled", 1, true); err != nil {
+	if err := run("P4", "compiled", 1, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithMetricsAddr(t *testing.T) {
+	if err := run("P4", "compiled", 4, false, "127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownProgram(t *testing.T) {
-	if err := run("P99", "compiled", 1, false); err == nil {
+	if err := run("P99", "compiled", 1, false, ""); err == nil {
 		t.Error("unknown program accepted")
+	}
+}
+
+// scrape fetches url and returns its body.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// parsePrometheus maps "name{labels}" → value for every sample line.
+func parsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[i+1:], "%g", &v); err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestMetricsEndpointMatchesTraffic is the acceptance check: serve the
+// observability endpoints on a free port, run a scripted traffic mix,
+// and assert the scraped /metrics per-table hit/miss and per-port
+// packet/drop counters match counts derived from the run exactly.
+func TestMetricsEndpointMatchesTraffic(t *testing.T) {
+	dp, err := buildDataplane("P4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := dp.NewSwitchWith(microp4.EngineCompiled)
+	installRules(sw, "P4")
+	srv, err := startObs(sw, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.close()
+	base := "http://" + srv.addr()
+
+	routed := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP, Src: 0xC0A80002, Dst: 0x0A000001}).
+		TCP(1234, 80).Bytes()
+	unrouted := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP, Src: 0xC0A80002, Dst: 0xDEAD0001}).
+		TCP(1234, 80).Bytes()
+
+	// Scripted run: nRouted hits on port 1, nUnrouted LPM default/miss
+	// drops on port 2. Expected tx counts come from Process's outputs.
+	const nRouted, nUnrouted = 5, 3
+	txPerPort := make(map[uint64]uint64)
+	drops := make(map[uint64]uint64)
+	for i := 0; i < nRouted; i++ {
+		out, err := sw.Process(routed, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) == 0 {
+			t.Fatal("routed packet dropped")
+		}
+		for _, o := range out {
+			txPerPort[o.Port]++
+		}
+	}
+	for i := 0; i < nUnrouted; i++ {
+		out, err := sw.Process(unrouted, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatal("unrouted packet forwarded")
+		}
+		drops[2]++
+	}
+
+	metrics := parsePrometheus(t, scrape(t, base+"/metrics"))
+	expect := map[string]float64{
+		"up4_switch_packets_total":                  nRouted + nUnrouted,
+		"up4_port_rx_packets_total{port=\"1\"}":     nRouted,
+		"up4_port_rx_packets_total{port=\"2\"}":     nUnrouted,
+		"up4_table_hits_total{table=\"l3_i.ipv4_i.ipv4_lpm_tbl\"}": nRouted,
+	}
+	for port, n := range txPerPort {
+		expect[fmt.Sprintf("up4_port_tx_packets_total{port=%q}", fmt.Sprint(port))] = float64(n)
+	}
+	for port, n := range drops {
+		expect[fmt.Sprintf("up4_port_drops_total{port=%q}", fmt.Sprint(port))] = float64(n)
+	}
+	for name, want := range expect {
+		if got, ok := metrics[name]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", name, got, ok, want)
+		}
+	}
+	// The unrouted packets run the LPM default action (or count as
+	// misses), never as hits.
+	lpmDefaults := metrics["up4_table_defaults_total{table=\"l3_i.ipv4_i.ipv4_lpm_tbl\"}"]
+	lpmMisses := metrics["up4_table_misses_total{table=\"l3_i.ipv4_i.ipv4_lpm_tbl\"}"]
+	if lpmDefaults+lpmMisses != nUnrouted {
+		t.Errorf("lpm defaults+misses = %v+%v, want %d", lpmDefaults, lpmMisses, nUnrouted)
+	}
+	// Latency histogram saw every packet.
+	if got := metrics["up4_packet_latency_ns_count"]; got != nRouted+nUnrouted {
+		t.Errorf("latency count = %v, want %d", got, nRouted+nUnrouted)
+	}
+
+	// /debug/vars is valid JSON holding the same counter.
+	var vars struct {
+		Metrics []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(scrape(t, base+"/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars: %v", err)
+	}
+	found := false
+	for _, m := range vars.Metrics {
+		if m.Name == "up4_switch_packets_total" {
+			found = true
+			if m.Value != nRouted+nUnrouted {
+				t.Errorf("/debug/vars packets = %v, want %d", m.Value, nRouted+nUnrouted)
+			}
+		}
+	}
+	if !found {
+		t.Error("/debug/vars missing up4_switch_packets_total")
+	}
+
+	// /trace returns the ring as ndjson with increasing sequence numbers
+	// and table events for the LPM lookup.
+	var lastSeq uint64
+	sawLPM := false
+	sc := bufio.NewScanner(strings.NewReader(scrape(t, base+"/trace")))
+	lines := 0
+	for sc.Scan() {
+		if sc.Text() == "" {
+			continue
+		}
+		lines++
+		var e microp4.TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("/trace line %q: %v", sc.Text(), err)
+		}
+		if e.Seq <= lastSeq {
+			t.Fatalf("/trace sequence not increasing at %+v", e)
+		}
+		lastSeq = e.Seq
+		if e.Kind == "table" && strings.HasSuffix(e.Name, "ipv4_lpm_tbl") {
+			sawLPM = true
+			if e.Module == "" {
+				t.Errorf("table event lacks module attribution: %+v", e)
+			}
+		}
+	}
+	if lines == 0 {
+		t.Fatal("/trace returned no events")
+	}
+	if !sawLPM {
+		t.Error("/trace has no LPM table event")
 	}
 }

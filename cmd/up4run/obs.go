@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+
+	"microp4"
+	"microp4/internal/obs"
+)
+
+// obsServer serves a running switch's observability endpoints:
+// /metrics (Prometheus text), /debug/vars (JSON), and /trace (the most
+// recent trace events as newline-delimited JSON).
+type obsServer struct {
+	reg    *obs.Registry
+	ring   *obs.Ring[microp4.TraceEvent]
+	ln     net.Listener
+	srv    *http.Server
+	cancel func()
+}
+
+// startObs enables metrics on sw, attaches a trace ring, and serves the
+// endpoints on addr (":0" picks a free port; see addr()).
+func startObs(sw *microp4.Switch, addr string) (*obsServer, error) {
+	o := &obsServer{
+		reg:  sw.EnableMetrics(),
+		ring: obs.NewRing[microp4.TraceEvent](256),
+	}
+	o.cancel = sw.Subscribe(o.ring.Push)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		o.cancel()
+		return nil, err
+	}
+	o.ln = ln
+	o.srv = &http.Server{Handler: obs.NewHandler(o.reg, o.writeTrace)}
+	go func() { _ = o.srv.Serve(ln) }()
+	return o, nil
+}
+
+func (o *obsServer) writeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range o.ring.Snapshot() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o *obsServer) addr() string { return o.ln.Addr().String() }
+
+func (o *obsServer) close() {
+	o.cancel()
+	_ = o.srv.Close()
+}

@@ -14,6 +14,7 @@ import (
 	"microp4/internal/ir"
 	"microp4/internal/lib"
 	"microp4/internal/midend"
+	"microp4/internal/obs"
 )
 
 // Table1 renders the composition matrix (which library modules make up
@@ -179,6 +180,35 @@ func ModuleList() string {
 			n, p.Interface, len(p.Tables), len(p.Actions))
 	}
 	return b.String()
+}
+
+// TimingsTable compiles the full P1–P7 suite through the composed path
+// (frontend → midend → Tofino backend) with an obs.PassTimer attached
+// and renders one aggregated per-stage breakdown. Same-name stages
+// merge across programs, so each row is the suite-wide total for that
+// stage.
+func TimingsTable() (string, error) {
+	pt := new(obs.PassTimer)
+	for _, m := range lib.Programs {
+		main, mods, err := lib.CompileProgramTimed(m.Name, pt)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", m.Name, err)
+		}
+		res, err := midend.BuildWith(midend.Options{Timer: pt}, main, mods...)
+		if err != nil {
+			return "", fmt.Errorf("%s: midend: %w", m.Name, err)
+		}
+		stop := pt.Time("backend")
+		rep, err := tna.CompileComposed(res.Pipeline, tna.DefaultOptions())
+		if err != nil {
+			return "", fmt.Errorf("%s: backend: %w", m.Name, err)
+		}
+		stop(ir.CountStmts(res.Pipeline.Stmts), rep.Tables)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Compiler pass timings over the P1-P7 suite (aggregated):\n\n")
+	b.WriteString(pt.String())
+	return b.String(), nil
 }
 
 // midendBuild is a thin seam for the figure renderers.

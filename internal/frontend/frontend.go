@@ -13,6 +13,8 @@ import (
 
 	"microp4/internal/ast"
 	"microp4/internal/ir"
+	"microp4/internal/lexer"
+	"microp4/internal/obs"
 	"microp4/internal/parser"
 	"microp4/internal/types"
 )
@@ -28,10 +30,31 @@ const (
 // CompileModule parses, checks, and lowers one µP4 source file containing
 // exactly one program declaration, returning its IR.
 func CompileModule(name, src string) (*ir.Program, error) {
-	f, err := parser.ParseFile(name, src)
+	return CompileModuleTimed(name, src, nil)
+}
+
+// CompileModuleTimed is CompileModule with per-stage wall time and
+// input/output sizes recorded into pt (which may be nil): the lexer
+// (source bytes → tokens), the parser (tokens → declarations), and the
+// frontend proper (type check + lowering, declarations → IR
+// statements). Sizes follow each stage's natural unit.
+func CompileModuleTimed(name, src string, pt *obs.PassTimer) (*ir.Program, error) {
+	stop := pt.Time("lexer")
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		if le, ok := err.(*lexer.Error); ok {
+			return nil, &parser.Error{File: name, Pos: le.Pos, Msg: le.Msg}
+		}
+		return nil, err
+	}
+	stop(len(src), len(toks))
+	stop = pt.Time("parser")
+	f, err := parser.ParseTokens(name, toks)
 	if err != nil {
 		return nil, err
 	}
+	stop(len(toks), len(f.Decls))
+	stop = pt.Time("frontend")
 	env, err := types.Check(f)
 	if err != nil {
 		return nil, err
@@ -51,7 +74,12 @@ func CompileModule(name, src string) (*ir.Program, error) {
 	} else if len(progs) > 1 {
 		return nil, fmt.Errorf("%s: multiple programs and no main instantiation", name)
 	}
-	return Lower(env, target)
+	prog, err := Lower(env, target)
+	if err != nil {
+		return nil, err
+	}
+	stop(len(f.Decls), prog.StmtCount())
+	return prog, nil
 }
 
 // binding maps a source name to its canonical IR path and type.

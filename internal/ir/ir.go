@@ -274,6 +274,14 @@ func WalkStmts(ss []*Stmt, fn func(*Stmt)) {
 	}
 }
 
+// CountStmts returns the number of statements in the tree (nested
+// bodies included) — the IR-size unit of the compiler pass timings.
+func CountStmts(ss []*Stmt) int {
+	n := 0
+	WalkStmts(ss, func(*Stmt) { n++ })
+	return n
+}
+
 // ----------------------------------------------------------------------------
 // Parser
 
@@ -495,6 +503,22 @@ func (p *Program) CalleeModules() []string {
 		}
 	}
 	return out
+}
+
+// StmtCount returns the total number of IR statements in the program —
+// apply block, deparser, action bodies, and parser states — as a cheap
+// program-size measure for compiler observability.
+func (p *Program) StmtCount() int {
+	n := CountStmts(p.Apply) + CountStmts(p.Deparser)
+	for _, a := range p.Actions {
+		n += CountStmts(a.Body)
+	}
+	if p.Parser != nil {
+		for _, st := range p.Parser.States {
+			n += CountStmts(st.Stmts)
+		}
+	}
+	return n
 }
 
 // InstanceByName returns the named instance, or nil.

@@ -11,6 +11,7 @@ import (
 
 	"microp4/internal/frontend"
 	"microp4/internal/ir"
+	"microp4/internal/obs"
 )
 
 //go:embed up4/*.up4 mono/*.up4
@@ -143,6 +144,12 @@ func CompileModuleIR(name string) (*ir.Program, error) {
 
 // CompileProgram compiles a composed program's main and all its modules.
 func CompileProgram(name string) (main *ir.Program, mods []*ir.Program, err error) {
+	return CompileProgramTimed(name, nil)
+}
+
+// CompileProgramTimed is CompileProgram recording frontend stage
+// timings into pt (which may be nil).
+func CompileProgramTimed(name string, pt *obs.PassTimer) (main *ir.Program, mods []*ir.Program, err error) {
 	m, err := Program(name)
 	if err != nil {
 		return nil, nil, err
@@ -151,12 +158,16 @@ func CompileProgram(name string) (main *ir.Program, mods []*ir.Program, err erro
 	if err != nil {
 		return nil, nil, err
 	}
-	main, err = frontend.CompileModule(m.MainFile, src)
+	main, err = frontend.CompileModuleTimed(m.MainFile, src, pt)
 	if err != nil {
 		return nil, nil, err
 	}
 	for _, mod := range m.Modules {
-		p, err := CompileModuleIR(mod)
+		msrc, err := ModuleSource(mod)
+		if err != nil {
+			return nil, nil, err
+		}
+		p, err := frontend.CompileModuleTimed(moduleFiles[mod], msrc, pt)
 		if err != nil {
 			return nil, nil, err
 		}

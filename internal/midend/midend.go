@@ -13,6 +13,7 @@ import (
 	"microp4/internal/ir"
 	"microp4/internal/linker"
 	"microp4/internal/mat"
+	"microp4/internal/obs"
 )
 
 // Result bundles the midend outputs.
@@ -31,6 +32,10 @@ type Result struct {
 type Options struct {
 	// Compose is forwarded to the homogenization/composition stage.
 	Compose mat.Options
+	// Timer, when non-nil, records per-stage wall time and IR sizes
+	// (statement counts) for the transform, linker, analysis, and
+	// composition stages.
+	Timer *obs.PassTimer
 }
 
 // Build runs the full midend over a main program and its library modules.
@@ -41,26 +46,43 @@ func Build(main *ir.Program, mods ...*ir.Program) (*Result, error) {
 
 // BuildWith is Build with explicit options.
 func BuildWith(opts Options, main *ir.Program, mods ...*ir.Program) (*Result, error) {
+	stop := opts.Timer.Time("transform")
+	inStmts := main.StmtCount()
 	tmain, err := Transform(main)
 	if err != nil {
 		return nil, err
 	}
 	tmods := make([]*ir.Program, 0, len(mods))
 	for _, m := range mods {
+		inStmts += m.StmtCount()
 		tm, err := Transform(m)
 		if err != nil {
 			return nil, err
 		}
 		tmods = append(tmods, tm)
 	}
+	outStmts := tmain.StmtCount()
+	for _, tm := range tmods {
+		outStmts += tm.StmtCount()
+	}
+	stop(inStmts, outStmts)
+	stop = opts.Timer.Time("linker")
 	linked, err := linker.Link(tmain, tmods...)
 	if err != nil {
 		return nil, err
 	}
+	linkedStmts := linked.Main.StmtCount()
+	for _, m := range linked.Modules {
+		linkedStmts += m.StmtCount()
+	}
+	stop(outStmts, linkedStmts)
+	stop = opts.Timer.Time("midend")
 	res, err := analysis.Analyze(linked)
 	if err != nil {
 		return nil, err
 	}
+	stop(linkedStmts, linkedStmts)
+	stop = opts.Timer.Time("compose")
 	pl, err := mat.ComposeWith(linked, res, opts.Compose)
 	if err != nil {
 		if strings.Contains(err.Error(), "orchestration") {
@@ -70,6 +92,7 @@ func BuildWith(opts Options, main *ir.Program, mods ...*ir.Program) (*Result, er
 		}
 		return nil, err
 	}
+	stop(linkedStmts, ir.CountStmts(pl.Stmts))
 	return &Result{Linked: linked, Analysis: res, Pipeline: pl}, nil
 }
 

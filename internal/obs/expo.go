@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # HELP/# TYPE pair per metric family,
+// sanitized names, escaped label values, and for histograms the
+// cumulative _bucket series (ending in le="+Inf"), _sum, and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range r.snapshot() {
+		name := SanitizeMetricName(m.name)
+		if name != lastFamily {
+			if m.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(m.help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, m.kind)
+			lastFamily = name
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", name, formatLabels(m.labels, "", ""), m.c.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %d\n", name, formatLabels(m.labels, "", ""), m.g.Value())
+		case kindHistogram:
+			counts, count, sum := m.h.snapshot()
+			cum := uint64(0)
+			for i, bound := range m.h.bounds {
+				cum += counts[i]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", name, formatLabels(m.labels, "le", fmt.Sprintf("%d", bound)), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", name, formatLabels(m.labels, "le", "+Inf"), count)
+			fmt.Fprintf(&b, "%s_sum%s %d\n", name, formatLabels(m.labels, "", ""), sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", name, formatLabels(m.labels, "", ""), count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonMetric is one metric in the /debug/vars JSON snapshot.
+type jsonMetric struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *int64            `json:"value,omitempty"`
+	Count  *uint64           `json:"count,omitempty"`
+	Sum    *uint64           `json:"sum,omitempty"`
+	Bucket []jsonBucket      `json:"buckets,omitempty"`
+}
+
+type jsonBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"` // cumulative, Prometheus-style
+}
+
+// WriteJSON renders the registry as a single JSON document (the
+// /debug/vars snapshot): {"metrics": [...]} in deterministic order.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, `{"metrics":[]}`)
+		return err
+	}
+	out := struct {
+		Metrics []jsonMetric `json:"metrics"`
+	}{Metrics: []jsonMetric{}}
+	for _, m := range r.snapshot() {
+		jm := jsonMetric{Name: SanitizeMetricName(m.name), Type: m.kind.String()}
+		if len(m.labels) > 0 {
+			jm.Labels = make(map[string]string, len(m.labels))
+			for _, l := range m.labels {
+				jm.Labels[SanitizeLabelName(l.K)] = l.V
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			v := int64(m.c.Value())
+			jm.Value = &v
+		case kindGauge:
+			v := m.g.Value()
+			jm.Value = &v
+		case kindHistogram:
+			counts, count, sum := m.h.snapshot()
+			cum := uint64(0)
+			for i, bound := range m.h.bounds {
+				cum += counts[i]
+				jm.Bucket = append(jm.Bucket, jsonBucket{LE: fmt.Sprintf("%d", bound), Count: cum})
+			}
+			jm.Bucket = append(jm.Bucket, jsonBucket{LE: "+Inf", Count: count})
+			jm.Count = &count
+			jm.Sum = &sum
+		}
+		out.Metrics = append(out.Metrics, jm)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// SanitizeMetricName maps an arbitrary string onto the Prometheus
+// metric-name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*; invalid characters
+// become '_' and a leading digit gets a '_' prefix.
+func SanitizeMetricName(name string) string {
+	return sanitize(name, true)
+}
+
+// SanitizeLabelName is SanitizeMetricName for label names, whose
+// alphabet additionally excludes ':'.
+func SanitizeLabelName(name string) string {
+	return sanitize(name, false)
+}
+
+func sanitize(name string, allowColon bool) string {
+	if name == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || (allowColon && c == ':') ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			('0' <= c && c <= '9' && i > 0)
+		if ok {
+			if b != nil {
+				b = append(b, c)
+			}
+			continue
+		}
+		if b == nil { // first divergence: copy the clean prefix
+			b = append(make([]byte, 0, len(name)+1), name[:i]...)
+		}
+		if '0' <= c && c <= '9' { // leading digit
+			b = append(b, '_', c)
+		} else {
+			b = append(b, '_')
+		}
+	}
+	if b == nil {
+		return name
+	}
+	return string(b)
+}
+
+// EscapeLabelValue escapes a label value for the text format:
+// backslash, double-quote, and newline.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatLabels renders {k="v",...}; extraK/extraV append one more pair
+// (used for histogram le). Returns "" when there are no labels at all.
+func formatLabels(labels []Label, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(SanitizeLabelName(l.K))
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(l.V))
+		b.WriteString(`"`)
+	}
+	if extraK != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(extraV)
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"up4_table_hits_total", "up4_table_hits_total"},
+		{"up4.table-hits", "up4_table_hits"},
+		{"table/hits total", "table_hits_total"},
+		{"2xx", "_2xx"},
+		{"ns:sub", "ns:sub"},
+		{"", "_"},
+		{"a b", "a_b"},
+		{"µp4", "__p4"}, // multi-byte rune: one _ per invalid byte
+	}
+	for _, c := range cases {
+		if got := SanitizeMetricName(c.in); got != c.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Label names additionally reject ':'.
+	if got := SanitizeLabelName("ns:sub"); got != "ns_sub" {
+		t.Errorf("SanitizeLabelName(ns:sub) = %q, want ns_sub", got)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`has"quote`, `has\"quote`},
+		{`back\slash`, `back\\slash`},
+		{"new\nline", `new\nline`},
+		{"all\\\"\n", `all\\\"\n`},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up4.table-hits", "hits per table", L("table", `weird"name\x`)).Add(3)
+	r.Counter("up4.table-hits", "hits per table", L("table", "plain")).Inc()
+	r.Gauge("depth", "queue\ndepth").Set(-2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	// One HELP/TYPE pair per family even with two series.
+	if strings.Count(out, "# TYPE up4_table_hits counter") != 1 {
+		t.Errorf("family header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `up4_table_hits{table="weird\"name\\x"} 3`) {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `up4_table_hits{table="plain"} 1`) {
+		t.Errorf("second series missing:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP depth queue\ndepth`) {
+		t.Errorf("help escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "depth -2") {
+		t.Errorf("gauge sample missing:\n%s", out)
+	}
+}
+
+// TestPrometheusHistogram checks the exposition invariants: buckets are
+// cumulative, le="+Inf" equals _count, and _sum matches observations.
+func TestPrometheusHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []uint64{10, 100}, L("engine", "compiled"))
+	for _, v := range []uint64{5, 50, 500, 7, 7000} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantLines := []string{
+		`lat_bucket{engine="compiled",le="10"} 2`,
+		`lat_bucket{engine="compiled",le="100"} 3`,
+		`lat_bucket{engine="compiled",le="+Inf"} 5`,
+		`lat_sum{engine="compiled"} 7562`,
+		`lat_count{engine="compiled"} 5`,
+		`# TYPE lat histogram`,
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing %q in:\n%s", w, out)
+		}
+	}
+	// +Inf bucket and _count must agree line-by-line.
+	var inf, count string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, `le="+Inf"`) {
+			inf = line[strings.LastIndexByte(line, ' ')+1:]
+		}
+		if strings.HasPrefix(line, "lat_count") {
+			count = line[strings.LastIndexByte(line, ' ')+1:]
+		}
+	}
+	if inf == "" || inf != count {
+		t.Errorf("+Inf bucket %q != _count %q", inf, count)
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pkts", "", L("port", "3")).Add(9)
+	r.Histogram("lat", "", []uint64{10}).Observe(4)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name   string            `json:"name"`
+			Type   string            `json:"type"`
+			Labels map[string]string `json:"labels"`
+			Value  *int64            `json:"value"`
+			Count  *uint64           `json:"count"`
+			Sum    *uint64           `json:"sum"`
+			Bucket []struct {
+				LE    string `json:"le"`
+				Count uint64 `json:"count"`
+			} `json:"buckets"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.Metrics) != 2 {
+		t.Fatalf("got %d metrics, want 2", len(doc.Metrics))
+	}
+	var sawCounter, sawHist bool
+	for _, m := range doc.Metrics {
+		switch m.Name {
+		case "pkts":
+			sawCounter = true
+			if m.Type != "counter" || m.Value == nil || *m.Value != 9 || m.Labels["port"] != "3" {
+				t.Errorf("counter snapshot wrong: %+v", m)
+			}
+		case "lat":
+			sawHist = true
+			if m.Type != "histogram" || m.Count == nil || *m.Count != 1 || m.Sum == nil || *m.Sum != 4 {
+				t.Errorf("histogram snapshot wrong: %+v", m)
+			}
+			if len(m.Bucket) != 2 || m.Bucket[len(m.Bucket)-1].LE != "+Inf" || m.Bucket[len(m.Bucket)-1].Count != 1 {
+				t.Errorf("histogram buckets wrong: %+v", m.Bucket)
+			}
+		}
+	}
+	if !sawCounter || !sawHist {
+		t.Fatalf("snapshot missing metrics: %s", b.String())
+	}
+}
+
+func TestExpositionDeterministic(t *testing.T) {
+	build := func(order []int) string {
+		r := NewRegistry()
+		for _, i := range order {
+			r.Counter("m", "", L("i", strconv.Itoa(i))).Add(uint64(i))
+		}
+		var b strings.Builder
+		_ = r.WritePrometheus(&b)
+		return b.String()
+	}
+	if build([]int{1, 2, 3}) != build([]int{3, 1, 2}) {
+		t.Fatal("exposition order depends on registration order")
+	}
+}

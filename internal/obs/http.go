@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+)
+
+// NewHandler returns the observability HTTP surface:
+//
+//	/metrics     Prometheus text exposition of reg
+//	/debug/vars  JSON snapshot of reg
+//	/trace       recent trace events, written by the trace callback
+//	             (one JSON object per line); omitted when trace is nil
+//
+// The handler is stateless; all state lives in the registry and in
+// whatever backs the trace callback (typically a Ring of events).
+func NewHandler(reg *Registry, trace func(io.Writer) error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	if trace != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+			_ = trace(w)
+		})
+	}
+	return mux
+}

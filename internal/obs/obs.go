@@ -1,0 +1,293 @@
+// Package obs is the dependency-free observability core of the µP4
+// reproduction: atomic counters, gauges, fixed-bucket histograms, named
+// registries, and exposition encoders (Prometheus text and JSON).
+//
+// It exists to make the paper's §8.2 direction concrete — "programs can
+// be linked against µP4 debug modules ... logging information in the
+// dataplane" — and to give the compiler per-pass visibility in the
+// style of the RMT-backend paper's resource/timing breakdowns.
+//
+// Design invariant (see DESIGN.md "Observability"): nothing in this
+// package allocates on a read-modify path. Counter.Inc, Gauge.Set, and
+// Histogram.Observe are single atomic operations; metric creation (the
+// only allocating operation) happens off the packet hot path, and
+// Registry lookups read a copy-on-write map without locking.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; all methods are safe on a nil receiver (they no-op), so
+// call sites can stay unconditional when metrics are not attached.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down (a signed instantaneous
+// value). Nil-safe like Counter.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts integer observations into fixed buckets. Bounds are
+// inclusive upper bounds in ascending order; an implicit +Inf bucket
+// catches the rest. Observation is a linear scan plus two atomic adds —
+// no allocation, no locks.
+type Histogram struct {
+	bounds  []uint64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum     atomic.Uint64
+}
+
+// NewHistogram returns a detached histogram (normally obtained via
+// Registry.Histogram). Bounds must be ascending.
+func NewHistogram(bounds []uint64) *Histogram {
+	b := append([]uint64(nil), bounds...)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", b))
+		}
+	}
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+}
+
+// snapshot returns per-bucket counts (non-cumulative), the total count,
+// and the sum. Count is derived from the bucket reads themselves so the
+// exported +Inf bucket always equals _count even under concurrent
+// observation.
+func (h *Histogram) snapshot() (counts []uint64, count, sum uint64) {
+	counts = make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		count += counts[i]
+	}
+	return counts, count, h.sum.Load()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	_, n, _ := h.snapshot()
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// LatencyBucketsNs is the default per-packet latency bucket layout
+// (nanoseconds): roughly exponential from sub-microsecond to 10ms.
+var LatencyBucketsNs = []uint64{250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 1000000, 10000000}
+
+// Label is one name=value metric dimension.
+type Label struct{ K, V string }
+
+// L is shorthand for Label{k, v}.
+func L(k, v string) Label { return Label{K: k, V: v} }
+
+type metricKind int8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// metric is one registered time series.
+type metric struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []Label
+	key    string
+	c      Counter
+	g      Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics. Creation (Counter/Gauge/Histogram) is
+// get-or-create and may allocate; repeated calls with the same name and
+// labels return the same instance via a lock-free copy-on-write map, so
+// pre-resolving metrics once and incrementing them forever is the
+// intended hot-path pattern. A nil *Registry returns nil metrics, whose
+// methods no-op.
+type Registry struct {
+	mu      sync.Mutex
+	byKey   atomic.Value // map[string]*metric
+	ordered []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.byKey.Store(map[string]*metric{})
+	return r
+}
+
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0xff)
+		b.WriteString(l.K)
+		b.WriteByte(0xfe)
+		b.WriteString(l.V)
+	}
+	return b.String()
+}
+
+// lookup returns an existing metric without locking.
+func (r *Registry) lookup(key string) *metric {
+	return r.byKey.Load().(map[string]*metric)[key]
+}
+
+// getOrCreate resolves or registers a metric. Kind mismatches on the
+// same family name panic: that is a programming error, not runtime
+// state.
+func (r *Registry) getOrCreate(name, help string, kind metricKind, bounds []uint64, labels []Label) *metric {
+	key := metricKey(name, labels)
+	if m := r.lookup(key); m != nil {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", name, kind, m.kind))
+		}
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.byKey.Load().(map[string]*metric)
+	if m := old[key]; m != nil {
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind, labels: append([]Label(nil), labels...), key: key}
+	if kind == kindHistogram {
+		m.h = NewHistogram(bounds)
+	}
+	next := make(map[string]*metric, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = m
+	r.byKey.Store(next)
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &r.getOrCreate(name, help, kindCounter, nil, labels).c
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return &r.getOrCreate(name, help, kindGauge, nil, labels).g
+}
+
+// Histogram returns the histogram for name+labels, creating it on first
+// use with the given bucket bounds (ignored if it already exists).
+func (r *Registry) Histogram(name, help string, bounds []uint64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, help, kindHistogram, bounds, labels).h
+}
+
+// snapshot returns the registered metrics sorted by family name, then
+// label key — the deterministic exposition order.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.ordered...)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].name != ms[j].name {
+			return ms[i].name < ms[j].name
+		}
+		return ms[i].key < ms[j].key
+	})
+	return ms
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pkts", "packets")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("pkts", "packets"); again != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	h.Observe(9)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Fatal("nil registry must return nil metrics")
+	}
+}
+
+func TestLabelsDistinguishSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits", "", L("table", "a"))
+	b := r.Counter("hits", "", L("table", "b"))
+	if a == b {
+		t.Fatal("different labels must yield different series")
+	}
+	a.Add(2)
+	b.Inc()
+	if a.Value() != 2 || b.Value() != 1 {
+		t.Fatalf("a=%d b=%d", a.Value(), b.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100})
+	for _, v := range []uint64{1, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	counts, n, sum := h.snapshot()
+	if n != 6 {
+		t.Fatalf("count = %d, want 6", n)
+	}
+	if sum != 1+10+11+100+101+5000 {
+		t.Fatalf("sum = %d", sum)
+	}
+	// le=10 gets {1,10}; le=100 gets {11,100}; +Inf gets {101,5000}.
+	if counts[0] != 2 || counts[1] != 2 || counts[2] != 2 {
+		t.Fatalf("bucket counts = %v", counts)
+	}
+}
+
+func TestHistogramKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Histogram("m", "", []uint64{1})
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("shared", "").Inc()
+				r.Counter("per", "", L("g", string(rune('a'+g)))).Inc()
+				r.Histogram("h", "", []uint64{4, 16}).Observe(uint64(i % 32))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared", "").Value(); got != 8*500 {
+		t.Fatalf("shared = %d, want %d", got, 8*500)
+	}
+	if got := r.Histogram("h", "", nil).Count(); got != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing[int](3)
+	for i := 1; i <= 5; i++ {
+		r.Push(i)
+	}
+	got := r.Snapshot()
+	if len(got) != 3 || got[0] != 3 || got[1] != 4 || got[2] != 5 {
+		t.Fatalf("snapshot = %v, want [3 4 5]", got)
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+}
+
+// BenchmarkHotPath guards the zero-allocation invariant: incrementing a
+// pre-resolved counter and observing into a histogram must not allocate.
+func BenchmarkHotPath(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("pkts", "")
+	h := r.Histogram("lat", "", LatencyBucketsNs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(uint64(i))
+	}
+}
+
+func TestHotPathNoAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pkts", "")
+	h := r.Histogram("lat", "", LatencyBucketsNs)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(42)
+		_ = r.lookup("pkts")
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocates %v per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import "sync"
+
+// Ring is a fixed-capacity ring buffer keeping the most recent values —
+// the backing store of the /trace endpoint. Safe for concurrent use.
+type Ring[T any] struct {
+	mu    sync.Mutex
+	buf   []T
+	total uint64 // values ever pushed
+}
+
+// NewRing returns a ring holding the last n values (n >= 1).
+func NewRing[T any](n int) *Ring[T] {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring[T]{buf: make([]T, 0, n)}
+}
+
+// Push appends v, evicting the oldest value when full.
+func (r *Ring[T]) Push(v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v)
+	} else {
+		r.buf[r.total%uint64(cap(r.buf))] = v
+	}
+	r.total++
+}
+
+// Snapshot returns the retained values, oldest first.
+func (r *Ring[T]) Snapshot() []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]T, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	start := r.total % uint64(cap(r.buf))
+	out = append(out, r.buf[start:]...)
+	return append(out, r.buf[:start]...)
+}
+
+// Total returns how many values were ever pushed (including evicted).
+func (r *Ring[T]) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Pass is one compiler stage's accumulated timing record.
+type Pass struct {
+	Name string        // stage name (lexer, parser, frontend, linker, midend, backend, ...)
+	Wall time.Duration // total wall time across invocations
+	In   int           // total input size (source bytes, tokens, or IR statements)
+	Out  int           // total output size
+	N    int           // number of invocations merged into this record
+}
+
+// PassTimer accumulates per-stage wall time and input/output sizes for
+// a compilation, in the style of the RMT-backend paper's per-pass
+// breakdowns. Records with the same stage name merge (wall time and
+// sizes sum), so compiling many modules yields one row per stage.
+// All methods are safe on a nil receiver and under concurrent use.
+type PassTimer struct {
+	mu     sync.Mutex
+	passes []Pass
+}
+
+// Record adds one stage invocation. Same-name records accumulate.
+func (t *PassTimer) Record(name string, wall time.Duration, in, out int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.passes {
+		if t.passes[i].Name == name {
+			t.passes[i].Wall += wall
+			t.passes[i].In += in
+			t.passes[i].Out += out
+			t.passes[i].N++
+			return
+		}
+	}
+	t.passes = append(t.passes, Pass{Name: name, Wall: wall, In: in, Out: out, N: 1})
+}
+
+// Time starts timing a stage; the returned stop function records the
+// elapsed wall time together with the given input/output sizes.
+func (t *PassTimer) Time(name string) func(in, out int) {
+	if t == nil {
+		return func(int, int) {}
+	}
+	start := time.Now()
+	return func(in, out int) {
+		t.Record(name, time.Since(start), in, out)
+	}
+}
+
+// Passes returns a copy of the accumulated records in first-recorded
+// order.
+func (t *PassTimer) Passes() []Pass {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Pass(nil), t.passes...)
+}
+
+// Total returns the summed wall time of all stages.
+func (t *PassTimer) Total() time.Duration {
+	var sum time.Duration
+	for _, p := range t.Passes() {
+		sum += p.Wall
+	}
+	return sum
+}
+
+// String renders an aligned table:
+//
+//	stage        wall        calls   in      out
+//	lexer        1.2ms       9       18432   5210
+func (t *PassTimer) String() string {
+	passes := t.Passes()
+	if len(passes) == 0 {
+		return "(no passes recorded)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %6s %9s %9s\n", "stage", "wall", "calls", "in", "out")
+	for _, p := range passes {
+		fmt.Fprintf(&b, "%-12s %10s %6d %9d %9d\n", p.Name, p.Wall.Round(time.Microsecond), p.N, p.In, p.Out)
+	}
+	fmt.Fprintf(&b, "%-12s %10s\n", "total", t.Total().Round(time.Microsecond))
+	return b.String()
+}
+
+// MarshalJSON renders the records as a JSON array (wall time in
+// nanoseconds).
+func (t *PassTimer) MarshalJSON() ([]byte, error) {
+	type jsonPass struct {
+		Name   string `json:"name"`
+		WallNs int64  `json:"wall_ns"`
+		In     int    `json:"in"`
+		Out    int    `json:"out"`
+		N      int    `json:"n"`
+	}
+	passes := t.Passes()
+	out := make([]jsonPass, len(passes))
+	for i, p := range passes {
+		out[i] = jsonPass{Name: p.Name, WallNs: p.Wall.Nanoseconds(), In: p.In, Out: p.Out, N: p.N}
+	}
+	return json.Marshal(out)
+}

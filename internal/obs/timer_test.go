@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPassTimerMerges(t *testing.T) {
+	var pt PassTimer
+	pt.Record("lexer", 2*time.Millisecond, 100, 40)
+	pt.Record("parser", 3*time.Millisecond, 40, 10)
+	pt.Record("lexer", 1*time.Millisecond, 50, 20)
+	passes := pt.Passes()
+	if len(passes) != 2 {
+		t.Fatalf("got %d passes, want 2 (same-name records must merge)", len(passes))
+	}
+	lx := passes[0]
+	if lx.Name != "lexer" || lx.Wall != 3*time.Millisecond || lx.In != 150 || lx.Out != 60 || lx.N != 2 {
+		t.Fatalf("merged lexer pass = %+v", lx)
+	}
+	if pt.Total() != 6*time.Millisecond {
+		t.Fatalf("total = %v", pt.Total())
+	}
+}
+
+func TestPassTimerTime(t *testing.T) {
+	var pt PassTimer
+	stop := pt.Time("backend")
+	time.Sleep(time.Millisecond)
+	stop(10, 20)
+	p := pt.Passes()
+	if len(p) != 1 || p[0].Wall <= 0 || p[0].In != 10 || p[0].Out != 20 {
+		t.Fatalf("timed pass = %+v", p)
+	}
+}
+
+func TestPassTimerNil(t *testing.T) {
+	var pt *PassTimer
+	pt.Record("x", time.Second, 1, 2)
+	pt.Time("y")(3, 4)
+	if pt.Passes() != nil || pt.Total() != 0 {
+		t.Fatal("nil timer must no-op")
+	}
+	if !strings.Contains(pt.String(), "no passes") {
+		t.Fatalf("nil String = %q", pt.String())
+	}
+}
+
+func TestPassTimerRender(t *testing.T) {
+	var pt PassTimer
+	pt.Record("linker", 5*time.Millisecond, 123, 456)
+	s := pt.String()
+	for _, w := range []string{"stage", "linker", "123", "456", "total"} {
+		if !strings.Contains(s, w) {
+			t.Errorf("String() missing %q:\n%s", w, s)
+		}
+	}
+	data, err := json.Marshal(&pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["name"] != "linker" {
+		t.Fatalf("JSON = %s", data)
+	}
+}

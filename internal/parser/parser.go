@@ -38,6 +38,13 @@ func ParseFile(name, src string) (*ast.SourceFile, error) {
 		}
 		return nil, err
 	}
+	return ParseTokens(name, toks)
+}
+
+// ParseTokens parses an already-lexed µP4 source file. Split from
+// ParseFile so callers timing the compiler (obs.PassTimer) can measure
+// the lexer and the parser as separate stages.
+func ParseTokens(name string, toks []lexer.Token) (*ast.SourceFile, error) {
 	p := &parser{file: name, toks: toks}
 	f := &ast.SourceFile{Name: name}
 	for !p.atEOF() {

@@ -95,13 +95,16 @@ func (f *frame) applyTable(name string) error {
 	if f.inst != "" {
 		fq = f.inst + "." + name
 	}
-	call := f.r.ip.tables.Lookup(fq, def, keyVals)
-	if tr := f.r.ip.tracer; tr != nil {
+	call, outcome := f.r.ip.tables.LookupWithOutcome(fq, def, keyVals)
+	if f.r.ip.metrics != nil {
+		f.r.ip.metrics.countTable(fq, outcome)
+	}
+	if f.r.ip.bus.Active() {
 		detail := "miss (no default)"
 		if call != nil {
 			detail = "-> " + call.Name + " " + keyString(keyVals)
 		}
-		tr(TraceEvent{Kind: "table", Name: fq, Detail: detail})
+		f.r.ip.bus.Publish(TraceEvent{Kind: "table", Module: f.inst, Name: fq, Detail: detail})
 	}
 	if call == nil {
 		return nil // miss with no default: no-op
@@ -168,8 +171,8 @@ func (f *frame) callModule(s *ir.Stmt) error {
 	if f.inst != "" {
 		childInst = f.inst + "." + s.Instance
 	}
-	if tr := f.r.ip.tracer; tr != nil {
-		tr(TraceEvent{Kind: "module", Name: childInst, Detail: "apply " + s.Module})
+	if f.r.ip.bus.Active() {
+		f.r.ip.bus.Publish(TraceEvent{Kind: "module", Module: childInst, Name: childInst, Detail: "apply " + s.Module})
 	}
 	// Bind the callee's $im: inherit ours for "$im", or route to a
 	// local im_t copy living in this frame's store.
@@ -417,6 +420,9 @@ func (r *run) runModuleFrame(prog *ir.Program, inst string, v view, args []argBi
 	if prog.Parser != nil || len(prog.Deparser) > 0 {
 		emitted, err := f.runDeparser()
 		if err != nil {
+			if r.ip.metrics != nil {
+				r.ip.metrics.DeparseErrors.Inc()
+			}
 			return nil, err
 		}
 		v.splice(0, f.parsed, emitted)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"microp4/internal/ir"
 	"microp4/internal/mat"
@@ -13,15 +14,17 @@ import (
 // pass: one byte-stack (here: the packet buffer itself), scalar storage
 // for header fields and metadata, and a sequence of table applies.
 type Exec struct {
-	pl     *mat.Pipeline
-	tables *Tables
-	regs   map[string][]uint64 // register state, persistent across packets
-	tracer Tracer
+	pl       *mat.Pipeline
+	tables   *Tables
+	regs     map[string][]uint64 // register state, persistent across packets
+	bus      *Bus                // trace event bus; idle unless subscribed
+	traceOff func()              // SetTracer's current subscription
+	metrics  *Metrics            // nil = observability disabled
 }
 
 // NewExec returns an executor for a pipeline sharing control-plane state.
 func NewExec(pl *mat.Pipeline, t *Tables) *Exec {
-	e := &Exec{pl: pl, tables: t, regs: make(map[string][]uint64)}
+	e := &Exec{pl: pl, tables: t, regs: make(map[string][]uint64), bus: NewBus()}
 	for _, r := range pl.Registers {
 		e.regs[r.Name] = make([]uint64, r.Size)
 	}
@@ -44,6 +47,10 @@ type execState struct {
 
 // Process runs the pipeline over one packet.
 func (e *Exec) Process(pkt []byte, meta Metadata) (*ProcResult, error) {
+	var start time.Time
+	if e.metrics != nil {
+		start = time.Now()
+	}
 	st := &execState{
 		e:     e,
 		buf:   append([]byte(nil), pkt...),
@@ -59,8 +66,15 @@ func (e *Exec) Process(pkt []byte, meta Metadata) (*ProcResult, error) {
 	}
 	if st.store["$im.out_port"] == types.DropPort || st.store["$im.$perr"] != 0 {
 		res.Dropped = true
+		if st.store["$im.$perr"] != 0 {
+			res.ParserReject = true
+		}
 	} else {
 		res.Out = append(res.Out, OutPkt{Data: st.buf, Port: st.store["$im.out_port"]})
+	}
+	if e.metrics != nil {
+		e.metrics.countResult(meta.InPort, len(pkt), res)
+		e.metrics.Latency.Observe(uint64(time.Since(start)))
 	}
 	return res, nil
 }
@@ -240,13 +254,16 @@ func (st *execState) applyTable(name string, res *ProcResult) error {
 		}
 		keyVals[i] = truncate(v, orW(k.Expr.Width, 64))
 	}
-	call := st.e.tables.Lookup(name, def, keyVals)
-	if st.e.tracer != nil {
+	call, outcome := st.e.tables.LookupWithOutcome(name, def, keyVals)
+	if st.e.metrics != nil {
+		st.e.metrics.countTable(name, outcome)
+	}
+	if st.e.bus.Active() {
 		detail := "miss (no default)"
 		if call != nil {
 			detail = "-> " + call.Name + " " + keyString(keyVals)
 		}
-		st.e.tracer(TraceEvent{Kind: "table", Name: name, Detail: detail})
+		st.e.bus.Publish(TraceEvent{Kind: "table", Module: moduleOf(name), Name: name, Detail: detail})
 	}
 	if call == nil {
 		return nil

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"microp4/internal/ir"
 	"microp4/internal/linker"
@@ -43,16 +44,18 @@ var errExit = errors.New("exit")
 
 // Interp executes linked µP4-IR modules with source-level semantics.
 type Interp struct {
-	linked *linker.Linked
-	tables *Tables
-	regs   map[string][]uint64 // register state, persistent across packets
-	tracer Tracer
+	linked   *linker.Linked
+	tables   *Tables
+	regs     map[string][]uint64 // register state, persistent across packets
+	bus      *Bus                // trace event bus; idle unless subscribed
+	traceOff func()              // SetTracer's current subscription
+	metrics  *Metrics            // nil = observability disabled
 }
 
 // NewInterp returns an interpreter over a linked program sharing the
 // given control-plane state.
 func NewInterp(l *linker.Linked, t *Tables) *Interp {
-	return &Interp{linked: l, tables: t, regs: make(map[string][]uint64)}
+	return &Interp{linked: l, tables: t, regs: make(map[string][]uint64), bus: NewBus()}
 }
 
 // Register returns a register array's cells (allocated on first access),
@@ -134,6 +137,10 @@ type frame struct {
 
 // Process runs the linked program on one packet.
 func (ip *Interp) Process(pkt []byte, meta Metadata) (*ProcResult, error) {
+	var start time.Time
+	if ip.metrics != nil {
+		start = time.Now()
+	}
 	r := &run{
 		ip: ip,
 		im: map[string]uint64{
@@ -176,6 +183,10 @@ func (ip *Interp) Process(pkt []byte, meta Metadata) (*ProcResult, error) {
 	default:
 		res.Out = append(res.Out, OutPkt{Data: append([]byte(nil), buf.data...), Port: r.im["out_port"]})
 	}
+	if ip.metrics != nil {
+		ip.metrics.countResult(meta.InPort, len(pkt), res)
+		ip.metrics.Latency.Observe(uint64(time.Since(start)))
+	}
 	return res, nil
 }
 
@@ -197,8 +208,8 @@ func (f *frame) runParser() (accepted bool, err error) {
 		if steps > maxParserSteps {
 			return false, fmt.Errorf("%s: parser did not terminate", f.prog.Name)
 		}
-		if tr := f.r.ip.tracer; tr != nil {
-			tr(TraceEvent{Kind: "parser-state", Name: f.prog.Name + "." + state.Name})
+		if f.r.ip.bus.Active() {
+			f.r.ip.bus.Publish(TraceEvent{Kind: "parser-state", Module: f.inst, Name: f.prog.Name + "." + state.Name})
 		}
 		for _, s := range state.Stmts {
 			if s.Kind == ir.SExtract {

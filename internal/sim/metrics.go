@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"microp4/internal/obs"
+)
+
+// TableMetrics counts lookup outcomes of one table.
+type TableMetrics struct {
+	Hits     *obs.Counter // an installed or const entry matched
+	Defaults *obs.Counter // no entry matched; the default action ran
+	Misses   *obs.Counter // no entry matched and there was no default
+}
+
+// PortMetrics counts traffic on one port.
+type PortMetrics struct {
+	RxPackets *obs.Counter
+	RxBytes   *obs.Counter
+	TxPackets *obs.Counter
+	TxBytes   *obs.Counter
+	Drops     *obs.Counter // packets received on this port that were dropped
+}
+
+// Metrics is the dataplane's observability state: per-port and
+// per-table counters, error counters, and a per-packet latency
+// histogram, all registered in an obs.Registry for exposition.
+//
+// Hot-path contract: Table and Port resolve through copy-on-write maps
+// (one atomic load + map read, no locks, no allocation once the series
+// exists); engines check their metrics pointer for nil once per site,
+// so a switch without metrics attached pays nothing beyond that branch.
+type Metrics struct {
+	reg *obs.Registry
+
+	Packets       *obs.Counter // packets processed (either engine)
+	Drops         *obs.Counter
+	ParserErrors  *obs.Counter
+	DeparseErrors *obs.Counter
+	Recircs       *obs.Counter
+	Latency       *obs.Histogram // per-packet processing latency, ns
+	Clock         *obs.Gauge     // the switch's virtual clock (last IN_TIMESTAMP)
+
+	mu     sync.Mutex
+	tables atomic.Value // map[string]*TableMetrics
+	ports  atomic.Value // map[uint64]*PortMetrics
+}
+
+// NewMetrics returns dataplane metrics registered in reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		reg:           reg,
+		Packets:       reg.Counter("up4_switch_packets_total", "Packets processed by the dataplane"),
+		Drops:         reg.Counter("up4_switch_drops_total", "Packets dropped by the dataplane"),
+		ParserErrors:  reg.Counter("up4_parser_errors_total", "Packets rejected by a parser"),
+		DeparseErrors: reg.Counter("up4_deparse_errors_total", "Deparser failures"),
+		Recircs:       reg.Counter("up4_recirculations_total", "Packets sent through the recirculation path"),
+		Latency:       reg.Histogram("up4_packet_latency_ns", "Per-packet processing latency in nanoseconds", obs.LatencyBucketsNs),
+		Clock:         reg.Gauge("up4_switch_clock", "Virtual clock of the switch (packets seen)"),
+	}
+	m.tables.Store(map[string]*TableMetrics{})
+	m.ports.Store(map[uint64]*PortMetrics{})
+	return m
+}
+
+// Registry returns the backing registry (for exposition).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// Table returns the counters of a fully qualified table, creating them
+// on first use. The fast path is one atomic load plus a map read.
+func (m *Metrics) Table(name string) *TableMetrics {
+	if t := m.tables.Load().(map[string]*TableMetrics)[name]; t != nil {
+		return t
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.tables.Load().(map[string]*TableMetrics)
+	if t := old[name]; t != nil {
+		return t
+	}
+	t := &TableMetrics{
+		Hits:     m.reg.Counter("up4_table_hits_total", "Table lookups that matched an entry", obs.L("table", name)),
+		Defaults: m.reg.Counter("up4_table_defaults_total", "Table lookups that ran the default action", obs.L("table", name)),
+		Misses:   m.reg.Counter("up4_table_misses_total", "Table lookups with no match and no default", obs.L("table", name)),
+	}
+	next := make(map[string]*TableMetrics, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = t
+	m.tables.Store(next)
+	return t
+}
+
+// Port returns the counters of a port, creating them on first use.
+func (m *Metrics) Port(port uint64) *PortMetrics {
+	if p := m.ports.Load().(map[uint64]*PortMetrics)[port]; p != nil {
+		return p
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.ports.Load().(map[uint64]*PortMetrics)
+	if p := old[port]; p != nil {
+		return p
+	}
+	l := obs.L("port", strconv.FormatUint(port, 10))
+	p := &PortMetrics{
+		RxPackets: m.reg.Counter("up4_port_rx_packets_total", "Packets received per port", l),
+		RxBytes:   m.reg.Counter("up4_port_rx_bytes_total", "Bytes received per port", l),
+		TxPackets: m.reg.Counter("up4_port_tx_packets_total", "Packets transmitted per port", l),
+		TxBytes:   m.reg.Counter("up4_port_tx_bytes_total", "Bytes transmitted per port", l),
+		Drops:     m.reg.Counter("up4_port_drops_total", "Packets received on this port that were dropped", l),
+	}
+	next := make(map[uint64]*PortMetrics, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[port] = p
+	m.ports.Store(next)
+	return p
+}
+
+// countTable records one lookup outcome. Nil-safe.
+func (m *Metrics) countTable(name string, outcome LookupOutcome) {
+	if m == nil {
+		return
+	}
+	t := m.Table(name)
+	switch outcome {
+	case LookupHit:
+		t.Hits.Inc()
+	case LookupDefault:
+		t.Defaults.Inc()
+	case LookupMiss:
+		t.Misses.Inc()
+	}
+}
+
+// countResult records the per-packet tallies shared by both engines.
+func (m *Metrics) countResult(inPort uint64, pktLen int, res *ProcResult) {
+	if m == nil {
+		return
+	}
+	m.Packets.Inc()
+	in := m.Port(inPort)
+	in.RxPackets.Inc()
+	in.RxBytes.Add(uint64(pktLen))
+	if res == nil {
+		return
+	}
+	if res.ParserReject {
+		m.ParserErrors.Inc()
+	}
+	if res.Dropped {
+		m.Drops.Inc()
+		in.Drops.Inc()
+		return
+	}
+	if res.Recirculate {
+		m.Recircs.Inc()
+	}
+	for _, o := range res.Out {
+		out := m.Port(o.Port)
+		out.TxPackets.Inc()
+		out.TxBytes.Add(uint64(len(o.Data)))
+	}
+}
+
+// SetMetrics attaches (or, with nil, detaches) metrics to the executor.
+func (e *Exec) SetMetrics(m *Metrics) { e.metrics = m }
+
+// SetMetrics attaches (or, with nil, detaches) metrics to the
+// interpreter.
+func (ip *Interp) SetMetrics(m *Metrics) { ip.metrics = m }

@@ -1,0 +1,218 @@
+package sim_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"microp4/internal/lib"
+	"microp4/internal/midend"
+	"microp4/internal/obs"
+	"microp4/internal/pkt"
+	"microp4/internal/sim"
+)
+
+// TestConcurrentObservability is the observability companion of
+// TestConcurrentControlPlane: several executors share one Tables, one
+// Metrics, and one trace Bus with a CollectTrace sink, while the
+// control plane churns. The race detector does the real verification;
+// the assertions check that no event or count was lost and that bus
+// sequence numbers are unique.
+func TestConcurrentObservability(t *testing.T) {
+	main, mods, err := lib.CompileProgram("P4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := midend.Build(main, mods...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := sim.NewTables()
+	lib.InstallDefaultRules(tables, "P4", false)
+
+	metrics := sim.NewMetrics(obs.NewRegistry())
+	bus := sim.NewBus()
+	var events []sim.TraceEvent
+	cancel := bus.Subscribe(sim.CollectTrace(&events))
+	defer cancel()
+
+	data := pkt.NewBuilder().
+		Ethernet(1, 2, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6, Src: 1, Dst: 0x0A000001}).
+		TCP(1, 2).Bytes()
+
+	const goroutines, packets = 4, 250
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // control-plane churn
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			tables.AddEntry("scratch", []sim.RuntimeKey{sim.Exact(uint64(i))}, "noop")
+			if i%64 == 0 {
+				tables.ClearTable("scratch")
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			exec := sim.NewExec(res.Pipeline, tables)
+			exec.SetBus(bus)
+			exec.SetMetrics(metrics)
+			for i := 0; i < packets; i++ {
+				out, err := exec.Process(data, sim.Metadata{InPort: uint64(g)})
+				if err != nil {
+					t.Errorf("process: %v", err)
+					return
+				}
+				if out.Dropped {
+					t.Error("routed packet dropped")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := goroutines * packets
+	if got := metrics.Packets.Value(); got != uint64(total) {
+		t.Errorf("packets counter = %d, want %d", got, total)
+	}
+	for g := 0; g < goroutines; g++ {
+		if got := metrics.Port(uint64(g)).RxPackets.Value(); got != packets {
+			t.Errorf("port %d rx = %d, want %d", g, got, packets)
+		}
+	}
+	if got := metrics.Latency.Count(); got != uint64(total) {
+		t.Errorf("latency observations = %d, want %d", got, total)
+	}
+	if len(events) == 0 {
+		t.Fatal("no trace events collected")
+	}
+	seen := make(map[uint64]bool, len(events))
+	for _, e := range events {
+		if e.Seq == 0 {
+			t.Fatal("event without sequence number")
+		}
+		if seen[e.Seq] {
+			t.Fatalf("duplicate sequence number %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+// TestTraceModuleAttribution checks the §4 requirement that exported
+// traces attribute each event to the module instance that produced it,
+// on both engines.
+func TestTraceModuleAttribution(t *testing.T) {
+	main, mods, err := lib.CompileProgram("P4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := midend.Build(main, mods...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := sim.NewTables()
+	lib.InstallDefaultRules(tables, "P4", false)
+	data := pkt.NewBuilder().
+		Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6, Src: 1, Dst: 0x0A000001}).
+		TCP(1, 2).Bytes()
+
+	run := func(name string, process func() error, bus *sim.Bus) {
+		var events []sim.TraceEvent
+		cancel := bus.Subscribe(sim.CollectTrace(&events))
+		defer cancel()
+		if err := process(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var sawModuleTable, sawMainTable bool
+		lastSeq := uint64(0)
+		for _, e := range events {
+			if e.Seq <= lastSeq {
+				t.Fatalf("%s: sequence not increasing: %+v", name, events)
+			}
+			lastSeq = e.Seq
+			if e.Kind != "table" {
+				continue
+			}
+			if strings.Contains(e.Name, "ipv4_lpm_tbl") {
+				sawModuleTable = true
+				if e.Module == "" || !strings.HasPrefix(e.Name, e.Module+".") {
+					t.Errorf("%s: module table event lacks instance attribution: %+v", name, e)
+				}
+			}
+			if e.Name == "forward_tbl" {
+				sawMainTable = true
+				if e.Module != "" {
+					t.Errorf("%s: main-program event attributed to %q", name, e.Module)
+				}
+			}
+		}
+		if !sawModuleTable || !sawMainTable {
+			t.Fatalf("%s: missing table events (module=%v main=%v): %+v", name, sawModuleTable, sawMainTable, events)
+		}
+	}
+
+	exec := sim.NewExec(res.Pipeline, tables)
+	run("compiled", func() error {
+		_, err := exec.Process(data, sim.Metadata{InPort: 1})
+		return err
+	}, exec.Bus())
+
+	interp := sim.NewInterp(res.Linked, tables)
+	run("reference", func() error {
+		_, err := interp.Process(data, sim.Metadata{InPort: 1})
+		return err
+	}, interp.Bus())
+}
+
+// TestLookupOutcomes pins the hit/default/miss classification feeding
+// the per-table counters.
+func TestLookupOutcomes(t *testing.T) {
+	main, mods, err := lib.CompileProgram("P4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := midend.Build(main, mods...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := sim.NewTables()
+	lib.InstallDefaultRules(tables, "P4", false)
+	metrics := sim.NewMetrics(obs.NewRegistry())
+	exec := sim.NewExec(res.Pipeline, tables)
+	exec.SetMetrics(metrics)
+
+	routed := pkt.NewBuilder().
+		Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6, Src: 1, Dst: 0x0A000001}).
+		TCP(1, 2).Bytes()
+	if _, err := exec.Process(routed, sim.Metadata{InPort: 1}); err != nil {
+		t.Fatal(err)
+	}
+	lpm := metrics.Table("l3_i.ipv4_i.ipv4_lpm_tbl")
+	if lpm.Hits.Value() != 1 || lpm.Misses.Value() != 0 {
+		t.Errorf("lpm hit/miss = %d/%d, want 1/0", lpm.Hits.Value(), lpm.Misses.Value())
+	}
+
+	// A destination outside every installed prefix: the LPM lookup runs
+	// its default action (drop), not a hit.
+	unrouted := pkt.NewBuilder().
+		Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6, Src: 1, Dst: 0xDEAD0001}).
+		TCP(1, 2).Bytes()
+	if _, err := exec.Process(unrouted, sim.Metadata{InPort: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if lpm.Hits.Value()+lpm.Defaults.Value()+lpm.Misses.Value() != 2 {
+		t.Errorf("lpm outcomes after 2 packets = hits %d defaults %d misses %d",
+			lpm.Hits.Value(), lpm.Defaults.Value(), lpm.Misses.Value())
+	}
+	if lpm.Defaults.Value()+lpm.Misses.Value() != 1 {
+		t.Errorf("unrouted packet not counted as default/miss: defaults %d misses %d",
+			lpm.Defaults.Value(), lpm.Misses.Value())
+	}
+}

@@ -104,12 +104,32 @@ func (t *Tables) EntryCount(table string) int {
 	return len(t.entries[table])
 }
 
+// LookupOutcome classifies a table lookup for observability.
+type LookupOutcome int8
+
+const (
+	// LookupMiss: no entry matched and the table has no default action.
+	LookupMiss LookupOutcome = iota
+	// LookupHit: an installed or const entry matched.
+	LookupHit
+	// LookupDefault: no entry matched; the default action applies.
+	LookupDefault
+)
+
 // Lookup matches key values against a table definition plus runtime
 // state. Const entries (from the program text, including synthesized
 // parser/deparser MAT entries) have priority over runtime entries, in
 // declaration order. Returns the action to run, or the default action,
 // or nil when the table has no default (a miss is then a no-op).
 func (t *Tables) Lookup(fqName string, def *ir.Table, keyVals []uint64) *ir.ActionCall {
+	call, _ := t.LookupWithOutcome(fqName, def, keyVals)
+	return call
+}
+
+// LookupWithOutcome is Lookup, also reporting how the result was
+// reached (entry hit, default action, or miss) for the per-table
+// hit/miss/default counters.
+func (t *Tables) LookupWithOutcome(fqName string, def *ir.Table, keyVals []uint64) (*ir.ActionCall, LookupOutcome) {
 	t.mu.RLock()
 	runtime := t.entries[fqName]
 	defOverride := t.defaults[fqName]
@@ -153,12 +173,15 @@ func (t *Tables) Lookup(fqName string, def *ir.Table, keyVals []uint64) *ir.Acti
 		consider(ir.ActionCall{Name: e.Action, Args: e.Args}, e.Keys, len(def.Entries)+e.Priority)
 	}
 	if best != nil {
-		return best.action
+		return best.action, LookupHit
 	}
 	if defOverride != nil {
-		return defOverride
+		return defOverride, LookupDefault
 	}
-	return def.Default
+	if def.Default != nil {
+		return def.Default, LookupDefault
+	}
+	return nil, LookupMiss
 }
 
 // matchKey checks one key column.

@@ -1,8 +1,12 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // TraceEvent is one observable step of packet processing — the paper's
@@ -10,9 +14,11 @@ import (
 // modules ... logging information in the dataplane". The simulator
 // exposes the equivalent hooks directly.
 type TraceEvent struct {
-	Kind   string // "table", "action", "parser-state", "module", "drop"
-	Name   string // table/action/state/module name
-	Detail string // matched action, key values, etc.
+	Seq    uint64 `json:"seq"`              // monotonic per-bus sequence number
+	Kind   string `json:"kind"`             // "table", "action", "parser-state", "module", "drop"
+	Module string `json:"module,omitempty"` // emitting module instance path ("" = main)
+	Name   string `json:"name"`             // table/action/state/module name
+	Detail string `json:"detail,omitempty"` // matched action, key values, etc.
 }
 
 func (e TraceEvent) String() string {
@@ -25,16 +31,150 @@ func (e TraceEvent) String() string {
 // Tracer receives trace events during processing. A nil tracer is off.
 type Tracer func(TraceEvent)
 
-// CollectTrace returns a tracer appending into a slice.
-func CollectTrace(out *[]TraceEvent) Tracer {
-	return func(e TraceEvent) { *out = append(*out, e) }
+// Bus is a multi-sink trace event distributor. Emitters check Active()
+// (one atomic load) before even constructing an event, so an idle bus
+// costs nothing on the packet hot path; Publish stamps each event with
+// a monotonic sequence number shared by all subscribers. Subscription
+// management is copy-on-write: Publish never locks.
+type Bus struct {
+	active atomic.Int32 // subscriber count, for the fast-path check
+	seq    atomic.Uint64
+	subs   atomic.Value // map[int]Tracer, copy-on-write
+	mu     sync.Mutex   // guards subscription changes
+	nextID int
 }
 
-// SetTracer installs a tracer on the executor.
-func (e *Exec) SetTracer(t Tracer) { e.tracer = t }
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	b := &Bus{}
+	b.subs.Store(map[int]Tracer{})
+	return b
+}
 
-// SetTracer installs a tracer on the interpreter.
-func (ip *Interp) SetTracer(t Tracer) { ip.tracer = t }
+// Active reports whether any subscriber is attached. Nil-safe.
+func (b *Bus) Active() bool { return b != nil && b.active.Load() != 0 }
+
+// Publish stamps e with the next sequence number and delivers it to
+// every subscriber. No-op when the bus is nil or has no subscribers.
+func (b *Bus) Publish(e TraceEvent) {
+	if !b.Active() {
+		return
+	}
+	e.Seq = b.seq.Add(1)
+	for _, fn := range b.subs.Load().(map[int]Tracer) {
+		fn(e)
+	}
+}
+
+// Subscribe attaches a sink and returns its detach function. The sink
+// may be called concurrently when packets are processed from multiple
+// goroutines; use CollectTrace (or your own locking) for shared state.
+func (b *Bus) Subscribe(t Tracer) (cancel func()) {
+	if t == nil {
+		return func() {}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.nextID
+	b.nextID++
+	old := b.subs.Load().(map[int]Tracer)
+	next := make(map[int]Tracer, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = t
+	b.subs.Store(next)
+	b.active.Store(int32(len(next)))
+	return func() { b.unsubscribe(id) }
+}
+
+func (b *Bus) unsubscribe(id int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old := b.subs.Load().(map[int]Tracer)
+	if _, ok := old[id]; !ok {
+		return
+	}
+	next := make(map[int]Tracer, len(old)-1)
+	for k, v := range old {
+		if k != id {
+			next[k] = v
+		}
+	}
+	b.subs.Store(next)
+	b.active.Store(int32(len(next)))
+}
+
+// CollectTrace returns a tracer appending into a slice. The append is
+// mutex-guarded so one collector may be shared by concurrent switches
+// (the network-test scenarios) without racing.
+func CollectTrace(out *[]TraceEvent) Tracer {
+	var mu sync.Mutex
+	return func(e TraceEvent) {
+		mu.Lock()
+		*out = append(*out, e)
+		mu.Unlock()
+	}
+}
+
+// JSONTracer returns a tracer writing one JSON object per event to w —
+// a jq-able export of composed-program execution. Writes are serialized
+// by an internal mutex.
+func JSONTracer(w io.Writer) Tracer {
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	return func(e TraceEvent) {
+		mu.Lock()
+		_ = enc.Encode(e)
+		mu.Unlock()
+	}
+}
+
+// Bus returns the executor's event bus.
+func (e *Exec) Bus() *Bus { return e.bus }
+
+// Bus returns the interpreter's event bus.
+func (ip *Interp) Bus() *Bus { return ip.bus }
+
+// SetBus replaces the executor's event bus (e.g. to share one bus — and
+// one sequence numbering — across engines of a switch). Call before
+// SetTracer or Subscribe.
+func (e *Exec) SetBus(b *Bus) {
+	if b != nil {
+		e.bus = b
+	}
+}
+
+// SetBus replaces the interpreter's event bus.
+func (ip *Interp) SetBus(b *Bus) {
+	if b != nil {
+		ip.bus = b
+	}
+}
+
+// SetTracer installs a tracer on the executor, replacing any tracer
+// installed by a previous SetTracer call (nil removes it). It is a
+// convenience wrapper over Bus().Subscribe for the single-sink case.
+func (e *Exec) SetTracer(t Tracer) {
+	if e.traceOff != nil {
+		e.traceOff()
+		e.traceOff = nil
+	}
+	if t != nil {
+		e.traceOff = e.bus.Subscribe(t)
+	}
+}
+
+// SetTracer installs a tracer on the interpreter (see Exec.SetTracer).
+func (ip *Interp) SetTracer(t Tracer) {
+	if ip.traceOff != nil {
+		ip.traceOff()
+		ip.traceOff = nil
+	}
+	if t != nil {
+		ip.traceOff = ip.bus.Subscribe(t)
+	}
+}
 
 // FormatTrace renders events as an indented log.
 func FormatTrace(events []TraceEvent) string {
@@ -45,6 +185,17 @@ func FormatTrace(events []TraceEvent) string {
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// moduleOf derives the emitting module instance from a fully qualified
+// name ("l3_i.ipv4_i.ipv4_lpm_tbl" → "l3_i.ipv4_i"; unprefixed names
+// belong to the main program). Used by the compiled engine, whose table
+// names carry the instance path.
+func moduleOf(fq string) string {
+	if i := strings.LastIndexByte(fq, '.'); i >= 0 {
+		return fq[:i]
+	}
+	return ""
 }
 
 func keyString(vals []uint64) string {

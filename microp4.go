@@ -30,8 +30,18 @@ import (
 	"microp4/internal/ir"
 	"microp4/internal/mat"
 	"microp4/internal/midend"
+	"microp4/internal/obs"
 	"microp4/internal/sim"
 )
+
+// PassTimer accumulates per-compiler-stage wall time and input/output
+// sizes. Pass one to CompileModuleTimed and BuildOptions.Timer; render
+// it with String or MarshalJSON. The zero value via NewPassTimer is
+// ready to use; a nil *PassTimer disables timing at zero cost.
+type PassTimer = obs.PassTimer
+
+// NewPassTimer returns an empty pass timer.
+func NewPassTimer() *PassTimer { return new(obs.PassTimer) }
 
 // Module is one compiled µP4 module (its µP4-IR).
 type Module struct {
@@ -49,7 +59,13 @@ func (m *Module) ToJSON() ([]byte, error) { return m.prog.ToJSON() }
 
 // CompileModule runs the µP4C frontend on one source file.
 func CompileModule(filename, source string) (*Module, error) {
-	p, err := frontend.CompileModule(filename, source)
+	return CompileModuleTimed(filename, source, nil)
+}
+
+// CompileModuleTimed is CompileModule recording lexer, parser, and
+// frontend timings into pt (which may be nil).
+func CompileModuleTimed(filename, source string, pt *PassTimer) (*Module, error) {
+	p, err := frontend.CompileModuleTimed(filename, source, pt)
 	if err != nil {
 		return nil, err
 	}
@@ -89,6 +105,9 @@ type BuildOptions struct {
 	// SplitParserMATs selects the §8.1 per-depth parser encoding (one
 	// MAT per parse hop) instead of one path-product MAT per parser.
 	SplitParserMATs bool
+	// Timer, when non-nil, records midend stage timings (transform,
+	// linker, midend analysis, compose).
+	Timer *PassTimer
 }
 
 // Build links a main program against its library modules and runs the
@@ -104,10 +123,13 @@ func BuildWithOptions(opts BuildOptions, main *Module, modules ...*Module) (*Dat
 	for i, m := range modules {
 		mods[i] = m.prog
 	}
-	res, err := midend.BuildWith(midend.Options{Compose: mat.Options{
-		EliminateCleanCopies: opts.EliminateCleanCopies,
-		SplitParserMATs:      opts.SplitParserMATs,
-	}}, main.prog, mods...)
+	res, err := midend.BuildWith(midend.Options{
+		Compose: mat.Options{
+			EliminateCleanCopies: opts.EliminateCleanCopies,
+			SplitParserMATs:      opts.SplitParserMATs,
+		},
+		Timer: opts.Timer,
+	}, main.prog, mods...)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package microp4
 import (
 	"fmt"
 
+	"microp4/internal/obs"
 	"microp4/internal/sim"
 )
 
@@ -33,6 +34,9 @@ type Switch struct {
 	tables   *sim.Tables
 	exec     *sim.Exec
 	interp   *sim.Interp
+	bus      *sim.Bus // one bus (and one event sequence) across both engines
+	metrics  *sim.Metrics
+	traceOff func() // SetTracer's current subscription
 	mcGroups map[uint64][]uint64
 	digests  []uint64
 	// MaxRecirculations bounds the recirculation loop (default 4).
@@ -75,11 +79,14 @@ func (d *Dataplane) NewSwitchWith(engine Engine) *Switch {
 		engine:            engine,
 		tables:            t,
 		interp:            sim.NewInterp(d.res.Linked, t),
+		bus:               sim.NewBus(),
 		mcGroups:          make(map[uint64][]uint64),
 		MaxRecirculations: 4,
 	}
+	sw.interp.SetBus(sw.bus)
 	if d.res.Pipeline != nil {
 		sw.exec = sim.NewExec(d.res.Pipeline, t)
+		sw.exec.SetBus(sw.bus)
 	}
 	return sw
 }
@@ -110,6 +117,9 @@ func (s *Switch) SetMulticastGroup(gid uint64, ports ...uint64) {
 // — mirroring how µPA's logical externs map onto a target's PRE.
 func (s *Switch) Process(pkt []byte, inPort uint64) ([]Output, error) {
 	s.clock++
+	if s.metrics != nil {
+		s.metrics.Clock.Set(int64(s.clock))
+	}
 	meta := sim.Metadata{InPort: inPort, InTimestamp: s.clock, PktLen: uint64(len(pkt))}
 	var outs []Output
 	data := pkt
@@ -164,26 +174,66 @@ func max(a, b int) int {
 }
 
 // TraceEvent mirrors the simulator's trace event for the public API.
+// Seq is a monotonic per-switch sequence number; Module is the instance
+// path of the emitting module ("" = the main program), so traces from
+// composed programs (§4) attribute every event to its module.
 type TraceEvent struct {
-	Kind   string
-	Name   string
-	Detail string
+	Seq    uint64 `json:"seq"`
+	Kind   string `json:"kind"`
+	Module string `json:"module,omitempty"`
+	Name   string `json:"name"`
+	Detail string `json:"detail,omitempty"`
+}
+
+func wrapEvent(e sim.TraceEvent) TraceEvent {
+	return TraceEvent{Seq: e.Seq, Kind: e.Kind, Module: e.Module, Name: e.Name, Detail: e.Detail}
 }
 
 // SetTracer installs a debugging tracer (§8.2): fn receives one event
 // per parser state, module application, and table lookup. Pass nil to
-// disable.
+// disable. SetTracer manages a single sink; use Subscribe to attach
+// additional independent sinks.
 func (s *Switch) SetTracer(fn func(TraceEvent)) {
+	if s.traceOff != nil {
+		s.traceOff()
+		s.traceOff = nil
+	}
 	if fn == nil {
-		if s.exec != nil {
-			s.exec.SetTracer(nil)
-		}
-		s.interp.SetTracer(nil)
 		return
 	}
-	wrap := func(e sim.TraceEvent) { fn(TraceEvent{Kind: e.Kind, Name: e.Name, Detail: e.Detail}) }
-	if s.exec != nil {
-		s.exec.SetTracer(wrap)
+	s.traceOff = s.Subscribe(fn)
+}
+
+// Subscribe attaches one sink to the switch's trace event bus — both
+// engines publish to it with a shared sequence numbering — and returns
+// a detach function. Any number of sinks may be attached; when none
+// are, tracing costs one atomic load per potential event.
+func (s *Switch) Subscribe(fn func(TraceEvent)) (cancel func()) {
+	return s.bus.Subscribe(func(e sim.TraceEvent) { fn(wrapEvent(e)) })
+}
+
+// EnableMetrics attaches dataplane observability — per-port and
+// per-table counters, error counters, and a latency histogram — to the
+// switch and returns the registry they are exposed through (serve it
+// with obs.NewHandler, or encode it with WritePrometheus/WriteJSON).
+// Idempotent; the first call allocates the registry. Before the first
+// call the packet path carries no instrumentation beyond a nil check.
+func (s *Switch) EnableMetrics() *obs.Registry {
+	if s.metrics == nil {
+		s.metrics = sim.NewMetrics(obs.NewRegistry())
+		s.interp.SetMetrics(s.metrics)
+		if s.exec != nil {
+			s.exec.SetMetrics(s.metrics)
+		}
 	}
-	s.interp.SetTracer(wrap)
+	return s.metrics.Registry()
+}
+
+// Metrics returns the registry attached by EnableMetrics, or nil when
+// metrics are disabled.
+func (s *Switch) Metrics() *obs.Registry {
+	if s.metrics == nil {
+		return nil
+	}
+	return s.metrics.Registry()
 }
