@@ -1,0 +1,87 @@
+package microp4_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"microp4"
+	"microp4/internal/netsim"
+	"microp4/internal/pkt"
+	"microp4/internal/sim"
+)
+
+// TestProcessUnderControlPlaneChurn races Process on several goroutines
+// against a churn injector rewriting tables and multicast groups on the
+// SAME switch — the documented concurrency contract under -race. Typed
+// errors are legitimate (churn installs garbage entries on purpose);
+// panics or untyped errors are not.
+func TestProcessUnderControlPlaneChurn(t *testing.T) {
+	dp := compileLib(t, "P4")
+	sw := dp.NewSwitch()
+	sw.AddEntry("l3_i.ipv4_i.ipv4_lpm_tbl",
+		[]microp4.Key{microp4.LPM(0x0A000000, 8)}, "l3_i.ipv4_i.process", 100)
+	sw.AddEntry("forward_tbl", []microp4.Key{microp4.Exact(100)},
+		"forward", 0xAA0000000001, 0xBB0000000001, 1)
+
+	churn := netsim.NewChurn(0xBEEF, sw, netsim.ChurnConfig{
+		Tables: []string{"forward_tbl", "l3_i.ipv4_i.ipv4_lpm_tbl", "l3_i.ipv6_i.ipv6_lpm_tbl"},
+		Actions: map[string]string{
+			"forward_tbl":              "forward",
+			"l3_i.ipv4_i.ipv4_lpm_tbl": "l3_i.ipv4_i.process",
+			"l3_i.ipv6_i.ipv6_lpm_tbl": "l3_i.ipv6_i.process",
+		},
+		ArgCount: 3, ArgMax: 1 << 16,
+		Groups: []uint64{1, 2},
+		Ports:  []uint64{1, 2, 3, 4},
+	})
+
+	data := pkt.NewBuilder().
+		Ethernet(0xFF, 0xEE, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6, Src: 0x0B000001, Dst: 0x0A000042}).
+		TCP(1234, 80).Bytes()
+
+	const (
+		workers = 4
+		packets = 300
+		churnN  = 1200
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < packets; i++ {
+				if _, err := sw.Process(data, uint64(w)); err != nil {
+					// Garbage churn entries may legally fault the
+					// engines — but only through the typed taxonomy.
+					if _, typed := sim.ClassOf(err); !typed {
+						errCh <- err
+						return
+					}
+					var ef *sim.EngineFault
+					if errors.As(err, &ef) && ef.PanicValue != nil {
+						errCh <- err // a recovered panic is still a bug here
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < churnN; i++ {
+			churn.Step()
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("process under churn: %v", err)
+	}
+	if churn.Ops() != churnN {
+		t.Errorf("churn ops = %d, want %d", churn.Ops(), churnN)
+	}
+}

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"microp4"
+	"microp4/internal/lib"
+	"microp4/internal/netsim"
+	"microp4/internal/sim"
+)
+
+// chaosOpts collects the -chaos* flag values.
+type chaosOpts struct {
+	seed    uint64
+	count   int
+	model   netsim.FaultModel
+	churn   int // control-plane ops per delivered packet, per node
+	topo    string
+	verbose bool
+}
+
+// topology is a parsed -topo file (or the built-in three-hop line).
+type topology struct {
+	switches []string
+	links    [][4]string // a, aPort, b, bPort
+	injects  []endpointSpec
+}
+
+type endpointSpec struct {
+	node string
+	port uint64
+}
+
+// defaultTopology is the README walkthrough: three switches in a line,
+// ingress at s1:0, egress at s3:1.
+func defaultTopology() topology {
+	return topology{
+		switches: []string{"s1", "s2", "s3"},
+		links:    [][4]string{{"s1", "1", "s2", "0"}, {"s2", "1", "s3", "0"}},
+		injects:  []endpointSpec{{"s1", 0}},
+	}
+}
+
+// parseTopology reads a topology file:
+//
+//	switch s1
+//	switch s2
+//	link s1:1 s2:0
+//	inject s1:0
+//
+// Blank lines and #-comments are ignored.
+func parseTopology(path string) (topology, error) {
+	var t topology
+	f, err := os.Open(path)
+	if err != nil {
+		return t, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(why string) (topology, error) {
+			return t, fmt.Errorf("%s:%d: %s: %q", path, lineNo, why, line)
+		}
+		switch fields[0] {
+		case "switch":
+			if len(fields) != 2 {
+				return bad("switch takes one name")
+			}
+			t.switches = append(t.switches, fields[1])
+		case "link":
+			if len(fields) != 3 {
+				return bad("link takes two endpoints")
+			}
+			a, ap, err := splitEndpoint(fields[1])
+			if err != nil {
+				return bad(err.Error())
+			}
+			b, bp, err := splitEndpoint(fields[2])
+			if err != nil {
+				return bad(err.Error())
+			}
+			t.links = append(t.links, [4]string{a, fmt.Sprint(ap), b, fmt.Sprint(bp)})
+		case "inject":
+			if len(fields) != 2 {
+				return bad("inject takes one endpoint")
+			}
+			node, port, err := splitEndpoint(fields[1])
+			if err != nil {
+				return bad(err.Error())
+			}
+			t.injects = append(t.injects, endpointSpec{node, port})
+		default:
+			return bad("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return t, err
+	}
+	if len(t.switches) == 0 {
+		return t, fmt.Errorf("%s: no switches declared", path)
+	}
+	if len(t.injects) == 0 {
+		return t, fmt.Errorf("%s: no inject endpoint declared", path)
+	}
+	return t, nil
+}
+
+func splitEndpoint(s string) (string, uint64, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i <= 0 {
+		return "", 0, fmt.Errorf("endpoint %q is not node:port", s)
+	}
+	port, err := strconv.ParseUint(s[i+1:], 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("endpoint %q has a bad port", s)
+	}
+	return s[:i], port, nil
+}
+
+// churnConfigFor derives a control-plane churn profile from the
+// program's standard rule set: every table that normally carries
+// entries gets churned with the action its first default entry uses.
+func churnConfigFor(program string) netsim.ChurnConfig {
+	t := sim.NewTables()
+	lib.InstallDefaultRules(t, program, false)
+	cfg := netsim.ChurnConfig{
+		Actions:  map[string]string{},
+		ArgCount: 3, ArgMax: 1 << 16,
+		Groups: []uint64{1}, Ports: []uint64{1, 2, 3},
+	}
+	for _, name := range t.TableNames() {
+		entries := t.Entries(name)
+		if len(entries) == 0 {
+			continue
+		}
+		cfg.Tables = append(cfg.Tables, name)
+		cfg.Actions[name] = entries[0].Action
+	}
+	return cfg
+}
+
+// runChaos drives a seeded chaos run: the program's switches wired into
+// a Network, every link carrying the flag-configured fault model, the
+// canned traffic mix injected at the topology's ingress points. The
+// identical seed reproduces the identical fault sequence and counters.
+func runChaos(program, engine string, o chaosOpts) error {
+	topo := defaultTopology()
+	if o.topo != "" {
+		var err error
+		if topo, err = parseTopology(o.topo); err != nil {
+			return err
+		}
+	}
+	dp, err := buildDataplane(program)
+	if err != nil {
+		return err
+	}
+	eng := microp4.EngineCompiled
+	if engine == "reference" {
+		eng = microp4.EngineReference
+	}
+
+	n := netsim.New(o.seed)
+	reg := n.EnableMetrics()
+	for _, name := range topo.switches {
+		sw := dp.NewSwitchWith(eng)
+		installRules(sw, program)
+		if err := n.AddSwitch(name, sw); err != nil {
+			return err
+		}
+	}
+	for _, l := range topo.links {
+		ap, _ := strconv.ParseUint(l[1], 10, 64)
+		bp, _ := strconv.ParseUint(l[3], 10, 64)
+		if err := n.Connect(l[0], ap, l[2], bp, o.model); err != nil {
+			return err
+		}
+	}
+	if o.churn > 0 {
+		cfg := churnConfigFor(program)
+		for _, name := range topo.switches {
+			if err := n.AddChurn(name, cfg, o.churn); err != nil {
+				return err
+			}
+		}
+	}
+
+	fmt.Printf("chaos: seed %#x, model %+v, churn %d op/pkt\n", o.seed, o.model, o.churn)
+	fmt.Printf("topology: switches %v, %d links, inject at", topo.switches, len(topo.links))
+	for _, in := range topo.injects {
+		fmt.Printf(" %s:%d", in.node, in.port)
+	}
+	fmt.Println()
+
+	if o.verbose {
+		n.OnFault(func(e netsim.FaultEvent) { fmt.Println("  fault:", e) })
+	}
+
+	packets := trafficFor(program)
+	for i := 0; i < o.count; i++ {
+		in := topo.injects[i%len(topo.injects)]
+		if err := n.Inject(in.node, in.port, packets[i%len(packets)]); err != nil {
+			return err
+		}
+	}
+	st, err := n.Run(0)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nrun: %d injected, %d hops processed, %d egressed, %d node drops, %d proc errors\n",
+		st.Injected, st.Steps, st.Egressed, st.NodeDrops, st.ProcErrors)
+	for _, kind := range netsim.FaultKinds {
+		if c := st.Faults[kind]; c > 0 {
+			fmt.Printf("  fault %-9s %d\n", kind, c)
+		}
+	}
+	if c := st.Faults[netsim.FaultProcError]; c > 0 {
+		fmt.Printf("  fault %-9s %d\n", netsim.FaultProcError, c)
+	}
+	for _, d := range n.EgressAll() {
+		fmt.Printf("egress %s:%d  %3dB\n", d.Node, d.Port, len(d.Data))
+	}
+	fmt.Println("\nfinal metrics:")
+	return reg.WritePrometheus(os.Stdout)
+}

@@ -5,6 +5,14 @@
 //
 //	up4run -program P4
 //	up4run -program P2 -engine reference -n 20
+//
+// With -chaos it instead wires several switch instances into a
+// simulated network (the built-in three-hop line, or a -topo file) and
+// runs the traffic through seed-driven lossy links with optional
+// control-plane churn:
+//
+//	up4run -program P4 -chaos -seed 7 -chaos-drop 0.2 -chaos-flip 0.3
+//	up4run -program P4 -chaos -topo ring.topo -chaos-churn 5 -chaos-v
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 
 	"microp4"
 	"microp4/internal/lib"
+	"microp4/internal/netsim"
 	"microp4/internal/pkt"
 	"microp4/internal/sim"
 )
@@ -25,9 +34,35 @@ func main() {
 		count   = flag.Int("n", 8, "number of packets to send")
 		trace   = flag.Bool("trace", false, "print per-packet execution traces (§8.2 debugging)")
 		maddr   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /trace on this address (e.g. :9090)")
+
+		chaos   = flag.Bool("chaos", false, "run a seeded chaos network instead of a single switch")
+		seed    = flag.Uint64("seed", 1, "chaos: network seed (identical seed => identical fault sequence)")
+		drop    = flag.Float64("chaos-drop", 0.1, "chaos: per-link packet drop probability")
+		flip    = flag.Float64("chaos-flip", 0.1, "chaos: per-link bit-flip probability")
+		dup     = flag.Float64("chaos-dup", 0.05, "chaos: per-link duplication probability")
+		reorder = flag.Float64("chaos-reorder", 0.05, "chaos: per-link reorder probability")
+		truncP  = flag.Float64("chaos-trunc", 0.05, "chaos: per-link truncation probability")
+		churn   = flag.Int("chaos-churn", 0, "chaos: control-plane ops per delivered packet, per switch")
+		topo    = flag.String("topo", "", "chaos: topology file (switch/link/inject lines); default three-hop line")
+		chaosV  = flag.Bool("chaos-v", false, "chaos: print every fault event")
 	)
 	flag.Parse()
-	if err := run(*program, *engine, *count, *trace, *maddr); err != nil {
+	var err error
+	if *chaos {
+		err = runChaos(*program, *engine, chaosOpts{
+			seed:  *seed,
+			count: *count,
+			model: netsim.FaultModel{
+				Drop: *drop, BitFlip: *flip, Duplicate: *dup, Reorder: *reorder, Truncate: *truncP,
+			},
+			churn:   *churn,
+			topo:    *topo,
+			verbose: *chaosV,
+		})
+	} else {
+		err = run(*program, *engine, *count, *trace, *maddr)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "up4run: %v\n", err)
 		os.Exit(1)
 	}

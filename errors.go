@@ -1,0 +1,44 @@
+package microp4
+
+import "microp4/internal/sim"
+
+// The runtime's typed error taxonomy, re-exported so users of the
+// public API can match Switch.Process failures without importing
+// internal packages:
+//
+//	var fault *microp4.EngineFault
+//	if errors.As(err, &fault) { ... }
+//
+// or coarsely by class:
+//
+//	if errors.Is(err, microp4.ErrRecirc) { ... }
+//
+// Process is panic-free on arbitrary input: engine panics surface as
+// *EngineFault (with PanicValue and Stack set) instead of crashing the
+// switch, and are counted in up4_engine_faults_total when metrics are
+// enabled.
+type (
+	// ParseError reports a parser machinery failure (distinct from a
+	// plain reject, which drops the packet without error).
+	ParseError = sim.ParseError
+	// DeparseError reports a deparser failure.
+	DeparseError = sim.DeparseError
+	// TableError reports table/action/register state inconsistent with
+	// the program.
+	TableError = sim.TableError
+	// EngineFault reports an internal engine fault, including panics
+	// recovered at the Process boundary.
+	EngineFault = sim.EngineFault
+	// RecircBudgetError reports a packet that exceeded
+	// Switch.MaxRecirculations.
+	RecircBudgetError = sim.RecircBudgetError
+)
+
+// Class sentinels for errors.Is.
+var (
+	ErrParse   = sim.ErrParse
+	ErrDeparse = sim.ErrDeparse
+	ErrTable   = sim.ErrTable
+	ErrEngine  = sim.ErrEngine
+	ErrRecirc  = sim.ErrRecirc
+)

@@ -153,7 +153,10 @@ func (c *composer) rejectPathEntry(pf *ir.Program, cx ctx, path *analysis.Parser
 		for _, s := range step.Stmts {
 			switch s.Kind {
 			case ir.SExtract:
-				ht := c.out.Headers[mustDecl(pf, s.Hdr).TypeName]
+				ht, err := c.headerTypeOf(pf, s.Hdr)
+				if err != nil {
+					return nil, err
+				}
 				pe.recordExtract(s.Hdr, off)
 				off += ht.ByteSize()
 			case ir.SAssign:
@@ -196,7 +199,10 @@ func (c *composer) parserPathEntry(inst string, pf *ir.Program, cx ctx, path *an
 				if s.VarSize != nil {
 					return nil, "", fmt.Errorf("%s: varbit extract of %s survived the midend (run the varbit transformation first)", pf.Name, s.Hdr)
 				}
-				ht := c.out.Headers[mustDecl(pf, s.Hdr).TypeName]
+				ht, err := c.headerTypeOf(pf, s.Hdr)
+				if err != nil {
+					return nil, "", err
+				}
 				pe.recordExtract(s.Hdr, off)
 				body = append(body, &ir.Stmt{Kind: ir.SSetValid, Hdr: s.Hdr})
 				for _, f := range ht.Fields {
@@ -241,10 +247,26 @@ func (c *composer) parserPathEntry(inst string, pf *ir.Program, cx ctx, path *an
 	return kvs, actName, nil
 }
 
-func mustDecl(pf *ir.Program, path string) *ir.Decl {
+// declOf resolves a header instance path to its declaration, or returns
+// a diagnostic error when the linked program has no such declaration —
+// a malformed composition must surface as a compile error, not a panic.
+func declOf(pf *ir.Program, path string) (*ir.Decl, error) {
 	d := pf.DeclByPath(path)
 	if d == nil {
-		panic(fmt.Sprintf("no decl for %s in %s", path, pf.Name))
+		return nil, fmt.Errorf("%s: no declaration for header %s (extracted by a parser state the linker retained)", pf.Name, path)
 	}
-	return d
+	return d, nil
+}
+
+// headerTypeOf resolves an extract target to its header type via declOf.
+func (c *composer) headerTypeOf(pf *ir.Program, hdr string) (*ir.HeaderType, error) {
+	d, err := declOf(pf, hdr)
+	if err != nil {
+		return nil, err
+	}
+	ht := c.out.Headers[d.TypeName]
+	if ht == nil {
+		return nil, fmt.Errorf("%s: header %s has unknown type %s", pf.Name, hdr, d.TypeName)
+	}
+	return ht, nil
 }

@@ -122,7 +122,10 @@ func (c *composer) buildParserMATSplit(inst string, pf *ir.Program, ctxs []ctx, 
 							if s.VarSize != nil {
 								return nil, fmt.Errorf("%s: varbit extract survived the midend", pf.Name)
 							}
-							ht := c.out.Headers[mustDecl(pf, s.Hdr).TypeName]
+							ht, err := c.headerTypeOf(pf, s.Hdr)
+							if err != nil {
+								return nil, err
+							}
 							n.env.recordExtract(s.Hdr, n.off)
 							body = append(body, &ir.Stmt{Kind: ir.SSetValid, Hdr: s.Hdr})
 							for _, f := range ht.Fields {

@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+
+	"microp4"
+)
+
+// ChurnTarget is the control-plane surface the churn injector drives.
+// *microp4.Switch implements it; the Switch's documented concurrency
+// contract makes every operation safe to race live Process calls.
+type ChurnTarget interface {
+	AddEntry(table string, keys []microp4.Key, action string, args ...uint64)
+	SetDefault(table, action string, args ...uint64)
+	ClearTable(table string)
+	SetMulticastGroup(gid uint64, ports ...uint64)
+}
+
+// ChurnConfig bounds what the injector mutates. Zero-valued fields
+// disable the corresponding operation class.
+type ChurnConfig struct {
+	// Tables are candidate fully-qualified table names for
+	// AddEntry/ClearTable/SetDefault churn.
+	Tables []string
+	// Action installed by churned entries/defaults, per table; tables
+	// with no mapping get entries naming the table's first candidate in
+	// Actions[""] (a global fallback).
+	Actions map[string]string
+	// ArgCount/ArgMax bound the random action arguments.
+	ArgCount int
+	ArgMax   uint64
+	// Groups are multicast group ids to reprogram; Ports the candidate
+	// replication ports.
+	Groups []uint64
+	Ports  []uint64
+}
+
+func (c ChurnConfig) empty() bool { return len(c.Tables) == 0 && len(c.Groups) == 0 }
+
+// Churn is a deterministic control-plane churn injector: a seed-driven
+// sequence of AddEntry / SetDefault / ClearTable / SetMulticastGroup
+// calls against one switch. Step is safe to call from its own
+// goroutine while other goroutines drive Process on the same switch —
+// that is the race the chaos tests exist to exercise.
+type Churn struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	target ChurnTarget
+	cfg    ChurnConfig
+	count  uint64
+	ops    int // ops per network delivery, when attached via AddChurn
+}
+
+// NewChurn returns an injector driving target from a private stream.
+func NewChurn(seed uint64, target ChurnTarget, cfg ChurnConfig) *Churn {
+	return &Churn{rng: rand.New(rand.NewSource(int64(splitmix64(seed)))), target: target, cfg: cfg}
+}
+
+// Ops returns the number of operations performed so far.
+func (c *Churn) Ops() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Step performs one random control-plane operation.
+func (c *Churn) Step() { c.StepN(1) }
+
+// StepN performs n operations (no-op when the config is empty).
+func (c *Churn) StepN(n int) {
+	if c.cfg.empty() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		c.step()
+	}
+}
+
+func (c *Churn) step() {
+	c.count++
+	r := c.rng
+	// Multicast churn interleaves with table churn when both configured.
+	if len(c.cfg.Groups) > 0 && (len(c.cfg.Tables) == 0 || r.Intn(4) == 0) {
+		gid := c.cfg.Groups[r.Intn(len(c.cfg.Groups))]
+		nports := r.Intn(len(c.cfg.Ports) + 1)
+		ports := make([]uint64, 0, nports)
+		for j := 0; j < nports; j++ {
+			ports = append(ports, c.cfg.Ports[r.Intn(len(c.cfg.Ports))])
+		}
+		c.target.SetMulticastGroup(gid, ports...)
+		return
+	}
+	table := c.cfg.Tables[r.Intn(len(c.cfg.Tables))]
+	action := c.cfg.Actions[table]
+	if action == "" {
+		action = c.cfg.Actions[""]
+	}
+	args := make([]uint64, c.cfg.ArgCount)
+	for j := range args {
+		if c.cfg.ArgMax > 0 {
+			args[j] = r.Uint64() % (c.cfg.ArgMax + 1)
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		c.target.ClearTable(table)
+	case 1:
+		if action != "" {
+			c.target.SetDefault(table, action, args...)
+		}
+	default:
+		if action != "" {
+			c.target.AddEntry(table, []microp4.Key{microp4.Exact(r.Uint64() & 0xFFFF)}, action, args...)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"microp4"
+)
+
+// flipper forwards 0->1 but also bounces every third packet back out
+// port 0, giving the chaos run some multi-hop structure.
+type flipper struct{ seen int }
+
+func (f *flipper) Process(pkt []byte, inPort uint64) ([]microp4.Output, error) {
+	f.seen++
+	out := uint64(1)
+	if inPort == 1 {
+		out = 0
+	}
+	res := []microp4.Output{{Port: out, Data: pkt}}
+	if f.seen%3 == 0 && len(pkt) > 2 {
+		res = append(res, microp4.Output{Port: out ^ 1, Data: pkt[:len(pkt)/2]})
+	}
+	return res, nil
+}
+
+// chaosRun builds a 3-switch line with lossy links, injects a fixed
+// traffic pattern, and returns the full fault event sequence and stats.
+func chaosRun(t *testing.T, seed uint64) ([]FaultEvent, RunStats) {
+	t.Helper()
+	n := New(seed)
+	for i := 1; i <= 3; i++ {
+		if err := n.AddSwitch(fmt.Sprintf("s%d", i), &flipper{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := FaultModel{Drop: 0.2, Duplicate: 0.15, Reorder: 0.1, BitFlip: 0.25, Truncate: 0.1}
+	if err := n.Connect("s1", 1, "s2", 0, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("s2", 1, "s3", 0, m); err != nil {
+		t.Fatal(err)
+	}
+	var events []FaultEvent
+	n.OnFault(func(e FaultEvent) { events = append(events, e) })
+	for i := 0; i < 200; i++ {
+		pkt := make([]byte, 16)
+		for j := range pkt {
+			pkt[j] = byte(i + j)
+		}
+		if err := n.Inject("s1", 0, pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, st
+}
+
+// TestChaosRunIsReproducible is the tentpole acceptance criterion:
+// identical seed => identical per-link fault event sequence and final
+// counters, over a >=3-switch network.
+func TestChaosRunIsReproducible(t *testing.T) {
+	e1, s1 := chaosRun(t, 0xC0FFEE)
+	e2, s2 := chaosRun(t, 0xC0FFEE)
+	if len(e1) == 0 {
+		t.Fatal("chaos run with lossy links produced no fault events")
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		for i := range e1 {
+			if i >= len(e2) || e1[i] != e2[i] {
+				t.Fatalf("event %d diverged: %v vs %v", i, e1[i], e2[i])
+			}
+		}
+		t.Fatalf("event counts diverged: %d vs %d", len(e1), len(e2))
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("stats diverged:\n%+v\n%+v", s1, s2)
+	}
+}
+
+// TestDifferentSeedsDiverge guards against a degenerate implementation
+// that ignores the seed entirely.
+func TestDifferentSeedsDiverge(t *testing.T) {
+	e1, _ := chaosRun(t, 1)
+	e2, _ := chaosRun(t, 2)
+	if reflect.DeepEqual(e1, e2) {
+		t.Fatal("seeds 1 and 2 produced identical fault sequences")
+	}
+}
+
+// TestLinkStreamsAreIndependent: adding an unrelated link must not
+// perturb the fault stream of an existing one.
+func TestLinkStreamsAreIndependent(t *testing.T) {
+	run := func(extraLink bool) []FaultEvent {
+		n := New(7)
+		_ = n.AddSwitch("a", &fwd{outPort: 1})
+		_ = n.AddSwitch("b", &fwd{outPort: 9}) // port 9: egress, stop forwarding
+		_ = n.AddSwitch("c", &fwd{outPort: 9})
+		if err := n.Connect("a", 1, "b", 0, FaultModel{Drop: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		if extraLink {
+			if err := n.Connect("a", 2, "c", 0, FaultModel{Drop: 0.5}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var events []FaultEvent
+		n.OnFault(func(e FaultEvent) {
+			if e.Link == "a:1->b:0" {
+				events = append(events, e)
+			}
+		})
+		for i := 0; i < 100; i++ {
+			_ = n.Inject("a", 0, []byte{byte(i)})
+		}
+		if _, err := n.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	without, with := run(false), run(true)
+	if len(without) == 0 {
+		t.Fatal("no drops on a 50% lossy link over 100 packets")
+	}
+	// Event sequence numbers are global and may shift; compare the
+	// per-link fault kinds in order.
+	kinds := func(es []FaultEvent) []FaultKind {
+		out := make([]FaultKind, len(es))
+		for i, e := range es {
+			out[i] = e.Kind
+		}
+		return out
+	}
+	if !reflect.DeepEqual(kinds(without), kinds(with)) {
+		t.Fatal("adding an unrelated link perturbed an existing link's fault stream")
+	}
+}

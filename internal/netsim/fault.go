@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// FaultKind names one class of injected link fault.
+type FaultKind string
+
+const (
+	// FaultDrop: the packet is silently discarded.
+	FaultDrop FaultKind = "drop"
+	// FaultDuplicate: the packet is delivered twice.
+	FaultDuplicate FaultKind = "duplicate"
+	// FaultReorder: the packet is held and delivered after the next one
+	// transmitted on the same link.
+	FaultReorder FaultKind = "reorder"
+	// FaultBitFlip: one random bit of the payload is inverted.
+	FaultBitFlip FaultKind = "bit-flip"
+	// FaultTruncate: the packet is cut at a random byte offset.
+	FaultTruncate FaultKind = "truncate"
+	// FaultLinkDown: the packet hit an administratively-down link.
+	FaultLinkDown FaultKind = "link-down"
+	// FaultProcError: not a link fault — a node returned a typed error
+	// processing a delivery (the packet is lost, the run continues).
+	FaultProcError FaultKind = "proc-error"
+)
+
+// FaultKinds lists every fault class, in stable order (for reports).
+var FaultKinds = []FaultKind{
+	FaultDrop, FaultDuplicate, FaultReorder, FaultBitFlip, FaultTruncate, FaultLinkDown,
+}
+
+// FaultModel is a link's fault configuration: per-packet probabilities
+// of each fault class, drawn from the link's deterministic seed-derived
+// stream. The zero value is a perfect link.
+type FaultModel struct {
+	Drop      float64 // probability of dropping a packet
+	Duplicate float64 // probability of delivering a packet twice
+	Reorder   float64 // probability of holding a packet behind the next
+	BitFlip   float64 // probability of flipping one random bit
+	Truncate  float64 // probability of truncating at a random offset
+}
+
+// Lossless reports whether the model can never perturb a packet.
+func (m FaultModel) Lossless() bool {
+	return m.Drop == 0 && m.Duplicate == 0 && m.Reorder == 0 && m.BitFlip == 0 && m.Truncate == 0
+}
+
+// FaultEvent is one injected fault, stamped with the network-global
+// sequence number. For a fixed seed and traffic, the sequence of fault
+// events is identical run to run — chaos runs are reproducible.
+type FaultEvent struct {
+	Seq    uint64    `json:"seq"`
+	Link   string    `json:"link"` // "s1:1->s2:0"
+	Kind   FaultKind `json:"kind"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+func (e FaultEvent) String() string {
+	return fmt.Sprintf("%5d %-22s %-9s %s", e.Seq, e.Link, e.Kind, e.Detail)
+}
+
+// linkSeed derives a link's private RNG seed from the network seed and
+// the link's name, so every link has an independent deterministic
+// stream and adding a link never perturbs the streams of others.
+func linkSeed(networkSeed uint64, linkName string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(linkName))
+	return int64(splitmix64(networkSeed ^ h.Sum64()))
+}
+
+// splitmix64 is the canonical seed-mixing finalizer: even adjacent
+// network seeds yield uncorrelated link streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// applyFaults runs one transmitted packet through the link's fault
+// model. It returns the packets to deliver, in order (zero on drop, two
+// on duplicate or on a reorder release), emitting one event per fault
+// via emit. The data slice is owned by the caller; mutating faults copy
+// before flipping.
+func (l *Link) applyFaults(data []byte, emit func(FaultKind, string)) [][]byte {
+	if l.down {
+		emit(FaultLinkDown, fmt.Sprintf("%dB lost", len(data)))
+		return nil
+	}
+	m := l.model
+	if m.Lossless() && l.held == nil {
+		return [][]byte{data}
+	}
+	r := l.rng
+	if r.Float64() < m.Drop {
+		emit(FaultDrop, fmt.Sprintf("%dB lost", len(data)))
+		return l.flushHeld(nil)
+	}
+	if r.Float64() < m.BitFlip && len(data) > 0 {
+		bit := r.Intn(len(data) * 8)
+		data = append([]byte(nil), data...)
+		data[bit/8] ^= 1 << uint(bit%8)
+		emit(FaultBitFlip, fmt.Sprintf("bit %d", bit))
+	}
+	if r.Float64() < m.Truncate && len(data) > 1 {
+		cut := 1 + r.Intn(len(data)-1)
+		data = data[:cut]
+		emit(FaultTruncate, fmt.Sprintf("to %dB", cut))
+	}
+	out := [][]byte{data}
+	if r.Float64() < m.Duplicate {
+		out = append(out, append([]byte(nil), data...))
+		emit(FaultDuplicate, fmt.Sprintf("%dB twice", len(data)))
+	}
+	if r.Float64() < m.Reorder {
+		// Hold this packet; it is released behind the next transmission
+		// (or at drain time). Holding a second packet releases the first.
+		held := l.held
+		l.held = &out[len(out)-1]
+		out = out[:len(out)-1]
+		if held != nil {
+			out = append(out, *held)
+		}
+		emit(FaultReorder, fmt.Sprintf("%dB held", len(*l.held)))
+		return out
+	}
+	return l.flushHeld(out)
+}
+
+// flushHeld releases a previously reordered packet behind out.
+func (l *Link) flushHeld(out [][]byte) [][]byte {
+	if l.held != nil {
+		out = append(out, *l.held)
+		l.held = nil
+	}
+	return out
+}

@@ -1,0 +1,404 @@
+// Package netsim is the chaos-grade simulated network: a Network of
+// named switches joined by Links, each link carrying a deterministic,
+// seed-driven fault model (drop, duplicate, reorder, bit-flip,
+// truncate, link down) and optional control-plane churn racing the
+// traffic. It promotes the hand-wired topologies of the early tests
+// into a first-class subsystem the µP4 paper's composition claims can
+// be stress-checked against: one malformed or hostile packet exercises
+// every linked module at once, and the runtime must degrade gracefully
+// — typed errors, counted faults, never a panic.
+//
+// Determinism contract: for a fixed network seed, topology, and
+// injected traffic, Run produces an identical fault event sequence and
+// identical final counters on every run. Each link draws from its own
+// splitmix-derived stream, so adding a link never perturbs the others.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"microp4"
+	"microp4/internal/obs"
+	"microp4/internal/sim"
+)
+
+// Processor is the node abstraction: anything that turns a received
+// packet into output packets. *microp4.Switch implements it.
+type Processor interface {
+	Process(pkt []byte, inPort uint64) ([]microp4.Output, error)
+}
+
+// endpoint is one attachment point: a node's port.
+type endpoint struct {
+	node string
+	port uint64
+}
+
+func (e endpoint) String() string { return fmt.Sprintf("%s:%d", e.node, e.port) }
+
+// Node is one switch in the network.
+type Node struct {
+	name  string
+	proc  Processor
+	churn []*Churn
+}
+
+// Link is one directed edge with its own fault stream. Connect creates
+// a pair (one per direction), each with an independent stream.
+type Link struct {
+	name     string
+	from, to endpoint
+	model    FaultModel
+	rng      *rand.Rand
+	down     bool
+	held     *[]byte // a reorder-held packet
+}
+
+// Name returns the link's "from->to" name, the key fault events carry.
+func (l *Link) Name() string { return l.name }
+
+// Delivery is a packet that left the network on an unconnected port.
+type Delivery struct {
+	Node string
+	Port uint64
+	Data []byte
+}
+
+// RunStats summarizes one Run. All counts are deterministic for a
+// fixed seed, topology, and traffic.
+type RunStats struct {
+	Steps      int // deliveries consumed (packets processed by nodes)
+	Injected   int
+	Egressed   int // packets that left on unconnected ports
+	NodeDrops  int // Process calls that produced no output
+	ProcErrors int // typed errors returned by Process (packet lost, run continues)
+	Faults     map[FaultKind]int
+}
+
+// Network is a simulated topology under test.
+type Network struct {
+	seed  uint64
+	nodes map[string]*Node
+	order []string            // node names in AddSwitch order (deterministic iteration)
+	links map[endpoint]*Link  // keyed by transmitting endpoint
+	lseq  []*Link             // links in Connect order
+	queue []delivery          // in-flight packets, FIFO
+	eg    map[string][]Delivery
+
+	seq     uint64 // fault event sequence
+	sinks   []func(FaultEvent)
+	bus     *sim.Bus // fault events mirrored as trace events
+	reg     *obs.Registry
+	faultC  map[string]*obs.Counter // per (link, kind)
+	delivC  map[string]*obs.Counter // per link
+	errC    map[string]*obs.Counter // per (node, class)
+	stats   RunStats
+}
+
+// New returns an empty network whose fault and churn streams derive
+// from seed.
+func New(seed uint64) *Network {
+	return &Network{
+		seed:  seed,
+		nodes: make(map[string]*Node),
+		links: make(map[endpoint]*Link),
+		eg:    make(map[string][]Delivery),
+		bus:   sim.NewBus(),
+		stats: RunStats{Faults: make(map[FaultKind]int)},
+	}
+}
+
+// AddSwitch registers a named node. Names must be unique.
+func (n *Network) AddSwitch(name string, p Processor) error {
+	if name == "" || p == nil {
+		return fmt.Errorf("netsim: switch needs a name and a processor")
+	}
+	if _, dup := n.nodes[name]; dup {
+		return fmt.Errorf("netsim: duplicate switch %q", name)
+	}
+	n.nodes[name] = &Node{name: name, proc: p}
+	n.order = append(n.order, name)
+	return nil
+}
+
+// Connect joins a:aPort and b:bPort with a duplex link: two directed
+// edges sharing the fault model but drawing from independent streams.
+// A transmitting endpoint can carry at most one link.
+func (n *Network) Connect(a string, aPort uint64, b string, bPort uint64, m FaultModel) error {
+	if _, err := n.connectDirected(endpoint{a, aPort}, endpoint{b, bPort}, m); err != nil {
+		return err
+	}
+	_, err := n.connectDirected(endpoint{b, bPort}, endpoint{a, aPort}, m)
+	return err
+}
+
+func (n *Network) connectDirected(from, to endpoint, m FaultModel) (*Link, error) {
+	if n.nodes[from.node] == nil || n.nodes[to.node] == nil {
+		return nil, fmt.Errorf("netsim: link %v->%v references unknown switch", from, to)
+	}
+	if n.links[from] != nil {
+		return nil, fmt.Errorf("netsim: endpoint %v already linked", from)
+	}
+	name := from.String() + "->" + to.String()
+	l := &Link{
+		name: name, from: from, to: to, model: m,
+		rng: rand.New(rand.NewSource(linkSeed(n.seed, name))),
+	}
+	n.links[from] = l
+	n.lseq = append(n.lseq, l)
+	return l, nil
+}
+
+// SetLinkDown marks the directed link transmitting from node:port (and
+// its reverse, when present) administratively down or up. Packets sent
+// over a down link are lost with a FaultLinkDown event.
+func (n *Network) SetLinkDown(node string, port uint64, down bool) error {
+	l := n.links[endpoint{node, port}]
+	if l == nil {
+		return fmt.Errorf("netsim: no link at %s:%d", node, port)
+	}
+	l.down = down
+	if rev := n.links[l.to]; rev != nil && rev.to == l.from {
+		rev.down = down
+	}
+	return nil
+}
+
+// AddChurn attaches a deterministic control-plane churn injector to a
+// node: before each packet the node processes, the injector performs
+// opsPerPacket random control-plane operations (AddEntry, SetDefault,
+// ClearTable, SetMulticastGroup) drawn from its own seed stream. The
+// node's processor must also implement ChurnTarget (as
+// *microp4.Switch does).
+func (n *Network) AddChurn(node string, cfg ChurnConfig, opsPerPacket int) error {
+	nd := n.nodes[node]
+	if nd == nil {
+		return fmt.Errorf("netsim: unknown switch %q", node)
+	}
+	target, ok := nd.proc.(ChurnTarget)
+	if !ok {
+		return fmt.Errorf("netsim: switch %q does not accept control-plane churn", node)
+	}
+	c := NewChurn(splitmix64(n.seed^uint64(len(nd.churn)+1)^hashString(node)), target, cfg)
+	c.ops = opsPerPacket
+	nd.churn = append(nd.churn, c)
+	return nil
+}
+
+// OnFault attaches a fault event sink and returns its detach function.
+// Sinks run synchronously inside Run, in attach order.
+func (n *Network) OnFault(fn func(FaultEvent)) (cancel func()) {
+	n.sinks = append(n.sinks, fn)
+	i := len(n.sinks) - 1
+	return func() { n.sinks[i] = nil }
+}
+
+// Bus returns the network's trace bus: every fault event is mirrored
+// onto it as a sim.TraceEvent{Kind: "fault"}, so chaos runs surface in
+// the same stream as parser/table traces.
+func (n *Network) Bus() *sim.Bus { return n.bus }
+
+// EnableMetrics attaches an obs registry counting per-link deliveries
+// and faults and per-node processing errors. Idempotent.
+func (n *Network) EnableMetrics() *obs.Registry {
+	if n.reg == nil {
+		n.reg = obs.NewRegistry()
+		n.faultC = make(map[string]*obs.Counter)
+		n.delivC = make(map[string]*obs.Counter)
+		n.errC = make(map[string]*obs.Counter)
+	}
+	return n.reg
+}
+
+// Metrics returns the registry attached by EnableMetrics, or nil.
+func (n *Network) Metrics() *obs.Registry { return n.reg }
+
+// emit publishes one fault event everywhere it is observable: the
+// attached sinks, the trace bus, the obs counters, and the run stats.
+func (n *Network) emit(link string, kind FaultKind, detail string) {
+	n.seq++
+	e := FaultEvent{Seq: n.seq, Link: link, Kind: kind, Detail: detail}
+	for _, fn := range n.sinks {
+		if fn != nil {
+			fn(e)
+		}
+	}
+	if n.bus.Active() {
+		n.bus.Publish(sim.TraceEvent{Kind: "fault", Name: link, Detail: string(kind) + " " + detail})
+	}
+	n.stats.Faults[kind]++
+	if n.reg != nil {
+		key := link + "\x00" + string(kind)
+		c := n.faultC[key]
+		if c == nil {
+			c = n.reg.Counter("up4_link_faults_total", "Faults injected per link and kind",
+				obs.L("link", link), obs.L("kind", string(kind)))
+			n.faultC[key] = c
+		}
+		c.Inc()
+	}
+}
+
+// delivery is one in-flight packet.
+type delivery struct {
+	to   endpoint
+	data []byte
+}
+
+// Inject enqueues a packet arriving from outside the network at
+// node:port. Delivery happens on the next Run.
+func (n *Network) Inject(node string, port uint64, data []byte) error {
+	if n.nodes[node] == nil {
+		return fmt.Errorf("netsim: unknown switch %q", node)
+	}
+	n.queue = append(n.queue, delivery{to: endpoint{node, port}, data: append([]byte(nil), data...)})
+	n.stats.Injected++
+	return nil
+}
+
+// DefaultStepBudget bounds Run when maxSteps <= 0: generous enough for
+// any sane topology, small enough that a pathological forwarding loop
+// terminates the run instead of spinning forever.
+const DefaultStepBudget = 1 << 20
+
+// Run drains the delivery queue: each step pops one in-flight packet,
+// runs any churn injectors on the destination node, processes the
+// packet, and transmits the outputs over their links (applying faults)
+// or collects them as egress when the port has no link. It returns
+// when the network is quiet or the step budget is exhausted.
+//
+// Typed processing errors do not abort the run — the packet is lost,
+// the error is counted (per node and class when metrics are enabled),
+// and chaos continues; that is the degradation the subsystem exists to
+// exercise. Run only returns an error on a step-budget overrun.
+func (n *Network) Run(maxSteps int) (RunStats, error) {
+	if maxSteps <= 0 {
+		maxSteps = DefaultStepBudget
+	}
+	steps := 0
+	for {
+		for len(n.queue) > 0 {
+			if steps >= maxSteps {
+				return n.stats, fmt.Errorf("netsim: step budget %d exhausted with %d packets in flight (forwarding loop?)", maxSteps, len(n.queue))
+			}
+			steps++
+			n.stats.Steps++
+			d := n.queue[0]
+			n.queue = n.queue[1:]
+			node := n.nodes[d.to.node]
+			for _, c := range node.churn {
+				c.StepN(c.ops)
+			}
+			outs, err := node.proc.Process(d.data, d.to.port)
+			if err != nil {
+				n.stats.ProcErrors++
+				n.countProcError(node.name, err)
+				n.emit(d.to.String(), FaultProcError, errClass(err))
+				continue
+			}
+			if len(outs) == 0 {
+				n.stats.NodeDrops++
+				continue
+			}
+			for _, o := range outs {
+				n.transmit(endpoint{node.name, o.Port}, o.Data)
+			}
+		}
+		// Drain reorder-held packets so a quiet network leaves nothing
+		// in limbo; deterministic order (links in Connect order). A
+		// release re-fills the queue, so loop until truly quiet.
+		released := false
+		for _, l := range n.lseq {
+			if l.held != nil {
+				data := *l.held
+				l.held = nil
+				n.emit(l.name, FaultReorder, fmt.Sprintf("released %dB at drain", len(data)))
+				n.deliver(l, data)
+				released = true
+			}
+		}
+		if !released {
+			return n.stats, nil
+		}
+	}
+}
+
+// transmit sends one packet out of an endpoint: over its link with
+// faults applied, or to the egress collector when unconnected.
+func (n *Network) transmit(from endpoint, data []byte) {
+	l := n.links[from]
+	if l == nil {
+		n.eg[from.node] = append(n.eg[from.node], Delivery{Node: from.node, Port: from.port, Data: data})
+		n.stats.Egressed++
+		return
+	}
+	for _, pkt := range l.applyFaults(data, func(k FaultKind, detail string) { n.emit(l.name, k, detail) }) {
+		n.deliver(l, pkt)
+	}
+}
+
+func (n *Network) deliver(l *Link, data []byte) {
+	n.queue = append(n.queue, delivery{to: l.to, data: data})
+	if n.reg != nil {
+		c := n.delivC[l.name]
+		if c == nil {
+			c = n.reg.Counter("up4_link_deliveries_total", "Packets delivered per link", obs.L("link", l.name))
+			n.delivC[l.name] = c
+		}
+		c.Inc()
+	}
+}
+
+func (n *Network) countProcError(node string, err error) {
+	if n.reg == nil {
+		return
+	}
+	key := node + "\x00" + errClass(err)
+	c := n.errC[key]
+	if c == nil {
+		c = n.reg.Counter("up4_node_proc_errors_total", "Typed processing errors per node and class",
+			obs.L("node", node), obs.L("class", errClass(err)))
+		n.errC[key] = c
+	}
+	c.Inc()
+}
+
+func errClass(err error) string {
+	if class, ok := sim.ClassOf(err); ok {
+		return class.String()
+	}
+	return "untyped"
+}
+
+// Egress returns the packets that left the network at a node's
+// unconnected ports, in emission order.
+func (n *Network) Egress(node string) []Delivery { return n.eg[node] }
+
+// EgressAll returns every egressed packet grouped by node name, with
+// nodes sorted for deterministic reporting.
+func (n *Network) EgressAll() []Delivery {
+	names := make([]string, 0, len(n.eg))
+	for name := range n.eg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Delivery
+	for _, name := range names {
+		out = append(out, n.eg[name]...)
+	}
+	return out
+}
+
+// Stats returns the running totals (also returned by Run).
+func (n *Network) Stats() RunStats { return n.stats }
+
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

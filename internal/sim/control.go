@@ -72,16 +72,18 @@ func (f *frame) execStmt(s *ir.Stmt) error {
 	case ir.SMethod:
 		return f.method(s)
 	case ir.SEmit, ir.SExtract:
-		return fmt.Errorf("%s: %s statement outside its block", f.prog.Name, s.Kind)
+		return &EngineFault{Engine: "reference",
+			Reason: fmt.Sprintf("%s: %s statement outside its block", f.prog.Name, s.Kind)}
 	}
-	return fmt.Errorf("%s: unsupported statement %s", f.prog.Name, s.Kind)
+	return &EngineFault{Engine: "reference",
+		Reason: fmt.Sprintf("%s: unsupported statement %s", f.prog.Name, s.Kind)}
 }
 
 // applyTable looks up and runs a table.
 func (f *frame) applyTable(name string) error {
 	def := f.prog.Tables[name]
 	if def == nil {
-		return fmt.Errorf("%s: unknown table %s", f.prog.Name, name)
+		return &TableError{Table: name, Reason: "unknown table in " + f.prog.Name}
 	}
 	keyVals := make([]uint64, len(def.Keys))
 	for i, k := range def.Keys {
@@ -121,10 +123,11 @@ func (f *frame) applyTable(name string) error {
 func (f *frame) runAction(name string, args []uint64) error {
 	act := f.prog.Actions[name]
 	if act == nil {
-		return fmt.Errorf("%s: unknown action %s", f.prog.Name, name)
+		return &TableError{Action: name, Reason: "unknown action in " + f.prog.Name}
 	}
 	if len(args) != len(act.Params) {
-		return fmt.Errorf("%s: action %s takes %d args, got %d", f.prog.Name, name, len(act.Params), len(args))
+		return &TableError{Action: name,
+			Reason: fmt.Sprintf("takes %d args, got %d", len(act.Params), len(args))}
 	}
 	for i, p := range act.Params {
 		f.store[name+"#"+p.Name] = truncate(args[i], p.Width)
@@ -136,7 +139,8 @@ func (f *frame) runAction(name string, args []uint64) error {
 func (f *frame) callModule(s *ir.Stmt) error {
 	callee := f.r.ip.linked.Modules[s.Module]
 	if callee == nil {
-		return fmt.Errorf("%s: call of unlinked module %s", f.prog.Name, s.Module)
+		return &EngineFault{Engine: "reference",
+			Reason: fmt.Sprintf("%s: call of unlinked module %s", f.prog.Name, s.Module)}
 	}
 	// Resolve the packet view the callee receives.
 	pktName := s.PktArg
@@ -145,7 +149,8 @@ func (f *frame) callModule(s *ir.Stmt) error {
 	}
 	pv, ok := f.pkts[pktName]
 	if !ok {
-		return fmt.Errorf("%s: call passes unknown pkt %s", f.prog.Name, pktName)
+		return &EngineFault{Engine: "reference",
+			Reason: fmt.Sprintf("%s: call passes unknown pkt %s", f.prog.Name, pktName)}
 	}
 	base := pv.base
 	if pktName == "$pkt" {
@@ -155,7 +160,8 @@ func (f *frame) callModule(s *ir.Stmt) error {
 	var bindings []argBinding
 	for i, a := range s.Args {
 		if i >= len(callee.Params) {
-			return fmt.Errorf("%s: too many args to %s", f.prog.Name, s.Module)
+			return &EngineFault{Engine: "reference",
+				Reason: fmt.Sprintf("%s: too many args to %s", f.prog.Name, s.Module)}
 		}
 		b := argBinding{param: callee.Params[i]}
 		if b.param.Dir != "out" {
@@ -262,9 +268,11 @@ func (f *frame) method(s *ir.Stmt) error {
 	case "register_read", "register_write":
 		return f.registerOp(s)
 	case "push_front", "pop_front":
-		return fmt.Errorf("%s: header stack op %s reached the interpreter (run midend.Transform first)", f.prog.Name, s.Method)
+		return &EngineFault{Engine: "reference",
+			Reason: fmt.Sprintf("%s: header stack op %s reached the interpreter (run midend.Transform first)", f.prog.Name, s.Method)}
 	}
-	return fmt.Errorf("%s: unsupported method %s", f.prog.Name, s.Method)
+	return &EngineFault{Engine: "reference",
+		Reason: fmt.Sprintf("%s: unsupported method %s", f.prog.Name, s.Method)}
 }
 
 // registerOp executes a register read or write against the persistent
@@ -279,7 +287,7 @@ func (f *frame) registerOp(s *ir.Stmt) error {
 		}
 	}
 	if inst == nil {
-		return fmt.Errorf("%s: unknown register %s", f.prog.Name, s.Target)
+		return &TableError{Table: s.Target, Reason: "unknown register in " + f.prog.Name}
 	}
 	fq := s.Target
 	if f.inst != "" {
@@ -311,11 +319,11 @@ func (f *frame) registerOp(s *ir.Stmt) error {
 // viewOfArg resolves a pkt-typed argument expression to its view.
 func (f *frame) viewOfArg(e *ir.Expr) (view, error) {
 	if e.Kind != ir.ERef {
-		return view{}, fmt.Errorf("pkt argument is not a reference")
+		return view{}, &EngineFault{Engine: "reference", Reason: "pkt argument is not a reference"}
 	}
 	v, ok := f.pkts[e.Ref]
 	if !ok {
-		return view{}, fmt.Errorf("unknown pkt instance %s", e.Ref)
+		return view{}, &EngineFault{Engine: "reference", Reason: "unknown pkt instance " + e.Ref}
 	}
 	return v, nil
 }
@@ -323,7 +331,7 @@ func (f *frame) viewOfArg(e *ir.Expr) (view, error) {
 // imPrefixOfArg resolves an im_t-typed argument to its storage prefix.
 func (f *frame) imPrefixOfArg(e *ir.Expr) (string, error) {
 	if e.Kind != ir.ERef {
-		return "", fmt.Errorf("im argument is not a reference")
+		return "", &EngineFault{Engine: "reference", Reason: "im argument is not a reference"}
 	}
 	if e.Ref == "$im" || strings.HasPrefix(e.Ref, "$im.") {
 		return "$im", nil
@@ -418,11 +426,10 @@ func (r *run) runModuleFrame(prog *ir.Program, inst string, v view, args []argBi
 		return nil, err
 	}
 	if prog.Parser != nil || len(prog.Deparser) > 0 {
+		// Deparse failures surface as *DeparseError and are counted
+		// centrally at the Process boundary (Metrics.countError).
 		emitted, err := f.runDeparser()
 		if err != nil {
-			if r.ip.metrics != nil {
-				r.ip.metrics.DeparseErrors.Inc()
-			}
 			return nil, err
 		}
 		v.splice(0, f.parsed, emitted)

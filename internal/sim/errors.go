@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// This file defines the runtime's typed error taxonomy. Every failure
+// Process can return is one of five classes, each a concrete struct
+// matchable with errors.As and tagged with an ErrorClass for coarse
+// matching via errors.Is against the class sentinels below. The
+// contract the fuzz targets enforce: Process never panics and never
+// returns an untyped error for a dataplane failure — arbitrary hostile
+// input either processes, drops, or surfaces one of these.
+//
+// Note that a plain parser *reject* (truncated or unmatched packet) is
+// not an error at all: the packet is dropped and counted, mirroring
+// P4's reject semantics. ParseError is reserved for parser machinery
+// failures — non-terminating FSMs, transitions to unknown states,
+// malformed varbit sizes — that indicate a broken program, not a
+// hostile packet.
+
+// ErrorClass coarsely classifies a dataplane failure.
+type ErrorClass int
+
+const (
+	// ClassParse: the parser FSM itself failed (distinct from a reject).
+	ClassParse ErrorClass = iota
+	// ClassDeparse: the deparser could not reassemble the packet.
+	ClassDeparse
+	// ClassTable: table/action/register state is inconsistent with the
+	// program (unknown table, unknown action, arg arity mismatch).
+	ClassTable
+	// ClassEngine: an internal engine fault, including recovered panics.
+	ClassEngine
+	// ClassRecirc: the architecture's recirculation budget was exceeded.
+	ClassRecirc
+)
+
+func (c ErrorClass) String() string {
+	switch c {
+	case ClassParse:
+		return "parse"
+	case ClassDeparse:
+		return "deparse"
+	case ClassTable:
+		return "table"
+	case ClassEngine:
+		return "engine"
+	case ClassRecirc:
+		return "recirc"
+	}
+	return "unknown"
+}
+
+// classError is a sentinel matched by errors.Is(err, ErrXxx).
+type classError struct{ class ErrorClass }
+
+func (e *classError) Error() string { return e.class.String() + " error" }
+
+// Class sentinels: errors.Is(err, sim.ErrTable) matches any TableError.
+var (
+	ErrParse   error = &classError{ClassParse}
+	ErrDeparse error = &classError{ClassDeparse}
+	ErrTable   error = &classError{ClassTable}
+	ErrEngine  error = &classError{ClassEngine}
+	ErrRecirc  error = &classError{ClassRecirc}
+)
+
+func classIs(class ErrorClass, target error) bool {
+	ce, ok := target.(*classError)
+	return ok && ce.class == class
+}
+
+// ClassOf returns the taxonomy class of a runtime error, and whether
+// err belongs to the taxonomy at all.
+func ClassOf(err error) (ErrorClass, bool) {
+	var (
+		pe *ParseError
+		de *DeparseError
+		te *TableError
+		ef *EngineFault
+		re *RecircBudgetError
+	)
+	switch {
+	case errors.As(err, &pe):
+		return ClassParse, true
+	case errors.As(err, &de):
+		return ClassDeparse, true
+	case errors.As(err, &te):
+		return ClassTable, true
+	case errors.As(err, &ef):
+		return ClassEngine, true
+	case errors.As(err, &re):
+		return ClassRecirc, true
+	}
+	return 0, false
+}
+
+// ParseError reports a parser machinery failure in a module.
+type ParseError struct {
+	Program string // program/module name
+	State   string // parser state, when known
+	Reason  string
+}
+
+func (e *ParseError) Error() string {
+	if e.State != "" {
+		return fmt.Sprintf("%s: parser state %s: %s", e.Program, e.State, e.Reason)
+	}
+	return fmt.Sprintf("%s: parser: %s", e.Program, e.Reason)
+}
+
+func (e *ParseError) Is(target error) bool { return classIs(ClassParse, target) }
+
+// DeparseError reports a deparser failure in a module.
+type DeparseError struct {
+	Program string
+	Reason  string
+}
+
+func (e *DeparseError) Error() string {
+	return fmt.Sprintf("%s: deparser: %s", e.Program, e.Reason)
+}
+
+func (e *DeparseError) Is(target error) bool { return classIs(ClassDeparse, target) }
+
+// TableError reports table state inconsistent with the program: an
+// unknown table or register, an action the table cannot select, or an
+// entry whose argument arity does not match the action.
+type TableError struct {
+	Table  string // fully qualified table (or register) name
+	Action string // offending action, when known
+	Reason string
+}
+
+func (e *TableError) Error() string {
+	if e.Action != "" {
+		return fmt.Sprintf("table %s: action %s: %s", e.Table, e.Action, e.Reason)
+	}
+	return fmt.Sprintf("table %s: %s", e.Table, e.Reason)
+}
+
+func (e *TableError) Is(target error) bool { return classIs(ClassTable, target) }
+
+// EngineFault reports an internal execution-engine fault: an IR shape
+// the engine cannot execute, or a panic recovered at the Process
+// boundary (PanicValue and Stack are then set). A switch never crashes
+// on one — the fault is returned, counted, and the packet is lost.
+type EngineFault struct {
+	Engine     string // "reference", "compiled", or "switch"
+	Reason     string
+	PanicValue any    // non-nil when recovered from a panic
+	Stack      []byte // captured at recovery
+}
+
+func (e *EngineFault) Error() string {
+	if e.PanicValue != nil {
+		return fmt.Sprintf("%s engine: recovered panic: %s", e.Engine, e.Reason)
+	}
+	return fmt.Sprintf("%s engine: %s", e.Engine, e.Reason)
+}
+
+func (e *EngineFault) Is(target error) bool { return classIs(ClassEngine, target) }
+
+// RecircBudgetError reports a packet that exceeded the architecture's
+// recirculation budget (Switch.MaxRecirculations).
+type RecircBudgetError struct {
+	Limit int
+}
+
+func (e *RecircBudgetError) Error() string {
+	return fmt.Sprintf("packet recirculated more than %d times", e.Limit)
+}
+
+func (e *RecircBudgetError) Is(target error) bool { return classIs(ClassRecirc, target) }
+
+// recoverFault converts an in-flight panic into an *EngineFault on
+// *errp, clearing *resp — the never-panic boundary both engines (and
+// the Switch architecture layer) install via defer.
+func recoverFault(engine string, resp **ProcResult, errp *error) {
+	if r := recover(); r != nil {
+		*resp = nil
+		*errp = &EngineFault{
+			Engine:     engine,
+			Reason:     fmt.Sprint(r),
+			PanicValue: r,
+			Stack:      debug.Stack(),
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"microp4/internal/obs"
+)
+
+func TestErrorTaxonomyMatching(t *testing.T) {
+	cases := []struct {
+		err      error
+		class    ErrorClass
+		sentinel error
+	}{
+		{&ParseError{Program: "p", State: "start", Reason: "boom"}, ClassParse, ErrParse},
+		{&DeparseError{Program: "p", Reason: "boom"}, ClassDeparse, ErrDeparse},
+		{&TableError{Table: "t", Action: "a", Reason: "boom"}, ClassTable, ErrTable},
+		{&EngineFault{Engine: "reference", Reason: "boom"}, ClassEngine, ErrEngine},
+		{&RecircBudgetError{Limit: 4}, ClassRecirc, ErrRecirc},
+	}
+	for _, c := range cases {
+		if got, ok := ClassOf(c.err); !ok || got != c.class {
+			t.Errorf("ClassOf(%v) = %v, %v; want %v, true", c.err, got, ok, c.class)
+		}
+		if !errors.Is(c.err, c.sentinel) {
+			t.Errorf("errors.Is(%v, %v) = false", c.err, c.sentinel)
+		}
+		for _, other := range cases {
+			if other.sentinel != c.sentinel && errors.Is(c.err, other.sentinel) {
+				t.Errorf("errors.Is(%v, %v) = true; want false", c.err, other.sentinel)
+			}
+		}
+		if c.err.Error() == "" {
+			t.Errorf("%T has empty Error()", c.err)
+		}
+	}
+	// errors.As against concrete types.
+	var te *TableError
+	if !errors.As(error(&TableError{Table: "x"}), &te) || te.Table != "x" {
+		t.Error("errors.As(*TableError) failed")
+	}
+	if _, ok := ClassOf(errors.New("untyped")); ok {
+		t.Error("ClassOf(untyped) reported a class")
+	}
+}
+
+func TestRecoverFaultConvertsPanic(t *testing.T) {
+	run := func() (res *ProcResult, err error) {
+		defer recoverFault("reference", &res, &err)
+		res = &ProcResult{}
+		panic("interpreter bug")
+	}
+	res, err := run()
+	if res != nil {
+		t.Error("result not cleared on panic")
+	}
+	var ef *EngineFault
+	if !errors.As(err, &ef) {
+		t.Fatalf("recovered error %T, want *EngineFault", err)
+	}
+	if ef.PanicValue != "interpreter bug" || len(ef.Stack) == 0 {
+		t.Errorf("fault missing panic context: %+v", ef)
+	}
+	if ef.Engine != "reference" {
+		t.Errorf("engine = %q", ef.Engine)
+	}
+}
+
+func TestCountErrorClassifies(t *testing.T) {
+	m := NewMetrics(obs.NewRegistry())
+	m.countError(&ParseError{})
+	m.countError(&DeparseError{})
+	m.countError(&TableError{})
+	m.countError(&EngineFault{})
+	m.countError(&RecircBudgetError{})
+	m.countError(errors.New("untyped")) // counts as an engine fault
+	m.countError(nil)                   // no-op
+	if got := m.ParserErrors.Value(); got != 1 {
+		t.Errorf("ParserErrors = %d", got)
+	}
+	if got := m.DeparseErrors.Value(); got != 1 {
+		t.Errorf("DeparseErrors = %d", got)
+	}
+	if got := m.TableErrors.Value(); got != 1 {
+		t.Errorf("TableErrors = %d", got)
+	}
+	if got := m.EngineFaults.Value(); got != 2 {
+		t.Errorf("EngineFaults = %d", got)
+	}
+	if got := m.RecircDrops.Value(); got != 1 {
+		t.Errorf("RecircDrops = %d", got)
+	}
+	// Nil receiver is safe (metrics disabled).
+	var nilM *Metrics
+	nilM.countError(&EngineFault{})
+}

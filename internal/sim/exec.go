@@ -45,8 +45,16 @@ type execState struct {
 	valid map[string]bool
 }
 
-// Process runs the pipeline over one packet.
-func (e *Exec) Process(pkt []byte, meta Metadata) (*ProcResult, error) {
+// Process runs the pipeline over one packet. It never panics:
+// executor panics are recovered into an *EngineFault, and every
+// failure it returns belongs to the typed taxonomy (errors.go).
+func (e *Exec) Process(pkt []byte, meta Metadata) (res *ProcResult, err error) {
+	defer func() {
+		recoverFault("compiled", &res, &err)
+		if err != nil {
+			e.metrics.countError(err)
+		}
+	}()
 	var start time.Time
 	if e.metrics != nil {
 		start = time.Now()
@@ -60,7 +68,7 @@ func (e *Exec) Process(pkt []byte, meta Metadata) (*ProcResult, error) {
 	st.store["$im.meta.IN_PORT"] = meta.InPort
 	st.store["$im.meta.IN_TIMESTAMP"] = meta.InTimestamp
 	st.store["$im.meta.PKT_LEN"] = uint64(len(pkt))
-	res := &ProcResult{}
+	res = &ProcResult{}
 	if err := st.exec(e.pl.Stmts, res); err != nil && err != errExit {
 		return nil, err
 	}
@@ -173,10 +181,10 @@ func (st *execState) exec(ss []*ir.Stmt, res *ProcResult) error {
 					return err
 				}
 			default:
-				return fmt.Errorf("compiled pipeline cannot execute method %s", s.Method)
+				return &EngineFault{Engine: "compiled", Reason: "cannot execute method " + s.Method}
 			}
 		default:
-			return fmt.Errorf("compiled pipeline cannot execute %s statement", s.Kind)
+			return &EngineFault{Engine: "compiled", Reason: "cannot execute " + s.Kind + " statement"}
 		}
 	}
 	return nil
@@ -216,7 +224,7 @@ func (st *execState) registerOp(s *ir.Stmt) error {
 		}
 	}
 	if inst == nil {
-		return fmt.Errorf("unknown register %s in pipeline", s.Target)
+		return &TableError{Table: s.Target, Reason: "unknown register in pipeline"}
 	}
 	cells := st.e.regs[s.Target]
 	idxArg := 1
@@ -244,7 +252,7 @@ func (st *execState) registerOp(s *ir.Stmt) error {
 func (st *execState) applyTable(name string, res *ProcResult) error {
 	def := st.e.pl.Tables[name]
 	if def == nil {
-		return fmt.Errorf("unknown table %s in pipeline", name)
+		return &TableError{Table: name, Reason: "unknown table in pipeline"}
 	}
 	keyVals := make([]uint64, len(def.Keys))
 	for i, k := range def.Keys {
@@ -270,10 +278,11 @@ func (st *execState) applyTable(name string, res *ProcResult) error {
 	}
 	act := st.e.pl.Actions[call.Name]
 	if act == nil {
-		return fmt.Errorf("table %s selected unknown action %s", name, call.Name)
+		return &TableError{Table: name, Action: call.Name, Reason: "selected unknown action"}
 	}
 	if len(call.Args) != len(act.Params) {
-		return fmt.Errorf("action %s takes %d args, got %d", act.Name, len(act.Params), len(call.Args))
+		return &TableError{Table: name, Action: act.Name,
+			Reason: fmt.Sprintf("takes %d args, got %d", len(act.Params), len(call.Args))}
 	}
 	for i, p := range act.Params {
 		st.store[act.Name+"#"+p.Name] = truncate(call.Args[i], p.Width)
@@ -317,7 +326,7 @@ func (st *execState) eval(e *ir.Expr) (uint64, error) {
 		case "cast":
 			return truncate(x, e.Width), nil
 		}
-		return 0, fmt.Errorf("unknown unary %q", e.Op)
+		return 0, &EngineFault{Engine: "compiled", Reason: fmt.Sprintf("unknown unary %q", e.Op)}
 	case ir.EBin:
 		x, err := st.eval(e.X)
 		if err != nil {
@@ -342,7 +351,7 @@ func (st *execState) eval(e *ir.Expr) (uint64, error) {
 		}
 		return x >> uint(e.Lo) & maskW(e.Hi-e.Lo+1), nil
 	}
-	return 0, fmt.Errorf("executor cannot evaluate %s expression", e.Kind)
+	return 0, &EngineFault{Engine: "compiled", Reason: "cannot evaluate " + e.Kind + " expression"}
 }
 
 func (st *execState) assign(lhs *ir.Expr, v uint64) error {
@@ -352,7 +361,7 @@ func (st *execState) assign(lhs *ir.Expr, v uint64) error {
 		return nil
 	case ir.ESlice:
 		if lhs.X.Kind != ir.ERef {
-			return fmt.Errorf("assignment to slice of non-reference")
+			return &EngineFault{Engine: "compiled", Reason: "assignment to slice of non-reference"}
 		}
 		cur := st.store[lhs.X.Ref]
 		m := maskW(lhs.Hi-lhs.Lo+1) << uint(lhs.Lo)
@@ -369,5 +378,5 @@ func (st *execState) assign(lhs *ir.Expr, v uint64) error {
 		writeBits(st.buf, lhs.Off, lhs.Width, v)
 		return nil
 	}
-	return fmt.Errorf("assignment to unsupported lvalue %s", lhs)
+	return &EngineFault{Engine: "compiled", Reason: fmt.Sprintf("assignment to unsupported lvalue %s", lhs)}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"microp4/internal/ir"
@@ -46,6 +47,7 @@ var errExit = errors.New("exit")
 type Interp struct {
 	linked   *linker.Linked
 	tables   *Tables
+	regsMu   sync.Mutex          // guards the regs map (lazy allocation)
 	regs     map[string][]uint64 // register state, persistent across packets
 	bus      *Bus                // trace event bus; idle unless subscribed
 	traceOff func()              // SetTracer's current subscription
@@ -59,8 +61,12 @@ func NewInterp(l *linker.Linked, t *Tables) *Interp {
 }
 
 // Register returns a register array's cells (allocated on first access),
-// keyed by fully qualified instance path.
+// keyed by fully qualified instance path. The map itself is safe for
+// concurrent Process calls; cell reads and writes are word-sized and
+// unsynchronized, like the hardware they model.
 func (ip *Interp) Register(path string, size int) []uint64 {
+	ip.regsMu.Lock()
+	defer ip.regsMu.Unlock()
 	r, ok := ip.regs[path]
 	if !ok || len(r) < size {
 		nr := make([]uint64, size)
@@ -135,8 +141,16 @@ type frame struct {
 	imIsGlobal bool
 }
 
-// Process runs the linked program on one packet.
-func (ip *Interp) Process(pkt []byte, meta Metadata) (*ProcResult, error) {
+// Process runs the linked program on one packet. It never panics:
+// interpreter panics are recovered into an *EngineFault, and every
+// failure it returns belongs to the typed taxonomy (errors.go).
+func (ip *Interp) Process(pkt []byte, meta Metadata) (res *ProcResult, err error) {
+	defer func() {
+		recoverFault("reference", &res, &err)
+		if err != nil {
+			ip.metrics.countError(err)
+		}
+	}()
 	var start time.Time
 	if ip.metrics != nil {
 		start = time.Now()
@@ -160,7 +174,7 @@ func (ip *Interp) Process(pkt []byte, meta Metadata) (*ProcResult, error) {
 	if _, err := r.runModuleFrame(ip.linked.Main, "", view{buf: buf}, nil, r.globalIM()); err != nil {
 		return nil, err
 	}
-	res := r.result
+	res = r.result
 	switch {
 	case ip.linked.Main.Interface == "Orchestration":
 		// An orchestration pipeline's outputs come solely from its
@@ -202,11 +216,12 @@ type argBinding struct {
 func (f *frame) runParser() (accepted bool, err error) {
 	state := f.prog.Parser.State("start")
 	if state == nil {
-		return false, fmt.Errorf("%s: no start state", f.prog.Name)
+		return false, &ParseError{Program: f.prog.Name, Reason: "no start state"}
 	}
 	for steps := 0; ; steps++ {
 		if steps > maxParserSteps {
-			return false, fmt.Errorf("%s: parser did not terminate", f.prog.Name)
+			return false, &ParseError{Program: f.prog.Name, State: state.Name,
+				Reason: fmt.Sprintf("did not terminate within %d steps", maxParserSteps)}
 		}
 		if f.r.ip.bus.Active() {
 			f.r.ip.bus.Publish(TraceEvent{Kind: "parser-state", Module: f.inst, Name: f.prog.Name + "." + state.Name})
@@ -238,7 +253,7 @@ func (f *frame) runParser() (accepted bool, err error) {
 		}
 		state = f.prog.Parser.State(target)
 		if state == nil {
-			return false, fmt.Errorf("%s: transition to unknown state %s", f.prog.Name, target)
+			return false, &ParseError{Program: f.prog.Name, Reason: "transition to unknown state " + target}
 		}
 	}
 }
@@ -291,7 +306,7 @@ func (f *frame) transition(tr *ir.Trans) (string, error) {
 func (f *frame) extract(s *ir.Stmt) (bool, error) {
 	ht := f.headerType(s.Hdr)
 	if ht == nil {
-		return false, fmt.Errorf("%s: extract of unknown header %s", f.prog.Name, s.Hdr)
+		return false, &ParseError{Program: f.prog.Name, Reason: "extract of unknown header " + s.Hdr}
 	}
 	v := f.pkts["$pkt"]
 	data := v.bytes()
@@ -304,14 +319,15 @@ func (f *frame) extract(s *ir.Stmt) (bool, error) {
 	varBytes := 0
 	if ht.HasVarbit {
 		if s.VarSize == nil {
-			return false, fmt.Errorf("%s: extract of varbit header %s without a size", f.prog.Name, s.Hdr)
+			return false, &ParseError{Program: f.prog.Name, Reason: "extract of varbit header " + s.Hdr + " without a size"}
 		}
 		bits, err := f.eval(s.VarSize)
 		if err != nil {
 			return false, err
 		}
 		if bits%8 != 0 {
-			return false, fmt.Errorf("%s: varbit size %d is not a whole number of bytes", f.prog.Name, bits)
+			return false, &ParseError{Program: f.prog.Name,
+				Reason: fmt.Sprintf("varbit size %d is not a whole number of bytes", bits)}
 		}
 		varBytes = int(bits / 8)
 		if varBytes*8 > ht.BitWidth-fixedBits {
@@ -365,7 +381,7 @@ func (f *frame) runDeparser() ([]byte, error) {
 					return err
 				}
 			default:
-				return fmt.Errorf("%s: unsupported deparser statement %s", f.prog.Name, s.Kind)
+				return &DeparseError{Program: f.prog.Name, Reason: "unsupported deparser statement " + s.Kind}
 			}
 		}
 		return nil
@@ -445,7 +461,7 @@ func (f *frame) eval(e *ir.Expr) (uint64, error) {
 		case "cast":
 			return truncate(x, e.Width), nil
 		}
-		return 0, fmt.Errorf("unknown unary %q", e.Op)
+		return 0, &EngineFault{Engine: "reference", Reason: fmt.Sprintf("unknown unary %q", e.Op)}
 	case ir.EBin:
 		x, err := f.eval(e.X)
 		if err != nil {
@@ -470,7 +486,7 @@ func (f *frame) eval(e *ir.Expr) (uint64, error) {
 		}
 		return x >> uint(e.Lo) & maskW(e.Hi-e.Lo+1), nil
 	}
-	return 0, fmt.Errorf("interpreter cannot evaluate %s expression", e.Kind)
+	return 0, &EngineFault{Engine: "reference", Reason: "cannot evaluate " + e.Kind + " expression"}
 }
 
 func orW(a, b int) int {
@@ -504,12 +520,12 @@ func (f *frame) assign(lhs *ir.Expr, v uint64) error {
 		return nil
 	case ir.ESlice:
 		if lhs.X.Kind != ir.ERef {
-			return fmt.Errorf("assignment to slice of non-reference")
+			return &EngineFault{Engine: "reference", Reason: "assignment to slice of non-reference"}
 		}
 		cur := f.load(lhs.X.Ref)
 		m := maskW(lhs.Hi-lhs.Lo+1) << uint(lhs.Lo)
 		f.storeRef(lhs.X.Ref, cur&^m|(v<<uint(lhs.Lo))&m)
 		return nil
 	}
-	return fmt.Errorf("assignment to unsupported lvalue %s", lhs)
+	return &EngineFault{Engine: "reference", Reason: fmt.Sprintf("assignment to unsupported lvalue %s", lhs)}
 }

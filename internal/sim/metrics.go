@@ -39,6 +39,9 @@ type Metrics struct {
 	Drops         *obs.Counter
 	ParserErrors  *obs.Counter
 	DeparseErrors *obs.Counter
+	TableErrors   *obs.Counter // table/action/register state inconsistent with the program
+	EngineFaults  *obs.Counter // internal engine faults, incl. recovered panics
+	RecircDrops   *obs.Counter // packets that exceeded the recirculation budget
 	Recircs       *obs.Counter
 	Latency       *obs.Histogram // per-packet processing latency, ns
 	Clock         *obs.Gauge     // the switch's virtual clock (last IN_TIMESTAMP)
@@ -56,6 +59,9 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		Drops:         reg.Counter("up4_switch_drops_total", "Packets dropped by the dataplane"),
 		ParserErrors:  reg.Counter("up4_parser_errors_total", "Packets rejected by a parser"),
 		DeparseErrors: reg.Counter("up4_deparse_errors_total", "Deparser failures"),
+		TableErrors:   reg.Counter("up4_table_errors_total", "Table state inconsistent with the program"),
+		EngineFaults:  reg.Counter("up4_engine_faults_total", "Engine faults, including recovered panics"),
+		RecircDrops:   reg.Counter("up4_recirc_drops_total", "Packets dropped for exceeding the recirculation budget"),
 		Recircs:       reg.Counter("up4_recirculations_total", "Packets sent through the recirculation path"),
 		Latency:       reg.Histogram("up4_packet_latency_ns", "Per-packet processing latency in nanoseconds", obs.LatencyBucketsNs),
 		Clock:         reg.Gauge("up4_switch_clock", "Virtual clock of the switch (packets seen)"),
@@ -135,6 +141,32 @@ func (m *Metrics) countTable(name string, outcome LookupOutcome) {
 		t.Defaults.Inc()
 	case LookupMiss:
 		t.Misses.Inc()
+	}
+}
+
+// countError classifies a typed runtime error into the error counters.
+// Nil-safe on both receiver and error; untyped errors count as engine
+// faults (the taxonomy invariant says there should be none).
+func (m *Metrics) countError(err error) {
+	if m == nil || err == nil {
+		return
+	}
+	class, ok := ClassOf(err)
+	if !ok {
+		m.EngineFaults.Inc()
+		return
+	}
+	switch class {
+	case ClassParse:
+		m.ParserErrors.Inc()
+	case ClassDeparse:
+		m.DeparseErrors.Inc()
+	case ClassTable:
+		m.TableErrors.Inc()
+	case ClassEngine:
+		m.EngineFaults.Inc()
+	case ClassRecirc:
+		m.RecircDrops.Inc()
 	}
 }
 

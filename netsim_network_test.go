@@ -1,0 +1,137 @@
+package microp4_test
+
+import (
+	"testing"
+
+	"microp4"
+	"microp4/internal/netsim"
+	"microp4/internal/pkt"
+)
+
+// threeHopNetwork wires the classic three-router line from
+// TestThreeHopTopology onto the netsim.Network API: s1:1 -> s2:0,
+// s2:1 -> s3:0, ingress at s1:0, egress at s3:1.
+func threeHopNetwork(t *testing.T, seed uint64, m netsim.FaultModel) *netsim.Network {
+	t.Helper()
+	dp := compileLib(t, "P4")
+	n := netsim.New(seed)
+	for hop := 1; hop <= 3; hop++ {
+		sw := dp.NewSwitch()
+		sw.AddEntry("l3_i.ipv4_i.ipv4_lpm_tbl",
+			[]microp4.Key{microp4.LPM(0x0A000000, 8)}, "l3_i.ipv4_i.process", 100)
+		sw.AddEntry("forward_tbl", []microp4.Key{microp4.Exact(100)},
+			"forward", uint64(0xAA0000000000+hop), uint64(0xBB0000000000+hop), 1)
+		if err := n.AddSwitch([]string{"", "s1", "s2", "s3"}[hop], sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Connect("s1", 1, "s2", 0, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("s2", 1, "s3", 0, m); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestNetworkThreeHop is the network_test.go three-hop scenario ported
+// onto the Network API: the packet crosses lossless links, each hop
+// decrements TTL and rewrites MACs, and the payload survives intact.
+func TestNetworkThreeHop(t *testing.T) {
+	n := threeHopNetwork(t, 1, netsim.FaultModel{})
+	data := pkt.NewBuilder().
+		Ethernet(0xFF, 0xEE, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6, Src: 0x0B000001, Dst: 0x0A000042}).
+		TCP(1234, 80).Payload([]byte("end-to-end")).Bytes()
+	if err := n.Inject("s1", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	st, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := n.Egress("s3")
+	if len(out) != 1 || out[0].Port != 1 {
+		t.Fatalf("egress = %+v", out)
+	}
+	got := out[0].Data
+	if ttl := pkt.IPv4TTL(got, 14); ttl != 61 {
+		t.Errorf("ttl = %d, want 61 after three hops", ttl)
+	}
+	if dmac := pkt.EthDst(got); dmac != 0xAA0000000003 {
+		t.Errorf("dmac = %#x, want the third hop's rewrite", dmac)
+	}
+	if !equalBytes(got[len(got)-10:], []byte("end-to-end")) {
+		t.Error("payload corrupted across the path")
+	}
+	if st.Steps != 3 || st.Egressed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestNetworkTTLDeath: a TTL=2 packet survives two hops and dies at the
+// third — on the Network API that surfaces as a node drop, not egress.
+func TestNetworkTTLDeath(t *testing.T) {
+	n := threeHopNetwork(t, 2, netsim.FaultModel{})
+	low := pkt.NewBuilder().
+		Ethernet(0xFF, 0xEE, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 2, Protocol: 6, Src: 1, Dst: 0x0A000042}).
+		TCP(1, 2).Bytes()
+	if err := n.Inject("s1", 0, low); err != nil {
+		t.Fatal(err)
+	}
+	st, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := n.Egress("s3"); len(out) != 0 {
+		t.Fatalf("TTL-expired packet egressed: %+v", out)
+	}
+	if st.Steps != 3 || st.NodeDrops != 1 {
+		t.Errorf("stats = %+v (want 3 hops processed, 1 node drop)", st)
+	}
+}
+
+// TestNetworkChaosThreeHop runs real switches under a lossy fault model
+// and checks graceful degradation: no Run error, every injected packet
+// accounted for, and the seeded run is reproducible against itself.
+func TestNetworkChaosThreeHop(t *testing.T) {
+	run := func() ([]netsim.FaultEvent, netsim.RunStats, int) {
+		n := threeHopNetwork(t, 0xDEAD, netsim.FaultModel{
+			Drop: 0.2, BitFlip: 0.3, Truncate: 0.15, Duplicate: 0.1, Reorder: 0.1,
+		})
+		var events []netsim.FaultEvent
+		n.OnFault(func(e netsim.FaultEvent) { events = append(events, e) })
+		for i := 0; i < 50; i++ {
+			data := pkt.NewBuilder().
+				Ethernet(0xFF, 0xEE, pkt.EtherTypeIPv4).
+				IPv4(pkt.IPv4Opts{TTL: 8, Protocol: 6, Src: uint32(i), Dst: 0x0A000042}).
+				TCP(uint16(i), 80).Bytes()
+			if err := n.Inject("s1", 0, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, err := n.Run(0)
+		if err != nil {
+			t.Fatalf("chaos run aborted: %v", err)
+		}
+		return events, st, len(n.Egress("s3"))
+	}
+	e1, s1, eg1 := run()
+	e2, s2, eg2 := run()
+	if len(e1) == 0 {
+		t.Fatal("lossy links produced no fault events over 50 packets")
+	}
+	if len(e1) != len(e2) || eg1 != eg2 {
+		t.Fatalf("chaos run not reproducible: %d/%d events, %d/%d egressed", len(e1), len(e2), eg1, eg2)
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("event %d diverged: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	if s1.Injected != s2.Injected || s1.Steps != s2.Steps ||
+		s1.NodeDrops != s2.NodeDrops || s1.ProcErrors != s2.ProcErrors {
+		t.Fatalf("stats diverged:\n%+v\n%+v", s1, s2)
+	}
+}

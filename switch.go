@@ -2,6 +2,8 @@ package microp4
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"microp4/internal/obs"
 	"microp4/internal/sim"
@@ -28,6 +30,13 @@ const (
 // Switch is a behavioral V1Model-style target: a single dataplane
 // program, control-plane table state, multicast groups, and a
 // recirculation path.
+//
+// Concurrency: Process may be called from multiple goroutines, and the
+// control-plane methods (AddEntry, SetDefault, ClearTable,
+// SetMulticastGroup) may race live traffic — per-packet engine state is
+// goroutine-local, table state is internally synchronized, and the
+// switch-level state below (clock, digests, multicast groups) is
+// guarded here.
 type Switch struct {
 	dp       *Dataplane
 	engine   Engine
@@ -37,16 +46,21 @@ type Switch struct {
 	bus      *sim.Bus // one bus (and one event sequence) across both engines
 	metrics  *sim.Metrics
 	traceOff func() // SetTracer's current subscription
+
+	mu       sync.Mutex // guards mcGroups and digests
 	mcGroups map[uint64][]uint64
 	digests  []uint64
+
 	// MaxRecirculations bounds the recirculation loop (default 4).
 	MaxRecirculations int
-	clock             uint64
+	clock             atomic.Uint64
 }
 
 // Digests drains and returns the values the dataplane sent to the
 // control plane via im.digest (§6.4's CPU–dataplane interface).
 func (s *Switch) Digests() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := s.digests
 	s.digests = nil
 	return out
@@ -106,29 +120,60 @@ func (s *Switch) SetDefault(table, action string, args ...uint64) {
 func (s *Switch) ClearTable(table string) { s.tables.ClearTable(table) }
 
 // SetMulticastGroup programs the packet replication engine: packets
-// sent to group gid are replicated to the given ports.
+// sent to group gid are replicated to the given ports. Safe to call
+// while packets are being processed.
 func (s *Switch) SetMulticastGroup(gid uint64, ports ...uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.mcGroups[gid] = append([]uint64(nil), ports...)
+}
+
+// mcPorts snapshots a multicast group's replication list.
+func (s *Switch) mcPorts(gid uint64) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mcGroups[gid]
 }
 
 // Process runs one packet received on inPort through the dataplane,
 // returning the packets transmitted (empty when dropped). Multicast
 // replication and recirculation are resolved here, in the architecture
 // — mirroring how µPA's logical externs map onto a target's PRE.
-func (s *Switch) Process(pkt []byte, inPort uint64) ([]Output, error) {
-	s.clock++
+//
+// Process never panics: engine panics are recovered into an
+// *EngineFault (counted in metrics when enabled), and every error it
+// returns belongs to the typed taxonomy — match with errors.As against
+// *ParseError, *DeparseError, *TableError, *EngineFault, and
+// *RecircBudgetError, or errors.Is against the sim.ErrParse ...
+// sim.ErrRecirc class sentinels.
+func (s *Switch) Process(pkt []byte, inPort uint64) (outs []Output, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Architecture-layer panic (the engines recover their own):
+			// degrade to a typed fault, never a crash.
+			outs = nil
+			err = &sim.EngineFault{Engine: "switch", Reason: fmt.Sprint(r), PanicValue: r}
+			if s.metrics != nil {
+				s.metrics.EngineFaults.Inc()
+			}
+		}
+	}()
+	clock := s.clock.Add(1)
 	if s.metrics != nil {
-		s.metrics.Clock.Set(int64(s.clock))
+		s.metrics.Clock.Set(int64(clock))
 	}
-	meta := sim.Metadata{InPort: inPort, InTimestamp: s.clock, PktLen: uint64(len(pkt))}
-	var outs []Output
+	meta := sim.Metadata{InPort: inPort, InTimestamp: clock, PktLen: uint64(len(pkt))}
 	data := pkt
 	for pass := 0; ; pass++ {
 		res, err := s.process(data, meta)
 		if err != nil {
 			return nil, err
 		}
-		s.digests = append(s.digests, res.Digests...)
+		if len(res.Digests) > 0 {
+			s.mu.Lock()
+			s.digests = append(s.digests, res.Digests...)
+			s.mu.Unlock()
+		}
 		for _, o := range res.Out[:max(0, len(res.Out)-1)] {
 			outs = append(outs, Output{Port: o.Port, Data: o.Data})
 		}
@@ -137,14 +182,22 @@ func (s *Switch) Process(pkt []byte, inPort uint64) ([]Output, error) {
 			final = &res.Out[len(res.Out)-1]
 		}
 		if final != nil && res.McastGroup != 0 {
-			for _, port := range s.mcGroups[res.McastGroup] {
+			for _, port := range s.mcPorts(res.McastGroup) {
 				outs = append(outs, Output{Port: port, Data: append([]byte(nil), final.Data...)})
 			}
 			final = nil
 		}
 		if final != nil && res.Recirculate {
 			if pass >= s.MaxRecirculations {
-				return nil, fmt.Errorf("packet recirculated more than %d times", s.MaxRecirculations)
+				// The budget is an architecture drop: typed, and counted
+				// against the drop counters alongside the recirculations
+				// that led here.
+				if s.metrics != nil {
+					s.metrics.RecircDrops.Inc()
+					s.metrics.Drops.Inc()
+					s.metrics.Port(inPort).Drops.Inc()
+				}
+				return nil, &sim.RecircBudgetError{Limit: s.MaxRecirculations}
 			}
 			data = final.Data
 			continue
@@ -161,7 +214,8 @@ func (s *Switch) process(pkt []byte, meta sim.Metadata) (*sim.ProcResult, error)
 		return s.interp.Process(pkt, meta)
 	}
 	if s.exec == nil {
-		return nil, fmt.Errorf("compiled engine unavailable: %v (use EngineReference)", s.dp.res.ComposeErr)
+		return nil, &sim.EngineFault{Engine: "compiled",
+			Reason: fmt.Sprintf("engine unavailable: %v (use EngineReference)", s.dp.res.ComposeErr)}
 	}
 	return s.exec.Process(pkt, meta)
 }
