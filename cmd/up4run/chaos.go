@@ -131,13 +131,21 @@ func splitEndpoint(s string) (string, uint64, error) {
 // churnConfigFor derives a control-plane churn profile from the
 // program's standard rule set: every table that normally carries
 // entries gets churned with the action its first default entry uses.
-func churnConfigFor(program string) netsim.ChurnConfig {
+// The dataplane's control schema (when composed) shapes the random
+// keys and arguments to real column kinds/widths instead of the blind
+// 16-bit-exact fallback.
+func churnConfigFor(program string, dp *microp4.Dataplane) netsim.ChurnConfig {
 	t := sim.NewTables()
 	lib.InstallDefaultRules(t, program, false)
 	cfg := netsim.ChurnConfig{
 		Actions:  map[string]string{},
 		ArgCount: 3, ArgMax: 1 << 16,
 		Groups: []uint64{1}, Ports: []uint64{1, 2, 3},
+	}
+	if dp != nil {
+		if composed, _ := dp.Composed(); composed {
+			cfg.API = dp.ControlAPI()
+		}
 	}
 	for _, name := range t.TableNames() {
 		entries := t.Entries(name)
@@ -188,7 +196,7 @@ func runChaos(program, engine string, o chaosOpts) error {
 		}
 	}
 	if o.churn > 0 {
-		cfg := churnConfigFor(program)
+		cfg := churnConfigFor(program, dp)
 		for _, name := range topo.switches {
 			if err := n.AddChurn(name, cfg, o.churn); err != nil {
 				return err

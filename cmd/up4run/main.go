@@ -13,6 +13,15 @@
 //
 //	up4run -program P4 -chaos -seed 7 -chaos-drop 0.2 -chaos-flip 0.3
 //	up4run -program P4 -chaos -topo ring.topo -chaos-churn 5 -chaos-v
+//
+// With -ctrl it instead exercises the resilient control plane: a
+// controller pushes the program's standard rule set to every switch as
+// one two-phase-commit transaction whose control messages ride the
+// same lossy links (drop/dup/reorder/flip per the -chaos-* flags), then
+// proves convergence against a directly programmed twin:
+//
+//	up4run -program P4 -ctrl -seed 7 -chaos-drop 0.15
+//	up4run -program P2 -ctrl -ctrl-switches 5 -chaos-v
 package main
 
 import (
@@ -36,6 +45,8 @@ func main() {
 		maddr   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /trace on this address (e.g. :9090)")
 
 		chaos   = flag.Bool("chaos", false, "run a seeded chaos network instead of a single switch")
+		ctrl    = flag.Bool("ctrl", false, "drive a transactional rule rollout over lossy control links")
+		ctrlSw  = flag.Int("ctrl-switches", 3, "ctrl: number of switches the transaction spans")
 		seed    = flag.Uint64("seed", 1, "chaos: network seed (identical seed => identical fault sequence)")
 		drop    = flag.Float64("chaos-drop", 0.1, "chaos: per-link packet drop probability")
 		flip    = flag.Float64("chaos-flip", 0.1, "chaos: per-link bit-flip probability")
@@ -48,7 +59,16 @@ func main() {
 	)
 	flag.Parse()
 	var err error
-	if *chaos {
+	if *ctrl {
+		err = runCtrl(*program, *engine, ctrlOpts{
+			seed:     *seed,
+			switches: *ctrlSw,
+			model: netsim.FaultModel{
+				Drop: *drop, BitFlip: *flip, Duplicate: *dup, Reorder: *reorder, Truncate: *truncP,
+			},
+			verbose: *chaosV,
+		})
+	} else if *chaos {
 		err = runChaos(*program, *engine, chaosOpts{
 			seed:  *seed,
 			count: *count,

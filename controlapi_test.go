@@ -1,0 +1,130 @@
+package microp4_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"microp4"
+	"microp4/internal/lib"
+)
+
+// TestControlAPIGoldenJSON pins the exported control-plane schema of
+// the flagship router program byte-for-byte. The JSON is the contract
+// remote controllers (and the ctrlplane agent's validation layer)
+// program against — field renames, reordering, or width changes must
+// show up as a reviewed golden diff, not a silent break.
+// Refresh with UPDATE_GOLDEN=1 go test -run ControlAPIGolden .
+func TestControlAPIGoldenJSON(t *testing.T) {
+	dp := compileLib(t, "P4")
+	got, err := dp.ControlAPI().ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "controlapi_p4.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("ControlAPI JSON for P4 diverged from %s\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
+// TestControlAPIModuleAttribution checks that every table is attributed
+// to its owning module instance path (§8.2: per-module control APIs) —
+// main-program tables to "", nested instances to their full path.
+func TestControlAPIModuleAttribution(t *testing.T) {
+	api := compileLib(t, "P6").ControlAPI()
+	want := map[string]string{
+		"forward_tbl":              "",
+		"l3_i.ipv4_i.ipv4_lpm_tbl": "l3_i.ipv4_i",
+		"l3_i.ipv6_i.ipv6_lpm_tbl": "l3_i.ipv6_i",
+		"sr4_i.sr4_tbl":            "sr4_i",
+	}
+	got := map[string]string{}
+	for _, ct := range api.Tables {
+		got[ct.Name] = ct.Module
+	}
+	for name, module := range want {
+		owner, ok := got[name]
+		if !ok {
+			t.Errorf("table %s missing from control API (have %v)", name, api.Tables)
+			continue
+		}
+		if owner != module {
+			t.Errorf("table %s attributed to module %q, want %q", name, owner, module)
+		}
+	}
+}
+
+// TestControlAPIConstEntries checks that compile-time const entries are
+// surfaced (they occupy table capacity the controller cannot reclaim).
+func TestControlAPIConstEntries(t *testing.T) {
+	api := compileLib(t, "P6").ControlAPI()
+	for _, ct := range api.Tables {
+		want := 0
+		if ct.Name == "sr4_i.sr4_tbl" {
+			want = 2
+		}
+		if ct.ConstEntries != want {
+			t.Errorf("table %s: const entries = %d, want %d", ct.Name, ct.ConstEntries, want)
+		}
+	}
+}
+
+// TestControlAPIRegisters checks register-array export through a
+// stateful composed program (the FlowCount library module).
+func TestControlAPIRegisters(t *testing.T) {
+	dp := compileStateful(t)
+	api := dp.ControlAPI()
+	if len(api.Registers) != 1 {
+		t.Fatalf("registers = %+v, want exactly fc_i.counters", api.Registers)
+	}
+	r := api.Registers[0]
+	if r.Name != "fc_i.counters" || r.Size != 256 || r.Width != 32 {
+		t.Errorf("register = %+v, want {fc_i.counters 256 32}", r)
+	}
+	// Round-trips through JSON intact.
+	b, err := api.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"fc_i.counters"`)) {
+		t.Errorf("register name missing from JSON export:\n%s", b)
+	}
+}
+
+// compileStateful builds the FlowCount counter switch from
+// stateful_test.go's source.
+func compileStateful(t *testing.T) *microp4.Dataplane {
+	t.Helper()
+	fcSrc, err := lib.ModuleSource("FlowCount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := microp4.CompileModule("flowcount.up4", fcSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, err := microp4.CompileModule("counter.up4", statefulTestMain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := microp4.Build(main, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp
+}

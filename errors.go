@@ -32,6 +32,10 @@ type (
 	// RecircBudgetError reports a packet that exceeded
 	// Switch.MaxRecirculations.
 	RecircBudgetError = sim.RecircBudgetError
+	// ControlError reports a control-plane operation rejected by schema
+	// validation (Switch.TryAddEntry and friends, or the ctrlplane
+	// agent). Kind carries the reject class (sim.RejectUnknownTable ...).
+	ControlError = sim.ControlError
 )
 
 // Class sentinels for errors.Is.
@@ -41,4 +45,5 @@ var (
 	ErrTable   = sim.ErrTable
 	ErrEngine  = sim.ErrEngine
 	ErrRecirc  = sim.ErrRecirc
+	ErrControl = sim.ErrControl
 )

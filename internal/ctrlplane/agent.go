@@ -1,0 +1,284 @@
+package ctrlplane
+
+import (
+	"fmt"
+	"sort"
+
+	"microp4"
+	"microp4/internal/sim"
+)
+
+// AgentConfig tunes one per-switch agent.
+type AgentConfig struct {
+	// Name labels the agent's trace events (usually the node name).
+	Name string
+	// CtrlPort is the port control messages arrive on; packets on any
+	// other port are forwarded to the wrapped switch's dataplane.
+	CtrlPort uint64
+	// Window bounds the per-session dedup cache (default 128 replies).
+	// A retransmission of a sequence number still in the window replays
+	// the cached reply instead of re-applying the op.
+	Window int
+	// Metrics counts rejects (optional; share the client's registry).
+	Metrics *Metrics
+	// Bus receives "ctrl" trace events (optional; usually the
+	// network's Bus).
+	Bus *sim.Bus
+}
+
+// Agent is the switch-side half of the control protocol: a
+// netsim.Processor wrapping a *microp4.Switch. Control-port packets
+// are decoded, deduplicated by (session, sequence), validated against
+// the switch's control schema, applied (or staged/prepared/committed/
+// aborted for transactions), and answered; any other port passes
+// through to the dataplane. Corrupted control packets are dropped
+// without reply — the client's retransmission recovers them.
+//
+// All control state (sessions, transactions) is touched only by the
+// network's single-threaded run loop; the wrapped switch's own methods
+// are safe to race with direct Process calls and churn, per the Switch
+// concurrency contract.
+type Agent struct {
+	sw       *microp4.Switch
+	cfg      AgentConfig
+	sessions map[uint64]*session
+	txns     map[uint64]*agentTxn
+}
+
+// session is one client channel's dedup state.
+type session struct {
+	replies map[uint64][]byte // seq → encoded reply
+	order   []uint64          // insertion order, for window eviction
+}
+
+// agentTxn is one in-progress transaction on this agent.
+type agentTxn struct {
+	staged   []*CtrlOp
+	prepared bool
+	cp       *microp4.Checkpoint // taken at prepare, for rollback on abort
+}
+
+// NewAgent wraps a switch in a control-protocol agent.
+func NewAgent(sw *microp4.Switch, cfg AgentConfig) *Agent {
+	if cfg.Window <= 0 {
+		cfg.Window = 128
+	}
+	return &Agent{
+		sw:       sw,
+		cfg:      cfg,
+		sessions: make(map[uint64]*session),
+		txns:     make(map[uint64]*agentTxn),
+	}
+}
+
+// Switch returns the wrapped switch.
+func (a *Agent) Switch() *microp4.Switch { return a.sw }
+
+// Process implements netsim.Processor: control traffic on the control
+// port, dataplane traffic everywhere else.
+func (a *Agent) Process(pkt []byte, inPort uint64) ([]microp4.Output, error) {
+	if inPort != a.cfg.CtrlPort {
+		return a.sw.Process(pkt, inPort)
+	}
+	op, err := DecodeCtrlOp(pkt)
+	if err != nil {
+		// Corruption (bit flips, truncation) or garbage: no session or
+		// sequence to answer to, so drop; the sender's timeout recovers.
+		a.cfg.Metrics.Reject(sim.RejectMalformed)
+		a.event("reject", sim.RejectMalformed+": "+err.Error())
+		return nil, nil
+	}
+	sess := a.session(op.Session)
+	if cached, ok := sess.replies[op.Seq]; ok {
+		// At-least-once made exactly-once: a duplicate (retransmission
+		// or link-level dup) replays the cached verdict, never the op.
+		a.event("dup", fmt.Sprintf("session %#x seq %d", op.Session, op.Seq))
+		return []microp4.Output{{Port: a.cfg.CtrlPort, Data: append([]byte(nil), cached...)}}, nil
+	}
+	rep := a.handle(op)
+	enc := EncodeCtrlReply(rep)
+	sess.remember(op.Seq, enc, a.cfg.Window)
+	return []microp4.Output{{Port: a.cfg.CtrlPort, Data: enc}}, nil
+}
+
+func (a *Agent) session(id uint64) *session {
+	s := a.sessions[id]
+	if s == nil {
+		s = &session{replies: make(map[uint64][]byte)}
+		a.sessions[id] = s
+	}
+	return s
+}
+
+func (s *session) remember(seq uint64, reply []byte, window int) {
+	if _, dup := s.replies[seq]; !dup {
+		s.order = append(s.order, seq)
+	}
+	s.replies[seq] = reply
+	for len(s.order) > window {
+		delete(s.replies, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// handle applies one fresh (non-duplicate) op and builds its reply.
+func (a *Agent) handle(op *CtrlOp) *CtrlReply {
+	ok := &CtrlReply{Session: op.Session, Seq: op.Seq, Status: StatusOK}
+	switch op.Kind {
+	case OpAddEntry, OpSetDefault, OpClearTable, OpSetMulticast:
+		if op.Txn != 0 {
+			// Staged: validate now (rejects surface before prepare),
+			// apply at prepare.
+			if ce := a.validate(op); ce != nil {
+				return a.reject(op, ce)
+			}
+			t := a.txn(op.Txn)
+			t.staged = append(t.staged, op)
+			a.event("stage", fmt.Sprintf("txn %d %s %s", op.Txn, op.Kind, op.Table))
+			return ok
+		}
+		if err := a.apply(op); err != nil {
+			ce, isCtrl := err.(*sim.ControlError)
+			if !isCtrl {
+				ce = &sim.ControlError{Op: op.Kind.String(), Table: op.Table,
+					Kind: sim.RejectUnknownOp, Reason: err.Error()}
+			}
+			return a.reject(op, ce)
+		}
+		a.event("apply", fmt.Sprintf("%s %s", op.Kind, op.Table))
+		return ok
+
+	case OpPrepare:
+		return a.prepare(op)
+
+	case OpCommit:
+		t := a.txns[op.Txn]
+		if t == nil {
+			return a.reject(op, &sim.ControlError{Op: "commit", Kind: sim.RejectTxn,
+				Reason: fmt.Sprintf("unknown transaction %d", op.Txn)})
+		}
+		if !t.prepared {
+			return a.reject(op, &sim.ControlError{Op: "commit", Kind: sim.RejectTxn,
+				Reason: fmt.Sprintf("transaction %d is not prepared", op.Txn)})
+		}
+		delete(a.txns, op.Txn) // discard the checkpoint: changes are final
+		a.event("commit", fmt.Sprintf("txn %d", op.Txn))
+		return ok
+
+	case OpAbort:
+		// Abort is idempotent and always succeeds: aborting a
+		// transaction this agent never saw (every staged op was lost)
+		// is a clean no-op.
+		if t := a.txns[op.Txn]; t != nil {
+			if t.prepared {
+				a.sw.Restore(t.cp)
+			}
+			delete(a.txns, op.Txn)
+		}
+		a.event("abort", fmt.Sprintf("txn %d", op.Txn))
+		return ok
+	}
+	return a.reject(op, &sim.ControlError{Op: op.Kind.String(),
+		Kind: sim.RejectUnknownOp, Reason: "unrecognized operation"})
+}
+
+// prepare checkpoints the switch and applies the staged ops (in client
+// sequence order — arrival order varies under reorder faults, sequence
+// order does not). On any failure the checkpoint is restored and the
+// transaction stays staged-but-unprepared, awaiting the coordinator's
+// abort.
+func (a *Agent) prepare(op *CtrlOp) *CtrlReply {
+	t := a.txn(op.Txn) // preparing an empty transaction is legal
+	if t.prepared {
+		return &CtrlReply{Session: op.Session, Seq: op.Seq, Status: StatusOK}
+	}
+	sort.Slice(t.staged, func(i, j int) bool { return t.staged[i].Seq < t.staged[j].Seq })
+	cp := a.sw.Checkpoint()
+	for _, staged := range t.staged {
+		if err := a.apply(staged); err != nil {
+			a.sw.Restore(cp)
+			ce, isCtrl := err.(*sim.ControlError)
+			if !isCtrl {
+				ce = &sim.ControlError{Op: "prepare", Kind: sim.RejectTxn, Reason: err.Error()}
+			}
+			return a.reject(op, ce)
+		}
+	}
+	t.prepared = true
+	t.cp = cp
+	a.event("prepare", fmt.Sprintf("txn %d: %d ops applied", op.Txn, len(t.staged)))
+	return &CtrlReply{Session: op.Session, Seq: op.Seq, Status: StatusOK}
+}
+
+func (a *Agent) txn(id uint64) *agentTxn {
+	t := a.txns[id]
+	if t == nil {
+		t = &agentTxn{}
+		a.txns[id] = t
+	}
+	return t
+}
+
+// apply runs one op against the switch through the validated API.
+func (a *Agent) apply(op *CtrlOp) error {
+	switch op.Kind {
+	case OpAddEntry:
+		return a.sw.TryAddEntry(op.Table, wireKeys(op.Keys), op.Action, op.Args...)
+	case OpSetDefault:
+		return a.sw.TrySetDefault(op.Table, op.Action, op.Args...)
+	case OpClearTable:
+		return a.sw.TryClearTable(op.Table)
+	case OpSetMulticast:
+		return a.sw.TrySetMulticastGroup(op.Group, op.Ports...)
+	}
+	return &sim.ControlError{Op: op.Kind.String(), Kind: sim.RejectUnknownOp,
+		Reason: "not an applicable operation"}
+}
+
+// validate checks an op against the switch's control schema without
+// applying it (used for staged ops). Nil schema (uncomposed dataplane)
+// validates everything.
+func (a *Agent) validate(op *CtrlOp) *sim.ControlError {
+	sc := a.sw.Schema()
+	if sc == nil {
+		return nil
+	}
+	var err error
+	switch op.Kind {
+	case OpAddEntry:
+		err = sc.ValidateAddEntry(op.Table, wireKeys(op.Keys), op.Action, op.Args)
+	case OpSetDefault:
+		err = sc.ValidateSetDefault(op.Table, op.Action, op.Args)
+	case OpClearTable:
+		err = sc.ValidateClearTable(op.Table)
+	case OpSetMulticast:
+		err = sc.ValidateSetMulticastGroup(op.Group, op.Ports)
+	}
+	if err == nil {
+		return nil
+	}
+	if ce, isCtrl := err.(*sim.ControlError); isCtrl {
+		return ce
+	}
+	return &sim.ControlError{Op: op.Kind.String(), Kind: sim.RejectUnknownOp, Reason: err.Error()}
+}
+
+func (a *Agent) reject(op *CtrlOp, ce *sim.ControlError) *CtrlReply {
+	a.cfg.Metrics.Reject(ce.Kind)
+	a.event("reject", fmt.Sprintf("%s: %s: %s", op.Kind, ce.Kind, ce.Reason))
+	return rejected(op, ce)
+}
+
+func (a *Agent) event(name, detail string) {
+	if a.cfg.Bus.Active() {
+		a.cfg.Bus.Publish(sim.TraceEvent{Kind: "ctrl", Module: a.cfg.Name, Name: name, Detail: detail})
+	}
+}
+
+func wireKeys(ks []CtrlKey) []microp4.Key {
+	out := make([]microp4.Key, len(ks))
+	for i, k := range ks {
+		out[i] = k.runtimeKey()
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package ctrlplane
+
+import "math/rand"
+
+// BackoffConfig tunes the retry schedule: capped exponential backoff
+// with "equal jitter" (half deterministic, half drawn from the
+// client's seeded stream). Delays are in virtual ticks. Zero fields
+// take the defaults.
+type BackoffConfig struct {
+	Base uint64  // first retry delay (default 16 ticks)
+	Cap  uint64  // maximum delay (default 1024 ticks)
+	Mult float64 // growth factor per attempt (default 2.0)
+}
+
+func (c BackoffConfig) withDefaults() BackoffConfig {
+	if c.Base == 0 {
+		c.Base = 16
+	}
+	if c.Cap == 0 {
+		c.Cap = 1024
+	}
+	if c.Mult < 1 {
+		c.Mult = 2.0
+	}
+	return c
+}
+
+// delay returns the backoff before retry number attempt (1-based),
+// drawing jitter from rng. With equal jitter the delay lands in
+// [d/2, d] for d = min(cap, base·mult^(attempt-1)) — randomized enough
+// to de-synchronize retry storms, bounded enough to keep worst-case
+// convergence time predictable. The rng is the client's private seeded
+// stream, consumed in deterministic order by the single-threaded run
+// loop: identical seed ⇒ identical jitter ⇒ identical retry schedule.
+func (c BackoffConfig) delay(attempt int, rng *rand.Rand) uint64 {
+	d := float64(c.Base)
+	for i := 1; i < attempt; i++ {
+		d *= c.Mult
+		if d >= float64(c.Cap) {
+			break
+		}
+	}
+	top := uint64(d)
+	if top > c.Cap {
+		top = c.Cap
+	}
+	if top == 0 {
+		top = 1
+	}
+	half := top / 2
+	jitter := uint64(rng.Int63n(int64(top-half) + 1))
+	return half + jitter
+}

@@ -1,0 +1,118 @@
+package ctrlplane
+
+import "microp4/internal/obs"
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the channel failed repeatedly; requests are held
+	// back until the reopen deadline to avoid hammering a partitioned
+	// or overwhelmed peer.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is allowed through; its
+	// outcome decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes one channel's circuit breaker. Zero fields take
+// the defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	FailureThreshold int
+	// OpenFor is how long, in virtual ticks, the breaker stays open
+	// before allowing a half-open probe (default 512).
+	OpenFor uint64
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor == 0 {
+		c.OpenFor = 512
+	}
+	return c
+}
+
+// breaker is a per-channel circuit breaker on the network's virtual
+// clock. Single-threaded with the netsim run loop, like everything in
+// the client.
+type breaker struct {
+	cfg      BreakerConfig
+	state    BreakerState
+	failures int
+	openedAt uint64
+	gauge    *obs.Gauge // nil-safe
+}
+
+func newBreaker(cfg BreakerConfig, gauge *obs.Gauge) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), gauge: gauge}
+}
+
+func (b *breaker) set(s BreakerState) {
+	b.state = s
+	b.gauge.Set(int64(s))
+}
+
+// allow reports whether a send may go out now. An open breaker past its
+// reopen deadline transitions to half-open and admits one probe.
+func (b *breaker) allow(now uint64) bool {
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now >= b.openedAt+b.cfg.OpenFor {
+			b.set(BreakerHalfOpen)
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		// One probe at a time: the probe that flipped the breaker
+		// half-open is in flight; hold the rest.
+		return false
+	}
+	return true
+}
+
+// retryAt returns the earliest tick a held-back send should retry.
+func (b *breaker) retryAt() uint64 { return b.openedAt + b.cfg.OpenFor }
+
+// success records a reply: any reply proves the channel works.
+func (b *breaker) success() {
+	b.failures = 0
+	if b.state != BreakerClosed {
+		b.set(BreakerClosed)
+	}
+}
+
+// failure records a timeout at the given tick.
+func (b *breaker) failure(now uint64) {
+	b.failures++
+	switch b.state {
+	case BreakerClosed:
+		if b.failures >= b.cfg.FailureThreshold {
+			b.openedAt = now
+			b.set(BreakerOpen)
+		}
+	case BreakerHalfOpen:
+		// The probe failed: back to open, with a fresh deadline.
+		b.openedAt = now
+		b.set(BreakerOpen)
+	}
+}

@@ -1,0 +1,435 @@
+// Package ctrlplane is the resilient distributed control plane: a
+// controller Client and per-switch Agent speaking a sequence-numbered,
+// idempotent protocol whose messages travel as byte-encoded packets
+// over netsim links — subjecting control traffic to the same drop,
+// duplication, reorder, and bit-flip faults as the data traffic it
+// programs around.
+//
+// The design splits failure handling across the layers that can each
+// handle it best:
+//
+//   - the codec detects corruption (checksum) and truncation (strict
+//     length accounting), turning bit-flips into losses;
+//   - the agent makes at-least-once delivery safe by deduplicating on
+//     (session, sequence) and replaying the cached reply, and makes
+//     invalid state changes impossible by validating every operation
+//     against the switch's control schema before touching it;
+//   - the client turns losses into delays with timeouts and capped
+//     exponential backoff (seeded jitter on the network's virtual
+//     clock, so the retry schedule is reproducible from the seed), and
+//     turns a partitioned peer into graceful degradation with a
+//     per-channel circuit breaker;
+//   - transactions make multi-switch updates atomic with two-phase
+//     commit, rolling back via switch checkpoints on abort.
+package ctrlplane
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"microp4"
+	"microp4/internal/sim"
+)
+
+// OpKind names one control operation.
+type OpKind uint8
+
+const (
+	OpAddEntry OpKind = iota + 1
+	OpSetDefault
+	OpClearTable
+	OpSetMulticast
+	// OpPrepare, OpCommit, OpAbort drive two-phase commit for the
+	// transaction named by CtrlOp.Txn.
+	OpPrepare
+	OpCommit
+	OpAbort
+	opKindEnd // one past the last valid kind
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAddEntry:
+		return "add-entry"
+	case OpSetDefault:
+		return "set-default"
+	case OpClearTable:
+		return "clear-table"
+	case OpSetMulticast:
+		return "set-multicast"
+	case OpPrepare:
+		return "prepare"
+	case OpCommit:
+		return "commit"
+	case OpAbort:
+		return "abort"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// KeyKind names one match-key encoding.
+type KeyKind uint8
+
+const (
+	KeyExact KeyKind = iota
+	KeyTernary
+	KeyLPM
+	KeyAny
+	keyKindEnd
+)
+
+// CtrlKey is one wire-encoded match key.
+type CtrlKey struct {
+	Kind      KeyKind
+	Value     uint64
+	Mask      uint64 // ternary mask
+	PrefixLen uint32 // lpm prefix length
+}
+
+// Exact, Ternary, LPM, and Any build wire keys mirroring the public
+// microp4 key constructors.
+func Exact(v uint64) CtrlKey          { return CtrlKey{Kind: KeyExact, Value: v} }
+func Ternary(v, mask uint64) CtrlKey  { return CtrlKey{Kind: KeyTernary, Value: v, Mask: mask} }
+func LPM(v uint64, plen int) CtrlKey  { return CtrlKey{Kind: KeyLPM, Value: v, PrefixLen: uint32(plen)} }
+func Any() CtrlKey                    { return CtrlKey{Kind: KeyAny} }
+
+// runtimeKey converts a wire key to a public switch key.
+func (k CtrlKey) runtimeKey() microp4.Key {
+	switch k.Kind {
+	case KeyTernary:
+		return microp4.Ternary(k.Value, k.Mask)
+	case KeyLPM:
+		return microp4.LPM(k.Value, int(k.PrefixLen))
+	case KeyAny:
+		return microp4.Any()
+	}
+	return microp4.Exact(k.Value)
+}
+
+// CtrlOp is one control request. Session identifies the
+// client↔agent channel; Seq is the channel-monotonic sequence number
+// the agent deduplicates on (a retransmission reuses the Seq, so
+// at-least-once delivery applies each op exactly once). Txn, when
+// nonzero, stages the op into that transaction instead of applying it
+// immediately; OpPrepare/OpCommit/OpAbort then drive the transaction.
+type CtrlOp struct {
+	Session uint64
+	Seq     uint64
+	Txn     uint64
+	Kind    OpKind
+	Table   string
+	Action  string
+	Keys    []CtrlKey
+	Args    []uint64
+	Group   uint64
+	Ports   []uint64
+}
+
+// Status is a reply's disposition.
+type Status uint8
+
+const (
+	// StatusOK: the op was applied (or staged, prepared, committed,
+	// aborted — whatever its kind asks for).
+	StatusOK Status = 1
+	// StatusRejected: schema validation or a transaction rule refused
+	// the op. Rejections are deterministic — retrying is pointless —
+	// and carry the reject class and reason.
+	StatusRejected Status = 2
+)
+
+// CtrlReply answers one CtrlOp, echoing its Session and Seq.
+type CtrlReply struct {
+	Session uint64
+	Seq     uint64
+	Status  Status
+	Class   string // reject class (sim.Reject*), when rejected
+	Reason  string
+}
+
+// Rejected builds the reply for a validation failure.
+func rejected(op *CtrlOp, ce *sim.ControlError) *CtrlReply {
+	return &CtrlReply{Session: op.Session, Seq: op.Seq, Status: StatusRejected,
+		Class: ce.Kind, Reason: ce.Reason}
+}
+
+// Wire format. Little-endian throughout; strings are u16 length +
+// bytes; slices are u16 count + elements. A 4-byte FNV-1a checksum
+// trails every message, so link-level bit flips and truncations decode
+// as errors (and become retransmissions) instead of as different valid
+// messages. Decoding is strict: caps on every count, no trailing
+// garbage, never a panic — DecodeCtrlOp and DecodeCtrlReply are fuzzed
+// on arbitrary bytes.
+const (
+	wireMagic   = 0xC5
+	wireVersion = 1
+
+	wireMsgOp    = 1
+	wireMsgReply = 2
+
+	maxWireString = 1024
+	maxWireKeys   = 64
+	maxWireArgs   = 64
+	maxWirePorts  = 256
+)
+
+type wireWriter struct{ buf []byte }
+
+func (w *wireWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *wireWriter) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *wireWriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *wireWriter) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *wireWriter) str(s string) {
+	if len(s) > maxWireString {
+		s = s[:maxWireString]
+	}
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *wireWriter) finish() []byte {
+	h := fnv.New32a()
+	_, _ = h.Write(w.buf)
+	return binary.LittleEndian.AppendUint32(w.buf, h.Sum32())
+}
+
+// EncodeCtrlOp serializes an op for transmission.
+func EncodeCtrlOp(op *CtrlOp) []byte {
+	w := &wireWriter{buf: make([]byte, 0, 64)}
+	w.u8(wireMagic)
+	w.u8(wireVersion)
+	w.u8(wireMsgOp)
+	w.u8(uint8(op.Kind))
+	w.u64(op.Session)
+	w.u64(op.Seq)
+	w.u64(op.Txn)
+	w.str(op.Table)
+	w.str(op.Action)
+	nk := len(op.Keys)
+	if nk > maxWireKeys {
+		nk = maxWireKeys
+	}
+	w.u16(uint16(nk))
+	for _, k := range op.Keys[:nk] {
+		w.u8(uint8(k.Kind))
+		w.u64(k.Value)
+		w.u64(k.Mask)
+		w.u32(k.PrefixLen)
+	}
+	na := len(op.Args)
+	if na > maxWireArgs {
+		na = maxWireArgs
+	}
+	w.u16(uint16(na))
+	for _, a := range op.Args[:na] {
+		w.u64(a)
+	}
+	w.u64(op.Group)
+	np := len(op.Ports)
+	if np > maxWirePorts {
+		np = maxWirePorts
+	}
+	w.u16(uint16(np))
+	for _, p := range op.Ports[:np] {
+		w.u64(p)
+	}
+	return w.finish()
+}
+
+// EncodeCtrlReply serializes a reply for transmission.
+func EncodeCtrlReply(r *CtrlReply) []byte {
+	w := &wireWriter{buf: make([]byte, 0, 48)}
+	w.u8(wireMagic)
+	w.u8(wireVersion)
+	w.u8(wireMsgReply)
+	w.u8(uint8(r.Status))
+	w.u64(r.Session)
+	w.u64(r.Seq)
+	w.str(r.Class)
+	w.str(r.Reason)
+	return w.finish()
+}
+
+// wireReader is a bounds-checked cursor; the first failure latches.
+type wireReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *wireReader) fail(why string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("ctrlplane: malformed message: %s", why)
+	}
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.buf) {
+		r.fail("truncated")
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *wireReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *wireReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *wireReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *wireReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *wireReader) str() string {
+	n := int(r.u16())
+	if n > maxWireString {
+		r.fail("string too long")
+		return ""
+	}
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// checkHeader consumes and verifies magic/version and the trailing
+// checksum, returning the message type byte.
+func (r *wireReader) checkHeader() uint8 {
+	if len(r.buf) < 8 { // magic+version+type+status/kind + checksum
+		r.fail("too short")
+		return 0
+	}
+	body, sum := r.buf[:len(r.buf)-4], binary.LittleEndian.Uint32(r.buf[len(r.buf)-4:])
+	h := fnv.New32a()
+	_, _ = h.Write(body)
+	if h.Sum32() != sum {
+		r.fail("bad checksum")
+		return 0
+	}
+	r.buf = body // everything after is parsed against the checksummed body
+	if r.u8() != wireMagic {
+		r.fail("bad magic")
+		return 0
+	}
+	if r.u8() != wireVersion {
+		r.fail("unsupported version")
+		return 0
+	}
+	return r.u8()
+}
+
+// finish rejects messages with trailing bytes — a truncation-resistant
+// codec must account for every byte.
+func (r *wireReader) finish() error {
+	if r.err == nil && r.pos != len(r.buf) {
+		r.fail("trailing bytes")
+	}
+	return r.err
+}
+
+// DecodeCtrlOp parses an op message. Arbitrary input never panics;
+// corrupted, truncated, or oversized messages return an error.
+func DecodeCtrlOp(data []byte) (*CtrlOp, error) {
+	r := &wireReader{buf: data}
+	if t := r.checkHeader(); r.err == nil && t != wireMsgOp {
+		r.fail("not an op message")
+	}
+	op := &CtrlOp{}
+	op.Kind = OpKind(r.u8())
+	if r.err == nil && (op.Kind == 0 || op.Kind >= opKindEnd) {
+		r.fail("unknown op kind")
+	}
+	op.Session = r.u64()
+	op.Seq = r.u64()
+	op.Txn = r.u64()
+	op.Table = r.str()
+	op.Action = r.str()
+	nk := int(r.u16())
+	if nk > maxWireKeys {
+		r.fail("too many keys")
+		nk = 0
+	}
+	for i := 0; i < nk && r.err == nil; i++ {
+		k := CtrlKey{Kind: KeyKind(r.u8())}
+		if r.err == nil && k.Kind >= keyKindEnd {
+			r.fail("unknown key kind")
+		}
+		k.Value = r.u64()
+		k.Mask = r.u64()
+		k.PrefixLen = r.u32()
+		op.Keys = append(op.Keys, k)
+	}
+	na := int(r.u16())
+	if na > maxWireArgs {
+		r.fail("too many args")
+		na = 0
+	}
+	for i := 0; i < na && r.err == nil; i++ {
+		op.Args = append(op.Args, r.u64())
+	}
+	op.Group = r.u64()
+	np := int(r.u16())
+	if np > maxWirePorts {
+		r.fail("too many ports")
+		np = 0
+	}
+	for i := 0; i < np && r.err == nil; i++ {
+		op.Ports = append(op.Ports, r.u64())
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// DecodeCtrlReply parses a reply message (same guarantees as
+// DecodeCtrlOp).
+func DecodeCtrlReply(data []byte) (*CtrlReply, error) {
+	r := &wireReader{buf: data}
+	if t := r.checkHeader(); r.err == nil && t != wireMsgReply {
+		r.fail("not a reply message")
+	}
+	rep := &CtrlReply{}
+	rep.Status = Status(r.u8())
+	if r.err == nil && rep.Status != StatusOK && rep.Status != StatusRejected {
+		r.fail("unknown status")
+	}
+	rep.Session = r.u64()
+	rep.Seq = r.u64()
+	rep.Class = r.str()
+	rep.Reason = r.str()
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

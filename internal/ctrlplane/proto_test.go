@@ -1,0 +1,131 @@
+package ctrlplane
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sampleOps covers every op kind and key kind the wire format carries.
+func sampleOps() []*CtrlOp {
+	return []*CtrlOp{
+		{
+			Session: 0xDEADBEEF01, Seq: 1, Kind: OpAddEntry,
+			Table:  "l3_i.ipv4_i.ipv4_lpm_tbl",
+			Action: "l3_i.ipv4_i.process",
+			Keys:   []CtrlKey{LPM(0x0A000000, 8)},
+			Args:   []uint64{100},
+		},
+		{
+			Session: 7, Seq: 2, Txn: 3, Kind: OpAddEntry,
+			Table:  "acl_tbl",
+			Action: "deny",
+			Keys:   []CtrlKey{Any(), Exact(42), Ternary(6, 0xFF), LPM(0x20010DB8, 32)},
+		},
+		{Session: 7, Seq: 3, Kind: OpSetDefault, Table: "forward_tbl", Action: "drop_pkt"},
+		{Session: 7, Seq: 4, Kind: OpClearTable, Table: "forward_tbl"},
+		{Session: 7, Seq: 5, Kind: OpSetMulticast, Group: 9, Ports: []uint64{1, 2, 3}},
+		{Session: 7, Seq: 6, Txn: 3, Kind: OpPrepare},
+		{Session: 7, Seq: 7, Txn: 3, Kind: OpCommit},
+		{Session: 7, Seq: 8, Txn: 3, Kind: OpAbort},
+	}
+}
+
+func TestCtrlOpRoundTrip(t *testing.T) {
+	for _, op := range sampleOps() {
+		enc := EncodeCtrlOp(op)
+		got, err := DecodeCtrlOp(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", op.Kind, err)
+		}
+		if !reflect.DeepEqual(got, op) {
+			t.Errorf("%s: round trip mismatch:\n got %+v\nwant %+v", op.Kind, got, op)
+		}
+		// Canonical: re-encoding the decoded op reproduces the bytes.
+		if string(EncodeCtrlOp(got)) != string(enc) {
+			t.Errorf("%s: re-encode is not byte-identical", op.Kind)
+		}
+	}
+}
+
+func TestCtrlReplyRoundTrip(t *testing.T) {
+	for _, rep := range []*CtrlReply{
+		{Session: 1, Seq: 2, Status: StatusOK},
+		{Session: 0xFFFFFFFFFFFFFFFF, Seq: 9, Status: StatusRejected,
+			Class: "key-width", Reason: "key 0 value 0x10000 exceeds 16 bits"},
+	} {
+		enc := EncodeCtrlReply(rep)
+		got, err := DecodeCtrlReply(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, rep) {
+			t.Errorf("reply round trip mismatch:\n got %+v\nwant %+v", got, rep)
+		}
+	}
+}
+
+// TestCtrlOpCorruptionDetected flips every single bit of an encoded op;
+// the checksum must turn each corruption into a decode error (never a
+// different valid op) — that is what makes a bit-flip fault equivalent
+// to a drop.
+func TestCtrlOpCorruptionDetected(t *testing.T) {
+	enc := EncodeCtrlOp(sampleOps()[0])
+	for i := 0; i < len(enc)*8; i++ {
+		corrupt := append([]byte(nil), enc...)
+		corrupt[i/8] ^= 1 << (i % 8)
+		if _, err := DecodeCtrlOp(corrupt); err == nil {
+			t.Fatalf("bit flip at %d decoded as a valid op", i)
+		}
+	}
+}
+
+// TestCtrlOpTruncationDetected drops tail bytes; every prefix must fail.
+func TestCtrlOpTruncationDetected(t *testing.T) {
+	enc := EncodeCtrlOp(sampleOps()[1])
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeCtrlOp(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded as a valid op", n, len(enc))
+		}
+	}
+}
+
+func TestDecodeRejectsForeignMessages(t *testing.T) {
+	op := EncodeCtrlOp(sampleOps()[0])
+	rep := EncodeCtrlReply(&CtrlReply{Session: 1, Seq: 1, Status: StatusOK})
+	if _, err := DecodeCtrlOp(rep); err == nil {
+		t.Error("op decoder accepted a reply message")
+	}
+	if _, err := DecodeCtrlReply(op); err == nil {
+		t.Error("reply decoder accepted an op message")
+	}
+	if _, err := DecodeCtrlOp(nil); err == nil {
+		t.Error("op decoder accepted empty input")
+	}
+	// Trailing garbage after a valid body: strict decode must refuse.
+	// (The checksum already catches it, but the trailing-bytes check is
+	// what guarantees every byte is accounted for.)
+	if _, err := DecodeCtrlOp(append(append([]byte(nil), op...), 0)); err == nil {
+		t.Error("op decoder accepted trailing bytes")
+	}
+}
+
+func TestEncodeCapsOversizedFields(t *testing.T) {
+	op := &CtrlOp{Session: 1, Seq: 1, Kind: OpAddEntry, Table: "t", Action: "a"}
+	for i := 0; i < maxWireKeys+10; i++ {
+		op.Keys = append(op.Keys, Exact(uint64(i)))
+	}
+	for i := 0; i < maxWireArgs+10; i++ {
+		op.Args = append(op.Args, uint64(i))
+	}
+	for i := 0; i < maxWirePorts+10; i++ {
+		op.Ports = append(op.Ports, uint64(i))
+	}
+	got, err := DecodeCtrlOp(EncodeCtrlOp(op))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Keys) != maxWireKeys || len(got.Args) != maxWireArgs || len(got.Ports) != maxWirePorts {
+		t.Errorf("caps not applied: %d keys, %d args, %d ports",
+			len(got.Keys), len(got.Args), len(got.Ports))
+	}
+}

@@ -1,0 +1,73 @@
+package netsim
+
+import "container/heap"
+
+// The network's virtual clock. Time is measured in ticks: every
+// delivery a node processes advances the clock by one, and timers fire
+// only when the delivery queue is drained — so virtual time is a pure
+// function of the seed, topology, and injected traffic, never of wall
+// time. The ctrlplane client's timeouts, retry backoff, and circuit
+// breaker all run on this clock, which is what makes an entire lossy
+// control-plane conversation — including its retry schedule —
+// reproducible from the seed alone.
+
+// timer is one scheduled callback.
+type timer struct {
+	at  uint64 // virtual tick at (or after) which the timer fires
+	seq uint64 // creation order, the deterministic tiebreaker
+	fn  func() // nil when cancelled
+}
+
+// timerQueue is a min-heap ordered by (at, seq).
+type timerQueue []*timer
+
+func (q timerQueue) Len() int { return len(q) }
+func (q timerQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q timerQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *timerQueue) Push(x any)        { *q = append(*q, x.(*timer)) }
+func (q *timerQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}
+
+// Now returns the current virtual time, in ticks.
+func (n *Network) Now() uint64 { return n.now }
+
+// After schedules fn to run at virtual time Now()+d, and returns a
+// cancel function. Timers fire inside Run, single-threaded, only when
+// the delivery queue is empty — a busy network delays them, which is
+// harmless for their one use (detecting that an awaited packet is NOT
+// going to arrive). Ties fire in creation order. fn may send packets
+// (SendFrom), schedule further timers, or both.
+func (n *Network) After(d uint64, fn func()) (cancel func()) {
+	n.tseq++
+	t := &timer{at: n.now + d, seq: n.tseq, fn: fn}
+	heap.Push(&n.timers, t)
+	return func() { t.fn = nil }
+}
+
+// fireTimer pops and runs the earliest pending timer, advancing the
+// clock to its deadline. Returns false when no live timer is pending.
+func (n *Network) fireTimer() bool {
+	for n.timers.Len() > 0 {
+		t := heap.Pop(&n.timers).(*timer)
+		if t.fn == nil {
+			continue // cancelled
+		}
+		if t.at > n.now {
+			n.now = t.at
+		}
+		t.fn()
+		return true
+	}
+	return false
+}

@@ -87,6 +87,10 @@ type Network struct {
 	queue []delivery          // in-flight packets, FIFO
 	eg    map[string][]Delivery
 
+	now    uint64 // virtual clock, in ticks (see clock.go)
+	tseq   uint64 // timer creation sequence
+	timers timerQueue
+
 	seq     uint64 // fault event sequence
 	sinks   []func(FaultEvent)
 	bus     *sim.Bus // fault events mirrored as trace events
@@ -171,7 +175,10 @@ func (n *Network) SetLinkDown(node string, port uint64, down bool) error {
 // opsPerPacket random control-plane operations (AddEntry, SetDefault,
 // ClearTable, SetMulticastGroup) drawn from its own seed stream. The
 // node's processor must also implement ChurnTarget (as
-// *microp4.Switch does).
+// *microp4.Switch does); when it additionally implements
+// ValidatedChurnTarget, churn routes through the error-returning API
+// and — if EnableMetrics was called first — counts rejections in
+// up4_churn_rejects_total{node}.
 func (n *Network) AddChurn(node string, cfg ChurnConfig, opsPerPacket int) error {
 	nd := n.nodes[node]
 	if nd == nil {
@@ -183,6 +190,12 @@ func (n *Network) AddChurn(node string, cfg ChurnConfig, opsPerPacket int) error
 	}
 	c := NewChurn(splitmix64(n.seed^uint64(len(nd.churn)+1)^hashString(node)), target, cfg)
 	c.ops = opsPerPacket
+	if n.reg != nil {
+		if _, validated := nd.proc.(ValidatedChurnTarget); validated {
+			c.CountRejects(n.reg.Counter("up4_churn_rejects_total",
+				"Churn operations rejected by the validated control API", obs.L("node", node)))
+		}
+	}
 	nd.churn = append(nd.churn, c)
 	return nil
 }
@@ -263,11 +276,14 @@ func (n *Network) Inject(node string, port uint64, data []byte) error {
 // terminates the run instead of spinning forever.
 const DefaultStepBudget = 1 << 20
 
-// Run drains the delivery queue: each step pops one in-flight packet,
-// runs any churn injectors on the destination node, processes the
-// packet, and transmits the outputs over their links (applying faults)
-// or collects them as egress when the port has no link. It returns
-// when the network is quiet or the step budget is exhausted.
+// Run drains the delivery queue: each step pops one in-flight packet
+// (advancing the virtual clock one tick), runs any churn injectors on
+// the destination node, processes the packet, and transmits the outputs
+// over their links (applying faults) or collects them as egress when
+// the port has no link. When the queue is empty it releases
+// reorder-held packets, then fires pending virtual-time timers (which
+// may send more packets — the ctrlplane's retransmissions); it returns
+// when the network is truly quiet or the step budget is exhausted.
 //
 // Typed processing errors do not abort the run — the packet is lost,
 // the error is counted (per node and class when metrics are enabled),
@@ -285,6 +301,7 @@ func (n *Network) Run(maxSteps int) (RunStats, error) {
 			}
 			steps++
 			n.stats.Steps++
+			n.now++
 			d := n.queue[0]
 			n.queue = n.queue[1:]
 			node := n.nodes[d.to.node]
@@ -319,10 +336,36 @@ func (n *Network) Run(maxSteps int) (RunStats, error) {
 				released = true
 			}
 		}
-		if !released {
-			return n.stats, nil
+		if released {
+			continue
 		}
+		// Quiet network: advance virtual time to the next timer. Timer
+		// callbacks count against the step budget too — a timer that
+		// perpetually reschedules itself must not hang Run.
+		if steps < maxSteps && n.fireTimer() {
+			steps++
+			continue
+		}
+		if n.timers.Len() > 0 && steps >= maxSteps {
+			return n.stats, fmt.Errorf("netsim: step budget %d exhausted with timers pending", maxSteps)
+		}
+		return n.stats, nil
 	}
+}
+
+// SendFrom transmits a packet out of node:port mid-run, exactly as if
+// the node's Process had emitted it: over the endpoint's link with
+// faults applied, or to the egress collector when unconnected. It is
+// how non-packet-triggered senders — the ctrlplane client's initial
+// sends and retransmission timers — originate traffic. Single-threaded
+// with Run: call it only from inside Process, a timer callback, or
+// before/after Run.
+func (n *Network) SendFrom(node string, port uint64, data []byte) error {
+	if n.nodes[node] == nil {
+		return fmt.Errorf("netsim: unknown switch %q", node)
+	}
+	n.transmit(endpoint{node, port}, append([]byte(nil), data...))
+	return nil
 }
 
 // transmit sends one packet out of an endpoint: over its link with

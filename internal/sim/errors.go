@@ -36,6 +36,12 @@ const (
 	ClassEngine
 	// ClassRecirc: the architecture's recirculation budget was exceeded.
 	ClassRecirc
+	// ClassControl: a control-plane operation was rejected — schema
+	// validation failed, the message was malformed, or a transaction
+	// protocol rule was violated. Unlike the dataplane classes these are
+	// produced on the control path (Switch.Try*, the ctrlplane agent),
+	// never by Process.
+	ClassControl
 )
 
 func (c ErrorClass) String() string {
@@ -50,6 +56,8 @@ func (c ErrorClass) String() string {
 		return "engine"
 	case ClassRecirc:
 		return "recirc"
+	case ClassControl:
+		return "control"
 	}
 	return "unknown"
 }
@@ -66,6 +74,7 @@ var (
 	ErrTable   error = &classError{ClassTable}
 	ErrEngine  error = &classError{ClassEngine}
 	ErrRecirc  error = &classError{ClassRecirc}
+	ErrControl error = &classError{ClassControl}
 )
 
 func classIs(class ErrorClass, target error) bool {
@@ -82,6 +91,7 @@ func ClassOf(err error) (ErrorClass, bool) {
 		te *TableError
 		ef *EngineFault
 		re *RecircBudgetError
+		ce *ControlError
 	)
 	switch {
 	case errors.As(err, &pe):
@@ -94,6 +104,8 @@ func ClassOf(err error) (ErrorClass, bool) {
 		return ClassEngine, true
 	case errors.As(err, &re):
 		return ClassRecirc, true
+	case errors.As(err, &ce):
+		return ClassControl, true
 	}
 	return 0, false
 }
@@ -175,6 +187,48 @@ func (e *RecircBudgetError) Error() string {
 }
 
 func (e *RecircBudgetError) Is(target error) bool { return classIs(ClassRecirc, target) }
+
+// Reject classes carried by ControlError.Kind — the {class} label of
+// up4_ctrl_rejects_total and up4_churn_rejects_total. Stable strings:
+// dashed, lower-case, never renamed.
+const (
+	RejectUnknownTable  = "unknown-table"  // table not in the control schema
+	RejectKeyCount      = "key-count"      // wrong number of match keys
+	RejectKeyWidth      = "key-width"      // key value/mask/prefix exceeds the column width
+	RejectUnknownAction = "unknown-action" // action the table cannot select
+	RejectArgArity      = "arg-arity"      // wrong number of action arguments
+	RejectArgWidth      = "arg-width"      // argument exceeds the parameter width
+	RejectBadGroup      = "bad-group"      // invalid multicast group or replication list
+	RejectMalformed     = "malformed"      // undecodable control message
+	RejectUnknownOp     = "unknown-op"     // unrecognized operation kind
+	RejectTxn           = "txn"            // transaction protocol violation
+)
+
+// ControlError reports a rejected control-plane operation: the op named
+// state the program's control schema does not admit, the message was
+// malformed, or a transaction rule was violated. Kind is one of the
+// Reject* classes above; rejects are deterministic (a retry of the same
+// op is rejected again), so clients must not retry them.
+type ControlError struct {
+	Op     string // "add-entry", "set-default", "clear-table", "set-multicast", "prepare", ...
+	Table  string // offending table, when relevant
+	Action string // offending action, when relevant
+	Kind   string // one of the Reject* classes
+	Reason string
+}
+
+func (e *ControlError) Error() string {
+	s := "control: " + e.Op
+	if e.Table != "" {
+		s += " " + e.Table
+	}
+	if e.Action != "" {
+		s += " action " + e.Action
+	}
+	return s + ": " + e.Kind + ": " + e.Reason
+}
+
+func (e *ControlError) Is(target error) bool { return classIs(ClassControl, target) }
 
 // recoverFault converts an in-flight panic into an *EngineFault on
 // *errp, clearing *resp — the never-panic boundary both engines (and

@@ -167,6 +167,9 @@ func (m *Metrics) countError(err error) {
 		m.EngineFaults.Inc()
 	case ClassRecirc:
 		m.RecircDrops.Inc()
+	case ClassControl:
+		// Control-plane rejects never reach the Process boundary; they
+		// are counted by the ctrlplane metrics (up4_ctrl_rejects_total).
 	}
 }
 

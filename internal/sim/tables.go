@@ -104,6 +104,81 @@ func (t *Tables) EntryCount(table string) int {
 	return len(t.entries[table])
 }
 
+// TablesSnapshot is a deep, immutable copy of control-plane table state
+// — runtime entries, default overrides, and the priority sequence —
+// taken by Snapshot and reinstated by Restore. It backs the switch
+// checkpoints the ctrlplane's two-phase commit rolls back to on abort.
+type TablesSnapshot struct {
+	entries  map[string][]RuntimeEntry
+	defaults map[string]*ir.ActionCall
+	seq      int
+}
+
+// Snapshot returns a deep copy of the current table state. Safe to call
+// while packets are being processed and entries installed; the snapshot
+// is a consistent point-in-time view.
+func (t *Tables) Snapshot() *TablesSnapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := &TablesSnapshot{
+		entries:  make(map[string][]RuntimeEntry, len(t.entries)),
+		defaults: make(map[string]*ir.ActionCall, len(t.defaults)),
+		seq:      t.seq,
+	}
+	for name, es := range t.entries {
+		cp := make([]RuntimeEntry, len(es))
+		for i, e := range es {
+			cp[i] = RuntimeEntry{
+				Keys:     append([]RuntimeKey(nil), e.Keys...),
+				Action:   e.Action,
+				Args:     append([]uint64(nil), e.Args...),
+				Priority: e.Priority,
+			}
+		}
+		s.entries[name] = cp
+	}
+	for name, d := range t.defaults {
+		dc := *d
+		dc.Args = append([]uint64(nil), d.Args...)
+		s.defaults[name] = &dc
+	}
+	return s
+}
+
+// Restore reinstates a snapshot, replacing all runtime entries and
+// default overrides installed since it was taken. The snapshot itself is
+// not consumed: it deep-copies on the way back in, so one snapshot may
+// be restored more than once.
+func (t *Tables) Restore(s *TablesSnapshot) {
+	if s == nil {
+		return
+	}
+	entries := make(map[string][]RuntimeEntry, len(s.entries))
+	for name, es := range s.entries {
+		cp := make([]RuntimeEntry, len(es))
+		for i, e := range es {
+			cp[i] = RuntimeEntry{
+				Keys:     append([]RuntimeKey(nil), e.Keys...),
+				Action:   e.Action,
+				Args:     append([]uint64(nil), e.Args...),
+				Priority: e.Priority,
+			}
+		}
+		entries[name] = cp
+	}
+	defaults := make(map[string]*ir.ActionCall, len(s.defaults))
+	for name, d := range s.defaults {
+		dc := *d
+		dc.Args = append([]uint64(nil), d.Args...)
+		defaults[name] = &dc
+	}
+	t.mu.Lock()
+	t.entries = entries
+	t.defaults = defaults
+	t.seq = s.seq
+	t.mu.Unlock()
+}
+
 // LookupOutcome classifies a table lookup for observability.
 type LookupOutcome int8
 

@@ -51,6 +51,9 @@ type Switch struct {
 	mcGroups map[uint64][]uint64
 	digests  []uint64
 
+	schemaOnce sync.Once
+	schema     *ControlSchema // nil when the dataplane has no compiled pipeline
+
 	// MaxRecirculations bounds the recirculation loop (default 4).
 	MaxRecirculations int
 	clock             atomic.Uint64
@@ -105,27 +108,136 @@ func (d *Dataplane) NewSwitchWith(engine Engine) *Switch {
 	return sw
 }
 
-// AddEntry installs a table entry. Table and action names are fully
-// qualified by module instance path (see Dataplane.Tables).
-func (s *Switch) AddEntry(table string, keys []Key, action string, args ...uint64) {
-	s.tables.AddEntry(table, toRuntime(keys), action, args...)
+// Schema returns the switch's control schema, built once from the
+// dataplane's ControlAPI. It is nil when the midend produced no
+// compiled pipeline (reference-engine-only programs) — there is then no
+// schema to validate against and the Try* methods install unchecked.
+func (s *Switch) Schema() *ControlSchema {
+	s.schemaOnce.Do(func() {
+		if composed, _ := s.dp.Composed(); composed {
+			s.schema = s.dp.ControlAPI().Schema()
+		}
+	})
+	return s.schema
 }
 
-// SetDefault overrides a table's default action.
-func (s *Switch) SetDefault(table, action string, args ...uint64) {
+// TryAddEntry validates an entry against the control schema (table
+// existence, key count and widths, action membership, argument arity
+// and widths) and installs it only when valid. A non-nil error is
+// always a *ControlError; the table state is untouched on rejection.
+func (s *Switch) TryAddEntry(table string, keys []Key, action string, args ...uint64) error {
+	if sc := s.Schema(); sc != nil {
+		if err := sc.ValidateAddEntry(table, keys, action, args); err != nil {
+			return err
+		}
+	}
+	s.tables.AddEntry(table, toRuntime(keys), action, args...)
+	return nil
+}
+
+// TrySetDefault validates and applies a default-action override.
+func (s *Switch) TrySetDefault(table, action string, args ...uint64) error {
+	if sc := s.Schema(); sc != nil {
+		if err := sc.ValidateSetDefault(table, action, args); err != nil {
+			return err
+		}
+	}
 	s.tables.SetDefault(table, action, args...)
+	return nil
+}
+
+// TryClearTable validates that the table exists, then clears it.
+func (s *Switch) TryClearTable(table string) error {
+	if sc := s.Schema(); sc != nil {
+		if err := sc.ValidateClearTable(table); err != nil {
+			return err
+		}
+	}
+	s.tables.ClearTable(table)
+	return nil
+}
+
+// TrySetMulticastGroup validates the group id and replication list,
+// then programs the packet replication engine.
+func (s *Switch) TrySetMulticastGroup(gid uint64, ports ...uint64) error {
+	if sc := s.Schema(); sc != nil {
+		if err := sc.ValidateSetMulticastGroup(gid, ports); err != nil {
+			return err
+		}
+	}
+	s.setMulticastGroup(gid, ports)
+	return nil
+}
+
+// AddEntry installs a table entry. Table and action names are fully
+// qualified by module instance path (see Dataplane.Tables). A thin
+// wrapper over TryAddEntry: schema-invalid entries are rejected (and
+// the error discarded) instead of sitting inert in table state — use
+// TryAddEntry to observe the rejection.
+func (s *Switch) AddEntry(table string, keys []Key, action string, args ...uint64) {
+	_ = s.TryAddEntry(table, keys, action, args...)
+}
+
+// SetDefault overrides a table's default action (see AddEntry on
+// validation; use TrySetDefault to observe rejections).
+func (s *Switch) SetDefault(table, action string, args ...uint64) {
+	_ = s.TrySetDefault(table, action, args...)
 }
 
 // ClearTable removes a table's runtime entries.
-func (s *Switch) ClearTable(table string) { s.tables.ClearTable(table) }
+func (s *Switch) ClearTable(table string) { _ = s.TryClearTable(table) }
 
 // SetMulticastGroup programs the packet replication engine: packets
 // sent to group gid are replicated to the given ports. Safe to call
 // while packets are being processed.
 func (s *Switch) SetMulticastGroup(gid uint64, ports ...uint64) {
+	_ = s.TrySetMulticastGroup(gid, ports...)
+}
+
+func (s *Switch) setMulticastGroup(gid uint64, ports []uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mcGroups[gid] = append([]uint64(nil), ports...)
+}
+
+// Checkpoint is a point-in-time copy of a switch's control-plane state:
+// runtime table entries, default-action overrides, and multicast
+// groups. Dataplane register state is deliberately not captured — it
+// belongs to the packets, not the controller.
+type Checkpoint struct {
+	tables   *sim.TablesSnapshot
+	mcGroups map[uint64][]uint64
+}
+
+// Checkpoint snapshots the control-plane state for a later Restore —
+// the rollback mechanism behind the ctrlplane's transactional updates.
+// Safe to call while packets are processed and entries installed.
+func (s *Switch) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{tables: s.tables.Snapshot()}
+	s.mu.Lock()
+	cp.mcGroups = make(map[uint64][]uint64, len(s.mcGroups))
+	for gid, ports := range s.mcGroups {
+		cp.mcGroups[gid] = append([]uint64(nil), ports...)
+	}
+	s.mu.Unlock()
+	return cp
+}
+
+// Restore reinstates a checkpoint, discarding every control-plane
+// change made since it was taken. The checkpoint is not consumed and
+// may be restored again.
+func (s *Switch) Restore(cp *Checkpoint) {
+	if cp == nil {
+		return
+	}
+	s.tables.Restore(cp.tables)
+	mc := make(map[uint64][]uint64, len(cp.mcGroups))
+	for gid, ports := range cp.mcGroups {
+		mc[gid] = append([]uint64(nil), ports...)
+	}
+	s.mu.Lock()
+	s.mcGroups = mc
+	s.mu.Unlock()
 }
 
 // mcPorts snapshots a multicast group's replication list.

@@ -1,0 +1,162 @@
+package microp4
+
+import (
+	"fmt"
+
+	"microp4/internal/sim"
+)
+
+// MaxMulticastPorts bounds one multicast group's replication list —
+// a sanity limit mirroring a real PRE's fanout, enforced by
+// TrySetMulticastGroup and the ctrlplane agent.
+const MaxMulticastPorts = 64
+
+// ControlSchema is a ControlAPI indexed for O(1) validation of
+// control-plane operations. Build one with ControlAPI.Schema; every
+// Validate* method returns nil or a *ControlError (class
+// sim.ClassControl) whose Kind names the reject class. Validation is
+// deterministic: the same op against the same schema always yields the
+// same verdict, which is what makes rejects safe to treat as permanent
+// (non-retryable) failures.
+type ControlSchema struct {
+	tables map[string]*ControlTable
+	// actions maps table → action name → schema; action names are fully
+	// qualified just as AddEntry expects them.
+	actions map[string]map[string]*ControlAction
+}
+
+// Schema returns the API indexed for validation.
+func (a *ControlAPI) Schema() *ControlSchema {
+	s := &ControlSchema{
+		tables:  make(map[string]*ControlTable, len(a.Tables)),
+		actions: make(map[string]map[string]*ControlAction, len(a.Tables)),
+	}
+	for i := range a.Tables {
+		t := &a.Tables[i]
+		s.tables[t.Name] = t
+		acts := make(map[string]*ControlAction, len(t.Actions))
+		for j := range t.Actions {
+			acts[t.Actions[j].Name] = &t.Actions[j]
+		}
+		s.actions[t.Name] = acts
+	}
+	return s
+}
+
+// Table returns the schema of one table, or nil when unknown.
+func (s *ControlSchema) Table(name string) *ControlTable { return s.tables[name] }
+
+// ValidateAddEntry checks one AddEntry against the schema: the table
+// must exist, the key count must match, every key must fit its column's
+// width and match kind, the action must be selectable by the table, and
+// the arguments must match the action's parameter list in arity and
+// width.
+func (s *ControlSchema) ValidateAddEntry(table string, keys []Key, action string, args []uint64) error {
+	ct := s.tables[table]
+	if ct == nil {
+		return &sim.ControlError{Op: "add-entry", Table: table,
+			Kind: sim.RejectUnknownTable, Reason: "no such table in the control schema"}
+	}
+	if len(keys) != len(ct.Keys) {
+		return &sim.ControlError{Op: "add-entry", Table: table, Kind: sim.RejectKeyCount,
+			Reason: fmt.Sprintf("got %d keys, table has %d", len(keys), len(ct.Keys))}
+	}
+	for i, k := range keys {
+		if err := validateKey(table, "add-entry", k.k, ct.Keys[i]); err != nil {
+			return err
+		}
+	}
+	return s.validateActionCall("add-entry", table, action, args)
+}
+
+// ValidateSetDefault checks a default-action override.
+func (s *ControlSchema) ValidateSetDefault(table, action string, args []uint64) error {
+	if s.tables[table] == nil {
+		return &sim.ControlError{Op: "set-default", Table: table,
+			Kind: sim.RejectUnknownTable, Reason: "no such table in the control schema"}
+	}
+	return s.validateActionCall("set-default", table, action, args)
+}
+
+// ValidateClearTable checks that the table exists.
+func (s *ControlSchema) ValidateClearTable(table string) error {
+	if s.tables[table] == nil {
+		return &sim.ControlError{Op: "clear-table", Table: table,
+			Kind: sim.RejectUnknownTable, Reason: "no such table in the control schema"}
+	}
+	return nil
+}
+
+// ValidateSetMulticastGroup checks the PRE programming limits: group 0
+// is reserved ("no replication"), and the replication list is bounded.
+func (s *ControlSchema) ValidateSetMulticastGroup(gid uint64, ports []uint64) error {
+	if gid == 0 {
+		return &sim.ControlError{Op: "set-multicast", Kind: sim.RejectBadGroup,
+			Reason: "group 0 is reserved (means no replication)"}
+	}
+	if len(ports) > MaxMulticastPorts {
+		return &sim.ControlError{Op: "set-multicast", Kind: sim.RejectBadGroup,
+			Reason: fmt.Sprintf("%d replication ports exceeds the limit of %d", len(ports), MaxMulticastPorts)}
+	}
+	return nil
+}
+
+func (s *ControlSchema) validateActionCall(op, table, action string, args []uint64) error {
+	act := s.actions[table][action]
+	if act == nil {
+		return &sim.ControlError{Op: op, Table: table, Action: action,
+			Kind: sim.RejectUnknownAction, Reason: "table cannot select this action"}
+	}
+	if len(args) != len(act.Params) {
+		return &sim.ControlError{Op: op, Table: table, Action: action, Kind: sim.RejectArgArity,
+			Reason: fmt.Sprintf("got %d args, action takes %d", len(args), len(act.Params))}
+	}
+	for i, p := range act.Params {
+		if !fitsWidth(args[i], p.Width) {
+			return &sim.ControlError{Op: op, Table: table, Action: action, Kind: sim.RejectArgWidth,
+				Reason: fmt.Sprintf("arg %d (%s) value %#x exceeds bit<%d>", i, p.Name, args[i], p.Width)}
+		}
+	}
+	return nil
+}
+
+// validateKey checks one match key against its column schema.
+func validateKey(table, op string, k sim.RuntimeKey, col ControlKey) error {
+	if k.DontCare {
+		return nil
+	}
+	bad := func(reason string) error {
+		return &sim.ControlError{Op: op, Table: table, Kind: sim.RejectKeyWidth,
+			Reason: fmt.Sprintf("key %s (%s/%d): %s", col.Field, col.MatchKind, col.Width, reason)}
+	}
+	switch col.MatchKind {
+	case "lpm":
+		if k.PrefixLen < 0 || k.PrefixLen > col.Width {
+			return bad(fmt.Sprintf("prefix length %d out of range", k.PrefixLen))
+		}
+	case "range":
+		// Value..Mask is an inclusive range; both bounds must fit.
+		if !fitsWidth(k.Mask, col.Width) {
+			return bad(fmt.Sprintf("range upper bound %#x does not fit", k.Mask))
+		}
+	default: // exact, ternary
+		if k.HasMask && !fitsWidth(k.Mask, col.Width) {
+			return bad(fmt.Sprintf("mask %#x does not fit", k.Mask))
+		}
+	}
+	if !fitsWidth(k.Value, col.Width) {
+		return bad(fmt.Sprintf("value %#x does not fit", k.Value))
+	}
+	return nil
+}
+
+// fitsWidth reports whether v is representable in w bits.
+func fitsWidth(v uint64, w int) bool {
+	if w >= 64 {
+		return true
+	}
+	if w <= 0 {
+		return v == 0
+	}
+	return v>>uint(w) == 0
+}

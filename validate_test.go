@@ -1,0 +1,151 @@
+package microp4_test
+
+import (
+	"errors"
+	"testing"
+
+	"microp4"
+	"microp4/internal/pkt"
+	"microp4/internal/sim"
+)
+
+// wantReject asserts err is a *ControlError of the given reject class
+// and that it matches the control-class sentinel.
+func wantReject(t *testing.T, err error, kind string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want %s rejection, got nil", kind)
+	}
+	var ce *microp4.ControlError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v (%T), want *ControlError", err, err)
+	}
+	if ce.Kind != kind {
+		t.Errorf("reject class = %q, want %q (%v)", ce.Kind, kind, err)
+	}
+	if !errors.Is(err, microp4.ErrControl) {
+		t.Errorf("%v does not match ErrControl", err)
+	}
+}
+
+// TestControlSchemaValidation walks every reject class through the
+// flagship router's schema.
+func TestControlSchemaValidation(t *testing.T) {
+	sc := compileLib(t, "P4").ControlAPI().Schema()
+
+	ok := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Errorf("valid op rejected: %v", err)
+		}
+	}
+	ok(sc.ValidateAddEntry("forward_tbl",
+		[]microp4.Key{microp4.Exact(100)}, "forward", []uint64{1, 2, 3}))
+	ok(sc.ValidateAddEntry("l3_i.ipv4_i.ipv4_lpm_tbl",
+		[]microp4.Key{microp4.LPM(0x0A000000, 8)}, "l3_i.ipv4_i.process", []uint64{100}))
+	ok(sc.ValidateSetDefault("forward_tbl", "drop_pkt", nil))
+	ok(sc.ValidateClearTable("forward_tbl"))
+	ok(sc.ValidateSetMulticastGroup(1, []uint64{1, 2, 3}))
+
+	wantReject(t, sc.ValidateAddEntry("nope_tbl",
+		nil, "forward", nil), sim.RejectUnknownTable)
+	wantReject(t, sc.ValidateAddEntry("forward_tbl",
+		[]microp4.Key{microp4.Exact(1), microp4.Exact(2)}, "forward", []uint64{1, 2, 3}),
+		sim.RejectKeyCount)
+	// forward_tbl's key is bit<16>.
+	wantReject(t, sc.ValidateAddEntry("forward_tbl",
+		[]microp4.Key{microp4.Exact(0x10000)}, "forward", []uint64{1, 2, 3}),
+		sim.RejectKeyWidth)
+	// ipv4_lpm_tbl's key is bit<32>: prefix length 33 is out of range.
+	wantReject(t, sc.ValidateAddEntry("l3_i.ipv4_i.ipv4_lpm_tbl",
+		[]microp4.Key{microp4.LPM(0, 33)}, "l3_i.ipv4_i.process", []uint64{100}),
+		sim.RejectKeyWidth)
+	// Actions belong to their table: the lpm action is not selectable here.
+	wantReject(t, sc.ValidateAddEntry("forward_tbl",
+		[]microp4.Key{microp4.Exact(100)}, "l3_i.ipv4_i.process", []uint64{100}),
+		sim.RejectUnknownAction)
+	wantReject(t, sc.ValidateAddEntry("forward_tbl",
+		[]microp4.Key{microp4.Exact(100)}, "forward", []uint64{1}),
+		sim.RejectArgArity)
+	// forward's port parameter is bit<9>.
+	wantReject(t, sc.ValidateAddEntry("forward_tbl",
+		[]microp4.Key{microp4.Exact(100)}, "forward", []uint64{1, 2, 0x200}),
+		sim.RejectArgWidth)
+	wantReject(t, sc.ValidateSetDefault("forward_tbl", "forward", nil), sim.RejectArgArity)
+	wantReject(t, sc.ValidateSetDefault("nope_tbl", "forward", nil), sim.RejectUnknownTable)
+	wantReject(t, sc.ValidateClearTable("nope_tbl"), sim.RejectUnknownTable)
+	wantReject(t, sc.ValidateSetMulticastGroup(0, nil), sim.RejectBadGroup)
+	wantReject(t, sc.ValidateSetMulticastGroup(1, make([]uint64, microp4.MaxMulticastPorts+1)),
+		sim.RejectBadGroup)
+	// Don't-care keys skip width checks.
+	ok(sc.ValidateAddEntry("forward_tbl", []microp4.Key{microp4.Any()}, "drop_pkt", nil))
+}
+
+// TestSwitchTryAPI: the Try* methods reject invalid ops without
+// touching state, while the legacy void methods stay best-effort.
+func TestSwitchTryAPI(t *testing.T) {
+	dp := compileLib(t, "P4")
+	sw := dp.NewSwitch()
+	wantReject(t, sw.TryAddEntry("forward_tbl",
+		[]microp4.Key{microp4.Exact(0x10000)}, "forward", 1, 2, 3), sim.RejectKeyWidth)
+	wantReject(t, sw.TrySetDefault("forward_tbl", "no_such_action"), sim.RejectUnknownAction)
+	wantReject(t, sw.TryClearTable("nope_tbl"), sim.RejectUnknownTable)
+	wantReject(t, sw.TrySetMulticastGroup(0, 1), sim.RejectBadGroup)
+	if err := sw.TryAddEntry("forward_tbl",
+		[]microp4.Key{microp4.Exact(100)}, "forward", 1, 2, 3); err != nil {
+		t.Errorf("valid TryAddEntry rejected: %v", err)
+	}
+	// The void wrapper silently discards the same rejection.
+	sw.AddEntry("forward_tbl", []microp4.Key{microp4.Exact(0x10000)}, "forward", 1, 2, 3)
+}
+
+// TestSwitchCheckpointRestore: a checkpoint captures table and
+// multicast state; restore rewinds to it, and one checkpoint can be
+// restored more than once.
+func TestSwitchCheckpointRestore(t *testing.T) {
+	dp := compileLib(t, "P4")
+	sw := dp.NewSwitch()
+	install := func() {
+		sw.AddEntry("l3_i.ipv4_i.ipv4_lpm_tbl",
+			[]microp4.Key{microp4.LPM(0x0A000000, 8)}, "l3_i.ipv4_i.process", 100)
+		sw.AddEntry("forward_tbl",
+			[]microp4.Key{microp4.Exact(100)}, "forward", 0x00AA00000001, 0x00BB00000001, 1)
+	}
+	packet := pkt.NewBuilder().
+		Ethernet(2, 3, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6, Src: 1, Dst: 0x0A000001}).
+		TCP(1000, 80).Bytes()
+	probe := func() bool {
+		out, err := sw.Process(packet, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(out) == 1 && out[0].Port == 1
+	}
+	install()
+	sw.SetMulticastGroup(1, 2, 3)
+	if !probe() {
+		t.Fatal("baseline rules do not forward")
+	}
+	cp := sw.Checkpoint()
+
+	sw.ClearTable("forward_tbl")
+	sw.ClearTable("l3_i.ipv4_i.ipv4_lpm_tbl")
+	sw.SetMulticastGroup(1) // empty the group
+	if probe() {
+		t.Fatal("cleared switch still forwards")
+	}
+	sw.Restore(cp)
+	if !probe() {
+		t.Error("restore did not bring the table state back")
+	}
+	// Restore is repeatable: mutate again, rewind again.
+	sw.ClearTable("forward_tbl")
+	if probe() {
+		t.Fatal("cleared switch still forwards")
+	}
+	sw.Restore(cp)
+	if !probe() {
+		t.Error("second restore from the same checkpoint failed")
+	}
+}
