@@ -1,0 +1,31 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); `make bench` re-records the throughput
+# baseline BENCH_5.json that `make bench-check` (and CI) gates against.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-check fuzz
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/netsim/... ./internal/ctrlplane/... .
+
+# bench measures the packet-throughput trajectory (P1-P7, both engines,
+# serial/batch/parallel) and rewrites the committed baseline.
+bench:
+	$(GO) run ./cmd/up4bench -perf -perf-dur 300ms -perf-out BENCH_5.json
+
+# bench-check re-measures quickly and fails on a >3x ns/packet
+# regression against the committed baseline (serial modes only).
+bench-check:
+	$(GO) test -run TestBenchRegression -v .
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzProcess -fuzztime 20s .

@@ -1,0 +1,301 @@
+package microp4_test
+
+// Differential campaign for the batched ingress (PR 5): ProcessBatch —
+// serial (one worker) and parallel (sharded worker pool) — must be
+// output-identical, error-identical, digest-identical, and (latency
+// histogram aside) metrics-identical to a plain Process loop over the
+// same packets. Covers the P4 routing mix, recirculation (including
+// budget exhaustion), multicast replication, and stateful digests.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"microp4"
+	"microp4/internal/lib"
+	"microp4/internal/perf"
+	"microp4/internal/pkt"
+)
+
+// batchTraffic builds a deterministic mixed workload: routable IPv4,
+// routable IPv6, unroutable IPv4, non-IP ethertypes, and truncated
+// garbage, interleaved by a seeded LCG.
+func batchTraffic(n int) [][]byte {
+	v4 := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6, Src: 0xC0A80002, Dst: lib.NetA | 1}).
+		TCP(1234, 80).Payload([]byte("v4")).Bytes()
+	v6 := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv6).
+		IPv6(pkt.IPv6Opts{NextHdr: 59, HopLimit: 9, DstHi: lib.NetV6Hi, DstLo: 1}).
+		Payload([]byte("v6")).Bytes()
+	unroutable := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 17, Src: 1, Dst: 0xDEADBEEF}).
+		UDP(1, 2, 8).Bytes()
+	arp := pkt.NewBuilder().Ethernet(lib.DmacA, 2, 0x0806).Payload([]byte{1, 2, 3, 4}).Bytes()
+	shapes := [][]byte{v4, v6, unroutable, arp, {0xFF}, {}, v4[:10]}
+	out := make([][]byte, n)
+	state := uint64(42)
+	for i := range out {
+		state = state*6364136223846793005 + 1442695040888963407
+		out[i] = shapes[state>>33%uint64(len(shapes))]
+	}
+	return out
+}
+
+// exposition returns the switch's metrics exposition with the latency
+// histogram removed: with every packet timed, bucket placement depends
+// on wall-clock durations, which no two runs share.
+func exposition(t *testing.T, sw *microp4.Switch) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sw.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "up4_packet_latency_ns") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// runSerial drives packets one at a time through Process, mirroring
+// ProcessBatch's result shape; digests are drained after each packet so
+// their order reflects packet order.
+func runSerial(sw *microp4.Switch, pkts [][]byte, inPort uint64) ([]microp4.BatchResult, []uint64) {
+	results := make([]microp4.BatchResult, len(pkts))
+	var digests []uint64
+	for i, p := range pkts {
+		out, err := sw.Process(p, inPort)
+		results[i] = microp4.BatchResult{Out: out, Err: err}
+		digests = append(digests, sw.Digests()...)
+	}
+	return results, digests
+}
+
+// diffResults compares per-packet outcomes of two runs.
+func diffResults(t *testing.T, label string, want, got []microp4.BatchResult) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if (w.Err == nil) != (g.Err == nil) ||
+			(w.Err != nil && w.Err.Error() != g.Err.Error()) {
+			t.Errorf("%s pkt %d: err %v, want %v", label, i, g.Err, w.Err)
+			continue
+		}
+		if len(w.Out) != len(g.Out) {
+			t.Errorf("%s pkt %d: %d outputs, want %d", label, i, len(g.Out), len(w.Out))
+			continue
+		}
+		for j := range w.Out {
+			if w.Out[j].Port != g.Out[j].Port || !bytes.Equal(w.Out[j].Data, g.Out[j].Data) {
+				t.Errorf("%s pkt %d out %d: port %d data %x, want port %d data %x",
+					label, i, j, g.Out[j].Port, g.Out[j].Data, w.Out[j].Port, w.Out[j].Data)
+			}
+		}
+	}
+}
+
+// TestBatchDiffP4 proves ProcessBatch (one worker and four) is
+// packet-for-packet and metric-for-metric identical to serial Process
+// on the P4 routing mix, for both engines.
+func TestBatchDiffP4(t *testing.T) {
+	traffic := batchTraffic(128)
+	newSwitch := func() *microp4.Switch {
+		sw, err := perf.Switch("P4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw.EnableMetrics()
+		return sw
+	}
+	ref := newSwitch()
+	want, wantDigests := runSerial(ref, traffic, 1)
+	wantMetrics := exposition(t, ref)
+
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			sw := newSwitch()
+			sw.SetWorkers(workers)
+			got := sw.ProcessBatch(traffic, 1)
+			diffResults(t, "batch", want, got)
+			if d := sw.Digests(); len(d) != len(wantDigests) {
+				t.Errorf("digests = %v, want %v", d, wantDigests)
+			}
+			if m := exposition(t, sw); m != wantMetrics {
+				t.Errorf("metrics diverge from serial run:\n got:\n%s\nwant:\n%s", m, wantMetrics)
+			}
+		})
+	}
+}
+
+// TestBatchDiffRecirc exercises recirculation inside a batch: looping
+// packets, packets that exceed the budget (typed error at the right
+// index), and straight-through packets, identical under 1 and 4
+// workers.
+func TestBatchDiffRecirc(t *testing.T) {
+	main, err := microp4.CompileModule("loop.up4", recircSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := microp4.Build(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := [][]byte{
+		{3, 0xAB, 0xCD},  // three recirculations, then out
+		{0, 0x01, 0x02},  // straight through
+		{200, 0x11, 0x22}, // exceeds the budget: typed error
+		{1, 0x33, 0x44},
+		{4, 0x55, 0x66}, // budget is 4: exactly at the limit
+	}
+	ref := dp.NewSwitch()
+	want, _ := runSerial(ref, traffic, 1)
+	if want[2].Err == nil {
+		t.Fatal("budget-exceeding packet did not error serially")
+	}
+	var rbe *microp4.RecircBudgetError
+	if !errors.As(want[2].Err, &rbe) {
+		t.Fatalf("budget error has type %T, want *RecircBudgetError", want[2].Err)
+	}
+	for _, workers := range []int{1, 4} {
+		sw := dp.NewSwitch()
+		sw.SetWorkers(workers)
+		got := sw.ProcessBatch(traffic, 1)
+		diffResults(t, fmt.Sprintf("workers=%d", workers), want, got)
+		if !errors.As(got[2].Err, &rbe) {
+			t.Errorf("workers=%d: budget error has type %T", workers, got[2].Err)
+		}
+	}
+}
+
+// TestBatchDiffMulticast proves replication order and replica bytes
+// survive batching: every batched packet floods to the same ports with
+// the same data as its serial twin.
+func TestBatchDiffMulticast(t *testing.T) {
+	main, err := microp4.CompileModule("flood.up4", multicastSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := microp4.Build(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := make([][]byte, 32)
+	for i := range traffic {
+		traffic[i] = pkt.NewBuilder().Ethernet(0xFFFFFFFFFFFF, uint64(i), 0x0800).
+			Payload([]byte{byte(i)}).Bytes()
+	}
+	ref := dp.NewSwitch()
+	ref.SetMulticastGroup(1, 2, 3, 4)
+	want, _ := runSerial(ref, traffic, 9)
+	for _, workers := range []int{1, 4} {
+		sw := dp.NewSwitch()
+		sw.SetMulticastGroup(1, 2, 3, 4)
+		sw.SetWorkers(workers)
+		got := sw.ProcessBatch(traffic, 9)
+		diffResults(t, fmt.Sprintf("workers=%d", workers), want, got)
+	}
+}
+
+// TestBatchDiffDigests proves digest order through a single-worker
+// batch matches the serial run exactly on the stateful FlowCount
+// program (register state makes packet order observable).
+func TestBatchDiffDigests(t *testing.T) {
+	fcSrc, err := lib.ModuleSource("FlowCount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := microp4.CompileModule("flowcount.up4", fcSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, err := microp4.CompileModule("counter.up4", statefulTestMain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := microp4.Build(main, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := make([][]byte, 12)
+	for i := range traffic {
+		// Three distinct flows, each crossing the threshold once.
+		traffic[i] = pkt.NewBuilder().Ethernet(1, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 5, Protocol: 17, Src: 0x01020300 + uint32(i%3), Dst: 9}).
+			UDP(1, 2, 8).Bytes()
+	}
+	ref := dp.NewSwitch()
+	want, wantDigests := runSerial(ref, traffic, 3)
+	if len(wantDigests) != 3 {
+		t.Fatalf("serial run produced %d digests, want 3", len(wantDigests))
+	}
+	sw := dp.NewSwitch()
+	sw.SetWorkers(1)
+	got := sw.ProcessBatch(traffic, 3)
+	diffResults(t, "batch", want, got)
+	gotDigests := sw.Digests()
+	if len(gotDigests) != len(wantDigests) {
+		t.Fatalf("digests = %v, want %v", gotDigests, wantDigests)
+	}
+	for i := range wantDigests {
+		if gotDigests[i] != wantDigests[i] {
+			t.Errorf("digest %d = %#x, want %#x", i, gotDigests[i], wantDigests[i])
+		}
+	}
+	for i := 0; i < 3; i++ {
+		w, _ := ref.ReadRegister("fc_i.counters", i)
+		g, err := sw.ReadRegister("fc_i.counters", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != g {
+			t.Errorf("counters[%d] = %d, want %d", i, g, w)
+		}
+	}
+}
+
+// TestBatchParallelDeterminism runs the same parallel batch twice; with
+// a stateless program the outputs must be bit-identical run to run.
+func TestBatchParallelDeterminism(t *testing.T) {
+	traffic := batchTraffic(96)
+	run := func() []microp4.BatchResult {
+		sw, err := perf.Switch("P4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw.SetWorkers(4)
+		return sw.ProcessBatch(traffic, 1)
+	}
+	first := run()
+	second := run()
+	diffResults(t, "rerun", first, second)
+}
+
+// TestBatchDiffReferenceEngine proves the batch path is engine-agnostic:
+// the reference interpreter under ProcessBatch matches its own serial
+// run.
+func TestBatchDiffReferenceEngine(t *testing.T) {
+	dp := compileLib(t, "P4")
+	traffic := batchTraffic(48)
+	install := func(sw *microp4.Switch) {
+		sw.AddEntry("l3_i.ipv4_i.ipv4_lpm_tbl",
+			[]microp4.Key{microp4.LPM(lib.NetA, 8)}, "l3_i.ipv4_i.process", 100)
+		sw.AddEntry("forward_tbl", []microp4.Key{microp4.Exact(100)}, "forward", 1, 2, 3)
+	}
+	ref := dp.NewSwitchWith(microp4.EngineReference)
+	install(ref)
+	want, _ := runSerial(ref, traffic, 1)
+	sw := dp.NewSwitchWith(microp4.EngineReference)
+	install(sw)
+	sw.SetWorkers(4)
+	got := sw.ProcessBatch(traffic, 1)
+	diffResults(t, "reference", want, got)
+}

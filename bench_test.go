@@ -29,7 +29,7 @@ import (
 	"microp4/internal/midend"
 	"microp4/internal/obs"
 	"microp4/internal/pdg"
-	"microp4/internal/pkt"
+	"microp4/internal/perf"
 	"microp4/internal/sim"
 )
 
@@ -201,26 +201,12 @@ func BenchmarkFigure13Slicing(b *testing.B) {
 }
 
 // buildBenchEngines prepares both engines with installed rules.
-func buildBenchEngines(b *testing.B, prog string) (*sim.Exec, *sim.Interp, [][]byte) {
-	main, mods, err := lib.CompileProgram(prog)
+func buildBenchEngines(tb testing.TB, prog string) (*sim.Exec, *sim.Interp, [][]byte) {
+	exec, interp, err := perf.Engines(prog)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	res, err := midend.Build(main, mods...)
-	if err != nil {
-		b.Fatal(err)
-	}
-	tables := sim.NewTables()
-	lib.InstallDefaultRules(tables, prog, false)
-	traffic := [][]byte{
-		pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
-			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6, Src: 0xC0A80002, Dst: 0x0A000001}).
-			TCP(1, 80).Payload(make([]byte, 64)).Bytes(),
-		pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv6).
-			IPv6(pkt.IPv6Opts{NextHdr: 59, HopLimit: 9, DstHi: lib.NetV6Hi, DstLo: 1}).
-			Payload(make([]byte, 64)).Bytes(),
-	}
-	return sim.NewExec(res.Pipeline, tables), sim.NewInterp(res.Linked, tables), traffic
+	return exec, interp, perf.Traffic()
 }
 
 // BenchmarkSwitch measures per-packet processing cost of the behavioral
@@ -231,10 +217,13 @@ func BenchmarkSwitch(b *testing.B) {
 		meta := sim.Metadata{InPort: 1}
 		b.Run(prog+"/compiled", func(b *testing.B) {
 			b.SetBytes(int64(len(traffic[0])))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := exec.Process(traffic[i%len(traffic)], meta); err != nil {
+				res, err := exec.Process(traffic[i%len(traffic)], meta)
+				if err != nil {
 					b.Fatal(err)
 				}
+				res.Release()
 			}
 		})
 		b.Run(prog+"/reference", func(b *testing.B) {
@@ -260,9 +249,11 @@ func BenchmarkPipeline(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := exec.Process(traffic[i%len(traffic)], meta); err != nil {
+			res, err := exec.Process(traffic[i%len(traffic)], meta)
+			if err != nil {
 				b.Fatal(err)
 			}
+			res.Release()
 		}
 	})
 	b.Run("obs-on", func(b *testing.B) {
@@ -273,11 +264,56 @@ func BenchmarkPipeline(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := exec.Process(traffic[i%len(traffic)], meta); err != nil {
+			res, err := exec.Process(traffic[i%len(traffic)], meta)
+			if err != nil {
 				b.Fatal(err)
 			}
+			res.Release()
 		}
 	})
+}
+
+// BenchmarkProcessBatch measures the public Switch's batched ingress:
+// one packet at a time (serial), ProcessBatch with one worker, and
+// ProcessBatch with a sharded worker pool. On a multi-core machine the
+// parallel variant should approach linear scaling; `up4bench -perf`
+// records the measured trajectory in BENCH_5.json.
+func BenchmarkProcessBatch(b *testing.B) {
+	traffic := perf.Traffic()
+	const batchSize = 256
+	batch := make([][]byte, batchSize)
+	for i := range batch {
+		batch[i] = traffic[i%len(traffic)]
+	}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 0}, {"batch", 1}, {"parallel4", 4}} {
+		b.Run("P4/"+mode.name, func(b *testing.B) {
+			sw, err := perf.Switch("P4")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if mode.workers == 0 {
+				for i := 0; i < b.N; i++ {
+					if _, err := sw.Process(batch[i%batchSize], 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return
+			}
+			sw.SetWorkers(mode.workers)
+			for i := 0; i < b.N; i += batchSize {
+				for _, br := range sw.ProcessBatch(batch, 1) {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkCompileModule measures frontend throughput per library module.

@@ -6,7 +6,10 @@ import (
 	"testing"
 
 	"microp4"
+	"microp4/internal/ctrlplane"
+	"microp4/internal/lib"
 	"microp4/internal/netsim"
+	"microp4/internal/obs"
 	"microp4/internal/pkt"
 	"microp4/internal/sim"
 )
@@ -83,5 +86,115 @@ func TestProcessUnderControlPlaneChurn(t *testing.T) {
 	}
 	if churn.Ops() != churnN {
 		t.Errorf("churn ops = %d, want %d", churn.Ops(), churnN)
+	}
+}
+
+// TestBatchUnderControlPlaneCommit races the parallel batched ingress
+// (PR 5) against the full distributed control plane: four-worker
+// ProcessBatch loops on a switch whose tables are simultaneously
+// rewritten by a churn injector AND by a live two-phase-commit
+// transaction arriving over a lossy simulated network. The transaction
+// must still commit; the dataplane may fault only through the typed
+// taxonomy, and never via a recovered panic.
+func TestBatchUnderControlPlaneCommit(t *testing.T) {
+	dp := compileLib(t, "P4")
+	sw := dp.NewSwitch()
+	sw.EnableMetrics()
+	sw.SetWorkers(4)
+
+	const seed = 0xC0FFEE
+	n := netsim.New(seed)
+	metrics := ctrlplane.NewMetrics(obs.NewRegistry())
+	client, err := ctrlplane.NewClient(n, "ctrl", ctrlplane.Config{Seed: seed, Metrics: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := ctrlplane.NewAgent(sw, ctrlplane.AgentConfig{
+		Name: "s1", CtrlPort: 9, Metrics: metrics, Bus: n.Bus(),
+	})
+	if err := n.AddSwitch("s1", agent); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.AddPeer("s1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("ctrl", 1, "s1", 9, netsim.FaultModel{Drop: 0.05, Duplicate: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+
+	churn := netsim.NewChurn(0xFACE, sw, netsim.ChurnConfig{
+		Tables: []string{"forward_tbl", "l3_i.ipv4_i.ipv4_lpm_tbl"},
+		Actions: map[string]string{
+			"forward_tbl":              "forward",
+			"l3_i.ipv4_i.ipv4_lpm_tbl": "l3_i.ipv4_i.process",
+		},
+		ArgCount: 3, ArgMax: 1 << 16,
+		Groups: []uint64{1},
+		Ports:  []uint64{1, 2, 3},
+	})
+
+	batch := batchTraffic(64)
+	stop := make(chan struct{})
+	errCh := make(chan error, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, br := range sw.ProcessBatch(batch, uint64(w)) {
+					if br.Err == nil {
+						continue
+					}
+					if _, typed := sim.ClassOf(br.Err); !typed {
+						errCh <- br.Err
+						return
+					}
+					var ef *sim.EngineFault
+					if errors.As(br.Err, &ef) && ef.PanicValue != nil {
+						errCh <- br.Err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 600; i++ {
+			churn.Step()
+		}
+	}()
+
+	ops := []ctrlplane.TxnOp{
+		{Peer: "s1", Op: ctrlplane.AddEntry("l3_i.ipv4_i.ipv4_lpm_tbl",
+			[]ctrlplane.CtrlKey{ctrlplane.LPM(lib.NetA, 8)}, "l3_i.ipv4_i.process", lib.NhA)},
+		{Peer: "s1", Op: ctrlplane.AddEntry("forward_tbl",
+			[]ctrlplane.CtrlKey{ctrlplane.Exact(lib.NhA)}, "forward", lib.DmacA, lib.SmacA, lib.PortA)},
+	}
+	var result *ctrlplane.TxnResult
+	if err := client.Transaction(ops, func(r ctrlplane.TxnResult) { result = &r }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("batch under 2PC commit: %v", err)
+	}
+	if result == nil {
+		t.Fatal("network went quiet without resolving the transaction")
+	}
+	if !result.Committed {
+		t.Fatalf("transaction did not commit: %v", result.Err())
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"microp4/internal/analysis"
 	"microp4/internal/ir"
@@ -51,6 +52,10 @@ type Pipeline struct {
 	Registers []ir.Instance
 	// Instances lists every inlined module instance path ("" = main).
 	Instances []string
+
+	// Slot-compilation metadata, computed lazily by Slots().
+	slotsOnce sync.Once
+	slots     *SlotMap
 }
 
 // Table returns the named table, or nil.

@@ -1,0 +1,178 @@
+package mat
+
+import (
+	"sort"
+
+	"microp4/internal/ir"
+)
+
+// SlotMap is the slot-compilation metadata of a composed pipeline: every
+// scalar storage path (header fields, metadata, path-id variables,
+// action parameters), every header validity bit, every register
+// instance, and every table is interned into a dense integer index. An
+// engine that resolves references through a SlotMap can keep its
+// per-packet state in flat slices ({scalars []uint64, valid []bool})
+// instead of string-keyed maps — the same lowering a hardware backend
+// performs when it assigns PHV containers and table ids.
+//
+// The map is a superset by construction: it interns every declared
+// storage path plus every path reachable from the pipeline's statement
+// trees, action bodies, and table keys, so a compiler walking the same
+// trees never encounters an unmapped reference.
+type SlotMap struct {
+	scalars   map[string]int
+	valids    map[string]int
+	tables    map[string]int
+	registers map[string]int // register name -> index into Pipeline.Registers
+}
+
+// Scalar returns the dense index of a scalar storage path.
+func (sm *SlotMap) Scalar(path string) (int, bool) {
+	i, ok := sm.scalars[path]
+	return i, ok
+}
+
+// Valid returns the dense index of a header instance's validity bit.
+func (sm *SlotMap) Valid(path string) (int, bool) {
+	i, ok := sm.valids[path]
+	return i, ok
+}
+
+// Table returns the dense index of a table.
+func (sm *SlotMap) Table(name string) (int, bool) {
+	i, ok := sm.tables[name]
+	return i, ok
+}
+
+// Register returns the index of a register instance in Pipeline.Registers.
+func (sm *SlotMap) Register(name string) (int, bool) {
+	i, ok := sm.registers[name]
+	return i, ok
+}
+
+// NumScalars returns the number of scalar slots.
+func (sm *SlotMap) NumScalars() int { return len(sm.scalars) }
+
+// NumValids returns the number of validity-bit slots.
+func (sm *SlotMap) NumValids() int { return len(sm.valids) }
+
+// NumTables returns the number of table slots.
+func (sm *SlotMap) NumTables() int { return len(sm.tables) }
+
+// Slots returns the pipeline's slot map, computing it on first use.
+// The result is immutable and safe for concurrent readers.
+func (pl *Pipeline) Slots() *SlotMap {
+	pl.slotsOnce.Do(func() { pl.slots = buildSlots(pl) })
+	return pl.slots
+}
+
+// IntrinsicScalars are the well-known scalar paths every engine
+// materializes regardless of whether the program names them: the im_t
+// intrinsic metadata fields, the drop/output port, the parser error
+// register, and the multicast engine's staged group id.
+var IntrinsicScalars = []string{
+	"$im.meta.IN_PORT",
+	"$im.meta.IN_TIMESTAMP",
+	"$im.meta.PKT_LEN",
+	"$im.out_port",
+	"$im.$perr",
+	"$mc.group",
+}
+
+func buildSlots(pl *Pipeline) *SlotMap {
+	sm := &SlotMap{
+		scalars:   make(map[string]int),
+		valids:    make(map[string]int),
+		tables:    make(map[string]int),
+		registers: make(map[string]int),
+	}
+	for _, p := range IntrinsicScalars {
+		sm.scalar(p)
+	}
+	// Declared storage: scalars and header validity bits.
+	for i := range pl.Decls {
+		d := &pl.Decls[i]
+		switch d.Kind {
+		case ir.DeclBits, ir.DeclBool:
+			sm.scalar(d.Path)
+		case ir.DeclHeader, ir.DeclStack:
+			sm.valid(d.Path)
+		}
+	}
+	// Everything reachable from the pipeline's control flow.
+	sm.walkStmts(pl.Stmts)
+	// Action bodies and parameter slots ("<action>#<param>"), in sorted
+	// order so slot numbering is reproducible across runs.
+	for _, name := range sortedKeys(pl.Actions) {
+		act := pl.Actions[name]
+		for _, p := range act.Params {
+			sm.scalar(act.Name + "#" + p.Name)
+		}
+		sm.walkStmts(act.Body)
+	}
+	// Tables and their key expressions.
+	for i, name := range sortedKeys(pl.Tables) {
+		sm.tables[name] = i
+		for _, k := range pl.Tables[name].Keys {
+			sm.walkExpr(k.Expr)
+		}
+	}
+	for i := range pl.Registers {
+		sm.registers[pl.Registers[i].Name] = i
+	}
+	return sm
+}
+
+func (sm *SlotMap) scalar(path string) int {
+	if i, ok := sm.scalars[path]; ok {
+		return i
+	}
+	i := len(sm.scalars)
+	sm.scalars[path] = i
+	return i
+}
+
+func (sm *SlotMap) valid(path string) int {
+	if i, ok := sm.valids[path]; ok {
+		return i
+	}
+	i := len(sm.valids)
+	sm.valids[path] = i
+	return i
+}
+
+func (sm *SlotMap) walkExpr(e *ir.Expr) {
+	e.Walk(func(x *ir.Expr) {
+		switch x.Kind {
+		case ir.ERef:
+			sm.scalar(x.Ref)
+		case ir.EIsValid:
+			sm.valid(x.Ref)
+		}
+	})
+}
+
+func (sm *SlotMap) walkStmts(ss []*ir.Stmt) {
+	ir.WalkStmts(ss, func(s *ir.Stmt) {
+		sm.walkExpr(s.LHS)
+		sm.walkExpr(s.RHS)
+		sm.walkExpr(s.Cond)
+		sm.walkExpr(s.VarSize)
+		for i := range s.Args {
+			sm.walkExpr(s.Args[i].Expr)
+		}
+		switch s.Kind {
+		case ir.SSetValid, ir.SSetInvalid:
+			sm.valid(s.Hdr)
+		}
+	})
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

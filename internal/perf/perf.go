@@ -1,0 +1,334 @@
+// Package perf is the benchmark-trajectory harness behind `up4bench
+// -perf` and the CI regression gate. It measures packet-processing
+// throughput (ns/packet, packets/second, allocations/packet) of the
+// behavioral target across the Table 1 programs and engine modes, and
+// emits/compares a stable JSON report (BENCH_5.json) so regressions
+// show up as CI failures rather than folklore.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"microp4"
+	"microp4/internal/lib"
+	"microp4/internal/midend"
+	"microp4/internal/pkt"
+	"microp4/internal/sim"
+)
+
+// Schema identifies the report layout; bump on incompatible change.
+const Schema = "up4bench/perf/v1"
+
+// Result is one measured (program, engine, mode) cell.
+type Result struct {
+	Program      string  `json:"program"`
+	Engine       string  `json:"engine"` // "compiled" | "reference"
+	Mode         string  `json:"mode"`   // "serial" | "batch" | "parallel"
+	Workers      int     `json:"workers"`
+	Packets      int64   `json:"packets"`
+	NsPerPkt     float64 `json:"ns_per_pkt"`
+	PPS          float64 `json:"pps"`
+	AllocsPerPkt float64 `json:"allocs_per_pkt"`
+}
+
+// Key is the stable identity of a result row, used to join baseline
+// and current reports.
+func (r Result) Key() string {
+	return fmt.Sprintf("%s/%s/%s/w%d", r.Program, r.Engine, r.Mode, r.Workers)
+}
+
+// Report is the full benchmark trajectory artifact.
+type Report struct {
+	Schema  string   `json:"schema"`
+	Go      string   `json:"go"`
+	Cores   int      `json:"cores"`
+	Results []Result `json:"results"`
+}
+
+// Load reads a report from disk and checks its schema.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// Write serializes a report to disk, sorted for stable diffs.
+func (r *Report) Write(path string) error {
+	sort.Slice(r.Results, func(i, j int) bool {
+		return r.Results[i].Key() < r.Results[j].Key()
+	})
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Compare joins current results against a baseline and reports the
+// rows whose ns/packet regressed by more than factor. Only serial
+// modes gate: parallel throughput depends on the machine's core count,
+// which differs between the baseline recorder and the CI runner.
+func Compare(baseline, current *Report, factor float64) []string {
+	cur := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Key()] = r
+	}
+	var violations []string
+	for _, b := range baseline.Results {
+		if b.Mode == "parallel" {
+			continue
+		}
+		c, ok := cur[b.Key()]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: missing from current run", b.Key()))
+			continue
+		}
+		if b.NsPerPkt > 0 && c.NsPerPkt > factor*b.NsPerPkt {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f ns/pkt vs baseline %.0f (>%.1fx)", b.Key(), c.NsPerPkt, b.NsPerPkt, factor))
+		}
+	}
+	return violations
+}
+
+// Traffic builds the standard benchmark packet mix (one routable IPv4
+// TCP packet, one routable IPv6 packet) — parseable by every Table 1
+// program.
+func Traffic() [][]byte {
+	return [][]byte{
+		pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6, Src: 0xC0A80002, Dst: 0x0A000001}).
+			TCP(1, 80).Payload(make([]byte, 64)).Bytes(),
+		pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv6).
+			IPv6(pkt.IPv6Opts{NextHdr: 59, HopLimit: 9, DstHi: lib.NetV6Hi, DstLo: 1}).
+			Payload(make([]byte, 64)).Bytes(),
+	}
+}
+
+// Engines builds both packet engines for one Table 1 program with the
+// standard rule set installed (the same construction bench_test uses).
+func Engines(prog string) (*sim.Exec, *sim.Interp, error) {
+	main, mods, err := lib.CompileProgram(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := midend.Build(main, mods...)
+	if err != nil {
+		return nil, nil, err
+	}
+	tables := sim.NewTables()
+	lib.InstallDefaultRules(tables, prog, false)
+	return sim.NewExec(res.Pipeline, tables), sim.NewInterp(res.Linked, tables), nil
+}
+
+// Switch builds a public-API switch for one Table 1 program with the
+// standard rule set installed.
+func Switch(prog string) (*microp4.Switch, error) {
+	m, err := lib.Program(prog)
+	if err != nil {
+		return nil, err
+	}
+	src, err := lib.Source(m.MainFile)
+	if err != nil {
+		return nil, err
+	}
+	mainMod, err := microp4.CompileModule(m.MainFile, src)
+	if err != nil {
+		return nil, err
+	}
+	var mods []*microp4.Module
+	for _, name := range m.Modules {
+		msrc, err := lib.ModuleSource(name)
+		if err != nil {
+			return nil, err
+		}
+		mod, err := microp4.CompileModule(name+".up4", msrc)
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, mod)
+	}
+	dp, err := microp4.Build(mainMod, mods...)
+	if err != nil {
+		return nil, err
+	}
+	sw := dp.NewSwitch()
+	installRules(sw, prog)
+	return sw, nil
+}
+
+// installRules replays the lib rule set through the public Switch API.
+func installRules(sw *microp4.Switch, prog string) {
+	t := sim.NewTables()
+	lib.InstallDefaultRules(t, prog, false)
+	for _, name := range t.TableNames() {
+		for _, e := range t.Entries(name) {
+			keys := make([]microp4.Key, len(e.Keys))
+			for i, k := range e.Keys {
+				switch {
+				case k.DontCare:
+					keys[i] = microp4.Any()
+				case k.HasMask:
+					keys[i] = microp4.Ternary(k.Value, k.Mask)
+				case k.PrefixLen > 0:
+					keys[i] = microp4.LPM(k.Value, k.PrefixLen)
+				default:
+					keys[i] = microp4.Exact(k.Value)
+				}
+			}
+			sw.AddEntry(name, keys, e.Action, e.Args...)
+		}
+	}
+}
+
+// Measure runs fn — which must process `batch` packets per call — in a
+// timed loop for roughly dur and returns ns/packet, packets/second,
+// and heap allocations/packet (global Mallocs delta, so run nothing
+// else concurrently).
+func Measure(dur time.Duration, batch int, fn func() error) (Result, error) {
+	// Warm up: one call outside the measurement settles pools, lazy
+	// metric series, and slot compilation.
+	if err := fn(); err != nil {
+		return Result{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var packets int64
+	for time.Since(start) < dur {
+		if err := fn(); err != nil {
+			return Result{}, err
+		}
+		packets += int64(batch)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if packets == 0 {
+		return Result{}, fmt.Errorf("no packets processed")
+	}
+	ns := float64(elapsed.Nanoseconds()) / float64(packets)
+	return Result{
+		Packets:      packets,
+		NsPerPkt:     ns,
+		PPS:          1e9 / ns,
+		AllocsPerPkt: float64(after.Mallocs-before.Mallocs) / float64(packets),
+	}, nil
+}
+
+// RunSuite measures every (program, engine, mode) cell for roughly dur
+// per cell and returns the trajectory report. Modes: compiled and
+// reference engines serially (sim-level, metrics off), plus the public
+// Switch's ProcessBatch with one worker ("batch") and with `workers`
+// goroutines ("parallel").
+func RunSuite(programs []string, dur time.Duration, workers int, progress func(string)) (*Report, error) {
+	if progress == nil {
+		progress = func(string) {}
+	}
+	rep := &Report{
+		Schema: Schema,
+		Go:     runtime.Version(),
+		Cores:  runtime.NumCPU(),
+	}
+	traffic := Traffic()
+	meta := sim.Metadata{InPort: 1}
+	const batchSize = 256
+	batch := make([][]byte, batchSize)
+	for i := range batch {
+		batch[i] = traffic[i%len(traffic)]
+	}
+	for _, prog := range programs {
+		exec, interp, err := Engines(prog)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", prog, err)
+		}
+
+		progress(prog + " compiled/serial")
+		var seq int
+		r, err := Measure(dur, len(traffic), func() error {
+			for range traffic {
+				res, err := exec.Process(traffic[seq%len(traffic)], meta)
+				if err != nil {
+					return err
+				}
+				res.Release()
+				seq++
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s compiled: %v", prog, err)
+		}
+		r.Program, r.Engine, r.Mode, r.Workers = prog, "compiled", "serial", 1
+		rep.Results = append(rep.Results, r)
+
+		progress(prog + " reference/serial")
+		seq = 0
+		r, err = Measure(dur, len(traffic), func() error {
+			for range traffic {
+				if _, err := interp.Process(traffic[seq%len(traffic)], meta); err != nil {
+					return err
+				}
+				seq++
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s reference: %v", prog, err)
+		}
+		r.Program, r.Engine, r.Mode, r.Workers = prog, "reference", "serial", 1
+		rep.Results = append(rep.Results, r)
+
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"batch", 1}, {"parallel", workers}} {
+			sw, err := Switch(prog)
+			if err != nil {
+				return nil, fmt.Errorf("%s switch: %v", prog, err)
+			}
+			sw.SetWorkers(mode.workers)
+			progress(fmt.Sprintf("%s compiled/%s w%d", prog, mode.name, mode.workers))
+			r, err = Measure(dur, batchSize, func() error {
+				for _, br := range sw.ProcessBatch(batch, 1) {
+					if br.Err != nil {
+						return br.Err
+					}
+				}
+				sw.Digests() // drain so the slice cannot grow unbounded
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %v", prog, mode.name, err)
+			}
+			r.Program, r.Engine, r.Mode, r.Workers = prog, "compiled", mode.name, mode.workers
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	return rep, nil
+}
+
+// Table renders a report as an aligned text table.
+func Table(r *Report) string {
+	out := fmt.Sprintf("%-8s %-10s %-9s %3s %12s %14s %8s\n",
+		"program", "engine", "mode", "w", "ns/pkt", "pps", "allocs")
+	for _, res := range r.Results {
+		out += fmt.Sprintf("%-8s %-10s %-9s %3d %12.1f %14.0f %8.2f\n",
+			res.Program, res.Engine, res.Mode, res.Workers, res.NsPerPkt, res.PPS, res.AllocsPerPkt)
+	}
+	return out
+}

@@ -12,13 +12,22 @@ import "fmt"
 // read as zero.
 func readBits(buf []byte, off, w int) uint64 {
 	var v uint64
-	for i := 0; i < w; i++ {
-		bit := off + i
+	bit := off
+	for remaining := w; remaining > 0; {
 		byteIdx := bit >> 3
-		v <<= 1
-		if byteIdx < len(buf) {
-			v |= uint64(buf[byteIdx]>>(7-uint(bit&7))) & 1
+		inByte := bit & 7
+		take := 8 - inByte
+		if take > remaining {
+			take = remaining
 		}
+		var b byte
+		if byteIdx < len(buf) {
+			b = buf[byteIdx]
+		}
+		chunk := b >> (8 - inByte - take) & byte(1<<take-1)
+		v = v<<take | uint64(chunk)
+		bit += take
+		remaining -= take
 	}
 	return v
 }
@@ -26,18 +35,22 @@ func readBits(buf []byte, off, w int) uint64 {
 // writeBits writes the low w bits of v (w ≤ 64) at absolute bit offset
 // off in buf. Writes beyond the buffer are dropped.
 func writeBits(buf []byte, off, w int, v uint64) {
-	for i := 0; i < w; i++ {
-		bit := off + i
+	bit := off
+	for remaining := w; remaining > 0; {
 		byteIdx := bit >> 3
-		if byteIdx >= len(buf) {
-			continue
+		inByte := bit & 7
+		take := 8 - inByte
+		if take > remaining {
+			take = remaining
 		}
-		mask := byte(1) << (7 - uint(bit&7))
-		if v>>(uint(w-1-i))&1 == 1 {
-			buf[byteIdx] |= mask
-		} else {
-			buf[byteIdx] &^= mask
+		if byteIdx < len(buf) {
+			chunk := byte(v>>(remaining-take)) & byte(1<<take-1)
+			shift := 8 - inByte - take
+			mask := byte(1<<take-1) << shift
+			buf[byteIdx] = buf[byteIdx]&^mask | chunk<<shift
 		}
+		bit += take
+		remaining -= take
 	}
 }
 

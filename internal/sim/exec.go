@@ -1,10 +1,9 @@
 package sim
 
 import (
-	"fmt"
+	"sync"
 	"time"
 
-	"microp4/internal/ir"
 	"microp4/internal/mat"
 	"microp4/internal/types"
 )
@@ -13,6 +12,12 @@ import (
 // It models the abstract machine a target realizes after µP4C's backend
 // pass: one byte-stack (here: the packet buffer itself), scalar storage
 // for header fields and metadata, and a sequence of table applies.
+//
+// The pipeline is slot-compiled at construction (compile.go): every
+// reference is lowered to a dense index into flat per-packet state, and
+// the state itself is pooled — with metrics detached, Process performs
+// zero heap allocations per packet once the pool is warm, provided the
+// caller returns results with ProcResult.Release.
 type Exec struct {
 	pl       *mat.Pipeline
 	tables   *Tables
@@ -20,14 +25,27 @@ type Exec struct {
 	bus      *Bus                // trace event bus; idle unless subscribed
 	traceOff func()              // SetTracer's current subscription
 	metrics  *Metrics            // nil = observability disabled
+
+	prog     []stmtFn            // compiled pipeline control flow
+	actions  map[string]*cAction // compiled actions by fully qualified name
+	nScalars int
+	nValids  int
+	maxKeys  int // widest table key set (per-state scratch size)
+
+	// Pre-resolved intrinsic scalar slots.
+	imInPort, imInTS, imPktLen, imOutPort, imPerr int
+
+	pool sync.Pool // *execState
 }
 
-// NewExec returns an executor for a pipeline sharing control-plane state.
+// NewExec returns an executor for a pipeline sharing control-plane
+// state. The pipeline is slot-compiled here, once.
 func NewExec(pl *mat.Pipeline, t *Tables) *Exec {
 	e := &Exec{pl: pl, tables: t, regs: make(map[string][]uint64), bus: NewBus()}
 	for _, r := range pl.Registers {
 		e.regs[r.Name] = make([]uint64, r.Size)
 	}
+	e.compile()
 	return e
 }
 
@@ -37,17 +55,62 @@ func (e *Exec) Register(path string) []uint64 { return e.regs[path] }
 // Pipeline returns the executed pipeline.
 func (e *Exec) Pipeline() *mat.Pipeline { return e.pl }
 
-// execState is the per-packet machine state.
+// execState is the per-packet machine state: the byte-stack (packet
+// buffer), slot-indexed scalar and validity storage, and key scratch.
+// States are pooled; the embedded ProcResult is what Process returns,
+// and Release hands the whole state back.
 type execState struct {
-	e     *Exec
-	buf   []byte
-	store map[string]uint64
-	valid map[string]bool
+	e       *Exec
+	buf     []byte
+	scalars []uint64
+	valid   []bool
+	keys    []uint64 // table-key scratch, sized to the widest key set
+	res     ProcResult
+}
+
+// getState fetches a pooled state (or builds one) and resets it.
+func (e *Exec) getState() *execState {
+	st, _ := e.pool.Get().(*execState)
+	if st == nil {
+		st = &execState{
+			e:       e,
+			scalars: make([]uint64, e.nScalars),
+			valid:   make([]bool, e.nValids),
+			keys:    make([]uint64, e.maxKeys),
+		}
+	} else {
+		clear(st.scalars)
+		clear(st.valid)
+		st.buf = st.buf[:0]
+		for i := range st.res.Out {
+			st.res.Out[i] = OutPkt{} // drop packet references before reuse
+		}
+	}
+	st.res = ProcResult{Out: st.res.Out[:0], Digests: st.res.Digests[:0], owner: st}
+	return st
+}
+
+// Release returns a result's backing execution state to its engine's
+// pool. Calling it is optional — unreleased results are simply
+// garbage-collected — but the zero-allocation hot path depends on it.
+// Safe on nil results and results of the reference interpreter (no-op),
+// and idempotent; the result and its packet data must not be used after.
+func (r *ProcResult) Release() {
+	if r == nil || r.owner == nil {
+		return
+	}
+	st := r.owner
+	r.owner = nil
+	st.e.pool.Put(st)
 }
 
 // Process runs the pipeline over one packet. It never panics:
 // executor panics are recovered into an *EngineFault, and every
 // failure it returns belongs to the typed taxonomy (errors.go).
+//
+// The returned result (and the packet data inside it) is backed by
+// pooled state: call res.Release() once done to recycle it, or keep it
+// indefinitely and let the GC have it.
 func (e *Exec) Process(pkt []byte, meta Metadata) (res *ProcResult, err error) {
 	defer func() {
 		recoverFault("compiled", &res, &err)
@@ -55,154 +118,58 @@ func (e *Exec) Process(pkt []byte, meta Metadata) (res *ProcResult, err error) {
 			e.metrics.countError(err)
 		}
 	}()
+	m := e.metrics
+	sampled := m.sampleLatency()
 	var start time.Time
-	if e.metrics != nil {
+	if sampled {
 		start = time.Now()
 	}
-	st := &execState{
-		e:     e,
-		buf:   append([]byte(nil), pkt...),
-		store: make(map[string]uint64),
-		valid: make(map[string]bool),
-	}
-	st.store["$im.meta.IN_PORT"] = meta.InPort
-	st.store["$im.meta.IN_TIMESTAMP"] = meta.InTimestamp
-	st.store["$im.meta.PKT_LEN"] = uint64(len(pkt))
-	res = &ProcResult{}
-	if err := st.exec(e.pl.Stmts, res); err != nil && err != errExit {
+	st := e.getState()
+	st.buf = append(st.buf, pkt...)
+	st.scalars[e.imInPort] = meta.InPort
+	st.scalars[e.imInTS] = meta.InTimestamp
+	st.scalars[e.imPktLen] = uint64(len(pkt))
+	if err := runList(e.prog, st); err != nil && err != errExit {
+		st.res.owner = nil
+		e.pool.Put(st) // nothing escaped; recycle directly
 		return nil, err
 	}
-	if st.store["$im.out_port"] == types.DropPort || st.store["$im.$perr"] != 0 {
+	res = &st.res
+	if st.scalars[e.imOutPort] == types.DropPort || st.scalars[e.imPerr] != 0 {
 		res.Dropped = true
-		if st.store["$im.$perr"] != 0 {
+		if st.scalars[e.imPerr] != 0 {
 			res.ParserReject = true
 		}
 	} else {
-		res.Out = append(res.Out, OutPkt{Data: st.buf, Port: st.store["$im.out_port"]})
+		res.Out = append(res.Out, OutPkt{Data: st.buf, Port: st.scalars[e.imOutPort]})
 	}
-	if e.metrics != nil {
-		e.metrics.countResult(meta.InPort, len(pkt), res)
-		e.metrics.Latency.Observe(uint64(time.Since(start)))
+	if m != nil {
+		m.countResult(meta.InPort, len(pkt), res)
+		if sampled {
+			m.Latency.Observe(uint64(time.Since(start)))
+		}
 	}
 	return res, nil
 }
 
-func (st *execState) exec(ss []*ir.Stmt, res *ProcResult) error {
-	for _, s := range ss {
-		switch s.Kind {
-		case ir.SAssign:
-			v, err := st.eval(s.RHS)
-			if err != nil {
-				return err
-			}
-			if err := st.assign(s.LHS, v); err != nil {
-				return err
-			}
-		case ir.SIf:
-			cond, err := st.eval(s.Cond)
-			if err != nil {
-				return err
-			}
-			if cond != 0 {
-				if err := st.exec(s.Then, res); err != nil {
-					return err
-				}
-			} else if err := st.exec(s.Else, res); err != nil {
-				return err
-			}
-		case ir.SSwitch:
-			v, err := st.eval(s.Cond)
-			if err != nil {
-				return err
-			}
-			v = truncate(v, s.Cond.Width)
-			var deflt *ir.Case
-			matched := false
-			for _, c := range s.Cases {
-				if c.Default {
-					deflt = c
-					continue
-				}
-				for _, cv := range c.Values {
-					if cv == v {
-						matched = true
-						break
-					}
-				}
-				if matched {
-					if err := st.exec(c.Body, res); err != nil {
-						return err
-					}
-					break
-				}
-			}
-			if !matched && deflt != nil {
-				if err := st.exec(deflt.Body, res); err != nil {
-					return err
-				}
-			}
-		case ir.SSetValid:
-			st.valid[s.Hdr] = true
-		case ir.SSetInvalid:
-			st.valid[s.Hdr] = false
-		case ir.SExit:
-			return errExit
-		case ir.SApplyTable:
-			if err := st.applyTable(s.Table, res); err != nil {
-				return err
-			}
-		case ir.SShift:
-			st.shift(s.Off, s.Amt)
-		case ir.SMethod:
-			switch s.Method {
-			case "recirculate":
-				res.Recirculate = true
-			case "mc_engine_set_mc_group":
-				g, err := st.eval(s.Args[0].Expr)
-				if err != nil {
-					return err
-				}
-				st.store["$mc.group"] = g
-			case "mc_engine_apply":
-				res.McastGroup = st.store["$mc.group"]
-				if len(s.Args) == 2 {
-					if err := st.assign(s.Args[1].Expr, 0); err != nil {
-						return err
-					}
-				}
-			case "im_digest":
-				v, err := st.eval(s.Args[0].Expr)
-				if err != nil {
-					return err
-				}
-				res.Digests = append(res.Digests, v)
-			case "register_read", "register_write":
-				if err := st.registerOp(s); err != nil {
-					return err
-				}
-			default:
-				return &EngineFault{Engine: "compiled", Reason: "cannot execute method " + s.Method}
-			}
-		default:
-			return &EngineFault{Engine: "compiled", Reason: "cannot execute " + s.Kind + " statement"}
-		}
-	}
-	return nil
-}
-
 // shift moves the packet tail at byte offset off by amt bytes:
 // positive amt inserts zero bytes (packet grew), negative amt deletes
-// bytes ending at off (packet shrank).
+// bytes ending at off (packet shrank). Growth reuses the pooled
+// buffer's capacity.
 func (st *execState) shift(off, amt int) {
 	if off > len(st.buf) {
 		off = len(st.buf)
 	}
 	switch {
 	case amt > 0:
-		nb := make([]byte, len(st.buf)+amt)
-		copy(nb, st.buf[:off])
-		copy(nb[off+amt:], st.buf[off:])
-		st.buf = nb
+		n := len(st.buf)
+		for i := 0; i < amt; i++ {
+			st.buf = append(st.buf, 0)
+		}
+		copy(st.buf[off+amt:], st.buf[off:n])
+		for i := off; i < off+amt; i++ {
+			st.buf[i] = 0
+		}
 	case amt < 0:
 		k := -amt
 		dst := off + amt
@@ -213,170 +180,4 @@ func (st *execState) shift(off, amt int) {
 		copy(st.buf[dst:], st.buf[off:])
 		st.buf = st.buf[:len(st.buf)-k]
 	}
-}
-
-// registerOp executes a register read or write (§8.2 extension).
-func (st *execState) registerOp(s *ir.Stmt) error {
-	var inst *ir.Instance
-	for i := range st.e.pl.Registers {
-		if st.e.pl.Registers[i].Name == s.Target {
-			inst = &st.e.pl.Registers[i]
-		}
-	}
-	if inst == nil {
-		return &TableError{Table: s.Target, Reason: "unknown register in pipeline"}
-	}
-	cells := st.e.regs[s.Target]
-	idxArg := 1
-	if s.Method == "register_write" {
-		idxArg = 0
-	}
-	idx, err := st.eval(s.Args[idxArg].Expr)
-	if err != nil {
-		return err
-	}
-	if idx >= uint64(inst.Size) {
-		idx %= uint64(inst.Size)
-	}
-	if s.Method == "register_read" {
-		return st.assign(s.Args[0].Expr, truncate(cells[idx], inst.Width))
-	}
-	v, err := st.eval(s.Args[1].Expr)
-	if err != nil {
-		return err
-	}
-	cells[idx] = truncate(v, inst.Width)
-	return nil
-}
-
-func (st *execState) applyTable(name string, res *ProcResult) error {
-	def := st.e.pl.Tables[name]
-	if def == nil {
-		return &TableError{Table: name, Reason: "unknown table in pipeline"}
-	}
-	keyVals := make([]uint64, len(def.Keys))
-	for i, k := range def.Keys {
-		v, err := st.eval(k.Expr)
-		if err != nil {
-			return err
-		}
-		keyVals[i] = truncate(v, orW(k.Expr.Width, 64))
-	}
-	call, outcome := st.e.tables.LookupWithOutcome(name, def, keyVals)
-	if st.e.metrics != nil {
-		st.e.metrics.countTable(name, outcome)
-	}
-	if st.e.bus.Active() {
-		detail := "miss (no default)"
-		if call != nil {
-			detail = "-> " + call.Name + " " + keyString(keyVals)
-		}
-		st.e.bus.Publish(TraceEvent{Kind: "table", Module: moduleOf(name), Name: name, Detail: detail})
-	}
-	if call == nil {
-		return nil
-	}
-	act := st.e.pl.Actions[call.Name]
-	if act == nil {
-		return &TableError{Table: name, Action: call.Name, Reason: "selected unknown action"}
-	}
-	if len(call.Args) != len(act.Params) {
-		return &TableError{Table: name, Action: act.Name,
-			Reason: fmt.Sprintf("takes %d args, got %d", len(act.Params), len(call.Args))}
-	}
-	for i, p := range act.Params {
-		st.store[act.Name+"#"+p.Name] = truncate(call.Args[i], p.Width)
-	}
-	return st.exec(act.Body, res)
-}
-
-func (st *execState) eval(e *ir.Expr) (uint64, error) {
-	switch e.Kind {
-	case ir.EConst:
-		return e.Value, nil
-	case ir.ERef:
-		return st.store[e.Ref], nil
-	case ir.EIsValid:
-		if st.valid[e.Ref] {
-			return 1, nil
-		}
-		return 0, nil
-	case ir.EBSlice:
-		return readBits(st.buf, e.Off, e.Width), nil
-	case ir.EBValid:
-		if e.Off < len(st.buf) {
-			return 1, nil
-		}
-		return 0, nil
-	case ir.EUn:
-		x, err := st.eval(e.X)
-		if err != nil {
-			return 0, err
-		}
-		switch e.Op {
-		case "!":
-			if x == 0 {
-				return 1, nil
-			}
-			return 0, nil
-		case "~":
-			return truncate(^x, e.Width), nil
-		case "-":
-			return truncate(-x, e.Width), nil
-		case "cast":
-			return truncate(x, e.Width), nil
-		}
-		return 0, &EngineFault{Engine: "compiled", Reason: fmt.Sprintf("unknown unary %q", e.Op)}
-	case ir.EBin:
-		x, err := st.eval(e.X)
-		if err != nil {
-			return 0, err
-		}
-		y, err := st.eval(e.Y)
-		if err != nil {
-			return 0, err
-		}
-		if e.Op == "++" {
-			return truncate(truncate(x, e.X.Width)<<uint(e.Y.Width)|truncate(y, e.Y.Width), e.Width), nil
-		}
-		w := e.Width
-		if e.Bool {
-			w = e.X.Width
-		}
-		return evalBinary(e.Op, truncate(x, orW(e.X.Width, w)), truncate(y, orW(e.Y.Width, w)), w)
-	case ir.ESlice:
-		x, err := st.eval(e.X)
-		if err != nil {
-			return 0, err
-		}
-		return x >> uint(e.Lo) & maskW(e.Hi-e.Lo+1), nil
-	}
-	return 0, &EngineFault{Engine: "compiled", Reason: "cannot evaluate " + e.Kind + " expression"}
-}
-
-func (st *execState) assign(lhs *ir.Expr, v uint64) error {
-	switch lhs.Kind {
-	case ir.ERef:
-		st.store[lhs.Ref] = truncate(v, orW(lhs.Width, 64))
-		return nil
-	case ir.ESlice:
-		if lhs.X.Kind != ir.ERef {
-			return &EngineFault{Engine: "compiled", Reason: "assignment to slice of non-reference"}
-		}
-		cur := st.store[lhs.X.Ref]
-		m := maskW(lhs.Hi-lhs.Lo+1) << uint(lhs.Lo)
-		st.store[lhs.X.Ref] = cur&^m | (v<<uint(lhs.Lo))&m
-		return nil
-	case ir.EBSlice:
-		// Writes past the current end of the packet extend it (growth
-		// regions are placed by a preceding shift, but a grown packet's
-		// final header write may still land at the very end).
-		endByte := (lhs.Off + lhs.Width + 7) / 8
-		for len(st.buf) < endByte {
-			st.buf = append(st.buf, 0)
-		}
-		writeBits(st.buf, lhs.Off, lhs.Width, v)
-		return nil
-	}
-	return &EngineFault{Engine: "compiled", Reason: fmt.Sprintf("assignment to unsupported lvalue %s", lhs)}
 }

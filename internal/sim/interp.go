@@ -34,6 +34,10 @@ type ProcResult struct {
 	McastGroup   uint64   // nonzero when the program requested replication
 	Digests      []uint64 // values sent to the control plane (im.digest)
 	ParserReject bool
+
+	// owner links a compiled-engine result to its pooled execution
+	// state; Release (exec.go) recycles it. Nil for interpreter results.
+	owner *execState
 }
 
 // maxParserSteps bounds parser FSM execution (defense against cyclic
@@ -151,8 +155,9 @@ func (ip *Interp) Process(pkt []byte, meta Metadata) (res *ProcResult, err error
 			ip.metrics.countError(err)
 		}
 	}()
+	sampled := ip.metrics.sampleLatency()
 	var start time.Time
-	if ip.metrics != nil {
+	if sampled {
 		start = time.Now()
 	}
 	r := &run{
@@ -199,7 +204,9 @@ func (ip *Interp) Process(pkt []byte, meta Metadata) (res *ProcResult, err error
 	}
 	if ip.metrics != nil {
 		ip.metrics.countResult(meta.InPort, len(pkt), res)
-		ip.metrics.Latency.Observe(uint64(time.Since(start)))
+		if sampled {
+			ip.metrics.Latency.Observe(uint64(time.Since(start)))
+		}
 	}
 	return res, nil
 }

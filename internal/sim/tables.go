@@ -34,6 +34,18 @@ type RuntimeEntry struct {
 	Action   string
 	Args     []uint64
 	Priority int // lower wins among ternary matches
+
+	// call is the entry's action invocation, prebuilt at install time so
+	// the lookup hot path returns it without allocating.
+	call *ir.ActionCall
+}
+
+// newRuntimeEntry builds an entry with its action call prebuilt.
+func newRuntimeEntry(keys []RuntimeKey, action string, args []uint64, prio int) RuntimeEntry {
+	return RuntimeEntry{
+		Keys: keys, Action: action, Args: args, Priority: prio,
+		call: &ir.ActionCall{Name: action, Args: args},
+	}
 }
 
 // Tables is the control-plane state shared by the interpreter and the
@@ -60,9 +72,7 @@ func (t *Tables) AddEntry(table string, keys []RuntimeKey, action string, args .
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.seq++
-	t.entries[table] = append(t.entries[table], RuntimeEntry{
-		Keys: keys, Action: action, Args: args, Priority: t.seq,
-	})
+	t.entries[table] = append(t.entries[table], newRuntimeEntry(keys, action, args, t.seq))
 }
 
 // AddEntryWithPriority installs an entry with an explicit priority
@@ -70,9 +80,7 @@ func (t *Tables) AddEntry(table string, keys []RuntimeKey, action string, args .
 func (t *Tables) AddEntryWithPriority(table string, prio int, keys []RuntimeKey, action string, args ...uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.entries[table] = append(t.entries[table], RuntimeEntry{
-		Keys: keys, Action: action, Args: args, Priority: prio,
-	})
+	t.entries[table] = append(t.entries[table], newRuntimeEntry(keys, action, args, prio))
 }
 
 // SetDefault overrides a table's default action.
@@ -128,12 +136,12 @@ func (t *Tables) Snapshot() *TablesSnapshot {
 	for name, es := range t.entries {
 		cp := make([]RuntimeEntry, len(es))
 		for i, e := range es {
-			cp[i] = RuntimeEntry{
-				Keys:     append([]RuntimeKey(nil), e.Keys...),
-				Action:   e.Action,
-				Args:     append([]uint64(nil), e.Args...),
-				Priority: e.Priority,
-			}
+			cp[i] = newRuntimeEntry(
+				append([]RuntimeKey(nil), e.Keys...),
+				e.Action,
+				append([]uint64(nil), e.Args...),
+				e.Priority,
+			)
 		}
 		s.entries[name] = cp
 	}
@@ -157,12 +165,12 @@ func (t *Tables) Restore(s *TablesSnapshot) {
 	for name, es := range s.entries {
 		cp := make([]RuntimeEntry, len(es))
 		for i, e := range es {
-			cp[i] = RuntimeEntry{
-				Keys:     append([]RuntimeKey(nil), e.Keys...),
-				Action:   e.Action,
-				Args:     append([]uint64(nil), e.Args...),
-				Priority: e.Priority,
-			}
+			cp[i] = newRuntimeEntry(
+				append([]RuntimeKey(nil), e.Keys...),
+				e.Action,
+				append([]uint64(nil), e.Args...),
+				e.Priority,
+			)
 		}
 		entries[name] = cp
 	}
@@ -204,51 +212,47 @@ func (t *Tables) Lookup(fqName string, def *ir.Table, keyVals []uint64) *ir.Acti
 // LookupWithOutcome is Lookup, also reporting how the result was
 // reached (entry hit, default action, or miss) for the per-table
 // hit/miss/default counters.
+// LookupWithOutcome is allocation-free: const entries match in place,
+// and runtime entries return their prebuilt action call. Matching
+// semantics: an entry with fewer keys than the table wildcards the
+// rest; the best match has the highest LPM prefix-length sum, ties
+// broken by lower priority (const entries rank by declaration order and
+// always precede runtime entries).
 func (t *Tables) LookupWithOutcome(fqName string, def *ir.Table, keyVals []uint64) (*ir.ActionCall, LookupOutcome) {
 	t.mu.RLock()
 	runtime := t.entries[fqName]
 	defOverride := t.defaults[fqName]
 	t.mu.RUnlock()
 
-	type cand struct {
-		action   *ir.ActionCall
-		plen     int
-		priority int
-	}
-	var best *cand
-	consider := func(action ir.ActionCall, keys []RuntimeKey, priority int) {
-		plenSum := 0
-		for i, k := range keys {
-			if i >= len(def.Keys) {
-				return
-			}
-			kw := def.Keys[i].Expr.Width
-			if !matchKey(def.Keys[i].MatchKind, k, keyVals[i], kw) {
-				return
-			}
-			if def.Keys[i].MatchKind == "lpm" && !k.DontCare {
-				plenSum += k.PrefixLen
-			}
+	var best *ir.ActionCall
+	bestPlen, bestPrio := 0, 0
+	for i := range def.Entries {
+		e := &def.Entries[i]
+		plen, ok := matchConstEntry(def, e, keyVals)
+		if !ok {
+			continue
 		}
-		c := &cand{action: &action, plen: plenSum, priority: priority}
-		if best == nil ||
-			c.plen > best.plen ||
-			(c.plen == best.plen && c.priority < best.priority) {
-			best = c
+		if best == nil || plen > bestPlen || (plen == bestPlen && i < bestPrio) {
+			best, bestPlen, bestPrio = &e.Action, plen, i
 		}
 	}
-	for i, e := range def.Entries {
-		keys := make([]RuntimeKey, len(e.Keys))
-		for j, ek := range e.Keys {
-			keys[j] = RuntimeKey{DontCare: ek.DontCare, Value: ek.Value, Mask: ek.Mask, HasMask: ek.HasMask, PrefixLen: ek.PrefixLen}
+	for j := range runtime {
+		re := &runtime[j]
+		plen, ok := matchRuntimeEntry(def, re, keyVals)
+		if !ok {
+			continue
 		}
-		consider(e.Action, keys, i)
-	}
-	for _, e := range runtime {
-		consider(ir.ActionCall{Name: e.Action, Args: e.Args}, e.Keys, len(def.Entries)+e.Priority)
+		prio := len(def.Entries) + re.Priority
+		if best == nil || plen > bestPlen || (plen == bestPlen && prio < bestPrio) {
+			call := re.call
+			if call == nil { // zero-value entry installed out of band
+				call = &ir.ActionCall{Name: re.Action, Args: re.Args}
+			}
+			best, bestPlen, bestPrio = call, plen, prio
+		}
 	}
 	if best != nil {
-		return best.action, LookupHit
+		return best, LookupHit
 	}
 	if defOverride != nil {
 		return defOverride, LookupDefault
@@ -257,6 +261,42 @@ func (t *Tables) LookupWithOutcome(fqName string, def *ir.Table, keyVals []uint6
 		return def.Default, LookupDefault
 	}
 	return nil, LookupMiss
+}
+
+// matchConstEntry matches one const entry, returning its LPM
+// prefix-length sum.
+func matchConstEntry(def *ir.Table, e *ir.Entry, keyVals []uint64) (plen int, ok bool) {
+	for i := range e.Keys {
+		if i >= len(def.Keys) {
+			return 0, false
+		}
+		k := &e.Keys[i]
+		rk := RuntimeKey{DontCare: k.DontCare, Value: k.Value, Mask: k.Mask, HasMask: k.HasMask, PrefixLen: k.PrefixLen}
+		if !matchKey(def.Keys[i].MatchKind, rk, keyVals[i], def.Keys[i].Expr.Width) {
+			return 0, false
+		}
+		if def.Keys[i].MatchKind == "lpm" && !k.DontCare {
+			plen += k.PrefixLen
+		}
+	}
+	return plen, true
+}
+
+// matchRuntimeEntry matches one installed entry, returning its LPM
+// prefix-length sum.
+func matchRuntimeEntry(def *ir.Table, e *RuntimeEntry, keyVals []uint64) (plen int, ok bool) {
+	for i := range e.Keys {
+		if i >= len(def.Keys) {
+			return 0, false
+		}
+		if !matchKey(def.Keys[i].MatchKind, e.Keys[i], keyVals[i], def.Keys[i].Expr.Width) {
+			return 0, false
+		}
+		if def.Keys[i].MatchKind == "lpm" && !e.Keys[i].DontCare {
+			plen += e.Keys[i].PrefixLen
+		}
+	}
+	return plen, true
 }
 
 // matchKey checks one key column.

@@ -1,0 +1,7 @@
+//go:build race
+
+package microp4_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// timing-sensitive benchmark guards skip themselves under it.
+const raceEnabled = true

@@ -57,6 +57,7 @@ type Switch struct {
 	// MaxRecirculations bounds the recirculation loop (default 4).
 	MaxRecirculations int
 	clock             atomic.Uint64
+	workers           atomic.Int32 // ProcessBatch parallelism (<=1 = serial)
 }
 
 // Digests drains and returns the values the dataplane sent to the
@@ -258,7 +259,27 @@ func (s *Switch) mcPorts(gid uint64) []uint64 {
 // *ParseError, *DeparseError, *TableError, *EngineFault, and
 // *RecircBudgetError, or errors.Is against the sim.ErrParse ...
 // sim.ErrRecirc class sentinels.
-func (s *Switch) Process(pkt []byte, inPort uint64) (outs []Output, err error) {
+func (s *Switch) Process(pkt []byte, inPort uint64) ([]Output, error) {
+	clock := s.clock.Add(1)
+	if s.metrics != nil {
+		s.metrics.Clock.Set(int64(clock))
+	}
+	outs, digests, err := s.processPacket(pkt, clock, inPort)
+	if len(digests) > 0 {
+		s.mu.Lock()
+		s.digests = append(s.digests, digests...)
+		s.mu.Unlock()
+	}
+	return outs, err
+}
+
+// processPacket runs one packet (with its pre-assigned clock tick)
+// through the architecture loop — engine, multicast replication,
+// recirculation — and returns the transmitted packets plus any digests
+// the dataplane raised, without touching switch-wide digest or clock
+// state. It is the engine-independent core shared by Process and
+// ProcessBatch; every returned Output owns its bytes.
+func (s *Switch) processPacket(pkt []byte, clock, inPort uint64) (outs []Output, digests []uint64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			// Architecture-layer panic (the engines recover their own):
@@ -270,23 +291,18 @@ func (s *Switch) Process(pkt []byte, inPort uint64) (outs []Output, err error) {
 			}
 		}
 	}()
-	clock := s.clock.Add(1)
-	if s.metrics != nil {
-		s.metrics.Clock.Set(int64(clock))
-	}
 	meta := sim.Metadata{InPort: inPort, InTimestamp: clock, PktLen: uint64(len(pkt))}
 	data := pkt
 	for pass := 0; ; pass++ {
-		res, err := s.process(data, meta)
-		if err != nil {
-			return nil, err
+		res, perr := s.process(data, meta)
+		if perr != nil {
+			return nil, digests, perr
 		}
-		if len(res.Digests) > 0 {
-			s.mu.Lock()
-			s.digests = append(s.digests, res.Digests...)
-			s.mu.Unlock()
-		}
+		digests = append(digests, res.Digests...)
 		for _, o := range res.Out[:max(0, len(res.Out)-1)] {
+			// Enqueued (non-final) packets only come from the reference
+			// interpreter's orchestration modules; their buffers are not
+			// pooled, so aliasing them is safe.
 			outs = append(outs, Output{Port: o.Port, Data: o.Data})
 		}
 		var final *sim.OutPkt
@@ -297,7 +313,8 @@ func (s *Switch) Process(pkt []byte, inPort uint64) (outs []Output, err error) {
 			for _, port := range s.mcPorts(res.McastGroup) {
 				outs = append(outs, Output{Port: port, Data: append([]byte(nil), final.Data...)})
 			}
-			final = nil
+			res.Release()
+			return outs, digests, nil
 		}
 		if final != nil && res.Recirculate {
 			if pass >= s.MaxRecirculations {
@@ -309,16 +326,111 @@ func (s *Switch) Process(pkt []byte, inPort uint64) (outs []Output, err error) {
 					s.metrics.Drops.Inc()
 					s.metrics.Port(inPort).Drops.Inc()
 				}
-				return nil, &sim.RecircBudgetError{Limit: s.MaxRecirculations}
+				res.Release()
+				return nil, digests, &sim.RecircBudgetError{Limit: s.MaxRecirculations}
 			}
+			// Keep the state alive: data aliases its buffer across the
+			// recirculation (bounded by MaxRecirculations, then GC'd).
 			data = final.Data
 			continue
 		}
 		if final != nil {
-			outs = append(outs, Output{Port: final.Port, Data: final.Data})
+			outs = append(outs, Output{Port: final.Port, Data: append([]byte(nil), final.Data...)})
 		}
-		return outs, nil
+		res.Release()
+		return outs, digests, nil
 	}
+}
+
+// BatchResult is the outcome of one packet of a ProcessBatch call:
+// exactly what Process would have returned for it.
+type BatchResult struct {
+	Out []Output
+	Err error
+}
+
+// SetWorkers sets how many goroutines ProcessBatch may use (values
+// below 2 select the serial path, the default). Per-packet engine state
+// lives in per-worker pools and table lookups go through the same
+// internally synchronized Tables state as Process, so worker mode is
+// safe against concurrent control-plane updates. Safe to call between
+// batches, and from other goroutines.
+func (s *Switch) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers.Store(int32(n))
+}
+
+// batchChunk is the work-stealing granularity of parallel ProcessBatch:
+// coarse enough to amortize the atomic claim, fine enough to balance
+// skewed per-packet costs.
+const batchChunk = 64
+
+// ProcessBatch runs a batch of packets, all received on inPort, through
+// the dataplane, returning one BatchResult per packet in order. It is
+// semantically identical to calling Process once per packet in slice
+// order: clock ticks are pre-assigned per index, digests are published
+// in packet order, and recirculation/multicast resolve per packet —
+// whether the batch runs serially or (after SetWorkers(n>1)) sharded
+// across a worker pool.
+func (s *Switch) ProcessBatch(pkts [][]byte, inPort uint64) []BatchResult {
+	n := len(pkts)
+	if n == 0 {
+		return nil
+	}
+	base := s.clock.Add(uint64(n)) - uint64(n)
+	results := make([]BatchResult, n)
+	digests := make([][]uint64, n)
+	runOne := func(i int) {
+		outs, dg, err := s.processPacket(pkts[i], base+uint64(i)+1, inPort)
+		results[i] = BatchResult{Out: outs, Err: err}
+		digests[i] = dg
+	}
+	if workers := int(s.workers.Load()); workers > 1 {
+		if workers > n {
+			workers = n
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					hi := int(next.Add(batchChunk))
+					lo := hi - batchChunk
+					if lo >= n {
+						return
+					}
+					if hi > n {
+						hi = n
+					}
+					for i := lo; i < hi; i++ {
+						runOne(i)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range pkts {
+			runOne(i)
+		}
+	}
+	var all []uint64
+	for _, dg := range digests {
+		all = append(all, dg...)
+	}
+	if len(all) > 0 {
+		s.mu.Lock()
+		s.digests = append(s.digests, all...)
+		s.mu.Unlock()
+	}
+	if s.metrics != nil {
+		s.metrics.Clock.Set(int64(base + uint64(n)))
+	}
+	return results
 }
 
 func (s *Switch) process(pkt []byte, meta sim.Metadata) (*sim.ProcResult, error) {
@@ -393,6 +505,16 @@ func (s *Switch) EnableMetrics() *obs.Registry {
 		}
 	}
 	return s.metrics.Registry()
+}
+
+// SetLatencySampleEvery tunes the latency histogram's sampling period:
+// every nth packet is timed (default 1 — every packet; see
+// sim.Metrics.SampleEvery). Counters are unaffected. No-op before
+// EnableMetrics.
+func (s *Switch) SetLatencySampleEvery(n int64) {
+	if s.metrics != nil {
+		s.metrics.SampleEvery.Store(n)
+	}
 }
 
 // Metrics returns the registry attached by EnableMetrics, or nil when
