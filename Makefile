@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-check fuzz
+.PHONY: all build test race bench bench-check fuzz verify-paths
 
 all: build test
 
@@ -29,3 +29,10 @@ bench-check:
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzProcess -fuzztime 20s .
+
+# verify-paths runs the mechanized path-coverage equivalence check over
+# P1-P7: every enumerated parser path and control-site outcome gets a
+# concrete witness executed on three engines, which must agree
+# byte-for-byte (see DESIGN.md "Mechanized equivalence").
+verify-paths:
+	$(GO) run ./cmd/up4c -verify-paths

@@ -22,6 +22,8 @@ import (
 	"strings"
 
 	"microp4"
+	"microp4/internal/equiv"
+	"microp4/internal/lib"
 )
 
 func main() {
@@ -34,12 +36,17 @@ func main() {
 		splitP  = flag.Bool("split-parser", false, "use the §8.1 per-depth parser MAT encoding")
 		verbose = flag.Bool("v", false, "print per-module details")
 		timings = flag.Bool("timings", false, "print per-pass wall time and IR sizes to stderr")
+		verifyP = flag.Bool("verify-paths", false, "run the path-coverage equivalence checker over the named built-in programs (default: all of P1-P7) and exit nonzero on any gap or divergence")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: up4c [-arch upa|v1model|tna] [-o out] main.up4 [module.up4 ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: up4c [-arch upa|v1model|tna] [-o out] main.up4 [module.up4 ...]\n"+
+			"       up4c -verify-paths [P1 ... P7]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *verifyP {
+		os.Exit(verifyPaths(flag.Args()))
+	}
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -58,6 +65,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "up4c: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// verifyPaths runs the mechanized path-coverage equivalence check
+// (internal/equiv) over the named built-in programs — all of P1–P7 when
+// none are given — and prints one report per program. The exit code is
+// 0 only when every program reaches full parser-path coverage with zero
+// divergences.
+func verifyPaths(names []string) int {
+	if len(names) == 0 {
+		for _, m := range lib.Programs {
+			names = append(names, m.Name)
+		}
+	}
+	code := 0
+	for _, name := range names {
+		r, err := equiv.Check(name, equiv.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "up4c: verify-paths %s: %v\n", name, err)
+			code = 1
+			continue
+		}
+		fmt.Print(r.String())
+		if !r.OK() {
+			code = 1
+		}
+	}
+	if code == 0 {
+		fmt.Println("verify-paths: all programs equivalent on every enumerated path")
+	} else {
+		fmt.Fprintln(os.Stderr, "verify-paths: FAILED (coverage gap or divergence above)")
+	}
+	return code
 }
 
 func run(arch, out string, stats, verbose, api bool, bopts microp4.BuildOptions, files []string) error {

@@ -1,7 +1,3 @@
-// Package analysis implements µP4C's static analysis (paper §5.2): it
-// computes each program's operational region — extract-length, maximum
-// packet-size increase Δ and decrease δ, byte-stack size (Eqs. 1–4), and
-// min-packet-size — recursively over the linked module graph.
 package analysis
 
 import (

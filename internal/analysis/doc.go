@@ -1,0 +1,66 @@
+// Package analysis implements µP4C's static analysis (paper §5.2) and
+// the path-level program views built on top of it.
+//
+// # Operational region
+//
+// Analyze computes, for every program of a linked composition, the
+// quantities of Eqs. 1–4: parser extract-length Elp, control
+// extract-length Elc, maximum packet-size increase Δ (Inc) and decrease
+// δ (Dec), byte-stack size Bs = El + Δ, and the minimum packet size the
+// program accepts. Modules are analyzed bottom-up in link order, so a
+// caller's figures fold in its callees'.
+//
+// # Parser paths
+//
+// EnumerateParserPaths performs a DFS over a parser FSM and returns one
+// ParserPath per start→accept and start→reject route, carrying the
+// extraction layout (Extracts, with byte offsets into the program's
+// packet view) and the select decision taken at each step
+// (Constraints). The midend's MAT homogenization derives one table
+// entry per path from this; internal/equiv derives the coverage
+// universe and per-path witness constraints from the same enumeration,
+// so the two cannot drift apart.
+//
+// Invariants callers may rely on:
+//
+//   - The parse graph must be acyclic. Header-stack loops are unrolled
+//     by midend.Transform before analysis; a cycle is an error, not a
+//     truncated enumeration.
+//   - Enumeration is exhaustive up to maxParserPaths (8192) paths; past
+//     the cap the program is rejected rather than silently sampled.
+//   - Rejecting paths are enumerated only for *explicit* reject targets
+//     (including the reject states stack unrolling synthesizes for
+//     overflow). A select with no default case also rejects on no
+//     match; those implicit paths are one per selecting prefix and are
+//     derived by callers from Constraints (see internal/equiv).
+//   - Varbit headers contribute their maximum size to Bytes and their
+//     minimum (fixed part only) to MinBytes; Extract.Varbit marks them.
+//   - ParserPath.Key is unique within one parser's enumeration.
+//
+// # Control sites
+//
+// EnumerateControlSites walks the linked module graph from the main
+// apply block — through module calls, table actions, and branch arms —
+// and returns every table apply and if/switch decision site with its
+// instance-qualified identity and outcome alphabet. It is the
+// control-flow counterpart of the parser-path universe: linear in
+// program size, no branch multiplication, no cap.
+//
+// # Worked example
+//
+// For a parser
+//
+//	state start { ex.extract(p, h.eth);
+//	  transition select(h.eth.etherType) { 0x0800: parse_ipv4; default: accept; }; }
+//	state parse_ipv4 { ex.extract(p, h.ipv4); transition accept; }
+//
+// enumeration yields two paths:
+//
+//	start[0]>parse_ipv4:accept  — Extracts [eth@0 (14B), ipv4@14 (20B)],
+//	                              Constraints [etherType case 0x0800]
+//	start[1]:accept             — Extracts [eth@0 (14B)], Constraints [default]
+//
+// A witness for the first path must place 0x0800 at bytes 12–13 and be
+// ≥ 34 bytes long; for the second it must avoid 0x0800 there. That is
+// exactly the byte-level synthesis internal/equiv performs.
+package analysis

@@ -221,3 +221,119 @@ program PP : implements Unicast {
 		t.Errorf("constraints = %+v", deep.Constraints)
 	}
 }
+
+// Explicit reject transitions become enumerated rejecting paths with
+// their own coverage keys — internal/equiv must witness them too.
+func TestParserPathsExplicitReject(t *testing.T) {
+	p, err := frontend.CompileModule("rej.up4", `
+struct empty_t { }
+header a_h { bit<8> kind; }
+struct h_t { a_h a; }
+program Rej : implements Unicast {
+  parser P(extractor ex, pkt p, out h_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.a);
+      transition select(h.a.kind) { 1: accept; default: reject; };
+    }
+  }
+  control C(pkt p, inout h_t h, inout empty_t m, im_t im) { apply { } }
+  control D(emitter em, pkt p, in h_t h) { apply { em.emit(p, h.a); } }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := EnumerateParserPaths(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2 (accept + explicit reject)", len(paths))
+	}
+	var rej *ParserPath
+	for _, pp := range paths {
+		if pp.Rejected {
+			rej = pp
+		}
+	}
+	if rej == nil {
+		t.Fatal("rejecting path not enumerated")
+	}
+	if got := rej.Key(); got != "start[1]:reject" {
+		t.Errorf("reject path key = %q, want start[1]:reject", got)
+	}
+	if len(rej.Extracts) != 1 || rej.Bytes != 1 {
+		t.Errorf("reject path still records the extraction: %+v", rej.Extracts)
+	}
+}
+
+// A select with only a default case still records the decision (case
+// index 0, Default), so path keys stay distinct from direct transitions.
+func TestParserPathsDefaultOnlySelect(t *testing.T) {
+	p, err := frontend.CompileModule("def.up4", `
+struct empty_t { }
+header a_h { bit<8> kind; }
+struct h_t { a_h a; }
+program DefOnly : implements Unicast {
+  parser P(extractor ex, pkt p, out h_t h, inout empty_t m, im_t im) {
+    state start {
+      ex.extract(p, h.a);
+      transition select(h.a.kind) { default: accept; };
+    }
+  }
+  control C(pkt p, inout h_t h, inout empty_t m, im_t im) { apply { } }
+  control D(emitter em, pkt p, in h_t h) { apply { em.emit(p, h.a); } }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := EnumerateParserPaths(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(paths))
+	}
+	pp := paths[0]
+	if pp.Key() != "start[0]:accept" {
+		t.Errorf("key = %q, want start[0]:accept", pp.Key())
+	}
+	if len(pp.Constraints) != 1 || !pp.Constraints[0].Default || pp.Constraints[0].Case != nil {
+		t.Errorf("constraint = %+v, want default with no case", pp.Constraints)
+	}
+}
+
+// Varbit extractions carry both bounds on a path: Bytes counts the
+// varbit at its maximum, MinBytes at its minimum (fixed part only).
+func TestParserPathsVarbitMinMax(t *testing.T) {
+	p, err := frontend.CompileModule("vb.up4", `
+struct empty_t { }
+header opt_h { bit<16> kind; varbit<64> data; }
+struct h_t { opt_h opt; }
+program VB : implements Unicast {
+  parser P(extractor ex, pkt p, out h_t h, inout empty_t m, im_t im) {
+    state start { ex.extract(p, h.opt, (bit<32>)h.opt.kind); transition accept; }
+  }
+  control C(pkt p, inout h_t h, inout empty_t m, im_t im) { apply { } }
+  control D(emitter em, pkt p, in h_t h) { apply { em.emit(p, h.opt); } }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := EnumerateParserPaths(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(paths))
+	}
+	pp := paths[0]
+	if !pp.Extracts[0].Varbit {
+		t.Error("extract not flagged varbit")
+	}
+	if pp.Bytes != 10 {
+		t.Errorf("Bytes = %d, want 10 (2 fixed + 8 varbit max)", pp.Bytes)
+	}
+	if pp.MinBytes != 2 {
+		t.Errorf("MinBytes = %d, want 2 (fixed part only)", pp.MinBytes)
+	}
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"strings"
 
 	"microp4/internal/ir"
 )
@@ -45,6 +46,31 @@ type ParserPath struct {
 	Bytes       int  // total bytes extracted (varbit at max)
 	MinBytes    int  // total bytes with varbit at min
 	Rejected    bool // path ends in reject instead of accept
+}
+
+// Key canonically identifies a path within its parser: the visited
+// state sequence, the select case index taken out of each selecting
+// state, and the terminal disposition. The case indices matter — two
+// select cases may share a target state, so the state sequence alone
+// can collide. Keys are unique across one parser's enumerated paths
+// and are the coverage-set members internal/equiv checks off.
+func (p *ParserPath) Key() string {
+	var b strings.Builder
+	for i, st := range p.Steps {
+		if i > 0 {
+			b.WriteByte('>')
+		}
+		b.WriteString(st.State)
+		if st.Constraint != nil {
+			fmt.Fprintf(&b, "[%d]", st.Constraint.CaseIndex)
+		}
+	}
+	if p.Rejected {
+		b.WriteString(":reject")
+	} else {
+		b.WriteString(":accept")
+	}
+	return b.String()
 }
 
 // Accepted filters a path list down to accepting paths.

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"fmt"
+
+	"microp4/internal/ir"
+	"microp4/internal/linker"
+)
+
+// ControlSite is one control-flow decision site reachable from a linked
+// program's main apply block, qualified by the module instance path it
+// executes under. It extends the package's internal control-path walker
+// (analysis.go) with the identities internal/equiv needs: which
+// statement decides, under which instance, and what outcomes exist.
+type ControlSite struct {
+	Kind string // "table", "if", or "switch"
+	Inst string // module instance path ("" = the main program)
+	Prog string // program name the site belongs to
+
+	// Stmt is the deciding statement (SApplyTable, SIf, or SSwitch); it
+	// points into the linked IR and is stable for the linked program's
+	// lifetime, so callers may key on it.
+	Stmt *ir.Stmt
+
+	// Table and FQ are set for kind "table": the definition and the
+	// instance-qualified name control-plane entries use.
+	Table *ir.Table
+	FQ    string
+
+	// Outcomes enumerates the site's distinguishable results:
+	//   table:  "hit:<action>" per action, then "default:<action>" when
+	//           the program declares a default action, else "miss"
+	//   if:     "then", "else"
+	//   switch: "case<i>" per non-default case, and "default" (also the
+	//           no-match fall-through when no default case exists)
+	Outcomes []string
+}
+
+// EnumerateControlSites walks the linked module graph from main,
+// following module calls with instance qualification, and returns every
+// table apply and every if/switch decision site syntactically reachable
+// — including sites inside action bodies. Each (instance, statement)
+// pair appears once, in first-visit (execution) order. Unlike the
+// path enumeration it does not multiply branches, so it is linear in
+// program size and needs no cap.
+func EnumerateControlSites(l *linker.Linked) ([]*ControlSite, error) {
+	type visitKey struct {
+		inst string
+		stmt *ir.Stmt
+	}
+	var sites []*ControlSite
+	seen := make(map[visitKey]bool)
+
+	var walkStmts func(p *ir.Program, inst string, ss []*ir.Stmt) error
+	walkStmt := func(p *ir.Program, inst string, s *ir.Stmt) error {
+		switch s.Kind {
+		case ir.SIf:
+			if !seen[visitKey{inst, s}] {
+				seen[visitKey{inst, s}] = true
+				sites = append(sites, &ControlSite{
+					Kind: "if", Inst: inst, Prog: p.Name, Stmt: s,
+					Outcomes: []string{"then", "else"},
+				})
+			}
+			if err := walkStmts(p, inst, s.Then); err != nil {
+				return err
+			}
+			return walkStmts(p, inst, s.Else)
+		case ir.SSwitch:
+			if !seen[visitKey{inst, s}] {
+				seen[visitKey{inst, s}] = true
+				var outs []string
+				for i, c := range s.Cases {
+					if !c.Default {
+						outs = append(outs, fmt.Sprintf("case%d", i))
+					}
+				}
+				outs = append(outs, "default")
+				sites = append(sites, &ControlSite{
+					Kind: "switch", Inst: inst, Prog: p.Name, Stmt: s,
+					Outcomes: outs,
+				})
+			}
+			for _, c := range s.Cases {
+				if err := walkStmts(p, inst, c.Body); err != nil {
+					return err
+				}
+			}
+			return nil
+		case ir.SApplyTable:
+			tbl := p.Tables[s.Table]
+			if tbl == nil {
+				return fmt.Errorf("%s applies unknown table %s", p.Name, s.Table)
+			}
+			if !seen[visitKey{inst, s}] {
+				seen[visitKey{inst, s}] = true
+				fq := s.Table
+				if inst != "" {
+					fq = inst + "." + s.Table
+				}
+				var outs []string
+				for _, a := range tbl.Actions {
+					outs = append(outs, "hit:"+a)
+				}
+				if tbl.Default != nil {
+					outs = append(outs, "default:"+tbl.Default.Name)
+				} else {
+					outs = append(outs, "miss")
+				}
+				sites = append(sites, &ControlSite{
+					Kind: "table", Inst: inst, Prog: p.Name, Stmt: s,
+					Table: tbl, FQ: fq, Outcomes: outs,
+				})
+			}
+			// Branch sites inside action bodies are decision sites too.
+			for _, a := range tbl.Actions {
+				act := p.Actions[a]
+				if act == nil {
+					return fmt.Errorf("%s: table %s references unknown action %s", p.Name, tbl.Name, a)
+				}
+				if err := walkStmts(p, inst, act.Body); err != nil {
+					return err
+				}
+			}
+			if tbl.Default != nil {
+				if act := p.Actions[tbl.Default.Name]; act != nil {
+					if err := walkStmts(p, inst, act.Body); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		case ir.SCallModule:
+			callee := l.Modules[s.Module]
+			if callee == nil {
+				return fmt.Errorf("%s calls unlinked module %s", p.Name, s.Module)
+			}
+			childInst := s.Instance
+			if inst != "" {
+				childInst = inst + "." + s.Instance
+			}
+			return walkStmts(callee, childInst, callee.Apply)
+		}
+		return nil
+	}
+	walkStmts = func(p *ir.Program, inst string, ss []*ir.Stmt) error {
+		for _, s := range ss {
+			if err := walkStmt(p, inst, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walkStmts(l.Main, "", l.Main.Apply); err != nil {
+		return nil, err
+	}
+	return sites, nil
+}

@@ -1,0 +1,60 @@
+package equiv
+
+import (
+	"microp4/internal/ir"
+	"microp4/internal/midend"
+)
+
+// Options tunes a Check run. The zero value selects the production
+// configuration.
+type Options struct {
+	// MaxWitnesses caps the number of distinct execution paths checked
+	// (default 4096). Hitting the cap sets Report.Capped — it is
+	// reported, never silent.
+	MaxWitnesses int
+
+	// Pad is the number of zero payload bytes appended after the region
+	// a seed packet's parser path extracts (default 96), so forced
+	// longer paths do not run out of packet.
+	Pad int
+
+	// MaxDivergences caps how many divergences are minimized and kept in
+	// the report (default 25); Report.TotalDivergences always counts all.
+	MaxDivergences int
+
+	// Transform is the midend transform the third engine applies to an
+	// independently compiled copy of the sources (default
+	// midend.Transform). Mutation tests inject broken variants here to
+	// prove the gate is not vacuous.
+	Transform func(*ir.Program) (*ir.Program, error)
+}
+
+// Check enumerates every reachable execution path of program prog
+// (P1..P7), synthesizes one concrete witness per path, and requires the
+// reference interpreter, the compiled MAT pipeline, and an independently
+// re-transformed copy to agree byte-for-byte on each. See the package
+// documentation for the architecture and soundness boundary.
+func Check(prog string, opts Options) (*Report, error) {
+	if opts.MaxWitnesses <= 0 {
+		opts.MaxWitnesses = 4096
+	}
+	if opts.Pad <= 0 {
+		opts.Pad = 96
+	}
+	if opts.MaxDivergences <= 0 {
+		opts.MaxDivergences = 25
+	}
+	if opts.Transform == nil {
+		opts.Transform = midend.Transform
+	}
+	eng, err := buildProgEngines(prog, opts.Transform)
+	if err != nil {
+		return nil, err
+	}
+	c, err := newChecker(prog, opts, eng)
+	if err != nil {
+		return nil, err
+	}
+	c.explore()
+	return c.report(), nil
+}

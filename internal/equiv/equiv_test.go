@@ -1,0 +1,213 @@
+package equiv
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"microp4/internal/ir"
+	"microp4/internal/lib"
+	"microp4/internal/midend"
+	"microp4/internal/sim"
+)
+
+// TestPathCoverageGate is the CI hard gate: for every composed program,
+// all enumerated accepting and rejecting parser paths must be witnessed
+// and differentially checked with zero divergences, and every control-
+// site outcome outside the documented structurally-unreachable set must
+// be covered.
+func TestPathCoverageGate(t *testing.T) {
+	for _, m := range lib.Programs {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			r, err := Check(m.Name, Options{})
+			if err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			if r.Capped {
+				t.Errorf("witness cap hit: exploration incomplete")
+			}
+			if r.TotalDivergences != 0 {
+				t.Errorf("%d divergences:\n%s", r.TotalDivergences, r.String())
+			}
+			if !r.ParserCoverageOK() {
+				t.Errorf("parser-path coverage incomplete:\n%s", r.String())
+			}
+			for _, k := range r.UnexpectedMissing() {
+				t.Errorf("uncovered control-site outcome %s (not in the documented unreachable set)", k)
+			}
+			if !r.OK() {
+				t.Errorf("Report.OK() = false")
+			}
+			// Conversely: every allowlisted outcome must actually be
+			// missing — if the checker starts covering one, the structural
+			// argument above is stale and the list must shrink.
+			missing := make(map[string]bool)
+			for _, s := range r.Sites {
+				for _, o := range s.Missing {
+					missing[s.Label+"|"+o] = true
+				}
+			}
+			for k := range StructurallyUnreachable[m.Name] {
+				if !missing[k] {
+					t.Errorf("outcome %s is covered now; remove it from StructurallyUnreachable", k)
+				}
+			}
+			// Unreached outcomes must carry a documented reason.
+			if len(missing) > 0 && len(r.Unreached) == 0 {
+				t.Errorf("missing outcomes without unreached notes:\n%s", r.String())
+			}
+		})
+	}
+}
+
+// mutateTTL flips the IPv4 module's TTL decrement into an increment —
+// a midend "transform" with a deliberate bug.
+func mutateTTL(p *ir.Program) (*ir.Program, error) {
+	q, err := midend.Transform(p)
+	if err != nil {
+		return nil, err
+	}
+	if q.Name != "IPv4" {
+		return q, nil
+	}
+	n := 0
+	var walk func(ss []*ir.Stmt)
+	walk = func(ss []*ir.Stmt) {
+		for _, s := range ss {
+			if s == nil {
+				continue
+			}
+			if s.Kind == ir.SAssign && s.RHS != nil && s.RHS.Kind == ir.EBin &&
+				s.RHS.Op == "-" && strings.Contains(s.LHS.Ref, "ttl") {
+				s.RHS.Op = "+"
+				n++
+			}
+			walk(s.Then)
+			walk(s.Else)
+			for _, c := range s.Cases {
+				walk(c.Body)
+			}
+		}
+	}
+	for _, a := range q.Actions {
+		walk(a.Body)
+	}
+	walk(q.Apply)
+	if n == 0 {
+		return nil, fmt.Errorf("mutation found no ttl decrement to flip")
+	}
+	return q, nil
+}
+
+// TestMutationDetected proves the gate is not vacuous: a deliberately
+// broken midend transform must produce divergences, and the divergence
+// report must carry a concrete minimized witness.
+func TestMutationDetected(t *testing.T) {
+	r, err := Check("P4", Options{Transform: mutateTTL})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if r.TotalDivergences == 0 {
+		t.Fatalf("broken transform produced no divergences; the gate is vacuous:\n%s", r.String())
+	}
+	if len(r.Divergences) == 0 {
+		t.Fatal("divergences counted but none kept")
+	}
+	d := r.Divergences[0]
+	if d.Pair != "reference vs re-transformed" {
+		t.Errorf("divergence pair = %q, want reference vs re-transformed", d.Pair)
+	}
+	if d.Witness == nil || len(d.Witness.Packet) == 0 {
+		t.Error("divergence carries no witness packet")
+	}
+}
+
+// TestMutationCleanBaseline pins the mutation test's sensitivity: the
+// same program with the honest transform has no divergences, so the
+// failures above are attributable to the injected bug alone.
+func TestMutationCleanBaseline(t *testing.T) {
+	r, err := Check("P4", Options{})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if r.TotalDivergences != 0 {
+		t.Fatalf("clean P4 diverges:\n%s", r.String())
+	}
+}
+
+func TestSatisfyCmp(t *testing.T) {
+	loc8 := sim.BitLoc{Off: 0, Width: 8, OK: true}
+	cases := []struct {
+		op   string
+		c    uint64
+		want uint64
+		fail bool
+	}{
+		{"==", 7, 7, false},
+		{"==", 300, 0, true}, // not representable in 8 bits
+		{"!=", 7, 6, false},
+		{">", 7, 8, false},
+		{">", 255, 0, true},
+		{">=", 255, 255, false},
+		{"<", 0, 0, true},
+		{"<", 9, 0, false},
+		{"<=", 0, 0, false},
+	}
+	for _, tc := range cases {
+		v, reason := satisfyCmp(tc.op, tc.c, loc8)
+		if tc.fail != (reason != "") {
+			t.Errorf("satisfyCmp(%q, %d): reason=%q, want fail=%v", tc.op, tc.c, reason, tc.fail)
+			continue
+		}
+		if !tc.fail && v != tc.want {
+			t.Errorf("satisfyCmp(%q, %d) = %d, want %d", tc.op, tc.c, v, tc.want)
+		}
+	}
+}
+
+// TestWriteLocAffine checks the affine inversion: a location recording
+// "value = truncate(bits + Add, Width)" must have its bits set so the
+// expression evaluates to the requested value, including wrap-around.
+func TestWriteLocAffine(t *testing.T) {
+	loc := sim.BitLoc{Off: 8, Width: 8, Add: ^uint64(0), OK: true} // value = bits - 1
+	pkt := make([]byte, 4)
+	if r := writeLoc(pkt, loc, 3); r != "" {
+		t.Fatalf("writeLoc: %s", r)
+	}
+	if pkt[1] != 4 {
+		t.Errorf("bits = %d, want 4 (value 3 = 4 - 1)", pkt[1])
+	}
+	// Wrap-around: value 255 needs raw bits 0.
+	if r := writeLoc(pkt, loc, 255); r != "" {
+		t.Fatalf("writeLoc wrap: %s", r)
+	}
+	if pkt[1] != 0 {
+		t.Errorf("bits = %d, want 0 (value 255 = truncate(0 - 1, 8))", pkt[1])
+	}
+	if r := writeLoc(pkt, loc, 256); r == "" {
+		t.Error("value 256 accepted for an 8-bit location")
+	}
+	if r := writeLoc(pkt, sim.BitLoc{}, 1); r == "" {
+		t.Error("write through a !OK location accepted")
+	}
+}
+
+func TestPartHolds(t *testing.T) {
+	cases := []struct {
+		p    sim.CondPart
+		want bool
+	}{
+		{sim.CondPart{Op: "==", Const: 5, Val: 5, OK: true}, true},
+		{sim.CondPart{Op: "==", Const: 5, Val: 4, OK: true}, false},
+		{sim.CondPart{Op: ">", Const: 0, Val: 1, OK: true}, true},
+		{sim.CondPart{Op: "<=", Const: 3, Val: 4, OK: true}, false},
+		{sim.CondPart{Val: 1}, true},  // opaque: truth is the value
+		{sim.CondPart{Val: 0}, false}, // opaque false
+	}
+	for i, tc := range cases {
+		if got := partHolds(tc.p); got != tc.want {
+			t.Errorf("case %d: partHolds = %v, want %v", i, got, tc.want)
+		}
+	}
+}

@@ -25,11 +25,34 @@ func (f *frame) execStmt(s *ir.Stmt) error {
 		if err != nil {
 			return err
 		}
-		return f.assign(s.LHS, v)
+		// Resolve the RHS provenance before the assign kills the target's:
+		// self-referencing updates like x = x - 1 need x's old location.
+		var rl BitLoc
+		if f.obs != nil && s.LHS.Kind == ir.ERef {
+			rl = f.resolveLoc(s.RHS)
+		}
+		if err := f.assign(s.LHS, v); err != nil {
+			return err
+		}
+		if rl.OK {
+			// assign killed the target's provenance; a traceable RHS
+			// (copy, cast, slice, or affine step of a located value)
+			// restores it.
+			f.obs.locs[s.LHS.Ref] = rl
+		}
+		return nil
 	case ir.SIf:
 		cond, err := f.eval(s.Cond)
 		if err != nil {
 			return err
+		}
+		if f.obs != nil {
+			branch := 0
+			if cond != 0 {
+				branch = 1
+			}
+			f.emitObs(ObsEvent{Kind: "if", Stmt: s, CondVal: cond, Branch: branch,
+				CondParts: f.condParts(s.Cond)})
 		}
 		if cond != 0 {
 			return f.execStmts(s.Then)
@@ -41,20 +64,33 @@ func (f *frame) execStmt(s *ir.Stmt) error {
 			return err
 		}
 		v = truncate(v, s.Cond.Width)
-		var deflt *ir.Case
-		for _, c := range s.Cases {
+		matched, deflt := -1, -1
+		for i, c := range s.Cases {
 			if c.Default {
-				deflt = c
+				if deflt < 0 {
+					deflt = i
+				}
 				continue
 			}
 			for _, cv := range c.Values {
 				if cv == v {
-					return f.execStmts(c.Body)
+					matched = i
+					break
 				}
 			}
+			if matched >= 0 {
+				break
+			}
 		}
-		if deflt != nil {
-			return f.execStmts(deflt.Body)
+		if f.obs != nil {
+			f.emitObs(ObsEvent{Kind: "switch", Stmt: s, CondVal: v,
+				Loc: f.resolveLoc(s.Cond), Branch: matched})
+		}
+		if matched >= 0 {
+			return f.execStmts(s.Cases[matched].Body)
+		}
+		if deflt >= 0 {
+			return f.execStmts(s.Cases[deflt].Body)
 		}
 		return nil
 	case ir.SSetValid:
@@ -108,14 +144,26 @@ func (f *frame) applyTable(name string) error {
 		}
 		f.r.ip.bus.Publish(TraceEvent{Kind: "table", Module: f.inst, Name: fq, Detail: detail})
 	}
-	if call == nil {
-		return nil // miss with no default: no-op
-	}
 	// Control-plane entries use fully-qualified action names; the
 	// module's own action map is unprefixed.
-	actName := call.Name
-	if f.inst != "" {
-		actName = strings.TrimPrefix(actName, f.inst+".")
+	actName := ""
+	if call != nil {
+		actName = call.Name
+		if f.inst != "" {
+			actName = strings.TrimPrefix(actName, f.inst+".")
+		}
+	}
+	if f.obs != nil {
+		locs := make([]BitLoc, len(def.Keys))
+		for i, k := range def.Keys {
+			locs[i] = f.resolveLoc(k.Expr)
+		}
+		f.emitObs(ObsEvent{Kind: "table", Table: def, FQ: fq,
+			Keys: append([]uint64(nil), keyVals...), KeyLocs: locs,
+			Outcome: outcome, Action: actName})
+	}
+	if call == nil {
+		return nil // miss with no default: no-op
 	}
 	return f.runAction(actName, call.Args)
 }
@@ -130,6 +178,9 @@ func (f *frame) runAction(name string, args []uint64) error {
 			Reason: fmt.Sprintf("takes %d args, got %d", len(act.Params), len(args))}
 	}
 	for i, p := range act.Params {
+		if f.obs != nil {
+			delete(f.obs.locs, name+"#"+p.Name)
+		}
 		f.store[name+"#"+p.Name] = truncate(args[i], p.Width)
 	}
 	return f.execStmts(act.Body)
@@ -170,6 +221,9 @@ func (f *frame) callModule(s *ir.Stmt) error {
 				return err
 			}
 			b.value = truncate(v, b.param.Width)
+			if f.obs != nil {
+				b.loc = f.resolveLoc(a.Expr)
+			}
 		}
 		bindings = append(bindings, b)
 	}
@@ -200,6 +254,11 @@ func (f *frame) callModule(s *ir.Stmt) error {
 		if mp.Dir == "out" || mp.Dir == "inout" {
 			if err := f.assign(a.Expr, cf.store[mp.Name]); err != nil {
 				return err
+			}
+			if f.obs != nil && a.Expr.Kind == ir.ERef {
+				if l := cf.obs.locs[mp.Name]; l.OK {
+					f.obs.locs[a.Expr.Ref] = l
+				}
 			}
 		}
 	}
@@ -389,6 +448,14 @@ func (r *run) runModuleFrame(prog *ir.Program, inst string, v view, args []argBi
 		imSet:      im.set,
 		imIsGlobal: im.isGlobal,
 	}
+	if r.obs != nil {
+		f.obs = &frameObs{
+			locs:    make(map[string]BitLoc),
+			extLoc:  make(map[string]BitLoc),
+			extProv: make(map[string][]int),
+		}
+		f.emitObs(ObsEvent{Kind: "enter"})
+	}
 	for _, in := range prog.Instances {
 		switch in.Extern {
 		case "pkt":
@@ -400,6 +467,9 @@ func (r *run) runModuleFrame(prog *ir.Program, inst string, v view, args []argBi
 	for _, a := range args {
 		if a.param.Dir != "out" {
 			f.store[a.param.Name] = a.value
+			if f.obs != nil && a.loc.OK {
+				f.obs.locs[a.param.Name] = a.loc
+			}
 		}
 	}
 	if prog.Parser != nil {
@@ -431,6 +501,9 @@ func (r *run) runModuleFrame(prog *ir.Program, inst string, v view, args []argBi
 		emitted, err := f.runDeparser()
 		if err != nil {
 			return nil, err
+		}
+		if r.obs != nil && v.buf == r.obs.buf {
+			r.obs.splice(v.base, f.parsed, f.obs.emitProv)
 		}
 		v.splice(0, f.parsed, emitted)
 	}

@@ -123,6 +123,7 @@ type run struct {
 	ip     *Interp
 	im     map[string]uint64 // shared intrinsic metadata ("out_port", "meta.IN_PORT", ...)
 	result *ProcResult
+	obs    *runObs // non-nil only under ObserveProcess
 }
 
 // frame is one module invocation.
@@ -143,12 +144,17 @@ type frame struct {
 	imGet      func(field string) uint64
 	imSet      func(field string, v uint64)
 	imIsGlobal bool
+	obs        *frameObs // non-nil only under ObserveProcess
 }
 
 // Process runs the linked program on one packet. It never panics:
 // interpreter panics are recovered into an *EngineFault, and every
 // failure it returns belongs to the typed taxonomy (errors.go).
-func (ip *Interp) Process(pkt []byte, meta Metadata) (res *ProcResult, err error) {
+func (ip *Interp) Process(pkt []byte, meta Metadata) (*ProcResult, error) {
+	return ip.process(pkt, meta, nil)
+}
+
+func (ip *Interp) process(pkt []byte, meta Metadata, obs *runObs) (res *ProcResult, err error) {
 	defer func() {
 		recoverFault("reference", &res, &err)
 		if err != nil {
@@ -174,8 +180,16 @@ func (ip *Interp) Process(pkt []byte, meta Metadata) (res *ProcResult, err error
 			"meta.ENQ_TIMESTAMP": 0,
 		},
 		result: &ProcResult{},
+		obs:    obs,
 	}
 	buf := &pktBuf{data: append([]byte(nil), pkt...)}
+	if obs != nil {
+		obs.buf = buf
+		obs.prov = make([]int, len(pkt))
+		for i := range obs.prov {
+			obs.prov[i] = i
+		}
+	}
 	if _, err := r.runModuleFrame(ip.linked.Main, "", view{buf: buf}, nil, r.globalIM()); err != nil {
 		return nil, err
 	}
@@ -215,6 +229,7 @@ func (ip *Interp) Process(pkt []byte, meta Metadata) (res *ProcResult, err error
 type argBinding struct {
 	param ir.ModParam
 	value uint64 // in/inout input value
+	loc   BitLoc // input-packet provenance of value (observation mode)
 }
 
 // ----------------------------------------------------------------------------
@@ -233,6 +248,9 @@ func (f *frame) runParser() (accepted bool, err error) {
 		if f.r.ip.bus.Active() {
 			f.r.ip.bus.Publish(TraceEvent{Kind: "parser-state", Module: f.inst, Name: f.prog.Name + "." + state.Name})
 		}
+		if f.obs != nil {
+			f.emitObs(ObsEvent{Kind: "state", State: state.Name})
+		}
 		for _, s := range state.Stmts {
 			if s.Kind == ir.SExtract {
 				ok, err := f.extract(s)
@@ -240,6 +258,9 @@ func (f *frame) runParser() (accepted bool, err error) {
 					return false, err
 				}
 				if !ok {
+					if f.obs != nil {
+						f.emitObs(ObsEvent{Kind: "reject", State: state.Name, Reason: "short"})
+					}
 					return false, nil // truncated packet rejects
 				}
 				continue
@@ -248,14 +269,24 @@ func (f *frame) runParser() (accepted bool, err error) {
 				return false, err
 			}
 		}
-		target, err := f.transition(state.Trans)
+		target, err := f.transition(state)
 		if err != nil {
 			return false, err
 		}
 		switch target {
 		case "accept":
+			if f.obs != nil {
+				f.emitObs(ObsEvent{Kind: "accept"})
+			}
 			return true, nil
 		case "reject":
+			if f.obs != nil {
+				reason := "explicit"
+				if f.obs.selNoMatch {
+					reason = "no-match"
+				}
+				f.emitObs(ObsEvent{Kind: "reject", State: state.Name, Reason: reason})
+			}
 			return false, nil
 		}
 		state = f.prog.Parser.State(target)
@@ -265,7 +296,8 @@ func (f *frame) runParser() (accepted bool, err error) {
 	}
 }
 
-func (f *frame) transition(tr *ir.Trans) (string, error) {
+func (f *frame) transition(st *ir.State) (string, error) {
+	tr := st.Trans
 	if tr == nil {
 		return "reject", nil
 	}
@@ -280,32 +312,44 @@ func (f *frame) transition(tr *ir.Trans) (string, error) {
 		}
 		vals[i] = v
 	}
-	for _, c := range tr.Cases {
+	taken, target := -1, "reject"
+	for i, c := range tr.Cases {
 		if c.Default {
-			return c.Target, nil
+			taken, target = i, c.Target
+			break
 		}
 		match := true
-		for i := range c.Values {
-			if c.DontCare[i] {
+		for j := range c.Values {
+			if c.DontCare[j] {
 				continue
 			}
-			w := tr.Exprs[i].Width
-			v := truncate(vals[i], w)
-			if c.HasMask[i] {
-				if v&c.Masks[i] != c.Values[i]&c.Masks[i] {
+			w := tr.Exprs[j].Width
+			v := truncate(vals[j], w)
+			if c.HasMask[j] {
+				if v&c.Masks[j] != c.Values[j]&c.Masks[j] {
 					match = false
 					break
 				}
-			} else if v != c.Values[i] {
+			} else if v != c.Values[j] {
 				match = false
 				break
 			}
 		}
 		if match {
-			return c.Target, nil
+			taken, target = i, c.Target
+			break
 		}
 	}
-	return "reject", nil
+	if f.obs != nil {
+		locs := make([]BitLoc, len(tr.Exprs))
+		for i, e := range tr.Exprs {
+			locs[i] = f.resolveLoc(e)
+		}
+		f.obs.selNoMatch = taken < 0
+		f.emitObs(ObsEvent{Kind: "select", State: st.Name, Trans: tr,
+			SelVals: append([]uint64(nil), vals...), SelLocs: locs, Taken: taken})
+	}
+	return target, nil
 }
 
 // extract reads a header from the packet view at the current cursor.
@@ -345,6 +389,7 @@ func (f *frame) extract(s *ir.Stmt) (bool, error) {
 	if f.parsed+size > len(data) {
 		return false, nil
 	}
+	startParsed := f.parsed
 	off := f.parsed * 8
 	varOff := -1
 	for _, fl := range ht.Fields {
@@ -361,6 +406,9 @@ func (f *frame) extract(s *ir.Stmt) (bool, error) {
 	}
 	f.valid[s.Hdr] = true
 	f.parsed += size
+	if f.obs != nil {
+		f.observeExtract(s.Hdr, ht, v, startParsed, size, varBytes)
+	}
 	return true, nil
 }
 
@@ -406,6 +454,16 @@ func (f *frame) emitBytes(hdr string) []byte {
 	ht := f.headerType(hdr)
 	if ht == nil {
 		return nil
+	}
+	if f.obs != nil {
+		vb := f.varbits[hdr]
+		fixed := 0
+		for _, fl := range ht.Fields {
+			if !fl.Varbit {
+				fixed += fl.Width
+			}
+		}
+		f.obs.emitProv = append(f.obs.emitProv, f.emitProvOf(hdr, ht, fixed/8+len(vb), vb)...)
 	}
 	vb := f.varbits[hdr]
 	fixedBits := 0
@@ -515,6 +573,9 @@ func (f *frame) storeRef(ref string, v uint64) {
 	if strings.HasPrefix(ref, "$im.") {
 		f.imSet(ref[len("$im."):], v)
 		return
+	}
+	if f.obs != nil {
+		delete(f.obs.locs, ref) // provenance is re-established by SAssign when traceable
 	}
 	f.store[ref] = v
 }
