@@ -31,7 +31,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzProcess -fuzztime 20s .
 
 # verify-paths runs the mechanized path-coverage equivalence check over
-# P1-P7: every enumerated parser path and control-site outcome gets a
+# P1-P8: every enumerated parser path and control-site outcome gets a
 # concrete witness executed on three engines, which must agree
 # byte-for-byte (see DESIGN.md "Mechanized equivalence").
 verify-paths:

@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"microp4"
 	"microp4/internal/obs"
 	"microp4/internal/perf"
 	"microp4/internal/sim"
@@ -28,35 +29,86 @@ const baselinePath = "BENCH_5.json"
 
 // TestExecHotPathNoAlloc pins the tentpole invariant: the slot-compiled
 // engine processes packets with zero heap allocations when metrics are
-// off and results are released back to the pool.
+// off and results are released back to the pool — in all three modes.
+// Serial exercises sim.Exec directly; batch and parallel exercise the
+// full Switch architecture loop through ProcessBatchInto with a reused
+// results slice, so outBuf pooling and the persistent worker pool are
+// pinned too.
 func TestExecHotPathNoAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race mode randomly drops sync.Pool items, so pooling cannot be exact")
 	}
-	for _, prog := range []string{"P1", "P4", "P7"} {
-		exec, _, err := perf.Engines(prog)
-		if err != nil {
-			t.Fatal(err)
-		}
-		traffic := perf.Traffic()
-		meta := sim.Metadata{InPort: 1}
-		var procErr error
-		allocs := testing.AllocsPerRun(500, func() {
-			for _, p := range traffic {
-				res, err := exec.Process(p, meta)
-				if err != nil {
-					procErr = err
-					return
+	progs := []string{"P1", "P4", "P7", "P8"}
+	t.Run("serial", func(t *testing.T) {
+		for _, prog := range progs {
+			exec, _, err := perf.Engines(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			traffic := perf.Traffic()
+			meta := sim.Metadata{InPort: 1}
+			var procErr error
+			allocs := testing.AllocsPerRun(500, func() {
+				for _, p := range traffic {
+					res, err := exec.Process(p, meta)
+					if err != nil {
+						procErr = err
+						return
+					}
+					res.Release()
 				}
-				res.Release()
+			})
+			if procErr != nil {
+				t.Fatalf("%s: %v", prog, procErr)
+			}
+			if allocs != 0 {
+				t.Errorf("%s: hot path allocates %v per run, want 0", prog, allocs)
+			}
+		}
+	})
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"batch", 1}, {"parallel", 4}} {
+		t.Run(mode.name, func(t *testing.T) {
+			for _, prog := range progs {
+				sw, err := perf.Switch(prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sw.SetWorkers(mode.workers)
+				traffic := perf.Traffic()
+				batch := make([][]byte, 256)
+				for i := range batch {
+					batch[i] = traffic[i%len(traffic)]
+				}
+				var results []microp4.BatchResult
+				var procErr error
+				runBatch := func() {
+					results = sw.ProcessBatchInto(batch, 1, results)
+					for i := range results {
+						if results[i].Err != nil {
+							procErr = results[i].Err
+						}
+						results[i].Release()
+					}
+					sw.Digests()
+				}
+				// A few warm-up batches settle the outBuf pool across all
+				// workers before AllocsPerRun's own warm-up run measures.
+				for i := 0; i < 4; i++ {
+					runBatch()
+				}
+				allocs := testing.AllocsPerRun(50, runBatch)
+				if procErr != nil {
+					t.Fatalf("%s: %v", prog, procErr)
+				}
+				if perPkt := allocs / float64(len(batch)); perPkt != 0 {
+					t.Errorf("%s/%s: %v allocs per batch (%.3f/pkt), want 0",
+						prog, mode.name, allocs, perPkt)
+				}
 			}
 		})
-		if procErr != nil {
-			t.Fatalf("%s: %v", prog, procErr)
-		}
-		if allocs != 0 {
-			t.Errorf("%s: hot path allocates %v per run, want 0", prog, allocs)
-		}
 	}
 }
 
@@ -131,7 +183,7 @@ func TestBenchRegression(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing guard: skipped in -short mode")
 	}
-	programs := []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7"}
+	programs := []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8"}
 	if os.Getenv("UPDATE_BASELINE") != "" {
 		rep, err := perf.RunSuite(programs, 300*time.Millisecond, 4, nil)
 		if err != nil {

@@ -24,6 +24,7 @@ import (
 	"microp4"
 	"microp4/internal/equiv"
 	"microp4/internal/lib"
+	"microp4/internal/trace"
 )
 
 func main() {
@@ -36,16 +37,21 @@ func main() {
 		splitP  = flag.Bool("split-parser", false, "use the §8.1 per-depth parser MAT encoding")
 		verbose = flag.Bool("v", false, "print per-module details")
 		timings = flag.Bool("timings", false, "print per-pass wall time and IR sizes to stderr")
-		verifyP = flag.Bool("verify-paths", false, "run the path-coverage equivalence checker over the named built-in programs (default: all of P1-P7) and exit nonzero on any gap or divergence")
+		verifyP = flag.Bool("verify-paths", false, "run the path-coverage equivalence checker over the named built-in programs (default: all of P1-P8) and exit nonzero on any gap or divergence")
+		valTr   = flag.String("validate-trace", "", "validate an up4run -trace-out JSON export against the up4trace/v1 schema, print a summary, and exit nonzero if invalid")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: up4c [-arch upa|v1model|tna] [-o out] main.up4 [module.up4 ...]\n"+
-			"       up4c -verify-paths [P1 ... P7]\n")
+			"       up4c -verify-paths [P1 ... P8]\n"+
+			"       up4c -validate-trace trace.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if *verifyP {
 		os.Exit(verifyPaths(flag.Args()))
+	}
+	if *valTr != "" {
+		os.Exit(validateTrace(*valTr))
 	}
 	if flag.NArg() == 0 {
 		flag.Usage()
@@ -68,7 +74,7 @@ func main() {
 }
 
 // verifyPaths runs the mechanized path-coverage equivalence check
-// (internal/equiv) over the named built-in programs — all of P1–P7 when
+// (internal/equiv) over the named built-in programs — all of P1–P8 when
 // none are given — and prints one report per program. The exit code is
 // 0 only when every program reaches full parser-path coverage with zero
 // divergences.
@@ -97,6 +103,43 @@ func verifyPaths(names []string) int {
 		fmt.Fprintln(os.Stderr, "verify-paths: FAILED (coverage gap or divergence above)")
 	}
 	return code
+}
+
+// validateTrace parses a flight-recorder export (up4run -trace-out /
+// GET /trace/spans) and checks it against the up4trace/v1 schema:
+// every span must carry a kind and nonzero ids, hop/link spans a
+// nonzero trace id distinct from a txn root only by parentage. Prints
+// a per-kind summary on success.
+func validateTrace(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "up4c: validate-trace: %v\n", err)
+		return 1
+	}
+	spans, faults, err := trace.ReadJSON(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "up4c: validate-trace %s: %v\n", path, err)
+		return 1
+	}
+	kinds := map[string]int{}
+	for i, sp := range spans {
+		if sp.Kind != "hop" && sp.Kind != "link" && sp.Kind != "txn" {
+			fmt.Fprintf(os.Stderr, "up4c: validate-trace %s: span %d has unknown kind %q\n", path, i, sp.Kind)
+			return 1
+		}
+		if sp.TraceID == 0 || sp.SpanID == 0 {
+			fmt.Fprintf(os.Stderr, "up4c: validate-trace %s: span %d (%s %q) lacks trace/span ids\n", path, i, sp.Kind, sp.Name)
+			return 1
+		}
+		if sp.End < sp.Start {
+			fmt.Fprintf(os.Stderr, "up4c: validate-trace %s: span %d (%s %q) ends at %d before start %d\n", path, i, sp.Kind, sp.Name, sp.End, sp.Start)
+			return 1
+		}
+		kinds[sp.Kind]++
+	}
+	fmt.Printf("validate-trace: %s ok (%s): %d spans (%d hop, %d link, %d txn), %d fault dumps\n",
+		path, trace.Schema, len(spans), kinds["hop"], kinds["link"], kinds["txn"], len(faults))
+	return 0
 }
 
 func run(arch, out string, stats, verbose, api bool, bopts microp4.BuildOptions, files []string) error {

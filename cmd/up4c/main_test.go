@@ -8,6 +8,7 @@ import (
 
 	"microp4"
 	"microp4/internal/lib"
+	"microp4/internal/trace"
 )
 
 // stage writes the P4 router suite into a temp dir and returns the
@@ -104,6 +105,48 @@ func TestRunTimings(t *testing.T) {
 	}
 	if !strings.Contains(pt.String(), "total") {
 		t.Errorf("rendered table missing total row:\n%s", pt)
+	}
+}
+
+// TestValidateTrace exercises the -validate-trace path: a genuine
+// flight-recorder export passes, while missing files, foreign schemas,
+// and malformed spans are rejected with exit code 1.
+func TestValidateTrace(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	rec := trace.NewRecorder(16)
+	sp := &trace.Span{TraceID: 1, SpanID: 1, Kind: "hop", Name: "s1", Start: 3, End: 9}
+	rec.Record(sp)
+	rec.Record(&trace.Span{TraceID: 1, SpanID: 2, ParentID: 1, Kind: "link", Name: "s1:1->s2:0", Start: 9, End: 10})
+	rec.NoteFault(sp, []byte{0xAB})
+	var buf strings.Builder
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if code := validateTrace(write("good.json", buf.String())); code != 0 {
+		t.Errorf("valid export rejected (exit %d)", code)
+	}
+
+	for name, body := range map[string]string{
+		"missing-schema.json": `{"spans":[]}`,
+		"bad-kind.json":       `{"schema":"up4trace/v1","spans":[{"trace_id":1,"span_id":1,"kind":"zap"}]}`,
+		"zero-ids.json":       `{"schema":"up4trace/v1","spans":[{"kind":"hop"}]}`,
+		"time-warp.json":      `{"schema":"up4trace/v1","spans":[{"trace_id":1,"span_id":1,"kind":"hop","start":5,"end":2}]}`,
+		"garbage.json":        "not json",
+	} {
+		if code := validateTrace(write(name, body)); code == 0 {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if code := validateTrace(filepath.Join(dir, "nonexistent.json")); code == 0 {
+		t.Error("missing file accepted")
 	}
 }
 

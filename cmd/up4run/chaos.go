@@ -11,16 +11,18 @@ import (
 	"microp4/internal/lib"
 	"microp4/internal/netsim"
 	"microp4/internal/sim"
+	"microp4/internal/trace"
 )
 
 // chaosOpts collects the -chaos* flag values.
 type chaosOpts struct {
-	seed    uint64
-	count   int
-	model   netsim.FaultModel
-	churn   int // control-plane ops per delivered packet, per node
-	topo    string
-	verbose bool
+	seed     uint64
+	count    int
+	model    netsim.FaultModel
+	churn    int // control-plane ops per delivered packet, per node
+	topo     string
+	verbose  bool
+	traceOut string // write the span flight recorder here on exit
 }
 
 // topology is a parsed -topo file (or the built-in three-hop line).
@@ -181,9 +183,17 @@ func runChaos(program, engine string, o chaosOpts) error {
 
 	n := netsim.New(o.seed)
 	reg := n.EnableMetrics()
+	var rec *trace.Recorder
+	if o.traceOut != "" {
+		// One shared flight recorder: the network records link and hop
+		// dispatch, every switch records its hop spans into the same ring.
+		rec = trace.NewRecorder(0)
+		n.SetTracing(rec)
+	}
 	for _, name := range topo.switches {
 		sw := dp.NewSwitchWith(eng)
 		installRules(sw, program)
+		sw.SetTracing(rec)
 		if err := n.AddSwitch(name, sw); err != nil {
 			return err
 		}
@@ -241,5 +251,11 @@ func runChaos(program, engine string, o chaosOpts) error {
 		fmt.Printf("egress %s:%d  %3dB\n", d.Node, d.Port, len(d.Data))
 	}
 	fmt.Println("\nfinal metrics:")
-	return reg.WritePrometheus(os.Stdout)
+	if err := reg.WritePrometheus(os.Stdout); err != nil {
+		return err
+	}
+	if o.traceOut != "" {
+		return writeTraceOut(rec, o.traceOut)
+	}
+	return nil
 }

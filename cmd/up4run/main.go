@@ -1,5 +1,5 @@
 // Command up4run executes one of the library's composed programs
-// (P1..P7) on the behavioral switch with the standard evaluation rule
+// (P1..P8) on the behavioral switch with the standard evaluation rule
 // set, feeding it a canned packet mix and tracing what happens — a
 // quick, simple_switch-style smoke test for the dataplane.
 //
@@ -34,15 +34,17 @@ import (
 	"microp4/internal/netsim"
 	"microp4/internal/pkt"
 	"microp4/internal/sim"
+	"microp4/internal/trace"
 )
 
 func main() {
 	var (
-		program = flag.String("program", "P4", "library program to run (P1..P7)")
-		engine  = flag.String("engine", "compiled", "execution engine: compiled or reference")
-		count   = flag.Int("n", 8, "number of packets to send")
-		trace   = flag.Bool("trace", false, "print per-packet execution traces (§8.2 debugging)")
-		maddr   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /trace on this address (e.g. :9090)")
+		program  = flag.String("program", "P4", "library program to run (P1..P8)")
+		engine   = flag.String("engine", "compiled", "execution engine: compiled or reference")
+		count    = flag.Int("n", 8, "number of packets to send")
+		trace    = flag.Bool("trace", false, "print per-packet execution traces (§8.2 debugging)")
+		maddr    = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /trace on this address (e.g. :9090)")
+		traceOut = flag.String("trace-out", "", "write the distributed-tracing flight recorder as JSON to this file on exit")
 
 		chaos   = flag.Bool("chaos", false, "run a seeded chaos network instead of a single switch")
 		ctrl    = flag.Bool("ctrl", false, "drive a transactional rule rollout over lossy control links")
@@ -75,12 +77,13 @@ func main() {
 			model: netsim.FaultModel{
 				Drop: *drop, BitFlip: *flip, Duplicate: *dup, Reorder: *reorder, Truncate: *truncP,
 			},
-			churn:   *churn,
-			topo:    *topo,
-			verbose: *chaosV,
+			churn:    *churn,
+			topo:     *topo,
+			verbose:  *chaosV,
+			traceOut: *traceOut,
 		})
 	} else {
-		err = run(*program, *engine, *count, *trace, *maddr)
+		err = run(*program, *engine, *count, *trace, *maddr, *traceOut)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "up4run: %v\n", err)
@@ -118,7 +121,7 @@ func buildDataplane(program string) (*microp4.Dataplane, error) {
 	return microp4.Build(main, mods...)
 }
 
-func run(program, engine string, count int, trace bool, metricsAddr string) error {
+func run(program, engine string, count int, printTrace bool, metricsAddr, traceOut string) error {
 	m, err := lib.Program(program)
 	if err != nil {
 		return err
@@ -139,7 +142,12 @@ func run(program, engine string, count int, trace bool, metricsAddr string) erro
 	}
 	sw := dp.NewSwitchWith(eng)
 	installRules(sw, program)
-	if trace {
+	var rec *trace.Recorder
+	if traceOut != "" {
+		rec = trace.NewRecorder(0)
+		sw.SetTracing(rec)
+	}
+	if printTrace {
 		sw.SetTracer(func(e microp4.TraceEvent) {
 			mod := e.Module
 			if mod == "" {
@@ -150,18 +158,30 @@ func run(program, engine string, count int, trace bool, metricsAddr string) erro
 	}
 	var srv *obsServer
 	if metricsAddr != "" {
-		srv, err = startObs(sw, metricsAddr)
+		srv, err = startObs(sw, metricsAddr, rec)
 		if err != nil {
 			return err
 		}
 		defer srv.close()
-		fmt.Printf("observability: http://%s/metrics /debug/vars /trace\n\n", srv.addr())
+		endpoints := "/metrics /debug/vars /trace"
+		if rec != nil {
+			endpoints += " /trace/spans"
+		}
+		fmt.Printf("observability: http://%s%s\n\n", srv.addr(), endpoints)
 	}
 
 	packets := trafficFor(program)
 	for i := 0; i < count; i++ {
 		data := packets[i%len(packets)]
-		out, err := sw.Process(data, uint64(i%4))
+		var out []microp4.Output
+		if rec != nil {
+			// Each injected packet roots its own trace; the single switch
+			// is the only hop.
+			hc := trace.HopContext{TraceID: rec.NextID(), Node: "sw", Tick: uint64(i)}
+			out, _, err = sw.ProcessHop(data, uint64(i%4), hc)
+		} else {
+			out, err = sw.Process(data, uint64(i%4))
+		}
 		if err != nil {
 			return err
 		}
@@ -180,6 +200,27 @@ func run(program, engine string, count int, trace bool, metricsAddr string) erro
 			return err
 		}
 	}
+	if traceOut != "" {
+		return writeTraceOut(rec, traceOut)
+	}
+	return nil
+}
+
+// writeTraceOut dumps the flight recorder as one JSON document.
+func writeTraceOut(rec *trace.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace: %d spans (%d engine-fault dumps) -> %s\n",
+		rec.Len(), len(rec.Faults()), path)
 	return nil
 }
 
@@ -247,6 +288,21 @@ func trafficFor(program string) [][]byte {
 			IPv6(pkt.IPv6Opts{NextHdr: pkt.ProtoSRv6, HopLimit: 17, DstHi: 3, DstLo: 4}).
 			SRv6(59, 1, [][2]uint64{{lib.NetV6Hi, 0x11}, {lib.NetV6Hi, 0x22}}).Bytes()
 		return append(base, srv6)
+	case "P8":
+		// Telemetry-encapsulated IPv4: eth 0x1266, tel shim with zero
+		// records, inner v4 toward both routed prefixes. Each traversed
+		// switch prepends one 3-byte hop record.
+		telA := pkt.NewBuilder().Ethernet(lib.DmacA, 2, 0x1266).
+			Payload([]byte{0, 0x08, 0x00}).
+			Payload(pkt.NewBuilder().
+				IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP, Src: 0xC0A80002, Dst: 0x0A000001}).
+				TCP(1234, 80).Payload([]byte("int")).Bytes()).Bytes()
+		telB := pkt.NewBuilder().Ethernet(lib.DmacA, 2, 0x1266).
+			Payload([]byte{0, 0x08, 0x00}).
+			Payload(pkt.NewBuilder().
+				IPv4(pkt.IPv4Opts{TTL: 32, Protocol: pkt.ProtoUDP, Src: 0xC0A80003, Dst: 0x14000001}).
+				UDP(53, 53, 11).Payload([]byte("udp")).Bytes()).Bytes()
+		return append(base, telA, telB)
 	}
 	return base
 }

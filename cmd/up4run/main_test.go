@@ -6,20 +6,24 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"microp4"
 	"microp4/internal/lib"
+	"microp4/internal/netsim"
 	"microp4/internal/pkt"
+	"microp4/internal/trace"
 )
 
 // Smoke-run every library program on both engines through the CLI's
 // driver (stdout goes to the test log).
 func TestRunAllPrograms(t *testing.T) {
-	for _, prog := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7"} {
+	for _, prog := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8"} {
 		for _, engine := range []string{"compiled", "reference"} {
-			if err := run(prog, engine, 6, false, ""); err != nil {
+			if err := run(prog, engine, 6, false, "", ""); err != nil {
 				t.Errorf("%s/%s: %v", prog, engine, err)
 			}
 		}
@@ -27,20 +31,126 @@ func TestRunAllPrograms(t *testing.T) {
 }
 
 func TestRunWithTrace(t *testing.T) {
-	if err := run("P4", "compiled", 1, true, ""); err != nil {
+	if err := run("P4", "compiled", 1, true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithMetricsAddr(t *testing.T) {
-	if err := run("P4", "compiled", 4, false, "127.0.0.1:0"); err != nil {
+	if err := run("P4", "compiled", 4, false, "127.0.0.1:0", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownProgram(t *testing.T) {
-	if err := run("P99", "compiled", 1, false, ""); err == nil {
+	if err := run("P99", "compiled", 1, false, "", ""); err == nil {
 		t.Error("unknown program accepted")
+	}
+}
+
+// TestRunTraceOut drives the single-switch runner with -trace-out: the
+// file must parse under the up4trace/v1 schema and hold one hop span
+// per processed packet.
+func TestRunTraceOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	const n = 8
+	if err := run("P4", "compiled", n, false, "", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, faults, err := trace.ReadJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != n {
+		t.Fatalf("trace holds %d spans, want %d", len(spans), n)
+	}
+	for _, sp := range spans {
+		if sp.Kind != "hop" || sp.Hop == nil {
+			t.Errorf("span %+v is not a hop span with engine detail", sp)
+		}
+	}
+	if len(faults) != 0 {
+		t.Errorf("clean run pinned %d fault dumps", len(faults))
+	}
+}
+
+// TestChaosTraceOut drives the chaos runner with tracing: the export
+// must parse and carry hop and link spans from the shared recorder.
+func TestChaosTraceOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	err := runChaos("P4", "compiled", chaosOpts{
+		seed:     7,
+		count:    12,
+		model:    netsim.FaultModel{Drop: 0.1, Duplicate: 0.05, Reorder: 0.05},
+		traceOut: out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, _, err := trace.ReadJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, sp := range spans {
+		kinds[sp.Kind]++
+	}
+	if kinds["hop"] == 0 || kinds["link"] == 0 {
+		t.Errorf("chaos trace kinds = %v, want hop and link spans", kinds)
+	}
+}
+
+// TestTraceSpansEndpoint serves a switch with a flight recorder
+// attached: /trace/spans must return the ring as a parseable
+// up4trace/v1 document that grows with traffic.
+func TestTraceSpansEndpoint(t *testing.T) {
+	dp, err := buildDataplane("P4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := dp.NewSwitchWith(microp4.EngineCompiled)
+	installRules(sw, "P4")
+	rec := trace.NewRecorder(64)
+	sw.SetTracing(rec)
+	srv, err := startObs(sw, "127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.close()
+
+	routed := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP, Src: 0xC0A80002, Dst: 0x0A000001}).
+		TCP(1234, 80).Bytes()
+	const n = 5
+	for i := 0; i < n; i++ {
+		hc := trace.HopContext{TraceID: rec.NextID(), Node: "sw", Tick: uint64(i)}
+		if _, _, err := sw.ProcessHop(routed, 1, hc); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	spans, faults, err := trace.ReadJSON([]byte(scrape(t, "http://"+srv.addr()+"/trace/spans")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != n {
+		t.Fatalf("/trace/spans holds %d spans, want %d", len(spans), n)
+	}
+	for _, sp := range spans {
+		if sp.Kind != "hop" || sp.Name != "sw" || sp.Hop == nil {
+			t.Errorf("unexpected span %+v", sp)
+		}
+	}
+	if len(faults) != 0 {
+		t.Errorf("clean run pinned %d fault dumps", len(faults))
 	}
 }
 
@@ -96,7 +206,7 @@ func TestMetricsEndpointMatchesTraffic(t *testing.T) {
 	}
 	sw := dp.NewSwitchWith(microp4.EngineCompiled)
 	installRules(sw, "P4")
-	srv, err := startObs(sw, "127.0.0.1:0")
+	srv, err := startObs(sw, "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,9 +250,9 @@ func TestMetricsEndpointMatchesTraffic(t *testing.T) {
 
 	metrics := parsePrometheus(t, scrape(t, base+"/metrics"))
 	expect := map[string]float64{
-		"up4_switch_packets_total":                  nRouted + nUnrouted,
-		"up4_port_rx_packets_total{port=\"1\"}":     nRouted,
-		"up4_port_rx_packets_total{port=\"2\"}":     nUnrouted,
+		"up4_switch_packets_total":                                 nRouted + nUnrouted,
+		"up4_port_rx_packets_total{port=\"1\"}":                    nRouted,
+		"up4_port_rx_packets_total{port=\"2\"}":                    nUnrouted,
 		"up4_table_hits_total{table=\"l3_i.ipv4_i.ipv4_lpm_tbl\"}": nRouted,
 	}
 	for port, n := range txPerPort {

@@ -8,11 +8,14 @@ import (
 
 	"microp4"
 	"microp4/internal/obs"
+	"microp4/internal/trace"
 )
 
 // obsServer serves a running switch's observability endpoints:
-// /metrics (Prometheus text), /debug/vars (JSON), and /trace (the most
-// recent trace events as newline-delimited JSON).
+// /metrics (Prometheus text), /debug/vars (JSON), /trace (the most
+// recent trace events as newline-delimited JSON), and — when a flight
+// recorder is attached — /trace/spans (the distributed-tracing ring as
+// one up4trace/v1 JSON document).
 type obsServer struct {
 	reg    *obs.Registry
 	ring   *obs.Ring[microp4.TraceEvent]
@@ -22,8 +25,9 @@ type obsServer struct {
 }
 
 // startObs enables metrics on sw, attaches a trace ring, and serves the
-// endpoints on addr (":0" picks a free port; see addr()).
-func startObs(sw *microp4.Switch, addr string) (*obsServer, error) {
+// endpoints on addr (":0" picks a free port; see addr()). A non-nil rec
+// additionally exposes the span flight recorder at /trace/spans.
+func startObs(sw *microp4.Switch, addr string, rec *trace.Recorder) (*obsServer, error) {
 	o := &obsServer{
 		reg:  sw.EnableMetrics(),
 		ring: obs.NewRing[microp4.TraceEvent](256),
@@ -34,8 +38,12 @@ func startObs(sw *microp4.Switch, addr string) (*obsServer, error) {
 		o.cancel()
 		return nil, err
 	}
+	var spans func(io.Writer) error
+	if rec != nil {
+		spans = rec.WriteJSON
+	}
 	o.ln = ln
-	o.srv = &http.Server{Handler: obs.NewHandler(o.reg, o.writeTrace)}
+	o.srv = &http.Server{Handler: obs.NewHandler(o.reg, o.writeTrace, spans)}
 	go func() { _ = o.srv.Serve(ln) }()
 	return o, nil
 }

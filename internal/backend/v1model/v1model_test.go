@@ -202,13 +202,12 @@ func TestPartitionPreservesSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	split := *res.Pipeline
-	split.Stmts = append(append([]*ir.Stmt(nil), part.Ingress...), part.Egress...)
+	split := res.Pipeline.WithStmts(append(append([]*ir.Stmt(nil), part.Ingress...), part.Egress...))
 
 	tables := sim.NewTables()
 	tables.AddEntry("fwd_tbl", []sim.RuntimeKey{sim.Exact(0xAB)}, "fwd", 3)
 	orig := sim.NewExec(res.Pipeline, tables)
-	parted := sim.NewExec(&split, tables)
+	parted := sim.NewExec(split, tables)
 
 	for i := 0; i < 50; i++ {
 		data := pktBytes(uint64(i%3) * 0x55) // vary the dmac

@@ -8,6 +8,7 @@ import (
 	"microp4"
 	"microp4/internal/netsim"
 	"microp4/internal/sim"
+	"microp4/internal/trace"
 )
 
 // ErrUnreachable wraps a give-up: every attempt at a request timed out
@@ -66,7 +67,19 @@ type Client struct {
 	byPort  map[uint64]*peer
 	order   []string // peer names in AddPeer order (deterministic iteration)
 	nextTxn uint64
+
+	tracer  *trace.Recorder
+	curSpan *trace.Span // the txn phase span issuing the current sends
 }
+
+// SetTracing attaches (or, with nil, detaches) a distributed-tracing
+// flight recorder: every transaction records a root "txn" span plus one
+// child span per 2PC phase (stage, prepare, commit, abort), with the
+// per-peer sends, retries, timeouts, backoffs, and breaker holds each
+// phase incurred attached as events on the phase that issued them.
+// Attach the same recorder the network and switches use so control-
+// plane spans land in the same flight-recorder ring as packet spans.
+func (c *Client) SetTracing(rec *trace.Recorder) { c.tracer = rec }
 
 // peer is one control channel to one switch agent.
 type peer struct {
@@ -88,6 +101,20 @@ type call struct {
 	cancel   func() // pending timeout or backoff timer
 	resolved bool
 	done     func(*CtrlReply, error)
+	span     *trace.Span // txn phase span this call reports to (may be nil)
+}
+
+// callEvent publishes a call-lifecycle event to the trace bus and, when
+// the call belongs to a traced transaction phase, attaches it to that
+// phase's span (extending the span to the current tick). The client is
+// single-threaded with the network run loop, so mutating an
+// already-recorded span is safe.
+func (c *Client) callEvent(cl *call, name, detail string) {
+	c.event(name, detail)
+	if cl.span != nil {
+		cl.span.Event(c.n.Now(), name, detail)
+		cl.span.End = c.n.Now()
+	}
 }
 
 // NewClient creates a controller node named name in the network.
@@ -149,7 +176,7 @@ func (c *Client) Do(peerName string, op CtrlOp, done func(*CtrlReply, error)) er
 	op.Session = p.session
 	op.Seq = p.nextSeq
 	p.nextSeq++
-	cl := &call{p: p, op: &op, data: EncodeCtrlOp(&op), done: done}
+	cl := &call{p: p, op: &op, data: EncodeCtrlOp(&op), done: done, span: c.curSpan}
 	p.inflight[op.Seq] = cl
 	c.send(cl)
 	return nil
@@ -169,16 +196,16 @@ func (c *Client) send(cl *call) {
 		if at > now {
 			d = at - now
 		}
-		c.event("breaker-hold", fmt.Sprintf("%s seq %d: %s until t+%d", cl.p.name, cl.op.Seq, cl.p.br.state, d))
+		c.callEvent(cl, "breaker-hold", fmt.Sprintf("%s seq %d: %s until t+%d", cl.p.name, cl.op.Seq, cl.p.br.state, d))
 		cl.cancel = c.n.After(d, func() { c.send(cl) })
 		return
 	}
 	cl.attempts++
 	if cl.attempts > 1 {
 		c.cfg.Metrics.Retries.Inc()
-		c.event("retry", fmt.Sprintf("%s seq %d attempt %d", cl.p.name, cl.op.Seq, cl.attempts))
+		c.callEvent(cl, "retry", fmt.Sprintf("%s seq %d attempt %d", cl.p.name, cl.op.Seq, cl.attempts))
 	} else {
-		c.event("send", fmt.Sprintf("%s seq %d %s %s", cl.p.name, cl.op.Seq, cl.op.Kind, cl.op.Table))
+		c.callEvent(cl, "send", fmt.Sprintf("%s seq %d %s %s", cl.p.name, cl.op.Seq, cl.op.Kind, cl.op.Table))
 	}
 	_ = c.n.SendFrom(c.name, cl.p.port, cl.data)
 	cl.cancel = c.n.After(c.cfg.Timeout, func() { c.onTimeout(cl) })
@@ -190,7 +217,7 @@ func (c *Client) onTimeout(cl *call) {
 		return
 	}
 	c.cfg.Metrics.Timeouts.Inc()
-	c.event("timeout", fmt.Sprintf("%s seq %d attempt %d", cl.p.name, cl.op.Seq, cl.attempts))
+	c.callEvent(cl, "timeout", fmt.Sprintf("%s seq %d attempt %d", cl.p.name, cl.op.Seq, cl.attempts))
 	now := c.n.Now()
 	cl.p.br.failure(now)
 	if cl.attempts >= c.cfg.MaxAttempts {
@@ -199,7 +226,7 @@ func (c *Client) onTimeout(cl *call) {
 		return
 	}
 	d := c.cfg.Backoff.delay(cl.attempts, c.rng)
-	c.event("backoff", fmt.Sprintf("%s seq %d: retry in %d ticks", cl.p.name, cl.op.Seq, d))
+	c.callEvent(cl, "backoff", fmt.Sprintf("%s seq %d: retry in %d ticks", cl.p.name, cl.op.Seq, d))
 	cl.cancel = c.n.After(d, func() { c.send(cl) })
 }
 
@@ -238,9 +265,9 @@ func (c *Client) Process(pkt []byte, inPort uint64) ([]microp4.Output, error) {
 	}
 	p.br.success()
 	if rep.Status == StatusRejected {
-		c.event("rejected", fmt.Sprintf("%s seq %d: %s: %s", p.name, rep.Seq, rep.Class, rep.Reason))
+		c.callEvent(cl, "rejected", fmt.Sprintf("%s seq %d: %s: %s", p.name, rep.Seq, rep.Class, rep.Reason))
 	} else {
-		c.event("reply", fmt.Sprintf("%s seq %d ok", p.name, rep.Seq))
+		c.callEvent(cl, "reply", fmt.Sprintf("%s seq %d ok", p.name, rep.Seq))
 	}
 	c.resolve(cl, rep, nil)
 	return nil, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"microp4/internal/sim"
+	"microp4/internal/trace"
 )
 
 // TxnOp is one operation of a transaction plan: an op (OpAddEntry,
@@ -63,6 +64,15 @@ func (c *Client) Transaction(ops []TxnOp, done func(TxnResult)) error {
 		errs: make(map[string]error),
 		done: done,
 	}
+	if c.tracer != nil {
+		tid := c.tracer.NextID()
+		t.root = &trace.Span{
+			TraceID: tid, SpanID: tid, Kind: "txn",
+			Name:  fmt.Sprintf("%s txn %d", c.name, t.id),
+			Start: c.n.Now(), End: c.n.Now(),
+		}
+		c.tracer.Record(t.root)
+	}
 	// Participants in first-appearance order: deterministic iteration
 	// for every later phase.
 	seen := make(map[string]bool)
@@ -76,6 +86,7 @@ func (c *Client) Transaction(ops []TxnOp, done func(TxnResult)) error {
 		}
 	}
 	if len(ops) == 0 {
+		t.finish("committed", "empty transaction")
 		done(TxnResult{Txn: t.id, Committed: true, PeerErrs: t.errs})
 		return nil
 	}
@@ -94,6 +105,45 @@ type txnCoord struct {
 	doomed  bool
 	errs    map[string]error
 	done    func(TxnResult)
+	root    *trace.Span // the transaction's trace root (nil when untraced)
+}
+
+// startPhase opens a 2PC phase span under the transaction root and
+// points the client's current-span at it, so every Do the caller issues
+// next reports its send/retry/timeout/breaker lifecycle to this phase.
+// The caller must clear c.curSpan (endPhase) once its sends are issued;
+// late events still reach the span through the calls that captured it.
+func (t *txnCoord) startPhase(name string) {
+	if t.root == nil {
+		return
+	}
+	now := t.c.n.Now()
+	sp := &trace.Span{
+		TraceID: t.root.TraceID, SpanID: t.c.tracer.NextID(), ParentID: t.root.SpanID,
+		Kind: "txn", Name: name, Start: now, End: now,
+	}
+	t.c.tracer.Record(sp)
+	t.c.curSpan = sp
+}
+
+// endPhase stops attributing new Do calls to the current phase span.
+func (t *txnCoord) endPhase() {
+	if t.root != nil {
+		t.c.curSpan = nil
+	}
+}
+
+// finish closes the root span with the transaction's outcome.
+func (t *txnCoord) finish(outcome, detail string) {
+	if t.root == nil {
+		return
+	}
+	now := t.c.n.Now()
+	t.root.Event(now, outcome, detail)
+	t.root.End = now
+	if outcome == "aborted" {
+		t.root.Err = detail
+	}
 }
 
 // fail records a peer failure (first error per peer wins) and dooms
@@ -109,6 +159,8 @@ func (t *txnCoord) fail(peer string, err error) {
 // buffer them. All ops are pipelined at once — ordering is recovered
 // agent-side by client sequence number at prepare.
 func (t *txnCoord) stage() {
+	t.startPhase("stage")
+	defer t.endPhase()
 	t.pending = len(t.ops)
 	for _, op := range t.ops {
 		peerName := op.Peer
@@ -135,6 +187,8 @@ func (t *txnCoord) stage() {
 // prepare asks every participant to checkpoint and apply its batch.
 func (t *txnCoord) prepare() {
 	t.c.event("txn-prepare", fmt.Sprintf("txn %d", t.id))
+	t.startPhase("prepare")
+	defer t.endPhase()
 	t.pending = len(t.peers)
 	for _, peerName := range t.peers {
 		peerName := peerName
@@ -160,6 +214,8 @@ func (t *txnCoord) prepare() {
 // doubt: it has prepared and its agent will hold the applied state; the
 // result says so rather than pretending otherwise.
 func (t *txnCoord) commit() {
+	t.startPhase("commit")
+	defer t.endPhase()
 	t.pending = len(t.peers)
 	for _, peerName := range t.peers {
 		peerName := peerName
@@ -173,6 +229,7 @@ func (t *txnCoord) commit() {
 			if t.pending == 0 {
 				t.c.cfg.Metrics.TxnCommits.Inc()
 				t.c.event("txn-commit", fmt.Sprintf("txn %d (%d peer errors)", t.id, len(t.errs)))
+				t.finish("committed", fmt.Sprintf("%d peer errors", len(t.errs)))
 				t.done(TxnResult{Txn: t.id, Committed: true, PeerErrs: t.errs})
 			}
 		})
@@ -186,6 +243,8 @@ func (t *txnCoord) commit() {
 // hold prepared state when its prepare reply (rather than the prepare
 // itself) was what kept getting lost.
 func (t *txnCoord) abort() {
+	t.startPhase("abort")
+	defer t.endPhase()
 	t.pending = len(t.peers)
 	for _, peerName := range t.peers {
 		peerName := peerName
@@ -197,6 +256,7 @@ func (t *txnCoord) abort() {
 			if t.pending == 0 {
 				t.c.cfg.Metrics.TxnAborts.Inc()
 				t.c.event("txn-abort", fmt.Sprintf("txn %d (%d peer errors)", t.id, len(t.errs)))
+				t.finish("aborted", fmt.Sprintf("%d peer errors", len(t.errs)))
 				t.done(TxnResult{Txn: t.id, Committed: false, PeerErrs: t.errs})
 			}
 		})

@@ -76,7 +76,7 @@ type engines struct {
 	composeErr error
 }
 
-// buildProgEngines compiles prog (P1..P7) and constructs the engines.
+// buildProgEngines compiles prog (P1..P8) and constructs the engines.
 // tf is the midend transform the third engine applies to an
 // independently compiled copy of the sources; the production checker
 // passes midend.Transform, mutation tests pass a broken variant.

@@ -1,7 +1,9 @@
 // Package lib is the µP4 module library and program suite from the
-// paper's evaluation (§7, Table 1): nine reusable packet-processing
-// modules and the seven composed programs P1–P7 built from them, plus
+// paper's evaluation (§7, Table 1): the reusable packet-processing
+// modules and the composed programs P1–P8 built from them, plus
 // monolithic P4-style equivalents used as baselines in Tables 2 and 3.
+// (P8, in-band telemetry, extends the paper's suite with this repo's
+// observability work.)
 package lib
 
 import (
@@ -31,11 +33,12 @@ var moduleFiles = map[string]string{
 	"NPTv6":     "up4/nptv6.up4",
 	"SRv4":      "up4/srv4.up4",
 	"SRv6":      "up4/srv6.up4",
+	"Telemetry": "up4/telemetry.up4",
 }
 
 // Manifest describes one composed program of Table 1.
 type Manifest struct {
-	Name     string   // P1..P7
+	Name     string   // P1..P8
 	Main     string   // main program name
 	MainFile string   // source file of the main program
 	Modules  []string // transitively required library modules
@@ -89,16 +92,22 @@ var Programs = []Manifest{
 		MonoFile:  "mono/p7.up4",
 		Table1Row: []string{"Eth", "IPv4", "IPv6", "SRv6"},
 	},
+	{
+		Name: "P8", Main: "P8Int", MainFile: "up4/p8_int.up4",
+		Modules:   []string{"Telemetry", "L3", "IPv4", "IPv6"},
+		MonoFile:  "mono/p8.up4",
+		Table1Row: []string{"Eth", "IPv4", "IPv6", "INT"},
+	},
 }
 
-// Program returns the manifest for P1..P7.
+// Program returns the manifest for P1..P8.
 func Program(name string) (Manifest, error) {
 	for _, m := range Programs {
 		if m.Name == name || m.Main == name {
 			return m, nil
 		}
 	}
-	return Manifest{}, fmt.Errorf("unknown program %q (have P1..P7)", name)
+	return Manifest{}, fmt.Errorf("unknown program %q (have P1..P8)", name)
 }
 
 // ModuleNames lists the library modules, sorted.

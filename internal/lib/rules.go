@@ -18,7 +18,7 @@ const (
 )
 
 // InstallDefaultRules installs the standard evaluation rule set for one
-// of P1..P7 into tables. When mono is false, composed (instance-prefixed)
+// of P1..P8 into tables. When mono is false, composed (instance-prefixed)
 // table and action names are used; when true, the monolithic program's
 // flat names. Both installs produce semantically identical dataplanes —
 // the property the differential tests check.
@@ -139,5 +139,31 @@ func InstallDefaultRules(t *sim.Tables, prog string, mono bool) {
 			installV6(composedNames("l3_i.ipv6_i"), "process")
 		}
 		installForward()
+	case "P8":
+		InstallTelemetryRules(t, mono, 1)
+		if mono {
+			installV4(flat, "v4_process")
+			installV6(flat, "v6_process")
+		} else {
+			installV4(composedNames("l3_i.ipv4_i"), "process")
+			installV6(composedNames("l3_i.ipv6_i"), "process")
+		}
+		installForward()
+	}
+}
+
+// InstallTelemetryRules programs P8's tel_tbl to stamp hop records with
+// switch id swid. The table is keyed on the record count already in the
+// packet, and only counts 0..3 get a stamp action — the telemetry
+// record stack holds four entries, so the table's default skip() is the
+// overflow guard that keeps a fifth record from ever being produced.
+// Multi-switch topologies call this per switch with distinct ids.
+func InstallTelemetryRules(t *sim.Tables, mono bool, swid uint64) {
+	table, action := "tel_i.tel_tbl", "tel_i.stamp"
+	if mono {
+		table, action = "tel_tbl", "stamp"
+	}
+	for cnt := uint64(0); cnt < 4; cnt++ {
+		t.AddEntry(table, []sim.RuntimeKey{sim.Exact(cnt)}, action, swid)
 	}
 }

@@ -61,6 +61,27 @@ type Pipeline struct {
 // Table returns the named table, or nil.
 func (pl *Pipeline) Table(name string) *ir.Table { return pl.Tables[name] }
 
+// WithStmts returns a shallow copy of the pipeline with its control
+// flow replaced. The slot-compilation cache is deliberately left
+// behind: the copy's statements differ, so it re-derives its SlotMap
+// lazily on first use.
+func (pl *Pipeline) WithStmts(stmts []*ir.Stmt) *Pipeline {
+	return &Pipeline{
+		Name:       pl.Name,
+		BsBytes:    pl.BsBytes,
+		MinPkt:     pl.MinPkt,
+		Decls:      pl.Decls,
+		Headers:    pl.Headers,
+		Tables:     pl.Tables,
+		Actions:    pl.Actions,
+		Stmts:      stmts,
+		PathVars:   pl.PathVars,
+		UserTables: pl.UserTables,
+		Registers:  pl.Registers,
+		Instances:  pl.Instances,
+	}
+}
+
 // DeclByPath returns the storage declaration for path, or nil.
 func (pl *Pipeline) DeclByPath(path string) *ir.Decl {
 	for i := range pl.Decls {

@@ -74,6 +74,7 @@ var IntrinsicScalars = []string{
 	"$im.meta.IN_PORT",
 	"$im.meta.IN_TIMESTAMP",
 	"$im.meta.PKT_LEN",
+	"$im.meta.QUEUE_DEPTH",
 	"$im.out_port",
 	"$im.$perr",
 	"$mc.group",

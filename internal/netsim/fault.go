@@ -80,40 +80,55 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// linkPkt is one packet on a link, with its distributed-trace context:
+// the trace it belongs to, the span its delivery descends from (the
+// link span of the transmission that carried it), and the tick it was
+// transmitted (whose distance to the processing tick is the
+// deterministic queue-depth the telemetry module stamps in-band). A
+// reorder-held packet keeps its original context across the hold.
+type linkPkt struct {
+	data   []byte
+	tid    uint64
+	parent uint64
+	sentAt uint64
+}
+
 // applyFaults runs one transmitted packet through the link's fault
 // model. It returns the packets to deliver, in order (zero on drop, two
 // on duplicate or on a reorder release), emitting one event per fault
 // via emit. The data slice is owned by the caller; mutating faults copy
 // before flipping.
-func (l *Link) applyFaults(data []byte, emit func(FaultKind, string)) [][]byte {
+func (l *Link) applyFaults(pk linkPkt, emit func(FaultKind, string)) []linkPkt {
 	if l.down {
-		emit(FaultLinkDown, fmt.Sprintf("%dB lost", len(data)))
+		emit(FaultLinkDown, fmt.Sprintf("%dB lost", len(pk.data)))
 		return nil
 	}
 	m := l.model
 	if m.Lossless() && l.held == nil {
-		return [][]byte{data}
+		return []linkPkt{pk}
 	}
 	r := l.rng
 	if r.Float64() < m.Drop {
-		emit(FaultDrop, fmt.Sprintf("%dB lost", len(data)))
+		emit(FaultDrop, fmt.Sprintf("%dB lost", len(pk.data)))
 		return l.flushHeld(nil)
 	}
-	if r.Float64() < m.BitFlip && len(data) > 0 {
-		bit := r.Intn(len(data) * 8)
-		data = append([]byte(nil), data...)
-		data[bit/8] ^= 1 << uint(bit%8)
+	if r.Float64() < m.BitFlip && len(pk.data) > 0 {
+		bit := r.Intn(len(pk.data) * 8)
+		pk.data = append([]byte(nil), pk.data...)
+		pk.data[bit/8] ^= 1 << uint(bit%8)
 		emit(FaultBitFlip, fmt.Sprintf("bit %d", bit))
 	}
-	if r.Float64() < m.Truncate && len(data) > 1 {
-		cut := 1 + r.Intn(len(data)-1)
-		data = data[:cut]
+	if r.Float64() < m.Truncate && len(pk.data) > 1 {
+		cut := 1 + r.Intn(len(pk.data)-1)
+		pk.data = pk.data[:cut]
 		emit(FaultTruncate, fmt.Sprintf("to %dB", cut))
 	}
-	out := [][]byte{data}
+	out := []linkPkt{pk}
 	if r.Float64() < m.Duplicate {
-		out = append(out, append([]byte(nil), data...))
-		emit(FaultDuplicate, fmt.Sprintf("%dB twice", len(data)))
+		dup := pk
+		dup.data = append([]byte(nil), pk.data...)
+		out = append(out, dup)
+		emit(FaultDuplicate, fmt.Sprintf("%dB twice", len(pk.data)))
 	}
 	if r.Float64() < m.Reorder {
 		// Hold this packet; it is released behind the next transmission
@@ -124,14 +139,14 @@ func (l *Link) applyFaults(data []byte, emit func(FaultKind, string)) [][]byte {
 		if held != nil {
 			out = append(out, *held)
 		}
-		emit(FaultReorder, fmt.Sprintf("%dB held", len(*l.held)))
+		emit(FaultReorder, fmt.Sprintf("%dB held", len(l.held.data)))
 		return out
 	}
 	return l.flushHeld(out)
 }
 
 // flushHeld releases a previously reordered packet behind out.
-func (l *Link) flushHeld(out [][]byte) [][]byte {
+func (l *Link) flushHeld(out []linkPkt) []linkPkt {
 	if l.held != nil {
 		out = append(out, *l.held)
 		l.held = nil

@@ -22,12 +22,22 @@ import (
 	"microp4"
 	"microp4/internal/obs"
 	"microp4/internal/sim"
+	"microp4/internal/trace"
 )
 
 // Processor is the node abstraction: anything that turns a received
 // packet into output packets. *microp4.Switch implements it.
 type Processor interface {
 	Process(pkt []byte, inPort uint64) ([]microp4.Output, error)
+}
+
+// HopProcessor is the traced node abstraction: a Processor that accepts
+// a distributed-tracing context for the hop and returns the recorded
+// hop span's id (so the network can parent link spans under it).
+// *microp4.Switch implements it. Nodes that don't (e.g. the ctrlplane
+// client) process untraced.
+type HopProcessor interface {
+	ProcessHop(pkt []byte, inPort uint64, hc trace.HopContext) ([]microp4.Output, uint64, error)
 }
 
 // endpoint is one attachment point: a node's port.
@@ -53,17 +63,25 @@ type Link struct {
 	model    FaultModel
 	rng      *rand.Rand
 	down     bool
-	held     *[]byte // a reorder-held packet
+	held     *linkPkt // a reorder-held packet, trace context included
 }
 
 // Name returns the link's "from->to" name, the key fault events carry.
 func (l *Link) Name() string { return l.name }
 
 // Delivery is a packet that left the network on an unconnected port.
+// Trace is the id of the distributed trace the packet belonged to and
+// Span the id of the hop span that emitted it (both 0 when tracing was
+// off or the packet was never given a context) — the join keys between
+// an egressed packet's in-band telemetry and its host-side spans.
+// Walking Span's ParentID chain recovers this exact copy's hop
+// sequence even when link faults duplicated the packet mid-path.
 type Delivery struct {
-	Node string
-	Port uint64
-	Data []byte
+	Node  string
+	Port  uint64
+	Data  []byte
+	Trace uint64
+	Span  uint64
 }
 
 // RunStats summarizes one Run. All counts are deterministic for a
@@ -94,6 +112,7 @@ type Network struct {
 	seq     uint64 // fault event sequence
 	sinks   []func(FaultEvent)
 	bus     *sim.Bus // fault events mirrored as trace events
+	tracer  *trace.Recorder
 	reg     *obs.Registry
 	faultC  map[string]*obs.Counter // per (link, kind)
 	delivC  map[string]*obs.Counter // per link
@@ -213,6 +232,20 @@ func (n *Network) OnFault(fn func(FaultEvent)) (cancel func()) {
 // the same stream as parser/table traces.
 func (n *Network) Bus() *sim.Bus { return n.bus }
 
+// SetTracing attaches (or, with nil, detaches) a distributed-tracing
+// flight recorder to the network. With a recorder attached, every
+// injected packet starts a trace whose context rides its deliveries
+// end-to-end: nodes implementing HopProcessor record one hop span per
+// packet processed (with the packet's deterministic queue depth — the
+// ticks it waited in flight — surfaced as the QUEUE_DEPTH intrinsic),
+// and every link traversal records a link span carrying the fault
+// events injected on it. Attach the SAME recorder to the member
+// switches (Switch.SetTracing) so hop and link spans land in one ring.
+func (n *Network) SetTracing(rec *trace.Recorder) { n.tracer = rec }
+
+// Tracing returns the recorder attached by SetTracing, or nil.
+func (n *Network) Tracing() *trace.Recorder { return n.tracer }
+
 // EnableMetrics attaches an obs registry counting per-link deliveries
 // and faults and per-node processing errors. Idempotent.
 func (n *Network) EnableMetrics() *obs.Registry {
@@ -254,19 +287,30 @@ func (n *Network) emit(link string, kind FaultKind, detail string) {
 	}
 }
 
-// delivery is one in-flight packet.
+// delivery is one in-flight packet with its trace context: the trace
+// it belongs to (0 = untraced), the span it descends from, and the tick
+// it was sent.
 type delivery struct {
-	to   endpoint
-	data []byte
+	to     endpoint
+	data   []byte
+	tid    uint64
+	parent uint64
+	sentAt uint64
 }
 
 // Inject enqueues a packet arriving from outside the network at
-// node:port. Delivery happens on the next Run.
+// node:port. Delivery happens on the next Run. With tracing attached,
+// each injected packet roots a fresh trace.
 func (n *Network) Inject(node string, port uint64, data []byte) error {
 	if n.nodes[node] == nil {
 		return fmt.Errorf("netsim: unknown switch %q", node)
 	}
-	n.queue = append(n.queue, delivery{to: endpoint{node, port}, data: append([]byte(nil), data...)})
+	n.queue = append(n.queue, delivery{
+		to:     endpoint{node, port},
+		data:   append([]byte(nil), data...),
+		tid:    n.tracer.NextID(), // 0 when tracing is off
+		sentAt: n.now,
+	})
 	n.stats.Injected++
 	return nil
 }
@@ -308,7 +352,22 @@ func (n *Network) Run(maxSteps int) (RunStats, error) {
 			for _, c := range node.churn {
 				c.StepN(c.ops)
 			}
-			outs, err := node.proc.Process(d.data, d.to.port)
+			var outs []microp4.Output
+			var err error
+			hopSpan := uint64(0)
+			if hp, ok := node.proc.(HopProcessor); ok && n.tracer != nil && d.tid != 0 {
+				// Queue depth: ticks the packet waited in flight beyond the
+				// minimum one-tick hop — a pure function of the seed.
+				var q uint64
+				if n.now > d.sentAt {
+					q = n.now - d.sentAt - 1
+				}
+				outs, hopSpan, err = hp.ProcessHop(d.data, d.to.port, trace.HopContext{
+					TraceID: d.tid, ParentID: d.parent, Node: node.name, Tick: n.now, Qdepth: q,
+				})
+			} else {
+				outs, err = node.proc.Process(d.data, d.to.port)
+			}
 			if err != nil {
 				n.stats.ProcErrors++
 				n.countProcError(node.name, err)
@@ -320,7 +379,7 @@ func (n *Network) Run(maxSteps int) (RunStats, error) {
 				continue
 			}
 			for _, o := range outs {
-				n.transmit(endpoint{node.name, o.Port}, o.Data)
+				n.transmit(endpoint{node.name, o.Port}, o.Data, d.tid, hopSpan)
 			}
 		}
 		// Drain reorder-held packets so a quiet network leaves nothing
@@ -329,10 +388,10 @@ func (n *Network) Run(maxSteps int) (RunStats, error) {
 		released := false
 		for _, l := range n.lseq {
 			if l.held != nil {
-				data := *l.held
+				pk := *l.held
 				l.held = nil
-				n.emit(l.name, FaultReorder, fmt.Sprintf("released %dB at drain", len(data)))
-				n.deliver(l, data)
+				n.emit(l.name, FaultReorder, fmt.Sprintf("released %dB at drain", len(pk.data)))
+				n.deliver(l, pk)
 				released = true
 			}
 		}
@@ -364,26 +423,55 @@ func (n *Network) SendFrom(node string, port uint64, data []byte) error {
 	if n.nodes[node] == nil {
 		return fmt.Errorf("netsim: unknown switch %q", node)
 	}
-	n.transmit(endpoint{node, port}, append([]byte(nil), data...))
+	n.transmit(endpoint{node, port}, append([]byte(nil), data...), 0, 0)
 	return nil
 }
 
 // transmit sends one packet out of an endpoint: over its link with
-// faults applied, or to the egress collector when unconnected.
-func (n *Network) transmit(from endpoint, data []byte) {
+// faults applied, or to the egress collector when unconnected. With
+// tracing on and a trace context attached (tid != 0), the traversal
+// records one link span parented under the transmitting hop span,
+// carrying the fault events injected on it; deliveries descend from the
+// link span, and a transmission whose packet never made it out (drop,
+// link down) is marked lost.
+func (n *Network) transmit(from endpoint, data []byte, tid, parent uint64) {
 	l := n.links[from]
 	if l == nil {
-		n.eg[from.node] = append(n.eg[from.node], Delivery{Node: from.node, Port: from.port, Data: data})
+		n.eg[from.node] = append(n.eg[from.node],
+			Delivery{Node: from.node, Port: from.port, Data: data, Trace: tid, Span: parent})
 		n.stats.Egressed++
 		return
 	}
-	for _, pkt := range l.applyFaults(data, func(k FaultKind, detail string) { n.emit(l.name, k, detail) }) {
-		n.deliver(l, pkt)
+	emit := func(k FaultKind, detail string) { n.emit(l.name, k, detail) }
+	var sp *trace.Span
+	if n.tracer != nil && tid != 0 {
+		sp = &trace.Span{
+			TraceID: tid, SpanID: n.tracer.NextID(), ParentID: parent,
+			Kind: "link", Name: l.name, Start: n.now, End: n.now,
+		}
+		base := emit
+		emit = func(k FaultKind, detail string) {
+			sp.Event(n.now, string(k), detail)
+			if k == FaultDrop || k == FaultLinkDown {
+				sp.Err = "lost"
+			}
+			base(k, detail)
+		}
+		parent = sp.SpanID
+	}
+	pk := linkPkt{data: data, tid: tid, parent: parent, sentAt: n.now}
+	for _, out := range l.applyFaults(pk, emit) {
+		n.deliver(l, out)
+	}
+	if sp != nil {
+		n.tracer.Record(sp)
 	}
 }
 
-func (n *Network) deliver(l *Link, data []byte) {
-	n.queue = append(n.queue, delivery{to: l.to, data: data})
+func (n *Network) deliver(l *Link, pk linkPkt) {
+	n.queue = append(n.queue, delivery{
+		to: l.to, data: pk.data, tid: pk.tid, parent: pk.parent, sentAt: pk.sentAt,
+	})
 	if n.reg != nil {
 		c := n.delivC[l.name]
 		if c == nil {

@@ -151,12 +151,12 @@ func TestDuplicateFault(t *testing.T) {
 func TestReorderSwapsPackets(t *testing.T) {
 	l := &Link{name: "x", model: FaultModel{Reorder: 1}, rng: rand.New(rand.NewSource(linkSeed(0, "x")))}
 	emit := func(FaultKind, string) {}
-	if out := l.applyFaults([]byte{1}, emit); len(out) != 0 {
+	if out := l.applyFaults(linkPkt{data: []byte{1}}, emit); len(out) != 0 {
 		t.Fatalf("first packet not held: %v", out)
 	}
 	l.model = FaultModel{} // second packet sails through, releasing the first
-	out := l.applyFaults([]byte{2}, emit)
-	if len(out) != 2 || out[0][0] != 2 || out[1][0] != 1 {
+	out := l.applyFaults(linkPkt{data: []byte{2}}, emit)
+	if len(out) != 2 || out[0].data[0] != 2 || out[1].data[0] != 1 {
 		t.Fatalf("release order = %v; want [2],[1]", out)
 	}
 }

@@ -7,14 +7,18 @@ import (
 
 // NewHandler returns the observability HTTP surface:
 //
-//	/metrics     Prometheus text exposition of reg
-//	/debug/vars  JSON snapshot of reg
-//	/trace       recent trace events, written by the trace callback
-//	             (one JSON object per line); omitted when trace is nil
+//	/metrics      Prometheus text exposition of reg
+//	/debug/vars   JSON snapshot of reg
+//	/trace        recent trace events, written by the trace callback
+//	              (one JSON object per line); omitted when trace is nil
+//	/trace/spans  the distributed-tracing flight recorder as one JSON
+//	              document (the up4trace/v1 schema), written by the
+//	              spans callback; omitted when spans is nil
 //
 // The handler is stateless; all state lives in the registry and in
-// whatever backs the trace callback (typically a Ring of events).
-func NewHandler(reg *Registry, trace func(io.Writer) error) http.Handler {
+// whatever backs the callbacks (typically a Ring of events and a
+// trace.Recorder of spans).
+func NewHandler(reg *Registry, trace, spans func(io.Writer) error) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -28,6 +32,12 @@ func NewHandler(reg *Registry, trace func(io.Writer) error) http.Handler {
 		mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
 			w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 			_ = trace(w)
+		})
+	}
+	if spans != nil {
+		mux.HandleFunc("/trace/spans", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = spans(w)
 		})
 	}
 	return mux

@@ -25,7 +25,14 @@ import (
 // Counter is a monotonically increasing metric. The zero value is ready
 // to use; all methods are safe on a nil receiver (they no-op), so
 // call sites can stay unconditional when metrics are not attached.
-type Counter struct{ v atomic.Uint64 }
+//
+// A counter may have shard children (see Shard): per-worker counters
+// whose increments are folded into the parent's Value at read time, so
+// concurrent writers never contend on one cache line.
+type Counter struct {
+	v    atomic.Uint64
+	kids atomic.Pointer[[]*Counter]
+}
 
 // Inc adds one.
 func (c *Counter) Inc() {
@@ -41,12 +48,41 @@ func (c *Counter) Add(n uint64) {
 	}
 }
 
-// Value returns the current count.
+// Shard returns a new child counter owned by one worker. Writes to the
+// child are uncontended single-atomic adds; the parent's Value (and the
+// registry expositions, which read through it) sums every child at
+// scrape time. Children are permanent — create one per worker, not per
+// batch. Nil-safe: a nil parent yields a nil child.
+func (c *Counter) Shard() *Counter {
+	if c == nil {
+		return nil
+	}
+	kid := &Counter{}
+	for {
+		old := c.kids.Load()
+		var next []*Counter
+		if old != nil {
+			next = append(next, *old...)
+		}
+		next = append(next, kid)
+		if c.kids.CompareAndSwap(old, &next) {
+			return kid
+		}
+	}
+}
+
+// Value returns the current count, including all shard children.
 func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v.Load()
+	total := c.v.Load()
+	if ks := c.kids.Load(); ks != nil {
+		for _, k := range *ks {
+			total += k.Value()
+		}
+	}
+	return total
 }
 
 // Gauge is a metric that can go up and down (a signed instantaneous
@@ -83,6 +119,7 @@ type Histogram struct {
 	bounds  []uint64
 	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
 	sum     atomic.Uint64
+	kids    atomic.Pointer[[]*Histogram]
 }
 
 // NewHistogram returns a detached histogram (normally obtained via
@@ -110,17 +147,50 @@ func (h *Histogram) Observe(v uint64) {
 	h.sum.Add(v)
 }
 
-// snapshot returns per-bucket counts (non-cumulative), the total count,
-// and the sum. Count is derived from the bucket reads themselves so the
-// exported +Inf bucket always equals _count even under concurrent
-// observation.
+// Shard returns a new child histogram (same bounds) owned by one
+// worker; the parent's snapshot, Count, and Sum fold every child in at
+// read time. See Counter.Shard. Nil-safe.
+func (h *Histogram) Shard() *Histogram {
+	if h == nil {
+		return nil
+	}
+	kid := &Histogram{bounds: h.bounds, buckets: make([]atomic.Uint64, len(h.buckets))}
+	for {
+		old := h.kids.Load()
+		var next []*Histogram
+		if old != nil {
+			next = append(next, *old...)
+		}
+		next = append(next, kid)
+		if h.kids.CompareAndSwap(old, &next) {
+			return kid
+		}
+	}
+}
+
+// snapshot returns per-bucket counts (non-cumulative, shard children
+// included), the total count, and the sum. Count is derived from the
+// bucket reads themselves so the exported +Inf bucket always equals
+// _count even under concurrent observation.
 func (h *Histogram) snapshot() (counts []uint64, count, sum uint64) {
 	counts = make([]uint64, len(h.buckets))
+	sum = h.sum.Load()
 	for i := range h.buckets {
 		counts[i] = h.buckets[i].Load()
+	}
+	if ks := h.kids.Load(); ks != nil {
+		for _, k := range *ks {
+			kc, _, ksum := k.snapshot()
+			for i := range counts {
+				counts[i] += kc[i]
+			}
+			sum += ksum
+		}
+	}
+	for i := range counts {
 		count += counts[i]
 	}
-	return counts, count, h.sum.Load()
+	return counts, count, sum
 }
 
 // Count returns the number of observations.
@@ -132,12 +202,13 @@ func (h *Histogram) Count() uint64 {
 	return n
 }
 
-// Sum returns the sum of all observed values.
+// Sum returns the sum of all observed values, shard children included.
 func (h *Histogram) Sum() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.sum.Load()
+	_, _, sum := h.snapshot()
+	return sum
 }
 
 // LatencyBucketsNs is the default per-packet latency bucket layout

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestCounterShardAggregation pins the shard contract: writes through
+// per-worker children are folded into the parent's Value at read time,
+// exactly once each.
+func TestCounterShardAggregation(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	a, b := c.Shard(), c.Shard()
+	a.Add(10)
+	b.Inc()
+	if got := c.Value(); got != 16 {
+		t.Errorf("parent Value = %d, want 16", got)
+	}
+	if got := a.Value(); got != 10 {
+		t.Errorf("shard Value = %d, want 10", got)
+	}
+}
+
+func TestHistogramShardAggregation(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100})
+	h.Observe(5)
+	a, b := h.Shard(), h.Shard()
+	a.Observe(50)
+	a.Observe(500)
+	b.Observe(7)
+	if got := h.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 562 {
+		t.Errorf("Sum = %d, want 562", got)
+	}
+	counts, count, _ := h.snapshot()
+	if count != 4 || counts[0] != 2 || counts[1] != 1 || counts[2] != 1 {
+		t.Errorf("snapshot = %v (count %d), want [2 1 1] count 4", counts, count)
+	}
+}
+
+// TestShardConcurrentScrape races shard creation, shard writes, and
+// registry exposition; the final aggregate must be exact. Run with
+// -race to exercise the memory-model claims.
+func TestShardConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "")
+	h := reg.Histogram("test_hist", "", []uint64{8})
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // scraper racing the writers
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = reg.WritePrometheus(io.Discard)
+				_ = reg.WriteJSON(io.Discard)
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			cs, hs := c.Shard(), h.Shard()
+			for i := 0; i < perWorker; i++ {
+				cs.Inc()
+				hs.Observe(uint64(i % 16))
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}

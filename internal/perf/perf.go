@@ -78,10 +78,21 @@ func (r *Report) Write(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// allocSlack absorbs measurement noise in allocations/packet: one-time
+// lazy growth (map buckets, pool warm-up on a new goroutine) amortized
+// over a short run shows up as a small fraction per packet even on a
+// zero-alloc path.
+const allocSlack = 0.05
+
 // Compare joins current results against a baseline and reports the
-// rows whose ns/packet regressed by more than factor. Only serial
-// modes gate: parallel throughput depends on the machine's core count,
-// which differs between the baseline recorder and the CI runner.
+// rows that regressed by more than factor.
+//
+// ns/packet gates only on serial and batch rows: parallel throughput
+// depends on the machine's core count, which differs between the
+// baseline recorder and the CI runner. Allocations/packet gate on
+// EVERY row, including parallel — allocation counts are
+// machine-independent, and a zero-alloc baseline must stay zero-alloc
+// (within allocSlack) in all modes.
 func Compare(baseline, current *Report, factor float64) []string {
 	cur := make(map[string]Result, len(current.Results))
 	for _, r := range current.Results {
@@ -89,17 +100,23 @@ func Compare(baseline, current *Report, factor float64) []string {
 	}
 	var violations []string
 	for _, b := range baseline.Results {
-		if b.Mode == "parallel" {
-			continue
-		}
 		c, ok := cur[b.Key()]
 		if !ok {
 			violations = append(violations, fmt.Sprintf("%s: missing from current run", b.Key()))
 			continue
 		}
-		if b.NsPerPkt > 0 && c.NsPerPkt > factor*b.NsPerPkt {
+		if b.Mode != "parallel" && b.NsPerPkt > 0 && c.NsPerPkt > factor*b.NsPerPkt {
 			violations = append(violations, fmt.Sprintf(
 				"%s: %.0f ns/pkt vs baseline %.0f (>%.1fx)", b.Key(), c.NsPerPkt, b.NsPerPkt, factor))
+		}
+		if b.AllocsPerPkt <= allocSlack {
+			if c.AllocsPerPkt > allocSlack {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %.2f allocs/pkt vs zero-alloc baseline", b.Key(), c.AllocsPerPkt))
+			}
+		} else if c.AllocsPerPkt > factor*b.AllocsPerPkt {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.2f allocs/pkt vs baseline %.2f (>%.1fx)", b.Key(), c.AllocsPerPkt, b.AllocsPerPkt, factor))
 		}
 	}
 	return violations
@@ -303,14 +320,18 @@ func RunSuite(programs []string, dur time.Duration, workers int, progress func(s
 			}
 			sw.SetWorkers(mode.workers)
 			progress(fmt.Sprintf("%s compiled/%s w%d", prog, mode.name, mode.workers))
+			var results []microp4.BatchResult
 			r, err = Measure(dur, batchSize, func() error {
-				for _, br := range sw.ProcessBatch(batch, 1) {
-					if br.Err != nil {
-						return br.Err
+				results = sw.ProcessBatchInto(batch, 1, results)
+				var ferr error
+				for i := range results {
+					if results[i].Err != nil {
+						ferr = results[i].Err
 					}
+					results[i].Release()
 				}
 				sw.Digests() // drain so the slice cannot grow unbounded
-				return nil
+				return ferr
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s %s: %v", prog, mode.name, err)

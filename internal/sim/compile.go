@@ -84,6 +84,7 @@ func (e *Exec) compile() {
 	e.imInPort = mustScalar(sm, "$im.meta.IN_PORT")
 	e.imInTS = mustScalar(sm, "$im.meta.IN_TIMESTAMP")
 	e.imPktLen = mustScalar(sm, "$im.meta.PKT_LEN")
+	e.imQdepth = mustScalar(sm, "$im.meta.QUEUE_DEPTH")
 	e.imOutPort = mustScalar(sm, "$im.out_port")
 	e.imPerr = mustScalar(sm, "$im.$perr")
 
@@ -350,20 +351,34 @@ func (c *compiler) applyTable(name string) stmtFn {
 			kv[i] = truncate(v, keyWs[i])
 		}
 		call, outcome := e.tables.LookupWithOutcome(name, def, kv)
-		if m := e.metrics; m != nil {
-			cache := tmc.Load()
-			if cache == nil || cache.m != m {
-				cache = &tableMetricsCache{m: m, tm: m.Table(name)}
-				tmc.Store(cache)
+		if m := st.m; m != nil {
+			// The cache tracks the engine's default metrics identity;
+			// per-worker shards (Metadata.M) bypass it with a direct
+			// lookup so concurrent workers don't thrash the pointer.
+			var tm *TableMetrics
+			if cache := tmc.Load(); cache != nil && cache.m == m {
+				tm = cache.tm
+			} else if m == e.metrics {
+				tm = m.Table(name)
+				tmc.Store(&tableMetricsCache{m: m, tm: tm})
+			} else {
+				tm = m.Table(name)
 			}
 			switch outcome {
 			case LookupHit:
-				cache.tm.Hits.Inc()
+				tm.Hits.Inc()
 			case LookupDefault:
-				cache.tm.Defaults.Inc()
+				tm.Defaults.Inc()
 			case LookupMiss:
-				cache.tm.Misses.Inc()
+				tm.Misses.Inc()
 			}
+		}
+		if st.span != nil {
+			act := ""
+			if call != nil {
+				act = call.Name
+			}
+			st.span.step(name, outcome, act)
 		}
 		if e.bus.Active() {
 			detail := "miss (no default)"

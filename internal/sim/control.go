@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"microp4/internal/ir"
 	"microp4/internal/types"
@@ -134,8 +135,15 @@ func (f *frame) applyTable(name string) error {
 		fq = f.inst + "." + name
 	}
 	call, outcome := f.r.ip.tables.LookupWithOutcome(fq, def, keyVals)
-	if f.r.ip.metrics != nil {
-		f.r.ip.metrics.countTable(fq, outcome)
+	if f.r.m != nil {
+		f.r.m.countTable(fq, outcome)
+	}
+	if f.r.span != nil {
+		act := ""
+		if call != nil {
+			act = call.Name
+		}
+		f.r.span.step(fq, outcome, act)
 	}
 	if f.r.ip.bus.Active() {
 		detail := "miss (no default)"
@@ -473,7 +481,14 @@ func (r *run) runModuleFrame(prog *ir.Program, inst string, v view, args []argBi
 		}
 	}
 	if prog.Parser != nil {
+		var pstart time.Time
+		if r.span != nil {
+			pstart = time.Now()
+		}
 		ok, err := f.runParser()
+		if r.span != nil {
+			r.span.ParseNs += time.Since(pstart).Nanoseconds()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -498,7 +513,14 @@ func (r *run) runModuleFrame(prog *ir.Program, inst string, v view, args []argBi
 	if prog.Parser != nil || len(prog.Deparser) > 0 {
 		// Deparse failures surface as *DeparseError and are counted
 		// centrally at the Process boundary (Metrics.countError).
+		var dstart time.Time
+		if r.span != nil {
+			dstart = time.Now()
+		}
 		emitted, err := f.runDeparser()
+		if r.span != nil {
+			r.span.DeparseNs += time.Since(dstart).Nanoseconds()
+		}
 		if err != nil {
 			return nil, err
 		}

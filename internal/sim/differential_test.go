@@ -300,6 +300,79 @@ func TestDifferentialP7Srv6(t *testing.T) {
 	}
 }
 
+// telPkt builds a P8 telemetry-encapsulated packet: Ethernet 0x1266,
+// the tel shim {count, nextType=IPv4}, the given raw records (newest
+// first; the caller makes the oldest carry the last-bit), and an inner
+// L3 packet (an ipv4Pkt/ipv6Pkt with its Ethernet header stripped).
+func telPkt(count uint8, nextType uint16, recs [][3]byte, inner []byte) []byte {
+	b := pkt.NewBuilder().Ethernet(1, 2, 0x1266)
+	b.Payload([]byte{count, byte(nextType >> 8), byte(nextType)})
+	for _, r := range recs {
+		b.Payload(r[:])
+	}
+	return b.Payload(inner).Bytes()
+}
+
+func TestDifferentialP8Int(t *testing.T) {
+	e := buildEngines(t, "P8")
+	innerA := ipv4Pkt(0x0A010203, 64, pkt.ProtoTCP)[14:]
+	innerB := ipv4Pkt(0x14000001, 9, pkt.ProtoUDP)[14:]
+	inner6 := ipv6Pkt(lib.NetV6Hi|0x1, 0x99, 64)[14:]
+	rec1 := [3]byte{0x81, 0x02, 0x40} // last=1 swid=1 lat=2 ttl=64
+	rec2 := [3]byte{0x03, 0x00, 0x3F} // last=0 swid=3 lat=0 ttl=63
+	cases := map[string][]byte{
+		"tel-fresh":      telPkt(0, 0x0800, nil, innerA),
+		"tel-second-hop": telPkt(1, 0x0800, [][3]byte{rec1}, innerB),
+		"tel-third-hop":  telPkt(2, 0x0800, [][3]byte{rec2, rec1}, innerA),
+		"tel-stack-full": telPkt(4, 0x0800, [][3]byte{rec2, rec2, rec2, rec1}, innerA),
+		"tel-v6-inner":   telPkt(0, 0x86DD, nil, inner6),
+		"tel-no-route":   telPkt(0, 0x0800, nil, ipv4Pkt(0x1E000001, 64, pkt.ProtoTCP)[14:]),
+		"tel-ttl-0":      telPkt(0, 0x0800, nil, ipv4Pkt(0x0A010203, 0, pkt.ProtoTCP)[14:]),
+		"tel-truncated":  telPkt(0, 0x0800, nil, innerA[:6]),
+		"tel-bad-stack":  telPkt(3, 0x0800, [][3]byte{rec2, rec2}, innerA)[:30],
+		"plain-v4":       ipv4Pkt(0x0A010203, 64, pkt.ProtoTCP),
+		"plain-v6":       ipv6Pkt(lib.NetV6Hi|5, 1, 17),
+		"arp-bypass":     pkt.NewBuilder().Ethernet(1, 2, 0x0806).Payload([]byte{0, 1, 2, 3}).Bytes(),
+	}
+	for name, data := range cases {
+		e.checkAgreement(t, name, data, meta())
+	}
+}
+
+// TestP8RecordPrepended pins the in-band format: one hop grows the
+// packet by exactly one record, stamped with the installed switch id,
+// the QUEUE_DEPTH latency bucket, and the post-decrement TTL.
+func TestP8RecordPrepended(t *testing.T) {
+	e := buildEngines(t, "P8")
+	in := telPkt(0, 0x0800, nil, ipv4Pkt(0x0A010203, 64, pkt.ProtoTCP)[14:])
+	m := sim.Metadata{InPort: 7, Qdepth: 5}
+	r, err := e.exec.Process(in, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dropped || len(r.Out) != 1 {
+		t.Fatalf("unexpected result %+v", r)
+	}
+	out := r.Out[0].Data
+	if len(out) != len(in)+3 {
+		t.Fatalf("len = %d, want %d (one 3-byte record added)", len(out), len(in)+3)
+	}
+	if out[14] != 1 {
+		t.Errorf("tel.count = %d, want 1", out[14])
+	}
+	// Record layout: last(1)|swid(7), lat, ttl.
+	if out[17] != 0x81 {
+		t.Errorf("rec[0] = %#x, want 0x81 (last=1, swid=1)", out[17])
+	}
+	if out[18] != 5 {
+		t.Errorf("rec lat = %d, want Qdepth 5", out[18])
+	}
+	if out[19] != 63 {
+		t.Errorf("rec ttl = %d, want 63 (post-decrement)", out[19])
+	}
+	r.Release()
+}
+
 // TestOutputBytesChange sanity-checks that the dataplane actually edits
 // packets (guards against trivially-agreeing empty engines).
 func TestOutputBytesChange(t *testing.T) {

@@ -33,7 +33,7 @@ type Exec struct {
 	maxKeys  int // widest table key set (per-state scratch size)
 
 	// Pre-resolved intrinsic scalar slots.
-	imInPort, imInTS, imPktLen, imOutPort, imPerr int
+	imInPort, imInTS, imPktLen, imQdepth, imOutPort, imPerr int
 
 	pool sync.Pool // *execState
 }
@@ -66,6 +66,12 @@ type execState struct {
 	valid   []bool
 	keys    []uint64 // table-key scratch, sized to the widest key set
 	res     ProcResult
+
+	// Per-packet observability context, set by Process from Metadata:
+	// m is the effective metrics sink (a per-worker shard when the
+	// caller supplies one), span the optional hop trace.
+	m    *Metrics
+	span *HopSpan
 }
 
 // getState fetches a pooled state (or builds one) and resets it.
@@ -101,6 +107,7 @@ func (r *ProcResult) Release() {
 	}
 	st := r.owner
 	r.owner = nil
+	st.m, st.span = nil, nil // don't pin observability state from the pool
 	st.e.pool.Put(st)
 }
 
@@ -112,23 +119,34 @@ func (r *ProcResult) Release() {
 // pooled state: call res.Release() once done to recycle it, or keep it
 // indefinitely and let the GC have it.
 func (e *Exec) Process(pkt []byte, meta Metadata) (res *ProcResult, err error) {
+	m := e.metrics
+	if meta.M != nil {
+		m = meta.M
+	}
+	span := meta.Span
 	defer func() {
 		recoverFault("compiled", &res, &err)
 		if err != nil {
-			e.metrics.countError(err)
+			m.countError(err)
+			if span != nil {
+				span.Disposition = "error"
+				span.Err = err.Error()
+			}
 		}
 	}()
-	m := e.metrics
 	sampled := m.sampleLatency()
 	var start time.Time
-	if sampled {
+	if sampled || span != nil {
 		start = time.Now()
 	}
 	st := e.getState()
+	st.m = m
+	st.span = span
 	st.buf = append(st.buf, pkt...)
 	st.scalars[e.imInPort] = meta.InPort
 	st.scalars[e.imInTS] = meta.InTimestamp
 	st.scalars[e.imPktLen] = uint64(len(pkt))
+	st.scalars[e.imQdepth] = meta.Qdepth
 	if err := runList(e.prog, st); err != nil && err != errExit {
 		st.res.owner = nil
 		e.pool.Put(st) // nothing escaped; recycle directly
@@ -140,8 +158,18 @@ func (e *Exec) Process(pkt []byte, meta Metadata) (res *ProcResult, err error) {
 		if st.scalars[e.imPerr] != 0 {
 			res.ParserReject = true
 		}
+		if span != nil {
+			span.Disposition = "drop"
+		}
 	} else {
 		res.Out = append(res.Out, OutPkt{Data: st.buf, Port: st.scalars[e.imOutPort]})
+		if span != nil {
+			span.Disposition = "forward"
+			span.OutPorts = append(span.OutPorts, st.scalars[e.imOutPort])
+		}
+	}
+	if span != nil {
+		span.ExecNs += time.Since(start).Nanoseconds()
 	}
 	if m != nil {
 		m.countResult(meta.InPort, len(pkt), res)

@@ -1,0 +1,51 @@
+package sim
+
+// HopSpan collects one packet's hop-level observations while it crosses
+// an engine: per-table lookup outcomes, parse/execute/deparse wall
+// timings, and the packet's disposition. It is pure data — the trace
+// subsystem (internal/trace) wraps it into a span for the flight
+// recorder — so sim stays dependency-free.
+//
+// A nil *HopSpan (the default in Metadata) records nothing and costs
+// one pointer check per site; all mutators are nil-safe. A HopSpan is
+// owned by a single packet's Process call and needs no locking.
+type HopSpan struct {
+	ParseNs   int64 // reference engine: parser FSM wall time (all frames)
+	ExecNs    int64 // total engine wall time for the pass
+	DeparseNs int64 // reference engine: deparser wall time (all frames)
+
+	Tables []TableStep // lookups in execution order
+
+	Disposition string   // "forward", "drop", "recirculate", "multicast", "error"
+	OutPorts    []uint64 // egress ports (forward/multicast)
+	Recircs     int      // recirculation passes taken
+	Err         string   // typed error, when the pass failed
+}
+
+// TableStep is one table lookup within a hop.
+type TableStep struct {
+	Table   string `json:"table"`
+	Outcome string `json:"outcome"` // "hit", "default", "miss"
+	Action  string `json:"action,omitempty"`
+}
+
+// step appends one lookup outcome. Nil-safe.
+func (h *HopSpan) step(table string, outcome LookupOutcome, action string) {
+	if h == nil {
+		return
+	}
+	h.Tables = append(h.Tables, TableStep{Table: table, Outcome: outcome.String(), Action: action})
+}
+
+// String renders a LookupOutcome for spans and traces.
+func (o LookupOutcome) String() string {
+	switch o {
+	case LookupHit:
+		return "hit"
+	case LookupDefault:
+		return "default"
+	case LookupMiss:
+		return "miss"
+	}
+	return "unknown"
+}

@@ -18,6 +18,17 @@ type Metadata struct {
 	InPort      uint64
 	InTimestamp uint64
 	PktLen      uint64
+	// Qdepth is the QUEUE_DEPTH intrinsic: in the netsim it carries the
+	// packet's queueing delay in virtual ticks, so in-band telemetry
+	// derived from it is deterministic for a fixed seed.
+	Qdepth uint64
+
+	// M overrides the engine's attached metrics for this packet — the
+	// per-worker telemetry shard hook. Nil uses the engine default.
+	M *Metrics
+	// Span, when non-nil, receives this packet's hop-level trace events
+	// (table lookups, disposition). Nil (the default) records nothing.
+	Span *HopSpan
 }
 
 // OutPkt is one output packet.
@@ -123,7 +134,9 @@ type run struct {
 	ip     *Interp
 	im     map[string]uint64 // shared intrinsic metadata ("out_port", "meta.IN_PORT", ...)
 	result *ProcResult
-	obs    *runObs // non-nil only under ObserveProcess
+	obs    *runObs  // non-nil only under ObserveProcess
+	m      *Metrics // effective metrics sink (Metadata.M override or engine default)
+	span   *HopSpan // optional hop trace (Metadata.Span)
 }
 
 // frame is one module invocation.
@@ -155,19 +168,30 @@ func (ip *Interp) Process(pkt []byte, meta Metadata) (*ProcResult, error) {
 }
 
 func (ip *Interp) process(pkt []byte, meta Metadata, obs *runObs) (res *ProcResult, err error) {
+	m := ip.metrics
+	if meta.M != nil {
+		m = meta.M
+	}
+	span := meta.Span
 	defer func() {
 		recoverFault("reference", &res, &err)
 		if err != nil {
-			ip.metrics.countError(err)
+			m.countError(err)
+			if span != nil {
+				span.Disposition = "error"
+				span.Err = err.Error()
+			}
 		}
 	}()
-	sampled := ip.metrics.sampleLatency()
+	sampled := m.sampleLatency()
 	var start time.Time
-	if sampled {
+	if sampled || span != nil {
 		start = time.Now()
 	}
 	r := &run{
-		ip: ip,
+		m:    m,
+		span: span,
+		ip:   ip,
 		im: map[string]uint64{
 			"out_port":           0,
 			"meta.IN_PORT":       meta.InPort,
@@ -175,7 +199,7 @@ func (ip *Interp) process(pkt []byte, meta Metadata, obs *runObs) (res *ProcResu
 			"meta.PKT_LEN":       uint64(len(pkt)),
 			"meta.OUT_TIMESTAMP": 0,
 			"meta.INSTANCE_ID":   0,
-			"meta.QUEUE_DEPTH":   0,
+			"meta.QUEUE_DEPTH":   meta.Qdepth,
 			"meta.DEQ_TIMESTAMP": 0,
 			"meta.ENQ_TIMESTAMP": 0,
 		},
@@ -216,10 +240,23 @@ func (ip *Interp) process(pkt []byte, meta Metadata, obs *runObs) (res *ProcResu
 	default:
 		res.Out = append(res.Out, OutPkt{Data: append([]byte(nil), buf.data...), Port: r.im["out_port"]})
 	}
-	if ip.metrics != nil {
-		ip.metrics.countResult(meta.InPort, len(pkt), res)
+	if span != nil {
+		if res.Dropped {
+			span.Disposition = "drop"
+		} else if len(res.Out) > 0 {
+			span.Disposition = "forward"
+			for _, o := range res.Out {
+				span.OutPorts = append(span.OutPorts, o.Port)
+			}
+		} else {
+			span.Disposition = "drop"
+		}
+		span.ExecNs += time.Since(start).Nanoseconds()
+	}
+	if m != nil {
+		m.countResult(meta.InPort, len(pkt), res)
 		if sampled {
-			ip.metrics.Latency.Observe(uint64(time.Since(start)))
+			m.Latency.Observe(uint64(time.Since(start)))
 		}
 	}
 	return res, nil

@@ -54,18 +54,30 @@ type Metrics struct {
 	SampleEvery atomic.Int64
 	sampleSeq   atomic.Uint64
 
+	// parent is non-nil on a shard view (see Shard): every counter and
+	// histogram above is then an obs shard child of the parent's, and
+	// SampleEvery is read from the parent.
+	parent *Metrics
+	shards atomic.Value // []*Metrics, parent only
+
 	mu     sync.Mutex
 	tables atomic.Value // map[string]*TableMetrics
 	ports  atomic.Value // map[uint64]*PortMetrics
 }
 
 // sampleLatency reports whether this packet's latency should be timed.
-// Nil-safe: no metrics, no timing.
+// Nil-safe: no metrics, no timing. Shards keep their own sampling
+// sequence (uncontended) but read the period from the parent, so tuning
+// SampleEvery on the switch reaches every worker.
 func (m *Metrics) sampleLatency() bool {
 	if m == nil {
 		return false
 	}
-	n := m.SampleEvery.Load()
+	se := &m.SampleEvery
+	if m.parent != nil {
+		se = &m.parent.SampleEvery
+	}
+	n := se.Load()
 	if n <= 1 {
 		return true
 	}
@@ -96,8 +108,58 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 // Registry returns the backing registry (for exposition).
 func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
+// Shard returns worker i's telemetry shard: a Metrics view whose
+// counters and histograms are uncontended per-worker children of this
+// Metrics', folded back in at scrape time by the obs layer. Attach a
+// shard to packet metadata (Metadata.M) and the engines count into it
+// instead of the switch-wide series; aggregated values (registry
+// expositions, Counter.Value) remain exact. Shards are cached — calling
+// Shard(i) repeatedly returns the same view. The Clock gauge is shared
+// with the parent (it is a last-writer-wins instant, not a sum).
+func (m *Metrics) Shard(i int) *Metrics {
+	if m == nil {
+		return nil
+	}
+	if m.parent != nil {
+		return m.parent.Shard(i)
+	}
+	if s, _ := m.shards.Load().([]*Metrics); i < len(s) {
+		return s[i]
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, _ := m.shards.Load().([]*Metrics)
+	for len(s) <= i {
+		s = append(s, m.newShard())
+	}
+	m.shards.Store(s)
+	return s[i]
+}
+
+// newShard builds one per-worker view (caller holds m.mu).
+func (m *Metrics) newShard() *Metrics {
+	s := &Metrics{
+		reg:           m.reg,
+		parent:        m,
+		Packets:       m.Packets.Shard(),
+		Drops:         m.Drops.Shard(),
+		ParserErrors:  m.ParserErrors.Shard(),
+		DeparseErrors: m.DeparseErrors.Shard(),
+		TableErrors:   m.TableErrors.Shard(),
+		EngineFaults:  m.EngineFaults.Shard(),
+		RecircDrops:   m.RecircDrops.Shard(),
+		Recircs:       m.Recircs.Shard(),
+		Latency:       m.Latency.Shard(),
+		Clock:         m.Clock,
+	}
+	s.tables.Store(map[string]*TableMetrics{})
+	s.ports.Store(map[uint64]*PortMetrics{})
+	return s
+}
+
 // Table returns the counters of a fully qualified table, creating them
-// on first use. The fast path is one atomic load plus a map read.
+// on first use. The fast path is one atomic load plus a map read. On a
+// shard view the counters are per-worker children of the parent's.
 func (m *Metrics) Table(name string) *TableMetrics {
 	if t := m.tables.Load().(map[string]*TableMetrics)[name]; t != nil {
 		return t
@@ -108,10 +170,16 @@ func (m *Metrics) Table(name string) *TableMetrics {
 	if t := old[name]; t != nil {
 		return t
 	}
-	t := &TableMetrics{
-		Hits:     m.reg.Counter("up4_table_hits_total", "Table lookups that matched an entry", obs.L("table", name)),
-		Defaults: m.reg.Counter("up4_table_defaults_total", "Table lookups that ran the default action", obs.L("table", name)),
-		Misses:   m.reg.Counter("up4_table_misses_total", "Table lookups with no match and no default", obs.L("table", name)),
+	var t *TableMetrics
+	if m.parent != nil {
+		pt := m.parent.Table(name)
+		t = &TableMetrics{Hits: pt.Hits.Shard(), Defaults: pt.Defaults.Shard(), Misses: pt.Misses.Shard()}
+	} else {
+		t = &TableMetrics{
+			Hits:     m.reg.Counter("up4_table_hits_total", "Table lookups that matched an entry", obs.L("table", name)),
+			Defaults: m.reg.Counter("up4_table_defaults_total", "Table lookups that ran the default action", obs.L("table", name)),
+			Misses:   m.reg.Counter("up4_table_misses_total", "Table lookups with no match and no default", obs.L("table", name)),
+		}
 	}
 	next := make(map[string]*TableMetrics, len(old)+1)
 	for k, v := range old {
@@ -133,13 +201,23 @@ func (m *Metrics) Port(port uint64) *PortMetrics {
 	if p := old[port]; p != nil {
 		return p
 	}
-	l := obs.L("port", strconv.FormatUint(port, 10))
-	p := &PortMetrics{
-		RxPackets: m.reg.Counter("up4_port_rx_packets_total", "Packets received per port", l),
-		RxBytes:   m.reg.Counter("up4_port_rx_bytes_total", "Bytes received per port", l),
-		TxPackets: m.reg.Counter("up4_port_tx_packets_total", "Packets transmitted per port", l),
-		TxBytes:   m.reg.Counter("up4_port_tx_bytes_total", "Bytes transmitted per port", l),
-		Drops:     m.reg.Counter("up4_port_drops_total", "Packets received on this port that were dropped", l),
+	var p *PortMetrics
+	if m.parent != nil {
+		pp := m.parent.Port(port)
+		p = &PortMetrics{
+			RxPackets: pp.RxPackets.Shard(), RxBytes: pp.RxBytes.Shard(),
+			TxPackets: pp.TxPackets.Shard(), TxBytes: pp.TxBytes.Shard(),
+			Drops: pp.Drops.Shard(),
+		}
+	} else {
+		l := obs.L("port", strconv.FormatUint(port, 10))
+		p = &PortMetrics{
+			RxPackets: m.reg.Counter("up4_port_rx_packets_total", "Packets received per port", l),
+			RxBytes:   m.reg.Counter("up4_port_rx_bytes_total", "Bytes received per port", l),
+			TxPackets: m.reg.Counter("up4_port_tx_packets_total", "Packets transmitted per port", l),
+			TxBytes:   m.reg.Counter("up4_port_tx_bytes_total", "Bytes transmitted per port", l),
+			Drops:     m.reg.Counter("up4_port_drops_total", "Packets received on this port that were dropped", l),
+		}
 	}
 	next := make(map[uint64]*PortMetrics, len(old)+1)
 	for k, v := range old {

@@ -7,6 +7,7 @@ import (
 
 	"microp4/internal/obs"
 	"microp4/internal/sim"
+	"microp4/internal/trace"
 )
 
 // Output is one packet leaving the switch.
@@ -47,9 +48,13 @@ type Switch struct {
 	metrics  *sim.Metrics
 	traceOff func() // SetTracer's current subscription
 
-	mu       sync.Mutex // guards mcGroups and digests
+	mu       sync.Mutex // guards mcGroups, digests, and wpool
 	mcGroups map[uint64][]uint64
 	digests  []uint64
+
+	obPool sync.Pool   // *outBuf: pooled per-packet output state
+	wpool  *workerPool // persistent ProcessBatch workers (nil until parallel)
+	tracer atomic.Pointer[trace.Recorder]
 
 	schemaOnce sync.Once
 	schema     *ControlSchema // nil when the dataplane has no compiled pipeline
@@ -273,50 +278,115 @@ func (s *Switch) Process(pkt []byte, inPort uint64) ([]Output, error) {
 	return outs, err
 }
 
+// outBuf is the pooled per-packet output state of the architecture
+// loop: the transmitted packets, the byte buffers backing them (reused
+// across packets once warm), and any digests the dataplane raised.
+type outBuf struct {
+	s       *Switch
+	outs    []Output
+	bufs    [][]byte // backing storage, parallel to outs
+	digests []uint64
+}
+
+func (s *Switch) getOutBuf() *outBuf {
+	ob, _ := s.obPool.Get().(*outBuf)
+	if ob == nil {
+		return &outBuf{s: s}
+	}
+	ob.outs = ob.outs[:0]
+	ob.digests = ob.digests[:0]
+	return ob
+}
+
+// add appends one transmitted packet, copying data into this buffer's
+// pooled backing storage.
+func (ob *outBuf) add(port uint64, data []byte) {
+	i := len(ob.outs)
+	var buf []byte
+	if i < len(ob.bufs) {
+		buf = append(ob.bufs[i][:0], data...)
+		ob.bufs[i] = buf
+	} else {
+		buf = append([]byte(nil), data...)
+		ob.bufs = append(ob.bufs, buf)
+	}
+	ob.outs = append(ob.outs, Output{Port: port, Data: buf})
+}
+
 // processPacket runs one packet (with its pre-assigned clock tick)
-// through the architecture loop — engine, multicast replication,
-// recirculation — and returns the transmitted packets plus any digests
-// the dataplane raised, without touching switch-wide digest or clock
-// state. It is the engine-independent core shared by Process and
-// ProcessBatch; every returned Output owns its bytes.
+// through the architecture loop and returns freshly allocated outputs
+// the caller owns. It is the Process-path wrapper over
+// processPacketInto.
 func (s *Switch) processPacket(pkt []byte, clock, inPort uint64) (outs []Output, digests []uint64, err error) {
+	ob := s.getOutBuf()
+	err = s.processPacketInto(ob, pkt,
+		sim.Metadata{InPort: inPort, InTimestamp: clock, PktLen: uint64(len(pkt))})
+	if len(ob.outs) > 0 {
+		outs = make([]Output, len(ob.outs))
+		for i, o := range ob.outs {
+			outs[i] = Output{Port: o.Port, Data: append([]byte(nil), o.Data...)}
+		}
+	}
+	if len(ob.digests) > 0 {
+		digests = append(digests, ob.digests...)
+	}
+	s.obPool.Put(ob)
+	return outs, digests, err
+}
+
+// processPacketInto runs one packet through the architecture loop —
+// engine, multicast replication, recirculation — appending transmitted
+// packets and digests to ob, without touching switch-wide digest or
+// clock state. It is the engine-independent core shared by Process and
+// ProcessBatch. On error ob's outputs are cleared but digests raised by
+// earlier recirculation passes are kept, matching Process semantics.
+func (s *Switch) processPacketInto(ob *outBuf, pkt []byte, meta sim.Metadata) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			// Architecture-layer panic (the engines recover their own):
 			// degrade to a typed fault, never a crash.
-			outs = nil
+			ob.outs = ob.outs[:0]
 			err = &sim.EngineFault{Engine: "switch", Reason: fmt.Sprint(r), PanicValue: r}
 			if s.metrics != nil {
 				s.metrics.EngineFaults.Inc()
 			}
 		}
 	}()
-	meta := sim.Metadata{InPort: inPort, InTimestamp: clock, PktLen: uint64(len(pkt))}
 	data := pkt
 	for pass := 0; ; pass++ {
 		res, perr := s.process(data, meta)
 		if perr != nil {
-			return nil, digests, perr
+			ob.outs = ob.outs[:0]
+			return perr
 		}
-		digests = append(digests, res.Digests...)
-		for _, o := range res.Out[:max(0, len(res.Out)-1)] {
-			// Enqueued (non-final) packets only come from the reference
-			// interpreter's orchestration modules; their buffers are not
-			// pooled, so aliasing them is safe.
-			outs = append(outs, Output{Port: o.Port, Data: o.Data})
+		ob.digests = append(ob.digests, res.Digests...)
+		for i := 0; i < len(res.Out)-1; i++ {
+			// Enqueued (non-final) packets come from the reference
+			// interpreter's orchestration modules.
+			ob.add(res.Out[i].Port, res.Out[i].Data)
 		}
 		var final *sim.OutPkt
 		if !res.Dropped && len(res.Out) > 0 {
 			final = &res.Out[len(res.Out)-1]
 		}
 		if final != nil && res.McastGroup != 0 {
-			for _, port := range s.mcPorts(res.McastGroup) {
-				outs = append(outs, Output{Port: port, Data: append([]byte(nil), final.Data...)})
+			ports := s.mcPorts(res.McastGroup)
+			for _, port := range ports {
+				ob.add(port, final.Data)
+			}
+			if sp := meta.Span; sp != nil {
+				// The engine saw a forward to the PRE; the architecture
+				// resolved it into replication — the span reports the truth.
+				sp.Disposition = "multicast"
+				sp.OutPorts = append(sp.OutPorts[:0], ports...)
 			}
 			res.Release()
-			return outs, digests, nil
+			return nil
 		}
 		if final != nil && res.Recirculate {
+			if sp := meta.Span; sp != nil {
+				sp.Recircs++
+			}
 			if pass >= s.MaxRecirculations {
 				// The budget is an architecture drop: typed, and counted
 				// against the drop counters alongside the recirculations
@@ -324,10 +394,11 @@ func (s *Switch) processPacket(pkt []byte, clock, inPort uint64) (outs []Output,
 				if s.metrics != nil {
 					s.metrics.RecircDrops.Inc()
 					s.metrics.Drops.Inc()
-					s.metrics.Port(inPort).Drops.Inc()
+					s.metrics.Port(meta.InPort).Drops.Inc()
 				}
 				res.Release()
-				return nil, digests, &sim.RecircBudgetError{Limit: s.MaxRecirculations}
+				ob.outs = ob.outs[:0]
+				return &sim.RecircBudgetError{Limit: s.MaxRecirculations}
 			}
 			// Keep the state alive: data aliases its buffer across the
 			// recirculation (bounded by MaxRecirculations, then GC'd).
@@ -335,18 +406,35 @@ func (s *Switch) processPacket(pkt []byte, clock, inPort uint64) (outs []Output,
 			continue
 		}
 		if final != nil {
-			outs = append(outs, Output{Port: final.Port, Data: append([]byte(nil), final.Data...)})
+			ob.add(final.Port, final.Data)
 		}
 		res.Release()
-		return outs, digests, nil
+		return nil
 	}
 }
 
 // BatchResult is the outcome of one packet of a ProcessBatch call:
-// exactly what Process would have returned for it.
+// exactly what Process would have returned for it. Its outputs are
+// backed by pooled buffers owned by the switch — call Release once the
+// result has been consumed to recycle them (optional: unreleased
+// results are garbage-collected), after which the result and its packet
+// data must not be used.
 type BatchResult struct {
 	Out []Output
 	Err error
+	ob  *outBuf
+}
+
+// Release returns the result's backing buffers to its switch's pool.
+// Safe on the zero value, and idempotent.
+func (r *BatchResult) Release() {
+	if r.ob == nil {
+		return
+	}
+	ob := r.ob
+	r.ob = nil
+	r.Out = nil
+	ob.s.obPool.Put(ob)
 }
 
 // SetWorkers sets how many goroutines ProcessBatch may use (values
@@ -354,7 +442,10 @@ type BatchResult struct {
 // lives in per-worker pools and table lookups go through the same
 // internally synchronized Tables state as Process, so worker mode is
 // safe against concurrent control-plane updates. Safe to call between
-// batches, and from other goroutines.
+// batches, and from other goroutines. The first parallel batch starts a
+// persistent worker pool whose goroutines live for the life of the
+// switch (parallel batches are serialized over it; serial batches and
+// Process stay fully concurrent).
 func (s *Switch) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
@@ -367,60 +458,178 @@ func (s *Switch) SetWorkers(n int) {
 // skewed per-packet costs.
 const batchChunk = 64
 
+// workerPool is the persistent parallel-batch engine: n goroutines
+// blocked on wake, a per-batch job described by the fields below, and
+// atomic chunk claiming. Keeping the goroutines across batches (rather
+// than spawning per batch) is what makes the parallel hot path
+// allocation-free.
+type workerPool struct {
+	s    *Switch
+	n    int
+	wake chan struct{}
+	done sync.WaitGroup
+
+	mu sync.Mutex // serializes batches over the pool
+	// Per-batch job state: written by run() before waking workers, read
+	// by workers only after the channel receive (happens-before), and
+	// cleared before run() returns.
+	pkts    [][]byte
+	results []BatchResult
+	base    uint64
+	inPort  uint64
+	next    atomic.Int64
+}
+
+func newWorkerPool(s *Switch, n int) *workerPool {
+	p := &workerPool{s: s, n: n, wake: make(chan struct{}, n)}
+	for w := 0; w < n; w++ {
+		go p.work(w)
+	}
+	return p
+}
+
+func (p *workerPool) work(w int) {
+	for range p.wake {
+		// Worker w counts into telemetry shard w (uncontended per-worker
+		// series, folded back into the switch-wide metrics at scrape
+		// time) and stages spans in its own trace buffer, published to
+		// the shared ring once per batch.
+		var m *sim.Metrics
+		if p.s.metrics != nil {
+			m = p.s.metrics.Shard(w)
+		}
+		var tb *trace.Buffer
+		if rec := p.s.tracer.Load(); rec != nil {
+			tb = trace.NewBuffer(rec)
+		}
+		n := len(p.pkts)
+		for {
+			hi := int(p.next.Add(batchChunk))
+			lo := hi - batchChunk
+			if lo >= n {
+				break
+			}
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				p.s.runBatchPacket(p.pkts, p.results, p.base, p.inPort, i, m, tb)
+			}
+		}
+		tb.Flush()
+		p.done.Done()
+	}
+}
+
+func (p *workerPool) run(pkts [][]byte, results []BatchResult, base, inPort uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pkts, p.results, p.base, p.inPort = pkts, results, base, inPort
+	p.next.Store(0)
+	p.done.Add(p.n)
+	for w := 0; w < p.n; w++ {
+		p.wake <- struct{}{}
+	}
+	p.done.Wait()
+	p.pkts, p.results = nil, nil
+}
+
+// getPool returns the switch's persistent worker pool, (re)building it
+// when the requested width changed. An abandoned pool's goroutines
+// drain their channel and exit.
+func (s *Switch) getPool(workers int) *workerPool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wpool == nil || s.wpool.n != workers {
+		if s.wpool != nil {
+			close(s.wpool.wake)
+		}
+		s.wpool = newWorkerPool(s, workers)
+	}
+	return s.wpool
+}
+
+// runBatchPacket processes packet i of a batch into results[i],
+// counting into telemetry shard m (nil = the switch-wide series) and
+// staging a hop span in tb when tracing is on (nil = tracing off).
+func (s *Switch) runBatchPacket(pkts [][]byte, results []BatchResult, base, inPort uint64, i int, m *sim.Metrics, tb *trace.Buffer) {
+	ob := s.getOutBuf()
+	meta := sim.Metadata{
+		InPort:      inPort,
+		InTimestamp: base + uint64(i) + 1,
+		PktLen:      uint64(len(pkts[i])),
+		M:           m,
+	}
+	var sp *trace.Span
+	if tb != nil {
+		// Batch packets are self-rooted traces: no network hands them a
+		// context, so the span id doubles as the trace id.
+		sid := tb.NextID()
+		sp = &trace.Span{
+			TraceID: sid, SpanID: sid, Kind: "hop", Name: "batch",
+			Start: meta.InTimestamp, End: meta.InTimestamp,
+			InPort: inPort, Hop: &sim.HopSpan{},
+		}
+		meta.Span = sp.Hop
+	}
+	err := s.processPacketInto(ob, pkts[i], meta)
+	if sp != nil {
+		if err != nil {
+			sp.Hop.Disposition = "error"
+			sp.Hop.Err = err.Error()
+		}
+		tb.Add(sp)
+	}
+	results[i] = BatchResult{Out: ob.outs, Err: err, ob: ob}
+}
+
 // ProcessBatch runs a batch of packets, all received on inPort, through
 // the dataplane, returning one BatchResult per packet in order. It is
 // semantically identical to calling Process once per packet in slice
 // order: clock ticks are pre-assigned per index, digests are published
 // in packet order, and recirculation/multicast resolve per packet —
 // whether the batch runs serially or (after SetWorkers(n>1)) sharded
-// across a worker pool.
+// across the worker pool.
 func (s *Switch) ProcessBatch(pkts [][]byte, inPort uint64) []BatchResult {
+	return s.ProcessBatchInto(pkts, inPort, nil)
+}
+
+// ProcessBatchInto is ProcessBatch reusing a caller-provided results
+// slice (when its capacity suffices). Together with BatchResult.Release
+// it makes the steady-state batch path allocation-free: release every
+// result of a batch before reusing the slice for the next one.
+func (s *Switch) ProcessBatchInto(pkts [][]byte, inPort uint64, results []BatchResult) []BatchResult {
 	n := len(pkts)
 	if n == 0 {
 		return nil
 	}
-	base := s.clock.Add(uint64(n)) - uint64(n)
-	results := make([]BatchResult, n)
-	digests := make([][]uint64, n)
-	runOne := func(i int) {
-		outs, dg, err := s.processPacket(pkts[i], base+uint64(i)+1, inPort)
-		results[i] = BatchResult{Out: outs, Err: err}
-		digests[i] = dg
+	if cap(results) >= n {
+		results = results[:n]
+	} else {
+		results = make([]BatchResult, n)
 	}
+	base := s.clock.Add(uint64(n)) - uint64(n)
 	if workers := int(s.workers.Load()); workers > 1 {
 		if workers > n {
 			workers = n
 		}
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					hi := int(next.Add(batchChunk))
-					lo := hi - batchChunk
-					if lo >= n {
-						return
-					}
-					if hi > n {
-						hi = n
-					}
-					for i := lo; i < hi; i++ {
-						runOne(i)
-					}
-				}
-			}()
-		}
-		wg.Wait()
+		s.getPool(workers).run(pkts, results, base, inPort)
 	} else {
-		for i := range pkts {
-			runOne(i)
+		var tb *trace.Buffer
+		if rec := s.tracer.Load(); rec != nil {
+			tb = trace.NewBuffer(rec)
 		}
+		for i := range pkts {
+			s.runBatchPacket(pkts, results, base, inPort, i, nil, tb)
+		}
+		tb.Flush()
 	}
+	// Publish digests in packet order.
 	var all []uint64
-	for _, dg := range digests {
-		all = append(all, dg...)
+	for i := range results {
+		if ob := results[i].ob; ob != nil && len(ob.digests) > 0 {
+			all = append(all, ob.digests...)
+		}
 	}
 	if len(all) > 0 {
 		s.mu.Lock()

@@ -1,0 +1,218 @@
+package microp4_test
+
+// End-to-end cross-check of the two telemetry views (the ISSUE 7
+// acceptance scenario): P8's telemetry.up4 module stamps INT-style hop
+// records into the packet in-band, the tracing subsystem records hop
+// spans host-side, and for every packet delivered through a seeded
+// three-hop chaos run the two must agree byte for byte — switch id,
+// per-hop queue-depth latency, and TTL-at-hop, joined per delivery via
+// the egress Delivery's trace/span ids.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"microp4"
+	"microp4/internal/lib"
+	"microp4/internal/netsim"
+	"microp4/internal/pkt"
+	"microp4/internal/sim"
+	"microp4/internal/trace"
+)
+
+// replayRules replays a lib-built sim.Tables rule set through the
+// public Switch API (the same adaptation cmd/up4run uses).
+func replayRules(sw *microp4.Switch, tb *sim.Tables) {
+	for _, name := range tb.TableNames() {
+		for _, e := range tb.Entries(name) {
+			keys := make([]microp4.Key, len(e.Keys))
+			for i, k := range e.Keys {
+				switch {
+				case k.DontCare:
+					keys[i] = microp4.Any()
+				case k.HasMask:
+					keys[i] = microp4.Ternary(k.Value, k.Mask)
+				case k.PrefixLen > 0:
+					keys[i] = microp4.LPM(k.Value, k.PrefixLen)
+				default:
+					keys[i] = microp4.Exact(k.Value)
+				}
+			}
+			sw.AddEntry(name, keys, e.Action, e.Args...)
+		}
+	}
+}
+
+// telemetryNetwork wires the three-hop line (s1:1 -> s2:0, s2:1 -> s3:0)
+// with P8 switches carrying distinct telemetry switch ids 1..3, all
+// sharing one flight recorder with the network.
+func telemetryNetwork(t testing.TB, seed uint64, fm netsim.FaultModel) (*netsim.Network, *trace.Recorder) {
+	t.Helper()
+	dp := compileLib(t, "P8")
+	n := netsim.New(seed)
+	rec := trace.NewRecorder(8192)
+	n.SetTracing(rec)
+	for hop := 1; hop <= 3; hop++ {
+		sw := dp.NewSwitch()
+		tb := sim.NewTables()
+		lib.InstallDefaultRules(tb, "P8", false)
+		tb.ClearTable("tel_i.tel_tbl")
+		lib.InstallTelemetryRules(tb, false, uint64(hop))
+		replayRules(sw, tb)
+		sw.SetTracing(rec)
+		if err := n.AddSwitch([]string{"", "s1", "s2", "s3"}[hop], sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Connect("s1", 1, "s2", 0, fm); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("s2", 1, "s3", 0, fm); err != nil {
+		t.Fatal(err)
+	}
+	return n, rec
+}
+
+// telPacket builds one telemetry-encapsulated IPv4 packet: eth 0x1266,
+// empty record stack, inner v4 routed toward NetA.
+func telPacket(i int) []byte {
+	return pkt.NewBuilder().Ethernet(lib.DmacA, uint64(i), 0x1266).
+		Payload([]byte{0, 0x08, 0x00}).
+		Payload(pkt.NewBuilder().
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP, Src: uint32(i), Dst: lib.NetA | uint32(i)}).
+			TCP(uint16(1000+i), 80).Payload([]byte("int")).Bytes()).Bytes()
+}
+
+// telChaos is the cross-check fault model: drop, duplicate, and reorder
+// only — bit-flips or truncation would corrupt the in-band records the
+// test is comparing against the host-side view.
+var telChaos = netsim.FaultModel{Drop: 0.08, Duplicate: 0.08, Reorder: 0.15}
+
+// TestInbandTelemetryMatchesHostSpans runs the seeded chaos line and,
+// for every delivered packet, rebuilds the expected in-band record
+// stack purely from the host-side hop spans of that delivery's trace —
+// the two views must match byte for byte.
+func TestInbandTelemetryMatchesHostSpans(t *testing.T) {
+	n, rec := telemetryNetwork(t, 0x1237, telChaos)
+	const nPkts = 40
+	for i := 0; i < nPkts; i++ {
+		if err := n.Inject("s1", 0, telPacket(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	byID := map[uint64]*trace.Span{}
+	for _, sp := range rec.Spans() {
+		byID[sp.SpanID] = sp
+	}
+	swidOf := map[string]byte{"s1": 1, "s2": 2, "s3": 3}
+
+	deliveries := n.Egress("s3")
+	if len(deliveries) < nPkts/2 {
+		t.Fatalf("only %d of %d packets egressed — fault model too hot for the check", len(deliveries), nPkts)
+	}
+	sawQueued := false
+	for _, d := range deliveries {
+		data := d.Data
+		if len(data) < 17 || data[12] != 0x12 || data[13] != 0x66 {
+			t.Fatalf("egress is not telemetry-encapsulated: % x", data[:17])
+		}
+		if d.Trace == 0 || d.Span == 0 {
+			t.Fatalf("delivery lacks trace context: %+v", d)
+		}
+
+		// This copy's hop sequence, host-side: walk the span parent chain
+		// from the delivery's emitting hop back to the injection.
+		var hops []*trace.Span
+		for id := d.Span; id != 0; {
+			sp := byID[id]
+			if sp == nil {
+				t.Fatalf("span %d of trace %d missing from the ring", id, d.Trace)
+			}
+			if sp.TraceID != d.Trace {
+				t.Fatalf("span %d belongs to trace %d, delivery says %d", id, sp.TraceID, d.Trace)
+			}
+			if sp.Kind == "hop" {
+				hops = append(hops, sp)
+			}
+			id = sp.ParentID
+		}
+		for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+			hops[i], hops[j] = hops[j], hops[i]
+		}
+
+		count := int(data[14])
+		if count != len(hops) {
+			t.Fatalf("trace %d: in-band count %d != %d host-side hop spans", d.Trace, count, len(hops))
+		}
+		// Records sit newest-first after the shim; the inner IPv4 TTL has
+		// been decremented once per hop, so record k (k decrements before
+		// egress remained) carries egress TTL + k.
+		innerTTL := data[17+3*count+8]
+		expect := make([]byte, 0, 3*count)
+		for k := 0; k < count; k++ {
+			hop := hops[count-1-k]
+			b0 := swidOf[hop.Name]
+			if k == count-1 {
+				b0 |= 0x80 // the oldest record carries the last-bit
+			}
+			if hop.Qdepth > 0 {
+				sawQueued = true
+			}
+			expect = append(expect, b0, byte(hop.Qdepth), innerTTL+byte(k))
+		}
+		if got := data[17 : 17+3*count]; !bytes.Equal(got, expect) {
+			t.Errorf("trace %d: in-band records % x != host-derived % x", d.Trace, got, expect)
+		}
+	}
+	if !sawQueued {
+		t.Error("no delivery saw a nonzero queue depth — the latency cross-check never exercised a held packet")
+	}
+}
+
+// TestTelemetryChaosReproducible reruns the identical seeded chaos run:
+// the egress stream (bytes, ports, trace/span ids) and the canonical
+// span stream must be byte-identical, and a different seed must diverge.
+func TestTelemetryChaosReproducible(t *testing.T) {
+	run := func(seed uint64) (string, string) {
+		n, rec := telemetryNetwork(t, seed, telChaos)
+		for i := 0; i < 40; i++ {
+			if err := n.Inject("s1", 0, telPacket(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := n.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		var eg strings.Builder
+		for _, d := range n.Egress("s3") {
+			fmt.Fprintf(&eg, "%s:%d trace=%d span=%d % x\n", d.Node, d.Port, d.Trace, d.Span, d.Data)
+		}
+		var canon []trace.Span
+		for _, sp := range rec.Spans() {
+			canon = append(canon, sp.Canonical())
+		}
+		b, err := json.Marshal(canon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eg.String(), string(b)
+	}
+	e1, s1 := run(0xBEEF)
+	e2, s2 := run(0xBEEF)
+	if e1 != e2 {
+		t.Error("same seed, different egress stream")
+	}
+	if s1 != s2 {
+		t.Error("same seed, different canonical span stream")
+	}
+	if _, s3 := run(0xD1FF); s3 == s1 {
+		t.Error("different seed reproduced the identical span stream")
+	}
+}

@@ -1,0 +1,144 @@
+package microp4_test
+
+// Telemetry-shard correctness (PR 7): parallel batch processing counts
+// into per-worker shards, and exposition aggregates them at scrape
+// time. These tests pin the two halves of that contract: scrapes may
+// race live traffic (run with -race), and the aggregated counters must
+// equal the serial ground truth exactly.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"testing"
+
+	"microp4"
+	"microp4/internal/perf"
+)
+
+// counterSnapshot decodes a registry's JSON exposition into a
+// deterministic map of counter name+labels -> value. Histogram bucket
+// and sum series are timing-dependent and excluded; histogram counts
+// are included (with SampleEvery=1 they must equal the packet count).
+func counterSnapshot(t *testing.T, sw *microp4.Switch) map[string]uint64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sw.Metrics().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name   string            `json:"name"`
+			Type   string            `json:"type"`
+			Labels map[string]string `json:"labels"`
+			Value  *int64            `json:"value"`
+			Count  *uint64           `json:"count"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]uint64)
+	for _, m := range doc.Metrics {
+		keys := make([]string, 0, len(m.Labels))
+		for k, v := range m.Labels {
+			keys = append(keys, k+"="+v)
+		}
+		sort.Strings(keys)
+		id := fmt.Sprintf("%s%v", m.Name, keys)
+		switch {
+		case m.Type == "counter" && m.Value != nil:
+			out[id] = uint64(*m.Value)
+		case m.Type == "gauge" && m.Value != nil:
+			out[id] = uint64(*m.Value)
+		case m.Type == "histogram" && m.Count != nil:
+			out[id+"_count"] = *m.Count
+		}
+	}
+	return out
+}
+
+// runBatches pushes `batches` copies of the standard traffic batch
+// through the switch and releases every result.
+func runBatches(t *testing.T, sw *microp4.Switch, batch [][]byte, batches int) {
+	t.Helper()
+	var results []microp4.BatchResult
+	for b := 0; b < batches; b++ {
+		results = sw.ProcessBatchInto(batch, 1, results)
+		for i := range results {
+			if results[i].Err != nil {
+				t.Fatalf("batch %d pkt %d: %v", b, i, results[i].Err)
+			}
+			results[i].Release()
+		}
+		sw.Digests()
+	}
+}
+
+// TestShardedScrapeMatchesSerial is the concurrent-scrape correctness
+// gate: Prometheus and JSON exposition race live parallel batch
+// processing (per-worker shard writes plus shard creation), and the
+// aggregated counters afterwards equal a serially processed twin's,
+// key for key.
+func TestShardedScrapeMatchesSerial(t *testing.T) {
+	const batches = 16
+	traffic := perf.Traffic()
+	batch := make([][]byte, 128)
+	for i := range batch {
+		batch[i] = traffic[i%len(traffic)]
+	}
+
+	serial, err := perf.Switch("P4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.EnableMetrics()
+	runBatches(t, serial, batch, batches)
+	want := counterSnapshot(t, serial)
+
+	parallel, err := perf.Switch("P4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.EnableMetrics()
+	parallel.SetWorkers(4)
+
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = parallel.Metrics().WritePrometheus(io.Discard)
+					_ = parallel.Metrics().WriteJSON(io.Discard)
+				}
+			}
+		}()
+	}
+	runBatches(t, parallel, batch, batches)
+	close(stop)
+	scrapers.Wait()
+
+	got := counterSnapshot(t, parallel)
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s: parallel aggregate %d, serial ground truth %d", k, got[k], w)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: present in parallel run only (value %d)", k, got[k])
+		}
+	}
+	if want["up4_switch_packets_total[]"] == 0 {
+		t.Fatal("ground truth recorded no packets — snapshot key scheme broken")
+	}
+}
