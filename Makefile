@@ -15,9 +15,9 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/netsim/... ./internal/ctrlplane/... .
+	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/trace/... ./internal/netsim/... ./internal/ctrlplane/... ./internal/flow/... .
 
-# bench measures the packet-throughput trajectory (P1-P7, both engines,
+# bench measures the packet-throughput trajectory (P1-P9, both engines,
 # serial/batch/parallel) and rewrites the committed baseline.
 bench:
 	$(GO) run ./cmd/up4bench -perf -perf-dur 300ms -perf-out BENCH_5.json

@@ -38,19 +38,23 @@ func TestExecHotPathNoAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race mode randomly drops sync.Pool items, so pooling cannot be exact")
 	}
-	progs := []string{"P1", "P4", "P7", "P8"}
+	progs := []string{"P1", "P4", "P7", "P8", "P9"}
 	t.Run("serial", func(t *testing.T) {
 		for _, prog := range progs {
 			exec, _, err := perf.Engines(prog)
 			if err != nil {
 				t.Fatal(err)
 			}
-			traffic := perf.Traffic()
-			meta := sim.Metadata{InPort: 1}
+			// P9 gets the flow-churn mix with an advancing clock so the
+			// zero-alloc pin covers the flowtable path too: lookups,
+			// free-list learns, refresh re-files, and wheel advances.
+			traffic := perf.TrafficFor(prog)
+			var clock uint64
 			var procErr error
 			allocs := testing.AllocsPerRun(500, func() {
 				for _, p := range traffic {
-					res, err := exec.Process(p, meta)
+					clock++
+					res, err := exec.Process(p, sim.Metadata{InPort: 1, InTimestamp: clock})
 					if err != nil {
 						procErr = err
 						return
@@ -77,7 +81,7 @@ func TestExecHotPathNoAlloc(t *testing.T) {
 					t.Fatal(err)
 				}
 				sw.SetWorkers(mode.workers)
-				traffic := perf.Traffic()
+				traffic := perf.TrafficFor(prog)
 				batch := make([][]byte, 256)
 				for i := range batch {
 					batch[i] = traffic[i%len(traffic)]
@@ -183,7 +187,7 @@ func TestBenchRegression(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing guard: skipped in -short mode")
 	}
-	programs := []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8"}
+	programs := []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9"}
 	if os.Getenv("UPDATE_BASELINE") != "" {
 		rep, err := perf.RunSuite(programs, 300*time.Millisecond, 4, nil)
 		if err != nil {

@@ -2,7 +2,7 @@ package microp4_test
 
 // Benchmark harness: one benchmark per evaluation artifact of the paper.
 //
-//	BenchmarkTable1Compose    — compile+link+compose each of P1..P8
+//	BenchmarkTable1Compose    — compile+link+compose each of P1..P9
 //	BenchmarkTable2PHV        — PHV allocation, composed vs monolithic
 //	BenchmarkTable3Stages     — MAU stage scheduling, both paths
 //	BenchmarkFigure9Analysis  — the §5.2 static analysis

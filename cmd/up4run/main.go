@@ -1,5 +1,5 @@
 // Command up4run executes one of the library's composed programs
-// (P1..P8) on the behavioral switch with the standard evaluation rule
+// (P1..P9) on the behavioral switch with the standard evaluation rule
 // set, feeding it a canned packet mix and tracing what happens — a
 // quick, simple_switch-style smoke test for the dataplane.
 //
@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		program  = flag.String("program", "P4", "library program to run (P1..P8)")
+		program  = flag.String("program", "P4", "library program to run (P1..P9)")
 		engine   = flag.String("engine", "compiled", "execution engine: compiled or reference")
 		count    = flag.Int("n", 8, "number of packets to send")
 		trace    = flag.Bool("trace", false, "print per-packet execution traces (§8.2 debugging)")
@@ -55,6 +55,8 @@ func main() {
 		dup     = flag.Float64("chaos-dup", 0.05, "chaos: per-link duplication probability")
 		reorder = flag.Float64("chaos-reorder", 0.05, "chaos: per-link reorder probability")
 		truncP  = flag.Float64("chaos-trunc", 0.05, "chaos: per-link truncation probability")
+		partP   = flag.Float64("chaos-partition", 0, "chaos: per-packet probability of opening a seeded link-partition window")
+		partLen = flag.Uint64("chaos-partition-len", 16, "chaos: partition window length in virtual ticks")
 		churn   = flag.Int("chaos-churn", 0, "chaos: control-plane ops per delivered packet, per switch")
 		topo    = flag.String("topo", "", "chaos: topology file (switch/link/inject lines); default three-hop line")
 		chaosV  = flag.Bool("chaos-v", false, "chaos: print every fault event")
@@ -67,6 +69,7 @@ func main() {
 			switches: *ctrlSw,
 			model: netsim.FaultModel{
 				Drop: *drop, BitFlip: *flip, Duplicate: *dup, Reorder: *reorder, Truncate: *truncP,
+				Partition: *partP, PartitionLen: *partLen,
 			},
 			verbose: *chaosV,
 		})
@@ -76,6 +79,7 @@ func main() {
 			count: *count,
 			model: netsim.FaultModel{
 				Drop: *drop, BitFlip: *flip, Duplicate: *dup, Reorder: *reorder, Truncate: *truncP,
+				Partition: *partP, PartitionLen: *partLen,
 			},
 			churn:    *churn,
 			topo:     *topo,
@@ -303,6 +307,17 @@ func trafficFor(program string) [][]byte {
 				IPv4(pkt.IPv4Opts{TTL: 32, Protocol: pkt.ProtoUDP, Src: 0xC0A80003, Dst: 0x14000001}).
 				UDP(53, 53, 11).Payload([]byte("udp")).Bytes()).Bytes()
 		return append(base, telA, telB)
+	case "P9":
+		// A forward TCP flow from NetA toward NetB and its reverse twin:
+		// the first learns a connection, the second exercises the
+		// return-path allow through the flow table.
+		fwd := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP, Src: 0x0A000001, Dst: 0x14000001}).
+			TCP(4321, 443).Payload([]byte("syn")).Bytes()
+		rev := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP, Src: 0x14000001, Dst: 0x0A000001}).
+			TCP(443, 4321).Payload([]byte("ack")).Bytes()
+		return append(base, fwd, rev)
 	}
 	return base
 }

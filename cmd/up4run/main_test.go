@@ -21,7 +21,7 @@ import (
 // Smoke-run every library program on both engines through the CLI's
 // driver (stdout goes to the test log).
 func TestRunAllPrograms(t *testing.T) {
-	for _, prog := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8"} {
+	for _, prog := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9"} {
 		for _, engine := range []string{"compiled", "reference"} {
 			if err := run(prog, engine, 6, false, "", ""); err != nil {
 				t.Errorf("%s/%s: %v", prog, engine, err)

@@ -36,6 +36,10 @@ type (
 	// validation (Switch.TryAddEntry and friends, or the ctrlplane
 	// agent). Kind carries the reject class (sim.RejectUnknownTable ...).
 	ControlError = sim.ControlError
+	// FlowError reports a flow-table failure: an extern dispatch against
+	// an undeclared flowtable instance, or a FlowSync replication entry
+	// the table cannot admit.
+	FlowError = sim.FlowError
 )
 
 // Class sentinels for errors.Is.
@@ -46,4 +50,5 @@ var (
 	ErrEngine  = sim.ErrEngine
 	ErrRecirc  = sim.ErrRecirc
 	ErrControl = sim.ErrControl
+	ErrFlow    = sim.ErrFlow
 )

@@ -29,12 +29,16 @@ var golden = map[string]goldenRow{
 	"P5": {c8: 1, c16: 61, c32: 4, cBits: 1112, cStages: 10, m8: 10, m16: 8, m32: 19, mBits: 816, mStages: 3},
 	"P6": {c8: 2, c16: 84, c32: 4, cBits: 1488, cStages: 10, m8: 16, m16: 8, m32: 23, mBits: 992, mStages: 3},
 	"P7": {c8: 2, c16: 96, c32: 22, cBits: 2256, cStages: 11, monoInfeasible: true},
+	// Beyond the paper's Table 2/3 (which stop at P7): the telemetry
+	// router and the stateful firewall, pinned the same way.
+	"P8": {c8: 2, c16: 77, c32: 4, cBits: 1376, cStages: 12, m8: 29, m16: 9, m32: 19, mBits: 984, mStages: 3},
+	"P9": {c8: 1, c16: 67, c32: 4, cBits: 1208, cStages: 11, m8: 12, m16: 13, m32: 19, mBits: 912, mStages: 4},
 }
 
 // TestTable2Golden pins the exact Table 2/3 values of every program on
 // the modeled Tofino.
 func TestTable2Golden(t *testing.T) {
-	for _, prog := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7"} {
+	for _, prog := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9"} {
 		want := golden[prog]
 		c, m := reports(t, prog)
 		if !c.Feasible {

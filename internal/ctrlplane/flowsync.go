@@ -1,0 +1,202 @@
+package ctrlplane
+
+import (
+	"fmt"
+
+	"microp4/internal/flow"
+)
+
+// Flow-state replication wire protocol. An active switch streams its
+// flow-table contents to a warm standby over the same lossy links the
+// control protocol crosses, so an active failure can be survived by
+// promoting the standby without dropping established connections.
+//
+// The protocol reuses the control codec's failure split:
+//
+//   - the codec turns corruption into losses (checksum, strict length
+//     accounting — FuzzDecodeFlowSync holds the never-panic contract);
+//   - the standby makes at-least-once delivery safe by deduplicating
+//     on (session, sequence) and replaying the cached ack, and applies
+//     entries through flow.Table.Install, which is idempotent and
+//     never demotes an established flow on a reordered older update;
+//   - the active turns losses into delays: an entry stays unsynced
+//     until its ack arrives, so the next round retransmits it, and a
+//     periodic anti-entropy resync replays the full table to heal any
+//     divergence that slips past the incremental stream.
+//
+// Promotion is never wire-triggered: no FlowSync message can flip a
+// standby into the active role, so corrupted or forged frames cannot
+// promote a stale standby. The failover decision stays with the
+// operator (or the test harness), informed by the standby's
+// last-heard-from-active clock.
+
+// SyncKind names one replication message flavor.
+type SyncKind uint8
+
+const (
+	// SyncUpdate carries the incremental batch: entries learned or
+	// changed since their last acknowledged replication. An empty
+	// update doubles as the health probe that keeps the standby's
+	// last-heard clock fresh.
+	SyncUpdate SyncKind = iota + 1
+	// SyncResync carries an anti-entropy snapshot chunk: every live
+	// entry, synced or not, in the table's deterministic insertion
+	// order.
+	SyncResync
+	syncKindEnd
+)
+
+func (k SyncKind) String() string {
+	switch k {
+	case SyncUpdate:
+		return "update"
+	case SyncResync:
+		return "resync"
+	}
+	return fmt.Sprintf("sync(%d)", uint8(k))
+}
+
+// FlowRec is one replicated flow entry: the 5-tuple, the connection
+// state, and the expiry tick on the active's flow clock. The standby
+// installs it verbatim — its own wheel is behind the active's, so the
+// entry simply lives at least as long there.
+type FlowRec struct {
+	Key    flow.Key
+	State  uint8
+	Expire uint64
+}
+
+// FlowSync is one replication message from active to standby. Session
+// identifies the active↔standby channel; Seq is channel-monotonic and
+// is what the standby deduplicates on (a retransmission reuses neither
+// — lost entries are re-batched under a fresh Seq, and Install
+// idempotence makes the re-apply safe). Clock is the active's flow
+// clock at send time, replicated for lag observability.
+type FlowSync struct {
+	Session uint64
+	Seq     uint64
+	Kind    SyncKind
+	Table   string // fully qualified flowtable path ("" = pure probe)
+	Clock   uint64
+	Entries []FlowRec
+}
+
+// FlowAck answers one FlowSync, echoing Session and Seq. Applied
+// reports how many entries the standby installed (diagnostics only —
+// acknowledgment is per-message, not per-entry).
+type FlowAck struct {
+	Session uint64
+	Seq     uint64
+	Applied uint64
+}
+
+// maxWireFlows bounds the entries per FlowSync frame; the replicator
+// chunks larger batches across frames.
+const maxWireFlows = 256
+
+const (
+	wireMsgFlowSync = 3
+	wireMsgFlowAck  = 4
+)
+
+// EncodeFlowSync serializes a replication message for transmission.
+func EncodeFlowSync(m *FlowSync) []byte {
+	w := &wireWriter{buf: make([]byte, 0, 64+49*len(m.Entries))}
+	w.u8(wireMagic)
+	w.u8(wireVersion)
+	w.u8(wireMsgFlowSync)
+	w.u8(uint8(m.Kind))
+	w.u64(m.Session)
+	w.u64(m.Seq)
+	w.str(m.Table)
+	w.u64(m.Clock)
+	ne := len(m.Entries)
+	if ne > maxWireFlows {
+		ne = maxWireFlows
+	}
+	w.u16(uint16(ne))
+	for _, e := range m.Entries[:ne] {
+		w.u64(e.Key.SrcAddr)
+		w.u64(e.Key.DstAddr)
+		w.u64(e.Key.Proto)
+		w.u64(e.Key.SrcPort)
+		w.u64(e.Key.DstPort)
+		w.u8(e.State)
+		w.u64(e.Expire)
+	}
+	return w.finish()
+}
+
+// DecodeFlowSync parses a replication message. Arbitrary input never
+// panics; corrupted, truncated, or oversized messages return an error.
+func DecodeFlowSync(data []byte) (*FlowSync, error) {
+	r := &wireReader{buf: data}
+	if t := r.checkHeader(); r.err == nil && t != wireMsgFlowSync {
+		r.fail("not a flow-sync message")
+	}
+	m := &FlowSync{}
+	m.Kind = SyncKind(r.u8())
+	if r.err == nil && (m.Kind == 0 || m.Kind >= syncKindEnd) {
+		r.fail("unknown sync kind")
+	}
+	m.Session = r.u64()
+	m.Seq = r.u64()
+	m.Table = r.str()
+	m.Clock = r.u64()
+	ne := int(r.u16())
+	if ne > maxWireFlows {
+		r.fail("too many flow entries")
+		ne = 0
+	}
+	for i := 0; i < ne && r.err == nil; i++ {
+		var e FlowRec
+		e.Key.SrcAddr = r.u64()
+		e.Key.DstAddr = r.u64()
+		e.Key.Proto = r.u64()
+		e.Key.SrcPort = r.u64()
+		e.Key.DstPort = r.u64()
+		e.State = r.u8()
+		if r.err == nil && e.State > flow.StateEstablished {
+			r.fail("unknown flow state")
+		}
+		e.Expire = r.u64()
+		m.Entries = append(m.Entries, e)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// EncodeFlowAck serializes an acknowledgment for transmission.
+func EncodeFlowAck(a *FlowAck) []byte {
+	w := &wireWriter{buf: make([]byte, 0, 32)}
+	w.u8(wireMagic)
+	w.u8(wireVersion)
+	w.u8(wireMsgFlowAck)
+	w.u8(0) // reserved, keeps the 4-byte fixed header shape
+	w.u64(a.Session)
+	w.u64(a.Seq)
+	w.u64(a.Applied)
+	return w.finish()
+}
+
+// DecodeFlowAck parses an acknowledgment (same guarantees as
+// DecodeFlowSync).
+func DecodeFlowAck(data []byte) (*FlowAck, error) {
+	r := &wireReader{buf: data}
+	if t := r.checkHeader(); r.err == nil && t != wireMsgFlowAck {
+		r.fail("not a flow-ack message")
+	}
+	if v := r.u8(); r.err == nil && v != 0 {
+		r.fail("nonzero reserved byte")
+	}
+	a := &FlowAck{}
+	a.Session = r.u64()
+	a.Seq = r.u64()
+	a.Applied = r.u64()
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

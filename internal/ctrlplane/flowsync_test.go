@@ -1,0 +1,116 @@
+package ctrlplane
+
+import (
+	"reflect"
+	"testing"
+
+	"microp4/internal/flow"
+)
+
+// sampleSyncs covers both sync kinds, the bare probe, and multi-entry
+// batches.
+func sampleSyncs() []*FlowSync {
+	return []*FlowSync{
+		{Session: 0xFEED01, Seq: 1, Kind: SyncUpdate}, // bare probe
+		{
+			Session: 0xFEED01, Seq: 2, Kind: SyncUpdate, Table: "fs_i.conn", Clock: 17,
+			Entries: []FlowRec{
+				{Key: flow.Key{SrcAddr: 0x0A000001, DstAddr: 0x14000001, Proto: 6,
+					SrcPort: 4321, DstPort: 443}, State: flow.StateNew, Expire: 273},
+			},
+		},
+		{
+			Session: 0xFEED01, Seq: 3, Kind: SyncResync, Table: "fs_i.conn", Clock: 99,
+			Entries: []FlowRec{
+				{Key: flow.Key{SrcAddr: 1, DstAddr: 2, Proto: 6, SrcPort: 3, DstPort: 4},
+					State: flow.StateEstablished, Expire: 65635},
+				{Key: flow.Key{SrcAddr: 5, DstAddr: 6, Proto: 17, SrcPort: 7, DstPort: 8},
+					State: flow.StateNew, Expire: 355},
+			},
+		},
+	}
+}
+
+func TestFlowSyncRoundTrip(t *testing.T) {
+	for _, m := range sampleSyncs() {
+		enc := EncodeFlowSync(m)
+		got, err := DecodeFlowSync(enc)
+		if err != nil {
+			t.Fatalf("seq %d: decode: %v", m.Seq, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("seq %d: round trip mismatch:\n got %+v\nwant %+v", m.Seq, got, m)
+		}
+		if string(EncodeFlowSync(got)) != string(enc) {
+			t.Errorf("seq %d: re-encode is not byte-identical", m.Seq)
+		}
+	}
+}
+
+func TestFlowAckRoundTrip(t *testing.T) {
+	for _, a := range []*FlowAck{
+		{Session: 1, Seq: 2, Applied: 0},
+		{Session: 0xFFFFFFFFFFFFFFFF, Seq: 9, Applied: 256},
+	} {
+		enc := EncodeFlowAck(a)
+		got, err := DecodeFlowAck(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, a) {
+			t.Errorf("ack round trip mismatch:\n got %+v\nwant %+v", got, a)
+		}
+	}
+}
+
+// TestFlowSyncCorruptionDetected flips every single bit of an encoded
+// sync message; the checksum must turn each corruption into a decode
+// error, never into a different valid message — the property that lets
+// the standby treat bit flips as drops.
+func TestFlowSyncCorruptionDetected(t *testing.T) {
+	enc := EncodeFlowSync(sampleSyncs()[2])
+	for i := 0; i < len(enc)*8; i++ {
+		corrupt := append([]byte(nil), enc...)
+		corrupt[i/8] ^= 1 << (i % 8)
+		if _, err := DecodeFlowSync(corrupt); err == nil {
+			t.Fatalf("bit flip at %d decoded as a valid sync message", i)
+		}
+	}
+	ack := EncodeFlowAck(&FlowAck{Session: 3, Seq: 4, Applied: 5})
+	for i := 0; i < len(ack)*8; i++ {
+		corrupt := append([]byte(nil), ack...)
+		corrupt[i/8] ^= 1 << (i % 8)
+		if _, err := DecodeFlowAck(corrupt); err == nil {
+			t.Fatalf("bit flip at %d decoded as a valid ack", i)
+		}
+	}
+}
+
+// TestFlowSyncRejectsCrossTypes: a sync frame must not decode as an
+// ack or a control message, and vice versa — the type byte is under
+// the checksum.
+func TestFlowSyncRejectsCrossTypes(t *testing.T) {
+	sync := EncodeFlowSync(sampleSyncs()[1])
+	if _, err := DecodeFlowAck(sync); err == nil {
+		t.Error("sync frame decoded as ack")
+	}
+	if _, err := DecodeCtrlOp(sync); err == nil {
+		t.Error("sync frame decoded as ctrl op")
+	}
+	ack := EncodeFlowAck(&FlowAck{Session: 1, Seq: 1})
+	if _, err := DecodeFlowSync(ack); err == nil {
+		t.Error("ack decoded as sync frame")
+	}
+	if _, err := DecodeFlowSync(EncodeCtrlOp(sampleOps()[0])); err == nil {
+		t.Error("ctrl op decoded as sync frame")
+	}
+}
+
+func TestFlowSyncTruncationDetected(t *testing.T) {
+	enc := EncodeFlowSync(sampleSyncs()[2])
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeFlowSync(enc[:n]); err == nil {
+			t.Fatalf("truncation to %dB decoded as a valid sync message", n)
+		}
+	}
+}

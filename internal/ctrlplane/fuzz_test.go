@@ -37,6 +37,55 @@ func FuzzDecodeCtrlOp(f *testing.F) {
 	})
 }
 
+// FuzzDecodeFlowSync: the replication decoder holds the same contract
+// as the control decoders — never a panic on arbitrary bytes, and any
+// input that decodes successfully re-encodes to the exact input (the
+// wire format is canonical).
+func FuzzDecodeFlowSync(f *testing.F) {
+	for _, m := range sampleSyncs() {
+		f.Add(EncodeFlowSync(m))
+	}
+	f.Add(EncodeFlowAck(&FlowAck{Session: 1, Seq: 1, Applied: 2}))
+	f.Add(EncodeCtrlOp(sampleOps()[0]))
+	f.Add([]byte{})
+	f.Add([]byte{wireMagic, wireVersion, wireMsgFlowSync})
+	f.Add(make([]byte, 512))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeFlowSync(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeFlowSync(m)
+		if string(enc) != string(data) {
+			t.Fatalf("valid sync did not re-encode canonically:\n in %x\nout %x", data, enc)
+		}
+		again, err := DecodeFlowSync(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded sync failed: %v", err)
+		}
+		if !reflect.DeepEqual(m, again) {
+			t.Fatalf("round trip not identity:\n first %+v\nsecond %+v", m, again)
+		}
+	})
+}
+
+// FuzzDecodeFlowAck: same contract for the ack decoder.
+func FuzzDecodeFlowAck(f *testing.F) {
+	f.Add(EncodeFlowAck(&FlowAck{Session: 1, Seq: 1, Applied: 0}))
+	f.Add(EncodeFlowAck(&FlowAck{Session: 0xFFFFFFFFFFFFFFFF, Seq: 9, Applied: 256}))
+	f.Add(EncodeFlowSync(sampleSyncs()[1]))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeFlowAck(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeFlowAck(a)
+		if string(enc) != string(data) {
+			t.Fatalf("valid ack did not re-encode canonically:\n in %x\nout %x", data, enc)
+		}
+	})
+}
+
 // FuzzDecodeCtrlReply: same contract for the reply decoder.
 func FuzzDecodeCtrlReply(f *testing.F) {
 	f.Add(EncodeCtrlReply(&CtrlReply{Session: 1, Seq: 1, Status: StatusOK}))

@@ -19,6 +19,7 @@ type Metrics struct {
 
 	rejects map[string]*obs.Counter // up4_ctrl_rejects_total{class}
 	breaker map[string]*obs.Gauge   // up4_ctrl_breaker_state{peer}
+	flowLag map[string]*obs.Gauge   // up4_flow_sync_lag{node}
 }
 
 // NewMetrics registers the control-plane series in reg. Returns nil
@@ -35,6 +36,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		TxnAborts:  reg.Counter("up4_ctrl_txn_aborts_total", "Control-plane transactions aborted"),
 		rejects:    make(map[string]*obs.Counter),
 		breaker:    make(map[string]*obs.Gauge),
+		flowLag:    make(map[string]*obs.Gauge),
 	}
 }
 
@@ -50,6 +52,22 @@ func (m *Metrics) Reject(class string) {
 		m.rejects[class] = c
 	}
 	c.Inc()
+}
+
+// FlowSyncLag returns the per-node replication lag gauge: flow entries
+// awaiting standby acknowledgment, set each sync round. Nil when
+// metrics are off.
+func (m *Metrics) FlowSyncLag(node string) *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	g := m.flowLag[node]
+	if g == nil {
+		g = m.reg.Gauge("up4_flow_sync_lag",
+			"Flow entries awaiting standby acknowledgment", obs.L("node", node))
+		m.flowLag[node] = g
+	}
+	return g
 }
 
 // BreakerGauge returns the per-peer circuit breaker state gauge

@@ -76,7 +76,7 @@ type engines struct {
 	composeErr error
 }
 
-// buildProgEngines compiles prog (P1..P8) and constructs the engines.
+// buildProgEngines compiles prog (P1..P9) and constructs the engines.
 // tf is the midend transform the third engine applies to an
 // independently compiled copy of the sources; the production checker
 // passes midend.Transform, mutation tests pass a broken variant.
@@ -130,10 +130,17 @@ func buildProgEngines(prog string, tf func(*ir.Program) (*ir.Program, error)) (*
 }
 
 // apply resets both control planes to empty and installs the witness's
-// entries in both (the fq naming is identical by construction).
+// entries in both (the fq naming is identical by construction). Flow
+// tables are stateful externs the explorer cannot force, so every
+// engine restarts each witness from empty flow state.
 func (e *engines) apply(w *Witness) {
 	e.tables.Restore(e.base)
 	e.tables3.Restore(e.base3)
+	e.interp.ResetFlows()
+	e.interp3.ResetFlows()
+	if e.exec != nil {
+		e.exec.ResetFlows()
+	}
 	for _, op := range w.Ops {
 		e.tables.AddEntry(op.Table, op.Keys, op.Action, op.Args...)
 		e.tables3.AddEntry(op.Table, op.Keys, op.Action, op.Args...)

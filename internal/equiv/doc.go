@@ -1,6 +1,6 @@
 // Package equiv mechanically checks that µP4C's compilation pipeline
 // preserves behavior on every reachable execution path of the composed
-// programs P1–P8: the slot-compiled MAT engine (sim.Exec), the reference
+// programs P1–P9: the slot-compiled MAT engine (sim.Exec), the reference
 // interpreter (sim.Interp), and an independently re-transformed copy of
 // the program must produce byte-identical outputs on one concrete
 // witness per path.

@@ -30,7 +30,7 @@ type Options struct {
 }
 
 // Check enumerates every reachable execution path of program prog
-// (P1..P8), synthesizes one concrete witness per path, and requires the
+// (P1..P9), synthesizes one concrete witness per path, and requires the
 // reference interpreter, the compiled MAT pipeline, and an independently
 // re-transformed copy to agree byte-for-byte on each. See the package
 // documentation for the architecture and soundness boundary.

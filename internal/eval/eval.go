@@ -182,7 +182,7 @@ func ModuleList() string {
 	return b.String()
 }
 
-// TimingsTable compiles the full P1–P8 suite through the composed path
+// TimingsTable compiles the full P1–P9 suite through the composed path
 // (frontend → midend → Tofino backend) with an obs.PassTimer attached
 // and renders one aggregated per-stage breakdown. Same-name stages
 // merge across programs, so each row is the suite-wide total for that
@@ -206,7 +206,7 @@ func TimingsTable() (string, error) {
 		stop(ir.CountStmts(res.Pipeline.Stmts), rep.Tables)
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "Compiler pass timings over the P1-P8 suite (aggregated):\n\n")
+	fmt.Fprintf(&b, "Compiler pass timings over the P1-P9 suite (aggregated):\n\n")
 	b.WriteString(pt.String())
 	return b.String(), nil
 }

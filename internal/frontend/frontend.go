@@ -232,6 +232,34 @@ func Lower(env *types.Env, pd *ast.ProgramDecl) (*ir.Program, error) {
 					inst.Size = int(size)
 					inst.Width = int(width)
 				}
+				if l.TypeName == "flowtable" {
+					// flowtable(size, idleTTL, estTTL) name; — the
+					// flow-state extension (stateful firewall).
+					if len(l.Args) != 3 {
+						return nil, lw.errf(l.P, "flowtable takes (size, idleTTL, estTTL) constructor arguments")
+					}
+					size, err := env.EvalConst(l.Args[0])
+					if err != nil {
+						return nil, err
+					}
+					idle, err := env.EvalConst(l.Args[1])
+					if err != nil {
+						return nil, err
+					}
+					est, err := env.EvalConst(l.Args[2])
+					if err != nil {
+						return nil, err
+					}
+					if size == 0 || size > 1<<20 {
+						return nil, lw.errf(l.P, "flowtable(%d, ...): size must be 1..2^20", size)
+					}
+					if idle == 0 || est == 0 || idle > 1<<32 || est > 1<<32 {
+						return nil, lw.errf(l.P, "flowtable TTLs must be 1..2^32 ticks (got idle=%d, est=%d)", idle, est)
+					}
+					inst.Size = int(size)
+					inst.IdleTTL = idle
+					inst.EstTTL = est
+				}
 				lw.prog.Instances = append(lw.prog.Instances, inst)
 				lw.bind(l.Name, l.Name, &types.Type{Kind: types.KindExtern, Name: l.TypeName})
 			} else {

@@ -603,6 +603,25 @@ func (lw *lowerer) lowerExternCall(call *ast.CallExpr, recvPath, extern, method 
 			return nil, lw.errf(call.P, "register read destination must be assignable")
 		}
 		return []*ir.Stmt{{Kind: ir.SMethod, Target: recvPath, Method: "register_" + method, Args: args}}, nil
+	case "flowtable":
+		// ft.upsert(hit, dir, srcAddr, dstAddr, proto, srcPort, dstPort):
+		// the single dataplane operation of the flow-state extension.
+		// hit is an out-param the firewall feeds into a match-action
+		// key, so policy decisions stay in the control plane.
+		if method != "upsert" {
+			return nil, lw.errf(call.P, "flowtable has no method %s (only upsert)", method)
+		}
+		args, err := lw.lowerArgs(call.Args)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 7 {
+			return nil, lw.errf(call.P, "flowtable upsert takes (hit, dir, srcAddr, dstAddr, proto, srcPort, dstPort), got %d arguments", len(args))
+		}
+		if args[0].Expr.Kind != ir.ERef && args[0].Expr.Kind != ir.ESlice {
+			return nil, lw.errf(call.P, "flowtable upsert hit destination must be assignable")
+		}
+		return []*ir.Stmt{{Kind: ir.SMethod, Target: recvPath, Method: "flow_upsert", Args: args}}, nil
 	case "mc_engine", "out_buf", "in_buf", "mc_buf":
 		args, err := lw.lowerArgs(call.Args)
 		if err != nil {

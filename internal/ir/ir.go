@@ -454,6 +454,11 @@ type Instance struct {
 	// Register instances (the §8.2 stateful extension).
 	Size  int `json:"size,omitempty"`  // number of cells
 	Width int `json:"width,omitempty"` // cell width in bits
+	// Flowtable instances (the flow-state extension): entry TTLs in
+	// virtual ticks for new and established flows. Size is reused for
+	// the table capacity.
+	IdleTTL uint64 `json:"idle_ttl,omitempty"`
+	EstTTL  uint64 `json:"est_ttl,omitempty"`
 }
 
 // Program is the µP4-IR of one module.

@@ -1,9 +1,9 @@
 // Package lib is the µP4 module library and program suite from the
 // paper's evaluation (§7, Table 1): the reusable packet-processing
-// modules and the composed programs P1–P8 built from them, plus
+// modules and the composed programs P1–P9 built from them, plus
 // monolithic P4-style equivalents used as baselines in Tables 2 and 3.
-// (P8, in-band telemetry, extends the paper's suite with this repo's
-// observability work.)
+// (P8, in-band telemetry, and P9, the stateful firewall, extend the
+// paper's suite with this repo's observability and flow-state work.)
 package lib
 
 import (
@@ -23,6 +23,7 @@ var sources embed.FS
 var moduleFiles = map[string]string{
 	"ACL":       "up4/acl.up4",
 	"FlowCount": "up4/flowcount.up4",
+	"Flowstate": "up4/flowstate.up4",
 	"IPv4":      "up4/ipv4.up4",
 	"IPv4Opts":  "up4/ipv4opts.up4",
 	"IPv6":      "up4/ipv6.up4",
@@ -38,7 +39,7 @@ var moduleFiles = map[string]string{
 
 // Manifest describes one composed program of Table 1.
 type Manifest struct {
-	Name     string   // P1..P8
+	Name     string   // P1..P9
 	Main     string   // main program name
 	MainFile string   // source file of the main program
 	Modules  []string // transitively required library modules
@@ -98,16 +99,22 @@ var Programs = []Manifest{
 		MonoFile:  "mono/p8.up4",
 		Table1Row: []string{"Eth", "IPv4", "IPv6", "INT"},
 	},
+	{
+		Name: "P9", Main: "P9Fw", MainFile: "up4/p9_fw.up4",
+		Modules:   []string{"Flowstate", "L3", "IPv4", "IPv6"},
+		MonoFile:  "mono/p9.up4",
+		Table1Row: []string{"Eth", "IPv4", "IPv6", "FW"},
+	},
 }
 
-// Program returns the manifest for P1..P8.
+// Program returns the manifest for P1..P9.
 func Program(name string) (Manifest, error) {
 	for _, m := range Programs {
 		if m.Name == name || m.Main == name {
 			return m, nil
 		}
 	}
-	return Manifest{}, fmt.Errorf("unknown program %q (have P1..P8)", name)
+	return Manifest{}, fmt.Errorf("unknown program %q (have P1..P9)", name)
 }
 
 // ModuleNames lists the library modules, sorted.

@@ -18,7 +18,7 @@ const (
 )
 
 // InstallDefaultRules installs the standard evaluation rule set for one
-// of P1..P8 into tables. When mono is false, composed (instance-prefixed)
+// of P1..P9 into tables. When mono is false, composed (instance-prefixed)
 // table and action names are used; when true, the monolithic program's
 // flat names. Both installs produce semantically identical dataplanes —
 // the property the differential tests check.
@@ -149,6 +149,16 @@ func InstallDefaultRules(t *sim.Tables, prog string, mono bool) {
 			installV6(composedNames("l3_i.ipv6_i"), "process")
 		}
 		installForward()
+	case "P9":
+		InstallFlowstateRules(t)
+		if mono {
+			installV4(flat, "v4_process")
+			installV6(flat, "v6_process")
+		} else {
+			installV4(composedNames("l3_i.ipv4_i"), "process")
+			installV6(composedNames("l3_i.ipv6_i"), "process")
+		}
+		installForward()
 	}
 }
 
@@ -166,4 +176,18 @@ func InstallTelemetryRules(t *sim.Tables, mono bool, swid uint64) {
 	for cnt := uint64(0); cnt < 4; cnt++ {
 		t.AddEntry(table, []sim.RuntimeKey{sim.Exact(cnt)}, action, swid)
 	}
+}
+
+// InstallFlowstateRules programs P9's direction and firewall policy:
+// traffic arriving on PortB is the reverse (outside) direction, and
+// fw_tbl passes everything except unsolicited reverse traffic —
+// (dir=1, hit=0) falls through to the default deny. The tables live in
+// the main program, so composed and monolithic variants share the flat
+// names (only the flowtable itself is instance-prefixed when composed,
+// and its entries come from the dataplane, not from here).
+func InstallFlowstateRules(t *sim.Tables) {
+	t.AddEntry("dir_tbl", []sim.RuntimeKey{sim.Exact(PortB)}, "dir_rev")
+	t.AddEntry("fw_tbl", []sim.RuntimeKey{sim.Exact(0), sim.Exact(0)}, "allow")
+	t.AddEntry("fw_tbl", []sim.RuntimeKey{sim.Exact(0), sim.Exact(1)}, "allow")
+	t.AddEntry("fw_tbl", []sim.RuntimeKey{sim.Exact(1), sim.Exact(1)}, "allow")
 }

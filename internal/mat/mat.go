@@ -50,6 +50,9 @@ type Pipeline struct {
 	// Registers lists the register instances (§8.2 stateful extension),
 	// fully qualified by module instance path.
 	Registers []ir.Instance
+	// FlowTables lists the flowtable instances (the flow-state
+	// extension), fully qualified by module instance path.
+	FlowTables []ir.Instance
 	// Instances lists every inlined module instance path ("" = main).
 	Instances []string
 
@@ -78,6 +81,7 @@ func (pl *Pipeline) WithStmts(stmts []*ir.Stmt) *Pipeline {
 		PathVars:   pl.PathVars,
 		UserTables: pl.UserTables,
 		Registers:  pl.Registers,
+		FlowTables: pl.FlowTables,
 		Instances:  pl.Instances,
 	}
 }
@@ -203,8 +207,11 @@ func (c *composer) inline(inst string, prog *ir.Program, ctxs []ctx) ([]*ir.Stmt
 	}
 	c.out.Instances = append(c.out.Instances, inst)
 	for _, in := range pf.Instances {
-		if in.Extern == "register" {
+		switch in.Extern {
+		case "register":
 			c.out.Registers = append(c.out.Registers, in)
+		case "flowtable":
+			c.out.FlowTables = append(c.out.FlowTables, in)
 		}
 	}
 

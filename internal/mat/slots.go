@@ -20,10 +20,11 @@ import (
 // trees, action bodies, and table keys, so a compiler walking the same
 // trees never encounters an unmapped reference.
 type SlotMap struct {
-	scalars   map[string]int
-	valids    map[string]int
-	tables    map[string]int
-	registers map[string]int // register name -> index into Pipeline.Registers
+	scalars    map[string]int
+	valids     map[string]int
+	tables     map[string]int
+	registers  map[string]int // register name -> index into Pipeline.Registers
+	flowtables map[string]int // flowtable name -> index into Pipeline.FlowTables
 }
 
 // Scalar returns the dense index of a scalar storage path.
@@ -47,6 +48,13 @@ func (sm *SlotMap) Table(name string) (int, bool) {
 // Register returns the index of a register instance in Pipeline.Registers.
 func (sm *SlotMap) Register(name string) (int, bool) {
 	i, ok := sm.registers[name]
+	return i, ok
+}
+
+// FlowTable returns the index of a flowtable instance in
+// Pipeline.FlowTables.
+func (sm *SlotMap) FlowTable(name string) (int, bool) {
+	i, ok := sm.flowtables[name]
 	return i, ok
 }
 
@@ -82,10 +90,11 @@ var IntrinsicScalars = []string{
 
 func buildSlots(pl *Pipeline) *SlotMap {
 	sm := &SlotMap{
-		scalars:   make(map[string]int),
-		valids:    make(map[string]int),
-		tables:    make(map[string]int),
-		registers: make(map[string]int),
+		scalars:    make(map[string]int),
+		valids:     make(map[string]int),
+		tables:     make(map[string]int),
+		registers:  make(map[string]int),
+		flowtables: make(map[string]int),
 	}
 	for _, p := range IntrinsicScalars {
 		sm.scalar(p)
@@ -120,6 +129,9 @@ func buildSlots(pl *Pipeline) *SlotMap {
 	}
 	for i := range pl.Registers {
 		sm.registers[pl.Registers[i].Name] = i
+	}
+	for i := range pl.FlowTables {
+		sm.flowtables[pl.FlowTables[i].Name] = i
 	}
 	return sm
 }

@@ -22,6 +22,9 @@ const (
 	FaultTruncate FaultKind = "truncate"
 	// FaultLinkDown: the packet hit an administratively-down link.
 	FaultLinkDown FaultKind = "link-down"
+	// FaultPartition: the packet fell into a seeded partition window —
+	// a transient outage during which the link delivers nothing.
+	FaultPartition FaultKind = "partition"
 	// FaultProcError: not a link fault — a node returned a typed error
 	// processing a delivery (the packet is lost, the run continues).
 	FaultProcError FaultKind = "proc-error"
@@ -29,7 +32,8 @@ const (
 
 // FaultKinds lists every fault class, in stable order (for reports).
 var FaultKinds = []FaultKind{
-	FaultDrop, FaultDuplicate, FaultReorder, FaultBitFlip, FaultTruncate, FaultLinkDown,
+	FaultDrop, FaultDuplicate, FaultReorder, FaultBitFlip, FaultTruncate,
+	FaultLinkDown, FaultPartition,
 }
 
 // FaultModel is a link's fault configuration: per-packet probabilities
@@ -41,11 +45,20 @@ type FaultModel struct {
 	Reorder   float64 // probability of holding a packet behind the next
 	BitFlip   float64 // probability of flipping one random bit
 	Truncate  float64 // probability of truncating at a random offset
+
+	// Partition is the per-packet probability of opening a partition
+	// window: a transient outage of PartitionLen virtual ticks during
+	// which the link delivers nothing (the triggering packet included).
+	// Windows are drawn from the link's seeded stream, so a run's
+	// partition schedule is reproducible.
+	Partition    float64
+	PartitionLen uint64 // window length in virtual ticks (0 = 1 tick)
 }
 
 // Lossless reports whether the model can never perturb a packet.
 func (m FaultModel) Lossless() bool {
-	return m.Drop == 0 && m.Duplicate == 0 && m.Reorder == 0 && m.BitFlip == 0 && m.Truncate == 0
+	return m.Drop == 0 && m.Duplicate == 0 && m.Reorder == 0 && m.BitFlip == 0 &&
+		m.Truncate == 0 && m.Partition == 0
 }
 
 // FaultEvent is one injected fault, stamped with the network-global
@@ -104,6 +117,23 @@ func (l *Link) applyFaults(pk linkPkt, emit func(FaultKind, string)) []linkPkt {
 		return nil
 	}
 	m := l.model
+	if m.Partition > 0 {
+		// The extra RNG draw is gated on the model using partitions at
+		// all, so partition-free links keep their historical streams.
+		if pk.sentAt < l.partUntil {
+			emit(FaultPartition, fmt.Sprintf("%dB lost (window open to t=%d)", len(pk.data), l.partUntil))
+			return nil
+		}
+		if l.rng.Float64() < m.Partition {
+			plen := m.PartitionLen
+			if plen == 0 {
+				plen = 1
+			}
+			l.partUntil = pk.sentAt + plen
+			emit(FaultPartition, fmt.Sprintf("%dB lost (opened %d-tick window)", len(pk.data), plen))
+			return nil
+		}
+	}
 	if m.Lossless() && l.held == nil {
 		return []linkPkt{pk}
 	}

@@ -58,12 +58,13 @@ type Node struct {
 // Link is one directed edge with its own fault stream. Connect creates
 // a pair (one per direction), each with an independent stream.
 type Link struct {
-	name     string
-	from, to endpoint
-	model    FaultModel
-	rng      *rand.Rand
-	down     bool
-	held     *linkPkt // a reorder-held packet, trace context included
+	name      string
+	from, to  endpoint
+	model     FaultModel
+	rng       *rand.Rand
+	down      bool
+	partUntil uint64   // end tick of an open partition window
+	held      *linkPkt // a reorder-held packet, trace context included
 }
 
 // Name returns the link's "from->to" name, the key fault events carry.
@@ -99,25 +100,25 @@ type RunStats struct {
 type Network struct {
 	seed  uint64
 	nodes map[string]*Node
-	order []string            // node names in AddSwitch order (deterministic iteration)
-	links map[endpoint]*Link  // keyed by transmitting endpoint
-	lseq  []*Link             // links in Connect order
-	queue []delivery          // in-flight packets, FIFO
+	order []string           // node names in AddSwitch order (deterministic iteration)
+	links map[endpoint]*Link // keyed by transmitting endpoint
+	lseq  []*Link            // links in Connect order
+	queue []delivery         // in-flight packets, FIFO
 	eg    map[string][]Delivery
 
 	now    uint64 // virtual clock, in ticks (see clock.go)
 	tseq   uint64 // timer creation sequence
 	timers timerQueue
 
-	seq     uint64 // fault event sequence
-	sinks   []func(FaultEvent)
-	bus     *sim.Bus // fault events mirrored as trace events
-	tracer  *trace.Recorder
-	reg     *obs.Registry
-	faultC  map[string]*obs.Counter // per (link, kind)
-	delivC  map[string]*obs.Counter // per link
-	errC    map[string]*obs.Counter // per (node, class)
-	stats   RunStats
+	seq    uint64 // fault event sequence
+	sinks  []func(FaultEvent)
+	bus    *sim.Bus // fault events mirrored as trace events
+	tracer *trace.Recorder
+	reg    *obs.Registry
+	faultC map[string]*obs.Counter // per (link, kind)
+	delivC map[string]*obs.Counter // per link
+	errC   map[string]*obs.Counter // per (node, class)
+	stats  RunStats
 }
 
 // New returns an empty network whose fault and churn streams derive

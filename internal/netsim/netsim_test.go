@@ -339,3 +339,56 @@ func (r *recordingTarget) ClearTable(table string) {
 func (r *recordingTarget) SetMulticastGroup(gid uint64, ports ...uint64) {
 	*r.ops = append(*r.ops, fmt.Sprintf("mc %d %v", gid, ports))
 }
+
+func TestPartitionWindows(t *testing.T) {
+	// A certain partition with a long window blacks the link out for the
+	// whole run: nothing crosses, every loss is a partition fault.
+	n, _ := line(t, 11, FaultModel{Partition: 1, PartitionLen: 1 << 20})
+	reg := n.EnableMetrics()
+	for i := 0; i < 5; i++ {
+		_ = n.Inject("s1", 0, []byte{byte(i)})
+	}
+	st, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Egress("s3")) != 0 {
+		t.Error("packet crossed a partitioned link")
+	}
+	if st.Faults[FaultPartition] == 0 {
+		t.Errorf("no partition faults recorded: %+v", st)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`kind="partition"`)) {
+		t.Errorf("metrics missing partition fault series:\n%s", buf.String())
+	}
+
+	// Probabilistic windows are drawn from the seeded stream: the same
+	// seed replays the identical partition schedule, and packets outside
+	// the windows still get through.
+	run := func() (int, map[FaultKind]int) {
+		n, _ := line(t, 12, FaultModel{Partition: 0.3, PartitionLen: 2})
+		for i := 0; i < 40; i++ {
+			_ = n.Inject("s1", 0, []byte{byte(i)})
+		}
+		st, err := n.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(n.Egress("s3")), st.Faults
+	}
+	eg1, f1 := run()
+	eg2, f2 := run()
+	if eg1 != eg2 || f1[FaultPartition] != f2[FaultPartition] {
+		t.Errorf("partition schedule not reproducible: %d/%v vs %d/%v", eg1, f1, eg2, f2)
+	}
+	if f1[FaultPartition] == 0 {
+		t.Error("expected some partition faults at p=0.3")
+	}
+	if eg1 == 0 {
+		t.Error("expected some deliveries outside partition windows")
+	}
+}

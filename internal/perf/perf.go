@@ -136,6 +136,39 @@ func Traffic() [][]byte {
 	}
 }
 
+// FlowChurn builds the stateful benchmark mix for P9: 2*flows routable
+// IPv4 TCP packets over `flows` distinct connections, alternating the
+// forward (NetA→NetB) and return-shaped (NetB→NetA) tuples. Replayed in
+// a loop with an advancing clock, the mix exercises the flowtable hot
+// path end to end: hash lookup on every packet, first-cycle learns
+// through the free list, steady-state refreshes that re-file timer-wheel
+// references, and the per-packet wheel advance that ages entries out.
+func FlowChurn(flows int) [][]byte {
+	out := make([][]byte, 0, 2*flows)
+	for i := 0; i < flows; i++ {
+		fwd := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6,
+				Src: uint32(lib.NetA) | uint32(i+1), Dst: uint32(lib.NetB) | uint32(i+1)}).
+			TCP(uint16(1000+i), 443).Payload(make([]byte, 64)).Bytes()
+		rev := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6,
+				Src: uint32(lib.NetB) | uint32(i+1), Dst: uint32(lib.NetA) | uint32(i+1)}).
+			TCP(443, uint16(1000+i)).Payload(make([]byte, 64)).Bytes()
+		out = append(out, fwd, rev)
+	}
+	return out
+}
+
+// TrafficFor selects the benchmark mix for a program: the flow-churn
+// mix for P9 (whose hot path is the flowtable), the standard stateless
+// mix for everything else.
+func TrafficFor(prog string) [][]byte {
+	if prog == "P9" {
+		return FlowChurn(64)
+	}
+	return Traffic()
+}
+
 // Engines builds both packet engines for one Table 1 program with the
 // standard rule set installed (the same construction bench_test uses).
 func Engines(prog string) (*sim.Exec, *sim.Interp, error) {
@@ -261,24 +294,32 @@ func RunSuite(programs []string, dur time.Duration, workers int, progress func(s
 		Go:     runtime.Version(),
 		Cores:  runtime.NumCPU(),
 	}
-	traffic := Traffic()
-	meta := sim.Metadata{InPort: 1}
 	const batchSize = 256
-	batch := make([][]byte, batchSize)
-	for i := range batch {
-		batch[i] = traffic[i%len(traffic)]
-	}
 	for _, prog := range programs {
+		traffic := TrafficFor(prog)
+		batch := make([][]byte, batchSize)
+		for i := range batch {
+			batch[i] = traffic[i%len(traffic)]
+		}
 		exec, interp, err := Engines(prog)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", prog, err)
 		}
 
+		// The serial cells advance the virtual clock one tick per packet
+		// (the same cadence the Switch batch path uses), so P9's timer
+		// wheel ages entries during the measurement instead of freezing
+		// at tick zero. The clock runs on across both serial cells — the
+		// engines share one flow table, and rewinding it would stall the
+		// wheel for the second cell.
 		progress(prog + " compiled/serial")
 		var seq int
+		var clock uint64
 		r, err := Measure(dur, len(traffic), func() error {
 			for range traffic {
-				res, err := exec.Process(traffic[seq%len(traffic)], meta)
+				clock++
+				res, err := exec.Process(traffic[seq%len(traffic)],
+					sim.Metadata{InPort: 1, InTimestamp: clock})
 				if err != nil {
 					return err
 				}
@@ -297,7 +338,9 @@ func RunSuite(programs []string, dur time.Duration, workers int, progress func(s
 		seq = 0
 		r, err = Measure(dur, len(traffic), func() error {
 			for range traffic {
-				if _, err := interp.Process(traffic[seq%len(traffic)], meta); err != nil {
+				clock++
+				if _, err := interp.Process(traffic[seq%len(traffic)],
+					sim.Metadata{InPort: 1, InTimestamp: clock}); err != nil {
 					return err
 				}
 				seq++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"microp4/internal/flow"
 	"microp4/internal/ir"
 	"microp4/internal/mat"
 )
@@ -275,6 +276,8 @@ func (c *compiler) method(s *ir.Stmt) stmtFn {
 		}
 	case "register_read", "register_write":
 		return c.registerOp(s)
+	case "flow_upsert":
+		return c.flowOp(s)
 	}
 	return c.faultStmt("cannot execute method " + s.Method)
 }
@@ -322,6 +325,45 @@ func (c *compiler) registerOp(s *ir.Stmt) stmtFn {
 		}
 		cells[i] = truncate(v, width)
 		return nil
+	}
+}
+
+// flowOp compiles ft.upsert(hit, dir, srcAddr, dstAddr, proto,
+// srcPort, dstPort) into a closure over the executor's flow-table
+// instance. The wheel advances on the IN_TIMESTAMP scalar slot, the
+// same virtual clock the interpretive engine uses.
+func (c *compiler) flowOp(s *ir.Stmt) stmtFn {
+	fi, ok := c.sm.FlowTable(s.Target)
+	if !ok {
+		err := &FlowError{Table: s.Target, Op: "upsert", Reason: "unknown flowtable in pipeline"}
+		return func(*execState) error { return err }
+	}
+	if len(s.Args) != 7 {
+		return c.faultStmt("flow upsert needs seven arguments")
+	}
+	name := c.e.pl.FlowTables[fi].Name
+	tbl := c.e.flows[name]
+	dst := c.assign(s.Args[0].Expr)
+	var args [6]evalFn // dir, srcAddr, dstAddr, proto, srcPort, dstPort
+	for i := range args {
+		args[i] = c.expr(s.Args[i+1].Expr)
+	}
+	tsSlot := c.e.imInTS
+	return func(st *execState) error {
+		var vals [6]uint64
+		for i, fn := range args {
+			v, err := fn(st)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		hit := tbl.Upsert(flow.Key{
+			SrcAddr: vals[1], DstAddr: vals[2], Proto: vals[3],
+			SrcPort: vals[4], DstPort: vals[5],
+		}, vals[0], st.scalars[tsSlot])
+		st.m.countFlow(name, tbl)
+		return dst(st, hit)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"microp4/internal/flow"
 	"microp4/internal/ir"
 	"microp4/internal/types"
 )
@@ -334,6 +335,8 @@ func (f *frame) method(s *ir.Stmt) error {
 		return nil
 	case "register_read", "register_write":
 		return f.registerOp(s)
+	case "flow_upsert":
+		return f.flowOp(s)
 	case "push_front", "pop_front":
 		return &EngineFault{Engine: "reference",
 			Reason: fmt.Sprintf("%s: header stack op %s reached the interpreter (run midend.Transform first)", f.prog.Name, s.Method)}
@@ -381,6 +384,44 @@ func (f *frame) registerOp(s *ir.Stmt) error {
 	}
 	cells[idx] = truncate(v, inst.Width)
 	return nil
+}
+
+// flowOp executes ft.upsert(hit, dir, srcAddr, dstAddr, proto,
+// srcPort, dstPort) against the persistent flow-table state (the
+// flow-state extension). Like registers, instances are keyed by fully
+// qualified path so the interpreter and the compiled executor agree.
+// The wheel advances on the packet's IN_TIMESTAMP intrinsic, so aging
+// follows the same virtual clock the netsim drives.
+func (f *frame) flowOp(s *ir.Stmt) error {
+	var inst *ir.Instance
+	for i := range f.prog.Instances {
+		if f.prog.Instances[i].Name == s.Target && f.prog.Instances[i].Extern == "flowtable" {
+			inst = &f.prog.Instances[i]
+		}
+	}
+	if inst == nil {
+		return &FlowError{Table: s.Target, Op: "upsert", Reason: "unknown flowtable in " + f.prog.Name}
+	}
+	fq := s.Target
+	if f.inst != "" {
+		fq = f.inst + "." + s.Target
+	}
+	tbl := f.r.ip.FlowTable(fq, inst.Size, inst.IdleTTL, inst.EstTTL)
+	var vals [6]uint64 // dir, srcAddr, dstAddr, proto, srcPort, dstPort
+	for i := range vals {
+		v, err := f.eval(s.Args[i+1].Expr)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	now := f.imGet("meta.IN_TIMESTAMP")
+	hit := tbl.Upsert(flow.Key{
+		SrcAddr: vals[1], DstAddr: vals[2], Proto: vals[3],
+		SrcPort: vals[4], DstPort: vals[5],
+	}, vals[0], now)
+	f.r.m.countFlow(fq, tbl)
+	return f.assign(s.Args[0].Expr, hit)
 }
 
 // viewOfArg resolves a pkt-typed argument expression to its view.

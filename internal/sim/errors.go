@@ -42,6 +42,11 @@ const (
 	// produced on the control path (Switch.Try*, the ctrlplane agent),
 	// never by Process.
 	ClassControl
+	// ClassFlow: a flow-table operation failed — an unknown flowtable
+	// instance reached an engine, or a FlowSync replication frame
+	// carried an entry the table cannot admit. Produced by the flowtable
+	// extern dispatch and the ctrlplane replication layer.
+	ClassFlow
 )
 
 func (c ErrorClass) String() string {
@@ -58,6 +63,8 @@ func (c ErrorClass) String() string {
 		return "recirc"
 	case ClassControl:
 		return "control"
+	case ClassFlow:
+		return "flow"
 	}
 	return "unknown"
 }
@@ -75,6 +82,7 @@ var (
 	ErrEngine  error = &classError{ClassEngine}
 	ErrRecirc  error = &classError{ClassRecirc}
 	ErrControl error = &classError{ClassControl}
+	ErrFlow    error = &classError{ClassFlow}
 )
 
 func classIs(class ErrorClass, target error) bool {
@@ -92,6 +100,7 @@ func ClassOf(err error) (ErrorClass, bool) {
 		ef *EngineFault
 		re *RecircBudgetError
 		ce *ControlError
+		fe *FlowError
 	)
 	switch {
 	case errors.As(err, &pe):
@@ -106,6 +115,8 @@ func ClassOf(err error) (ErrorClass, bool) {
 		return ClassRecirc, true
 	case errors.As(err, &ce):
 		return ClassControl, true
+	case errors.As(err, &fe):
+		return ClassFlow, true
 	}
 	return 0, false
 }
@@ -229,6 +240,26 @@ func (e *ControlError) Error() string {
 }
 
 func (e *ControlError) Is(target error) bool { return classIs(ClassControl, target) }
+
+// FlowError reports a flow-table failure: an extern dispatch against an
+// instance the program does not declare, or a replicated entry the
+// table cannot admit. Dataplane flow misses are not errors (they are a
+// hit=0 table-key value, mirroring parser-reject semantics); FlowError
+// means the program or a sync peer is broken.
+type FlowError struct {
+	Table  string // fully qualified flowtable instance path
+	Op     string // "upsert", "install", "resync", ...
+	Reason string
+}
+
+func (e *FlowError) Error() string {
+	if e.Op != "" {
+		return fmt.Sprintf("flowtable %s: %s: %s", e.Table, e.Op, e.Reason)
+	}
+	return fmt.Sprintf("flowtable %s: %s", e.Table, e.Reason)
+}
+
+func (e *FlowError) Is(target error) bool { return classIs(ClassFlow, target) }
 
 // recoverFault converts an in-flight panic into an *EngineFault on
 // *errp, clearing *resp — the never-panic boundary both engines (and

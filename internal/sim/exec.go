@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"microp4/internal/flow"
 	"microp4/internal/mat"
 	"microp4/internal/types"
 )
@@ -21,10 +22,11 @@ import (
 type Exec struct {
 	pl       *mat.Pipeline
 	tables   *Tables
-	regs     map[string][]uint64 // register state, persistent across packets
-	bus      *Bus                // trace event bus; idle unless subscribed
-	traceOff func()              // SetTracer's current subscription
-	metrics  *Metrics            // nil = observability disabled
+	regs     map[string][]uint64    // register state, persistent across packets
+	flows    map[string]*flow.Table // flowtable state, persistent across packets
+	bus      *Bus                   // trace event bus; idle unless subscribed
+	traceOff func()                 // SetTracer's current subscription
+	metrics  *Metrics               // nil = observability disabled
 
 	prog     []stmtFn            // compiled pipeline control flow
 	actions  map[string]*cAction // compiled actions by fully qualified name
@@ -41,9 +43,14 @@ type Exec struct {
 // NewExec returns an executor for a pipeline sharing control-plane
 // state. The pipeline is slot-compiled here, once.
 func NewExec(pl *mat.Pipeline, t *Tables) *Exec {
-	e := &Exec{pl: pl, tables: t, regs: make(map[string][]uint64), bus: NewBus()}
+	e := &Exec{pl: pl, tables: t,
+		regs: make(map[string][]uint64), flows: make(map[string]*flow.Table), bus: NewBus()}
 	for _, r := range pl.Registers {
 		e.regs[r.Name] = make([]uint64, r.Size)
+	}
+	for i := range pl.FlowTables {
+		ft := &pl.FlowTables[i]
+		e.flows[ft.Name] = flow.New(ft.Size, ft.IdleTTL, ft.EstTTL)
 	}
 	e.compile()
 	return e
@@ -51,6 +58,29 @@ func NewExec(pl *mat.Pipeline, t *Tables) *Exec {
 
 // Register returns a register array's cells by fully qualified path.
 func (e *Exec) Register(path string) []uint64 { return e.regs[path] }
+
+// FlowTable returns a flowtable instance by fully qualified path, or
+// nil. Unlike the interpreter's lazy map, compiled flow tables exist
+// from construction (the pipeline declares them all).
+func (e *Exec) FlowTable(path string) *flow.Table { return e.flows[path] }
+
+// FlowTables returns the flowtable instances by fully qualified path.
+func (e *Exec) FlowTables() map[string]*flow.Table {
+	out := make(map[string]*flow.Table, len(e.flows))
+	for k, v := range e.flows {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetFlows clears every flowtable. The equivalence harness calls
+// this before each witness run so all engines start from identical
+// (empty) flow state.
+func (e *Exec) ResetFlows() {
+	for _, t := range e.flows {
+		t.Reset()
+	}
+}
 
 // Pipeline returns the executed pipeline.
 func (e *Exec) Pipeline() *mat.Pipeline { return e.pl }

@@ -1,0 +1,67 @@
+package sim_test
+
+import (
+	"testing"
+
+	"microp4/internal/lib"
+	"microp4/internal/pkt"
+	"microp4/internal/sim"
+)
+
+// P9 is the one program whose behavior depends on packet *sequences*:
+// the flowtable extern carries state across packets, which the
+// single-packet path-equivalence witnesses cannot reach. This test
+// drives the same learn/establish/expire scenario through all three
+// engines — composed interpreter, compiled pipeline, monolithic
+// interpreter — and requires identical outcomes at every step.
+func TestP9FlowStateDifferential(t *testing.T) {
+	e := buildEngines(t, "P9")
+
+	fwd := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP, Src: 0x0A000001, Dst: 0x14000001}).
+		TCP(4321, 443).Payload([]byte("syn")).Bytes()
+	rev := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP, Src: 0x14000001, Dst: 0x0A000001}).
+		TCP(443, 4321).Payload([]byte("ack")).Bytes()
+
+	meta := func(port, ts uint64) sim.Metadata {
+		return sim.Metadata{InPort: port, InTimestamp: ts}
+	}
+
+	// Unsolicited reverse traffic before any learn: dropped everywhere.
+	e.checkAgreement(t, "rev-unsolicited", rev, meta(lib.PortB, 1))
+	// Forward packet learns the flow and routes to NetB.
+	e.checkAgreement(t, "fwd-learn", fwd, meta(lib.PortA, 2))
+	// The learned flow now admits its return path (and establishes it).
+	e.checkAgreement(t, "rev-establish", rev, meta(lib.PortB, 3))
+	// Established flows keep passing.
+	e.checkAgreement(t, "rev-established", rev, meta(lib.PortB, 4))
+	// Forward refresh on the live flow still routes.
+	e.checkAgreement(t, "fwd-refresh", fwd, meta(lib.PortA, 5))
+	// Past the established TTL (65536 ticks) the flow has aged out:
+	// reverse traffic is unsolicited again.
+	e.checkAgreement(t, "rev-expired", rev, meta(lib.PortB, 5+65537))
+	// Re-learn, then let the flow sit as idle/new past the idle TTL
+	// (256 ticks): still not established, so the return path closes.
+	e.checkAgreement(t, "fwd-relearn", fwd, meta(lib.PortA, 5+65538))
+	e.checkAgreement(t, "rev-idle-expired", rev, meta(lib.PortB, 5+65538+257))
+
+	// Cross-check the dataplane's verdicts against the flow tables the
+	// engines expose: the compiled engine must agree with the composed
+	// interpreter on the surviving entries.
+	it := e.interp.FlowTables()["fs_i.conn"]
+	xt := e.exec.FlowTable("fs_i.conn")
+	if it == nil || xt == nil {
+		t.Fatal("fs_i.conn missing from an engine's flow state")
+	}
+	if it.Len() != xt.Len() {
+		t.Errorf("interp has %d entries, exec %d", it.Len(), xt.Len())
+	}
+	is, xs := it.Stats(), xt.Stats()
+	if is != xs {
+		t.Errorf("counter mismatch: interp %+v exec %+v", is, xs)
+	}
+	if is.Inserts == 0 || is.Expiries == 0 {
+		t.Errorf("scenario should have inserted and expired flows: %+v", is)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"microp4/internal/flow"
 	"microp4/internal/ir"
 	"microp4/internal/linker"
 	"microp4/internal/types"
@@ -62,17 +63,19 @@ var errExit = errors.New("exit")
 type Interp struct {
 	linked   *linker.Linked
 	tables   *Tables
-	regsMu   sync.Mutex          // guards the regs map (lazy allocation)
-	regs     map[string][]uint64 // register state, persistent across packets
-	bus      *Bus                // trace event bus; idle unless subscribed
-	traceOff func()              // SetTracer's current subscription
-	metrics  *Metrics            // nil = observability disabled
+	regsMu   sync.Mutex             // guards the regs and flows maps (lazy allocation)
+	regs     map[string][]uint64    // register state, persistent across packets
+	flows    map[string]*flow.Table // flowtable state, persistent across packets
+	bus      *Bus                   // trace event bus; idle unless subscribed
+	traceOff func()                 // SetTracer's current subscription
+	metrics  *Metrics               // nil = observability disabled
 }
 
 // NewInterp returns an interpreter over a linked program sharing the
 // given control-plane state.
 func NewInterp(l *linker.Linked, t *Tables) *Interp {
-	return &Interp{linked: l, tables: t, regs: make(map[string][]uint64), bus: NewBus()}
+	return &Interp{linked: l, tables: t,
+		regs: make(map[string][]uint64), flows: make(map[string]*flow.Table), bus: NewBus()}
 }
 
 // Register returns a register array's cells (allocated on first access),
@@ -90,6 +93,42 @@ func (ip *Interp) Register(path string, size int) []uint64 {
 		r = nr
 	}
 	return r
+}
+
+// FlowTable returns a flowtable instance's state (allocated on first
+// access), keyed by fully qualified instance path like Register.
+func (ip *Interp) FlowTable(path string, size int, idleTTL, estTTL uint64) *flow.Table {
+	ip.regsMu.Lock()
+	defer ip.regsMu.Unlock()
+	t, ok := ip.flows[path]
+	if !ok {
+		t = flow.New(size, idleTTL, estTTL)
+		ip.flows[path] = t
+	}
+	return t
+}
+
+// FlowTables returns the live flowtable instances by fully qualified
+// path. Tables appear after the first packet touches them.
+func (ip *Interp) FlowTables() map[string]*flow.Table {
+	ip.regsMu.Lock()
+	defer ip.regsMu.Unlock()
+	out := make(map[string]*flow.Table, len(ip.flows))
+	for k, v := range ip.flows {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetFlows clears every flowtable. The equivalence harness calls this
+// before each witness run so all engines start from identical (empty)
+// flow state.
+func (ip *Interp) ResetFlows() {
+	ip.regsMu.Lock()
+	defer ip.regsMu.Unlock()
+	for _, t := range ip.flows {
+		t.Reset()
+	}
 }
 
 // pktBuf is a mutable packet buffer shared across module frames.

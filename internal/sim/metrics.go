@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"microp4/internal/flow"
 	"microp4/internal/obs"
 )
 
@@ -13,6 +14,17 @@ type TableMetrics struct {
 	Hits     *obs.Counter // an installed or const entry matched
 	Defaults *obs.Counter // no entry matched; the default action ran
 	Misses   *obs.Counter // no entry matched and there was no default
+}
+
+// FlowMetrics mirrors one flowtable instance's statistics. All four
+// are gauges set from the table's own cumulative counters after each
+// flow operation — last-writer-wins, so the worker-pool shards share
+// the parent's series (like Clock) and the exported values stay exact.
+type FlowMetrics struct {
+	Entries   *obs.Gauge // live entries (up4_flow_entries)
+	Inserts   *obs.Gauge // cumulative dataplane learns (up4_flow_inserts)
+	Evictions *obs.Gauge // cumulative capacity evictions (up4_flow_evictions)
+	Expiries  *obs.Gauge // cumulative TTL expiries (up4_flow_expiries)
 }
 
 // PortMetrics counts traffic on one port.
@@ -63,6 +75,7 @@ type Metrics struct {
 	mu     sync.Mutex
 	tables atomic.Value // map[string]*TableMetrics
 	ports  atomic.Value // map[uint64]*PortMetrics
+	flows  atomic.Value // map[string]*FlowMetrics
 }
 
 // sampleLatency reports whether this packet's latency should be timed.
@@ -102,6 +115,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	m.SampleEvery.Store(1)
 	m.tables.Store(map[string]*TableMetrics{})
 	m.ports.Store(map[uint64]*PortMetrics{})
+	m.flows.Store(map[string]*FlowMetrics{})
 	return m
 }
 
@@ -154,6 +168,7 @@ func (m *Metrics) newShard() *Metrics {
 	}
 	s.tables.Store(map[string]*TableMetrics{})
 	s.ports.Store(map[uint64]*PortMetrics{})
+	s.flows.Store(map[string]*FlowMetrics{})
 	return s
 }
 
@@ -226,6 +241,53 @@ func (m *Metrics) Port(port uint64) *PortMetrics {
 	next[port] = p
 	m.ports.Store(next)
 	return p
+}
+
+// Flow returns the gauges of a fully qualified flowtable instance,
+// creating them on first use. Shard views resolve to the parent's
+// series — flow gauges carry cumulative values, so last-writer-wins
+// sets are exact.
+func (m *Metrics) Flow(name string) *FlowMetrics {
+	if m.parent != nil {
+		return m.parent.Flow(name)
+	}
+	if f := m.flows.Load().(map[string]*FlowMetrics)[name]; f != nil {
+		return f
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.flows.Load().(map[string]*FlowMetrics)
+	if f := old[name]; f != nil {
+		return f
+	}
+	l := obs.L("table", name)
+	f := &FlowMetrics{
+		Entries:   m.reg.Gauge("up4_flow_entries", "Live flow-table entries", l),
+		Inserts:   m.reg.Gauge("up4_flow_inserts", "Cumulative flow-table learns", l),
+		Evictions: m.reg.Gauge("up4_flow_evictions", "Cumulative flow-table capacity evictions", l),
+		Expiries:  m.reg.Gauge("up4_flow_expiries", "Cumulative flow-table TTL expiries", l),
+	}
+	next := make(map[string]*FlowMetrics, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = f
+	m.flows.Store(next)
+	return f
+}
+
+// countFlow mirrors a flowtable's statistics into its gauges after a
+// flow operation. Nil-safe.
+func (m *Metrics) countFlow(name string, t *flow.Table) {
+	if m == nil {
+		return
+	}
+	f := m.Flow(name)
+	st := t.Stats()
+	f.Entries.Set(int64(t.Len()))
+	f.Inserts.Set(int64(st.Inserts))
+	f.Evictions.Set(int64(st.Evictions))
+	f.Expiries.Set(int64(st.Expiries))
 }
 
 // countTable records one lookup outcome. Nil-safe.

@@ -236,6 +236,18 @@ func (env *Env) checkExternMethod(sc *Scope, call *ast.CallExpr, extern, method 
 		case "write":
 			return nil, env.checkArgs(sc, call, kindBits, kindBits)
 		}
+	case "flowtable":
+		if method == "upsert" {
+			// upsert(out hit, dir, srcAddr, dstAddr, proto, srcPort, dstPort)
+			if err := env.checkArgs(sc, call, kindBits, kindBits, kindBits,
+				kindBits, kindBits, kindBits, kindBits); err != nil {
+				return nil, err
+			}
+			if !isLValue(call.Args[0]) {
+				return nil, env.errf(call.P, "flowtable upsert hit destination must be assignable")
+			}
+			return nil, nil
+		}
 	case "in_buf":
 		return nil, env.errf(call.P, "in_buf.%s is not user-callable (used only by the architecture)", method)
 	}

@@ -126,6 +126,9 @@ var externNames = map[string]bool{
 	// The §8.2 stateful extension: register arrays persisting across
 	// packets, instantiated as `register(size, width) name;`.
 	"register": true,
+	// The flow-state extension: a connection table with timer-wheel
+	// aging, instantiated as `flowtable(size, idleTTL, estTTL) name;`.
+	"flowtable": true,
 }
 
 // IsExternName reports whether name is a µPA extern type.

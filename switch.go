@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"microp4/internal/flow"
 	"microp4/internal/obs"
 	"microp4/internal/sim"
 	"microp4/internal/trace"
@@ -89,6 +90,42 @@ func (s *Switch) ReadRegister(path string, idx int) (uint64, error) {
 		return 0, fmt.Errorf("register %s has no cell %d", path, idx)
 	}
 	return cells[idx], nil
+}
+
+// FlowTable returns a flowtable instance (the flow-state extension) by
+// fully qualified path, or nil when the program declares none by that
+// name. The ctrlplane replication layer reads and installs entries
+// through it; the dataplane mutates it via ft.upsert.
+func (s *Switch) FlowTable(path string) *flow.Table {
+	pl := s.dp.res.Pipeline
+	if pl == nil {
+		return nil
+	}
+	for i := range pl.FlowTables {
+		ft := &pl.FlowTables[i]
+		if ft.Name != path {
+			continue
+		}
+		if s.engine == EngineReference || s.exec == nil {
+			return s.interp.FlowTable(path, ft.Size, ft.IdleTTL, ft.EstTTL)
+		}
+		return s.exec.FlowTable(path)
+	}
+	return nil
+}
+
+// FlowTablePaths lists the program's flowtable instances by fully
+// qualified path, in declaration order.
+func (s *Switch) FlowTablePaths() []string {
+	pl := s.dp.res.Pipeline
+	if pl == nil {
+		return nil
+	}
+	out := make([]string, 0, len(pl.FlowTables))
+	for i := range pl.FlowTables {
+		out = append(out, pl.FlowTables[i].Name)
+	}
+	return out
 }
 
 // NewSwitch returns a switch running the compiled pipeline.
