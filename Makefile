@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-check fuzz verify-paths
+.PHONY: all build test race bench bench-check fuzz upgrade-smoke verify-paths
 
 all: build test
 
@@ -15,7 +15,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/trace/... ./internal/netsim/... ./internal/ctrlplane/... ./internal/flow/... .
+	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/trace/... ./internal/netsim/... ./internal/ctrlplane/... ./internal/flow/... ./internal/issu/... .
 
 # bench measures the packet-throughput trajectory (P1-P9, both engines,
 # serial/batch/parallel) and rewrites the committed baseline.
@@ -29,6 +29,11 @@ bench-check:
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzProcess -fuzztime 20s .
+
+# upgrade-smoke performs an in-service P9 -> P9v2 upgrade (stage, shadow
+# canary, cutover) over 10% drop links end to end.
+upgrade-smoke:
+	$(GO) run ./cmd/up4run -upgrade P9,up4/p9_fw_v2.up4 -seed 7 -chaos-drop 0.1 -chaos-dup 0.05 -chaos-reorder 0.05
 
 # verify-paths runs the mechanized path-coverage equivalence check over
 # P1-P8: every enumerated parser path and control-site outcome gets a

@@ -22,6 +22,16 @@
 //
 //	up4run -program P4 -ctrl -seed 7 -chaos-drop 0.15
 //	up4run -program P2 -ctrl -ctrl-switches 5 -chaos-v
+//
+// With -upgrade old,new it performs an in-service upgrade: a switch
+// running the old program keeps serving timer-driven traffic while a
+// coordinator stages the new program over the same lossy links, shadow
+// canaries it against the live generation, and commits the cutover (or
+// rolls back on divergence). Each side is a library program name or a
+// µP4 main-module file:
+//
+//	up4run -upgrade P9,up4/p9_fw_v2.up4 -seed 7 -chaos-drop 0.1
+//	up4run -upgrade P9,mynew.up4 -upgrade-canary 128 -chaos-v
 package main
 
 import (
@@ -48,6 +58,8 @@ func main() {
 
 		chaos   = flag.Bool("chaos", false, "run a seeded chaos network instead of a single switch")
 		ctrl    = flag.Bool("ctrl", false, "drive a transactional rule rollout over lossy control links")
+		upgrade = flag.String("upgrade", "", "in-service upgrade: old,new (library program names or .up4 main files)")
+		canaryN = flag.Uint64("upgrade-canary", 0, "upgrade: canary mirror budget in packets (0 = default)")
 		ctrlSw  = flag.Int("ctrl-switches", 3, "ctrl: number of switches the transaction spans")
 		seed    = flag.Uint64("seed", 1, "chaos: network seed (identical seed => identical fault sequence)")
 		drop    = flag.Float64("chaos-drop", 0.1, "chaos: per-link packet drop probability")
@@ -63,7 +75,17 @@ func main() {
 	)
 	flag.Parse()
 	var err error
-	if *ctrl {
+	if *upgrade != "" {
+		err = runUpgrade(*upgrade, *engine, upgradeOpts{
+			seed:    *seed,
+			canaryN: *canaryN,
+			model: netsim.FaultModel{
+				Drop: *drop, BitFlip: *flip, Duplicate: *dup, Reorder: *reorder, Truncate: *truncP,
+				Partition: *partP, PartitionLen: *partLen,
+			},
+			verbose: *chaosV,
+		})
+	} else if *ctrl {
 		err = runCtrl(*program, *engine, ctrlOpts{
 			seed:     *seed,
 			switches: *ctrlSw,

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"microp4"
+	"microp4/internal/issu"
+	"microp4/internal/lib"
+	"microp4/internal/netsim"
+	"microp4/internal/obs"
+	"microp4/internal/sim"
+)
+
+// upgradeOpts collects the -upgrade flag values (the fault model is
+// shared with -chaos).
+type upgradeOpts struct {
+	seed    uint64
+	model   netsim.FaultModel
+	canaryN uint64
+	verbose bool
+}
+
+// upgradeSide is one half of the -upgrade spec: a library program name
+// (P1..P9) or a µP4 main-module source file.
+type upgradeSide struct {
+	name string      // display name (program or file base name)
+	main issu.Module // main module source
+	lib  bool        // true when name is a library program
+}
+
+func resolveUpgradeSide(spec string) (upgradeSide, error) {
+	if m, err := lib.Program(spec); err == nil {
+		src, err := lib.Source(m.MainFile)
+		if err != nil {
+			return upgradeSide{}, err
+		}
+		return upgradeSide{name: spec, main: issu.Module{Name: m.MainFile, Source: src}, lib: true}, nil
+	}
+	// Not a catalog program: a source file, embedded (up4/x.up4) or on
+	// disk.
+	src, err := lib.Source(spec)
+	if err != nil {
+		data, ferr := os.ReadFile(spec)
+		if ferr != nil {
+			return upgradeSide{}, fmt.Errorf("%q is neither a library program nor a readable file: %v", spec, ferr)
+		}
+		src = string(data)
+	}
+	return upgradeSide{name: filepath.Base(spec), main: issu.Module{Name: filepath.Base(spec), Source: src}}, nil
+}
+
+// libModules ships a catalog program's library modules as wire modules.
+func libModules(program string) ([]issu.Module, error) {
+	m, err := lib.Program(program)
+	if err != nil {
+		return nil, err
+	}
+	var out []issu.Module
+	for _, name := range m.Modules {
+		src, err := lib.ModuleSource(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, issu.Module{Name: name + ".up4", Source: src})
+	}
+	return out, nil
+}
+
+// runUpgrade demonstrates an in-service upgrade end to end: a switch
+// running the old program serves timer-driven traffic while a
+// coordinator stages the new program over a lossy control channel,
+// shadow-canaries it against the live generation, and either commits
+// the cutover or rolls back on divergence. The spec is "old,new" where
+// each side is a library program name or a .up4 main-module file; at
+// least one side must be a library program (it donates the module set
+// and the rule plan).
+func runUpgrade(spec, engine string, o upgradeOpts) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-upgrade wants old,new (got %q)", spec)
+	}
+	oldSide, err := resolveUpgradeSide(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return err
+	}
+	newSide, err := resolveUpgradeSide(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return err
+	}
+	moduleDonor := ""
+	switch {
+	case oldSide.lib:
+		moduleDonor = oldSide.name
+	case newSide.lib:
+		moduleDonor = newSide.name
+	default:
+		return fmt.Errorf("-upgrade needs at least one library program side to resolve modules")
+	}
+	modules, err := libModules(moduleDonor)
+	if err != nil {
+		return err
+	}
+
+	// Build and program the running (old) generation.
+	oldMain, err := microp4.CompileModule(oldSide.main.Name, oldSide.main.Source)
+	if err != nil {
+		return fmt.Errorf("old program: %w", err)
+	}
+	var mods []*microp4.Module
+	for _, wm := range modules {
+		mod, err := microp4.CompileModule(wm.Name, wm.Source)
+		if err != nil {
+			return fmt.Errorf("%s: %w", wm.Name, err)
+		}
+		mods = append(mods, mod)
+	}
+	dp, err := microp4.Build(oldMain, mods...)
+	if err != nil {
+		return fmt.Errorf("old program: %w", err)
+	}
+	eng := microp4.EngineCompiled
+	if engine == "reference" {
+		eng = microp4.EngineReference
+	}
+	sw := dp.NewSwitchWith(eng)
+	if oldSide.lib {
+		installRules(sw, oldSide.name)
+	}
+
+	// Wire the upgrade channel over the lossy network.
+	const upgradePort, coordPort = 9, 1
+	n := netsim.New(o.seed)
+	reg := obs.NewRegistry()
+	metrics := issu.NewMetrics(reg)
+	if o.verbose {
+		n.OnFault(func(e netsim.FaultEvent) { fmt.Println("  fault:", e) })
+		n.Bus().Subscribe(func(e sim.TraceEvent) {
+			if e.Kind == "issu" {
+				fmt.Printf("  issu: %-6s %-12s %s\n", e.Module, e.Name, e.Detail)
+			}
+		})
+	}
+	agent := issu.NewAgent("dut", sw, issu.AgentConfig{
+		UpgradePort: upgradePort,
+		Upgrader:    issu.UpgraderConfig{Metrics: metrics, Bus: n.Bus(), Now: n.Now},
+	})
+	if err := n.AddSwitch("dut", agent); err != nil {
+		return err
+	}
+	coord, err := issu.NewCoordinator(n, "coord", issu.CoordinatorConfig{
+		Seed: o.seed, CanaryN: o.canaryN, Metrics: metrics,
+	})
+	if err != nil {
+		return err
+	}
+	if err := coord.AddPeer("dut", coordPort); err != nil {
+		return err
+	}
+	if err := n.Connect("coord", coordPort, "dut", upgradePort, o.model); err != nil {
+		return err
+	}
+
+	// Timer-driven traffic keeps the canary fed while the 2PC runs.
+	donor := oldSide.name
+	if !oldSide.lib {
+		donor = moduleDonor
+	}
+	packets := trafficFor(donor)
+	sent, stop := 0, false
+	var tick func()
+	tick = func() {
+		if stop || sent >= 5000 {
+			return
+		}
+		_ = n.Inject("dut", uint64(sent%4), packets[sent%len(packets)])
+		sent++
+		n.After(3, tick)
+	}
+	n.After(3, tick)
+
+	canaryN := o.canaryN
+	if canaryN == 0 {
+		canaryN = 64
+	}
+	fmt.Printf("upgrade: %s -> %s, seed %#x, canary %d packets, model %+v\n",
+		oldSide.name, newSide.name, o.seed, canaryN, o.model)
+
+	var upErr error
+	resolved := false
+	if err := coord.Upgrade(newSide.name, newSide.main, modules, func(e error) {
+		upErr, resolved, stop = e, true, true
+	}); err != nil {
+		return err
+	}
+	if _, err := n.Run(0); err != nil {
+		return err
+	}
+	if !resolved {
+		return fmt.Errorf("network went quiet without resolving the upgrade")
+	}
+
+	phase, _, canary := agent.Upgrader().Status()
+	gen := sw.Generation()
+	st := n.Stats()
+	fmt.Printf("\ndata traffic during upgrade: %d packets\n", sent)
+	fmt.Printf("switch state: phase=%s live-generation=%d canary{mirrored=%d diverged=%v}\n",
+		phase, gen, canary.Mirrored, canary.Diverged)
+	var kinds []string
+	for k := range st.Faults {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  fault %-9s %d\n", k, st.Faults[netsim.FaultKind(k)])
+	}
+	fmt.Println("\nfinal upgrade metrics:")
+	if err := reg.WritePrometheus(os.Stdout); err != nil {
+		return err
+	}
+	if upErr != nil {
+		return fmt.Errorf("upgrade did not commit: %w", upErr)
+	}
+	fmt.Printf("\nupgrade committed: %s is live as generation %d\n", newSide.name, gen)
+	return nil
+}

@@ -40,6 +40,11 @@ type (
 	// an undeclared flowtable instance, or a FlowSync replication entry
 	// the table cannot admit.
 	FlowError = sim.FlowError
+	// UpgradeError reports an in-service upgrade failure: a generation
+	// stage/canary/cutover precondition violated, a canary divergence,
+	// or a rollback (Switch.StageGeneration and friends, the issu state
+	// machine).
+	UpgradeError = sim.UpgradeError
 )
 
 // Class sentinels for errors.Is.
@@ -51,4 +56,5 @@ var (
 	ErrRecirc  = sim.ErrRecirc
 	ErrControl = sim.ErrControl
 	ErrFlow    = sim.ErrFlow
+	ErrUpgrade = sim.ErrUpgrade
 )

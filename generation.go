@@ -1,0 +1,274 @@
+package microp4
+
+import (
+	"fmt"
+	"sync"
+
+	"microp4/internal/equiv"
+	"microp4/internal/sim"
+)
+
+// This file is the switch half of in-service upgrade (ISSU): staging a
+// second compiled program as an immutable generation, shadow-canarying
+// live traffic through it, and atomically cutting over (or discarding
+// it). The upgrade state machine that drives these steps over the
+// control network lives in internal/issu.
+
+// Generation returns the live generation's sequence number (1 for a
+// freshly built switch, incremented by every adopted cutover).
+func (s *Switch) Generation() uint64 { return s.live().seq }
+
+// StagedGeneration returns the staged generation's sequence number, or
+// 0 when nothing is staged.
+func (s *Switch) StagedGeneration() uint64 {
+	if g := s.staged.Load(); g != nil {
+		return g.seq
+	}
+	return 0
+}
+
+// StageGeneration builds a new generation from dp — fresh engines,
+// fresh extern state — and stages it without touching live traffic.
+// Control-plane table state is carried over verbatim: entries naming
+// tables the new program does not declare sit inert, entries naming
+// actions it dropped surface as typed TableErrors on match (which the
+// canary reports as a divergence). Flow state is carried at CutOver,
+// not here, so it is current at adoption time. At most one generation
+// may be staged; errors are *UpgradeError.
+func (s *Switch) StageGeneration(dp *Dataplane) (uint64, error) {
+	if dp == nil {
+		return 0, &UpgradeError{Phase: "stage", Reason: "nil dataplane"}
+	}
+	if s.engine != EngineReference {
+		if composed, cerr := dp.Composed(); !composed {
+			return 0, &UpgradeError{Phase: "stage",
+				Reason: fmt.Sprintf("program has no compiled pipeline: %v", cerr)}
+		}
+	}
+	g := s.newGeneration(dp)
+	g.tables.Restore(s.live().tables.Snapshot())
+	if !s.staged.CompareAndSwap(nil, g) {
+		return 0, &UpgradeError{Phase: "stage", Reason: "a generation is already staged"}
+	}
+	return g.seq, nil
+}
+
+// AbortStaged discards the staged generation and any running canary,
+// reporting whether there was one. The live generation is untouched —
+// rollback of a not-yet-adopted upgrade is exactly this.
+func (s *Switch) AbortStaged() bool {
+	s.canary.Store(nil)
+	return s.staged.Swap(nil) != nil
+}
+
+// CanaryStatus reports the progress of a shadow canary.
+type CanaryStatus struct {
+	Active    bool   // a canary exists and is still mirroring
+	Complete  bool   // the mirror budget was consumed (or a divergence ended it)
+	Mirrored  uint64 // packets mirrored so far
+	Remaining uint64 // packets left in the budget
+	Diverged  bool
+	Reason    string // first divergence, "" while clean
+}
+
+// canaryState mirrors live packets through the staged generation and
+// compares the outcomes. A mutex serializes shadow processing: the
+// staged generation is a single shadow stream regardless of how many
+// goroutines drive the live side. With no canary installed the packet
+// path pays one atomic load.
+type canaryState struct {
+	s *Switch
+	g *generation // the staged (shadow) generation
+
+	mu        sync.Mutex
+	remaining int64
+	mirrored  uint64
+	done      bool
+	reason    string   // first divergence, "" while clean
+	paths     []string // flowtable paths compared after every mirrored packet
+}
+
+// StartCanary starts mirroring the next n live packets through the
+// staged generation, byte-comparing outputs, digests, error classes,
+// and flow-table mutations after each. The shadow's flow state is
+// seeded from the live tables so both generations judge packets from
+// the same base. The canary is sound when packets are processed one at
+// a time (the netsim/Process path); under parallel batches interleaving
+// can produce spurious divergence, which fails in the safe direction —
+// rollback.
+func (s *Switch) StartCanary(n int) error {
+	g := s.staged.Load()
+	if g == nil {
+		return &UpgradeError{Phase: "canary", Reason: "no staged generation"}
+	}
+	if n <= 0 {
+		return &UpgradeError{Phase: "canary", Gen: g.seq, Reason: "mirror budget must be positive"}
+	}
+	live := s.live()
+	c := &canaryState{s: s, g: g, remaining: int64(n)}
+	if pl := g.dp.res.Pipeline; pl != nil {
+		for i := range pl.FlowTables {
+			path := pl.FlowTables[i].Name
+			lft := s.flowTable(live, path)
+			sft := s.flowTable(g, path)
+			if lft == nil || sft == nil {
+				continue // flowtable new in (or dropped by) this program
+			}
+			sft.RestoreSnapshot(lft.Snapshot())
+			c.paths = append(c.paths, path)
+		}
+	}
+	if !s.canary.CompareAndSwap(nil, c) {
+		return &UpgradeError{Phase: "canary", Gen: g.seq, Reason: "a canary is already running"}
+	}
+	return nil
+}
+
+// CanaryStatus returns the canary's progress (the zero value when none
+// is installed).
+func (s *Switch) CanaryStatus() CanaryStatus {
+	c := s.canary.Load()
+	if c == nil {
+		return CanaryStatus{}
+	}
+	return c.status()
+}
+
+// StopCanary detaches the canary, returning its final status (the zero
+// value when none was running). The staged generation stays staged.
+func (s *Switch) StopCanary() CanaryStatus {
+	c := s.canary.Swap(nil)
+	if c == nil {
+		return CanaryStatus{}
+	}
+	return c.status()
+}
+
+func (c *canaryState) status() CanaryStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CanaryStatus{
+		Active:   !c.done,
+		Complete: c.done,
+		Mirrored: c.mirrored,
+		Diverged: c.reason != "",
+		Reason:   c.reason,
+	}
+	if c.remaining > 0 {
+		st.Remaining = uint64(c.remaining)
+	}
+	return st
+}
+
+// mirror replays one live packet through the shadow generation and
+// compares the architecture-level outcomes plus the flow-table
+// mutations. Called from processPacketInto with the live result already
+// in hand; the live packet's fate is never affected.
+func (c *canaryState) mirror(pkt []byte, meta sim.Metadata, live *outBuf, liveErr error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return
+	}
+	c.mirrored++
+	c.remaining--
+	// The shadow run is invisible to telemetry: no hop span, no
+	// per-worker metrics shard (and the staged engines carry no metrics
+	// until adoption).
+	meta.Span = nil
+	meta.M = nil
+	ob := c.s.getOutBuf()
+	shadowErr := c.s.archLoop(ob, c.g, pkt, meta)
+	d := equiv.FirstOutcomeDiff(outcomeOf(live, liveErr), outcomeOf(ob, shadowErr))
+	c.s.obPool.Put(ob)
+	if d == "" {
+		d = c.flowDiff()
+	}
+	if d != "" && c.reason == "" {
+		c.reason = fmt.Sprintf("packet %d (tick %d): %s", c.mirrored, meta.InTimestamp, d)
+		c.done = true
+		return
+	}
+	if c.remaining <= 0 {
+		c.done = true
+	}
+}
+
+// outcomeOf views an architecture result as an equiv outcome. The
+// slices alias ob's buffers — valid for the comparison, not retained.
+func outcomeOf(ob *outBuf, err error) equiv.Outcome {
+	o := equiv.Outcome{ErrClass: equiv.ErrClassOf(err), Digests: ob.digests}
+	if len(ob.outs) > 0 {
+		o.Out = make([]equiv.PortPacket, len(ob.outs))
+		for i, out := range ob.outs {
+			o.Out[i] = equiv.PortPacket{Port: out.Port, Data: out.Data}
+		}
+	}
+	return o
+}
+
+// flowDiff compares the live and shadow generations' flow tables:
+// entry count, then key/state/expiry per entry in insertion order.
+// Sync marks are replication bookkeeping, not program behavior, and are
+// ignored.
+func (c *canaryState) flowDiff() string {
+	live := c.s.live()
+	for _, path := range c.paths {
+		lft := c.s.flowTable(live, path)
+		sft := c.s.flowTable(c.g, path)
+		if lft == nil || sft == nil {
+			continue
+		}
+		le, se := lft.Entries(), sft.Entries()
+		if len(le) != len(se) {
+			return fmt.Sprintf("flowtable %s: %d vs %d entries", path, len(le), len(se))
+		}
+		for i := range le {
+			if le[i].Key != se[i].Key || le[i].State != se[i].State || le[i].Expire != se[i].Expire {
+				return fmt.Sprintf("flowtable %s entry %d: %+v/%d/exp%d vs %+v/%d/exp%d", path, i,
+					le[i].Key, le[i].State, le[i].Expire, se[i].Key, se[i].State, se[i].Expire)
+			}
+		}
+	}
+	return ""
+}
+
+// CutOver atomically adopts the staged generation: the flow state is
+// re-snapshotted from the live tables (so it is current at adoption,
+// regardless of how long ago the canary seeded its shadow copy), the
+// switch's metrics attach to the new engines, and the generation
+// pointer swings — in-flight packets finish on the old generation, the
+// next packet boundary adopts the new one. A diverged canary refuses
+// the cutover with a typed *UpgradeError; a clean or absent canary is
+// detached. Registers are not carried (they belong to the packets, not
+// the controller — the same contract as Checkpoint).
+func (s *Switch) CutOver() (uint64, error) {
+	g := s.staged.Load()
+	if g == nil {
+		return 0, &UpgradeError{Phase: "cutover", Reason: "no staged generation"}
+	}
+	if c := s.canary.Load(); c != nil {
+		st := c.status()
+		if st.Diverged {
+			return 0, &UpgradeError{Phase: "cutover", Gen: g.seq,
+				Reason: "canary diverged: " + st.Reason}
+		}
+		s.canary.Store(nil)
+	}
+	live := s.live()
+	if pl := live.dp.res.Pipeline; pl != nil {
+		for i := range pl.FlowTables {
+			path := pl.FlowTables[i].Name
+			lft := s.flowTable(live, path)
+			sft := s.flowTable(g, path)
+			if lft == nil || sft == nil {
+				continue
+			}
+			sft.RestoreSnapshot(lft.Snapshot())
+		}
+	}
+	s.attachMetrics(g)
+	s.gen.Store(g)
+	s.staged.Store(nil)
+	return g.seq, nil
+}

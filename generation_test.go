@@ -1,0 +1,357 @@
+package microp4_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"microp4"
+	"microp4/internal/flow"
+	"microp4/internal/lib"
+	"microp4/internal/perf"
+	"microp4/internal/pkt"
+)
+
+// Generation-layer tests: the Checkpoint/Restore flow round-trip that
+// standby promotion and ISSU cutover lean on, the 4-worker batch racing
+// a cutover (the -race gate for atomic generation adoption), and the
+// zero-alloc pin with generations staged and adopted.
+
+// buildV2 compiles the P9 v2 program (optionally with the buggy
+// allow-drops mutation) against the standard library modules.
+func buildV2(t testing.TB, buggy bool) *microp4.Dataplane {
+	t.Helper()
+	src, err := lib.Source("up4/p9_fw_v2.up4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buggy {
+		mutated := strings.Replace(src, "action allow() { }", "action allow() { im.drop(); }", 1)
+		if mutated == src {
+			t.Fatal("buggy mutation found nothing to replace")
+		}
+		src = mutated
+	}
+	main, err := microp4.CompileModule("p9_fw_v2.up4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := lib.Program("P9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mods []*microp4.Module
+	for _, name := range m.Modules {
+		msrc, err := lib.ModuleSource(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := microp4.CompileModule(name+".up4", msrc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mods = append(mods, mod)
+	}
+	dp, err := microp4.Build(main, mods...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp
+}
+
+func genFwd(i int) []byte {
+	return pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP,
+			Src: uint32(lib.NetA) | uint32(i+1), Dst: uint32(lib.NetB) | uint32(i+1)}).
+		TCP(uint16(1000+i), 443).Payload([]byte("syn")).Bytes()
+}
+
+func genRev(i int) []byte {
+	return pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP,
+			Src: uint32(lib.NetB) | uint32(i+1), Dst: uint32(lib.NetA) | uint32(i+1)}).
+		TCP(443, uint16(1000+i)).Payload([]byte("ack")).Bytes()
+}
+
+func genKey(i int) flow.Key {
+	return flow.Key{SrcAddr: lib.NetA | uint64(i+1), DstAddr: lib.NetB | uint64(i+1),
+		Proto: 6, SrcPort: uint64(1000 + i), DstPort: 443}
+}
+
+// establishFlows churns n flows to established on sw.
+func establishFlows(t testing.TB, sw *microp4.Switch, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := sw.Process(genFwd(i), lib.PortA); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sw.Process(genRev(i), lib.PortB); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCheckpointRestoreFlowRoundTrip is the satellite-1 regression: a
+// checkpoint carries the flowtable verbatim — entry order, states, TTL
+// deadlines, sync marks — both back onto the source switch (rollback)
+// and onto a fresh switch (standby bootstrap), and the restored state
+// behaves identically, not just compares identically.
+func TestCheckpointRestoreFlowRoundTrip(t *testing.T) {
+	sw, err := perf.Switch("P9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flows = 8
+	// Half established, half still new, a few synced: every per-entry
+	// property in play.
+	for i := 0; i < flows; i++ {
+		if _, err := sw.Process(genFwd(i), lib.PortA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < flows/2; i++ {
+		if _, err := sw.Process(genRev(i), lib.PortB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl := sw.FlowTable("fs_i.conn")
+	if tbl == nil {
+		t.Fatal("no fs_i.conn flow table")
+	}
+	tbl.MarkSynced(genKey(0))
+	tbl.MarkSynced(genKey(5))
+	want := tbl.Entries()
+
+	cp := sw.Checkpoint()
+
+	// Mutate past the checkpoint: new flows, a deletion, a state flip.
+	for i := flows; i < flows+4; i++ {
+		if _, err := sw.Process(genFwd(i), lib.PortA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl.Delete(genKey(1))
+	if _, err := sw.Process(genRev(6), lib.PortB); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rollback: the source switch returns to the checkpoint exactly.
+	sw.Restore(cp)
+	if got := tbl.Entries(); fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+		t.Fatalf("restore did not round-trip on the source:\nwant %+v\n got %+v", want, got)
+	}
+
+	// Bootstrap: a fresh switch restored from the same checkpoint holds
+	// the same entries (the checkpoint is reusable) and behaves the
+	// same — an established flow's return packet forwards, an unknown
+	// flow's return packet is dropped by policy on both.
+	sw2, err := perf.Switch("P9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw2.Restore(cp)
+	tbl2 := sw2.FlowTable("fs_i.conn")
+	if got := tbl2.Entries(); fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+		t.Fatalf("restore did not round-trip onto a fresh switch:\nwant %+v\n got %+v", want, got)
+	}
+	for _, probe := range []struct {
+		name string
+		data []byte
+	}{
+		{"established-return", genRev(0)},
+		{"unknown-return", genRev(flows + 7)},
+	} {
+		a, errA := sw.Process(probe.data, lib.PortB)
+		b, errB := sw2.Process(probe.data, lib.PortB)
+		if (errA == nil) != (errB == nil) || fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Errorf("%s: source and bootstrapped switch disagree: %+v/%v vs %+v/%v",
+				probe.name, a, errA, b, errB)
+		}
+	}
+}
+
+// outSig fingerprints one packet's outputs.
+func outSig(outs []microp4.Output) string {
+	var b strings.Builder
+	for _, o := range outs {
+		fmt.Fprintf(&b, "%d %x;", o.Port, o.Data)
+	}
+	return b.String()
+}
+
+// TestConcurrentCutoverRace is the satellite -race gate: a 4-worker
+// ProcessBatch races CutOver to a generation with visibly different
+// behavior (v2 mutated so allow drops). Adoption happens only at packet
+// boundaries, so every packet's output must be byte-identical to either
+// the serial old-generation run or the serial new-generation run —
+// never a torn hybrid — and once the batch after the cutover runs,
+// everything is pure new-generation.
+func TestConcurrentCutoverRace(t *testing.T) {
+	const flows = 16
+	const batchLen = 256
+	setup := func() *microp4.Switch {
+		sw, err := perf.Switch("P9")
+		if err != nil {
+			t.Fatal(err)
+		}
+		establishFlows(t, sw, flows)
+		return sw
+	}
+	// Return packets of established flows only: refreshes, no learns,
+	// so each packet's output is independent of batch interleaving.
+	batch := make([][]byte, batchLen)
+	for i := range batch {
+		batch[i] = genRev(i % flows)
+	}
+
+	// Serial references. Old generation forwards every packet; the
+	// mutated new generation drops every packet.
+	oldRefSw := setup()
+	var oldRef, newRef []string
+	for _, p := range batch {
+		outs, err := oldRefSw.Process(p, lib.PortB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldRef = append(oldRef, outSig(outs))
+	}
+	newRefSw := setup()
+	if _, err := newRefSw.StageGeneration(buildV2(t, true)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newRefSw.CutOver(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range batch {
+		outs, err := newRefSw.Process(p, lib.PortB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newRef = append(newRef, outSig(outs))
+	}
+	if oldRef[0] == newRef[0] {
+		t.Fatal("old and new generations are indistinguishable — the race test is blind")
+	}
+
+	// Serial pre/post-cutover split: with one worker and the cutover
+	// between two half-batches, the outputs are exactly old-then-new.
+	splitSw := setup()
+	if _, err := splitSw.StageGeneration(buildV2(t, true)); err != nil {
+		t.Fatal(err)
+	}
+	half := batchLen / 2
+	for i, res := range splitSw.ProcessBatch(batch[:half], lib.PortB) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if outSig(res.Out) != oldRef[i] {
+			t.Fatalf("pre-cutover packet %d not old-generation output", i)
+		}
+	}
+	if _, err := splitSw.CutOver(); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range splitSw.ProcessBatch(batch[half:], lib.PortB) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if outSig(res.Out) != newRef[half+i] {
+			t.Fatalf("post-cutover packet %d not new-generation output", half+i)
+		}
+	}
+
+	// The race: 4 workers churn the batch while CutOver swings the
+	// generation pointer from another goroutine.
+	raceSw := setup()
+	if _, err := raceSw.StageGeneration(buildV2(t, true)); err != nil {
+		t.Fatal(err)
+	}
+	raceSw.SetWorkers(4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := raceSw.CutOver(); err != nil {
+			t.Error(err)
+		}
+	}()
+	results := raceSw.ProcessBatch(batch, lib.PortB)
+	wg.Wait()
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		sig := outSig(res.Out)
+		if sig != oldRef[i] && sig != newRef[i] {
+			t.Fatalf("packet %d output is neither generation's serial output:\n got %s\n old %s\n new %s",
+				i, sig, oldRef[i], newRef[i])
+		}
+	}
+	if g := raceSw.Generation(); g != 2 {
+		t.Fatalf("generation %d after the racing cutover, want 2", g)
+	}
+	// Post-race batches are pure new generation.
+	for i, res := range raceSw.ProcessBatch(batch, lib.PortB) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if outSig(res.Out) != newRef[i] {
+			t.Fatalf("post-race packet %d not new-generation output", i)
+		}
+	}
+}
+
+// TestGenerationHotPathNoAlloc extends the zero-alloc pin to the
+// generation layer: with a generation merely staged (canary off, one
+// extra atomic load on the path) and again after it is adopted, the
+// batch hot path still allocates nothing per packet.
+func TestGenerationHotPathNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode randomly drops sync.Pool items, so pooling cannot be exact")
+	}
+	sw, err := perf.Switch("P9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	establishFlows(t, sw, 16)
+	batch := make([][]byte, 256)
+	for i := range batch {
+		batch[i] = genRev(i % 16)
+	}
+	measure := func(label string) {
+		t.Helper()
+		var results []microp4.BatchResult
+		var procErr error
+		runBatch := func() {
+			results = sw.ProcessBatchInto(batch, lib.PortB, results)
+			for i := range results {
+				if results[i].Err != nil {
+					procErr = results[i].Err
+				}
+				results[i].Release()
+			}
+		}
+		for i := 0; i < 4; i++ {
+			runBatch()
+		}
+		allocs := testing.AllocsPerRun(50, runBatch)
+		if procErr != nil {
+			t.Fatalf("%s: %v", label, procErr)
+		}
+		if perPkt := allocs / float64(len(batch)); perPkt != 0 {
+			t.Errorf("%s: %v allocs per batch (%.3f/pkt), want 0", label, allocs, perPkt)
+		}
+	}
+	if _, err := sw.StageGeneration(buildV2(t, false)); err != nil {
+		t.Fatal(err)
+	}
+	measure("staged")
+	if _, err := sw.CutOver(); err != nil {
+		t.Fatal(err)
+	}
+	if sw.StagedGeneration() != 0 || sw.Generation() != 2 {
+		t.Fatal("cutover did not adopt the staged generation")
+	}
+	measure("adopted")
+}

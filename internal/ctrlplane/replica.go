@@ -214,7 +214,7 @@ func (r *Replicator) handleAck(pkt []byte) {
 
 func (r *Replicator) schedule() {
 	r.scheduled = true
-	r.cancel = r.n.After(r.cfg.Interval, r.round)
+	r.cancel = r.n.AfterNamed("replicator "+r.cfg.Name, r.cfg.Interval, r.round)
 }
 
 // round runs one replication round: purge stale in-flight bookkeeping,

@@ -1,0 +1,80 @@
+package equiv
+
+import (
+	"fmt"
+
+	"microp4/internal/sim"
+)
+
+// Outcome is the architecture-level result of one packet: the typed
+// error class (empty when processing succeeded), the transmitted
+// packets in order, and the digests raised. It is the externally
+// visible behavior two executions must agree on — the same contract
+// firstDiff enforces between engines, lifted above the engine layer so
+// the ISSU shadow canary can byte-compare a live generation against a
+// staged one.
+type Outcome struct {
+	ErrClass string
+	Out      []PortPacket
+	Digests  []uint64
+}
+
+// PortPacket is one transmitted packet of an Outcome.
+type PortPacket struct {
+	Port uint64
+	Data []byte
+}
+
+// ErrClassOf renders an error as an outcome class: "" for nil, the
+// taxonomy class for typed runtime errors, and the error text for
+// anything outside the taxonomy (which would itself be a divergence
+// worth reporting).
+func ErrClassOf(err error) string {
+	if err == nil {
+		return ""
+	}
+	if class, ok := sim.ClassOf(err); ok {
+		return class.String()
+	}
+	return "untyped:" + err.Error()
+}
+
+// FirstOutcomeDiff compares two outcomes and describes the first
+// divergence, or returns "" when they are identical. Two executions
+// failing with the same error class agree (the packet is lost either
+// way); the comparison order — error class, digests, then outputs
+// port/length/byte — matches the engine differ's firstDiff.
+func FirstOutcomeDiff(a, b Outcome) string {
+	if a.ErrClass != b.ErrClass {
+		return fmt.Sprintf("error class: %q vs %q", a.ErrClass, b.ErrClass)
+	}
+	if a.ErrClass != "" {
+		return "" // agreed failure
+	}
+	if len(a.Digests) != len(b.Digests) {
+		return fmt.Sprintf("digest count: %d vs %d", len(a.Digests), len(b.Digests))
+	}
+	for i := range a.Digests {
+		if a.Digests[i] != b.Digests[i] {
+			return fmt.Sprintf("digest[%d]: %#x vs %#x", i, a.Digests[i], b.Digests[i])
+		}
+	}
+	if len(a.Out) != len(b.Out) {
+		return fmt.Sprintf("output count: %d vs %d", len(a.Out), len(b.Out))
+	}
+	for i := range a.Out {
+		if a.Out[i].Port != b.Out[i].Port {
+			return fmt.Sprintf("out[%d] port: %d vs %d", i, a.Out[i].Port, b.Out[i].Port)
+		}
+		x, y := a.Out[i].Data, b.Out[i].Data
+		if len(x) != len(y) {
+			return fmt.Sprintf("out[%d] length: %d vs %d", i, len(x), len(y))
+		}
+		for j := range x {
+			if x[j] != y[j] {
+				return fmt.Sprintf("out[%d] byte %d: %#02x vs %#02x", i, j, x[j], y[j])
+			}
+		}
+	}
+	return ""
+}

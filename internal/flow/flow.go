@@ -539,12 +539,60 @@ func (t *Table) Unsynced(dst []Entry) []Entry {
 	return dst
 }
 
-// Reset drops all entries and rewinds the wheel. Counters and hooks
-// are preserved. The equivalence harness calls this so every witness
-// starts from identical (empty) flow state in every engine.
-func (t *Table) Reset() {
+// Snapshot is a point-in-time copy of a table's live contents: the
+// wheel position and every entry — key, state, expiry deadline, and
+// sync mark — in insertion order. It is the unit of flow-state transfer
+// for standby bootstrap and ISSU cutover.
+type Snapshot struct {
+	Now     uint64  // wheel tick the snapshot was taken at
+	Entries []Entry // live entries in insertion order
+}
+
+// Snapshot captures the table's live contents. The snapshot is
+// independent of the table and stays valid across later mutations.
+func (t *Table) Snapshot() *Snapshot {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	snap := &Snapshot{Now: t.wheelNow, Entries: make([]Entry, 0, t.n)}
+	for si := t.head; si >= 0; si = t.slots[si].next {
+		snap.Entries = append(snap.Entries, t.slots[si].e)
+	}
+	return snap
+}
+
+// RestoreSnapshot replaces the table's contents with a snapshot:
+// entries are reinstated verbatim (state, TTL deadline, sync mark,
+// insertion order) and the wheel rewinds to the snapshot's tick, so a
+// Snapshot/RestoreSnapshot round trip is exact. No hooks fire and no
+// counters move — restoring replicated state is not dataplane activity.
+// A nil snapshot is a no-op.
+func (t *Table) RestoreSnapshot(snap *Snapshot) {
+	if snap == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clear()
+	t.wheelNow = snap.Now
+	for _, e := range snap.Entries {
+		if len(t.free) == 0 {
+			break // snapshot from a larger table: keep the oldest capacity-many
+		}
+		si := t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
+		s := &t.slots[si]
+		s.e = e
+		s.used = true
+		t.indexInsert(si)
+		t.listAppend(si)
+		t.fileInWheel(si, e.Expire)
+		t.n++
+	}
+}
+
+// clear drops all entries and rewinds the wheel; the caller holds the
+// lock. Counters and hooks are preserved.
+func (t *Table) clear() {
 	for i := range t.slots {
 		t.slots[i] = slot{prev: -1, next: -1, gen: t.slots[i].gen + 1}
 	}
@@ -561,4 +609,13 @@ func (t *Table) Reset() {
 	t.head, t.tail = -1, -1
 	t.n = 0
 	t.wheelNow = 0
+}
+
+// Reset drops all entries and rewinds the wheel. Counters and hooks
+// are preserved. The equivalence harness calls this so every witness
+// starts from identical (empty) flow state in every engine.
+func (t *Table) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clear()
 }

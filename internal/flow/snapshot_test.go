@@ -1,0 +1,82 @@
+package flow
+
+import (
+	"reflect"
+	"testing"
+)
+
+func snapKey(i int) Key {
+	return Key{SrcAddr: 0x0A000000 | uint64(i), DstAddr: 0x0B000000 | uint64(i),
+		Proto: 6, SrcPort: uint64(40000 + i), DstPort: 443}
+}
+
+// TestSnapshotRestoreRoundTrip pins the satellite-1 contract: a
+// snapshot restored into a fresh table reproduces the source exactly —
+// entry order, states, TTL deadlines, sync marks, and the timer wheel's
+// position — so standby promotion and ISSU cutover inherit behavior,
+// not an approximation of it.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	src := New(64, 100, 1000)
+	// A population with every per-entry property in play: new and
+	// established states, distinct expiry deadlines (the clock advances
+	// between upserts), and a mix of sync marks.
+	for i := 0; i < 12; i++ {
+		src.Upsert(snapKey(i), 0, uint64(10+i))
+	}
+	for i := 0; i < 6; i++ {
+		src.Upsert(snapKey(i).Reversed(), 1, uint64(30+i))
+	}
+	for i := 0; i < 12; i += 3 {
+		src.MarkSynced(snapKey(i))
+	}
+	src.Advance(40) // park the wheel mid-rotation
+
+	snap := src.Snapshot()
+	dst := New(64, 100, 1000)
+	dst.Upsert(Key{SrcAddr: 99, DstAddr: 98, Proto: 17}, 0, 5) // stale state the restore must clear
+	dst.RestoreSnapshot(snap)
+
+	if !reflect.DeepEqual(src.Entries(), dst.Entries()) {
+		t.Fatalf("entries did not round-trip:\n src %+v\n dst %+v", src.Entries(), dst.Entries())
+	}
+	if src.Now() != dst.Now() {
+		t.Fatalf("wheel position did not round-trip: %d vs %d", src.Now(), dst.Now())
+	}
+	// Sync marks round-tripped verbatim: the restored table owes the
+	// standby exactly what the source owed.
+	var srcUnsynced, dstUnsynced []Entry
+	srcUnsynced = src.Unsynced(srcUnsynced)
+	dstUnsynced = dst.Unsynced(dstUnsynced)
+	if !reflect.DeepEqual(srcUnsynced, dstUnsynced) {
+		t.Fatalf("unsynced sets differ:\n src %+v\n dst %+v", srcUnsynced, dstUnsynced)
+	}
+
+	// TTL deadlines are live, not cosmetic: advancing both tables
+	// through the same future expires the same entries at the same
+	// ticks.
+	for _, now := range []uint64{60, 120, 600, 1200} {
+		src.Advance(now)
+		dst.Advance(now)
+		if !reflect.DeepEqual(src.Entries(), dst.Entries()) {
+			t.Fatalf("expiry behavior diverged at tick %d:\n src %+v\n dst %+v",
+				now, src.Entries(), dst.Entries())
+		}
+		if now == 60 && src.Len() == 0 {
+			t.Fatal("expiry sweep emptied the source — the test lost its subject")
+		}
+	}
+
+	// A snapshot is a value: restoring it twice from the same snapshot
+	// is idempotent.
+	dst.RestoreSnapshot(snap)
+	dst.Advance(1200)
+	if !reflect.DeepEqual(src.Entries(), dst.Entries()) {
+		t.Fatal("second restore of the same snapshot is not idempotent")
+	}
+	// And a nil restore is a no-op.
+	before := dst.Len()
+	dst.RestoreSnapshot(nil)
+	if dst.Len() != before {
+		t.Fatal("nil snapshot restore mutated the table")
+	}
+}

@@ -1,0 +1,66 @@
+package issu
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeUpgradeOp feeds arbitrary bytes to the staged-program
+// decoder. The contract matches the ctrlplane codecs: never a panic,
+// and any input that decodes successfully round-trips — re-encoding
+// the decoded op reproduces the exact input bytes (the wire format is
+// canonical) and re-decoding yields an identical struct.
+func FuzzDecodeUpgradeOp(f *testing.F) {
+	for _, op := range sampleUpgradeOps() {
+		f.Add(EncodeUpgradeOp(op))
+	}
+	f.Add(EncodeUpgradeReply(sampleUpgradeReplies()[0]))
+	f.Add([]byte{})
+	f.Add([]byte{wireMagic, wireVersion, wireMsgOp})
+	f.Add(make([]byte, 512))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		op, err := DecodeUpgradeOp(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeUpgradeOp(op)
+		if string(enc) != string(data) {
+			t.Fatalf("valid op did not re-encode canonically:\n in %x\nout %x", data, enc)
+		}
+		again, err := DecodeUpgradeOp(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded op failed: %v", err)
+		}
+		if !reflect.DeepEqual(op, again) {
+			t.Fatalf("round trip not identity:\n first %+v\nsecond %+v", op, again)
+		}
+	})
+}
+
+// FuzzDecodeUpgradeReply holds the reply decoder to the same contract.
+func FuzzDecodeUpgradeReply(f *testing.F) {
+	for _, rep := range sampleUpgradeReplies() {
+		f.Add(EncodeUpgradeReply(rep))
+	}
+	f.Add(EncodeUpgradeOp(sampleUpgradeOps()[0]))
+	f.Add([]byte{})
+	f.Add([]byte{wireMagic, wireVersion, wireMsgReply})
+	f.Add(make([]byte, 512))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeUpgradeReply(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeUpgradeReply(rep)
+		if string(enc) != string(data) {
+			t.Fatalf("valid reply did not re-encode canonically:\n in %x\nout %x", data, enc)
+		}
+		again, err := DecodeUpgradeReply(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded reply failed: %v", err)
+		}
+		if !reflect.DeepEqual(rep, again) {
+			t.Fatalf("round trip not identity:\n first %+v\nsecond %+v", rep, again)
+		}
+	})
+}

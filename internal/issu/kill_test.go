@@ -1,0 +1,304 @@
+package issu_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"microp4/internal/ctrlplane"
+	"microp4/internal/flow"
+	"microp4/internal/issu"
+	"microp4/internal/lib"
+	"microp4/internal/netsim"
+	"microp4/internal/obs"
+	"microp4/internal/trace"
+)
+
+// The mid-canary kill scenario: the active switch of a replicated pair
+// is being upgraded when it dies — sync links dark, upgrade channel
+// dark, replicator stopped — in the middle of the shadow canary. The
+// coordinator must exhaust its retries, abort the upgrade, and the
+// promoted standby must keep passing every flow it replicated:
+// in-service upgrade composes with failover instead of fighting it.
+
+// killRig is the scenario's topology: coordinator ↔ (agent wrapping the
+// active replicator) ↔ standby, every channel lossy.
+type killRig struct {
+	n     *netsim.Network
+	act   *ctrlplane.Replicator
+	sby   *ctrlplane.StandbyAgent
+	agent *issu.Agent
+	reg   *obs.Registry
+	coord *issu.Coordinator
+}
+
+func newKillRig(t testing.TB, seed uint64) *killRig {
+	t.Helper()
+	dp := compileP9(t)
+	n := netsim.New(seed)
+	rec := trace.NewRecorder(8192)
+	n.SetTracing(rec)
+	reg := obs.NewRegistry()
+	cpm := ctrlplane.NewMetrics(reg)
+	ism := issu.NewMetrics(reg)
+
+	actSw := dp.NewSwitch()
+	installP9Rules(actSw)
+	act := ctrlplane.NewReplicator(n, actSw, ctrlplane.ReplicaConfig{
+		Name: "act", SyncPort: syncPort, Seed: seed,
+		Metrics: cpm, Tracer: rec, Bus: n.Bus(),
+	})
+	// The upgrade agent fronts the replicator: upgrade ops peel off on
+	// their port, everything else (data and sync frames) flows through.
+	agent := issu.NewAgent("act", actSw, issu.AgentConfig{
+		UpgradePort: upgradePort, Inner: act,
+		Upgrader: issu.UpgraderConfig{Metrics: ism, Tracer: rec, Bus: n.Bus(), Now: n.Now},
+	})
+
+	sbySw := dp.NewSwitch()
+	act.Bootstrap(sbySw)
+	sby := ctrlplane.NewStandbyAgent(n, sbySw, ctrlplane.ReplicaConfig{
+		Name: "sby", SyncPort: syncPort, Metrics: cpm, Tracer: rec, Bus: n.Bus(),
+	})
+
+	if err := n.AddSwitch("act", agent); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSwitch("sby", sby); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("act", syncPort, "sby", syncPort, chaosLinks); err != nil {
+		t.Fatal(err)
+	}
+	coord, err := issu.NewCoordinator(n, "coord", issu.CoordinatorConfig{
+		Seed: seed, CanaryN: 256, Metrics: ism, Tracer: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.AddPeer("act", coordPort); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("coord", coordPort, "act", upgradePort, chaosLinks); err != nil {
+		t.Fatal(err)
+	}
+	return &killRig{n: n, act: act, sby: sby, agent: agent, reg: reg, coord: coord}
+}
+
+// runMidCanaryKill drives the scenario at one seed and returns its
+// deterministic signature.
+func runMidCanaryKill(t *testing.T, seed uint64) string {
+	t.Helper()
+	r := newKillRig(t, seed)
+	r.act.Start()
+
+	// Churn: establish the flow population on the active while the
+	// replicator streams it to the standby over the lossy sync links.
+	const flows = 40
+	for i := 0; i < flows; i++ {
+		if err := r.n.Inject("act", lib.PortA, flowFwd(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.n.Inject("act", lib.PortB, flowRev(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%8 == 7 {
+			if _, err := r.n.Run(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := r.n.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	actTbl := r.act.Switch().FlowTable("fs_i.conn")
+	var established []int
+	for i := 0; i < flows; i++ {
+		if e, ok := actTbl.Lookup(flowKey(i)); ok && e.State == flow.StateEstablished {
+			established = append(established, i)
+		}
+	}
+	if len(established) < flows*9/10 {
+		t.Fatalf("churn established only %d/%d flows", len(established), flows)
+	}
+
+	// Start the coordinated upgrade with a canary budget far beyond what
+	// the pump will deliver before the kill, and pump data through the
+	// active so the canary is genuinely mirroring when it dies.
+	var upErr error
+	upDone := false
+	p := &pump{n: r.n, node: "act", flows: flows, every: 6}
+	if err := r.coord.Upgrade("P9v2", v2Main(t), p9Modules(t), func(e error) {
+		upErr, upDone = e, true
+		p.stop()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.start()
+
+	// The kill watch: the moment the canary has mirrored a few packets —
+	// provably mid-canary — the active dies: sync and upgrade links go
+	// dark, the replicator stops, the pump has nothing left to feed.
+	killed := false
+	var watch func()
+	checks := 0
+	watch = func() {
+		if killed || checks > 2000 {
+			return
+		}
+		checks++
+		st := r.act.Switch().CanaryStatus()
+		if r.agent.Upgrader().Phase() == issu.PhaseCanary && st.Mirrored >= 3 && st.Active {
+			killed = true
+			p.stop()
+			for _, ep := range []struct {
+				node string
+				port uint64
+			}{{"act", syncPort}, {"sby", syncPort}, {"act", upgradePort}, {"coord", coordPort}} {
+				if err := r.n.SetLinkDown(ep.node, ep.port, true); err != nil {
+					t.Error(err)
+				}
+			}
+			r.act.Stop()
+			return
+		}
+		r.n.After(4, watch)
+	}
+	r.n.After(4, watch)
+	if _, err := r.n.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	if !killed {
+		t.Fatal("kill watch never saw the canary mirroring")
+	}
+	if !upDone {
+		t.Fatal("coordinator never resolved the upgrade after the kill")
+	}
+	if upErr == nil {
+		t.Fatal("upgrade committed despite the active dying mid-canary")
+	}
+	if !strings.Contains(upErr.Error(), "unreachable") {
+		t.Errorf("abort reason does not name the unreachable peer: %v", upErr)
+	}
+
+	// Promotion: the standby takes over, and every flow the replication
+	// stream carried keeps passing return traffic — the aborted upgrade
+	// cost nothing.
+	r.sby.Promote()
+	if !r.sby.Promoted() {
+		t.Fatal("promotion did not take")
+	}
+	sbyTbl := r.sby.Switch().FlowTable("fs_i.conn")
+	var replicated []int
+	for _, i := range established {
+		if e, ok := sbyTbl.Lookup(flowKey(i)); ok && e.State == flow.StateEstablished {
+			replicated = append(replicated, i)
+		}
+	}
+	if len(replicated)*100 < len(established)*90 {
+		t.Fatalf("only %d/%d established flows replicated before the kill",
+			len(replicated), len(established))
+	}
+	before := len(r.n.Egress("sby"))
+	for _, i := range replicated {
+		if err := r.n.Inject("sby", lib.PortB, flowRev(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.n.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	survived := 0
+	for _, d := range r.n.Egress("sby")[before:] {
+		if d.Port == lib.PortA {
+			survived++
+		}
+	}
+	if survived != len(replicated) {
+		t.Errorf("%d/%d replicated flows survived promotion, want all",
+			survived, len(replicated))
+	}
+	// The standby never saw an upgrade: still generation 1, nothing
+	// staged.
+	if g := r.sby.Switch().Generation(); g != 1 {
+		t.Errorf("standby generation %d, want 1", g)
+	}
+
+	var sig strings.Builder
+	for _, d := range r.n.EgressAll() {
+		fmt.Fprintf(&sig, "egress %s %d %x\n", d.Node, d.Port, d.Data)
+	}
+	st := r.n.Stats()
+	for _, k := range netsim.FaultKinds {
+		fmt.Fprintf(&sig, "fault %s %d\n", k, st.Faults[k])
+	}
+	fmt.Fprintf(&sig, "steps %d established %d replicated %d survived %d err %v\n",
+		st.Steps, len(established), len(replicated), survived, upErr)
+	return sig.String()
+}
+
+// TestUpgraderStateMachine exercises the per-switch state machine
+// locally, no network: stage → canary → commit on the happy path, plus
+// the refusals that keep it honest.
+func TestUpgraderStateMachine(t *testing.T) {
+	dp := compileP9(t)
+	sw := dp.NewSwitch()
+	installP9Rules(sw)
+	reg := obs.NewRegistry()
+	u := issu.NewUpgrader("dut", sw, issu.UpgraderConfig{Metrics: issu.NewMetrics(reg)})
+
+	if err := u.Commit(); err == nil {
+		t.Fatal("commit with nothing staged succeeded")
+	}
+	if err := u.StartCanary(8); err == nil {
+		t.Fatal("canary with nothing staged succeeded")
+	}
+
+	stageOp := &issu.UpgradeOp{Kind: issu.OpStage, Program: "P9v2",
+		Main: v2Main(t), Modules: p9Modules(t)}
+	if err := u.Stage(stageOp); err != nil {
+		t.Fatal(err)
+	}
+	if u.Phase() != issu.PhaseStaged {
+		t.Fatalf("phase %s after stage", u.Phase())
+	}
+	if err := u.Stage(stageOp); err == nil {
+		t.Fatal("double stage succeeded")
+	}
+	if err := u.StartCanary(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Commit(); err == nil {
+		t.Fatal("commit with the canary still running succeeded")
+	}
+	// Four identical clean packets consume the budget.
+	for i := 0; i < 4; i++ {
+		if _, err := sw.Process(flowFwd(0), lib.PortA); err != nil {
+			t.Fatal(err)
+		}
+		u.Poll()
+	}
+	_, _, st := u.Status()
+	if st.Active || st.Diverged || st.Mirrored != 4 {
+		t.Fatalf("canary status %+v after a clean budget", st)
+	}
+	if err := u.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if u.Phase() != issu.PhaseCommitted || sw.Generation() != 2 {
+		t.Fatalf("phase %s generation %d after commit", u.Phase(), sw.Generation())
+	}
+
+	// A second attempt with a broken program fails at stage and leaves
+	// the committed generation alone.
+	bad := v2Main(t)
+	bad.Source = strings.Replace(bad.Source, "transition accept;", "transition nowhere;", 1)
+	if err := u.Stage(&issu.UpgradeOp{Kind: issu.OpStage, Program: "broken",
+		Main: bad, Modules: p9Modules(t)}); err == nil {
+		t.Fatal("staging an uncompilable program succeeded")
+	}
+	if sw.Generation() != 2 || sw.StagedGeneration() != 0 {
+		t.Fatal("failed stage disturbed the live generation")
+	}
+}

@@ -1,0 +1,73 @@
+package issu
+
+import "microp4/internal/obs"
+
+// Metrics bundles the in-service-upgrade counters, labeled per node and
+// registered in one obs.Registry (share it with the ctrlplane and
+// switch metrics so one scrape sees the whole picture). The nil
+// *Metrics is valid and counts nothing — obs counters are nil-safe — so
+// instrumentation call sites stay unconditional.
+type Metrics struct {
+	reg *obs.Registry
+
+	staged    map[string]*obs.Counter // up4_issu_staged_total{node}
+	cutovers  map[string]*obs.Counter // up4_issu_cutovers_total{node}
+	rollbacks map[string]*obs.Counter // up4_issu_rollbacks_total{node}
+	diverged  map[string]*obs.Counter // up4_issu_canary_diverged_total{node}
+}
+
+// NewMetrics registers the ISSU series in reg. Returns nil when reg is
+// nil.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		reg:       reg,
+		staged:    make(map[string]*obs.Counter),
+		cutovers:  make(map[string]*obs.Counter),
+		rollbacks: make(map[string]*obs.Counter),
+		diverged:  make(map[string]*obs.Counter),
+	}
+}
+
+func (m *Metrics) counter(set map[string]*obs.Counter, name, help, node string) *obs.Counter {
+	c := set[node]
+	if c == nil {
+		c = m.reg.Counter(name, help, obs.L("node", node))
+		set[node] = c
+	}
+	return c
+}
+
+// Staged counts one successfully staged generation on node.
+func (m *Metrics) Staged(node string) {
+	if m == nil {
+		return
+	}
+	m.counter(m.staged, "up4_issu_staged_total", "Generations staged for in-service upgrade", node).Inc()
+}
+
+// Cutover counts one adopted generation on node.
+func (m *Metrics) Cutover(node string) {
+	if m == nil {
+		return
+	}
+	m.counter(m.cutovers, "up4_issu_cutovers_total", "In-service upgrades cut over to the staged generation", node).Inc()
+}
+
+// Rollback counts one rolled-back upgrade on node.
+func (m *Metrics) Rollback(node string) {
+	if m == nil {
+		return
+	}
+	m.counter(m.rollbacks, "up4_issu_rollbacks_total", "In-service upgrades rolled back before adoption", node).Inc()
+}
+
+// CanaryDiverged counts one canary divergence on node.
+func (m *Metrics) CanaryDiverged(node string) {
+	if m == nil {
+		return
+	}
+	m.counter(m.diverged, "up4_issu_canary_diverged_total", "Shadow canaries that observed a divergence between generations", node).Inc()
+}

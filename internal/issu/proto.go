@@ -1,0 +1,404 @@
+// Package issu implements in-service program upgrade over the chaos
+// network: a wire protocol that ships a newly composed µP4 program to
+// running switches, a per-switch Upgrader state machine that stages it
+// as a copy-on-write generation, shadow-canaries live traffic through
+// both generations, and either cuts over atomically or rolls back, and
+// a Coordinator that drives the whole upgrade across a switch set with
+// two-phase commit semantics — stage everywhere, canary everywhere,
+// commit only when every canary came back clean.
+//
+// The protocol rides the same lossy netsim links as data traffic, with
+// the same resilience split the ctrlplane uses: the codec turns
+// corruption into losses (checksum, strict length accounting), the
+// agent deduplicates on (session, sequence) and replays cached replies,
+// and the coordinator retries on timeout with capped seeded backoff on
+// the virtual clock, so every upgrade is deterministic per seed.
+package issu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Phase is the upgrade state machine's position on one switch.
+type Phase uint8
+
+const (
+	PhaseIdle       Phase = iota // no upgrade in progress
+	PhaseStaged                  // a generation is staged, no canary yet
+	PhaseCanary                  // the shadow canary is mirroring traffic
+	PhaseCommitted               // the staged generation was adopted
+	PhaseRolledBack              // the upgrade was discarded
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseStaged:
+		return "staged"
+	case PhaseCanary:
+		return "canary"
+	case PhaseCommitted:
+		return "committed"
+	case PhaseRolledBack:
+		return "rolled-back"
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// OpKind names one upgrade operation.
+type OpKind uint8
+
+const (
+	// OpStage ships the new program's sources; the agent compiles and
+	// stages them as a generation.
+	OpStage OpKind = iota + 1
+	// OpCanary starts mirroring the next CanaryN live packets through
+	// the staged generation.
+	OpCanary
+	// OpQuery polls the upgrade phase and canary progress.
+	OpQuery
+	// OpCommit cuts over to the staged generation.
+	OpCommit
+	// OpAbort rolls the upgrade back, discarding the staged generation.
+	OpAbort
+	opKindEnd
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpStage:
+		return "stage"
+	case OpCanary:
+		return "canary"
+	case OpQuery:
+		return "query"
+	case OpCommit:
+		return "commit"
+	case OpAbort:
+		return "abort"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Module is one µP4 source file of a staged program.
+type Module struct {
+	Name   string // file name (diagnostics anchor to it)
+	Source string // µP4 source text
+}
+
+// UpgradeOp is one upgrade request. Session identifies the
+// coordinator↔agent channel; Seq is channel-monotonic and deduplicated
+// by the agent, so at-least-once delivery applies each op exactly once.
+// OpStage carries the program; the other kinds leave it empty.
+type UpgradeOp struct {
+	Session uint64
+	Seq     uint64
+	Kind    OpKind
+	Program string   // display name of the program being staged
+	Main    Module   // main program source
+	Modules []Module // library modules the main composes
+	CanaryN uint64   // OpCanary: packets to mirror
+}
+
+// UpgradeReply answers one UpgradeOp, echoing Session and Seq. Ok
+// reports whether the op was applied; Detail carries the refusal or
+// rollback reason otherwise. Phase, Gen, and the canary fields report
+// the agent's state after the op (OpQuery is a pure read).
+type UpgradeReply struct {
+	Session   uint64
+	Seq       uint64
+	Ok        bool
+	Phase     Phase
+	Gen       uint64 // staged (or adopted) generation sequence number
+	Mirrored  uint64 // canary packets mirrored so far
+	Remaining uint64 // canary budget left
+	Diverged  bool
+	Detail    string
+}
+
+// Wire format. Little-endian; strings are u16 length + bytes except
+// sources, which are u32 length + bytes (programs outgrow a u16);
+// a 4-byte FNV-1a checksum trails every message. Decoding is strict:
+// caps on every count and length, no trailing garbage, never a panic —
+// DecodeUpgradeOp and DecodeUpgradeReply are fuzzed on arbitrary bytes.
+const (
+	wireMagic   = 0xD7
+	wireVersion = 1
+
+	wireMsgOp    = 1
+	wireMsgReply = 2
+
+	maxWireName    = 1024
+	maxWireSource  = 1 << 16 // 64 KiB per source file
+	maxWireModules = 16
+)
+
+type wireWriter struct{ buf []byte }
+
+func (w *wireWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *wireWriter) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *wireWriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *wireWriter) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+func (w *wireWriter) str(s string) {
+	if len(s) > maxWireName {
+		s = s[:maxWireName]
+	}
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *wireWriter) source(s string) {
+	if len(s) > maxWireSource {
+		s = s[:maxWireSource]
+	}
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *wireWriter) finish() []byte {
+	h := fnv.New32a()
+	_, _ = h.Write(w.buf)
+	return binary.LittleEndian.AppendUint32(w.buf, h.Sum32())
+}
+
+// EncodeUpgradeOp serializes an op for transmission.
+func EncodeUpgradeOp(op *UpgradeOp) []byte {
+	w := &wireWriter{buf: make([]byte, 0, 256)}
+	w.u8(wireMagic)
+	w.u8(wireVersion)
+	w.u8(wireMsgOp)
+	w.u8(uint8(op.Kind))
+	w.u64(op.Session)
+	w.u64(op.Seq)
+	w.str(op.Program)
+	w.str(op.Main.Name)
+	w.source(op.Main.Source)
+	nm := len(op.Modules)
+	if nm > maxWireModules {
+		nm = maxWireModules
+	}
+	w.u16(uint16(nm))
+	for _, m := range op.Modules[:nm] {
+		w.str(m.Name)
+		w.source(m.Source)
+	}
+	w.u64(op.CanaryN)
+	return w.finish()
+}
+
+// EncodeUpgradeReply serializes a reply for transmission.
+func EncodeUpgradeReply(r *UpgradeReply) []byte {
+	w := &wireWriter{buf: make([]byte, 0, 96)}
+	w.u8(wireMagic)
+	w.u8(wireVersion)
+	w.u8(wireMsgReply)
+	ok := uint8(0)
+	if r.Ok {
+		ok = 1
+	}
+	w.u8(ok)
+	w.u64(r.Session)
+	w.u64(r.Seq)
+	w.u8(uint8(r.Phase))
+	w.u64(r.Gen)
+	w.u64(r.Mirrored)
+	w.u64(r.Remaining)
+	div := uint8(0)
+	if r.Diverged {
+		div = 1
+	}
+	w.u8(div)
+	w.str(r.Detail)
+	return w.finish()
+}
+
+// wireReader is a bounds-checked cursor; the first failure latches.
+type wireReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *wireReader) fail(why string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("issu: malformed message: %s", why)
+	}
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.buf) {
+		r.fail("truncated")
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *wireReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *wireReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *wireReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *wireReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *wireReader) str() string {
+	n := int(r.u16())
+	if n > maxWireName {
+		r.fail("string too long")
+		return ""
+	}
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (r *wireReader) source() string {
+	n := int(r.u32())
+	if n > maxWireSource {
+		r.fail("source too long")
+		return ""
+	}
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// checkHeader consumes and verifies magic/version and the trailing
+// checksum, returning the message type byte.
+func (r *wireReader) checkHeader() uint8 {
+	if len(r.buf) < 8 {
+		r.fail("too short")
+		return 0
+	}
+	body, sum := r.buf[:len(r.buf)-4], binary.LittleEndian.Uint32(r.buf[len(r.buf)-4:])
+	h := fnv.New32a()
+	_, _ = h.Write(body)
+	if h.Sum32() != sum {
+		r.fail("bad checksum")
+		return 0
+	}
+	r.buf = body
+	if r.u8() != wireMagic {
+		r.fail("bad magic")
+		return 0
+	}
+	if r.u8() != wireVersion {
+		r.fail("unsupported version")
+		return 0
+	}
+	return r.u8()
+}
+
+// finish rejects messages with trailing bytes.
+func (r *wireReader) finish() error {
+	if r.err == nil && r.pos != len(r.buf) {
+		r.fail("trailing bytes")
+	}
+	return r.err
+}
+
+// DecodeUpgradeOp parses an op message. Arbitrary input never panics;
+// corrupted, truncated, or oversized messages return an error.
+func DecodeUpgradeOp(data []byte) (*UpgradeOp, error) {
+	r := &wireReader{buf: data}
+	if t := r.checkHeader(); r.err == nil && t != wireMsgOp {
+		r.fail("not an op message")
+	}
+	op := &UpgradeOp{}
+	op.Kind = OpKind(r.u8())
+	if r.err == nil && (op.Kind == 0 || op.Kind >= opKindEnd) {
+		r.fail("unknown op kind")
+	}
+	op.Session = r.u64()
+	op.Seq = r.u64()
+	op.Program = r.str()
+	op.Main.Name = r.str()
+	op.Main.Source = r.source()
+	nm := int(r.u16())
+	if nm > maxWireModules {
+		r.fail("too many modules")
+		nm = 0
+	}
+	for i := 0; i < nm && r.err == nil; i++ {
+		var m Module
+		m.Name = r.str()
+		m.Source = r.source()
+		op.Modules = append(op.Modules, m)
+	}
+	op.CanaryN = r.u64()
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// DecodeUpgradeReply parses a reply message (same guarantees as
+// DecodeUpgradeOp).
+func DecodeUpgradeReply(data []byte) (*UpgradeReply, error) {
+	r := &wireReader{buf: data}
+	if t := r.checkHeader(); r.err == nil && t != wireMsgReply {
+		r.fail("not a reply message")
+	}
+	rep := &UpgradeReply{}
+	ok := r.u8()
+	if r.err == nil && ok > 1 {
+		r.fail("bad ok flag")
+	}
+	rep.Ok = ok == 1
+	rep.Session = r.u64()
+	rep.Seq = r.u64()
+	rep.Phase = Phase(r.u8())
+	if r.err == nil && rep.Phase > PhaseRolledBack {
+		r.fail("unknown phase")
+	}
+	rep.Gen = r.u64()
+	rep.Mirrored = r.u64()
+	rep.Remaining = r.u64()
+	div := r.u8()
+	if r.err == nil && div > 1 {
+		r.fail("bad diverged flag")
+	}
+	rep.Diverged = div == 1
+	rep.Detail = r.str()
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,124 @@
+package issu
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleUpgradeOps() []*UpgradeOp {
+	return []*UpgradeOp{
+		{Session: 1, Seq: 1, Kind: OpStage, Program: "P9v2",
+			Main:    Module{Name: "p9_fw_v2.up4", Source: "program P9Fw {}"},
+			Modules: []Module{{Name: "Flowstate.up4", Source: "// flowstate"}, {Name: "L3.up4", Source: "// l3"}}},
+		{Session: 0xDEAD, Seq: 7, Kind: OpCanary, CanaryN: 64},
+		{Session: 2, Seq: 3, Kind: OpQuery},
+		{Session: 2, Seq: 4, Kind: OpCommit},
+		{Session: 2, Seq: 5, Kind: OpAbort},
+	}
+}
+
+func sampleUpgradeReplies() []*UpgradeReply {
+	return []*UpgradeReply{
+		{Session: 1, Seq: 1, Ok: true, Phase: PhaseStaged, Gen: 2},
+		{Session: 1, Seq: 2, Ok: true, Phase: PhaseCanary, Gen: 2, Mirrored: 10, Remaining: 54},
+		{Session: 1, Seq: 3, Ok: false, Phase: PhaseRolledBack, Gen: 2, Diverged: true,
+			Detail: "canary diverged: packet 3 (tick 9): output 0: port 1 vs 0"},
+		{Session: 9, Seq: 9, Ok: true, Phase: PhaseCommitted, Gen: 3},
+	}
+}
+
+// TestUpgradeWireRoundTrip: every op and reply survives an
+// encode/decode cycle as an identical struct.
+func TestUpgradeWireRoundTrip(t *testing.T) {
+	for _, op := range sampleUpgradeOps() {
+		got, err := DecodeUpgradeOp(EncodeUpgradeOp(op))
+		if err != nil {
+			t.Fatalf("%s: %v", op.Kind, err)
+		}
+		if !reflect.DeepEqual(op, got) {
+			t.Errorf("op round trip:\n sent %+v\n got  %+v", op, got)
+		}
+	}
+	for _, rep := range sampleUpgradeReplies() {
+		got, err := DecodeUpgradeReply(EncodeUpgradeReply(rep))
+		if err != nil {
+			t.Fatalf("reply seq %d: %v", rep.Seq, err)
+		}
+		if !reflect.DeepEqual(rep, got) {
+			t.Errorf("reply round trip:\n sent %+v\n got  %+v", rep, got)
+		}
+	}
+}
+
+// TestUpgradeWireRejects: corruption, truncation, cross-type confusion,
+// and out-of-range fields all decode to errors, never to structs.
+func TestUpgradeWireRejects(t *testing.T) {
+	op := EncodeUpgradeOp(sampleUpgradeOps()[0])
+	rep := EncodeUpgradeReply(sampleUpgradeReplies()[0])
+	cases := map[string][]byte{
+		"empty":         {},
+		"short":         {wireMagic, wireVersion},
+		"bad magic":     func() []byte { c := clone(op); c[0] ^= 0xFF; return c }(),
+		"bad version":   func() []byte { c := clone(op); c[1]++; return c }(),
+		"flipped bit":   func() []byte { c := clone(op); c[len(c)/2] ^= 0x04; return c }(),
+		"trailing byte": append(clone(op), 0x00),
+		"truncated":     op[:len(op)-6],
+		"reply as op":   rep,
+		"all zero":      make([]byte, 64),
+	}
+	for name, data := range cases {
+		if _, err := DecodeUpgradeOp(data); err == nil {
+			t.Errorf("DecodeUpgradeOp accepted %s", name)
+		}
+	}
+	if _, err := DecodeUpgradeReply(op); err == nil {
+		t.Error("DecodeUpgradeReply accepted an op message")
+	}
+	// A structurally valid op with an unknown kind byte is rejected.
+	bad := *sampleUpgradeOps()[2]
+	bad.Kind = opKindEnd
+	if _, err := DecodeUpgradeOp(EncodeUpgradeOp(&bad)); err == nil {
+		t.Error("DecodeUpgradeOp accepted an unknown op kind")
+	}
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }
+
+// TestUpgradeWireCaps: encoders clamp to the decoder's limits so a
+// locally built op always survives the wire (truncated, not rejected).
+func TestUpgradeWireCaps(t *testing.T) {
+	op := &UpgradeOp{Kind: OpStage, Program: strings.Repeat("x", 4096),
+		Main: Module{Name: "m", Source: strings.Repeat("s", maxWireSource+100)}}
+	for i := 0; i < maxWireModules+4; i++ {
+		op.Modules = append(op.Modules, Module{Name: "mod", Source: "y"})
+	}
+	got, err := DecodeUpgradeOp(EncodeUpgradeOp(op))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Program) != maxWireName {
+		t.Errorf("program name clamped to %d, want %d", len(got.Program), maxWireName)
+	}
+	if len(got.Main.Source) != maxWireSource {
+		t.Errorf("source clamped to %d, want %d", len(got.Main.Source), maxWireSource)
+	}
+	if len(got.Modules) != maxWireModules {
+		t.Errorf("modules clamped to %d, want %d", len(got.Modules), maxWireModules)
+	}
+}
+
+// TestPhaseAndKindStrings pins the diagnostic names.
+func TestPhaseAndKindStrings(t *testing.T) {
+	for want, got := range map[string]string{
+		"idle": PhaseIdle.String(), "staged": PhaseStaged.String(),
+		"canary": PhaseCanary.String(), "committed": PhaseCommitted.String(),
+		"rolled-back": PhaseRolledBack.String(), "phase(9)": Phase(9).String(),
+		"stage": OpStage.String(), "query": OpQuery.String(),
+		"commit": OpCommit.String(), "abort": OpAbort.String(), "op(0)": OpKind(0).String(),
+	} {
+		if want != got {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

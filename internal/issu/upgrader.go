@@ -1,0 +1,253 @@
+package issu
+
+import (
+	"fmt"
+
+	"microp4"
+	"microp4/internal/sim"
+	"microp4/internal/trace"
+)
+
+// UpgraderConfig tunes a per-switch upgrade state machine. All fields
+// are optional.
+type UpgraderConfig struct {
+	// Metrics counts staged/cutover/rollback/diverged transitions.
+	Metrics *Metrics
+	// Tracer records a root "issu" span per upgrade attempt with one
+	// child span per phase (stage, canary, cutover or rollback).
+	Tracer *trace.Recorder
+	// Bus publishes upgrade lifecycle events as "issu" trace events.
+	Bus *sim.Bus
+	// Now supplies the virtual tick for span timestamps (nil = zeros).
+	Now func() uint64
+}
+
+// Upgrader is the upgrade state machine of one switch: idle → staged →
+// canary → committed, with every phase able to fall to rolled-back. It
+// compiles shipped sources, stages them as a generation, watches the
+// shadow canary, and rolls back automatically on any divergence or
+// engine fault the canary surfaces. Drive it from the node's packet
+// loop (the Agent does) — it is not internally synchronized beyond what
+// the Switch generation APIs provide.
+type Upgrader struct {
+	name string
+	sw   *microp4.Switch
+	cfg  UpgraderConfig
+
+	phase  Phase
+	gen    uint64 // staged (or adopted) generation
+	detail string // last refusal or rollback reason
+
+	root *trace.Span // per-attempt root span, recorded at the terminal phase
+}
+
+// NewUpgrader builds the state machine for one switch.
+func NewUpgrader(name string, sw *microp4.Switch, cfg UpgraderConfig) *Upgrader {
+	return &Upgrader{name: name, sw: sw, cfg: cfg}
+}
+
+// Phase returns the current phase. PhaseCommitted and PhaseRolledBack
+// are terminal for the attempt; Stage resets to a fresh attempt.
+func (u *Upgrader) Phase() Phase { return u.phase }
+
+// Detail returns the last refusal or rollback reason ("" when none).
+func (u *Upgrader) Detail() string { return u.detail }
+
+// Generation returns the generation sequence the current attempt staged
+// (or adopted), 0 before any.
+func (u *Upgrader) Generation() uint64 { return u.gen }
+
+func (u *Upgrader) now() uint64 {
+	if u.cfg.Now != nil {
+		return u.cfg.Now()
+	}
+	return 0
+}
+
+func (u *Upgrader) event(name, detail string) {
+	if u.cfg.Bus != nil && u.cfg.Bus.Active() {
+		u.cfg.Bus.Publish(sim.TraceEvent{Kind: "issu", Module: u.name, Name: name, Detail: detail})
+	}
+}
+
+// phaseSpan records one child span under the attempt's root span.
+func (u *Upgrader) phaseSpan(name, detail string) {
+	rec := u.cfg.Tracer
+	if rec == nil || u.root == nil {
+		return
+	}
+	now := u.now()
+	sp := &trace.Span{
+		TraceID: u.root.TraceID, SpanID: rec.NextID(), ParentID: u.root.SpanID,
+		Kind: "issu", Name: name, Start: now, End: now,
+	}
+	if detail != "" {
+		sp.Event(now, name, detail)
+	}
+	rec.Record(sp)
+	u.root.End = now
+}
+
+// finishRoot records the attempt's root span at a terminal transition.
+func (u *Upgrader) finishRoot(outcome string) {
+	if rec := u.cfg.Tracer; rec != nil && u.root != nil {
+		u.root.End = u.now()
+		u.root.Event(u.root.End, "outcome", outcome)
+		rec.Record(u.root)
+	}
+	u.root = nil
+}
+
+// Stage compiles the shipped program and stages it as a generation.
+// Callable from idle or from a terminal phase (a new attempt); an
+// in-flight attempt must be aborted first. Errors are *sim.UpgradeError.
+func (u *Upgrader) Stage(op *UpgradeOp) error {
+	if u.phase == PhaseStaged || u.phase == PhaseCanary {
+		return &sim.UpgradeError{Phase: "stage", Gen: u.gen,
+			Reason: "an upgrade is already in flight (phase " + u.phase.String() + ")"}
+	}
+	if rec := u.cfg.Tracer; rec != nil {
+		id := rec.NextID()
+		u.root = &trace.Span{TraceID: id, SpanID: id, Kind: "issu", Name: "upgrade",
+			Start: u.now(), End: u.now()}
+		u.root.Event(u.now(), "program", op.Program)
+	}
+	dp, err := compileProgram(op)
+	if err != nil {
+		u.detail = err.Error()
+		u.event("stage-failed", u.detail)
+		u.phaseSpan("stage", "compile failed: "+u.detail)
+		u.finishRoot("stage-failed")
+		return &sim.UpgradeError{Phase: "stage", Reason: err.Error()}
+	}
+	gen, err := u.sw.StageGeneration(dp)
+	if err != nil {
+		u.detail = err.Error()
+		u.event("stage-failed", u.detail)
+		u.phaseSpan("stage", u.detail)
+		u.finishRoot("stage-failed")
+		return err
+	}
+	u.phase, u.gen, u.detail = PhaseStaged, gen, ""
+	u.cfg.Metrics.Staged(u.name)
+	u.event("staged", fmt.Sprintf("%s as generation %d", op.Program, gen))
+	u.phaseSpan("stage", fmt.Sprintf("%s -> generation %d", op.Program, gen))
+	return nil
+}
+
+// StartCanary begins mirroring the next n live packets through the
+// staged generation.
+func (u *Upgrader) StartCanary(n uint64) error {
+	if u.phase != PhaseStaged {
+		return &sim.UpgradeError{Phase: "canary", Gen: u.gen,
+			Reason: "no staged generation (phase " + u.phase.String() + ")"}
+	}
+	if err := u.sw.StartCanary(int(n)); err != nil {
+		u.detail = err.Error()
+		return err
+	}
+	u.phase = PhaseCanary
+	u.event("canary", fmt.Sprintf("mirroring %d packets through generation %d", n, u.gen))
+	u.phaseSpan("canary", fmt.Sprintf("budget %d", n))
+	return nil
+}
+
+// Poll advances the automatic-rollback watch: if the canary observed a
+// divergence (including engine faults, which surface as an error-class
+// divergence), the upgrade rolls back immediately. Call it from the
+// packet loop — it costs one atomic load when no canary is running.
+func (u *Upgrader) Poll() {
+	if u.phase != PhaseCanary {
+		return
+	}
+	st := u.sw.CanaryStatus()
+	if st.Diverged {
+		u.cfg.Metrics.CanaryDiverged(u.name)
+		u.rollback("canary diverged: " + st.Reason)
+	}
+}
+
+// Status reports the phase, generation, and canary progress.
+func (u *Upgrader) Status() (Phase, uint64, microp4.CanaryStatus) {
+	return u.phase, u.gen, u.sw.CanaryStatus()
+}
+
+// Commit cuts over to the staged generation. From PhaseCanary the
+// canary must have completed cleanly (a still-running canary refuses,
+// a diverged one rolls back); from PhaseStaged it commits uncanaried —
+// the coordinator decides whether that is allowed.
+func (u *Upgrader) Commit() error {
+	switch u.phase {
+	case PhaseCanary:
+		st := u.sw.CanaryStatus()
+		if st.Diverged {
+			u.cfg.Metrics.CanaryDiverged(u.name)
+			u.rollback("canary diverged: " + st.Reason)
+			return &sim.UpgradeError{Phase: "cutover", Gen: u.gen, Reason: "canary diverged: " + st.Reason}
+		}
+		if st.Active {
+			return &sim.UpgradeError{Phase: "cutover", Gen: u.gen,
+				Reason: fmt.Sprintf("canary still running (%d packets left)", st.Remaining)}
+		}
+	case PhaseStaged:
+	default:
+		return &sim.UpgradeError{Phase: "cutover", Gen: u.gen,
+			Reason: "nothing to commit (phase " + u.phase.String() + ")"}
+	}
+	gen, err := u.sw.CutOver()
+	if err != nil {
+		u.rollbackOnCutoverErr(err)
+		return err
+	}
+	u.phase, u.gen, u.detail = PhaseCommitted, gen, ""
+	u.cfg.Metrics.Cutover(u.name)
+	u.event("committed", fmt.Sprintf("generation %d live", gen))
+	u.phaseSpan("cutover", fmt.Sprintf("generation %d live", gen))
+	u.finishRoot("committed")
+	return nil
+}
+
+// rollbackOnCutoverErr handles CutOver refusing (e.g. a divergence that
+// landed between the status check and the cutover): the staged
+// generation is discarded.
+func (u *Upgrader) rollbackOnCutoverErr(err error) {
+	u.cfg.Metrics.CanaryDiverged(u.name)
+	u.rollback("cutover refused: " + err.Error())
+}
+
+// Abort rolls the in-flight upgrade back with an external reason
+// (coordinator decision, canary timeout). Aborting with nothing in
+// flight is a harmless no-op so duplicated/retried aborts stay
+// idempotent.
+func (u *Upgrader) Abort(reason string) {
+	if u.phase != PhaseStaged && u.phase != PhaseCanary {
+		return
+	}
+	u.rollback(reason)
+}
+
+func (u *Upgrader) rollback(reason string) {
+	u.sw.AbortStaged()
+	u.phase, u.detail = PhaseRolledBack, reason
+	u.cfg.Metrics.Rollback(u.name)
+	u.event("rolled-back", reason)
+	u.phaseSpan("rollback", reason)
+	u.finishRoot("rolled-back")
+}
+
+// compileProgram runs the µP4 frontend and midend on a shipped program.
+func compileProgram(op *UpgradeOp) (*microp4.Dataplane, error) {
+	main, err := microp4.CompileModule(op.Main.Name, op.Main.Source)
+	if err != nil {
+		return nil, fmt.Errorf("main %s: %w", op.Main.Name, err)
+	}
+	mods := make([]*microp4.Module, 0, len(op.Modules))
+	for _, m := range op.Modules {
+		mod, err := microp4.CompileModule(m.Name, m.Source)
+		if err != nil {
+			return nil, fmt.Errorf("module %s: %w", m.Name, err)
+		}
+		mods = append(mods, mod)
+	}
+	return microp4.Build(main, mods...)
+}

@@ -1,6 +1,9 @@
 package netsim
 
-import "container/heap"
+import (
+	"container/heap"
+	"sort"
+)
 
 // The network's virtual clock. Time is measured in ticks: every
 // delivery a node processes advances the clock by one, and timers fire
@@ -13,9 +16,10 @@ import "container/heap"
 
 // timer is one scheduled callback.
 type timer struct {
-	at  uint64 // virtual tick at (or after) which the timer fires
-	seq uint64 // creation order, the deterministic tiebreaker
-	fn  func() // nil when cancelled
+	at    uint64 // virtual tick at (or after) which the timer fires
+	seq   uint64 // creation order, the deterministic tiebreaker
+	owner string // who scheduled it ("" = unnamed) — the watchdog's diagnostic
+	fn    func() // nil when cancelled
 }
 
 // timerQueue is a min-heap ordered by (at, seq).
@@ -28,8 +32,8 @@ func (q timerQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q timerQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *timerQueue) Push(x any)        { *q = append(*q, x.(*timer)) }
+func (q timerQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *timerQueue) Push(x any)   { *q = append(*q, x.(*timer)) }
 func (q *timerQueue) Pop() any {
 	old := *q
 	n := len(old)
@@ -49,10 +53,41 @@ func (n *Network) Now() uint64 { return n.now }
 // going to arrive). Ties fire in creation order. fn may send packets
 // (SendFrom), schedule further timers, or both.
 func (n *Network) After(d uint64, fn func()) (cancel func()) {
+	return n.AfterNamed("", d, fn)
+}
+
+// AfterNamed is After with an owner name attached to the timer. The
+// name is pure diagnostics: when Run's watchdog declares the network
+// permanently parked, the pending timers' owners are what it reports —
+// name any timer that re-arms itself (pollers, retransmitters,
+// replication rounds) so a quiesce bug indicts its subsystem by name.
+func (n *Network) AfterNamed(owner string, d uint64, fn func()) (cancel func()) {
 	n.tseq++
-	t := &timer{at: n.now + d, seq: n.tseq, fn: fn}
+	t := &timer{at: n.now + d, seq: n.tseq, owner: owner, fn: fn}
 	heap.Push(&n.timers, t)
 	return func() { t.fn = nil }
+}
+
+// pendingTimerOwners returns the distinct owners of live pending
+// timers, sorted, for the watchdog diagnostic.
+func (n *Network) pendingTimerOwners() []string {
+	seen := map[string]bool{}
+	for _, t := range n.timers {
+		if t.fn == nil {
+			continue
+		}
+		name := t.owner
+		if name == "" {
+			name = "unnamed"
+		}
+		seen[name] = true
+	}
+	owners := make([]string, 0, len(seen))
+	for name := range seen {
+		owners = append(owners, name)
+	}
+	sort.Strings(owners)
+	return owners
 }
 
 // fireTimer pops and runs the earliest pending timer, advancing the

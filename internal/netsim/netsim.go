@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"microp4"
 	"microp4/internal/obs"
@@ -106,9 +107,10 @@ type Network struct {
 	queue []delivery         // in-flight packets, FIFO
 	eg    map[string][]Delivery
 
-	now    uint64 // virtual clock, in ticks (see clock.go)
-	tseq   uint64 // timer creation sequence
-	timers timerQueue
+	now      uint64 // virtual clock, in ticks (see clock.go)
+	tseq     uint64 // timer creation sequence
+	timers   timerQueue
+	watchdog int // idle-timer-fire limit; 0 = DefaultWatchdogFires, <0 = off
 
 	seq    uint64 // fault event sequence
 	sinks  []func(FaultEvent)
@@ -321,6 +323,27 @@ func (n *Network) Inject(node string, port uint64, data []byte) error {
 // terminates the run instead of spinning forever.
 const DefaultStepBudget = 1 << 20
 
+// DefaultWatchdogFires is how many consecutive fruitless timer fires —
+// no packet entered the queue, nothing egressed — Run tolerates before
+// declaring the node set permanently parked. Healthy quiesce patterns
+// (retry ladders against a dead peer, canary-timeout polls) burn at
+// most dozens of fruitless fires before parking or giving up; a poller
+// that re-arms forever without ever quiescing burns them linearly and
+// is exactly the silent spin the watchdog converts into a diagnostic.
+const DefaultWatchdogFires = 10000
+
+// SetWatchdog overrides the run watchdog's tolerance for consecutive
+// fruitless timer fires: 0 restores DefaultWatchdogFires, negative
+// disables the watchdog entirely.
+func (n *Network) SetWatchdog(fires int) { n.watchdog = fires }
+
+func (n *Network) watchdogLimit() int {
+	if n.watchdog != 0 {
+		return n.watchdog
+	}
+	return DefaultWatchdogFires
+}
+
 // Run drains the delivery queue: each step pops one in-flight packet
 // (advancing the virtual clock one tick), runs any churn injectors on
 // the destination node, processes the packet, and transmits the outputs
@@ -339,6 +362,7 @@ func (n *Network) Run(maxSteps int) (RunStats, error) {
 		maxSteps = DefaultStepBudget
 	}
 	steps := 0
+	idleFires := 0 // consecutive timer fires that moved no packet
 	for {
 		for len(n.queue) > 0 {
 			if steps >= maxSteps {
@@ -401,10 +425,28 @@ func (n *Network) Run(maxSteps int) (RunStats, error) {
 		}
 		// Quiet network: advance virtual time to the next timer. Timer
 		// callbacks count against the step budget too — a timer that
-		// perpetually reschedules itself must not hang Run.
-		if steps < maxSteps && n.fireTimer() {
-			steps++
-			continue
+		// perpetually reschedules itself must not hang Run. The watchdog
+		// tracks whether firing timers still moves packets: a long streak
+		// of fires that neither enqueued nor egressed anything while more
+		// timers stay pending means some node set re-arms forever without
+		// quiescing, and Run fails with the owners instead of silently
+		// spinning to the step budget.
+		if steps < maxSteps {
+			egBefore := n.stats.Egressed
+			if n.fireTimer() {
+				steps++
+				if len(n.queue) > 0 || n.stats.Egressed != egBefore {
+					idleFires = 0
+				} else if limit := n.watchdogLimit(); limit > 0 {
+					idleFires++
+					if idleFires >= limit && n.timers.Len() > 0 {
+						return n.stats, fmt.Errorf(
+							"netsim: watchdog: %d consecutive timer fires moved no packets with %d timers still pending — parked node set (timer owners: %s)",
+							idleFires, n.timers.Len(), strings.Join(n.pendingTimerOwners(), ", "))
+					}
+				}
+				continue
+			}
 		}
 		if n.timers.Len() > 0 && steps >= maxSteps {
 			return n.stats, fmt.Errorf("netsim: step budget %d exhausted with timers pending", maxSteps)

@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"microp4"
+)
+
+type sinkProc struct{}
+
+func (sinkProc) Process(pkt []byte, inPort uint64) ([]microp4.Output, error) { return nil, nil }
+
+// TestRunWatchdogTripsOnParkedTimers: a poller that re-arms itself
+// forever without ever moving a packet is exactly the parked node set
+// the watchdog exists for — Run fails with a diagnostic naming the
+// timer's owner instead of silently spinning to the step budget.
+func TestRunWatchdogTripsOnParkedTimers(t *testing.T) {
+	n := New(1)
+	if err := n.AddSwitch("sw", sinkProc{}); err != nil {
+		t.Fatal(err)
+	}
+	n.SetWatchdog(50)
+	var spin func()
+	spin = func() { n.AfterNamed("parked-poller", 1, spin) }
+	n.AfterNamed("parked-poller", 1, spin)
+	_, err := n.Run(0)
+	if err == nil {
+		t.Fatal("Run returned nil for a permanently-parked timer loop")
+	}
+	for _, want := range []string{"watchdog", "parked-poller"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnostic missing %q: %v", want, err)
+		}
+	}
+}
+
+// TestRunWatchdogIgnoresProgress: a self-re-arming timer that actually
+// moves packets is a healthy sender, not a parked one — it may fire
+// far past the tolerance without tripping, and once it quiesces Run
+// returns cleanly.
+func TestRunWatchdogIgnoresProgress(t *testing.T) {
+	n := New(1)
+	if err := n.AddSwitch("sw", sinkProc{}); err != nil {
+		t.Fatal(err)
+	}
+	n.SetWatchdog(20)
+	rounds := 0
+	var send func()
+	send = func() {
+		rounds++
+		if rounds > 100 {
+			return // quiesce
+		}
+		_ = n.Inject("sw", 1, []byte{0xAB})
+		n.AfterNamed("chatty-sender", 1, send)
+	}
+	n.AfterNamed("chatty-sender", 1, send)
+	if _, err := n.Run(0); err != nil {
+		t.Fatalf("watchdog tripped on a progressing sender: %v", err)
+	}
+	if st := n.Stats(); st.Injected != 100 {
+		t.Errorf("sender injected %d packets, want 100", st.Injected)
+	}
+}
+
+// TestRunWatchdogCountsEgressAsProgress: timers that SendFrom straight
+// to an unconnected (egress) port never touch the queue but are still
+// making progress.
+func TestRunWatchdogCountsEgressAsProgress(t *testing.T) {
+	n := New(1)
+	if err := n.AddSwitch("sw", sinkProc{}); err != nil {
+		t.Fatal(err)
+	}
+	n.SetWatchdog(20)
+	rounds := 0
+	var send func()
+	send = func() {
+		rounds++
+		if rounds > 100 {
+			return
+		}
+		_ = n.SendFrom("sw", 2, []byte{0xCD})
+		n.AfterNamed("egress-sender", 1, send)
+	}
+	n.AfterNamed("egress-sender", 1, send)
+	if _, err := n.Run(0); err != nil {
+		t.Fatalf("watchdog tripped on an egressing sender: %v", err)
+	}
+	if got := len(n.Egress("sw")); got != 100 {
+		t.Errorf("egress collected %d packets, want 100", got)
+	}
+}
+
+// TestRunWatchdogDisabled: a negative tolerance turns the watchdog off
+// and the step budget remains the only backstop.
+func TestRunWatchdogDisabled(t *testing.T) {
+	n := New(1)
+	if err := n.AddSwitch("sw", sinkProc{}); err != nil {
+		t.Fatal(err)
+	}
+	n.SetWatchdog(-1)
+	var spin func()
+	spin = func() { n.AfterNamed("parked", 1, spin) }
+	n.AfterNamed("parked", 1, spin)
+	_, err := n.Run(500)
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Fatalf("disabled watchdog should leave the step budget in charge, got %v", err)
+	}
+}

@@ -382,8 +382,126 @@ func RunSuite(programs []string, dur time.Duration, workers int, progress func(s
 			r.Program, r.Engine, r.Mode, r.Workers = prog, "compiled", mode.name, mode.workers
 			rep.Results = append(rep.Results, r)
 		}
+
+		// The cutover cell (P9 only, the stateful program upgrades care
+		// about): worst-case packet stall across repeated generation
+		// swaps — the first packet after CutOver pays for the atomic
+		// adoption plus the flow-state carry.
+		if prog == "P9" {
+			progress(prog + " compiled/cutover")
+			r, err = MeasureCutover(dur)
+			if err != nil {
+				return nil, fmt.Errorf("%s cutover: %v", prog, err)
+			}
+			rep.Results = append(rep.Results, r)
+		}
 	}
 	return rep, nil
+}
+
+// cutoverDataplane builds the P9 v2 program (the standard benign
+// upgrade target) against the P9 module set.
+func cutoverDataplane() (*microp4.Dataplane, error) {
+	m, err := lib.Program("P9")
+	if err != nil {
+		return nil, err
+	}
+	src, err := lib.Source("up4/p9_fw_v2.up4")
+	if err != nil {
+		return nil, err
+	}
+	mainMod, err := microp4.CompileModule("p9_fw_v2.up4", src)
+	if err != nil {
+		return nil, err
+	}
+	var mods []*microp4.Module
+	for _, name := range m.Modules {
+		msrc, err := lib.ModuleSource(name)
+		if err != nil {
+			return nil, err
+		}
+		mod, err := microp4.CompileModule(name+".up4", msrc)
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, mod)
+	}
+	return microp4.Build(mainMod, mods...)
+}
+
+// MeasureCutover measures generation-swap latency on a P9 switch with
+// an established flow population: each cycle stages the v2 dataplane
+// (off the clock — staging is preparation, not stall), then times
+// CutOver plus the first packet processed on the new generation.
+// NsPerPkt reports the MAX stall observed (the number an operator
+// cares about: the longest any packet waits during an in-service
+// upgrade); Packets counts swap cycles; AllocsPerPkt is allocations
+// per cycle (the flow-state carry allocates, by design, off the
+// steady-state hot path).
+func MeasureCutover(dur time.Duration) (Result, error) {
+	sw, err := Switch("P9")
+	if err != nil {
+		return Result{}, err
+	}
+	for _, p := range FlowChurn(64) {
+		if _, err := sw.Process(p, 1); err != nil {
+			return Result{}, err
+		}
+	}
+	v2, err := cutoverDataplane()
+	if err != nil {
+		return Result{}, err
+	}
+	probe := FlowChurn(1)[1] // a return packet: flowtable hit on the new generation
+	cycle := func() (time.Duration, error) {
+		if _, err := sw.StageGeneration(v2); err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		if _, err := sw.CutOver(); err != nil {
+			return 0, err
+		}
+		if _, err := sw.Process(probe, 1); err != nil {
+			return 0, err
+		}
+		return time.Since(t0), nil
+	}
+	// Warm-up cycles settle pools and the staging path's lazy work.
+	for i := 0; i < 3; i++ {
+		if _, err := cycle(); err != nil {
+			return Result{}, err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var maxStall time.Duration
+	var cycles int64
+	start := time.Now()
+	for time.Since(start) < dur {
+		stall, err := cycle()
+		if err != nil {
+			return Result{}, err
+		}
+		if stall > maxStall {
+			maxStall = stall
+		}
+		cycles++
+	}
+	runtime.ReadMemStats(&after)
+	if cycles == 0 {
+		return Result{}, fmt.Errorf("no cutover cycles completed")
+	}
+	return Result{
+		Program:      "P9",
+		Engine:       "compiled",
+		Mode:         "cutover",
+		Workers:      1,
+		Packets:      cycles,
+		NsPerPkt:     float64(maxStall.Nanoseconds()),
+		PPS:          float64(cycles) / time.Since(start).Seconds(),
+		AllocsPerPkt: float64(after.Mallocs-before.Mallocs) / float64(cycles),
+	}, nil
 }
 
 // Table renders a report as an aligned text table.

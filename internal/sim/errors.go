@@ -47,6 +47,12 @@ const (
 	// carried an entry the table cannot admit. Produced by the flowtable
 	// extern dispatch and the ctrlplane replication layer.
 	ClassFlow
+	// ClassUpgrade: an in-service upgrade (ISSU) operation failed — a
+	// stage/canary/cutover precondition was violated, the canary
+	// diverged, or the upgrade was rolled back. Produced on the control
+	// path (Switch generation APIs, the issu state machine), never by
+	// Process.
+	ClassUpgrade
 )
 
 func (c ErrorClass) String() string {
@@ -65,6 +71,8 @@ func (c ErrorClass) String() string {
 		return "control"
 	case ClassFlow:
 		return "flow"
+	case ClassUpgrade:
+		return "upgrade"
 	}
 	return "unknown"
 }
@@ -83,6 +91,7 @@ var (
 	ErrRecirc  error = &classError{ClassRecirc}
 	ErrControl error = &classError{ClassControl}
 	ErrFlow    error = &classError{ClassFlow}
+	ErrUpgrade error = &classError{ClassUpgrade}
 )
 
 func classIs(class ErrorClass, target error) bool {
@@ -101,6 +110,7 @@ func ClassOf(err error) (ErrorClass, bool) {
 		re *RecircBudgetError
 		ce *ControlError
 		fe *FlowError
+		ue *UpgradeError
 	)
 	switch {
 	case errors.As(err, &pe):
@@ -117,6 +127,8 @@ func ClassOf(err error) (ErrorClass, bool) {
 		return ClassControl, true
 	case errors.As(err, &fe):
 		return ClassFlow, true
+	case errors.As(err, &ue):
+		return ClassUpgrade, true
 	}
 	return 0, false
 }
@@ -260,6 +272,26 @@ func (e *FlowError) Error() string {
 }
 
 func (e *FlowError) Is(target error) bool { return classIs(ClassFlow, target) }
+
+// UpgradeError reports an in-service upgrade failure: a generation
+// staging, canary, or cutover step that could not proceed, or an
+// upgrade that was rolled back. Phase names the state-machine step
+// ("stage", "canary", "cutover", "rollback"); Gen is the staged
+// generation involved (0 when none was created).
+type UpgradeError struct {
+	Phase  string
+	Gen    uint64
+	Reason string
+}
+
+func (e *UpgradeError) Error() string {
+	if e.Gen != 0 {
+		return fmt.Sprintf("upgrade %s: generation %d: %s", e.Phase, e.Gen, e.Reason)
+	}
+	return fmt.Sprintf("upgrade %s: %s", e.Phase, e.Reason)
+}
+
+func (e *UpgradeError) Is(target error) bool { return classIs(ClassUpgrade, target) }
 
 // recoverFault converts an in-flight panic into an *EngineFault on
 // *errp, clearing *resp — the never-panic boundary both engines (and

@@ -29,6 +29,35 @@ const (
 	EngineReference
 )
 
+// generation is one immutable copy-on-write configuration of a switch:
+// a compiled dataplane program together with the MAT table state,
+// engine instances, and extern state (registers, flowtables) that
+// execute it. The switch publishes the live generation through an
+// atomic pointer; packet paths load it once per packet, so a cutover is
+// adopted only at packet boundaries and a packet never sees a mix of
+// two programs — the yanet2 cp_config_gen/dp_config pattern.
+type generation struct {
+	seq    uint64 // monotone per-switch generation number (1 = initial)
+	dp     *Dataplane
+	tables *sim.Tables
+	exec   *sim.Exec // nil when the midend produced no compiled pipeline
+	interp *sim.Interp
+
+	schemaOnce sync.Once
+	schema     *ControlSchema // nil when the dataplane has no compiled pipeline
+}
+
+// Schema returns the generation's control schema, built once from its
+// dataplane's ControlAPI (nil for reference-engine-only programs).
+func (g *generation) Schema() *ControlSchema {
+	g.schemaOnce.Do(func() {
+		if composed, _ := g.dp.Composed(); composed {
+			g.schema = g.dp.ControlAPI().Schema()
+		}
+	})
+	return g.schema
+}
+
 // Switch is a behavioral V1Model-style target: a single dataplane
 // program, control-plane table state, multicast groups, and a
 // recirculation path.
@@ -38,14 +67,15 @@ const (
 // SetMulticastGroup) may race live traffic — per-packet engine state is
 // goroutine-local, table state is internally synchronized, and the
 // switch-level state below (clock, digests, multicast groups) is
-// guarded here.
+// guarded here. The program itself lives in an immutable generation
+// adopted per packet, so StageGeneration/CutOver may race traffic too.
 type Switch struct {
-	dp       *Dataplane
 	engine   Engine
-	tables   *sim.Tables
-	exec     *sim.Exec
-	interp   *sim.Interp
-	bus      *sim.Bus // one bus (and one event sequence) across both engines
+	gen      atomic.Pointer[generation] // live generation (never nil)
+	staged   atomic.Pointer[generation] // staged, not yet adopted (nil = none)
+	canary   atomic.Pointer[canaryState]
+	genSeq   atomic.Uint64
+	bus      *sim.Bus // one bus (and one event sequence) across generations
 	metrics  *sim.Metrics
 	traceOff func() // SetTracer's current subscription
 
@@ -57,14 +87,14 @@ type Switch struct {
 	wpool  *workerPool // persistent ProcessBatch workers (nil until parallel)
 	tracer atomic.Pointer[trace.Recorder]
 
-	schemaOnce sync.Once
-	schema     *ControlSchema // nil when the dataplane has no compiled pipeline
-
 	// MaxRecirculations bounds the recirculation loop (default 4).
 	MaxRecirculations int
 	clock             atomic.Uint64
 	workers           atomic.Int32 // ProcessBatch parallelism (<=1 = serial)
 }
+
+// live returns the current generation (never nil after construction).
+func (s *Switch) live() *generation { return s.gen.Load() }
 
 // Digests drains and returns the values the dataplane sent to the
 // control plane via im.digest (§6.4's CPU–dataplane interface).
@@ -79,12 +109,13 @@ func (s *Switch) Digests() []uint64 {
 // ReadRegister returns cell idx of a register array (§8.2 stateful
 // extension), by fully qualified instance path.
 func (s *Switch) ReadRegister(path string, idx int) (uint64, error) {
+	g := s.live()
 	var cells []uint64
-	if s.engine == EngineReference || s.exec == nil {
+	if s.engine == EngineReference || g.exec == nil {
 		// Lazily sized on first dataplane access; ask for at least idx+1.
-		cells = s.interp.Register(path, idx+1)
+		cells = g.interp.Register(path, idx+1)
 	} else {
-		cells = s.exec.Register(path)
+		cells = g.exec.Register(path)
 	}
 	if idx < 0 || idx >= len(cells) {
 		return 0, fmt.Errorf("register %s has no cell %d", path, idx)
@@ -97,7 +128,12 @@ func (s *Switch) ReadRegister(path string, idx int) (uint64, error) {
 // name. The ctrlplane replication layer reads and installs entries
 // through it; the dataplane mutates it via ft.upsert.
 func (s *Switch) FlowTable(path string) *flow.Table {
-	pl := s.dp.res.Pipeline
+	return s.flowTable(s.live(), path)
+}
+
+// flowTable resolves a flowtable instance within one generation.
+func (s *Switch) flowTable(g *generation, path string) *flow.Table {
+	pl := g.dp.res.Pipeline
 	if pl == nil {
 		return nil
 	}
@@ -106,10 +142,10 @@ func (s *Switch) FlowTable(path string) *flow.Table {
 		if ft.Name != path {
 			continue
 		}
-		if s.engine == EngineReference || s.exec == nil {
-			return s.interp.FlowTable(path, ft.Size, ft.IdleTTL, ft.EstTTL)
+		if s.engine == EngineReference || g.exec == nil {
+			return g.interp.FlowTable(path, ft.Size, ft.IdleTTL, ft.EstTTL)
 		}
-		return s.exec.FlowTable(path)
+		return g.exec.FlowTable(path)
 	}
 	return nil
 }
@@ -117,7 +153,7 @@ func (s *Switch) FlowTable(path string) *flow.Table {
 // FlowTablePaths lists the program's flowtable instances by fully
 // qualified path, in declaration order.
 func (s *Switch) FlowTablePaths() []string {
-	pl := s.dp.res.Pipeline
+	pl := s.live().dp.res.Pipeline
 	if pl == nil {
 		return nil
 	}
@@ -133,36 +169,49 @@ func (d *Dataplane) NewSwitch() *Switch { return d.NewSwitchWith(EngineCompiled)
 
 // NewSwitchWith returns a switch with an explicit execution engine.
 func (d *Dataplane) NewSwitchWith(engine Engine) *Switch {
-	t := sim.NewTables()
 	sw := &Switch{
-		dp:                d,
 		engine:            engine,
-		tables:            t,
-		interp:            sim.NewInterp(d.res.Linked, t),
 		bus:               sim.NewBus(),
 		mcGroups:          make(map[uint64][]uint64),
 		MaxRecirculations: 4,
 	}
-	sw.interp.SetBus(sw.bus)
-	if d.res.Pipeline != nil {
-		sw.exec = sim.NewExec(d.res.Pipeline, t)
-		sw.exec.SetBus(sw.bus)
-	}
+	sw.gen.Store(sw.newGeneration(d))
 	return sw
 }
 
-// Schema returns the switch's control schema, built once from the
-// dataplane's ControlAPI. It is nil when the midend produced no
+// newGeneration builds a fresh generation for dp: new table state, new
+// engine instances, extern state zeroed — wired to the switch's shared
+// trace bus but not to its metrics (a staged generation must not count
+// into the live series; CutOver attaches metrics on adoption).
+func (s *Switch) newGeneration(d *Dataplane) *generation {
+	t := sim.NewTables()
+	g := &generation{seq: s.genSeq.Add(1), dp: d, tables: t,
+		interp: sim.NewInterp(d.res.Linked, t)}
+	g.interp.SetBus(s.bus)
+	if d.res.Pipeline != nil {
+		g.exec = sim.NewExec(d.res.Pipeline, t)
+		g.exec.SetBus(s.bus)
+	}
+	return g
+}
+
+// attachMetrics points a generation's engines at the switch's metrics
+// (no-op before EnableMetrics).
+func (s *Switch) attachMetrics(g *generation) {
+	if s.metrics == nil {
+		return
+	}
+	g.interp.SetMetrics(s.metrics)
+	if g.exec != nil {
+		g.exec.SetMetrics(s.metrics)
+	}
+}
+
+// Schema returns the live generation's control schema, built once from
+// the dataplane's ControlAPI. It is nil when the midend produced no
 // compiled pipeline (reference-engine-only programs) — there is then no
 // schema to validate against and the Try* methods install unchecked.
-func (s *Switch) Schema() *ControlSchema {
-	s.schemaOnce.Do(func() {
-		if composed, _ := s.dp.Composed(); composed {
-			s.schema = s.dp.ControlAPI().Schema()
-		}
-	})
-	return s.schema
-}
+func (s *Switch) Schema() *ControlSchema { return s.live().Schema() }
 
 // TryAddEntry validates an entry against the control schema (table
 // existence, key count and widths, action membership, argument arity
@@ -174,7 +223,7 @@ func (s *Switch) TryAddEntry(table string, keys []Key, action string, args ...ui
 			return err
 		}
 	}
-	s.tables.AddEntry(table, toRuntime(keys), action, args...)
+	s.live().tables.AddEntry(table, toRuntime(keys), action, args...)
 	return nil
 }
 
@@ -185,7 +234,7 @@ func (s *Switch) TrySetDefault(table, action string, args ...uint64) error {
 			return err
 		}
 	}
-	s.tables.SetDefault(table, action, args...)
+	s.live().tables.SetDefault(table, action, args...)
 	return nil
 }
 
@@ -196,7 +245,7 @@ func (s *Switch) TryClearTable(table string) error {
 			return err
 		}
 	}
-	s.tables.ClearTable(table)
+	s.live().tables.ClearTable(table)
 	return nil
 }
 
@@ -243,37 +292,55 @@ func (s *Switch) setMulticastGroup(gid uint64, ports []uint64) {
 	s.mcGroups[gid] = append([]uint64(nil), ports...)
 }
 
-// Checkpoint is a point-in-time copy of a switch's control-plane state:
-// runtime table entries, default-action overrides, and multicast
-// groups. Dataplane register state is deliberately not captured — it
-// belongs to the packets, not the controller.
+// Checkpoint is a point-in-time copy of a switch's control-plane and
+// flow state: runtime table entries, default-action overrides,
+// multicast groups, and the full contents of every flowtable instance
+// (entry state, TTL deadlines, sync marks). Dataplane register state is
+// deliberately not captured — it belongs to the packets, not the
+// controller.
 type Checkpoint struct {
 	tables   *sim.TablesSnapshot
 	mcGroups map[uint64][]uint64
+	flows    map[string]*flow.Snapshot
 }
 
-// Checkpoint snapshots the control-plane state for a later Restore —
-// the rollback mechanism behind the ctrlplane's transactional updates.
-// Safe to call while packets are processed and entries installed.
+// Checkpoint snapshots the control-plane and flow state for a later
+// Restore — the rollback mechanism behind the ctrlplane's transactional
+// updates, and the state-transfer unit for standby bootstrap and ISSU
+// cutover. Safe to call while packets are processed and entries
+// installed.
 func (s *Switch) Checkpoint() *Checkpoint {
-	cp := &Checkpoint{tables: s.tables.Snapshot()}
+	g := s.live()
+	cp := &Checkpoint{tables: g.tables.Snapshot()}
 	s.mu.Lock()
 	cp.mcGroups = make(map[uint64][]uint64, len(s.mcGroups))
 	for gid, ports := range s.mcGroups {
 		cp.mcGroups[gid] = append([]uint64(nil), ports...)
 	}
 	s.mu.Unlock()
+	for _, path := range s.FlowTablePaths() {
+		if ft := s.flowTable(g, path); ft != nil {
+			if cp.flows == nil {
+				cp.flows = make(map[string]*flow.Snapshot)
+			}
+			cp.flows[path] = ft.Snapshot()
+		}
+	}
 	return cp
 }
 
-// Restore reinstates a checkpoint, discarding every control-plane
-// change made since it was taken. The checkpoint is not consumed and
-// may be restored again.
+// Restore reinstates a checkpoint, discarding every control-plane and
+// flow-state change made since it was taken. Flowtable contents
+// round-trip exactly — entry state, TTL deadlines, and sync marks are
+// reinstated verbatim; paths the restoring switch's program does not
+// declare are skipped. The checkpoint is not consumed and may be
+// restored again.
 func (s *Switch) Restore(cp *Checkpoint) {
 	if cp == nil {
 		return
 	}
-	s.tables.Restore(cp.tables)
+	g := s.live()
+	g.tables.Restore(cp.tables)
 	mc := make(map[uint64][]uint64, len(cp.mcGroups))
 	for gid, ports := range cp.mcGroups {
 		mc[gid] = append([]uint64(nil), ports...)
@@ -281,6 +348,11 @@ func (s *Switch) Restore(cp *Checkpoint) {
 	s.mu.Lock()
 	s.mcGroups = mc
 	s.mu.Unlock()
+	for path, snap := range cp.flows {
+		if ft := s.flowTable(g, path); ft != nil {
+			ft.RestoreSnapshot(snap)
+		}
+	}
 }
 
 // mcPorts snapshots a multicast group's replication list.
@@ -356,7 +428,7 @@ func (ob *outBuf) add(port uint64, data []byte) {
 // processPacketInto.
 func (s *Switch) processPacket(pkt []byte, clock, inPort uint64) (outs []Output, digests []uint64, err error) {
 	ob := s.getOutBuf()
-	err = s.processPacketInto(ob, pkt,
+	err = s.processPacketInto(ob, s.live(), pkt,
 		sim.Metadata{InPort: inPort, InTimestamp: clock, PktLen: uint64(len(pkt))})
 	if len(ob.outs) > 0 {
 		outs = make([]Output, len(ob.outs))
@@ -371,13 +443,27 @@ func (s *Switch) processPacket(pkt []byte, clock, inPort uint64) (outs []Output,
 	return outs, digests, err
 }
 
-// processPacketInto runs one packet through the architecture loop —
-// engine, multicast replication, recirculation — appending transmitted
-// packets and digests to ob, without touching switch-wide digest or
-// clock state. It is the engine-independent core shared by Process and
-// ProcessBatch. On error ob's outputs are cleared but digests raised by
-// earlier recirculation passes are kept, matching Process semantics.
-func (s *Switch) processPacketInto(ob *outBuf, pkt []byte, meta sim.Metadata) (err error) {
+// processPacketInto runs one packet through generation g's architecture
+// loop and, when a shadow canary is active, mirrors the packet through
+// the staged generation and compares the outcomes. The generation is
+// loaded once per packet by the caller — a concurrent cutover is
+// adopted only at the next packet boundary, never mid-recirculation.
+func (s *Switch) processPacketInto(ob *outBuf, g *generation, pkt []byte, meta sim.Metadata) error {
+	err := s.archLoop(ob, g, pkt, meta)
+	if c := s.canary.Load(); c != nil {
+		c.mirror(pkt, meta, ob, err)
+	}
+	return err
+}
+
+// archLoop runs one packet through the architecture loop — engine,
+// multicast replication, recirculation — appending transmitted packets
+// and digests to ob, without touching switch-wide digest or clock
+// state. It is the engine-independent core shared by Process,
+// ProcessBatch, and the canary's shadow path. On error ob's outputs are
+// cleared but digests raised by earlier recirculation passes are kept,
+// matching Process semantics.
+func (s *Switch) archLoop(ob *outBuf, g *generation, pkt []byte, meta sim.Metadata) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			// Architecture-layer panic (the engines recover their own):
@@ -391,7 +477,7 @@ func (s *Switch) processPacketInto(ob *outBuf, pkt []byte, meta sim.Metadata) (e
 	}()
 	data := pkt
 	for pass := 0; ; pass++ {
-		res, perr := s.process(data, meta)
+		res, perr := s.process(g, data, meta)
 		if perr != nil {
 			ob.outs = ob.outs[:0]
 			return perr
@@ -609,7 +695,7 @@ func (s *Switch) runBatchPacket(pkts [][]byte, results []BatchResult, base, inPo
 		}
 		meta.Span = sp.Hop
 	}
-	err := s.processPacketInto(ob, pkts[i], meta)
+	err := s.processPacketInto(ob, s.live(), pkts[i], meta)
 	if sp != nil {
 		if err != nil {
 			sp.Hop.Disposition = "error"
@@ -679,15 +765,15 @@ func (s *Switch) ProcessBatchInto(pkts [][]byte, inPort uint64, results []BatchR
 	return results
 }
 
-func (s *Switch) process(pkt []byte, meta sim.Metadata) (*sim.ProcResult, error) {
+func (s *Switch) process(g *generation, pkt []byte, meta sim.Metadata) (*sim.ProcResult, error) {
 	if s.engine == EngineReference {
-		return s.interp.Process(pkt, meta)
+		return g.interp.Process(pkt, meta)
 	}
-	if s.exec == nil {
+	if g.exec == nil {
 		return nil, &sim.EngineFault{Engine: "compiled",
-			Reason: fmt.Sprintf("engine unavailable: %v (use EngineReference)", s.dp.res.ComposeErr)}
+			Reason: fmt.Sprintf("engine unavailable: %v (use EngineReference)", g.dp.res.ComposeErr)}
 	}
-	return s.exec.Process(pkt, meta)
+	return g.exec.Process(pkt, meta)
 }
 
 func max(a, b int) int {
@@ -745,10 +831,7 @@ func (s *Switch) Subscribe(fn func(TraceEvent)) (cancel func()) {
 func (s *Switch) EnableMetrics() *obs.Registry {
 	if s.metrics == nil {
 		s.metrics = sim.NewMetrics(obs.NewRegistry())
-		s.interp.SetMetrics(s.metrics)
-		if s.exec != nil {
-			s.exec.SetMetrics(s.metrics)
-		}
+		s.attachMetrics(s.live())
 	}
 	return s.metrics.Registry()
 }

@@ -60,7 +60,7 @@ func (s *Switch) ProcessHop(pkt []byte, inPort uint64, hc trace.HopContext) ([]O
 		meta.Span = sp.Hop
 	}
 	ob := s.getOutBuf()
-	err := s.processPacketInto(ob, pkt, meta)
+	err := s.processPacketInto(ob, s.live(), pkt, meta)
 	var outs []Output
 	if len(ob.outs) > 0 {
 		outs = make([]Output, len(ob.outs))
