@@ -17,7 +17,7 @@ test:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/trace/... ./internal/netsim/... ./internal/ctrlplane/... ./internal/flow/... ./internal/issu/... .
 
-# bench measures the packet-throughput trajectory (P1-P9, both engines,
+# bench measures the packet-throughput trajectory (P1-P11, both engines,
 # serial/batch/parallel) and rewrites the committed baseline.
 bench:
 	$(GO) run ./cmd/up4bench -perf -perf-dur 300ms -perf-out BENCH_5.json

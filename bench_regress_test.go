@@ -38,16 +38,18 @@ func TestExecHotPathNoAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race mode randomly drops sync.Pool items, so pooling cannot be exact")
 	}
-	progs := []string{"P1", "P4", "P7", "P8", "P9"}
+	progs := []string{"P1", "P4", "P7", "P8", "P9", "P10", "P11"}
 	t.Run("serial", func(t *testing.T) {
 		for _, prog := range progs {
 			exec, _, err := perf.Engines(prog)
 			if err != nil {
 				t.Fatal(err)
 			}
-			// P9 gets the flow-churn mix with an advancing clock so the
-			// zero-alloc pin covers the flowtable path too: lookups,
-			// free-list learns, refresh re-files, and wheel advances.
+			// P9/P10/P11 get their stateful mixes with an advancing clock
+			// so the zero-alloc pin covers the flowtable path too:
+			// lookups, free-list learns, refresh re-files, and wheel
+			// advances — plus P10's grow/shrink header rewrites and
+			// P11's stick-pinned backend rewrite.
 			traffic := perf.TrafficFor(prog)
 			var clock uint64
 			var procErr error
@@ -187,7 +189,7 @@ func TestBenchRegression(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing guard: skipped in -short mode")
 	}
-	programs := []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9"}
+	programs := []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11"}
 	if os.Getenv("UPDATE_BASELINE") != "" {
 		rep, err := perf.RunSuite(programs, 300*time.Millisecond, 4, nil)
 		if err != nil {

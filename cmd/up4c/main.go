@@ -37,7 +37,7 @@ func main() {
 		splitP  = flag.Bool("split-parser", false, "use the §8.1 per-depth parser MAT encoding")
 		verbose = flag.Bool("v", false, "print per-module details")
 		timings = flag.Bool("timings", false, "print per-pass wall time and IR sizes to stderr")
-		verifyP = flag.Bool("verify-paths", false, "run the path-coverage equivalence checker over the named built-in programs (default: all of P1-P9) and exit nonzero on any gap or divergence")
+		verifyP = flag.Bool("verify-paths", false, "run the path-coverage equivalence checker over the named built-in programs (default: all of P1-P11) and exit nonzero on any gap or divergence")
 		valTr   = flag.String("validate-trace", "", "validate an up4run -trace-out JSON export against the up4trace/v1 schema, print a summary, and exit nonzero if invalid")
 	)
 	flag.Usage = func() {
@@ -74,7 +74,7 @@ func main() {
 }
 
 // verifyPaths runs the mechanized path-coverage equivalence check
-// (internal/equiv) over the named built-in programs — all of P1–P9 when
+// (internal/equiv) over the named built-in programs — all of P1–P11 when
 // none are given — and prints one report per program. The exit code is
 // 0 only when every program reaches full parser-path coverage with zero
 // divergences.

@@ -1,5 +1,5 @@
 // Command up4run executes one of the library's composed programs
-// (P1..P9) on the behavioral switch with the standard evaluation rule
+// (P1..P11) on the behavioral switch with the standard evaluation rule
 // set, feeding it a canned packet mix and tracing what happens — a
 // quick, simple_switch-style smoke test for the dataplane.
 //
@@ -49,7 +49,7 @@ import (
 
 func main() {
 	var (
-		program  = flag.String("program", "P4", "library program to run (P1..P9)")
+		program  = flag.String("program", "P4", "library program to run (P1..P11)")
 		engine   = flag.String("engine", "compiled", "execution engine: compiled or reference")
 		count    = flag.Int("n", 8, "number of packets to send")
 		trace    = flag.Bool("trace", false, "print per-packet execution traces (§8.2 debugging)")
@@ -340,6 +340,38 @@ func trafficFor(program string) [][]byte {
 			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP, Src: 0x14000001, Dst: 0x0A000001}).
 			TCP(443, 4321).Payload([]byte("ack")).Bytes()
 		return append(base, fwd, rev)
+	case "P10":
+		// A NAT64 outbound flow from the bound v6 client, its v4 reply
+		// toward the pool, and an IPv4-in-IPv4 tunnel terminating at
+		// TunDst with a routable inner packet.
+		n64 := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv6).
+			IPv6(pkt.IPv6Opts{NextHdr: pkt.ProtoTCP, HopLimit: 64, PayloadLen: 23,
+				SrcHi: lib.V6ClientHi, SrcLo: lib.V6ClientLo,
+				DstHi: lib.Nat64PfxHi, DstLo: uint64(lib.NetB) | 1}).
+			TCP(40000, 80).Payload([]byte("v6!")).Bytes()
+		rep := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP,
+				Src: uint32(lib.NetB) | 1, Dst: lib.Nat64Pool}).
+			TCP(80, 40000).Payload([]byte("ack")).Bytes()
+		inner := pkt.NewBuilder().
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP,
+				Src: 0x08080801, Dst: uint32(lib.NetB) | 2, TotalLen: 43}).
+			TCP(1234, 80).Payload([]byte("tun")).Bytes()
+		tun := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 32, Protocol: 4, Src: 0x08080808, Dst: lib.TunDst,
+				TotalLen: uint16(20 + len(inner))}).
+			Payload(inner).Bytes()
+		return append(base, n64, rep, tun)
+	case "P11":
+		// Two packets of one VIP connection (pin, then sticky hit) and a
+		// direct :22 probe the ACL denies.
+		vip := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP, Src: 0x0A000001, Dst: lib.VipAddr}).
+			TCP(33000, lib.VipPort).Payload([]byte("GET")).Bytes()
+		ssh := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP, Src: 0x0A000002, Dst: uint32(lib.NetB) | 1}).
+			TCP(5555, 22).Payload([]byte("ssh")).Bytes()
+		return append(base, vip, vip, ssh)
 	}
 	return base
 }

@@ -25,7 +25,7 @@ type upgradeOpts struct {
 }
 
 // upgradeSide is one half of the -upgrade spec: a library program name
-// (P1..P9) or a µP4 main-module source file.
+// (P1..P11) or a µP4 main-module source file.
 type upgradeSide struct {
 	name string      // display name (program or file base name)
 	main issu.Module // main module source

@@ -16,8 +16,9 @@ import (
 // dependency rules, inventory calibration) updates both; an accidental
 // drift fails here first.
 type goldenRow struct {
-	c8, c16, c32, cBits, cStages int // composed
+	c8, c16, c32, cBits, cStages int // composed (zero when infeasible)
 	m8, m16, m32, mBits, mStages int // monolithic (zero when infeasible)
+	composedInfeasible           bool
 	monoInfeasible               bool
 }
 
@@ -33,19 +34,30 @@ var golden = map[string]goldenRow{
 	// router and the stateful firewall, pinned the same way.
 	"P8": {c8: 2, c16: 77, c32: 4, cBits: 1376, cStages: 12, m8: 29, m16: 9, m32: 19, mBits: 984, mStages: 3},
 	"P9": {c8: 1, c16: 67, c32: 4, cBits: 1208, cStages: 11, m8: 12, m16: 13, m32: 19, mBits: 912, mStages: 4},
+	// The NF scenario pack (PR 10) exceeds a single modeled Tofino pipe:
+	// the carrier edge (decap × NAT64 × dual-stack routing) exhausts PHV
+	// in both forms, and the composed load balancer's dependency chain
+	// needs a 13th MAU stage. Pinned by TestScenarioPackExceedsSinglePipe
+	// so a model change that silently makes them fit (or shifts the
+	// failure) is caught.
+	"P10": {composedInfeasible: true, monoInfeasible: true},
+	"P11": {composedInfeasible: true, m8: 11, m16: 22, m32: 14, mBits: 888, mStages: 10},
 }
 
 // TestTable2Golden pins the exact Table 2/3 values of every program on
 // the modeled Tofino.
 func TestTable2Golden(t *testing.T) {
-	for _, prog := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9"} {
+	for _, prog := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11"} {
 		want := golden[prog]
 		c, m := reports(t, prog)
-		if !c.Feasible {
+		if want.composedInfeasible {
+			if c.Feasible {
+				t.Errorf("%s composed compiled; golden says infeasible", prog)
+			}
+		} else if !c.Feasible {
 			t.Errorf("%s composed infeasible: %s", prog, c.Reason)
 			continue
-		}
-		if got := [5]int{c.Used8, c.Used16, c.Used32, c.Bits, c.Stages}; got != [5]int{want.c8, want.c16, want.c32, want.cBits, want.cStages} {
+		} else if got := [5]int{c.Used8, c.Used16, c.Used32, c.Bits, c.Stages}; got != [5]int{want.c8, want.c16, want.c32, want.cBits, want.cStages} {
 			t.Errorf("%s composed = 8b:%d 16b:%d 32b:%d bits:%d stages:%d, want 8b:%d 16b:%d 32b:%d bits:%d stages:%d",
 				prog, c.Used8, c.Used16, c.Used32, c.Bits, c.Stages, want.c8, want.c16, want.c32, want.cBits, want.cStages)
 		}
@@ -130,6 +142,30 @@ func TestTable3Shape(t *testing.T) {
 		if c.Stages <= m.Stages {
 			t.Errorf("%s: composed stages %d not above monolithic %d", prog, c.Stages, m.Stages)
 		}
+	}
+}
+
+// TestScenarioPackExceedsSinglePipe pins why the PR 10 NF scenarios do
+// not fit the modeled single Tofino pipe — the same result class as
+// monolithic P7, but hit from three different directions: the composed
+// carrier edge runs out of 16-bit containers (six instances' worth of
+// byte-stack state), its monolithic twin runs out of 32-bit containers
+// on the 128-bit IPv6 addresses, and the composed load balancer's
+// table-dependency chain overflows the 12-stage MAU.
+func TestScenarioPackExceedsSinglePipe(t *testing.T) {
+	c10, m10 := reports(t, "P10")
+	if c10.Feasible || !strings.Contains(c10.Reason, "out of 16-bit PHV containers") {
+		t.Errorf("composed P10 should exhaust 16-bit PHV, got feasible=%v reason=%q", c10.Feasible, c10.Reason)
+	}
+	if m10.Feasible || !strings.Contains(m10.Reason, "out of 32-bit PHV containers") {
+		t.Errorf("monolithic P10 should exhaust 32-bit PHV, got feasible=%v reason=%q", m10.Feasible, m10.Reason)
+	}
+	c11, m11 := reports(t, "P11")
+	if c11.Feasible || !strings.Contains(c11.Reason, "12-stage pipeline") {
+		t.Errorf("composed P11 should overflow the MAU stages, got feasible=%v reason=%q", c11.Feasible, c11.Reason)
+	}
+	if !m11.Feasible {
+		t.Errorf("monolithic P11 should fit: %s", m11.Reason)
 	}
 }
 

@@ -57,13 +57,15 @@ func (k SyncKind) String() string {
 }
 
 // FlowRec is one replicated flow entry: the 5-tuple, the connection
-// state, and the expiry tick on the active's flow clock. The standby
-// installs it verbatim — its own wheel is behind the active's, so the
-// entry simply lives at least as long there.
+// state, the expiry tick on the active's flow clock, and the pinned
+// stick value (zero for plain upsert tables). The standby installs it
+// verbatim — its own wheel is behind the active's, so the entry simply
+// lives at least as long there.
 type FlowRec struct {
 	Key    flow.Key
 	State  uint8
 	Expire uint64
+	Val    uint64
 }
 
 // FlowSync is one replication message from active to standby. Session
@@ -101,7 +103,7 @@ const (
 
 // EncodeFlowSync serializes a replication message for transmission.
 func EncodeFlowSync(m *FlowSync) []byte {
-	w := &wireWriter{buf: make([]byte, 0, 64+49*len(m.Entries))}
+	w := &wireWriter{buf: make([]byte, 0, 64+57*len(m.Entries))}
 	w.u8(wireMagic)
 	w.u8(wireVersion)
 	w.u8(wireMsgFlowSync)
@@ -123,6 +125,7 @@ func EncodeFlowSync(m *FlowSync) []byte {
 		w.u64(e.Key.DstPort)
 		w.u8(e.State)
 		w.u64(e.Expire)
+		w.u64(e.Val)
 	}
 	return w.finish()
 }
@@ -160,6 +163,7 @@ func DecodeFlowSync(data []byte) (*FlowSync, error) {
 			r.fail("unknown flow state")
 		}
 		e.Expire = r.u64()
+		e.Val = r.u64()
 		m.Entries = append(m.Entries, e)
 	}
 	if err := r.finish(); err != nil {

@@ -23,7 +23,7 @@ func sampleSyncs() []*FlowSync {
 			Session: 0xFEED01, Seq: 3, Kind: SyncResync, Table: "fs_i.conn", Clock: 99,
 			Entries: []FlowRec{
 				{Key: flow.Key{SrcAddr: 1, DstAddr: 2, Proto: 6, SrcPort: 3, DstPort: 4},
-					State: flow.StateEstablished, Expire: 65635},
+					State: flow.StateEstablished, Expire: 65635, Val: 0xB00F},
 				{Key: flow.Key{SrcAddr: 5, DstAddr: 6, Proto: 17, SrcPort: 7, DstPort: 8},
 					State: flow.StateNew, Expire: 355},
 			},

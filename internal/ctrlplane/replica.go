@@ -284,7 +284,7 @@ func (r *Replicator) round() {
 				Table: path, Clock: tb.Now(), Entries: make([]FlowRec, len(chunk))}
 			keys := make([]flow.Key, len(chunk))
 			for i, e := range chunk {
-				msg.Entries[i] = FlowRec{Key: e.Key, State: e.State, Expire: e.Expire}
+				msg.Entries[i] = FlowRec{Key: e.Key, State: e.State, Expire: e.Expire, Val: e.Val}
 				keys[i] = e.Key
 			}
 			r.inflight[msg.Seq] = sentBatch{table: path, keys: keys, sentAt: r.n.Now()}
@@ -448,7 +448,7 @@ func (s *StandbyAgent) Process(pkt []byte, inPort uint64) ([]microp4.Output, err
 			return nil, nil
 		}
 		for _, rec := range msg.Entries {
-			tb.Install(flow.Entry{Key: rec.Key, State: rec.State, Synced: true, Expire: rec.Expire})
+			tb.Install(flow.Entry{Key: rec.Key, State: rec.State, Synced: true, Expire: rec.Expire, Val: rec.Val})
 			applied++
 		}
 		s.applied += uint64(applied)

@@ -9,8 +9,9 @@ import (
 // configuration.
 type Options struct {
 	// MaxWitnesses caps the number of distinct execution paths checked
-	// (default 4096). Hitting the cap sets Report.Capped — it is
-	// reported, never silent.
+	// (default 8192 — P10's decap × NAT64 × route product is the
+	// largest legitimate path space at ~4.7k). Hitting the cap sets
+	// Report.Capped — it is reported, never silent.
 	MaxWitnesses int
 
 	// Pad is the number of zero payload bytes appended after the region
@@ -30,13 +31,13 @@ type Options struct {
 }
 
 // Check enumerates every reachable execution path of program prog
-// (P1..P9), synthesizes one concrete witness per path, and requires the
+// (P1..P11), synthesizes one concrete witness per path, and requires the
 // reference interpreter, the compiled MAT pipeline, and an independently
 // re-transformed copy to agree byte-for-byte on each. See the package
 // documentation for the architecture and soundness boundary.
 func Check(prog string, opts Options) (*Report, error) {
 	if opts.MaxWitnesses <= 0 {
-		opts.MaxWitnesses = 4096
+		opts.MaxWitnesses = 8192
 	}
 	if opts.Pad <= 0 {
 		opts.Pad = 96

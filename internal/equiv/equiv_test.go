@@ -100,6 +100,124 @@ func mutateTTL(p *ir.Program) (*ir.Program, error) {
 	return q, nil
 }
 
+// walkNat64 applies mutate to every statement of a transformed NAT64
+// module and errors if nothing matched (a silently vacuous mutation is
+// worse than none).
+func walkNat64(p *ir.Program, what string, mutate func(*ir.Stmt) bool) (*ir.Program, error) {
+	q, err := midend.Transform(p)
+	if err != nil {
+		return nil, err
+	}
+	if q.Name != "NAT64" {
+		return q, nil
+	}
+	n := 0
+	var walk func(ss []*ir.Stmt)
+	walk = func(ss []*ir.Stmt) {
+		for _, s := range ss {
+			if s == nil {
+				continue
+			}
+			if mutate(s) {
+				n++
+			}
+			walk(s.Then)
+			walk(s.Else)
+			for _, c := range s.Cases {
+				walk(c.Body)
+			}
+		}
+	}
+	for _, a := range q.Actions {
+		walk(a.Body)
+	}
+	walk(q.Apply)
+	if n == 0 {
+		return nil, fmt.Errorf("mutation found no %s to flip", what)
+	}
+	return q, nil
+}
+
+// mutateNat64Checksum breaks the IPv6→IPv4 translation's checksum
+// finalization: the one's-complement fold `sum ^ 0xFFFF` becomes
+// `sum & 0xFFFF`, which never equals the correct value.
+func mutateNat64Checksum(p *ir.Program) (*ir.Program, error) {
+	return walkNat64(p, "checksum xor", func(s *ir.Stmt) bool {
+		if s.Kind != ir.SAssign || s.LHS == nil || !strings.Contains(s.LHS.Ref, "hdrChecksum") {
+			return false
+		}
+		hit := false
+		var fix func(e *ir.Expr)
+		fix = func(e *ir.Expr) {
+			if e == nil {
+				return
+			}
+			if e.Kind == ir.EBin && e.Op == "^" && e.Y != nil &&
+				e.Y.Kind == ir.EConst && e.Y.Value == 0xFFFF {
+				e.Op = "&"
+				hit = true
+			}
+			fix(e.X)
+			fix(e.Y)
+		}
+		fix(s.RHS)
+		return hit
+	})
+}
+
+// mutateNat64Prefix corrupts the IPv4→IPv6 address rewrite: the
+// synthesized source address gets the wrong NAT64 prefix.
+func mutateNat64Prefix(p *ir.Program) (*ir.Program, error) {
+	return walkNat64(p, "NAT64 prefix constant", func(s *ir.Stmt) bool {
+		if s.Kind != ir.SAssign || s.RHS == nil {
+			return false
+		}
+		hit := false
+		var fix func(e *ir.Expr)
+		fix = func(e *ir.Expr) {
+			if e == nil {
+				return
+			}
+			if e.Kind == ir.EConst && e.Value == 0x0064FF9B00000000 {
+				e.Value ^= 0x0000000100000000
+				hit = true
+			}
+			fix(e.X)
+			fix(e.Y)
+		}
+		fix(s.RHS)
+		return hit
+	})
+}
+
+// TestP10Nat64MutationDetected proves the P10 gate catches dataplane
+// bugs in the scenario pack's hardest module: flipping either the
+// translated header's checksum math or the synthesized v6 address must
+// surface as divergences with concrete witnesses.
+func TestP10Nat64MutationDetected(t *testing.T) {
+	for name, mut := range map[string]func(*ir.Program) (*ir.Program, error){
+		"checksum": mutateNat64Checksum,
+		"address":  mutateNat64Prefix,
+	} {
+		t.Run(name, func(t *testing.T) {
+			r, err := Check("P10", Options{Transform: mut})
+			if err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			if r.TotalDivergences == 0 {
+				t.Fatalf("broken NAT64 %s produced no divergences; the gate is vacuous:\n%s", name, r.String())
+			}
+			d := r.Divergences[0]
+			if d.Pair != "reference vs re-transformed" {
+				t.Errorf("divergence pair = %q, want reference vs re-transformed", d.Pair)
+			}
+			if d.Witness == nil || len(d.Witness.Packet) == 0 {
+				t.Error("divergence carries no witness packet")
+			}
+		})
+	}
+}
+
 // TestMutationDetected proves the gate is not vacuous: a deliberately
 // broken midend transform must produce divergences, and the divergence
 // report must carry a concrete minimized witness.

@@ -21,7 +21,8 @@ import (
 // each composed program).
 func Table1() string {
 	// Collect all module rows in the paper's order.
-	rows := []string{"ACL", "Eth", "INT", "IPv4", "IPv6", "MPLS", "NAT", "NPTv6", "SRv4", "SRv6"}
+	rows := []string{"ACL", "Decap", "Eth", "FW", "INT", "IPv4", "IPv6", "LB",
+		"MPLS", "NAT", "NAT64", "NPTv6", "SRv4", "SRv6"}
 	var b strings.Builder
 	b.WriteString("Table 1: Composing µP4 modules to build dataplane programs\n\n")
 	fmt.Fprintf(&b, "%-8s", "Module")

@@ -10,13 +10,13 @@ func TestTable1Rendering(t *testing.T) {
 	if !strings.Contains(out, "Eth") || !strings.Contains(out, "P7") {
 		t.Errorf("table 1 incomplete:\n%s", out)
 	}
-	// Eth appears in all nine programs.
+	// Eth appears in all eleven programs.
 	for _, line := range strings.Split(out, "\n") {
-		if strings.HasPrefix(line, "Eth") && strings.Count(line, "x") != 9 {
-			t.Errorf("Eth row should have 9 marks: %q", line)
+		if strings.HasPrefix(line, "Eth") && strings.Count(line, "x") != 11 {
+			t.Errorf("Eth row should have 11 marks: %q", line)
 		}
-		if strings.HasPrefix(line, "IPv4") && strings.Count(line, "x") != 8 {
-			t.Errorf("IPv4 row should have 8 marks: %q", line)
+		if strings.HasPrefix(line, "IPv4") && strings.Count(line, "x") != 9 {
+			t.Errorf("IPv4 row should have 9 marks: %q", line)
 		}
 		if strings.HasPrefix(line, "SRv6") && strings.Count(line, "x") != 1 {
 			t.Errorf("SRv6 row should have 1 mark: %q", line)
@@ -29,8 +29,8 @@ func TestTables2And3(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pairs) != 9 {
-		t.Fatalf("got %d pairs, want 9", len(pairs))
+	if len(pairs) != 11 {
+		t.Fatalf("got %d pairs, want 11", len(pairs))
 	}
 	t2 := Table2(pairs)
 	if !strings.Contains(t2, "NA: Monolithic failed to compile") {

@@ -73,6 +73,7 @@ type Entry struct {
 	State  uint8
 	Synced bool   // replicated to the standby (FlowSync bookkeeping)
 	Expire uint64 // virtual tick at which the entry ages out
+	Val    uint64 // value pinned by Stick (e.g. a load-balancer backend)
 }
 
 // Hooks observe table mutations. All hooks run synchronously inside the
@@ -412,6 +413,39 @@ func (t *Table) Upsert(k Key, dir, now uint64) (hit uint64) {
 	return 1
 }
 
+// Stick is the dataplane operation behind ft.stick(...): pin a value
+// to a flow for the flow's lifetime. The first packet of a flow stores
+// want (hit=0, state New, idle TTL, evicting the oldest entry when
+// full); every later packet of the same 5-tuple ignores want, returns
+// the value pinned at first sight (hit=1), promotes the flow to
+// Established, and refreshes it with the established TTL. The caller
+// recomputes want freely (e.g. a hash over a churning backend pool) —
+// established flows keep the assignment they learned, which is what
+// makes load-balancer stickiness survive pool churn.
+func (t *Table) Stick(k Key, want, now uint64) (hit, val uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.advance(now)
+	si := t.findSlot(k)
+	if si < 0 {
+		t.stats.Misses++
+		t.insert(Entry{Key: k, State: StateNew, Expire: now + t.IdleTTL, Val: want})
+		return 0, want
+	}
+	s := &t.slots[si]
+	if s.e.State != StateEstablished {
+		s.e.State = StateEstablished
+		s.e.Synced = false
+		if t.hooks.OnUpdate != nil {
+			t.hooks.OnUpdate(&s.e)
+		}
+	}
+	s.e.Expire = now + t.EstTTL
+	t.fileInWheel(si, s.e.Expire)
+	t.stats.Hits++
+	return 1, s.e.Val
+}
+
 // insert learns a new entry, evicting the oldest-inserted live entry
 // when the table is full.
 func (t *Table) insert(e Entry) {
@@ -492,6 +526,7 @@ func (t *Table) Install(e Entry) {
 		}
 		s.e.State = e.State
 		s.e.Synced = e.Synced
+		s.e.Val = e.Val
 		if e.Expire > s.e.Expire {
 			s.e.Expire = e.Expire
 		}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -273,15 +274,23 @@ func BenchmarkUpsertHit(b *testing.B) {
 // BenchmarkUpsertChurn measures the aging-under-load cell: the clock
 // outruns the idle TTL, so every visit to a flow finds its previous
 // entry expired — each operation is a wheel advance, an expiry, and a
-// fresh learn through the free list.
+// fresh learn through the free list. Sized from the unit-test default
+// up to the scenario pack's production occupancy (a 1M-entry NAT64 or
+// LB table), since free-list and wheel behavior at a few thousand
+// entries says nothing about cache behavior at a million.
 func BenchmarkUpsertChurn(b *testing.B) {
-	tb := New(4096, 8, 8)
-	b.ReportAllocs()
-	b.ResetTimer()
-	now := uint64(1)
-	for i := 0; i < b.N; i++ {
-		tb.Upsert(k(uint64(i)&255, 1, 6, 1, 2), 0, now)
-		now += 16 // > IdleTTL: the entry is gone before its next visit
+	for _, size := range []int{4096, 65536, 1 << 20} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			tb := New(size, 8, 8)
+			live := uint64(size/16) - 1
+			b.ReportAllocs()
+			b.ResetTimer()
+			now := uint64(1)
+			for i := 0; i < b.N; i++ {
+				tb.Upsert(k(uint64(i)&live, 1, 6, 1, 2), 0, now)
+				now += 16 // > IdleTTL: the entry is gone before its next visit
+			}
+		})
 	}
 }
 

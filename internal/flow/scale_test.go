@@ -1,0 +1,107 @@
+package flow
+
+import (
+	"testing"
+)
+
+// Scale validation for the NF scenario pack: a NAT64 carrier edge or a
+// front-end load balancer holds connection state for on the order of a
+// million concurrent flows, so the table's invariants — exact
+// capacity, hit-on-every-packet, zero steady-state allocations,
+// deterministic aging — must hold at that occupancy, not just at the
+// few-thousand-entry sizes the unit tests use.
+
+const millionFlows = 1 << 20
+
+// scaleKey spreads i across the tuple so neighboring flows do not
+// collide trivially in the hash index.
+func scaleKey(i uint64) Key {
+	return Key{
+		SrcAddr: 0x0A000000 + i,
+		DstAddr: 0x14000000 + (i >> 8),
+		Proto:   6,
+		SrcPort: 1024 + (i & 0x3FFF),
+		DstPort: 443,
+	}
+}
+
+func TestMillionEntryScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-entry table: skipped in -short mode")
+	}
+	tb := New(millionFlows, 1<<30, 1<<30)
+
+	// Fill to exact capacity: every insert must go through the free
+	// list, none may evict.
+	for i := uint64(0); i < millionFlows; i++ {
+		if hit := tb.Upsert(scaleKey(i), 0, 1); hit != 0 {
+			t.Fatalf("flow %d hit on first sight", i)
+		}
+	}
+	if n := tb.Len(); n != millionFlows {
+		t.Fatalf("Len = %d after %d distinct learns, want %d", n, millionFlows, millionFlows)
+	}
+	st := tb.Stats()
+	if st.Inserts != millionFlows || st.Evictions != 0 {
+		t.Fatalf("inserts %d evictions %d at exact capacity, want %d and 0",
+			st.Inserts, st.Evictions, millionFlows)
+	}
+
+	// Every flow — including both hash-collision chains and the very
+	// first insert — must still be resident and hit.
+	for i := uint64(0); i < millionFlows; i += 4097 {
+		if hit := tb.Upsert(scaleKey(i), 0, 2); hit != 1 {
+			t.Fatalf("flow %d lost at full occupancy", i)
+		}
+	}
+	if _, ok := tb.Lookup(scaleKey(0)); !ok {
+		t.Fatal("first-inserted flow evicted at exact capacity")
+	}
+
+	// Steady-state refresh at full occupancy allocates nothing: the
+	// wheel re-files and LRU moves must reuse in-place storage even
+	// with a million resident entries.
+	var i uint64
+	now := uint64(3)
+	allocs := testing.AllocsPerRun(4096, func() {
+		tb.Upsert(scaleKey(i%millionFlows), 0, now)
+		i++
+		now++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Upsert at 1M entries allocates %.2f allocs/op, want 0", allocs)
+	}
+
+	// One more insert past capacity must evict exactly one entry
+	// (oldest first), keeping Len pinned at capacity.
+	tb.Upsert(scaleKey(millionFlows+7), 0, now)
+	if n := tb.Len(); n != millionFlows {
+		t.Fatalf("Len = %d after over-capacity insert, want %d", n, millionFlows)
+	}
+	if ev := tb.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d after one over-capacity insert, want 1", ev)
+	}
+
+	// Aging drains the whole table deterministically.
+	tb.Advance(now + 1<<31)
+	if n := tb.Len(); n != 0 {
+		t.Fatalf("Len = %d after aging past every TTL, want 0", n)
+	}
+	if exp := tb.Stats().Expiries; exp != millionFlows {
+		t.Fatalf("expiries = %d, want %d", exp, millionFlows)
+	}
+}
+
+// BenchmarkUpsertHitMillion measures the lookup-dominated hot path at
+// production occupancy: a million resident flows, every packet a hit.
+func BenchmarkUpsertHitMillion(b *testing.B) {
+	tb := New(millionFlows, 1<<30, 1<<30)
+	for i := uint64(0); i < millionFlows; i++ {
+		tb.Upsert(scaleKey(i), 0, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Upsert(scaleKey(uint64(i)&(millionFlows-1)), 0, 2)
+	}
+}

@@ -1,0 +1,109 @@
+package flow
+
+import "testing"
+
+// TestStickPinsFirstAssignment: the first packet of a flow stores the
+// caller's want value; later packets return the pinned value no matter
+// what the caller now wants — the load-balancer stickiness contract.
+func TestStickPinsFirstAssignment(t *testing.T) {
+	tb := New(16, 10, 100)
+	f := k(1, 2, 6, 1000, 80)
+
+	hit, val := tb.Stick(f, 3, 1)
+	if hit != 0 || val != 3 {
+		t.Fatalf("first packet: hit=%d val=%d, want 0/3 (pin)", hit, val)
+	}
+	e, ok := tb.Lookup(f)
+	if !ok || e.State != StateNew || e.Val != 3 {
+		t.Fatalf("entry after pin: ok=%v state=%d val=%d, want New/3", ok, e.State, e.Val)
+	}
+
+	// The pool churned: the hash now says backend 7. The flow keeps 3.
+	hit, val = tb.Stick(f, 7, 2)
+	if hit != 1 || val != 3 {
+		t.Fatalf("second packet: hit=%d val=%d, want 1/3 (sticky)", hit, val)
+	}
+	e, _ = tb.Lookup(f)
+	if e.State != StateEstablished {
+		t.Fatalf("state after second packet = %d, want Established", e.State)
+	}
+	if e.Expire != 2+100 {
+		t.Fatalf("established expiry = %d, want %d", e.Expire, 2+100)
+	}
+
+	// A different flow pins its own value independently.
+	if _, val := tb.Stick(k(5, 6, 6, 1, 2), 9, 3); val != 9 {
+		t.Fatalf("second flow pinned %d, want 9", val)
+	}
+}
+
+// TestStickExpiryRepins: once a pinned flow ages out, the next packet
+// re-pins with the current want — new flows follow the current pool.
+func TestStickExpiryRepins(t *testing.T) {
+	tb := New(16, 5, 50)
+	f := k(1, 2, 6, 10, 20)
+	tb.Stick(f, 3, 1) // New, expires at 6
+	hit, val := tb.Stick(f, 7, 10)
+	if hit != 0 || val != 7 {
+		t.Fatalf("post-expiry packet: hit=%d val=%d, want 0/7 (re-pin)", hit, val)
+	}
+}
+
+// TestStickInstallCarriesVal: replication installs preserve the pinned
+// value, so a promoted standby keeps serving sticky assignments.
+func TestStickInstallCarriesVal(t *testing.T) {
+	tb := New(16, 10, 100)
+	f := k(1, 2, 6, 10, 20)
+	tb.Install(Entry{Key: f, State: StateEstablished, Expire: 50, Val: 4})
+	hit, val := tb.Stick(f, 9, 1)
+	if hit != 1 || val != 4 {
+		t.Fatalf("stick after install: hit=%d val=%d, want 1/4", hit, val)
+	}
+	// An overwrite install updates the value too.
+	tb.Install(Entry{Key: f, State: StateEstablished, Expire: 60, Val: 5})
+	if _, val := tb.Stick(f, 9, 2); val != 5 {
+		t.Fatalf("stick after overwrite install: val=%d, want 5", val)
+	}
+}
+
+// TestStickSnapshotRoundTrip: ISSU cutover snapshots carry the pinned
+// value with the flow.
+func TestStickSnapshotRoundTrip(t *testing.T) {
+	tb := New(16, 10, 100)
+	tb.Stick(k(1, 2, 6, 10, 20), 3, 1)
+	tb.Stick(k(3, 4, 6, 10, 20), 8, 1)
+	snap := tb.Snapshot()
+	tb2 := New(16, 10, 100)
+	tb2.RestoreSnapshot(snap)
+	if _, val := tb2.Stick(k(1, 2, 6, 10, 20), 0, 2); val != 3 {
+		t.Fatalf("restored flow 1 val=%d, want 3", val)
+	}
+	if _, val := tb2.Stick(k(3, 4, 6, 10, 20), 0, 2); val != 8 {
+		t.Fatalf("restored flow 2 val=%d, want 8", val)
+	}
+}
+
+// TestStickSteadyStateAllocs pins the hot path: established sticky
+// flows never allocate.
+func TestStickSteadyStateAllocs(t *testing.T) {
+	tb := New(1024, 1000, 1000)
+	for i := uint64(0); i < 512; i++ {
+		tb.Stick(k(i, 1, 6, 1, 2), i&7, 1)
+	}
+	now := uint64(2)
+	for r := 0; r < 4; r++ {
+		for i := uint64(0); i < 512; i++ {
+			tb.Stick(k(i, 1, 6, 1, 2), i&7, now)
+			now++
+		}
+	}
+	var i uint64
+	allocs := testing.AllocsPerRun(2048, func() {
+		tb.Stick(k(i%512, 1, 6, 1, 2), i&7, now)
+		i++
+		now++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Stick allocates %.2f allocs/op, want 0", allocs)
+	}
+}

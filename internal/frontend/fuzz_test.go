@@ -20,13 +20,21 @@ func FuzzCompile(f *testing.F) {
 		}
 		f.Add(src)
 	}
-	for _, prog := range []string{"P1", "P4", "P7"} {
+	for _, prog := range []string{"P1", "P4", "P7", "P10", "P11"} {
 		m, err := lib.Program(prog)
 		if err != nil {
 			continue
 		}
 		if src, err := lib.Source(m.MainFile); err == nil {
 			f.Add(src)
+		}
+		// The scenario-pack monoliths are the largest single-module
+		// programs in the tree — deep parsers, flowtable calls, header
+		// grow/shrink — so they pull the mutator into rarer grammar.
+		if m.MonoFile != "" {
+			if src, err := lib.Source(m.MonoFile); err == nil {
+				f.Add(src)
+			}
 		}
 	}
 	f.Add("")

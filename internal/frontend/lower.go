@@ -604,24 +604,41 @@ func (lw *lowerer) lowerExternCall(call *ast.CallExpr, recvPath, extern, method 
 		}
 		return []*ir.Stmt{{Kind: ir.SMethod, Target: recvPath, Method: "register_" + method, Args: args}}, nil
 	case "flowtable":
-		// ft.upsert(hit, dir, srcAddr, dstAddr, proto, srcPort, dstPort):
-		// the single dataplane operation of the flow-state extension.
-		// hit is an out-param the firewall feeds into a match-action
-		// key, so policy decisions stay in the control plane.
-		if method != "upsert" {
-			return nil, lw.errf(call.P, "flowtable has no method %s (only upsert)", method)
+		// ft.upsert(hit, dir, srcAddr, dstAddr, proto, srcPort, dstPort)
+		// and ft.stick(hit, val, want, srcAddr, dstAddr, proto, srcPort,
+		// dstPort): the two dataplane operations of the flow-state
+		// extension. The out-params (hit, and stick's pinned value) feed
+		// match-action keys, so policy decisions stay in the control
+		// plane.
+		switch method {
+		case "upsert":
+			args, err := lw.lowerArgs(call.Args)
+			if err != nil {
+				return nil, err
+			}
+			if len(args) != 7 {
+				return nil, lw.errf(call.P, "flowtable upsert takes (hit, dir, srcAddr, dstAddr, proto, srcPort, dstPort), got %d arguments", len(args))
+			}
+			if args[0].Expr.Kind != ir.ERef && args[0].Expr.Kind != ir.ESlice {
+				return nil, lw.errf(call.P, "flowtable upsert hit destination must be assignable")
+			}
+			return []*ir.Stmt{{Kind: ir.SMethod, Target: recvPath, Method: "flow_upsert", Args: args}}, nil
+		case "stick":
+			args, err := lw.lowerArgs(call.Args)
+			if err != nil {
+				return nil, err
+			}
+			if len(args) != 8 {
+				return nil, lw.errf(call.P, "flowtable stick takes (hit, val, want, srcAddr, dstAddr, proto, srcPort, dstPort), got %d arguments", len(args))
+			}
+			for i := 0; i < 2; i++ {
+				if args[i].Expr.Kind != ir.ERef && args[i].Expr.Kind != ir.ESlice {
+					return nil, lw.errf(call.P, "flowtable stick hit and value destinations must be assignable")
+				}
+			}
+			return []*ir.Stmt{{Kind: ir.SMethod, Target: recvPath, Method: "flow_stick", Args: args}}, nil
 		}
-		args, err := lw.lowerArgs(call.Args)
-		if err != nil {
-			return nil, err
-		}
-		if len(args) != 7 {
-			return nil, lw.errf(call.P, "flowtable upsert takes (hit, dir, srcAddr, dstAddr, proto, srcPort, dstPort), got %d arguments", len(args))
-		}
-		if args[0].Expr.Kind != ir.ERef && args[0].Expr.Kind != ir.ESlice {
-			return nil, lw.errf(call.P, "flowtable upsert hit destination must be assignable")
-		}
-		return []*ir.Stmt{{Kind: ir.SMethod, Target: recvPath, Method: "flow_upsert", Args: args}}, nil
+		return nil, lw.errf(call.P, "flowtable has no method %s (only upsert and stick)", method)
 	case "mc_engine", "out_buf", "in_buf", "mc_buf":
 		args, err := lw.lowerArgs(call.Args)
 		if err != nil {

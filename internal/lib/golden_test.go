@@ -26,7 +26,9 @@ func TestCompositionGoldens(t *testing.T) {
 		"P6": {bs: 84, minPkt: 14, tables: 13, userTbls: 4, instances: 5},
 		"P7": {bs: 126, minPkt: 14, tables: 12, userTbls: 3, instances: 5},
 		"P8": {bs: 72, minPkt: 14, tables: 13, userTbls: 4, instances: 5},
-		"P9": {bs: 54, minPkt: 14, tables: 14, userTbls: 5, instances: 5},
+		"P9":  {bs: 54, minPkt: 14, tables: 14, userTbls: 5, instances: 5},
+		"P10": {bs: 156, minPkt: 14, tables: 18, userTbls: 7, instances: 6},
+		"P11": {bs: 54, minPkt: 14, tables: 11, userTbls: 5, instances: 3},
 	}
 	for _, m := range Programs {
 		main, mods, err := CompileProgram(m.Name)

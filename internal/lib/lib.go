@@ -1,9 +1,11 @@
 // Package lib is the µP4 module library and program suite from the
 // paper's evaluation (§7, Table 1): the reusable packet-processing
-// modules and the composed programs P1–P9 built from them, plus
+// modules and the composed programs P1–P11 built from them, plus
 // monolithic P4-style equivalents used as baselines in Tables 2 and 3.
-// (P8, in-band telemetry, and P9, the stateful firewall, extend the
-// paper's suite with this repo's observability and flow-state work.)
+// (P8, in-band telemetry, P9, the stateful firewall, and the P10/P11
+// production-NF pack — tunnel-terminating NAT64 edge and L4 load
+// balancer — extend the paper's suite with this repo's observability
+// and flow-state work.)
 package lib
 
 import (
@@ -22,8 +24,11 @@ var sources embed.FS
 // moduleFiles maps module name to source file.
 var moduleFiles = map[string]string{
 	"ACL":       "up4/acl.up4",
+	"Balancer":  "up4/balancer.up4",
+	"Decap":     "up4/decap.up4",
 	"FlowCount": "up4/flowcount.up4",
 	"Flowstate": "up4/flowstate.up4",
+	"NAT64":     "up4/nat64.up4",
 	"IPv4":      "up4/ipv4.up4",
 	"IPv4Opts":  "up4/ipv4opts.up4",
 	"IPv6":      "up4/ipv6.up4",
@@ -105,6 +110,18 @@ var Programs = []Manifest{
 		MonoFile:  "mono/p9.up4",
 		Table1Row: []string{"Eth", "IPv4", "IPv6", "FW"},
 	},
+	{
+		Name: "P10", Main: "P10Edge", MainFile: "up4/p10_edge.up4",
+		Modules:   []string{"Decap", "NAT64", "L3", "IPv4", "IPv6"},
+		MonoFile:  "mono/p10.up4",
+		Table1Row: []string{"Eth", "IPv4", "IPv6", "Decap", "NAT64"},
+	},
+	{
+		Name: "P11", Main: "P11Lb", MainFile: "up4/p11_lb.up4",
+		Modules:   []string{"Balancer", "ACL"},
+		MonoFile:  "mono/p11.up4",
+		Table1Row: []string{"Eth", "LB", "ACL"},
+	},
 }
 
 // Program returns the manifest for P1..P9.
@@ -114,7 +131,7 @@ func Program(name string) (Manifest, error) {
 			return m, nil
 		}
 	}
-	return Manifest{}, fmt.Errorf("unknown program %q (have P1..P9)", name)
+	return Manifest{}, fmt.Errorf("unknown program %q (have P1..P11)", name)
 }
 
 // ModuleNames lists the library modules, sorted.

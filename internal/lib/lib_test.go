@@ -67,8 +67,8 @@ func TestAllMonolithicsCompile(t *testing.T) {
 }
 
 func TestManifestConsistency(t *testing.T) {
-	if len(Programs) != 9 {
-		t.Fatalf("got %d programs, want 9", len(Programs))
+	if len(Programs) != 11 {
+		t.Fatalf("got %d programs, want 11", len(Programs))
 	}
 	ethCount, v4Count := 0, 0
 	nfCount := map[string]int{}
@@ -79,7 +79,8 @@ func TestManifestConsistency(t *testing.T) {
 				ethCount++
 			case "IPv4":
 				v4Count++
-			case "ACL", "MPLS", "NAT", "NPTv6", "SRv4", "SRv6", "INT", "FW":
+			case "MPLS", "NAT", "NPTv6", "SRv4", "SRv6", "INT", "FW",
+				"Decap", "NAT64", "LB":
 				nfCount[row]++
 			}
 		}
@@ -90,11 +91,11 @@ func TestManifestConsistency(t *testing.T) {
 			t.Errorf("%s: mono file: %v", m.Name, err)
 		}
 	}
-	if ethCount != 9 {
-		t.Errorf("Eth in %d programs, want 9", ethCount)
+	if ethCount != 11 {
+		t.Errorf("Eth in %d programs, want 11", ethCount)
 	}
-	if v4Count != 8 {
-		t.Errorf("IPv4 in %d programs, want 8", v4Count)
+	if v4Count != 9 {
+		t.Errorf("IPv4 in %d programs, want 9", v4Count)
 	}
 	for nf, n := range nfCount {
 		if n != 1 {

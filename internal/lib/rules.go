@@ -17,8 +17,21 @@ const (
 	SmacA   = 0x00BB00000001
 )
 
+// NF scenario-pack constants (P10 carrier edge, P11 front-end LB).
+const (
+	TunDst      = 0xC0000201         // 192.0.2.1: local tunnel endpoint
+	Nat64PfxHi  = 0x0064FF9B00000000 // 64:ff9b::/96 well-known prefix
+	Nat64Pool   = 0xC6336401         // 198.51.100.1: NAT64 pool address
+	V6ClientHi  = NetV6Hi            // bound IPv6 client, high 64 bits
+	V6ClientLo  = 0x0000000000000042 // bound IPv6 client, low 64 bits
+	VipAddr     = 0x0A0000FE         // 10.0.0.254: virtual service IP
+	VipPort     = 80
+	BackendPort = 8080
+	NumBackends = 3 // backend b lives at NetB|b, forwarded out PortB
+)
+
 // InstallDefaultRules installs the standard evaluation rule set for one
-// of P1..P9 into tables. When mono is false, composed (instance-prefixed)
+// of P1..P11 into tables. When mono is false, composed (instance-prefixed)
 // table and action names are used; when true, the monolithic program's
 // flat names. Both installs produce semantically identical dataplanes —
 // the property the differential tests check.
@@ -159,6 +172,78 @@ func InstallDefaultRules(t *sim.Tables, prog string, mono bool) {
 			installV6(composedNames("l3_i.ipv6_i"), "process")
 		}
 		installForward()
+	case "P10":
+		dcT, natT := flat, flat
+		if !mono {
+			dcT = composedNames("dc_i")
+			natT = composedNames("n64_i")
+		}
+		// Terminate every locally addressed tunnel flavor.
+		add(dcT, "tun_tbl", []sim.RuntimeKey{sim.Exact(TunDst), sim.Exact(4)}, "decap_v4")
+		add(dcT, "tun_tbl", []sim.RuntimeKey{sim.Exact(TunDst), sim.Exact(41)}, "decap_v6")
+		add(dcT, "tun_tbl", []sim.RuntimeKey{sim.Exact(TunDst), sim.Exact(47)}, "decap_gre")
+		// One bound IPv6 client mapped onto the pool address, both ways.
+		add(natT, "bind_tbl", []sim.RuntimeKey{sim.Exact(V6ClientHi), sim.Exact(V6ClientLo)},
+			"map_out", Nat64Pool)
+		add(natT, "rev_tbl", []sim.RuntimeKey{sim.Exact(Nat64Pool)},
+			"map_in", V6ClientHi, V6ClientLo)
+		// Pass everything except unsolicited inbound translations:
+		// (rev=1, hit=0) falls through to the default deny.
+		t.AddEntry("nat_pol_tbl", []sim.RuntimeKey{sim.Exact(0), sim.Exact(0)}, "allow")
+		t.AddEntry("nat_pol_tbl", []sim.RuntimeKey{sim.Exact(0), sim.Exact(1)}, "allow")
+		t.AddEntry("nat_pol_tbl", []sim.RuntimeKey{sim.Exact(1), sim.Exact(1)}, "allow")
+		if mono {
+			installV4(flat, "v4_process")
+			installV6(flat, "v6_process")
+		} else {
+			installV4(composedNames("l3_i.ipv4_i"), "process")
+			installV6(composedNames("l3_i.ipv6_i"), "process")
+		}
+		installForward()
+	case "P11":
+		balT, aclT := flat, flat
+		if !mono {
+			balT = composedNames("bal_i")
+			aclT = composedNames("acl_i")
+		}
+		InstallBalancerPool(t, mono, 0)
+		add(balT, "vip_tbl", []sim.RuntimeKey{
+			sim.Exact(VipAddr), sim.Exact(6), sim.Exact(VipPort)}, "vip_hit", 1)
+		// Deny TCP to port 22 — evaluated on the rewritten header.
+		add(aclT, "acl_tbl", []sim.RuntimeKey{
+			sim.Any(), sim.Any(), sim.Ternary(6, 0xFF), sim.Ternary(22, 0xFFFF),
+		}, "deny")
+		t.AddEntry("fwd_tbl", []sim.RuntimeKey{sim.Exact(1), sim.Exact(0), sim.Exact(0)},
+			"forward", DmacA, SmacA, PortA)
+		for bk := uint64(1); bk <= NumBackends; bk++ {
+			t.AddEntry("fwd_tbl", []sim.RuntimeKey{sim.Exact(1), sim.Exact(1), sim.Exact(bk)},
+				"forward", DmacA, SmacA, PortB)
+		}
+	}
+}
+
+// InstallBalancerPool (re)programs P11's backend pool: the eight hash
+// buckets of service 1 are spread round-robin over the live backends,
+// rotated by shift, and backend_tbl resolves backend b to address
+// NetB|b on BackendPort. Failover tests call this again with a new
+// shift to model pool churn: bucket_tbl entries are replaced in place,
+// which must never reassign an established (stuck) flow.
+func InstallBalancerPool(t *sim.Tables, mono bool, shift uint64) {
+	bucketT, backendT := "bucket_tbl", "backend_tbl"
+	pick, toBackend := "pick", "to_backend"
+	if !mono {
+		bucketT, backendT = "bal_i.bucket_tbl", "bal_i.backend_tbl"
+		pick, toBackend = "bal_i.pick", "bal_i.to_backend"
+	}
+	t.ClearTable(bucketT)
+	t.ClearTable(backendT)
+	for b := uint64(0); b < 8; b++ {
+		bk := (b+shift)%NumBackends + 1
+		t.AddEntry(bucketT, []sim.RuntimeKey{sim.Exact(1), sim.Exact(b)}, pick, bk)
+	}
+	for bk := uint64(1); bk <= NumBackends; bk++ {
+		t.AddEntry(backendT, []sim.RuntimeKey{sim.Exact(bk)}, toBackend,
+			NetB|bk, BackendPort)
 	}
 }
 

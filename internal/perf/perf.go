@@ -159,12 +159,73 @@ func FlowChurn(flows int) [][]byte {
 	return out
 }
 
+// EdgeMix builds the carrier-edge benchmark mix for P10: per flow, a
+// NAT64 outbound IPv6 packet (learns/refreshes the translation entry),
+// its IPv4 reply toward the pool (reverse flowtable lookup plus the
+// v4→v6 header rewrite, which grows the packet), and a tunneled IPv4
+// packet terminating at TunDst (decap shrinks the packet). Together
+// they keep every P10 stage hot: decap, both NAT64 rewrite directions,
+// the flowtable, and both LPM families.
+func EdgeMix(flows int) [][]byte {
+	out := make([][]byte, 0, 3*flows)
+	for i := 0; i < flows; i++ {
+		sp := uint16(1000 + i)
+		v6out := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv6).
+			IPv6(pkt.IPv6Opts{NextHdr: 6, HopLimit: 64, PayloadLen: 84,
+				SrcHi: lib.V6ClientHi, SrcLo: lib.V6ClientLo,
+				DstHi: lib.Nat64PfxHi, DstLo: uint64(lib.NetB) | 1}).
+			TCP(sp, 443).Payload(make([]byte, 64)).Bytes()
+		v4rep := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6,
+				Src: uint32(lib.NetB) | 1, Dst: lib.Nat64Pool}).
+			TCP(443, sp).Payload(make([]byte, 64)).Bytes()
+		inner := pkt.NewBuilder().Ethernet(0, 0, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6,
+				Src: uint32(lib.NetA) | uint32(i+1), Dst: uint32(lib.NetB) | 2,
+				TotalLen: 104}).
+			TCP(sp, 80).Payload(make([]byte, 64)).Bytes()[14:]
+		tun := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 32, Protocol: 4, Src: 0x08080808, Dst: lib.TunDst,
+				TotalLen: uint16(20 + len(inner))}).
+			Payload(inner).Bytes()
+		out = append(out, v6out, v4rep, tun)
+	}
+	return out
+}
+
+// VipMix builds the load-balancer benchmark mix for P11: `flows`
+// distinct client connections to the VIP service (flowtable stick on
+// every packet, backend rewrite, full checksum recompute) interleaved
+// with one non-VIP passthrough per flow so the upstream path stays
+// measured too.
+func VipMix(flows int) [][]byte {
+	out := make([][]byte, 0, 2*flows)
+	for i := 0; i < flows; i++ {
+		vip := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6,
+				Src: 0x0A000000 | uint32(i+1), Dst: lib.VipAddr}).
+			TCP(uint16(2000+i), lib.VipPort).Payload(make([]byte, 64)).Bytes()
+		plain := pkt.NewBuilder().Ethernet(lib.DmacA, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: 6,
+				Src: 0x0A000000 | uint32(i+1), Dst: uint32(lib.NetB) | 7}).
+			TCP(uint16(2000+i), 8443).Payload(make([]byte, 64)).Bytes()
+		out = append(out, vip, plain)
+	}
+	return out
+}
+
 // TrafficFor selects the benchmark mix for a program: the flow-churn
-// mix for P9 (whose hot path is the flowtable), the standard stateless
-// mix for everything else.
+// mix for P9, the carrier-edge mix for P10, the VIP mix for P11 (all
+// three have the flowtable on their hot path), and the standard
+// stateless mix for everything else.
 func TrafficFor(prog string) [][]byte {
-	if prog == "P9" {
+	switch prog {
+	case "P9":
 		return FlowChurn(64)
+	case "P10":
+		return EdgeMix(32)
+	case "P11":
+		return VipMix(64)
 	}
 	return Traffic()
 }

@@ -276,7 +276,7 @@ func (c *compiler) method(s *ir.Stmt) stmtFn {
 		}
 	case "register_read", "register_write":
 		return c.registerOp(s)
-	case "flow_upsert":
+	case "flow_upsert", "flow_stick":
 		return c.flowOp(s)
 	}
 	return c.faultStmt("cannot execute method " + s.Method)
@@ -329,26 +329,61 @@ func (c *compiler) registerOp(s *ir.Stmt) stmtFn {
 }
 
 // flowOp compiles ft.upsert(hit, dir, srcAddr, dstAddr, proto,
-// srcPort, dstPort) into a closure over the executor's flow-table
-// instance. The wheel advances on the IN_TIMESTAMP scalar slot, the
-// same virtual clock the interpretive engine uses.
+// srcPort, dstPort) or ft.stick(hit, val, want, srcAddr, dstAddr,
+// proto, srcPort, dstPort) into a closure over the executor's
+// flow-table instance. The wheel advances on the IN_TIMESTAMP scalar
+// slot, the same virtual clock the interpretive engine uses.
 func (c *compiler) flowOp(s *ir.Stmt) stmtFn {
+	op := "upsert"
+	if s.Method == "flow_stick" {
+		op = "stick"
+	}
 	fi, ok := c.sm.FlowTable(s.Target)
 	if !ok {
-		err := &FlowError{Table: s.Target, Op: "upsert", Reason: "unknown flowtable in pipeline"}
+		err := &FlowError{Table: s.Target, Op: op, Reason: "unknown flowtable in pipeline"}
 		return func(*execState) error { return err }
+	}
+	name := c.e.pl.FlowTables[fi].Name
+	tbl := c.e.flows[name]
+	tsSlot := c.e.imInTS
+	if op == "stick" {
+		if len(s.Args) != 8 {
+			return c.faultStmt("flow stick needs eight arguments")
+		}
+		hitDst := c.assign(s.Args[0].Expr)
+		valDst := c.assign(s.Args[1].Expr)
+		var args [6]evalFn // want, srcAddr, dstAddr, proto, srcPort, dstPort
+		for i := range args {
+			args[i] = c.expr(s.Args[i+2].Expr)
+		}
+		return func(st *execState) error {
+			var vals [6]uint64
+			for i, fn := range args {
+				v, err := fn(st)
+				if err != nil {
+					return err
+				}
+				vals[i] = v
+			}
+			hit, val := tbl.Stick(flow.Key{
+				SrcAddr: vals[1], DstAddr: vals[2], Proto: vals[3],
+				SrcPort: vals[4], DstPort: vals[5],
+			}, vals[0], st.scalars[tsSlot])
+			st.m.countFlow(name, tbl)
+			if err := hitDst(st, hit); err != nil {
+				return err
+			}
+			return valDst(st, val)
+		}
 	}
 	if len(s.Args) != 7 {
 		return c.faultStmt("flow upsert needs seven arguments")
 	}
-	name := c.e.pl.FlowTables[fi].Name
-	tbl := c.e.flows[name]
 	dst := c.assign(s.Args[0].Expr)
 	var args [6]evalFn // dir, srcAddr, dstAddr, proto, srcPort, dstPort
 	for i := range args {
 		args[i] = c.expr(s.Args[i+1].Expr)
 	}
-	tsSlot := c.e.imInTS
 	return func(st *execState) error {
 		var vals [6]uint64
 		for i, fn := range args {

@@ -335,7 +335,7 @@ func (f *frame) method(s *ir.Stmt) error {
 		return nil
 	case "register_read", "register_write":
 		return f.registerOp(s)
-	case "flow_upsert":
+	case "flow_upsert", "flow_stick":
 		return f.flowOp(s)
 	case "push_front", "pop_front":
 		return &EngineFault{Engine: "reference",
@@ -387,12 +387,17 @@ func (f *frame) registerOp(s *ir.Stmt) error {
 }
 
 // flowOp executes ft.upsert(hit, dir, srcAddr, dstAddr, proto,
-// srcPort, dstPort) against the persistent flow-table state (the
-// flow-state extension). Like registers, instances are keyed by fully
-// qualified path so the interpreter and the compiled executor agree.
-// The wheel advances on the packet's IN_TIMESTAMP intrinsic, so aging
-// follows the same virtual clock the netsim drives.
+// srcPort, dstPort) or ft.stick(hit, val, want, srcAddr, dstAddr,
+// proto, srcPort, dstPort) against the persistent flow-table state
+// (the flow-state extension). Like registers, instances are keyed by
+// fully qualified path so the interpreter and the compiled executor
+// agree. The wheel advances on the packet's IN_TIMESTAMP intrinsic, so
+// aging follows the same virtual clock the netsim drives.
 func (f *frame) flowOp(s *ir.Stmt) error {
+	op := "upsert"
+	if s.Method == "flow_stick" {
+		op = "stick"
+	}
 	var inst *ir.Instance
 	for i := range f.prog.Instances {
 		if f.prog.Instances[i].Name == s.Target && f.prog.Instances[i].Extern == "flowtable" {
@@ -400,13 +405,33 @@ func (f *frame) flowOp(s *ir.Stmt) error {
 		}
 	}
 	if inst == nil {
-		return &FlowError{Table: s.Target, Op: "upsert", Reason: "unknown flowtable in " + f.prog.Name}
+		return &FlowError{Table: s.Target, Op: op, Reason: "unknown flowtable in " + f.prog.Name}
 	}
 	fq := s.Target
 	if f.inst != "" {
 		fq = f.inst + "." + s.Target
 	}
 	tbl := f.r.ip.FlowTable(fq, inst.Size, inst.IdleTTL, inst.EstTTL)
+	now := f.imGet("meta.IN_TIMESTAMP")
+	if op == "stick" {
+		var vals [6]uint64 // want, srcAddr, dstAddr, proto, srcPort, dstPort
+		for i := range vals {
+			v, err := f.eval(s.Args[i+2].Expr)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		hit, val := tbl.Stick(flow.Key{
+			SrcAddr: vals[1], DstAddr: vals[2], Proto: vals[3],
+			SrcPort: vals[4], DstPort: vals[5],
+		}, vals[0], now)
+		f.r.m.countFlow(fq, tbl)
+		if err := f.assign(s.Args[0].Expr, hit); err != nil {
+			return err
+		}
+		return f.assign(s.Args[1].Expr, val)
+	}
 	var vals [6]uint64 // dir, srcAddr, dstAddr, proto, srcPort, dstPort
 	for i := range vals {
 		v, err := f.eval(s.Args[i+1].Expr)
@@ -415,7 +440,6 @@ func (f *frame) flowOp(s *ir.Stmt) error {
 		}
 		vals[i] = v
 	}
-	now := f.imGet("meta.IN_TIMESTAMP")
 	hit := tbl.Upsert(flow.Key{
 		SrcAddr: vals[1], DstAddr: vals[2], Proto: vals[3],
 		SrcPort: vals[4], DstPort: vals[5],

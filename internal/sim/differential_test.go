@@ -20,6 +20,10 @@ type engines struct {
 	interp     *sim.Interp
 	exec       *sim.Exec
 	monoInterp *sim.Interp
+	// The runtime tables behind each engine pair, for tests that mutate
+	// control-plane state mid-scenario (e.g. backend-pool churn).
+	composedTables *sim.Tables
+	monoTables     *sim.Tables
 }
 
 func buildEngines(t testing.TB, prog string) *engines {
@@ -54,9 +58,11 @@ func buildEngines(t testing.TB, prog string) *engines {
 		t.Fatalf("%s: link mono: %v", prog, err)
 	}
 	return &engines{
-		interp:     interp,
-		exec:       exec,
-		monoInterp: sim.NewInterp(ml, monoTables),
+		interp:         interp,
+		exec:           exec,
+		monoInterp:     sim.NewInterp(ml, monoTables),
+		composedTables: composedTables,
+		monoTables:     monoTables,
 	}
 }
 

@@ -76,6 +76,8 @@ func TestQuickDeparseParseIdentity(t *testing.T) {
 			et = pkt.EtherTypeIPv4
 			if tcp {
 				proto = 6
+			} else if proto == 6 {
+				proto = 17 // no TCP header follows, keep the parse shallow
 			}
 		}
 		b.Ethernet(r.Uint64()&0xFFFFFFFFFFFF, r.Uint64()&0xFFFFFFFFFFFF, et)

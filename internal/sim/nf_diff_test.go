@@ -1,0 +1,225 @@
+package sim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"microp4/internal/lib"
+	"microp4/internal/pkt"
+	"microp4/internal/sim"
+)
+
+// Differential suites for the NF scenario pack: P10 (tunnel decap +
+// stateful NAT64 + routing) and P11 (L4 load balancer + ACL). Each
+// curated packet class runs through the composed interpreter, the
+// compiled pipeline, and the monolithic baseline, which must agree.
+//
+// Curation note: two composed-vs-mono divergence corners are excluded
+// by construction, matching real deployments rather than papering over
+// bugs. (1) A tunnel packet with a truncated inner header that misses
+// tun_tbl: the composed pipeline never parses the inner packet (Decap
+// passed, NAT64 sees the outer header), while the flat parser walks it
+// eagerly and rejects. (2) Nonsensical tun_tbl entries (e.g. GRE decap
+// installed for protocol 4): InstallDefaultRules only installs each
+// decap flavor on its own protocol.
+
+// v4pp builds eth + IPv4 + TCP/UDP with explicit ports.
+func v4pp(src, dst uint32, ttl, proto uint8, sp, dp uint16) []byte {
+	b := pkt.NewBuilder().
+		Ethernet(0x000000000001, 0x000000000002, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: ttl, Protocol: proto, Src: src, Dst: dst, TotalLen: 40})
+	switch proto {
+	case pkt.ProtoTCP:
+		b.TCP(sp, dp)
+	case pkt.ProtoUDP:
+		b.UDP(sp, dp, 12)
+	}
+	return b.Payload([]byte("data")).Bytes()
+}
+
+// v6pp builds eth + IPv6 + TCP with explicit addresses and ports.
+func v6pp(srcHi, srcLo, dstHi, dstLo uint64, hop uint8, sp, dp uint16) []byte {
+	return pkt.NewBuilder().
+		Ethernet(0x000000000001, 0x000000000002, pkt.EtherTypeIPv6).
+		IPv6(pkt.IPv6Opts{NextHdr: pkt.ProtoTCP, HopLimit: hop, PayloadLen: 24,
+			SrcHi: srcHi, SrcLo: srcLo, DstHi: dstHi, DstLo: dstLo}).
+		TCP(sp, dp).Payload([]byte("data")).Bytes()
+}
+
+// tunPkt wraps inner (bytes after Ethernet) in an outer IPv4 tunnel
+// header addressed to outerDst with the given protocol.
+func tunPkt(outerDst uint32, proto uint8, inner []byte) []byte {
+	return pkt.NewBuilder().
+		Ethernet(0x000000000001, 0x000000000002, pkt.EtherTypeIPv4).
+		IPv4(pkt.IPv4Opts{TTL: 32, Protocol: proto, Src: 0x08080808, Dst: outerDst,
+			TotalLen: uint16(20 + len(inner))}).
+		Payload(inner).Bytes()
+}
+
+// grePkt wraps inner in outer IPv4 (protocol 47) + a 4-byte GRE header
+// carrying greProto.
+func grePkt(outerDst uint32, greProto uint16, inner []byte) []byte {
+	gre := []byte{0, 0, byte(greProto >> 8), byte(greProto)}
+	return tunPkt(outerDst, 47, append(gre, inner...))
+}
+
+func TestDifferentialP10Edge(t *testing.T) {
+	e := buildEngines(t, "P10")
+	innerA := ipv4Pkt(0x0A010203, 64, pkt.ProtoTCP)[14:]
+	innerB := ipv4Pkt(0x14000001, 9, pkt.ProtoUDP)[14:]
+	inner6 := ipv6Pkt(lib.NetV6Hi|1, 0x99, 64)[14:]
+	cases := map[string][]byte{
+		// Plain routing, both families.
+		"plain-v4-netA":     ipv4Pkt(0x0A010203, 64, pkt.ProtoTCP),
+		"plain-v4-netB":     ipv4Pkt(0x14000001, 64, pkt.ProtoUDP),
+		"plain-v4-no-route": ipv4Pkt(0x1E000001, 64, pkt.ProtoTCP),
+		"plain-v4-ttl-0":    ipv4Pkt(0x0A010203, 0, pkt.ProtoTCP),
+		"plain-v6-routed":   ipv6Pkt(lib.NetV6Hi|1, 0x99, 64),
+		"plain-v6-no-route": ipv6Pkt(0x3001000000000000, 0x99, 64),
+		// NAT64: a bound client translates out; an unknown v4 flow to the
+		// pool is an unsolicited inbound translation and must drop. (The
+		// tuple is never learned by any other case in this map — cases
+		// share flowtable state and run in random order.)
+		"nat64-outbound": v6pp(lib.V6ClientHi, lib.V6ClientLo,
+			lib.Nat64PfxHi, 0x14000001, 64, 40000, 80),
+		"nat64-unsolicited": v4pp(0x14000009, lib.Nat64Pool, 64, pkt.ProtoTCP, 9999, 40000),
+		"nat64-unbound-src": v6pp(0xFD00000000000001, 2,
+			lib.Nat64PfxHi, 0x14000001, 64, 40000, 80),
+		// Tunnel termination, all three flavors, plus inner TTL expiry.
+		"tun-ip4":        tunPkt(lib.TunDst, 4, innerA),
+		"tun-6in4":       tunPkt(lib.TunDst, 41, inner6),
+		"tun-gre-v4":     grePkt(lib.TunDst, 0x0800, innerB),
+		"tun-gre-v6":     grePkt(lib.TunDst, 0x86DD, inner6),
+		"tun-gre-non-ip": grePkt(lib.TunDst, 0x8847, []byte{0, 1, 2, 3, 4}),
+		"tun-inner-ttl0": tunPkt(lib.TunDst, 4, ipv4Pkt(0x0A010203, 0, pkt.ProtoTCP)[14:]),
+		// Unterminated tunnels route on the outer header.
+		"tun-pass-ip4": tunPkt(0x14000001, 4, innerA),
+		"tun-pass-gre": grePkt(0x0A000005, 0x0800, innerB),
+		// Non-IP and malformed input.
+		"arp-unknown":   pkt.NewBuilder().Ethernet(1, 2, 0x0806).Payload([]byte{0, 1, 2, 3}).Bytes(),
+		"truncated-eth": {0xAA, 0xBB, 0xCC},
+		"truncated-v4": pkt.NewBuilder().
+			Ethernet(1, 2, pkt.EtherTypeIPv4).Payload([]byte{0x45, 0}).Bytes(),
+		"empty": {},
+	}
+	for name, data := range cases {
+		e.checkAgreement(t, name, data, meta())
+	}
+}
+
+// TestP10Nat64FlowDifferential drives the stateful NAT64 lifecycle —
+// learn, establish, refresh, expire — through all three engines. The
+// policy point is nat_pol_tbl on (rev, hit): inbound pool traffic
+// passes only while the outbound flow entry is alive.
+func TestP10Nat64FlowDifferential(t *testing.T) {
+	e := buildEngines(t, "P10")
+	out := v6pp(lib.V6ClientHi, lib.V6ClientLo, lib.Nat64PfxHi, 0x14000001, 64, 40000, 80)
+	reply := v4pp(0x14000001, lib.Nat64Pool, 64, pkt.ProtoTCP, 80, 40000)
+
+	m := func(ts uint64) sim.Metadata { return sim.Metadata{InPort: 7, InTimestamp: ts} }
+
+	// Inbound before any outbound packet: unsolicited, dropped.
+	e.checkAgreement(t, "rev-unsolicited", reply, m(1))
+	// Outbound learns the translation flow and routes to NetB.
+	e.checkAgreement(t, "out-learn", out, m(2))
+	// The reply now translates back to the client and establishes.
+	e.checkAgreement(t, "rev-reply", reply, m(3))
+	e.checkAgreement(t, "rev-established", reply, m(4))
+	e.checkAgreement(t, "out-refresh", out, m(5))
+	// Past the established TTL the binding has aged out.
+	e.checkAgreement(t, "rev-expired", reply, m(5+65537))
+	// Relearn, then idle out (idle TTL 256) without establishing.
+	e.checkAgreement(t, "out-relearn", out, m(5+65538))
+	e.checkAgreement(t, "rev-idle-expired", reply, m(5+65538+257))
+
+	it := e.interp.FlowTables()["n64_i.conn"]
+	xt := e.exec.FlowTable("n64_i.conn")
+	if it == nil || xt == nil {
+		t.Fatal("n64_i.conn missing from an engine's flow state")
+	}
+	if is, xs := it.Stats(), xt.Stats(); is != xs {
+		t.Errorf("counter mismatch: interp %+v exec %+v", is, xs)
+	} else if is.Inserts == 0 || is.Expiries == 0 {
+		t.Errorf("scenario should have inserted and expired flows: %+v", is)
+	}
+}
+
+func TestDifferentialP11Lb(t *testing.T) {
+	e := buildEngines(t, "P11")
+	cases := map[string][]byte{
+		// VIP traffic is rewritten to a backend and forwarded to PortB.
+		"vip-tcp": v4pp(0x0A000001, lib.VipAddr, 64, pkt.ProtoTCP, 1000, lib.VipPort),
+		// Only (VIP, TCP, 80) is a service; everything else goes upstream.
+		"vip-udp-not-service": v4pp(0x0A000001, lib.VipAddr, 64, pkt.ProtoUDP, 1000, lib.VipPort),
+		"vip-gre-no-l4":       v4pp(0x0A000001, lib.VipAddr, 64, 47, 0, 0),
+		"non-vip-tcp":         v4pp(0x0A000002, 0x14000001, 64, pkt.ProtoTCP, 1234, 443),
+		// The ACL fires on the rewritten header: a VIP flow lands on
+		// backend port 8080 and passes, while direct :22 traffic drops.
+		"acl-deny-22": v4pp(0x0A000003, 0x14000001, 64, pkt.ProtoTCP, 5, 22),
+		"vip-port-22": v4pp(0x0A000003, lib.VipAddr, 64, pkt.ProtoTCP, 5, 22),
+		// Non-IPv4 traffic bypasses both NFs and goes upstream.
+		"plain-v6": ipv6Pkt(lib.NetV6Hi|1, 0x99, 64),
+		"arp":      pkt.NewBuilder().Ethernet(1, 2, 0x0806).Payload([]byte{0, 1, 2, 3}).Bytes(),
+		// Malformed input rejects in both the composed ACL's eager L4
+		// parse and the flat parser.
+		"short-tcp": pkt.NewBuilder().
+			Ethernet(1, 2, pkt.EtherTypeIPv4).
+			IPv4(pkt.IPv4Opts{TTL: 64, Protocol: pkt.ProtoTCP, Src: 1, Dst: 2}).
+			Payload([]byte{0x12, 0x34, 0x00, 0x50}).Bytes(),
+		"truncated-eth": {0xAA, 0xBB, 0xCC},
+		"empty":         {},
+	}
+	for name, data := range cases {
+		e.checkAgreement(t, name, data, meta())
+	}
+}
+
+// TestP11StickinessDifferential pins the load balancer's core promise
+// across all three engines: once a flow is assigned a backend, pool
+// churn (bucket remapping) must not move it, while fresh flows follow
+// the new map.
+func TestP11StickinessDifferential(t *testing.T) {
+	e := buildEngines(t, "P11")
+	flowA := v4pp(0x0A000001, lib.VipAddr, 64, pkt.ProtoTCP, 1000, lib.VipPort)
+	m := func(ts uint64) sim.Metadata { return sim.Metadata{InPort: 7, InTimestamp: ts} }
+
+	run := func(name string, data []byte, ts uint64) []byte {
+		t.Helper()
+		e.checkAgreement(t, name, data, m(ts))
+		r, err := e.exec.Process(data, m(ts))
+		if err != nil || r.Dropped || len(r.Out) != 1 {
+			t.Fatalf("%s: unexpected result r=%+v err=%v", name, r, err)
+		}
+		return r.Out[0].Data
+	}
+
+	before := run("flowA-pin", flowA, 1)
+	run("flowA-repeat", flowA, 2)
+
+	// Churn the pool: rotate every bucket to a different backend.
+	lib.InstallBalancerPool(e.composedTables, false, 1)
+	lib.InstallBalancerPool(e.monoTables, true, 1)
+
+	after := run("flowA-post-churn", flowA, 3)
+	if !bytes.Equal(before, after) {
+		t.Errorf("established flow moved backends on pool churn:\n before %x\n after  %x",
+			before, after)
+	}
+
+	// A new flow from a different client follows the remapped pool; all
+	// engines agree on its (new) assignment too.
+	flowB := v4pp(0x0B0000CC, lib.VipAddr, 64, pkt.ProtoTCP, 2000, lib.VipPort)
+	run("flowB-post-churn", flowB, 4)
+
+	// run() replays each packet through exec to capture bytes, so hit
+	// counters intentionally differ; the pinned flow set must not.
+	it := e.interp.FlowTables()["bal_i.conn"]
+	xt := e.exec.FlowTable("bal_i.conn")
+	if it == nil || xt == nil {
+		t.Fatal("bal_i.conn missing from an engine's flow state")
+	}
+	if it.Len() != 2 || xt.Len() != 2 {
+		t.Errorf("want 2 pinned flows in each engine, got interp=%d exec=%d",
+			it.Len(), xt.Len())
+	}
+}

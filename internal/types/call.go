@@ -237,7 +237,8 @@ func (env *Env) checkExternMethod(sc *Scope, call *ast.CallExpr, extern, method 
 			return nil, env.checkArgs(sc, call, kindBits, kindBits)
 		}
 	case "flowtable":
-		if method == "upsert" {
+		switch method {
+		case "upsert":
 			// upsert(out hit, dir, srcAddr, dstAddr, proto, srcPort, dstPort)
 			if err := env.checkArgs(sc, call, kindBits, kindBits, kindBits,
 				kindBits, kindBits, kindBits, kindBits); err != nil {
@@ -245,6 +246,16 @@ func (env *Env) checkExternMethod(sc *Scope, call *ast.CallExpr, extern, method 
 			}
 			if !isLValue(call.Args[0]) {
 				return nil, env.errf(call.P, "flowtable upsert hit destination must be assignable")
+			}
+			return nil, nil
+		case "stick":
+			// stick(out hit, out val, want, srcAddr, dstAddr, proto, srcPort, dstPort)
+			if err := env.checkArgs(sc, call, kindBits, kindBits, kindBits,
+				kindBits, kindBits, kindBits, kindBits, kindBits); err != nil {
+				return nil, err
+			}
+			if !isLValue(call.Args[0]) || !isLValue(call.Args[1]) {
+				return nil, env.errf(call.P, "flowtable stick hit and value destinations must be assignable")
 			}
 			return nil, nil
 		}

@@ -7,6 +7,7 @@ import (
 	"microp4"
 	"microp4/internal/lib"
 	"microp4/internal/pkt"
+	"microp4/internal/sim"
 )
 
 func compileLib(t testing.TB, prog string) *microp4.Dataplane {
@@ -40,6 +41,31 @@ func compileLib(t testing.TB, prog string) *microp4.Dataplane {
 		t.Fatal(err)
 	}
 	return dp
+}
+
+// installLibRules replays a program's standard evaluation rule set
+// (lib.InstallDefaultRules) through the public Switch API.
+func installLibRules(sw *microp4.Switch, prog string) {
+	rules := sim.NewTables()
+	lib.InstallDefaultRules(rules, prog, false)
+	for _, name := range rules.TableNames() {
+		for _, e := range rules.Entries(name) {
+			keys := make([]microp4.Key, len(e.Keys))
+			for i, k := range e.Keys {
+				switch {
+				case k.DontCare:
+					keys[i] = microp4.Any()
+				case k.HasMask:
+					keys[i] = microp4.Ternary(k.Value, k.Mask)
+				case k.PrefixLen > 0:
+					keys[i] = microp4.LPM(k.Value, k.PrefixLen)
+				default:
+					keys[i] = microp4.Exact(k.Value)
+				}
+			}
+			sw.AddEntry(name, keys, e.Action, e.Args...)
+		}
+	}
 }
 
 func TestPublicAPIRouter(t *testing.T) {
